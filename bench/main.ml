@@ -1,0 +1,195 @@
+(* Benchmark and experiment harness.
+
+   Regenerates every table and figure of the paper's evaluation section
+   (Section V) — the series themselves live in [lib/experiments] — and
+   times the full analysis with Bechamel (one Test.make per
+   table/figure).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig2a   # one experiment
+     dune exec bench/main.exe -- tables  # all tables, no timing suite
+     dune exec bench/main.exe -- bench   # timing suite only *)
+
+module Config = Taskgraph.Config
+module Mapping = Budgetbuf.Mapping
+module Tradeoff = Budgetbuf.Tradeoff
+
+let caps_1_10 = List.init 10 (fun i -> i + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing suite: one Test.make per table/figure               *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixture builders shared by the timing tests. *)
+let mcr_graph n =
+  let rng = Workloads.Rng.create 99L in
+  let g = Dataflow.Srdf.create () in
+  let actors =
+    Array.init n (fun i ->
+        Dataflow.Srdf.add_actor g ~name:(string_of_int i)
+          ~duration:(Workloads.Rng.float rng ~lo:0.5 ~hi:10.0))
+  in
+  for i = 0 to n - 1 do
+    let tokens = if i = n - 1 then 1 else Workloads.Rng.int rng ~bound:3 in
+    ignore
+      (Dataflow.Srdf.add_edge g ~src:actors.(i) ~dst:actors.((i + 1) mod n)
+         ~tokens)
+  done;
+  for _ = 1 to 2 * n do
+    ignore
+      (Dataflow.Srdf.add_edge g
+         ~src:actors.(Workloads.Rng.int rng ~bound:n)
+         ~dst:actors.(Workloads.Rng.int rng ~bound:n)
+         ~tokens:(1 + Workloads.Rng.int rng ~bound:3))
+  done;
+  g
+
+let cd_dat () =
+  let t = Dataflow.Sdf.create () in
+  let add name = Dataflow.Sdf.add_actor t ~name ~duration:1.0 in
+  let cd = add "cd" and f1 = add "f1" and f2 = add "f2" in
+  let f3 = add "f3" and f4 = add "f4" and dat = add "dat" in
+  List.iter
+    (fun (src, production, dst, consumption) ->
+      ignore (Dataflow.Sdf.add_channel t ~src ~production ~dst ~consumption ()))
+    [
+      (cd, 1, f1, 1); (f1, 2, f2, 3); (f2, 2, f3, 7); (f3, 8, f4, 7);
+      (f4, 5, dat, 1);
+    ];
+  t
+
+let binding_instance () =
+  let cfg = Config.create ~granularity:1.0 () in
+  let fast = Config.add_processor cfg ~name:"fast" ~replenishment:30.0 () in
+  let _slow = Config.add_processor cfg ~name:"slow" ~replenishment:60.0 () in
+  let m = Config.add_memory cfg ~name:"m0" ~capacity:4096 in
+  let g = Config.add_graph cfg ~name:"pipe" ~period:12.0 () in
+  let tasks =
+    List.map
+      (fun (name, wcet) -> Config.add_task cfg g ~name ~proc:fast ~wcet ())
+      [ ("grab", 1.0); ("filter", 3.0); ("encode", 2.0); ("emit", 0.5) ]
+  in
+  let rec connect i = function
+    | a :: (b :: _ as rest) ->
+      ignore
+        (Config.add_buffer cfg g
+           ~name:(Printf.sprintf "q%d" i)
+           ~src:a ~dst:b ~memory:m ~weight:0.01 ());
+      connect (i + 1) rest
+    | [ _ ] | [] -> ()
+  in
+  connect 0 tasks;
+  cfg
+
+let bechamel_suite () =
+  let open Bechamel in
+  let solve cfg () = ignore (Mapping.solve cfg) in
+  let sweep gen () =
+    let cfg = gen () in
+    ignore
+      (Tradeoff.capacity_sweep cfg
+         ~buffers:(Config.all_buffers cfg)
+         ~caps:caps_1_10)
+  in
+  let mcr_check () =
+    let cfg = Workloads.Gen.paper_t1 () in
+    let g = Config.find_graph cfg "t1" in
+    let mapped =
+      { Config.budget = (fun _ -> 4.0); Config.capacity = (fun _ -> 10) }
+    in
+    ignore (Budgetbuf.Dataflow_model.min_feasible_period cfg g mapped)
+  in
+  let tests =
+    Test.make_grouped ~name:"budgetbuf"
+      [
+        (* Figures 2(a) and 2(b) share the same capacity sweep. *)
+        Test.make ~name:"fig2a+b: T1 capacity sweep (10 solves)"
+          (Staged.stage (sweep Workloads.Gen.paper_t1));
+        Test.make ~name:"fig3: T2 capacity sweep (10 solves)"
+          (Staged.stage (sweep Workloads.Gen.paper_t2));
+        Test.make ~name:"rt: solve paper T1"
+          (Staged.stage (solve (Workloads.Gen.paper_t1 ())));
+        Test.make ~name:"rt: solve paper T2"
+          (Staged.stage (solve (Workloads.Gen.paper_t2 ())));
+        Test.make ~name:"rt: solve chain n=8"
+          (Staged.stage (solve (Workloads.Gen.chain ~n:8 ())));
+        Test.make ~name:"rt: solve chain n=16"
+          (Staged.stage (solve (Workloads.Gen.chain ~n:16 ())));
+        Test.make ~name:"rt: solve multi-job 3x3"
+          (Staged.stage
+             (solve
+                (Workloads.Gen.multi_job (Workloads.Rng.create 1L) ~jobs:3
+                   ~tasks_per_job:3 ~procs:3 ())));
+        Test.make ~name:"ana: MCR feasibility check (T1)"
+          (Staged.stage mcr_check);
+        (let g = mcr_graph 100 in
+         Test.make ~name:"mcr: Howard, 100 actors"
+           (Staged.stage (fun () -> ignore (Dataflow.Howard.max_cycle_ratio g))));
+        (let g = mcr_graph 100 in
+         Test.make ~name:"mcr: binary search, 100 actors"
+           (Staged.stage (fun () ->
+                ignore (Dataflow.Analysis.max_cycle_ratio g))));
+        Test.make ~name:"sdf: CD-DAT expansion (612 copies)"
+          (Staged.stage (fun () -> ignore (Dataflow.Sdf.expand (cd_dat ()))));
+        Test.make ~name:"ext: SLP iteration (capped T1)"
+          (Staged.stage (fun () ->
+               let cfg = Workloads.Gen.paper_t1 () in
+               List.iter
+                 (fun b -> Config.set_max_capacity cfg b (Some 6))
+                 (Config.all_buffers cfg);
+               ignore (Budgetbuf.Slp.solve cfg)));
+        Test.make ~name:"app: solve h263 decoder"
+          (Staged.stage (solve (Workloads.Apps.h263_decoder ())));
+        Test.make ~name:"ext: binding exhaustive, 4 tasks x 2 procs"
+          (Staged.stage (fun () ->
+               ignore
+                 (Budgetbuf.Binding.optimize
+                    ~strategy:(Budgetbuf.Binding.Exhaustive 16)
+                    (binding_instance ()))));
+      ]
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg_bench =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg_bench instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Format.printf "@.=== Bechamel timing (monotonic clock, OLS per call) ===@.@.";
+  Format.printf "  %-48s %-14s %-8s@." "benchmark" "time/run" "r^2";
+  let rows = ref [] in
+  Hashtbl.iter (fun name res -> rows := (name, res) :: !rows) results;
+  List.iter
+    (fun (name, res) ->
+      let time_ns =
+        match Analyze.OLS.estimates res with
+        | Some (t :: _) -> t
+        | Some [] | None -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square res with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "-"
+      in
+      Format.printf "  %-48s %10.3f ms  %-8s@." name (time_ns /. 1e6) r2)
+    (List.sort compare !rows)
+
+let () =
+  let ppf = Format.std_formatter in
+  match if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None with
+  | None ->
+    Experiments.all ppf;
+    bechamel_suite ()
+  | Some "tables" -> Experiments.all ppf
+  | Some "bench" -> bechamel_suite ()
+  | Some name -> begin
+    match Experiments.by_name name with
+    | Some run -> run ppf
+    | None ->
+      Format.eprintf "unknown experiment %S (expected: %s, tables, bench)@."
+        name
+        (String.concat ", " Experiments.names);
+      exit 2
+  end

@@ -1,0 +1,799 @@
+(* budgetbuf — command-line front end for the joint budget and
+   buffer-size computation flow.
+
+   Subcommands:
+     solve       run Algorithm 1 on a configuration file
+     validate    parse and sanity-check a configuration file
+     tradeoff    sweep a capacity cap and report the budget curve
+     experiment  regenerate a table/figure of the paper
+     generate    emit a generated workload in the config syntax *)
+
+module Config = Taskgraph.Config
+module Parse = Taskgraph.Parse
+module Mapping = Budgetbuf.Mapping
+module Tradeoff = Budgetbuf.Tradeoff
+module Socp_builder = Budgetbuf.Socp_builder
+
+open Cmdliner
+
+let setup_logs level =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level level
+
+let logs_term = Term.(const setup_logs $ Logs_cli.level ())
+
+let load_config path =
+  match Parse.config_of_file path with
+  | cfg -> Ok cfg
+  | exception Parse.Parse_error (line, msg) ->
+    Error (Printf.sprintf "%s:%d: %s" path line msg)
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Configuration file (see budgetbuf generate).")
+
+let simulate_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "simulate" ] ~docv:"N"
+        ~doc:
+          "After solving, validate the mapping on the TDM discrete-event \
+           simulator with $(docv) executions per task.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "output"; "o" ] ~docv:"FILE"
+        ~doc:"Write the computed mapping in the format read by $(b,check) \
+              and $(b,simulate).")
+
+let continuous_arg =
+  Arg.(
+    value & flag
+    & info [ "continuous" ]
+        ~doc:"Also print the pre-rounding continuous optimum per variable.")
+
+let do_solve () path simulate continuous output =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg -> begin
+    (match Config.validate cfg with
+    | [] -> ()
+    | problems ->
+      List.iter (Format.eprintf "warning: %s@.") problems);
+    match Mapping.solve cfg with
+    | Error e ->
+      Format.eprintf "error: %a@." Mapping.pp_error e;
+      1
+    | Ok r ->
+      Format.printf "%a@." (Config.pp_mapped cfg) r.Mapping.mapped;
+      Format.printf
+        "objective: continuous %.4f, rounded %.4f (%d vars, %d rows, %d \
+         iterations, %.2f ms)@."
+        r.Mapping.objective r.Mapping.rounded_objective
+        r.Mapping.stats.Mapping.variables r.Mapping.stats.Mapping.rows
+        r.Mapping.stats.Mapping.iterations
+        (1000.0 *. r.Mapping.stats.Mapping.solve_time_s);
+      if continuous then
+        List.iter
+          (fun w ->
+            Format.printf "continuous beta'(%s) = %.6f@."
+              (Config.task_name cfg w)
+              (r.Mapping.continuous.Socp_builder.budget w))
+          (Config.all_tasks cfg);
+      (match r.Mapping.verification with
+      | [] -> Format.printf "verification: ok@."
+      | problems ->
+        List.iter (Format.printf "verification problem: %s@.") problems);
+      (match output with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        let ppf = Format.formatter_of_out_channel oc in
+        Format.fprintf ppf "%a@."
+          (Taskgraph.Mapped_io.print cfg)
+          r.Mapping.mapped;
+        close_out oc;
+        Format.printf "mapping written to %s@." file);
+      (match simulate with
+      | None -> ()
+      | Some iterations -> begin
+        match Tdm_sim.Sim.run cfg r.Mapping.mapped ~iterations () with
+        | Error e -> Format.printf "simulation: %s@." e
+        | Ok report ->
+          List.iter
+            (fun g ->
+              Format.printf
+                "simulation: graph %s period %.3f (required %.3f)@."
+                (Config.graph_name cfg g)
+                (report.Tdm_sim.Sim.graph_period g)
+                (Config.period cfg g))
+            (Config.graphs cfg)
+      end);
+      if r.Mapping.verification = [] then 0 else 1
+  end
+
+let solve_cmd =
+  let doc = "compute budgets and buffer sizes jointly (Algorithm 1)" in
+  Cmd.v
+    (Cmd.info "solve" ~doc)
+    Term.(
+      const do_solve $ logs_term $ file_arg $ simulate_arg $ continuous_arg
+      $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let do_validate () path =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg -> begin
+    Format.printf "parsed: %d processors, %d memories, %d graphs, %d tasks, \
+                   %d buffers@."
+      (List.length (Config.processors cfg))
+      (List.length (Config.memories cfg))
+      (List.length (Config.graphs cfg))
+      (List.length (Config.all_tasks cfg))
+      (List.length (Config.all_buffers cfg));
+    match Config.validate cfg with
+    | [] ->
+      Format.printf "no structural problems found@.";
+      0
+    | problems ->
+      List.iter (Format.printf "problem: %s@.") problems;
+      1
+  end
+
+let validate_cmd =
+  let doc = "parse a configuration file and report structural problems" in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const do_validate $ logs_term $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* tradeoff                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let caps_arg =
+  Arg.(
+    value
+    & opt (pair ~sep:':' int int) (1, 10)
+    & info [ "caps" ] ~docv:"LO:HI"
+        ~doc:"Range of capacity caps to sweep (inclusive).")
+
+let buffers_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "buffers" ] ~docv:"NAMES"
+        ~doc:
+          "Comma-separated buffer names to cap (default: every buffer of \
+           the configuration).")
+
+let do_tradeoff () path (lo, hi) buffer_names =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg -> begin
+    match
+      match buffer_names with
+      | None -> Ok (Config.all_buffers cfg)
+      | Some names ->
+        (try Ok (List.map (Config.find_buffer cfg) names)
+         with Not_found -> Error "unknown buffer name")
+    with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok buffers when lo > hi || lo < 1 ->
+      ignore buffers;
+      Format.eprintf "error: empty or invalid cap range@.";
+      1
+    | Ok buffers ->
+      let caps = List.init (hi - lo + 1) (fun i -> lo + i) in
+      let points = Tradeoff.capacity_sweep cfg ~buffers ~caps in
+      let tasks = Config.all_tasks cfg in
+      Format.printf "%-6s" "cap";
+      List.iter
+        (fun w -> Format.printf " %-12s" (Config.task_name cfg w))
+        tasks;
+      Format.printf "@.";
+      List.iter
+        (fun (p : Tradeoff.point) ->
+          Format.printf "%-6d" p.Tradeoff.cap;
+          (match p.Tradeoff.result with
+          | Error _ ->
+            List.iter (fun _ -> Format.printf " %-12s" "infeasible") tasks
+          | Ok r ->
+            List.iter
+              (fun w ->
+                Format.printf " %-12.4f"
+                  (r.Mapping.continuous.Socp_builder.budget w))
+              tasks);
+          Format.printf "@.")
+        points;
+      0
+  end
+
+let tradeoff_cmd =
+  let doc = "sweep buffer-capacity caps and print the budget trade-off curve" in
+  Cmd.v
+    (Cmd.info "tradeoff" ~doc)
+    Term.(const do_tradeoff $ logs_term $ file_arg $ caps_arg $ buffers_arg)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_arg =
+  Arg.(
+    required
+    & pos 0 (some (enum (List.map (fun n -> (n, n)) Experiments.names))) None
+    & info [] ~docv:"ID"
+        ~doc:
+          (Printf.sprintf "Experiment id: %s."
+             (String.concat ", " Experiments.names)))
+
+let do_experiment () id =
+  match Experiments.by_name id with
+  | Some run ->
+    run Format.std_formatter;
+    0
+  | None -> 2
+
+let experiment_cmd =
+  let doc = "regenerate a table or figure of the paper" in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const do_experiment $ logs_term $ experiment_arg)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type workload =
+  | T1 | T2 | Chain | Split_join | Ring | Multi_job | Mesh | Tree
+  | App of string
+
+let workload_arg =
+  let table =
+    [
+      ("t1", T1); ("t2", T2); ("chain", Chain); ("splitjoin", Split_join);
+      ("ring", Ring); ("multijob", Multi_job); ("mesh", Mesh); ("tree", Tree);
+    ]
+    @ List.map (fun (n, _) -> (n, App n)) Workloads.Apps.all
+  in
+  Arg.(
+    required
+    & pos 0 (some (enum table)) None
+    & info [] ~docv:"KIND"
+        ~doc:
+          "Workload kind: t1, t2, chain, splitjoin, ring, multijob, mesh, \
+           tree, or an application (h263-decoder, mp3-playback, modem, \
+           car-radio).")
+
+let size_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "n" ] ~docv:"N" ~doc:"Size parameter (tasks, branches, ...).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for randomised kinds.")
+
+let do_generate () kind n seed =
+  let rng = Workloads.Rng.create (Int64.of_int seed) in
+  match
+    match kind with
+    | T1 -> Ok (Workloads.Gen.paper_t1 ())
+    | T2 -> Ok (Workloads.Gen.paper_t2 ())
+    | Chain -> ( try Ok (Workloads.Gen.chain ~n ()) with Invalid_argument m -> Error m)
+    | Split_join -> (
+      try Ok (Workloads.Gen.split_join ~branches:n ())
+      with Invalid_argument m -> Error m)
+    | Ring -> (
+      try Ok (Workloads.Gen.ring ~n ~initial:2 ())
+      with Invalid_argument m -> Error m)
+    | Multi_job -> (
+      try Ok (Workloads.Gen.multi_job rng ~jobs:n ~tasks_per_job:3 ~procs:n ())
+      with Invalid_argument m -> Error m)
+    | Mesh -> (
+      try Ok (Workloads.Gen.mesh ~rows:n ~cols:n ())
+      with Invalid_argument m -> Error m)
+    | Tree -> (
+      try Ok (Workloads.Gen.binary_tree ~depth:n ())
+      with Invalid_argument m -> Error m)
+    | App name -> Ok ((List.assoc name Workloads.Apps.all) ())
+  with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg ->
+    Format.printf "%a@." Config.pp cfg;
+    0
+
+let generate_cmd =
+  let doc = "emit a generated workload in the configuration syntax" in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(const do_generate $ logs_term $ workload_arg $ size_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check / simulate on a stored mapping                                *)
+(* ------------------------------------------------------------------ *)
+
+let mapped_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"MAPPED" ~doc:"Mapping file written by solve --output.")
+
+let load_mapped cfg path =
+  match Taskgraph.Mapped_io.parse_file cfg path with
+  | mapped -> Ok mapped
+  | exception Taskgraph.Mapped_io.Parse_error (line, msg) ->
+    Error (Printf.sprintf "%s:%d: %s" path line msg)
+  | exception Sys_error msg -> Error msg
+
+let do_check () path mapped_path =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg -> begin
+    match load_mapped cfg mapped_path with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok mapped -> begin
+      match Budgetbuf.Dataflow_model.verify cfg mapped with
+      | [] ->
+        List.iter
+          (fun g ->
+            match Budgetbuf.Dataflow_model.min_feasible_period cfg g mapped with
+            | Some r ->
+              Format.printf
+                "graph %s: feasible, minimal period %.4f (required %.4f)@."
+                (Config.graph_name cfg g) r (Config.period cfg g)
+            | None ->
+              Format.printf "graph %s: deadlocked@." (Config.graph_name cfg g))
+          (Config.graphs cfg);
+        0
+      | problems ->
+        List.iter (Format.printf "violation: %s@.") problems;
+        1
+    end
+  end
+
+let check_cmd =
+  let doc = "verify a stored mapping against its configuration" in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const do_check $ logs_term $ file_arg $ mapped_arg)
+
+let iterations_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "iterations" ] ~docv:"N" ~doc:"Executions per task to simulate.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace" ] ~docv:"K"
+        ~doc:"Print the first $(docv) executions of every task as a textual \
+              Gantt trace (claim and completion instants).")
+
+let vcd_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "vcd" ] ~docv:"FILE"
+        ~doc:"Write the run as a VCD waveform (tasks + buffer levels).")
+
+let do_simulate () path mapped_path iterations trace vcd =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg -> begin
+    match load_mapped cfg mapped_path with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok mapped -> begin
+      match Tdm_sim.Sim.run cfg mapped ~iterations () with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+      | Ok report ->
+        List.iter
+          (fun g ->
+            Format.printf "graph %s: measured period %.4f (required %.4f)@."
+              (Config.graph_name cfg g)
+              (report.Tdm_sim.Sim.graph_period g)
+              (Config.period cfg g))
+          (Config.graphs cfg);
+        (match vcd with
+        | None -> ()
+        | Some file ->
+          let oc = open_out file in
+          let ppf = Format.formatter_of_out_channel oc in
+          Tdm_sim.Vcd.dump cfg mapped report ppf;
+          Format.pp_print_flush ppf ();
+          close_out oc;
+          Format.printf "waveform written to %s@." file);
+        (match trace with
+        | None -> ()
+        | Some k ->
+          List.iter
+            (fun w ->
+              let xs = report.Tdm_sim.Sim.task_executions w in
+              for i = 0 to Int.min k (Array.length xs) - 1 do
+                let claim, finish = xs.(i) in
+                Format.printf "trace %s #%d: claim %.3f done %.3f@."
+                  (Config.task_name cfg w) (i + 1) claim finish
+              done)
+            (Config.all_tasks cfg));
+        0
+    end
+  end
+
+let simulate_cmd =
+  let doc = "replay a stored mapping on the TDM discrete-event simulator" in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const do_simulate $ logs_term $ file_arg $ mapped_arg $ iterations_arg
+      $ trace_arg $ vcd_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pareto                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let steps_arg =
+  Arg.(
+    value & opt int 9
+    & info [ "steps" ] ~docv:"N" ~doc:"Number of weight ratios to sweep.")
+
+let do_pareto () path steps =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg ->
+    let points = Budgetbuf.Pareto.frontier ~steps cfg in
+    if points = [] then begin
+      Format.printf "no feasible point@.";
+      1
+    end
+    else begin
+      Format.printf "%-14s %-16s %-12s@." "weight ratio" "sum of budgets"
+        "containers";
+      List.iter
+        (fun (p : Budgetbuf.Pareto.point) ->
+          Format.printf "%-14.3g %-16.4f %-12d@."
+            p.Budgetbuf.Pareto.weight_ratio p.Budgetbuf.Pareto.budget_sum
+            p.Budgetbuf.Pareto.buffer_containers)
+        points;
+      0
+    end
+
+let pareto_cmd =
+  let doc = "sweep objective weights and print the budget/buffer Pareto front" in
+  Cmd.v (Cmd.info "pareto" ~doc)
+    Term.(const do_pareto $ logs_term $ file_arg $ steps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bind                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let strategy_arg =
+  let table =
+    [
+      ("greedy", Budgetbuf.Binding.Greedy_utilization);
+      ("firstfit", Budgetbuf.Binding.First_fit);
+      ("exhaustive", Budgetbuf.Binding.Exhaustive 4096);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum table) Budgetbuf.Binding.Greedy_utilization
+    & info [ "strategy" ] ~docv:"S"
+        ~doc:"Binding strategy: greedy, firstfit, or exhaustive.")
+
+let do_bind () path strategy =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg -> begin
+    match Budgetbuf.Binding.optimize ~strategy cfg with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok o ->
+      List.iter
+        (fun (task, proc) -> Format.printf "bind %s -> %s@." task proc)
+        o.Budgetbuf.Binding.assignment;
+      Format.printf "%a@."
+        (Config.pp_mapped o.Budgetbuf.Binding.config)
+        o.Budgetbuf.Binding.result.Mapping.mapped;
+      Format.printf "objective %.4f after %d binding solve(s)@."
+        o.Budgetbuf.Binding.result.Mapping.rounded_objective
+        o.Budgetbuf.Binding.explored;
+      0
+  end
+
+let bind_cmd =
+  let doc = "search for a task-to-processor binding (paper future work)" in
+  Cmd.v (Cmd.info "bind" ~doc)
+    Term.(const do_bind $ logs_term $ file_arg $ strategy_arg)
+
+(* ------------------------------------------------------------------ *)
+(* latency                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let do_latency () path =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg -> begin
+    match Mapping.solve cfg with
+    | Error e ->
+      Format.eprintf "error: %a@." Mapping.pp_error e;
+      1
+    | Ok r ->
+      let failures = ref 0 in
+      List.iter
+        (fun g ->
+          match
+            Budgetbuf.Latency.chain_bound cfg g r.Mapping.mapped
+          with
+          | Some l ->
+            Format.printf "graph %s: end-to-end latency %.3f (period %.3f)@."
+              (Config.graph_name cfg g) l (Config.period cfg g)
+          | None ->
+            incr failures;
+            Format.printf "graph %s: no periodic schedule@."
+              (Config.graph_name cfg g)
+          | exception Invalid_argument msg ->
+            Format.printf "graph %s: %s@." (Config.graph_name cfg g) msg)
+        (Config.graphs cfg);
+      if !failures = 0 then 0 else 1
+  end
+
+let latency_cmd =
+  let doc = "solve, then report end-to-end latency per task graph" in
+  Cmd.v (Cmd.info "latency" ~doc) Term.(const do_latency $ logs_term $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let srdf_flag =
+  Arg.(
+    value & flag
+    & info [ "srdf" ]
+        ~doc:
+          "Emit the SRDF analysis model (two actors per task, data and \
+           space queues) instead of the task-graph view; requires solving \
+           first to obtain budgets and capacities.")
+
+let do_dot () path srdf =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg ->
+    if not srdf then begin
+      Format.printf "%a" Config.pp_dot cfg;
+      0
+    end
+    else begin
+      match Mapping.solve cfg with
+      | Error e ->
+        Format.eprintf "error: %a@." Mapping.pp_error e;
+        1
+      | Ok r ->
+        List.iter
+          (fun g ->
+            let model =
+              Budgetbuf.Dataflow_model.build cfg g
+                ~budget:r.Mapping.mapped.Config.budget
+                ~capacity:r.Mapping.mapped.Config.capacity
+            in
+            Format.printf "%a" Dataflow.Srdf.pp_dot
+              model.Budgetbuf.Dataflow_model.srdf)
+          (Config.graphs cfg);
+        0
+    end
+
+let dot_cmd =
+  let doc = "emit the configuration (or its SRDF model) in Graphviz DOT" in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const do_dot $ logs_term $ file_arg $ srdf_flag)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let mapped_opt_arg =
+  Arg.(
+    value
+    & pos 1 (some file) None
+    & info [] ~docv:"MAPPED"
+        ~doc:
+          "Mapping file written by solve --output; when omitted the \
+           configuration is solved first.")
+
+let do_analyze () path mapped_path =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg -> begin
+    let mapped =
+      match mapped_path with
+      | Some file -> Result.map_error (fun m -> m) (load_mapped cfg file)
+      | None -> begin
+        match Mapping.solve cfg with
+        | Ok r -> Ok r.Mapping.mapped
+        | Error e -> Error (Format.asprintf "%a" Mapping.pp_error e)
+      end
+    in
+    match mapped with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok mapped ->
+      List.iter
+        (fun g ->
+          Format.printf "graph %s:@." (Config.graph_name cfg g);
+          (match Budgetbuf.Sensitivity.throughput_slack cfg g mapped with
+          | Some slack ->
+            Format.printf "  throughput slack: %.4f (period %.4f)@." slack
+              (Config.period cfg g)
+          | None -> Format.printf "  deadlocked or invalid mapping@.");
+          (match Budgetbuf.Sensitivity.critical_cycle cfg g mapped with
+          | Some c ->
+            Format.printf "  %a@."
+              (Budgetbuf.Sensitivity.pp_critical cfg)
+              c
+          | None -> ());
+          List.iter
+            (fun w ->
+              Format.printf "  budget slack %s: %.4f of %.4f@."
+                (Config.task_name cfg w)
+                (Budgetbuf.Sensitivity.budget_slack cfg g mapped w)
+                (mapped.Config.budget w))
+            (Config.tasks cfg g))
+        (Config.graphs cfg);
+      0
+  end
+
+let analyze_cmd =
+  let doc =
+    "report throughput slack, the critical cycle and per-task budget slack"
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const do_analyze $ logs_term $ file_arg $ mapped_opt_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let do_report () path mapped_path =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg -> begin
+    let mapped =
+      match mapped_path with
+      | Some file -> load_mapped cfg file
+      | None -> begin
+        match Mapping.solve cfg with
+        | Ok r -> Ok r.Mapping.mapped
+        | Error e -> Error (Format.asprintf "%a" Mapping.pp_error e)
+      end
+    in
+    match mapped with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok mapped ->
+      let report = Budgetbuf.Report.build cfg mapped in
+      Format.printf "%a@." (Budgetbuf.Report.pp cfg) report;
+      if report.Budgetbuf.Report.violations = [] then 0 else 1
+  end
+
+let report_cmd =
+  let doc = "summarise a mapping: loads, slack, latency, critical cycles" in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const do_report $ logs_term $ file_arg $ mapped_opt_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sdf                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let serialize_flag =
+  Arg.(
+    value & flag
+    & info [ "serialize" ]
+        ~doc:
+          "Forbid auto-concurrent firings of an actor (chain its copies \
+           with one token).")
+
+let sdf_dot_flag =
+  Arg.(
+    value & flag
+    & info [ "dot" ] ~doc:"Emit the single-rate expansion in Graphviz DOT.")
+
+let do_sdf () path serialize dot =
+  match Dataflow.Sdf_parse.of_file path with
+  | exception Dataflow.Sdf_parse.Parse_error (line, msg) ->
+    Format.eprintf "error: %s:%d: %s@." path line msg;
+    1
+  | exception Sys_error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | t, _find -> begin
+    match Dataflow.Csdf.repetition_vector t with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok q ->
+      Dataflow.Csdf.actors t
+      |> List.iter (fun a ->
+             Format.printf "actor %s: %d phase(s), %d cycle(s) per iteration@."
+               (Dataflow.Csdf.actor_name t a)
+               (Dataflow.Csdf.phases t a)
+               (q a));
+      (match Dataflow.Csdf.expand ~serialize t with
+      | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+      | Ok { Dataflow.Csdf.srdf; _ } ->
+        Format.printf "expansion: %d actors, %d queues@."
+          (Dataflow.Srdf.num_actors srdf)
+          (Dataflow.Srdf.num_edges srdf);
+        if dot then Format.printf "%a" Dataflow.Srdf.pp_dot srdf;
+        (match Dataflow.Csdf.iteration_period ~serialize t with
+        | Ok 0.0 -> Format.printf "iteration period: unbounded pipeline (acyclic)@."
+        | Ok r -> Format.printf "iteration period: %g@." r
+        | Error msg -> Format.printf "iteration period: %s@." msg);
+        0)
+  end
+
+let sdf_cmd =
+  let doc = "analyse a multi-rate (C)SDF graph via single-rate expansion" in
+  Cmd.v (Cmd.info "sdf" ~doc)
+    Term.(const do_sdf $ logs_term $ file_arg $ serialize_flag $ sdf_dot_flag)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc =
+    "simultaneous budget and buffer-size computation for \
+     throughput-constrained task graphs (Wiggers et al., DATE 2010)"
+  in
+  Cmd.group
+    (Cmd.info "budgetbuf" ~version:"1.0.0" ~doc)
+    [
+      solve_cmd; validate_cmd; tradeoff_cmd; experiment_cmd; generate_cmd;
+      pareto_cmd; bind_cmd; latency_cmd; check_cmd; simulate_cmd; dot_cmd;
+      sdf_cmd; analyze_cmd; report_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

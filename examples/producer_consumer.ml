@@ -1,0 +1,54 @@
+(* The paper's first experiment (Section V, Figure 2): explore the
+   non-linear trade-off between budget and buffer size on the
+   producer–consumer task graph T1 by sweeping the buffer capacity cap
+   and minimising the budgets at each point.
+
+   Run with:  dune exec examples/producer_consumer.exe *)
+
+module Config = Taskgraph.Config
+module Mapping = Budgetbuf.Mapping
+module Tradeoff = Budgetbuf.Tradeoff
+module Socp_builder = Budgetbuf.Socp_builder
+
+let () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  let wa = Config.find_task cfg "wa" in
+  let buffers = Config.all_buffers cfg in
+  let caps = List.init 10 (fun i -> i + 1) in
+  Format.printf
+    "Producer-consumer T1: rho=40, chi=1, mu=10 Mcycles (paper Fig. 2)@.@.";
+  Format.printf "  %-10s %-16s %-16s@." "capacity" "budget (Mcycles)"
+    "delta vs d-1";
+  let points = Tradeoff.capacity_sweep cfg ~buffers ~caps in
+  let deltas = Tradeoff.budget_deltas points wa in
+  List.iter
+    (fun (point : Tradeoff.point) ->
+      match Tradeoff.budget_of point wa with
+      | None -> Format.printf "  %-10d infeasible@." point.Tradeoff.cap
+      | Some beta ->
+        let delta =
+          List.assoc_opt point.Tradeoff.cap deltas
+          |> Option.map (Printf.sprintf "%.3f")
+          |> Option.value ~default:"-"
+        in
+        Format.printf "  %-10d %-16.3f %-16s@." point.Tradeoff.cap beta delta)
+    points;
+  Format.printf
+    "@.The trade-off is convex and non-linear: the first extra containers@.\
+     buy ~5 Mcycles of budget each, the last ones almost nothing; capacity@.\
+     10 reaches the self-loop bound beta = rho*chi/mu = 4 and further@.\
+     buffering cannot help (the paper: \"a buffer capacity of 10 containers@.\
+     minimises the budgets\").@.";
+  (* Show the closed-form oracle next to the solver output. *)
+  Format.printf "@.analytic check: beta(d) = ((80-10d) + sqrt((10d-80)^2 + 640))/4, min 4@.";
+  List.iter
+    (fun d ->
+      let df = float_of_int d in
+      let analytic =
+        Float.max 4.0
+          (((80.0 -. (10.0 *. df))
+           +. sqrt ((((10.0 *. df) -. 80.0) ** 2.0) +. 640.0))
+          /. 4.0)
+      in
+      Format.printf "  d=%-3d analytic beta = %.4f@." d analytic)
+    [ 1; 5; 10 ]

@@ -1,0 +1,227 @@
+type var = int
+
+type expr = { terms : (float * var) list; const : float }
+
+(* A cone row-block: the affine expressions whose values form one block
+   of s = h − G·x. *)
+type block = Row_nonneg of expr | Row_soc of expr list
+
+type model = {
+  mutable names : string list; (* reversed *)
+  mutable nvars : int;
+  mutable blocks : block list; (* reversed *)
+  mutable objective : expr;
+  fixed : (var, float) Hashtbl.t;
+}
+
+let create () =
+  {
+    names = [];
+    nvars = 0;
+    blocks = [];
+    objective = { terms = []; const = 0.0 };
+    fixed = Hashtbl.create 8;
+  }
+
+let variable m name =
+  let v = m.nvars in
+  m.names <- name :: m.names;
+  m.nvars <- m.nvars + 1;
+  v
+
+let var v = { terms = [ (1.0, v) ]; const = 0.0 }
+let const k = { terms = []; const = k }
+let term k v = { terms = [ (k, v) ]; const = 0.0 }
+let add e1 e2 = { terms = e1.terms @ e2.terms; const = e1.const +. e2.const }
+let neg e = { terms = List.map (fun (k, v) -> (-.k, v)) e.terms; const = -.e.const }
+let sub e1 e2 = add e1 (neg e2)
+
+let scale k e =
+  { terms = List.map (fun (c, v) -> (k *. c, v)) e.terms; const = k *. e.const }
+
+let sum es = List.fold_left add (const 0.0) es
+let affine ?(const = 0.0) terms = { terms; const }
+
+let add_ge0 m e = m.blocks <- Row_nonneg e :: m.blocks
+let add_le m e1 e2 = add_ge0 m (sub e2 e1)
+let add_ge m e1 e2 = add_ge0 m (sub e1 e2)
+
+let add_eq m e1 e2 =
+  add_le m e1 e2;
+  add_ge m e1 e2
+
+let add_soc m ~head ~tail = m.blocks <- Row_soc (head :: tail) :: m.blocks
+
+let add_hyperbolic m ~a ~b ~bound =
+  add_soc m ~head:(add a b) ~tail:[ sub a b; const (2.0 *. bound) ]
+
+let fix m v value =
+  if v < 0 || v >= m.nvars then invalid_arg "Model.fix: foreign variable";
+  Hashtbl.replace m.fixed v value
+
+let minimize m e = m.objective <- e
+
+let num_variables m = m.nvars
+
+let num_rows m =
+  List.fold_left
+    (fun acc b ->
+      acc + match b with Row_nonneg _ -> 1 | Row_soc es -> List.length es)
+    0 m.blocks
+
+type result = {
+  status : Socp.status;
+  objective : float;
+  value : var -> float;
+  raw : Socp.solution;
+}
+
+(* Fold duplicate variables of an expression into a dense row of G and
+   the matching entry of h: the row states s_row = e(x) = h_row − G_row·x,
+   so G_row = −coeffs and h_row = const.  Variables pinned with [fix]
+   are substituted by their constant here. *)
+let emit_row m g h row e =
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt m.fixed v with
+      | Some value -> h.(row) <- h.(row) +. (k *. value)
+      | None -> Linalg.Mat.update g row v (fun x -> x -. k))
+    e.terms;
+  h.(row) <- h.(row) +. e.const
+
+(* A row block whose variables are all pinned reduces to constants: a
+   satisfied constant row must be dropped (keeping it would pin a slack
+   to the cone boundary and destroy the interior the IPM needs), a
+   violated one proves infeasibility outright. *)
+let constant_value m e =
+  let rec eval acc = function
+    | [] -> Some acc
+    | (k, v) :: rest -> begin
+      match Hashtbl.find_opt m.fixed v with
+      | Some value -> eval (acc +. (k *. value)) rest
+      | None -> None
+    end
+  in
+  eval e.const e.terms
+
+let solve ?params m =
+  let all_blocks = List.rev m.blocks in
+  let infeasible_constant = ref false in
+  let blocks =
+    List.filter
+      (fun b ->
+        match b with
+        | Row_nonneg e -> begin
+          match constant_value m e with
+          | None -> true
+          | Some v ->
+            if v < -1e-9 then infeasible_constant := true;
+            false
+        end
+        | Row_soc es -> begin
+          match
+            List.fold_left
+              (fun acc e ->
+                match (acc, constant_value m e) with
+                | Some vs, Some v -> Some (v :: vs)
+                | _, _ -> None)
+              (Some []) es
+          with
+          | None -> true
+          | Some vs -> begin
+            match List.rev vs with
+            | head :: tail ->
+              let norm =
+                sqrt (List.fold_left (fun a x -> a +. (x *. x)) 0.0 tail)
+              in
+              if head < norm -. 1e-9 then infeasible_constant := true;
+              false
+            | [] -> false
+          end
+        end)
+      all_blocks
+  in
+  if !infeasible_constant then begin
+    let dim0 = Linalg.Vec.create 0 in
+    let raw =
+      {
+        Socp.status = Socp.Primal_infeasible;
+        x = Linalg.Vec.create m.nvars;
+        s = dim0;
+        z = dim0;
+        primal_objective = nan;
+        dual_objective = nan;
+        gap = nan;
+        primal_residual = nan;
+        dual_residual = nan;
+        iterations = 0;
+      }
+    in
+    {
+      status = Socp.Primal_infeasible;
+      objective = nan;
+      value =
+        (fun v ->
+          match Hashtbl.find_opt m.fixed v with Some x -> x | None -> 0.0);
+      raw;
+    }
+  end
+  else begin
+  let mrows =
+    List.fold_left
+      (fun acc b ->
+        acc + match b with Row_nonneg _ -> 1 | Row_soc es -> List.length es)
+      0 blocks
+  in
+  let g = Linalg.Mat.create mrows m.nvars in
+  let h = Linalg.Vec.create mrows in
+  let cone_blocks = ref [] in
+  let row = ref 0 in
+  List.iter
+    (fun b ->
+      match b with
+      | Row_nonneg e ->
+        emit_row m g h !row e;
+        incr row;
+        cone_blocks := Cone.Nonneg 1 :: !cone_blocks
+      | Row_soc es ->
+        List.iter
+          (fun e ->
+            emit_row m g h !row e;
+            incr row)
+          es;
+        cone_blocks := Cone.Soc (List.length es) :: !cone_blocks)
+    blocks;
+  (* Merge runs of scalar orthant rows into larger blocks for speed. *)
+  let merged =
+    List.fold_left
+      (fun acc b ->
+        match (b, acc) with
+        | Cone.Nonneg p, Cone.Nonneg q :: rest -> Cone.Nonneg (p + q) :: rest
+        | _ -> b :: acc)
+      []
+      (List.rev !cone_blocks)
+  in
+  let cone = Cone.make (List.rev merged) in
+  let c = Linalg.Vec.create m.nvars in
+  let obj_fixed = ref m.objective.const in
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt m.fixed v with
+      | Some value -> obj_fixed := !obj_fixed +. (k *. value)
+      | None -> c.(v) <- c.(v) +. k)
+    m.objective.terms;
+  let sol = Socp.solve ?params ~c ~g ~h cone in
+  {
+    status = sol.Socp.status;
+    objective = sol.Socp.primal_objective +. !obj_fixed;
+    value =
+      (fun v ->
+        if v < 0 || v >= m.nvars then invalid_arg "Model.value: foreign variable"
+        else
+          match Hashtbl.find_opt m.fixed v with
+          | Some value -> value
+          | None -> sol.Socp.x.(v));
+    raw = sol;
+  }
+  end

@@ -1,0 +1,89 @@
+(** Algebraic modelling layer over {!Socp}.
+
+    Lets callers build cone programs from named scalar variables and
+    affine expressions instead of assembling the [(c, G, h, K)] data by
+    hand.  Variables are free reals; non-negativity and cone membership
+    are expressed through constraints.  Used by the core library to
+    state Algorithm 1 almost verbatim. *)
+
+type model
+type var
+
+(** Affine expressions [Σ coeffᵢ·varᵢ + const]. *)
+type expr
+
+(** [create ()] is an empty model. *)
+val create : unit -> model
+
+(** [variable m name] declares a fresh free scalar variable. *)
+val variable : model -> string -> var
+
+(** [var v] is the expression consisting of [v] alone. *)
+val var : var -> expr
+
+(** [const k] is the constant expression [k]. *)
+val const : float -> expr
+
+(** [term k v] is [k·v]. *)
+val term : float -> var -> expr
+
+(** [add e1 e2], [sub e1 e2], [neg e], [scale k e] are the affine
+    combinators. *)
+val add : expr -> expr -> expr
+
+val sub : expr -> expr -> expr
+val neg : expr -> expr
+val scale : float -> expr -> expr
+
+(** [sum es] adds a list of expressions. *)
+val sum : expr list -> expr
+
+(** [affine ?const terms] is [Σ k·v + const]. *)
+val affine : ?const:float -> (float * var) list -> expr
+
+(** [add_ge0 m e] constrains [e ≥ 0]. *)
+val add_ge0 : model -> expr -> unit
+
+(** [add_le m e1 e2] constrains [e1 ≤ e2]. *)
+val add_le : model -> expr -> expr -> unit
+
+(** [add_ge m e1 e2] constrains [e1 ≥ e2]. *)
+val add_ge : model -> expr -> expr -> unit
+
+(** [add_eq m e1 e2] constrains [e1 = e2] (as a pair of inequalities,
+    since the interior-point solver works with cone constraints only). *)
+val add_eq : model -> expr -> expr -> unit
+
+(** [add_soc m ~head ~tail] constrains [‖tail‖₂ ≤ head]. *)
+val add_soc : model -> head:expr -> tail:expr list -> unit
+
+(** [add_hyperbolic m ~a ~b ~bound] constrains [a·b ≥ bound²] with
+    [a, b ≥ 0], encoded as the second-order cone constraint
+    [‖(a − b, 2·bound)‖ ≤ a + b].  This is exactly the paper's
+    Constraint (8) [λ·β′ ≥ 1] when [bound = 1]. *)
+val add_hyperbolic : model -> a:expr -> b:expr -> bound:float -> unit
+
+(** [fix m v value] pins variable [v] to a constant.  The variable is
+    eliminated by substitution when the program is assembled — unlike a
+    pair of opposing inequalities this keeps the feasible set's
+    interior non-empty, which interior-point methods require.
+    [value] reported by {!result.value} afterwards. *)
+val fix : model -> var -> float -> unit
+
+(** [minimize m e] sets the objective to minimise [e]. *)
+val minimize : model -> expr -> unit
+
+(** Size introspection, for logging and the benches. *)
+val num_variables : model -> int
+
+val num_rows : model -> int
+
+type result = {
+  status : Socp.status;
+  objective : float;  (** primal objective including constant terms *)
+  value : var -> float;
+  raw : Socp.solution;
+}
+
+(** [solve ?params m] assembles [(c, G, h, K)] and runs {!Socp.solve}. *)
+val solve : ?params:Socp.params -> model -> result

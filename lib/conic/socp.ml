@@ -1,0 +1,375 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Cholesky = Linalg.Cholesky
+
+let src = Logs.Src.create "conic.socp" ~doc:"interior-point SOCP solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type status =
+  | Optimal
+  | Primal_infeasible
+  | Dual_infeasible
+  | Iteration_limit
+  | Stalled
+
+type solution = {
+  status : status;
+  x : Vec.t;
+  s : Vec.t;
+  z : Vec.t;
+  primal_objective : float;
+  dual_objective : float;
+  gap : float;
+  primal_residual : float;
+  dual_residual : float;
+  iterations : int;
+}
+
+type params = {
+  max_iter : int;
+  feastol : float;
+  abstol : float;
+  reltol : float;
+  step_fraction : float;
+}
+
+(* feastol 1e-7 reflects what dense normal-equation KKT solves can
+   reliably deliver; the relaxed exits accept down to 1e3× of these. *)
+let default_params =
+  { max_iter = 100; feastol = 1e-7; abstol = 1e-7; reltol = 1e-7;
+    step_fraction = 0.99 }
+
+let pp_status ppf = function
+  | Optimal -> Format.pp_print_string ppf "optimal"
+  | Primal_infeasible -> Format.pp_print_string ppf "primal infeasible"
+  | Dual_infeasible -> Format.pp_print_string ppf "dual infeasible"
+  | Iteration_limit -> Format.pp_print_string ppf "iteration limit"
+  | Stalled -> Format.pp_print_string ppf "stalled"
+
+(* Solve the 2×2 scaled KKT system
+     Gᵀ·dz        = bx
+     G·dx − W²·dz = bz
+   via dz = W⁻²·(G·dx − bz) and the normal equations
+   (Gᵀ·W⁻²·G)·dx = bx + Gᵀ·W⁻²·bz, factorised once per iteration. *)
+let make_kkt ~gsp w =
+  (* The sparse rows of G have a handful of entries each, so both the
+     scaled matrix W⁻¹·G and its Gram matrix are formed in
+     O(Σ nnz(row)²) instead of densifying. *)
+  let mmat, _scaled =
+    Sparse_rows.scaled_gram gsp ~blocks:(Cone.block_layout w)
+      ~scale_block:(Cone.apply_inv_rows w)
+  in
+  let fact = Cholesky.factor ~max_shift:1e-2 mmat in
+  (* Two rounds of iterative refinement recover the digits lost when the
+     factorisation needed a diagonal shift near convergence. *)
+  let solve_refined rhs =
+    let dx = Cholesky.solve fact rhs in
+    for _ = 1 to 2 do
+      let r = Vec.sub rhs (Mat.mul_vec mmat dx) in
+      Vec.axpy 1.0 (Cholesky.solve fact r) dx
+    done;
+    dx
+  in
+  fun ~bx ~bz ->
+    let wbz = Cone.apply_inv w (Cone.apply_inv w bz) in
+    let rhs = Vec.add bx (Sparse_rows.mul_tvec gsp wbz) in
+    let dx = solve_refined rhs in
+    let dz =
+      Cone.apply_inv w
+        (Cone.apply_inv w (Vec.sub (Sparse_rows.mul_vec gsp dx) bz))
+    in
+    (dx, dz)
+
+(* The solver runs on the homogeneous self-dual embedding
+
+     G·x + s − h·τ          = 0        (s ∈ K)
+     Gᵀ·z + c·τ             = 0        (z ∈ K)
+     −cᵀ·x − hᵀ·z − κ       = 0        (τ, κ ≥ 0)
+
+   whose nonzero solutions encode either an optimal pair (τ > 0) or an
+   infeasibility certificate (κ > 0, τ = 0).  This avoids the classic
+   failure of plain infeasible-start methods where the complementarity
+   gap collapses before the residuals do. *)
+let solve ?(params = default_params) ~c ~g ~h cone =
+  let n = Vec.dim c and m = Vec.dim h in
+  if Mat.rows g <> m || Mat.cols g <> n then
+    invalid_arg "Socp.solve: G dimensions do not match c and h";
+  if Cone.dim cone <> m then invalid_arg "Socp.solve: cone dimension";
+  let gsp = Sparse_rows.of_mat g in
+  if m = 0 then begin
+    (* No constraints: optimum 0 iff c = 0, otherwise unbounded below. *)
+    let status =
+      if Vec.nrm2 c <= params.feastol then Optimal else Dual_infeasible
+    in
+    {
+      status;
+      x = Vec.create n;
+      s = Vec.create 0;
+      z = Vec.create 0;
+      primal_objective = 0.0;
+      dual_objective = 0.0;
+      gap = 0.0;
+      primal_residual = 0.0;
+      dual_residual = Vec.nrm2 c;
+      iterations = 0;
+    }
+  end
+  else begin
+    let deg = float_of_int (Cone.degree cone + 1) in
+    let norm_h = Float.max 1.0 (Vec.nrm2 h)
+    and norm_c = Float.max 1.0 (Vec.nrm2 c) in
+    let e = Cone.identity cone in
+    let x = ref (Vec.create n)
+    and s = ref (Vec.copy e)
+    and z = ref (Vec.copy e)
+    and tau = ref 1.0
+    and kappa = ref 1.0 in
+    (* Best iterate seen so far: near the numerical floor later
+       iterations can degrade, so Stalled/Iteration_limit exits restore
+       the snapshot with the smallest combined error. *)
+    let best_score = ref infinity in
+    let best_state = ref None in
+    let last_improvement = ref 0 in
+    let scaled () =
+      let t = !tau in
+      ( Vec.scale (1.0 /. t) !x,
+        Vec.scale (1.0 /. t) !s,
+        Vec.scale (1.0 /. t) !z )
+    in
+    let result status iterations =
+      let xt, st, zt = scaled () in
+      let pres =
+        Vec.nrm2 (Vec.sub (Vec.add (Sparse_rows.mul_vec gsp xt) st) h) /. norm_h
+      in
+      let dres = Vec.nrm2 (Vec.add (Sparse_rows.mul_tvec gsp zt) c) /. norm_c in
+      {
+        status;
+        x = xt;
+        s = st;
+        z = zt;
+        primal_objective = Vec.dot c xt;
+        dual_objective = -.Vec.dot h zt;
+        gap = Vec.dot st zt;
+        primal_residual = pres;
+        dual_residual = dres;
+        iterations;
+      }
+    in
+    let result_certificate status iterations =
+      (* Report the raw homogeneous ray, normalised by the certificate
+         magnitude rather than by τ. *)
+      let denom =
+        match status with
+        | Primal_infeasible -> Float.max 1e-300 (-.Vec.dot h !z)
+        | _ -> Float.max 1e-300 (-.Vec.dot c !x)
+      in
+      {
+        status;
+        x = Vec.scale (1.0 /. denom) !x;
+        s = Vec.scale (1.0 /. denom) !s;
+        z = Vec.scale (1.0 /. denom) !z;
+        primal_objective = nan;
+        dual_objective = nan;
+        gap = nan;
+        primal_residual = nan;
+        dual_residual = nan;
+        iterations;
+      }
+    in
+    let rec iterate iter =
+      (* Homogeneous residuals. *)
+      let hx = Sparse_rows.mul_vec gsp !x in
+      let res_z =
+        (* G·x + s − h·τ *)
+        let r = Vec.add hx !s in
+        Vec.axpy (-. !tau) h r;
+        r
+      in
+      let res_x =
+        (* Gᵀ·z + c·τ *)
+        let r = Sparse_rows.mul_tvec gsp !z in
+        Vec.axpy !tau c r;
+        r
+      in
+      let res_tau = -.Vec.dot c !x -. Vec.dot h !z -. !kappa in
+      let gap_h = Vec.dot !s !z +. (!tau *. !kappa) in
+      let mu = gap_h /. deg in
+      (* Convergence checks on the τ-scaled iterate. *)
+      let xt, st, zt = scaled () in
+      let pres =
+        Vec.nrm2 (Vec.sub (Vec.add (Sparse_rows.mul_vec gsp xt) st) h) /. norm_h
+      in
+      let dres = Vec.nrm2 (Vec.add (Sparse_rows.mul_tvec gsp zt) c) /. norm_c in
+      let pcost = Vec.dot c xt and dcost = -.Vec.dot h zt in
+      let gap = Vec.dot st zt in
+      let relgap =
+        let denom =
+          Float.max 1.0 (Float.min (Float.abs pcost) (Float.abs dcost))
+        in
+        Float.abs (pcost -. dcost) /. denom
+      in
+      Log.debug (fun f ->
+          f
+            "iter %2d  pcost % .6e  dcost % .6e  gap %.2e  pres %.2e  dres \
+             %.2e  tau %.2e  kappa %.2e"
+            iter pcost dcost gap pres dres !tau !kappa);
+      (* Relaxed acceptance used when progress dries up: the iterate is
+         still returned as Optimal if it is accurate to ~1e3× the target
+         tolerances (mirrors the "close to optimal" exit of ECOS). *)
+      let score_of pres dres gap relgap =
+        Float.max (Float.max pres dres)
+          (Float.min (Float.max 0.0 gap) (Float.max 0.0 relgap))
+      in
+      let score = score_of pres dres gap relgap in
+      if score < 0.9 *. !best_score then last_improvement := iter;
+      if score < !best_score then begin
+        best_score := score;
+        best_state :=
+          Some (Vec.copy !x, Vec.copy !s, Vec.copy !z, !tau)
+      end;
+      let restore_best () =
+        match !best_state with
+        | None -> ()
+        | Some (bx, bs, bz, bt) ->
+          x := bx;
+          s := bs;
+          z := bz;
+          tau := bt
+      in
+      let accept_at scale =
+        pres <= params.feastol *. scale
+        && dres <= params.feastol *. scale
+        && (gap <= params.abstol *. scale || relgap <= params.reltol *. scale)
+      in
+      let finish_or status =
+        (* τ collapsing while κ stays bounded is the homogeneous
+           embedding's infeasibility ray even when the algebraic
+           certificate has not fully converged. *)
+        if !kappa > 1e6 *. !tau then begin
+          if Vec.dot h !z < 0.0 then result_certificate Primal_infeasible iter
+          else if Vec.dot c !x < 0.0 then
+            result_certificate Dual_infeasible iter
+          else result status iter
+        end
+        else begin
+          restore_best ();
+          let scale = !best_score /. params.feastol in
+          if scale <= 1e3 then result Optimal iter else result status iter
+        end
+      in
+      if accept_at 1.0 then result Optimal iter
+      else if iter - !last_improvement > 8 then finish_or Stalled
+      else begin
+        (* Certificate checks: κ dominating τ signals infeasibility. *)
+        let hz = Vec.dot h !z and cx = Vec.dot c !x in
+        let cert_threshold = params.feastol in
+        let primal_cert =
+          hz < 0.0
+          && Vec.nrm2 (Sparse_rows.mul_tvec gsp !z) /. (-.hz)
+             <= cert_threshold *. norm_c
+        in
+        let dual_cert =
+          cx < 0.0
+          && Vec.nrm2 (Vec.add (Sparse_rows.mul_vec gsp !x) !s) /. (-.cx)
+             <= cert_threshold *. norm_h
+        in
+        if !kappa > 1e6 *. !tau && primal_cert then
+          result_certificate Primal_infeasible iter
+        else if !kappa > 1e6 *. !tau && dual_cert then
+          result_certificate Dual_infeasible iter
+        else if iter >= params.max_iter then
+          if primal_cert then result_certificate Primal_infeasible iter
+          else if dual_cert then result_certificate Dual_infeasible iter
+          else finish_or Iteration_limit
+        else begin
+          match Cone.nt_scaling cone ~s:!s ~z:!z with
+          | exception Invalid_argument _ -> finish_or Stalled
+          | w -> begin
+            match make_kkt ~gsp w with
+            | exception Cholesky.Not_positive_definite -> finish_or Stalled
+            | kkt ->
+              let lam = Cone.lambda w in
+              (* Constant second solve: (x₂, z₂) with rhs (−c, h). *)
+              let x2, z2 = kkt ~bx:(Vec.neg c) ~bz:h in
+              let ctx2 = Vec.dot c x2 and htz2 = Vec.dot h z2 in
+              let denom_tau = (!kappa /. !tau) -. ctx2 -. htz2 in
+              (* One Newton direction for right-hand sides (ds, dkappa)
+                 of the complementarity equations. *)
+              let direction ~ds ~dkappa =
+                let lam_div = Cone.div cone lam ds in
+                let bz =
+                  (* Δs is eliminated as Δs = W·(λ\ds) − W²·Δz, so the
+                     primal row becomes G·Δx − W²·Δz = −res_z − W·(λ\ds)
+                     (+ h·Δτ handled via the second solve). *)
+                  let b = Vec.neg res_z in
+                  Vec.axpy (-1.0) (Cone.apply w lam_div) b;
+                  b
+                in
+                let x1, z1 = kkt ~bx:(Vec.neg res_x) ~bz in
+                let dtau =
+                  (-.res_tau +. (dkappa /. !tau) +. Vec.dot c x1
+                 +. Vec.dot h z1)
+                  /. denom_tau
+                in
+                let dx = Vec.copy x1 in
+                Vec.axpy dtau x2 dx;
+                let dz = Vec.copy z1 in
+                Vec.axpy dtau z2 dz;
+                let ds =
+                  (* W·(λ\ds) − W²·Δz *)
+                  let t = Vec.sub lam_div (Cone.apply w dz) in
+                  Cone.apply w t
+                in
+                let dkap = (dkappa -. (!kappa *. dtau)) /. !tau in
+                (dx, ds, dz, dtau, dkap)
+              in
+              let max_step_all (_, ds, dz, dtau, dkap) =
+                let a = Cone.max_step cone !s ds in
+                let b = Cone.max_step cone !z dz in
+                let c1 = if dtau < 0.0 then -. !tau /. dtau else infinity in
+                let c2 = if dkap < 0.0 then -. !kappa /. dkap else infinity in
+                Float.min (Float.min a b) (Float.min c1 c2)
+              in
+              (* Predictor. *)
+              let aff =
+                direction
+                  ~ds:(Vec.neg (Cone.prod cone lam lam))
+                  ~dkappa:(-. (!tau *. !kappa))
+              in
+              let alpha_a = Float.min 1.0 (max_step_all aff) in
+              let sigma = (1.0 -. alpha_a) ** 3.0 in
+              (* Corrector with Mehrotra second-order term. *)
+              let _, ds_a, dz_a, dtau_a, dkap_a = aff in
+              let corr_s =
+                Cone.prod cone (Cone.apply_inv w ds_a) (Cone.apply w dz_a)
+              in
+              let ds_rhs =
+                (* σµe − λ∘λ − corr *)
+                let d = Vec.scale (-1.0) (Cone.prod cone lam lam) in
+                Vec.axpy (-1.0) corr_s d;
+                Vec.axpy (sigma *. mu) e d;
+                d
+              in
+              let dkappa_rhs =
+                (sigma *. mu) -. (!tau *. !kappa) -. (dtau_a *. dkap_a)
+              in
+              let dir = direction ~ds:ds_rhs ~dkappa:dkappa_rhs in
+              let dx, ds, dz, dtau, dkap = dir in
+              let alpha = max_step_all dir in
+              let step = Float.min 1.0 (params.step_fraction *. alpha) in
+              if step <= 1e-12 || Float.is_nan step then finish_or Stalled
+              else begin
+                Vec.axpy step dx !x;
+                Vec.axpy step ds !s;
+                Vec.axpy step dz !z;
+                tau := !tau +. (step *. dtau);
+                kappa := !kappa +. (step *. dkap);
+                iterate (iter + 1)
+              end
+          end
+        end
+      end
+    in
+    iterate 0
+  end

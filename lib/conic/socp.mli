@@ -1,0 +1,62 @@
+(** Primal–dual interior-point solver for cone programs
+
+    {v minimize    cᵀx
+       subject to  G·x + s = h,   s ∈ K v}
+
+    where [K] is a product of non-negative orthants and second-order
+    cones ({!Cone}).  The dual is
+    [maximize −hᵀz  s.t.  Gᵀz + c = 0, z ∈ K].
+
+    The implementation is an infeasible-start Mehrotra
+    predictor–corrector method with Nesterov–Todd scaling, solving the
+    KKT systems through the normal equations
+    [Gᵀ·W⁻²·G·Δx = r] with a shifted Cholesky factorisation — the
+    polynomial-complexity method the paper relies on (via CPLEX) to
+    solve Algorithm 1. *)
+
+type status =
+  | Optimal
+  | Primal_infeasible
+      (** a certificate [z ⪰ 0, Gᵀz ≈ 0, hᵀz < 0] was found *)
+  | Dual_infeasible
+      (** a certificate [Gx + s ≈ 0, s ⪰ 0, cᵀx < 0] was found
+          (the primal is unbounded below) *)
+  | Iteration_limit
+  | Stalled  (** step sizes collapsed before reaching the tolerance *)
+
+type solution = {
+  status : status;
+  x : Linalg.Vec.t;
+  s : Linalg.Vec.t;
+  z : Linalg.Vec.t;
+  primal_objective : float;
+  dual_objective : float;
+  gap : float;          (** complementarity gap [sᵀz] *)
+  primal_residual : float;  (** relative norm of [Gx + s − h] *)
+  dual_residual : float;    (** relative norm of [Gᵀz + c] *)
+  iterations : int;
+}
+
+type params = {
+  max_iter : int;      (** default 100 *)
+  feastol : float;     (** residual tolerance, default 1e-8 *)
+  abstol : float;      (** absolute gap tolerance, default 1e-8 *)
+  reltol : float;      (** relative gap tolerance, default 1e-8 *)
+  step_fraction : float;  (** fraction-to-boundary, default 0.99 *)
+}
+
+val default_params : params
+
+(** [solve ?params ~c ~g ~h cone] solves the cone program.
+    @raise Invalid_argument on dimension mismatch between [c], [g], [h]
+    and [cone]. *)
+val solve :
+  ?params:params ->
+  c:Linalg.Vec.t ->
+  g:Linalg.Mat.t ->
+  h:Linalg.Vec.t ->
+  Cone.t ->
+  solution
+
+(** [pp_status ppf st] prints a status for logs and error messages. *)
+val pp_status : Format.formatter -> status -> unit

@@ -1,0 +1,72 @@
+type t = { m : int; n : int; rows : (int * float) list array }
+
+let of_mat a =
+  let m = Linalg.Mat.rows a and n = Linalg.Mat.cols a in
+  let rows =
+    Array.init m (fun i ->
+        let entries = ref [] in
+        for j = n - 1 downto 0 do
+          let v = Linalg.Mat.get a i j in
+          if v <> 0.0 then entries := (j, v) :: !entries
+        done;
+        !entries)
+  in
+  { m; n; rows }
+
+let rows t = t.m
+let cols t = t.n
+let nnz t = Array.fold_left (fun acc r -> acc + List.length r) 0 t.rows
+
+let row t i =
+  if i < 0 || i >= t.m then invalid_arg "Sparse_rows.row: out of range";
+  t.rows.(i)
+
+let mul_vec t x =
+  if Linalg.Vec.dim x <> t.n then invalid_arg "Sparse_rows.mul_vec: dimension";
+  Array.init t.m (fun i ->
+      List.fold_left (fun acc (j, v) -> acc +. (v *. x.(j))) 0.0 t.rows.(i))
+
+let mul_tvec t y =
+  if Linalg.Vec.dim y <> t.m then invalid_arg "Sparse_rows.mul_tvec: dimension";
+  let out = Array.make t.n 0.0 in
+  for i = 0 to t.m - 1 do
+    let yi = y.(i) in
+    if yi <> 0.0 then
+      List.iter (fun (j, v) -> out.(j) <- out.(j) +. (v *. yi)) t.rows.(i)
+  done;
+  out
+
+let scaled_gram t ~blocks ~scale_block =
+  let scaled = Array.make t.m [] in
+  List.iter
+    (fun (lo, len) ->
+      let block_rows = Array.init len (fun k -> t.rows.(lo + k)) in
+      let out = scale_block lo block_rows in
+      if Array.length out <> len then
+        invalid_arg "Sparse_rows.scaled_gram: scale_block changed the size";
+      Array.iteri (fun k r -> scaled.(lo + k) <- r) out)
+    blocks;
+  let b = { t with rows = scaled } in
+  let gram = Linalg.Mat.create t.n t.n in
+  Array.iter
+    (fun entries ->
+      (* Accumulate the outer product of one sparse row (upper triangle). *)
+      let rec outer = function
+        | [] -> ()
+        | (j, vj) :: rest ->
+          Linalg.Mat.update gram j j (fun x -> x +. (vj *. vj));
+          List.iter
+            (fun (k, vk) ->
+              Linalg.Mat.update gram j k (fun x -> x +. (vj *. vk)))
+            rest;
+          outer rest
+      in
+      outer entries)
+    scaled;
+  (* Mirror into the lower triangle. *)
+  for i = 0 to t.n - 1 do
+    for j = i + 1 to t.n - 1 do
+      Linalg.Mat.set gram j i (Linalg.Mat.get gram i j)
+    done
+  done;
+  (gram, b)

@@ -1,0 +1,46 @@
+(** Sparse row-wise matrix view used by the interior-point KKT
+    assembly.
+
+    The constraint matrices of Algorithm 1 have a handful of nonzeros
+    per row (a start-time difference, a budget or token coefficient),
+    so forming the normal-equation matrix [GᵀW⁻²G] row by row costs
+    [O(Σ nnz(row)²)] instead of the dense [O(n²·m)] — the difference
+    between milliseconds and seconds beyond a few dozen tasks. *)
+
+type t
+
+(** [of_mat a] extracts the sparse rows of a dense matrix. *)
+val of_mat : Linalg.Mat.t -> t
+
+(** [rows t] and [cols t] are the logical dimensions. *)
+val rows : t -> int
+
+val cols : t -> int
+
+(** [nnz t] is the total number of stored entries. *)
+val nnz : t -> int
+
+(** [row t i] is the [(column, value)] list of row [i] in increasing
+    column order. *)
+val row : t -> int -> (int * float) list
+
+(** [mul_vec t x] is [A·x]. *)
+val mul_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+(** [mul_tvec t y] is [Aᵀ·y]. *)
+val mul_tvec : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+(** [scaled_gram t ~scale_rows] computes [BᵀB] (dense, symmetric) where
+    the rows of [B] are produced from the rows of [t] by
+    [scale_rows]: for each contiguous row block [lo..hi] (supplied as
+    the block list [blocks], matching a cone structure) the callback
+    receives the block's sparse rows and returns the scaled sparse
+    rows.  Used to apply the per-block NT scaling [W⁻¹] without
+    densifying. *)
+val scaled_gram :
+  t ->
+  blocks:(int * int) list ->
+  scale_block:(int -> (int * float) list array -> (int * float) list array) ->
+  Linalg.Mat.t * t
+(** Returns both the dense Gram matrix [BᵀB] and [B] itself (sparse)
+    for subsequent products. *)

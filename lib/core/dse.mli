@@ -1,0 +1,37 @@
+(** Throughput-oriented design-space exploration.
+
+    The paper takes the throughput requirement [µ] as an input; the
+    dual question a designer asks is "what is the best throughput these
+    resources can sustain?".  This module answers it by bisecting over
+    a common scale factor on all graph periods and re-running the joint
+    budget/buffer program at each probe — yielding the minimum feasible
+    period and, swept against a buffer-capacity cap, the classic
+    throughput/buffer trade-off curve (Stuijk et al., DAC 2007, the
+    two-phase flow the paper's Section I contrasts against). *)
+
+(** [with_periods cfg ~scale] clones [cfg] with every task graph's
+    period multiplied by [scale].
+    @raise Invalid_argument if [scale <= 0]. *)
+val with_periods : Taskgraph.Config.t -> scale:float -> Taskgraph.Config.t
+
+(** [min_period_scale ?tolerance ?params cfg] is the smallest factor
+    [s] such that the configuration with all periods scaled by [s] is
+    feasible, found by bisection to relative [tolerance] (default
+    1e-4).  [s ≤ 1] means the stated requirements hold with margin;
+    [s > 1] means they must be relaxed by that factor.  [None] when
+    even a 1000× relaxation is infeasible (a structural dead end such
+    as an over-full memory). *)
+val min_period_scale :
+  ?tolerance:float -> ?params:Conic.Socp.params -> Taskgraph.Config.t ->
+  float option
+
+(** [throughput_curve ?params cfg ~caps] sweeps a shared buffer
+    capacity cap and reports, per cap, the minimal feasible period of
+    the {e first} task graph (single-graph configurations being the
+    common case).  Points whose cap admits no feasible period are
+    omitted. *)
+val throughput_curve :
+  ?params:Conic.Socp.params ->
+  Taskgraph.Config.t ->
+  caps:int list ->
+  (int * float) list

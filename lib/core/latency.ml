@@ -1,0 +1,36 @@
+module Config = Taskgraph.Config
+module Srdf = Dataflow.Srdf
+module Analysis = Dataflow.Analysis
+
+let bound cfg g (mapped : Config.mapped) ~src ~dst =
+  if Config.task_graph cfg src <> g || Config.task_graph cfg dst <> g then
+    invalid_arg "Latency.bound: tasks of another graph";
+  match
+    Dataflow_model.build cfg g ~budget:mapped.Config.budget
+      ~capacity:mapped.Config.capacity
+  with
+  | exception Invalid_argument _ -> None
+  | model -> begin
+    let srdf = model.Dataflow_model.srdf in
+    match Analysis.pas_start_times srdf ~period:(Config.period cfg g) with
+    | None -> None
+    | Some s ->
+      let v_src = model.Dataflow_model.actor1 src
+      and v_dst = model.Dataflow_model.actor2 dst in
+      Some
+        (s.(Srdf.actor_id v_dst) +. Srdf.duration srdf v_dst
+        -. s.(Srdf.actor_id v_src))
+  end
+
+let chain_bound cfg g mapped =
+  let tasks = Config.tasks cfg g and buffers = Config.buffers cfg g in
+  let has_input w = List.exists (fun b -> Config.buffer_dst cfg b = w) buffers in
+  let has_output w = List.exists (fun b -> Config.buffer_src cfg b = w) buffers in
+  match
+    ( List.filter (fun w -> not (has_input w)) tasks,
+      List.filter (fun w -> not (has_output w)) tasks )
+  with
+  | [ src ], [ dst ] -> bound cfg g mapped ~src ~dst
+  | _ ->
+    invalid_arg
+      "Latency.chain_bound: the graph has no unique source/sink pair"

@@ -1,0 +1,35 @@
+(** End-to-end latency of a mapped task graph.
+
+    Once budgets and buffer capacities are fixed, the periodic
+    admissible schedule realising the throughput also yields latency
+    numbers: data item [k] is accepted when the source's waiting actor
+    starts its [k]-th firing and delivered when the sink's processing
+    actor finishes its [k]-th firing, so under a PAS with start times
+    [s] the per-item latency is the constant
+
+    {v s(dst.v2) + ρ(dst.v2) − s(src.v1) v}
+
+    The start times used here are the component-wise smallest ones
+    (Bellman–Ford potentials), i.e. the earliest admissible periodic
+    schedule. *)
+
+(** [bound cfg g mapped ~src ~dst] is the latency (in Mcycles) from the
+    activation of [src] to the completion of [dst] under the earliest
+    PAS with period [µ(g)]; [None] when the mapped graph admits no such
+    schedule.
+    @raise Invalid_argument if the tasks do not belong to [g]. *)
+val bound :
+  Taskgraph.Config.t ->
+  Taskgraph.Config.graph ->
+  Taskgraph.Config.mapped ->
+  src:Taskgraph.Config.task ->
+  dst:Taskgraph.Config.task ->
+  float option
+
+(** [chain_bound cfg g mapped] is [bound] from the (unique) task with
+    no incoming buffer to the (unique) task with no outgoing buffer.
+    @raise Invalid_argument when the graph is not a chain in that
+    sense. *)
+val chain_bound :
+  Taskgraph.Config.t -> Taskgraph.Config.graph -> Taskgraph.Config.mapped ->
+  float option

@@ -1,0 +1,132 @@
+module Config = Taskgraph.Config
+module Socp = Conic.Socp
+module Model = Conic.Model
+
+type stats = {
+  variables : int;
+  rows : int;
+  iterations : int;
+  solve_time_s : float;
+}
+
+type result = {
+  mapped : Config.mapped;
+  continuous : Socp_builder.continuous;
+  objective : float;
+  rounded_objective : float;
+  verification : string list;
+  stats : stats;
+}
+
+type error = Infeasible of string | Solver_failure of string
+
+let pp_error ppf = function
+  | Infeasible msg -> Format.fprintf ppf "infeasible: %s" msg
+  | Solver_failure msg -> Format.fprintf ppf "solver failure: %s" msg
+
+(* The tolerance matches the solver accuracy: a continuous value within
+   1e-6 of a grid point is snapped down rather than rounded a whole
+   granule up.  [solve] re-verifies the rounded mapping and falls back
+   to strict (eps = 0) rounding should the snap ever be unsound. *)
+let round_eps = 1e-6
+
+let round_budget_eps ~eps ~granularity beta' =
+  let q = ceil ((beta' /. granularity) -. eps) in
+  granularity *. Float.max 1.0 q
+
+let round_capacity_eps ~eps ~initial_tokens delta' =
+  let q = int_of_float (ceil (delta' -. eps)) in
+  Int.max 1 (initial_tokens + Int.max 0 q)
+
+let round_budget ~granularity beta' =
+  round_budget_eps ~eps:round_eps ~granularity beta'
+
+let round_capacity ~initial_tokens delta' =
+  round_capacity_eps ~eps:round_eps ~initial_tokens delta'
+
+let solve ?params cfg =
+  let builder = Socp_builder.build cfg in
+  let t0 = Unix.gettimeofday () in
+  let result = Model.solve ?params builder.Socp_builder.model in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let stats =
+    {
+      variables = Model.num_variables builder.Socp_builder.model;
+      rows = Model.num_rows builder.Socp_builder.model;
+      iterations = result.Model.raw.Socp.iterations;
+      solve_time_s = elapsed;
+    }
+  in
+  match result.Model.status with
+  | Socp.Primal_infeasible ->
+    Error
+      (Infeasible
+         "no budget and buffer assignment satisfies the throughput \
+          requirement under the given processor, memory and capacity bounds")
+  | Socp.Dual_infeasible ->
+    (* Objective (5) has non-negative weights over non-negative
+       variables, so unboundedness indicates a modelling error. *)
+    Error (Solver_failure "cone program reported unbounded (dual infeasible)")
+  | Socp.Iteration_limit | Socp.Stalled ->
+    Error
+      (Solver_failure
+         (Format.asprintf "interior-point method stopped with status %a"
+            Socp.pp_status result.Model.status))
+  | Socp.Optimal ->
+    let continuous = Socp_builder.extract cfg builder result in
+    let granularity = Config.granularity cfg in
+    let mapped_with eps =
+      let budgets =
+        List.map
+          (fun w ->
+            ( Config.task_id w,
+              round_budget_eps ~eps ~granularity
+                (continuous.Socp_builder.budget w) ))
+          (Config.all_tasks cfg)
+      in
+      let capacities =
+        List.map
+          (fun b ->
+            ( Config.buffer_id b,
+              round_capacity_eps ~eps
+                ~initial_tokens:(Config.initial_tokens cfg b)
+                (continuous.Socp_builder.space b) ))
+          (Config.all_buffers cfg)
+      in
+      {
+        Config.budget = (fun w -> List.assoc (Config.task_id w) budgets);
+        Config.capacity = (fun b -> List.assoc (Config.buffer_id b) capacities);
+      }
+    in
+    (* Snap near-grid values first; if the exact re-check rejects that
+       (possible only when the optimum genuinely sits past a grid
+       point), fall back to the strictly conservative rounding. *)
+    let mapped =
+      let snapped = mapped_with round_eps in
+      if Dataflow_model.verify cfg snapped = [] then snapped
+      else mapped_with 0.0
+    in
+    let rounded_objective =
+      List.fold_left
+        (fun acc w ->
+          acc +. (Config.task_weight cfg w *. mapped.Config.budget w))
+        0.0 (Config.all_tasks cfg)
+      +. List.fold_left
+           (fun acc b ->
+             acc
+             +. Config.buffer_weight cfg b
+                *. float_of_int
+                     (Config.container_size cfg b
+                     * (mapped.Config.capacity b - Config.initial_tokens cfg b)))
+           0.0 (Config.all_buffers cfg)
+    in
+    let verification = Dataflow_model.verify cfg mapped in
+    Ok
+      {
+        mapped;
+        continuous;
+        objective = continuous.Socp_builder.objective;
+        rounded_objective;
+        verification;
+        stats;
+      }

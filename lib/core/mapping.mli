@@ -1,0 +1,56 @@
+(** The joint budget and buffer-size computation flow — the paper's
+    headline contribution.
+
+    [solve] builds Algorithm 1 for the whole configuration, runs the
+    interior-point solver, applies the conservative roundings
+    [β = g·⌈β′/g⌉] and [γ = ι + ⌈δ′⌉], and re-verifies the rounded
+    mapping against the exact dataflow feasibility test (Constraint (1)
+    via Bellman–Ford), the processor budget capacities and the memory
+    capacities.  By the monotonicity argument of Section IV the
+    verification must succeed whenever the solver returned an optimal
+    continuous point; it is nevertheless checked and reported. *)
+
+type stats = {
+  variables : int;
+  rows : int;
+  iterations : int;
+  solve_time_s : float;  (** wall-clock time of the cone solve *)
+}
+
+type result = {
+  mapped : Taskgraph.Config.mapped;
+  continuous : Socp_builder.continuous;
+      (** the pre-rounding optimum, for reporting the trade-off curves *)
+  objective : float;  (** continuous optimum of Objective (5) *)
+  rounded_objective : float;
+      (** Objective (5) evaluated on the rounded β, γ *)
+  verification : string list;
+      (** violations found when re-checking the rounded mapping; empty
+          in normal operation *)
+  stats : stats;
+}
+
+type error =
+  | Infeasible of string
+      (** the cone program is primal infeasible: no budget/buffer
+          assignment meets the throughput requirement under the given
+          processor, memory and capacity bounds *)
+  | Solver_failure of string
+      (** the interior-point method returned an unusable status *)
+
+(** [solve ?params cfg] runs the full flow.  [params] tunes the
+    interior-point solver. *)
+val solve :
+  ?params:Conic.Socp.params -> Taskgraph.Config.t -> (result, error) Stdlib.result
+
+(** [round_budget ~granularity beta'] is [g·⌈β′/g⌉] with a small
+    tolerance so values within 1e-9 of a grid point do not round up an
+    extra granule. *)
+val round_budget : granularity:float -> float -> float
+
+(** [round_capacity ~initial_tokens delta'] is
+    [max 1 (ι + ⌈δ′⌉)] with the same tolerance. *)
+val round_capacity : initial_tokens:int -> float -> int
+
+(** [pp_error ppf e] prints an error. *)
+val pp_error : Format.formatter -> error -> unit

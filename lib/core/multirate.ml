@@ -1,0 +1,274 @@
+module Config = Taskgraph.Config
+module Sdf = Dataflow.Sdf
+
+type rtask = int
+type rchannel = int
+
+type task_info = {
+  tname : string;
+  tgraph : string;
+  tproc : Config.proc;
+  wcet : float;
+  tweight : float;
+}
+
+type channel_info = {
+  cname : string;
+  cgraph : string;
+  csrc : rtask;
+  production : int;
+  cdst : rtask;
+  consumption : int;
+  initial : int;
+  container_size : int;
+  cweight : float;
+}
+
+type t = {
+  config_seed : Config.t; (* holds processors and memories *)
+  mutable graph_periods : (string * float) list; (* reversed *)
+  mutable task_infos : task_info list; (* reversed *)
+  mutable ntasks : int;
+  mutable channel_infos : channel_info list; (* reversed *)
+  mutable nchannels : int;
+  mutable default_memory : Config.memory option;
+}
+
+let create ~granularity () =
+  {
+    config_seed = Config.create ~granularity ();
+    graph_periods = [];
+    task_infos = [];
+    ntasks = 0;
+    channel_infos = [];
+    nchannels = 0;
+    default_memory = None;
+  }
+
+let add_processor t ~name ~replenishment ?overhead () =
+  Config.add_processor t.config_seed ~name ~replenishment ?overhead ()
+
+let add_memory t ~name ~capacity =
+  let m = Config.add_memory t.config_seed ~name ~capacity in
+  if t.default_memory = None then t.default_memory <- Some m;
+  m
+
+let add_graph t ~name ~period =
+  if List.mem_assoc name t.graph_periods then
+    invalid_arg "Multirate.add_graph: duplicate graph name";
+  if period <= 0.0 then invalid_arg "Multirate.add_graph: period must be > 0";
+  t.graph_periods <- (name, period) :: t.graph_periods
+
+let task_info t w = List.nth t.task_infos (t.ntasks - 1 - w)
+
+let add_task t ~graph ~name ~proc ~wcet ?(weight = 1.0) () =
+  if not (List.mem_assoc graph t.graph_periods) then
+    invalid_arg "Multirate.add_task: unknown graph";
+  if wcet <= 0.0 then invalid_arg "Multirate.add_task: wcet must be > 0";
+  if List.exists (fun i -> i.tname = name) t.task_infos then
+    invalid_arg "Multirate.add_task: duplicate task name";
+  let w = t.ntasks in
+  t.task_infos <-
+    { tname = name; tgraph = graph; tproc = proc; wcet; tweight = weight }
+    :: t.task_infos;
+  t.ntasks <- w + 1;
+  w
+
+let add_channel t ~name ~src ~production ~dst ~consumption
+    ?(initial_tokens = 0) ?(container_size = 1) ?(weight = 1.0) () =
+  if production <= 0 || consumption <= 0 then
+    invalid_arg "Multirate.add_channel: rates must be > 0";
+  if initial_tokens < 0 then
+    invalid_arg "Multirate.add_channel: initial tokens must be >= 0";
+  let si = task_info t src and di = task_info t dst in
+  if si.tgraph <> di.tgraph then
+    invalid_arg "Multirate.add_channel: tasks of different graphs";
+  if List.exists (fun i -> i.cname = name) t.channel_infos then
+    invalid_arg "Multirate.add_channel: duplicate channel name";
+  let c = t.nchannels in
+  t.channel_infos <-
+    {
+      cname = name;
+      cgraph = si.tgraph;
+      csrc = src;
+      production;
+      cdst = dst;
+      consumption;
+      initial = initial_tokens;
+      container_size;
+      cweight = weight;
+    }
+    :: t.channel_infos;
+  t.nchannels <- c + 1;
+  c
+
+type provenance = {
+  config : Config.t;
+  copies : rtask -> Config.task list;
+  fifos : rchannel -> Config.buffer list;
+  task_budget : Config.mapped -> rtask -> float;
+  channel_capacity : Config.mapped -> rchannel -> int;
+}
+
+let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let ceil_div a b = -floor_div (-a) b
+let emod a b = ((a mod b) + b) mod b
+
+let compile ?(serialize = false) t =
+  match t.default_memory with
+  | None -> Error "Multirate.compile: at least one memory is required"
+  | Some default_memory ->
+    let cfg = Config.create ~granularity:(Config.granularity t.config_seed) () in
+    let procs =
+      List.map
+        (fun p ->
+          ( Config.proc_id p,
+            Config.add_processor cfg ~name:(Config.proc_name t.config_seed p)
+              ~replenishment:(Config.replenishment t.config_seed p)
+              ~overhead:(Config.overhead t.config_seed p) () ))
+        (Config.processors t.config_seed)
+    in
+    let mems =
+      List.map
+        (fun m ->
+          ( Config.memory_id m,
+            Config.add_memory cfg ~name:(Config.memory_name t.config_seed m)
+              ~capacity:(Config.memory_capacity t.config_seed m) ))
+        (Config.memories t.config_seed)
+    in
+    let mem_of m = List.assoc (Config.memory_id m) mems in
+    let proc_of p = List.assoc (Config.proc_id p) procs in
+    let task_list = List.rev t.task_infos in
+    let channel_list = List.rev t.channel_infos in
+    (* Repetition vectors per graph via the SDF balance equations. *)
+    let rec per_graph acc = function
+      | [] -> Ok (List.rev acc)
+      | (gname, period) :: rest -> begin
+        let sdf = Sdf.create () in
+        let sdf_actor = Hashtbl.create 16 in
+        List.iteri
+          (fun w info ->
+            if info.tgraph = gname then
+              Hashtbl.replace sdf_actor w
+                (Sdf.add_actor sdf ~name:info.tname ~duration:info.wcet))
+          task_list;
+        List.iter
+          (fun ch ->
+            if ch.cgraph = gname then
+              ignore
+                (Sdf.add_channel sdf
+                   ~src:(Hashtbl.find sdf_actor ch.csrc)
+                   ~production:ch.production
+                   ~dst:(Hashtbl.find sdf_actor ch.cdst)
+                   ~consumption:ch.consumption ~initial_tokens:ch.initial ()))
+          channel_list;
+        match Sdf.repetition_vector sdf with
+        | Error msg -> Error (Printf.sprintf "graph %s: %s" gname msg)
+        | Ok q ->
+          let rep w = q (Hashtbl.find sdf_actor w) in
+          per_graph ((gname, period, rep) :: acc) rest
+      end
+    in
+    (match per_graph [] (List.rev t.graph_periods) with
+    | Error _ as e -> e
+    | Ok graph_data ->
+      let copy_table = Hashtbl.create 16 in
+      let fifo_table = Hashtbl.create 16 in
+      List.iter
+        (fun (gname, period, rep) ->
+          let g = Config.add_graph cfg ~name:gname ~period () in
+          (* Firing copies. *)
+          List.iteri
+            (fun w info ->
+              if info.tgraph = gname then begin
+                let copies =
+                  List.init (rep w) (fun k ->
+                      Config.add_task cfg g
+                        ~name:(Printf.sprintf "%s#%d" info.tname (k + 1))
+                        ~proc:(proc_of info.tproc) ~wcet:info.wcet
+                        ~weight:info.tweight ())
+                in
+                Hashtbl.replace copy_table w copies
+              end)
+            task_list;
+          let copy w k = List.nth (Hashtbl.find copy_table w) (k - 1) in
+          (* Serialisation FIFOs: a one-token ring through the copies of
+             each task enforces in-order, one-in-flight execution. *)
+          List.iteri
+            (fun w info ->
+              if serialize && info.tgraph = gname && rep w > 1 then begin
+                let q = rep w in
+                for k = 1 to q do
+                  let nxt = (k mod q) + 1 in
+                  ignore
+                    (Config.add_buffer cfg g
+                       ~name:(Printf.sprintf "%s.ser%d" info.tname k)
+                       ~src:(copy w k) ~dst:(copy w nxt)
+                       ~memory:(mem_of default_memory)
+                       ~container_size:1
+                       ~initial_tokens:(if k = q then 1 else 0)
+                       ~weight:0.0 ~max_capacity:1 ())
+                done
+              end)
+            task_list;
+          (* Channel dependencies, as in the SDF→HSDF expansion. *)
+          List.iteri
+            (fun cidx ch ->
+              if ch.cgraph = gname then begin
+                let qa = rep ch.csrc and qb = rep ch.cdst in
+                let bests = Hashtbl.create 16 in
+                for l = 1 to qb do
+                  for j = 1 to ch.consumption do
+                    let n_tok = (ch.consumption * (l - 1)) + j in
+                    let k' = ceil_div (n_tok - ch.initial) ch.production in
+                    let s = emod (k' - 1) qa + 1 in
+                    let it = ((k' - s) / qa) + 1 in
+                    let delta = 1 - it in
+                    let key = (s, l) in
+                    match Hashtbl.find_opt bests key with
+                    | Some d when d <= delta -> ()
+                    | Some _ | None -> Hashtbl.replace bests key delta
+                  done
+                done;
+                let fifos =
+                  Hashtbl.fold
+                    (fun (s, l) delta acc ->
+                      Config.add_buffer cfg g
+                        ~name:(Printf.sprintf "%s#%d-%d" ch.cname s l)
+                        ~src:(copy ch.csrc s) ~dst:(copy ch.cdst l)
+                        ~memory:(mem_of default_memory)
+                        ~container_size:ch.container_size
+                        ~initial_tokens:delta ~weight:ch.cweight ()
+                      :: acc)
+                    bests []
+                in
+                Hashtbl.replace fifo_table cidx fifos
+              end)
+            channel_list)
+        graph_data;
+      let copies w =
+        match Hashtbl.find_opt copy_table w with
+        | Some c -> c
+        | None -> invalid_arg "Multirate.copies: unknown task"
+      in
+      let fifos c =
+        match Hashtbl.find_opt fifo_table c with
+        | Some f -> f
+        | None -> invalid_arg "Multirate.fifos: unknown channel"
+      in
+      Ok
+        {
+          config = cfg;
+          copies;
+          fifos;
+          task_budget =
+            (fun (mapped : Config.mapped) w ->
+              List.fold_left
+                (fun acc c -> acc +. mapped.Config.budget c)
+                0.0 (copies w));
+          channel_capacity =
+            (fun (mapped : Config.mapped) c ->
+              List.fold_left
+                (fun acc b -> acc + mapped.Config.capacity b)
+                0 (fifos c));
+        })

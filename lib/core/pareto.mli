@@ -1,0 +1,30 @@
+(** Pareto frontier of the budget / buffer trade-off.
+
+    The paper exposes the trade-off through the coefficients of
+    Objective (5): "different trade-offs between budget and buffer
+    sizes can be made by changing the coefficients of the optimised
+    cost function".  Because the continuous problem is convex, sweeping
+    the weight ratio between the budget term and the buffer term traces
+    the (convex hull of the) Pareto frontier between total budget and
+    total buffer space.  This module automates that sweep. *)
+
+type point = {
+  weight_ratio : float;
+      (** budget weight over buffer weight used for this point *)
+  budget_sum : float;  (** Σ β′(w) at the continuous optimum *)
+  buffer_containers : int;
+      (** Σ γ(b) of the rounded mapping (total containers) *)
+  rounded_objective : float;
+}
+
+(** [frontier ?steps ?params cfg] solves the joint program for [steps]
+    (default 9) weight ratios spread geometrically between heavily
+    budget-dominant and heavily buffer-dominant, restores the
+    configuration's original weights afterwards, and returns the
+    non-dominated points sorted by increasing buffer use.  Infeasible
+    instances yield the empty list. *)
+val frontier :
+  ?steps:int -> ?params:Conic.Socp.params -> Taskgraph.Config.t -> point list
+
+(** [pp_point ppf p] prints one frontier point. *)
+val pp_point : Format.formatter -> point -> unit

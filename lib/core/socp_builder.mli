@@ -1,0 +1,57 @@
+(** Algorithm 1 of the paper: the second-order cone program that
+    simultaneously computes budgets and buffer sizes.
+
+    Variables, per the paper's formulation:
+    - a start time [s(v)] for every actor of the SRDF model of every
+      task graph (free reals);
+    - a continuous budget [β′(w) ≥ 0] and its reciprocal surrogate
+      [λ(w) ≥ 0] for every task;
+    - a continuous count of initially-empty containers
+      [δ′(b) ≥ 0] for every buffer (the space queue's tokens; the total
+      continuous capacity is [ι(b) + δ′(b)]).
+
+    Constraints (numbering follows the paper):
+    - (6) for every queue in [E1]: [s(v2) ≥ s(v1) + ̺ − β′];
+    - (7) for every queue in [E2], with the graph's period [µ]:
+      self-loops give [̺·χ·λ ≤ µ], data queues
+      [s(b1) ≥ s(a2) + ̺·χ·λ(a) − ι·µ], space queues
+      [s(a1) ≥ s(b2) + ̺·χ·λ(b) − δ′·µ];
+    - (8) [λ(w)·β′(w) ≥ 1] as a second-order cone
+      ([‖(λ−β′, 2)‖ ≤ λ+β′]);
+    - (9) per processor: [Σ (β′(w) + g) ≤ ̺(p) − o(p)], pre-reserving
+      one granule per task for the rounding [β = g·⌈β′/g⌉];
+    - (10) per memory: [Σ (ι + δ′ + 1)·ζ ≤ ς(m)], pre-reserving one
+      container per buffer for the rounding [⌈δ′⌉];
+    - capacity bounds [ι + δ′ ≤ cap] for buffers carrying a
+      [max_capacity].
+
+    Objective (5): minimise [Σ a(w)·β′(w) + Σ b(b)·ζ(b)·δ′(b)]. *)
+
+type t = {
+  model : Conic.Model.model;
+  budget_var : Taskgraph.Config.task -> Conic.Model.var;  (** β′(w) *)
+  lambda_var : Taskgraph.Config.task -> Conic.Model.var;  (** λ(w) *)
+  space_var : Taskgraph.Config.buffer -> Conic.Model.var;
+      (** δ′(b): continuous initially-empty containers *)
+  start_var :
+    Taskgraph.Config.task -> [ `A1 | `A2 ] -> Conic.Model.var;
+      (** s(v1), s(v2) of the task's dataflow component *)
+}
+
+(** [build cfg] assembles the cone program for all task graphs of the
+    configuration (they couple through shared processors and
+    memories). *)
+val build : Taskgraph.Config.t -> t
+
+(** Continuous solution extracted from a solved model. *)
+type continuous = {
+  budget : Taskgraph.Config.task -> float;
+  lambda : Taskgraph.Config.task -> float;
+  space : Taskgraph.Config.buffer -> float;
+  capacity : Taskgraph.Config.buffer -> float;
+      (** [ι(b) + space b]: total continuous containers *)
+  objective : float;
+}
+
+(** [extract cfg t result] reads the variable values back. *)
+val extract : Taskgraph.Config.t -> t -> Conic.Model.result -> continuous

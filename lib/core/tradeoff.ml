@@ -1,0 +1,36 @@
+module Config = Taskgraph.Config
+
+type point = {
+  cap : int;
+  result : (Mapping.result, Mapping.error) Stdlib.result;
+}
+
+let capacity_sweep ?params cfg ~buffers ~caps =
+  let saved = List.map (fun b -> (b, Config.max_capacity cfg b)) buffers in
+  let restore () =
+    List.iter (fun (b, cap) -> Config.set_max_capacity cfg b cap) saved
+  in
+  Fun.protect ~finally:restore (fun () ->
+      List.map
+        (fun cap ->
+          List.iter (fun b -> Config.set_max_capacity cfg b (Some cap)) buffers;
+          { cap; result = Mapping.solve ?params cfg })
+        caps)
+
+let budget_of point task =
+  match point.result with
+  | Error _ -> None
+  | Ok r -> Some (r.Mapping.continuous.Socp_builder.budget task)
+
+let budget_deltas points task =
+  let successes =
+    List.filter_map
+      (fun p ->
+        match budget_of p task with None -> None | Some b -> Some (p.cap, b))
+      points
+  in
+  let rec pair = function
+    | (_, b1) :: ((c2, b2) :: _ as rest) -> (c2, b1 -. b2) :: pair rest
+    | [ _ ] | [] -> []
+  in
+  pair successes

@@ -1,0 +1,33 @@
+(** Budget/buffer trade-off exploration (the paper's experiments).
+
+    The experiments of Section V explore the trade-off by sweeping a
+    cap on the buffer capacities and minimising the budgets under each
+    cap.  [capacity_sweep] automates this: for each capacity bound it
+    installs the bound on the selected buffers, solves the joint
+    program, and collects the resulting budgets. *)
+
+type point = {
+  cap : int;  (** the capacity bound applied in this run *)
+  result : (Mapping.result, Mapping.error) Stdlib.result;
+}
+
+(** [capacity_sweep cfg ~buffers ~caps] runs {!Mapping.solve} once per
+    cap, temporarily setting [max_capacity] of every buffer in
+    [buffers] to the cap.  Previous bounds are restored afterwards.
+    Caps are processed in the given order. *)
+val capacity_sweep :
+  ?params:Conic.Socp.params ->
+  Taskgraph.Config.t ->
+  buffers:Taskgraph.Config.buffer list ->
+  caps:int list ->
+  point list
+
+(** [budget_of point task] extracts a task's continuous budget from a
+    sweep point, or [None] if that run failed. *)
+val budget_of : point -> Taskgraph.Config.task -> float option
+
+(** [budget_deltas points task] pairs consecutive successful sweep
+    points [(c₁, β₁), (c₂, β₂), …] into [(c₂, β₁ − β₂), …]: the budget
+    reduction bought by each capacity increase (the paper's
+    Figure 2(b)). *)
+val budget_deltas : point list -> Taskgraph.Config.task -> (int * float) list

@@ -1,0 +1,95 @@
+(** The state-of-practice baseline the paper argues against: computing
+    budgets and buffer sizes in two separate phases of the mapping flow
+    (Moreira et al. EMSOFT'07, Stuijk et al. DAC'07).
+
+    Because neither phase sees the other's degrees of freedom, the
+    two-phase flow either wastes resources or produces {e false
+    negatives} — it reports "infeasible" although a joint assignment
+    exists (Section I of the paper).  The variants here make that
+    comparison measurable:
+
+    - {!budget_first}: pick budgets by a buffer-blind policy, then
+      compute minimal buffer capacities by linear programming (exact
+      simplex verdicts);
+    - {!buffer_first}: pick buffer capacities by a budget-blind policy,
+      then compute minimal budgets with the capacities pinned;
+    - {!alternating}: coordinate descent alternating the two phases
+      until the objective stops improving. *)
+
+(** Budget policy for the buffer-blind first phase. *)
+type budget_policy =
+  | Min_budget
+      (** the smallest budget each task needs in isolation,
+          [β = g·⌈̺·χ/µ / g⌉] (the self-loop bound): cheapest budgets,
+          most likely to make the buffer phase infeasible *)
+  | Fair_share
+      (** split each processor's interval evenly over its tasks:
+          generous budgets, smallest buffers, poor budget objective *)
+
+(** Buffer policy for the budget-blind first phase. *)
+type buffer_policy =
+  | At_bound
+      (** every buffer at its [max_capacity] (buffers without a bound
+          get [fallback]) *)
+  | Uniform of int  (** every buffer at [ι + n] containers *)
+
+type result = {
+  mapped : Taskgraph.Config.mapped;
+  objective : float;
+      (** Objective (5) on the final (rounded) mapping, comparable with
+          {!Mapping.result.rounded_objective} *)
+  rounds : int;  (** number of phase solves performed *)
+}
+
+type error =
+  | Infeasible of string
+      (** the phase decomposition failed even though a joint solution
+          may exist — the false negative the paper describes *)
+  | Solver_failure of string
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [budget_first ?policy cfg] runs phase 1 (budgets) then phase 2
+    (buffer LP via simplex). *)
+val budget_first :
+  ?policy:budget_policy -> Taskgraph.Config.t -> (result, error) Stdlib.result
+
+(** [buffer_sizing_lp cfg ~budget] is the phase-2 linear program alone:
+    minimal (rounded) buffer capacities for the given fixed budgets, by
+    exact two-phase simplex.  Exposed so the benches can cross-check the
+    simplex and interior-point solvers on the very same LP. *)
+val buffer_sizing_lp :
+  Taskgraph.Config.t ->
+  budget:(Taskgraph.Config.task -> float) ->
+  (Taskgraph.Config.buffer -> int, error) Stdlib.result
+
+(** [budgets_at_fixed_capacity ?params cfg ~capacity] is the dual
+    phase-2: minimal (rounded) budgets for fixed buffer capacities, via
+    the cone program with the δ′ variables pinned. *)
+val budgets_at_fixed_capacity :
+  ?params:Conic.Socp.params ->
+  Taskgraph.Config.t ->
+  capacity:(Taskgraph.Config.buffer -> int) ->
+  (Taskgraph.Config.task -> float, error) Stdlib.result
+
+(** [buffer_first ?policy ?fallback cfg] fixes capacities (phase 1)
+    then minimises budgets with the capacities pinned in the cone
+    program (phase 2).  [fallback] (default 2: double buffering) is
+    used by [At_bound] for buffers without a [max_capacity]. *)
+val buffer_first :
+  ?policy:buffer_policy ->
+  ?fallback:int ->
+  ?params:Conic.Socp.params ->
+  Taskgraph.Config.t ->
+  (result, error) Stdlib.result
+
+(** [alternating ?max_rounds cfg] starts from [Fair_share] budgets and
+    alternates buffer-LP and budget-minimisation phases until the
+    objective improves by less than 1e-6 or [max_rounds] (default 10)
+    phase pairs ran.  Monotonically non-increasing in the objective but
+    can settle above the joint optimum. *)
+val alternating :
+  ?max_rounds:int ->
+  ?params:Conic.Socp.params ->
+  Taskgraph.Config.t ->
+  (result, error) Stdlib.result

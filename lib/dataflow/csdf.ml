@@ -1,0 +1,229 @@
+type actor = int
+type channel = int
+
+type actor_info = { name : string; durations : float array }
+
+type channel_info = {
+  src : actor;
+  production : int array;
+  dst : actor;
+  consumption : int array;
+  initial : int;
+}
+
+type t = {
+  mutable actor_infos : actor_info list; (* reversed *)
+  mutable nactors : int;
+  mutable channel_infos : channel_info list; (* reversed *)
+  mutable nchannels : int;
+}
+
+let create () =
+  { actor_infos = []; nactors = 0; channel_infos = []; nchannels = 0 }
+
+let add_actor t ~name ~durations =
+  if Array.length durations = 0 then
+    invalid_arg "Csdf.add_actor: at least one phase required";
+  Array.iter
+    (fun d ->
+      if d < 0.0 || not (Float.is_finite d) then
+        invalid_arg "Csdf.add_actor: durations must be finite and >= 0")
+    durations;
+  let a = t.nactors in
+  t.actor_infos <- { name; durations = Array.copy durations } :: t.actor_infos;
+  t.nactors <- a + 1;
+  a
+
+let check_actor t a =
+  if a < 0 || a >= t.nactors then invalid_arg "Csdf: unknown actor"
+
+let actor_infos t = Array.of_list (List.rev t.actor_infos)
+
+let phases_of info = Array.length info.durations
+
+let add_channel t ~src ~production ~dst ~consumption ?(initial_tokens = 0) ()
+    =
+  check_actor t src;
+  check_actor t dst;
+  let infos = actor_infos t in
+  if Array.length production <> phases_of infos.(src) then
+    invalid_arg "Csdf.add_channel: production length <> phases of src";
+  if Array.length consumption <> phases_of infos.(dst) then
+    invalid_arg "Csdf.add_channel: consumption length <> phases of dst";
+  let check_rates name rates =
+    let sum = ref 0 in
+    Array.iter
+      (fun r ->
+        if r < 0 then
+          invalid_arg (Printf.sprintf "Csdf.add_channel: negative %s" name)
+        else sum := !sum + r)
+      rates;
+    if !sum = 0 then
+      invalid_arg (Printf.sprintf "Csdf.add_channel: all-zero %s" name)
+  in
+  check_rates "production" production;
+  check_rates "consumption" consumption;
+  if initial_tokens < 0 then
+    invalid_arg "Csdf.add_channel: initial tokens must be >= 0";
+  let c = t.nchannels in
+  t.channel_infos <-
+    {
+      src;
+      production = Array.copy production;
+      dst;
+      consumption = Array.copy consumption;
+      initial = initial_tokens;
+    }
+    :: t.channel_infos;
+  t.nchannels <- c + 1;
+  c
+
+let num_actors t = t.nactors
+let actors t = List.init t.nactors Fun.id
+let num_channels t = t.nchannels
+
+let actor_name t a =
+  check_actor t a;
+  (actor_infos t).(a).name
+
+let phases t a =
+  check_actor t a;
+  phases_of (actor_infos t).(a)
+
+(* The balance equations over whole phase cycles coincide with an SDF
+   graph whose rates are the per-cycle sums, so delegate. *)
+let repetition_vector t =
+  let sdf = Sdf.create () in
+  let infos = actor_infos t in
+  let sdf_actors =
+    Array.map (fun info -> Sdf.add_actor sdf ~name:info.name ~duration:0.0) infos
+  in
+  let sum = Array.fold_left ( + ) 0 in
+  List.iter
+    (fun ch ->
+      ignore
+        (Sdf.add_channel sdf ~src:sdf_actors.(ch.src)
+           ~production:(sum ch.production) ~dst:sdf_actors.(ch.dst)
+           ~consumption:(sum ch.consumption) ()))
+    (List.rev t.channel_infos);
+  match Sdf.repetition_vector sdf with
+  | Error _ as e -> e
+  | Ok q ->
+    Ok
+      (fun a ->
+        check_actor t a;
+        q sdf_actors.(a))
+
+type expansion = {
+  srdf : Srdf.t;
+  firing : actor -> int -> Srdf.actor;
+  repetitions : actor -> int;
+}
+
+let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let emod a b = ((a mod b) + b) mod b
+
+(* Cumulative tokens over the first [k] firings (k may be ≤ 0), given
+   the per-phase rate vector.  One full cycle moves [total] tokens. *)
+let cumulative rates k =
+  let p = Array.length rates in
+  let total = Array.fold_left ( + ) 0 rates in
+  let cycles = floor_div k p in
+  let rest = k - (cycles * p) in
+  let partial = ref 0 in
+  for i = 0 to rest - 1 do
+    partial := !partial + rates.(i)
+  done;
+  (cycles * total) + !partial
+
+(* Smallest firing index k with cumulative(rates, k) ≥ m.  Monotone in
+   k, so locate the cycle by division and the phase by a linear scan. *)
+let producing_firing rates m =
+  let p = Array.length rates in
+  let total = Array.fold_left ( + ) 0 rates in
+  (* cumulative(k) ≥ m ⟺ k ≥ k*; search around cycle floor. *)
+  let approx_cycles = floor_div (m - total) total in
+  let rec search k =
+    if cumulative rates k >= m then k else search (k + 1)
+  in
+  search (approx_cycles * p)
+
+let expand ?(serialize = false) t =
+  match repetition_vector t with
+  | Error _ as e -> e
+  | Ok q ->
+    let infos = actor_infos t in
+    let srdf = Srdf.create () in
+    let firings_per_iter a = q a * phases_of infos.(a) in
+    let copies =
+      Array.mapi
+        (fun a info ->
+          Array.init (firings_per_iter a) (fun k ->
+              let phase = k mod phases_of info in
+              Srdf.add_actor srdf
+                ~name:(Printf.sprintf "%s#%d.%d" info.name (k + 1) (phase + 1))
+                ~duration:info.durations.(phase)))
+        infos
+    in
+    if serialize then
+      Array.iter
+        (fun arr ->
+          let qn = Array.length arr in
+          if qn > 1 then
+            for k = 0 to qn - 1 do
+              ignore
+                (Srdf.add_edge srdf ~src:arr.(k)
+                   ~dst:arr.((k + 1) mod qn)
+                   ~tokens:(if k = qn - 1 then 1 else 0))
+            done)
+        copies;
+    List.iter
+      (fun ch ->
+        let qa = firings_per_iter ch.src and qb = firings_per_iter ch.dst in
+        let bests = Hashtbl.create 16 in
+        for l = 1 to qb do
+          let consumed_before = cumulative ch.consumption (l - 1) in
+          let consumed_after = cumulative ch.consumption l in
+          for n_tok = consumed_before + 1 to consumed_after do
+            let k' = producing_firing ch.production (n_tok - ch.initial) in
+            let s = emod (k' - 1) qa + 1 in
+            let it = ((k' - s) / qa) + 1 in
+            let delta = 1 - it in
+            assert (delta >= 0);
+            let key = (s, l) in
+            match Hashtbl.find_opt bests key with
+            | Some d when d <= delta -> ()
+            | Some _ | None -> Hashtbl.replace bests key delta
+          done
+        done;
+        Hashtbl.iter
+          (fun (s, l) delta ->
+            ignore
+              (Srdf.add_edge srdf
+                 ~src:copies.(ch.src).(s - 1)
+                 ~dst:copies.(ch.dst).(l - 1)
+                 ~tokens:delta))
+          bests)
+      (List.rev t.channel_infos);
+    Ok
+      {
+        srdf;
+        firing =
+          (fun a k ->
+            check_actor t a;
+            if k < 1 || k > firings_per_iter a then
+              invalid_arg "Csdf.expansion.firing: range"
+            else copies.(a).(k - 1));
+        repetitions = q;
+      }
+
+let iteration_period ?serialize t =
+  match expand ?serialize t with
+  | Error _ as e -> e
+  | Ok { srdf; _ } -> begin
+    match Howard.max_cycle_ratio srdf with
+    | Analysis.Mcr r -> Ok r
+    | Analysis.Acyclic -> Ok 0.0
+    | Analysis.Deadlocked ->
+      Error "deadlocked CSDF graph: a cycle has too few initial tokens"
+  end

@@ -1,0 +1,68 @@
+(** Cyclo-static dataflow (CSDF) graphs.
+
+    CSDF (Bilsen et al. 1996) generalises SDF: an actor cycles through
+    a fixed sequence of {e phases}, each with its own firing duration
+    and its own per-channel production/consumption rates.  Many
+    streaming kernels (up/down-samplers, commutators, interleaved
+    filters) are CSDF but not SDF, and the paper's closing discussion
+    names such "more dynamic" models as the essential next step; like
+    {!Sdf}, the graphs expand to plain SRDF so every analysis in this
+    library applies unchanged. *)
+
+type t
+type actor
+type channel
+
+(** [create ()] is an empty CSDF graph. *)
+val create : unit -> t
+
+(** [add_actor t ~name ~durations] adds an actor whose phases have the
+    given firing durations ([Array.length durations ≥ 1]).
+    @raise Invalid_argument on an empty array or a negative entry. *)
+val add_actor : t -> name:string -> durations:float array -> actor
+
+(** [add_channel t ~src ~production ~dst ~consumption ?initial_tokens
+    ()] adds a channel.  [production] gives the tokens produced by each
+    phase of [src] (length = number of phases of [src]); [consumption]
+    likewise for [dst].  Entries may be zero, but each vector must have
+    a positive sum.
+    @raise Invalid_argument on wrong lengths, negative entries,
+    all-zero vectors or negative [initial_tokens]. *)
+val add_channel :
+  t -> src:actor -> production:int array -> dst:actor ->
+  consumption:int array -> ?initial_tokens:int -> unit -> channel
+
+(** Accessors. *)
+val num_actors : t -> int
+
+(** [actors t] lists all actors in declaration order. *)
+val actors : t -> actor list
+
+val num_channels : t -> int
+val actor_name : t -> actor -> string
+val phases : t -> actor -> int
+
+(** [repetition_vector t] solves the balance equations over whole phase
+    cycles: [q(src)·Σ production = q(dst)·Σ consumption] per channel;
+    actor [a] fires [q(a)·phases(a)] times per iteration.
+    @return [Error msg] on inconsistency. *)
+val repetition_vector : t -> ((actor -> int), string) Stdlib.result
+
+type expansion = {
+  srdf : Srdf.t;
+  firing : actor -> int -> Srdf.actor;
+      (** [firing a k] is the SRDF actor of the [k]-th firing of [a]
+          within an iteration, [1 ≤ k ≤ q(a)·phases(a)]; its phase is
+          [((k−1) mod phases(a)) + 1].
+          @raise Invalid_argument out of range. *)
+  repetitions : actor -> int;  (** cycles per iteration, [q(a)] *)
+}
+
+(** [expand ?serialize t] is the single-rate expansion; [serialize]
+    (default false) chains each actor's firings into a one-token cycle
+    enforcing sequential execution. *)
+val expand : ?serialize:bool -> t -> (expansion, string) Stdlib.result
+
+(** [iteration_period ?serialize t] is the minimal period of a full
+    iteration (the expansion's maximum cycle ratio). *)
+val iteration_period : ?serialize:bool -> t -> (float, string) Stdlib.result

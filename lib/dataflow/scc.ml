@@ -1,0 +1,106 @@
+type t = { graph : Srdf.t; comp : int array; comps : int list array }
+
+(* Iterative Tarjan: an explicit stack of (vertex, next-edge-index)
+   frames replaces the recursion. *)
+let compute g =
+  let n = Srdf.num_actors g in
+  let adj = Array.make n [] in
+  List.iter
+    (fun e ->
+      let s = Srdf.actor_id (Srdf.edge_src g e) in
+      adj.(s) <- Srdf.actor_id (Srdf.edge_dst g e) :: adj.(s))
+    (Srdf.edges g);
+  let adj = Array.map Array.of_list adj in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let comp = Array.make n (-1) in
+  let ncomps = ref 0 in
+  let counter = ref 0 in
+  let start_root root =
+    if index.(root) < 0 then begin
+      let frames = ref [ (root, ref 0) ] in
+      index.(root) <- !counter;
+      lowlink.(root) <- !counter;
+      incr counter;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (v, next) :: rest ->
+          if !next < Array.length adj.(v) then begin
+            let w = adj.(v).(!next) in
+            incr next;
+            if index.(w) < 0 then begin
+              index.(w) <- !counter;
+              lowlink.(w) <- !counter;
+              incr counter;
+              stack := w :: !stack;
+              on_stack.(w) <- true;
+              frames := (w, ref 0) :: !frames
+            end
+            else if on_stack.(w) then
+              lowlink.(v) <- Int.min lowlink.(v) index.(w)
+          end
+          else begin
+            (* v is finished: pop the frame, update the parent, and
+               emit a component when v is a root. *)
+            frames := rest;
+            (match rest with
+            | (parent, _) :: _ ->
+              lowlink.(parent) <- Int.min lowlink.(parent) lowlink.(v)
+            | [] -> ());
+            if lowlink.(v) = index.(v) then begin
+              let stop = ref false in
+              while not !stop do
+                match !stack with
+                | [] -> stop := true
+                | w :: tail ->
+                  stack := tail;
+                  on_stack.(w) <- false;
+                  comp.(w) <- !ncomps;
+                  if w = v then stop := true
+              done;
+              incr ncomps
+            end
+          end
+      done
+    end
+  in
+  for v = 0 to n - 1 do
+    start_root v
+  done;
+  (* Component indices follow Tarjan emission order, which is a reverse
+     topological order of the condensation. *)
+  let comps = Array.make (Int.max 1 !ncomps) [] in
+  Array.iteri (fun v c -> if c >= 0 then comps.(c) <- v :: comps.(c)) comp;
+  { graph = g; comp; comps }
+
+let count t =
+  Array.fold_left (fun acc c -> Int.max acc (c + 1)) 0 t.comp
+
+let component_of t v = t.comp.(Srdf.actor_id v)
+
+let components t =
+  Array.to_list (Array.sub t.comps 0 (count t))
+  |> List.map (List.map (Srdf.actor_of_id t.graph))
+
+let internal_edges t g c =
+  List.filter
+    (fun e ->
+      t.comp.(Srdf.actor_id (Srdf.edge_src g e)) = c
+      && t.comp.(Srdf.actor_id (Srdf.edge_dst g e)) = c)
+    (Srdf.edges g)
+
+let is_trivial t g c =
+  match t.comps.(c) with
+  | [ v ] ->
+    not
+      (List.exists
+         (fun e ->
+           Srdf.actor_id (Srdf.edge_src g e) = v
+           && Srdf.actor_id (Srdf.edge_dst g e) = v)
+         (Srdf.edges g))
+  | _ :: _ :: _ | [] -> false

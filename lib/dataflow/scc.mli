@@ -1,0 +1,33 @@
+(** Strongly connected components of an SRDF graph (Tarjan's
+    algorithm).
+
+    Cycle-based analyses (maximum cycle ratio, deadlock detection) only
+    need to look inside SCCs; decomposing first both speeds them up and
+    lets callers report per-component diagnostics. *)
+
+type t
+
+(** [compute g] runs Tarjan's algorithm (iterative, so deep graphs do
+    not overflow the stack). *)
+val compute : Srdf.t -> t
+
+(** [count t] is the number of components. *)
+val count : t -> int
+
+(** [component_of t v] is the component index of actor [v], in reverse
+    topological order (an edge between components always goes from a
+    higher index to a lower one... specifically from its component to a
+    component appearing earlier in {!components}). *)
+val component_of : t -> Srdf.actor -> int
+
+(** [components t] lists each component's actors.  Components appear in
+    reverse topological order of the condensation. *)
+val components : t -> Srdf.actor list list
+
+(** [internal_edges t g c] lists the edges of [g] with both endpoints
+    in component [c]. *)
+val internal_edges : t -> Srdf.t -> int -> Srdf.edge list
+
+(** [is_trivial t g c] is true when component [c] is a single actor
+    without a self-loop (such a component carries no cycle). *)
+val is_trivial : t -> Srdf.t -> int -> bool

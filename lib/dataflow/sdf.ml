@@ -1,0 +1,250 @@
+type actor = int
+type channel = int
+
+type actor_info = { name : string; duration : float }
+
+type channel_info = {
+  src : actor;
+  production : int;
+  dst : actor;
+  consumption : int;
+  initial : int;
+}
+
+type t = {
+  mutable actor_infos : actor_info list; (* reversed *)
+  mutable nactors : int;
+  mutable channel_infos : channel_info list; (* reversed *)
+  mutable nchannels : int;
+}
+
+let create () =
+  { actor_infos = []; nactors = 0; channel_infos = []; nchannels = 0 }
+
+let add_actor t ~name ~duration =
+  if duration < 0.0 || not (Float.is_finite duration) then
+    invalid_arg "Sdf.add_actor: duration must be finite and >= 0";
+  let a = t.nactors in
+  t.actor_infos <- { name; duration } :: t.actor_infos;
+  t.nactors <- a + 1;
+  a
+
+let check_actor t a =
+  if a < 0 || a >= t.nactors then invalid_arg "Sdf: unknown actor"
+
+let add_channel t ~src ~production ~dst ~consumption ?(initial_tokens = 0) ()
+    =
+  check_actor t src;
+  check_actor t dst;
+  if production <= 0 || consumption <= 0 then
+    invalid_arg "Sdf.add_channel: rates must be > 0";
+  if initial_tokens < 0 then
+    invalid_arg "Sdf.add_channel: initial tokens must be >= 0";
+  let c = t.nchannels in
+  t.channel_infos <-
+    { src; production; dst; consumption; initial = initial_tokens }
+    :: t.channel_infos;
+  t.nchannels <- c + 1;
+  c
+
+let num_actors t = t.nactors
+let actors t = List.init t.nactors Fun.id
+let num_channels t = t.nchannels
+
+let actor_infos t = Array.of_list (List.rev t.actor_infos)
+let channel_infos t = Array.of_list (List.rev t.channel_infos)
+
+let actor_name t a =
+  check_actor t a;
+  (actor_infos t).(a).name
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let lcm a b = a / gcd a b * b
+
+(* Solve the balance equations by propagating rational firing counts
+   over the channels (BFS per connected component), then scaling each
+   component to the smallest positive integer vector. *)
+let repetition_vector t =
+  let n = t.nactors in
+  if n = 0 then Ok (fun _ -> invalid_arg "Sdf: unknown actor")
+  else begin
+    let chans = channel_infos t in
+    (* q(a) stored as a rational num/den, or None when unvisited. *)
+    let num = Array.make n 0 and den = Array.make n 0 in
+    let adj = Array.make n [] in
+    Array.iter
+      (fun ch ->
+        adj.(ch.src) <- (ch.dst, ch.production, ch.consumption) :: adj.(ch.src);
+        adj.(ch.dst) <- (ch.src, ch.consumption, ch.production) :: adj.(ch.dst))
+      chans;
+    let normalise a =
+      let g = gcd (abs num.(a)) (abs den.(a)) in
+      if g > 1 then begin
+        num.(a) <- num.(a) / g;
+        den.(a) <- den.(a) / g
+      end
+    in
+    let inconsistent = ref false in
+    for root = 0 to n - 1 do
+      if den.(root) = 0 then begin
+        num.(root) <- 1;
+        den.(root) <- 1;
+        let queue = Queue.create () in
+        Queue.add root queue;
+        while not (Queue.is_empty queue) do
+          let a = Queue.take queue in
+          List.iter
+            (fun (b, rate_a, rate_b) ->
+              (* rate_a·q(a) = rate_b·q(b) ⟹ q(b) = q(a)·rate_a/rate_b *)
+              let nb = num.(a) * rate_a and db = den.(a) * rate_b in
+              if den.(b) = 0 then begin
+                num.(b) <- nb;
+                den.(b) <- db;
+                normalise b;
+                Queue.add b queue
+              end
+              else if num.(b) * db <> nb * den.(b) then inconsistent := true)
+            adj.(a)
+        done
+      end
+    done;
+    if !inconsistent then
+      Error "inconsistent SDF graph: the balance equations have no solution"
+    else begin
+      (* Scale to integers: multiply by the lcm of denominators, divide
+         by the gcd of numerators, per connected component.  Components
+         were seeded independently so a global scaling is also fine for
+         minimality per component: do it per component via another BFS
+         colouring. *)
+      let comp = Array.make n (-1) in
+      let ncomp = ref 0 in
+      for root = 0 to n - 1 do
+        if comp.(root) < 0 then begin
+          let queue = Queue.create () in
+          comp.(root) <- !ncomp;
+          Queue.add root queue;
+          while not (Queue.is_empty queue) do
+            let a = Queue.take queue in
+            List.iter
+              (fun (b, _, _) ->
+                if comp.(b) < 0 then begin
+                  comp.(b) <- !ncomp;
+                  Queue.add b queue
+                end)
+              adj.(a)
+          done;
+          incr ncomp
+        end
+      done;
+      let q = Array.make n 0 in
+      for c = 0 to !ncomp - 1 do
+        let members =
+          List.filter (fun a -> comp.(a) = c) (List.init n Fun.id)
+        in
+        let l = List.fold_left (fun acc a -> lcm acc den.(a)) 1 members in
+        List.iter (fun a -> q.(a) <- num.(a) * (l / den.(a))) members;
+        let g =
+          List.fold_left (fun acc a -> gcd acc q.(a)) 0 members
+        in
+        if g > 1 then List.iter (fun a -> q.(a) <- q.(a) / g) members
+      done;
+      Ok
+        (fun a ->
+          check_actor t a;
+          q.(a))
+    end
+  end
+
+type expansion = {
+  srdf : Srdf.t;
+  copy : actor -> int -> Srdf.actor;
+  repetitions : actor -> int;
+}
+
+let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let ceil_div a b = -floor_div (-a) b
+let emod a b = ((a mod b) + b) mod b
+
+let expand ?(serialize = false) t =
+  match repetition_vector t with
+  | Error _ as e -> e
+  | Ok q ->
+    let infos = actor_infos t in
+    let srdf = Srdf.create () in
+    let copies =
+      Array.mapi
+        (fun a info ->
+          Array.init (q a) (fun k ->
+              Srdf.add_actor srdf
+                ~name:(Printf.sprintf "%s#%d" info.name (k + 1))
+                ~duration:info.duration))
+        infos
+    in
+    if serialize then
+      Array.iter
+        (fun arr ->
+          let qn = Array.length arr in
+          if qn > 1 then
+            for k = 0 to qn - 1 do
+              (* Chain copy k → k+1, closing the cycle with one token so
+                 at most one firing of the actor is in flight. *)
+              ignore
+                (Srdf.add_edge srdf ~src:arr.(k)
+                   ~dst:arr.((k + 1) mod qn)
+                   ~tokens:(if k = qn - 1 then 1 else 0))
+            done)
+        copies;
+    (* Channel dependencies: the j-th token consumed by the l-th firing
+       of dst was produced by firing k′ of src (or is initial when
+       k′ ≤ 0); decomposing k′ into (iteration, copy) gives the SRDF
+       edge and its token count (= iteration distance). *)
+    Array.iter
+      (fun ch ->
+        let qa = q ch.src and qb = q ch.dst in
+        (* Deduplicate: keep the smallest token count per copy pair. *)
+        let bests = Hashtbl.create 16 in
+        for l = 1 to qb do
+          for j = 1 to ch.consumption do
+            let n_tok = (ch.consumption * (l - 1)) + j in
+            let k' = ceil_div (n_tok - ch.initial) ch.production in
+            let s = emod (k' - 1) qa + 1 in
+            let it = ((k' - s) / qa) + 1 in
+            let delta = 1 - it in
+            assert (delta >= 0);
+            let key = (s, l) in
+            match Hashtbl.find_opt bests key with
+            | Some d when d <= delta -> ()
+            | Some _ | None -> Hashtbl.replace bests key delta
+          done
+        done;
+        Hashtbl.iter
+          (fun (s, l) delta ->
+            ignore
+              (Srdf.add_edge srdf
+                 ~src:copies.(ch.src).(s - 1)
+                 ~dst:copies.(ch.dst).(l - 1)
+                 ~tokens:delta))
+          bests)
+      (channel_infos t);
+    Ok
+      {
+        srdf;
+        copy =
+          (fun a k ->
+            check_actor t a;
+            if k < 1 || k > q a then invalid_arg "Sdf.expansion.copy: range"
+            else copies.(a).(k - 1));
+        repetitions = q;
+      }
+
+let iteration_period ?serialize t =
+  match expand ?serialize t with
+  | Error _ as e -> e
+  | Ok { srdf; _ } -> begin
+    match Howard.max_cycle_ratio srdf with
+    | Analysis.Mcr r -> Ok r
+    | Analysis.Acyclic -> Ok 0.0
+    | Analysis.Deadlocked ->
+      Error "deadlocked SDF graph: a cycle has too few initial tokens"
+  end

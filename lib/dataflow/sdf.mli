@@ -1,0 +1,76 @@
+(** Multi-rate synchronous dataflow (SDF) graphs and their expansion to
+    single-rate (HSDF) form.
+
+    The paper restricts itself to single-rate graphs "for reasons of
+    space" and names more expressive dataflow models as the essential
+    next step.  This module provides that substrate: SDF actors produce
+    [production] tokens and consume [consumption] tokens per firing;
+    the balance equations determine how many times each actor fires per
+    graph iteration (the repetition vector), and the standard expansion
+    (Lee & Messerschmitt 1987; Sriram & Bhattacharyya 2000) turns a
+    consistent SDF graph into an equivalent SRDF graph on which all the
+    analyses of {!Analysis} and {!Howard} apply. *)
+
+type t
+type actor
+type channel
+
+(** [create ()] is an empty SDF graph. *)
+val create : unit -> t
+
+(** [add_actor t ~name ~duration] adds an actor with the given firing
+    duration.
+    @raise Invalid_argument on negative duration. *)
+val add_actor : t -> name:string -> duration:float -> actor
+
+(** [add_channel t ~src ~production ~dst ~consumption ?initial_tokens
+    ()] adds a channel on which every firing of [src] produces
+    [production] tokens and every firing of [dst] consumes
+    [consumption] tokens; [initial_tokens] defaults to 0.
+    @raise Invalid_argument on non-positive rates or negative
+    tokens. *)
+val add_channel :
+  t -> src:actor -> production:int -> dst:actor -> consumption:int ->
+  ?initial_tokens:int -> unit -> channel
+
+(** Accessors. *)
+val num_actors : t -> int
+
+(** [actors t] lists all actors in declaration order. *)
+val actors : t -> actor list
+
+val num_channels : t -> int
+val actor_name : t -> actor -> string
+
+(** [repetition_vector t] solves the balance equations
+    [production(ch)·q(src) = consumption(ch)·q(dst)], returning the
+    smallest positive integer solution per connected component.
+    @return [Error msg] when the graph is inconsistent (no such
+    solution exists — a graph that cannot execute in bounded memory). *)
+val repetition_vector : t -> ((actor -> int), string) Stdlib.result
+
+(** The result of expanding an SDF graph to single-rate form. *)
+type expansion = {
+  srdf : Srdf.t;
+  copy : actor -> int -> Srdf.actor;
+      (** [copy a k] is the SRDF actor of the [k]-th firing of [a] in
+          an iteration, [1 ≤ k ≤ q(a)].
+          @raise Invalid_argument out of range. *)
+  repetitions : actor -> int;  (** the repetition vector *)
+}
+
+(** [expand ?serialize t] builds the equivalent SRDF graph: [q(a)]
+    copies of every actor, and for every channel the inter-firing
+    dependency edges carrying their iteration-distance token counts.
+    With [serialize:true] (default [false]) the copies of each actor
+    are additionally chained into a cycle with one token, forbidding
+    auto-concurrent firings of the same actor (the sequential-actor
+    semantics of an actual task implementation).
+    @return [Error msg] on an inconsistent graph. *)
+val expand : ?serialize:bool -> t -> (expansion, string) Stdlib.result
+
+(** [iteration_period t] is the minimal period of one full graph
+    iteration (every actor [a] firing [q(a)] times): the maximum cycle
+    ratio of the expansion scaled to iterations.  [Error] when the
+    graph is inconsistent or deadlocked. *)
+val iteration_period : ?serialize:bool -> t -> (float, string) Stdlib.result

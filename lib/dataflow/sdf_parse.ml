@@ -1,0 +1,74 @@
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let float_list lineno what text =
+  String.split_on_char ',' text
+  |> List.map (fun s ->
+         match float_of_string_opt (String.trim s) with
+         | Some f -> f
+         | None -> fail lineno "%s: %S is not a number" what s)
+
+let int_list lineno what text =
+  String.split_on_char ',' text
+  |> List.map (fun s ->
+         match int_of_string_opt (String.trim s) with
+         | Some i -> i
+         | None -> fail lineno "%s: %S is not an integer" what s)
+
+let of_string text =
+  let t = Csdf.create () in
+  let actors = Hashtbl.create 16 in
+  let wrap lineno f = try f () with Invalid_argument msg -> fail lineno "%s" msg in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      match words line with
+      | [] -> ()
+      | head :: _ when String.length head > 0 && head.[0] = '#' -> ()
+      | [ "actor"; name; "durations"; ds ] | [ "actor"; name; "duration"; ds ]
+        ->
+        if Hashtbl.mem actors name then fail lineno "duplicate actor %S" name;
+        let durations =
+          Array.of_list (float_list lineno "durations" ds)
+        in
+        wrap lineno (fun () ->
+            Hashtbl.replace actors name (Csdf.add_actor t ~name ~durations))
+      | "channel" :: src :: prod :: "->" :: dst :: cons :: rest ->
+        let initial =
+          match rest with
+          | [] -> 0
+          | [ "initial"; n ] -> begin
+            match int_of_string_opt n with
+            | Some i -> i
+            | None -> fail lineno "initial: %S is not an integer" n
+          end
+          | _ -> fail lineno "trailing tokens after channel declaration"
+        in
+        let find what name =
+          match Hashtbl.find_opt actors name with
+          | Some a -> a
+          | None -> fail lineno "unknown %s actor %S" what name
+        in
+        let src_a = find "source" src and dst_a = find "destination" dst in
+        let production = Array.of_list (int_list lineno "production" prod) in
+        let consumption = Array.of_list (int_list lineno "consumption" cons) in
+        wrap lineno (fun () ->
+            ignore
+              (Csdf.add_channel t ~src:src_a ~production ~dst:dst_a
+                 ~consumption ~initial_tokens:initial ()))
+      | head :: _ -> fail lineno "unknown declaration %S" head)
+    (String.split_on_char '\n' text);
+  (t, fun name -> Hashtbl.find actors name)
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  of_string content

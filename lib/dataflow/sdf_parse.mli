@@ -1,0 +1,28 @@
+(** Parser for a textual (C)SDF description.
+
+    Line-oriented, [#] comments.  Actors declare one duration per
+    phase; channels declare per-phase production and consumption rates
+    as comma-separated lists (a single number means a single-rate /
+    single-phase endpoint):
+
+    {v
+    actor cd durations 2
+    actor filt durations 6,3
+    channel cd 1 -> filt 1,0 initial 2
+    v}
+
+    Everything parses into a {!Csdf.t} (plain SDF is the one-phase
+    special case). *)
+
+exception Parse_error of int * string
+
+(** [of_string text] parses a CSDF graph.
+    @raise Parse_error with a 1-based line number on malformed input. *)
+val of_string : string -> Csdf.t * (string -> Csdf.actor)
+(** Returns the graph and a name-based actor lookup.
+    @raise Not_found from the lookup for unknown names. *)
+
+(** [of_file path] reads and parses a file.
+    @raise Sys_error when unreadable.
+    @raise Parse_error on malformed input. *)
+val of_file : string -> Csdf.t * (string -> Csdf.actor)

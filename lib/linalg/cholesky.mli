@@ -1,0 +1,42 @@
+(** Cholesky and LDLᵀ factorisations of symmetric matrices, and the
+    triangular solves built on them.
+
+    These are the only factorisations the interior-point solver needs:
+    the KKT normal equations [Gᵀ·W⁻¹·W⁻ᵀ·G] are symmetric positive
+    definite away from the boundary of the cone, and become nearly
+    singular close to the optimum, which [factor] handles with a
+    progressive diagonal shift. *)
+
+type factor = {
+  l : Mat.t;  (** lower-triangular Cholesky factor *)
+  shift : float;
+      (** diagonal regularisation that was added to achieve positive
+          definiteness; [0.] when the matrix was PD as given *)
+}
+
+exception Not_positive_definite
+
+(** [factor ?max_shift a] computes a lower-triangular [l] with
+    [l·lᵀ = a + shift·I].  The shift starts at [0.] and is increased
+    geometrically from [1e-14·‖a‖] up to [max_shift·‖a‖]
+    (default [1e-4]) until the factorisation succeeds.
+    @raise Not_positive_definite if no shift in range succeeds.
+    @raise Invalid_argument if [a] is not square. *)
+val factor : ?max_shift:float -> Mat.t -> factor
+
+(** [solve f b] solves [(l·lᵀ)·x = b] by forward and back substitution. *)
+val solve : factor -> Vec.t -> Vec.t
+
+(** [solve_lower l b] solves the lower-triangular system [l·x = b]. *)
+val solve_lower : Mat.t -> Vec.t -> Vec.t
+
+(** [solve_upper_t l b] solves [lᵀ·x = b] for lower-triangular [l]. *)
+val solve_upper_t : Mat.t -> Vec.t -> Vec.t
+
+(** [ldlt a] computes unit lower-triangular [l] and diagonal [d] with
+    [l·diag(d)·lᵀ = a], without pivoting.  Works for quasi-definite
+    matrices; raises [Not_positive_definite] on a zero pivot. *)
+val ldlt : Mat.t -> Mat.t * Vec.t
+
+(** [ldlt_solve (l, d) b] solves [l·diag(d)·lᵀ·x = b]. *)
+val ldlt_solve : Mat.t * Vec.t -> Vec.t -> Vec.t

@@ -1,0 +1,98 @@
+(** Dense vectors of floats.
+
+    A thin, allocation-conscious layer over [float array] used by the
+    simplex and interior-point solvers.  All binary operations require
+    operands of equal dimension and raise [Invalid_argument] otherwise. *)
+
+type t = float array
+
+(** [create n] is the zero vector of dimension [n]. *)
+val create : int -> t
+
+(** [make n x] is the vector of dimension [n] with every entry [x]. *)
+val make : int -> float -> t
+
+(** [init n f] is [| f 0; ...; f (n-1) |]. *)
+val init : int -> (int -> float) -> t
+
+(** [dim v] is the dimension of [v]. *)
+val dim : t -> int
+
+(** [copy v] is a fresh copy of [v]. *)
+val copy : t -> t
+
+(** [of_list xs] builds a vector from a list. *)
+val of_list : float list -> t
+
+(** [to_list v] lists the entries of [v] in order. *)
+val to_list : t -> float list
+
+(** [dot u v] is the inner product [Σᵢ uᵢ·vᵢ]. *)
+val dot : t -> t -> float
+
+(** [nrm2 v] is the Euclidean norm [√(v·v)]. *)
+val nrm2 : t -> float
+
+(** [amax v] is the infinity norm [maxᵢ |vᵢ|] (0 for the empty vector). *)
+val amax : t -> float
+
+(** [asum v] is the 1-norm [Σᵢ |vᵢ|]. *)
+val asum : t -> float
+
+(** [scal a v] multiplies [v] by [a] in place. *)
+val scal : float -> t -> unit
+
+(** [scale a v] is a fresh vector equal to [a·v]. *)
+val scale : float -> t -> t
+
+(** [axpy a x y] performs [y ← a·x + y] in place. *)
+val axpy : float -> t -> t -> unit
+
+(** [add u v] is the fresh sum [u + v]. *)
+val add : t -> t -> t
+
+(** [sub u v] is the fresh difference [u − v]. *)
+val sub : t -> t -> t
+
+(** [neg v] is the fresh negation [−v]. *)
+val neg : t -> t
+
+(** [mul u v] is the fresh component-wise (Hadamard) product. *)
+val mul : t -> t -> t
+
+(** [div u v] is the fresh component-wise quotient. *)
+val div : t -> t -> t
+
+(** [map f v] applies [f] to every entry, returning a fresh vector. *)
+val map : (float -> float) -> t -> t
+
+(** [map2 f u v] combines entries pairwise, returning a fresh vector. *)
+val map2 : (float -> float -> float) -> t -> t -> t
+
+(** [fill v x] sets every entry of [v] to [x]. *)
+val fill : t -> float -> unit
+
+(** [blit src dst] copies [src] into [dst] (equal dimensions). *)
+val blit : t -> t -> unit
+
+(** [concat vs] concatenates vectors in order. *)
+val concat : t list -> t
+
+(** [slice v ~pos ~len] is a fresh copy of [len] entries starting at
+    [pos]. *)
+val slice : t -> pos:int -> len:int -> t
+
+(** [max_elt v] is the largest entry of [v].
+    @raise Invalid_argument on the empty vector. *)
+val max_elt : t -> float
+
+(** [min_elt v] is the smallest entry of [v].
+    @raise Invalid_argument on the empty vector. *)
+val min_elt : t -> float
+
+(** [equal ~eps u v] is true when dimensions agree and entries differ by
+    at most [eps] in absolute value. *)
+val equal : eps:float -> t -> t -> bool
+
+(** [pp ppf v] prints [v] as [[x0; x1; ...]] with 6 significant digits. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,179 @@
+type var = int
+type cns = int
+type relation = Le | Ge | Eq
+
+type var_decl = { vname : string; lb : float option; ub : float option }
+
+type row = { terms : (float * var) list; rel : relation; rhs : float }
+
+type problem = {
+  mutable vars : var_decl list; (* reversed *)
+  mutable nvars : int;
+  mutable rows : row list; (* reversed *)
+  mutable nrows : int;
+  mutable obj : (float * var) list;
+  mutable maximize : bool;
+}
+
+type solution = {
+  objective : float;
+  value : var -> float;
+  dual : cns -> float;
+}
+type verdict = Optimal of solution | Infeasible | Unbounded
+
+let create () =
+  { vars = []; nvars = 0; rows = []; nrows = 0; obj = []; maximize = false }
+
+let add_variable p ~name ?(lb = Some 0.0) ?(ub = None) () =
+  let v = p.nvars in
+  p.vars <- { vname = name; lb; ub } :: p.vars;
+  p.nvars <- p.nvars + 1;
+  v
+
+let check_var p v =
+  if v < 0 || v >= p.nvars then invalid_arg "Lp: variable of another problem"
+
+let add_constraint p terms rel rhs =
+  List.iter (fun (_, v) -> check_var p v) terms;
+  let c = p.nrows in
+  p.rows <- { terms; rel; rhs } :: p.rows;
+  p.nrows <- p.nrows + 1;
+  c
+
+let set_objective p ?(maximize = false) terms =
+  List.iter (fun (_, v) -> check_var p v) terms;
+  p.obj <- terms;
+  p.maximize <- maximize
+
+let num_variables p = p.nvars
+let num_constraints p = p.nrows
+
+let name p v =
+  check_var p v;
+  (List.nth p.vars (p.nvars - 1 - v)).vname
+
+(* Encoding of an original variable in the standard-form column space. *)
+type encoding =
+  | Shifted of int * float  (* x = col + shift, col ≥ 0 *)
+  | Split of int * int      (* x = col⁺ − col⁻ *)
+
+let solve p =
+  let decls = Array.of_list (List.rev p.vars) in
+  let rows = List.rev p.rows in
+  (* Assign standard-form columns. *)
+  let ncols = ref 0 in
+  let fresh () =
+    let c = !ncols in
+    incr ncols;
+    c
+  in
+  let enc =
+    Array.map
+      (fun d ->
+        match d.lb with
+        | Some l -> Shifted (fresh (), l)
+        | None -> Split (fresh (), fresh ()))
+      decls
+  in
+  (* Upper bounds become extra ≤ rows. *)
+  let ub_rows =
+    Array.to_list decls
+    |> List.mapi (fun v d ->
+           match d.ub with
+           | None -> []
+           | Some u -> [ { terms = [ (1.0, v) ]; rel = Le; rhs = u } ])
+    |> List.concat
+  in
+  let all_rows = rows @ ub_rows in
+  (* A row Σ coeff·x rel rhs in original variables becomes a row over the
+     standard columns with the shifts folded into the rhs. *)
+  let encode_row r =
+    let coeffs = Hashtbl.create 8 in
+    let addc col v =
+      let cur = try Hashtbl.find coeffs col with Not_found -> 0.0 in
+      Hashtbl.replace coeffs col (cur +. v)
+    in
+    let rhs = ref r.rhs in
+    List.iter
+      (fun (coef, v) ->
+        match enc.(v) with
+        | Shifted (col, shift) ->
+          addc col coef;
+          rhs := !rhs -. (coef *. shift)
+        | Split (cp, cm) ->
+          addc cp coef;
+          addc cm (-.coef))
+      r.terms;
+    (coeffs, r.rel, !rhs)
+  in
+  let encoded = List.map encode_row all_rows in
+  (* Slack / surplus columns, after normalising rhs ≥ 0. *)
+  let flipped_sign =
+    List.map (fun (_, _, rhs) -> if rhs < 0.0 then -1.0 else 1.0) encoded
+  in
+  let normalised =
+    List.map
+      (fun (coeffs, rel, rhs) ->
+        if rhs < 0.0 then begin
+          let flipped = Hashtbl.create (Hashtbl.length coeffs) in
+          Hashtbl.iter (fun k v -> Hashtbl.replace flipped k (-.v)) coeffs;
+          let rel' = match rel with Le -> Ge | Ge -> Le | Eq -> Eq in
+          (flipped, rel', -.rhs)
+        end
+        else (coeffs, rel, rhs))
+      encoded
+  in
+  let slack_cols =
+    List.map
+      (fun (_, rel, _) ->
+        match rel with Le -> Some (fresh (), 1.0) | Ge -> Some (fresh (), -1.0) | Eq -> None)
+      normalised
+  in
+  let n = !ncols and m = List.length normalised in
+  let a = Linalg.Mat.create m n in
+  let b = Linalg.Vec.create m in
+  List.iteri
+    (fun i ((coeffs, _, rhs), slack) ->
+      Hashtbl.iter (fun col v -> Linalg.Mat.update a i col (fun x -> x +. v)) coeffs;
+      (match slack with
+      | Some (col, sign) -> Linalg.Mat.set a i col sign
+      | None -> ());
+      b.(i) <- rhs)
+    (List.combine normalised slack_cols);
+  (* Objective over standard columns (sense folded to minimisation). *)
+  let c = Linalg.Vec.create n in
+  let sense = if p.maximize then -1.0 else 1.0 in
+  let obj_shift = ref 0.0 in
+  List.iter
+    (fun (coef, v) ->
+      let coef = sense *. coef in
+      match enc.(v) with
+      | Shifted (col, shift) ->
+        c.(col) <- c.(col) +. coef;
+        obj_shift := !obj_shift +. (coef *. shift)
+      | Split (cp, cm) ->
+        c.(cp) <- c.(cp) +. coef;
+        c.(cm) <- c.(cm) -. coef)
+    p.obj;
+  match Tableau.solve ~a ~b ~c with
+  | Tableau.Infeasible -> Infeasible
+  | Tableau.Unbounded -> Unbounded
+  | Tableau.Optimal { x; objective; duals } ->
+    let value v =
+      check_var p v;
+      match enc.(v) with
+      | Shifted (col, shift) -> x.(col) +. shift
+      | Split (cp, cm) -> x.(cp) -. x.(cm)
+    in
+    let flips = Array.of_list flipped_sign in
+    let dual c =
+      if c < 0 || c >= p.nrows then
+        invalid_arg "Lp: constraint of another problem"
+      (* User rows come first in the standard form, in order; flipping
+         a row negates its multiplier, and the minimisation fold
+         (sense) maps it back to the original objective sense. *)
+      else sense *. flips.(c) *. duals.(c)
+    in
+    let obj = sense *. (objective +. !obj_shift) in
+    Optimal { objective = obj; value; dual }

@@ -1,0 +1,180 @@
+type verdict =
+  | Optimal of { x : Linalg.Vec.t; objective : float; duals : Linalg.Vec.t }
+  | Infeasible
+  | Unbounded
+
+let eps_pivot = 1e-9
+let eps_cost = 1e-9
+let eps_feas = 1e-7
+let stall_budget = 64
+
+(* The tableau stores B⁻¹·[A | b] row by row.  [basis.(i)] is the index of
+   the variable basic in row [i].  [allowed j] says whether column [j] may
+   enter the basis (used to freeze artificials in phase 2). *)
+type state = {
+  m : int;
+  n : int;
+  tab : float array array; (* m rows of n+1 entries; last entry is rhs *)
+  basis : int array;
+}
+
+let pivot st ~row ~col =
+  let t = st.tab in
+  let prow = t.(row) in
+  let p = prow.(col) in
+  for j = 0 to st.n do
+    prow.(j) <- prow.(j) /. p
+  done;
+  for i = 0 to st.m - 1 do
+    if i <> row then begin
+      let r = t.(i) in
+      let f = r.(col) in
+      if f <> 0.0 then
+        for j = 0 to st.n do
+          r.(j) <- r.(j) -. (f *. prow.(j))
+        done
+    end
+  done;
+  st.basis.(row) <- col
+
+(* Reduced costs under objective [c] (length n): z = c − cBᵀ·B⁻¹·A. *)
+let reduced_costs st c =
+  let z = Array.copy c in
+  for i = 0 to st.m - 1 do
+    let cb = c.(st.basis.(i)) in
+    if cb <> 0.0 then begin
+      let r = st.tab.(i) in
+      for j = 0 to st.n - 1 do
+        z.(j) <- z.(j) -. (cb *. r.(j))
+      done
+    end
+  done;
+  z
+
+let objective_of st c =
+  let acc = ref 0.0 in
+  for i = 0 to st.m - 1 do
+    acc := !acc +. (c.(st.basis.(i)) *. st.tab.(i).(st.n))
+  done;
+  !acc
+
+(* Ratio test: leaving row for entering column [col]; Bland tie-break on
+   the basic variable index for anti-cycling. *)
+let leaving_row st ~col =
+  let best = ref (-1) and best_ratio = ref infinity in
+  for i = 0 to st.m - 1 do
+    let a = st.tab.(i).(col) in
+    if a > eps_pivot then begin
+      let ratio = st.tab.(i).(st.n) /. a in
+      if
+        ratio < !best_ratio -. 1e-12
+        || (Float.abs (ratio -. !best_ratio) <= 1e-12
+           && (!best < 0 || st.basis.(i) < st.basis.(!best)))
+      then begin
+        best := i;
+        best_ratio := ratio
+      end
+    end
+  done;
+  !best
+
+type phase_result = Phase_optimal | Phase_unbounded
+
+(* Run simplex iterations for objective [c], entering columns restricted by
+   [allowed].  Dantzig rule normally; Bland's rule once the objective has
+   stalled for [stall_budget] iterations (guarantees termination). *)
+let run_phase st c allowed =
+  let rec loop stalls last_obj =
+    let z = reduced_costs st c in
+    let entering =
+      if stalls >= stall_budget then begin
+        (* Bland: smallest index with negative reduced cost. *)
+        let j = ref (-1) in
+        (try
+           for k = 0 to st.n - 1 do
+             if allowed k && z.(k) < -.eps_cost then begin
+               j := k;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !j
+      end
+      else begin
+        let j = ref (-1) and best = ref (-.eps_cost) in
+        for k = 0 to st.n - 1 do
+          if allowed k && z.(k) < !best then begin
+            best := z.(k);
+            j := k
+          end
+        done;
+        !j
+      end
+    in
+    if entering < 0 then Phase_optimal
+    else
+      let row = leaving_row st ~col:entering in
+      if row < 0 then Phase_unbounded
+      else begin
+        pivot st ~row ~col:entering;
+        let obj = objective_of st c in
+        let stalls' = if obj < last_obj -. 1e-12 then 0 else stalls + 1 in
+        loop stalls' obj
+      end
+  in
+  loop 0 (objective_of st c)
+
+let solve ~a ~b ~c =
+  let m = Linalg.Mat.rows a and n0 = Linalg.Mat.cols a in
+  if Linalg.Vec.dim b <> m then invalid_arg "Tableau.solve: b dimension";
+  if Linalg.Vec.dim c <> n0 then invalid_arg "Tableau.solve: c dimension";
+  Array.iter
+    (fun bi -> if bi < -1e-12 then invalid_arg "Tableau.solve: b must be >= 0")
+    b;
+  let n = n0 + m in
+  (* Columns 0..n0-1 are structural, n0..n-1 are artificials. *)
+  let tab =
+    Array.init m (fun i ->
+        Array.init (n + 1) (fun j ->
+            if j < n0 then Linalg.Mat.get a i j
+            else if j < n then if j - n0 = i then 1.0 else 0.0
+            else Float.max b.(i) 0.0))
+  in
+  let st = { m; n; tab; basis = Array.init m (fun i -> n0 + i) } in
+  (* Phase 1. *)
+  let c1 = Array.init n (fun j -> if j >= n0 then 1.0 else 0.0) in
+  (match run_phase st c1 (fun _ -> true) with
+  | Phase_optimal -> ()
+  | Phase_unbounded ->
+    (* Phase-1 objective is bounded below by 0; unbounded is impossible. *)
+    assert false);
+  if objective_of st c1 > eps_feas then Infeasible
+  else begin
+    (* Drive remaining artificials (basic at value 0) out of the basis
+       where possible; rows where no structural pivot exists are redundant
+       and harmless since the artificial stays at zero and is frozen. *)
+    for i = 0 to m - 1 do
+      if st.basis.(i) >= n0 then begin
+        let j = ref 0 and found = ref false in
+        while (not !found) && !j < n0 do
+          if Float.abs st.tab.(i).(!j) > eps_pivot then found := true
+          else incr j
+        done;
+        if !found then pivot st ~row:i ~col:!j
+      end
+    done;
+    (* Phase 2: original costs; artificials frozen out. *)
+    let c2 = Array.init n (fun j -> if j < n0 then c.(j) else 0.0) in
+    match run_phase st c2 (fun j -> j < n0) with
+    | Phase_unbounded -> Unbounded
+    | Phase_optimal ->
+      let x = Array.make n0 0.0 in
+      for i = 0 to m - 1 do
+        if st.basis.(i) < n0 then x.(st.basis.(i)) <- st.tab.(i).(st.n)
+      done;
+      (* The dual of row i is cBᵀB⁻¹eᵢ = −(reduced cost of the i-th
+         artificial column) under the phase-2 costs. *)
+      let z = reduced_costs st c2 in
+      let duals = Array.init m (fun i -> -.z.(n0 + i)) in
+      Optimal { x; objective = objective_of st c2; duals }
+  end

@@ -1,0 +1,398 @@
+type proc = int
+type memory = int
+type task = int
+type buffer = int
+type graph = int
+
+type proc_info = { pname : string; replenishment : float; overhead : float }
+
+type memory_info = { mname : string; capacity : int }
+
+type graph_info = {
+  gname : string;
+  period : float;
+  latency_bound : float option;
+}
+
+type task_info = {
+  tname : string;
+  tgraph : graph;
+  tproc : proc;
+  wcet : float;
+  mutable tweight : float;
+}
+
+type buffer_info = {
+  bname : string;
+  bgraph : graph;
+  bsrc : task;
+  bdst : task;
+  bmemory : memory;
+  container_size : int;
+  initial_tokens : int;
+  mutable bweight : float;
+  mutable max_capacity : int option;
+}
+
+type t = {
+  granularity : float;
+  mutable procs : proc_info list; (* reversed *)
+  mutable mems : memory_info list;
+  mutable graph_infos : graph_info list;
+  mutable task_infos : task_info list;
+  mutable buffer_infos : buffer_info list;
+  mutable nprocs : int;
+  mutable nmems : int;
+  mutable ngraphs : int;
+  mutable ntasks : int;
+  mutable nbuffers : int;
+}
+
+let create ~granularity () =
+  if granularity <= 0.0 || not (Float.is_finite granularity) then
+    invalid_arg "Config.create: granularity must be > 0";
+  {
+    granularity;
+    procs = [];
+    mems = [];
+    graph_infos = [];
+    task_infos = [];
+    buffer_infos = [];
+    nprocs = 0;
+    nmems = 0;
+    ngraphs = 0;
+    ntasks = 0;
+    nbuffers = 0;
+  }
+
+let nth_rev lst n total = List.nth lst (total - 1 - n)
+
+let proc_info t p =
+  if p < 0 || p >= t.nprocs then invalid_arg "Config: unknown processor";
+  nth_rev t.procs p t.nprocs
+
+let memory_info t m =
+  if m < 0 || m >= t.nmems then invalid_arg "Config: unknown memory";
+  nth_rev t.mems m t.nmems
+
+let graph_info t g =
+  if g < 0 || g >= t.ngraphs then invalid_arg "Config: unknown task graph";
+  nth_rev t.graph_infos g t.ngraphs
+
+let task_info t w =
+  if w < 0 || w >= t.ntasks then invalid_arg "Config: unknown task";
+  nth_rev t.task_infos w t.ntasks
+
+let buffer_info t b =
+  if b < 0 || b >= t.nbuffers then invalid_arg "Config: unknown buffer";
+  nth_rev t.buffer_infos b t.nbuffers
+
+let name_exists t name =
+  List.exists (fun (p : proc_info) -> p.pname = name) t.procs
+  || List.exists (fun (m : memory_info) -> m.mname = name) t.mems
+  || List.exists (fun (g : graph_info) -> g.gname = name) t.graph_infos
+  || List.exists (fun (w : task_info) -> w.tname = name) t.task_infos
+  || List.exists (fun (b : buffer_info) -> b.bname = name) t.buffer_infos
+
+let check_fresh t name =
+  if name_exists t name then
+    invalid_arg (Printf.sprintf "Config: duplicate name %S" name)
+
+let add_processor t ~name ~replenishment ?(overhead = 0.0) () =
+  if replenishment <= 0.0 then
+    invalid_arg "Config.add_processor: replenishment must be > 0";
+  if overhead < 0.0 then
+    invalid_arg "Config.add_processor: overhead must be >= 0";
+  check_fresh t name;
+  let p = t.nprocs in
+  t.procs <- { pname = name; replenishment; overhead } :: t.procs;
+  t.nprocs <- p + 1;
+  p
+
+let add_memory t ~name ~capacity =
+  if capacity < 0 then invalid_arg "Config.add_memory: capacity must be >= 0";
+  check_fresh t name;
+  let m = t.nmems in
+  t.mems <- { mname = name; capacity } :: t.mems;
+  t.nmems <- m + 1;
+  m
+
+let add_graph t ~name ~period ?latency_bound () =
+  if period <= 0.0 then invalid_arg "Config.add_graph: period must be > 0";
+  (match latency_bound with
+  | Some l when l <= 0.0 ->
+    invalid_arg "Config.add_graph: latency bound must be > 0"
+  | Some _ | None -> ());
+  check_fresh t name;
+  let g = t.ngraphs in
+  t.graph_infos <- { gname = name; period; latency_bound } :: t.graph_infos;
+  t.ngraphs <- g + 1;
+  g
+
+let add_task t g ~name ~proc ~wcet ?(weight = 1.0) () =
+  ignore (graph_info t g);
+  ignore (proc_info t proc);
+  if wcet <= 0.0 then invalid_arg "Config.add_task: wcet must be > 0";
+  check_fresh t name;
+  let w = t.ntasks in
+  t.task_infos <-
+    { tname = name; tgraph = g; tproc = proc; wcet; tweight = weight }
+    :: t.task_infos;
+  t.ntasks <- w + 1;
+  w
+
+let add_buffer t g ~name ~src ~dst ~memory ?(container_size = 1)
+    ?(initial_tokens = 0) ?(weight = 1.0) ?max_capacity () =
+  ignore (graph_info t g);
+  ignore (memory_info t memory);
+  let si = task_info t src and di = task_info t dst in
+  if si.tgraph <> g || di.tgraph <> g then
+    invalid_arg "Config.add_buffer: endpoint tasks must belong to the graph";
+  if container_size <= 0 then
+    invalid_arg "Config.add_buffer: container_size must be > 0";
+  if initial_tokens < 0 then
+    invalid_arg "Config.add_buffer: initial_tokens must be >= 0";
+  (match max_capacity with
+  | Some c when c < 1 -> invalid_arg "Config.add_buffer: max_capacity must be >= 1"
+  | Some c when c < initial_tokens ->
+    invalid_arg "Config.add_buffer: max_capacity below initial tokens"
+  | Some _ | None -> ());
+  check_fresh t name;
+  let b = t.nbuffers in
+  t.buffer_infos <-
+    {
+      bname = name;
+      bgraph = g;
+      bsrc = src;
+      bdst = dst;
+      bmemory = memory;
+      container_size;
+      initial_tokens;
+      bweight = weight;
+      max_capacity;
+    }
+    :: t.buffer_infos;
+  t.nbuffers <- b + 1;
+  b
+
+let set_max_capacity t b cap =
+  (match cap with
+  | Some c when c < 1 ->
+    invalid_arg "Config.set_max_capacity: capacity must be >= 1"
+  | Some _ | None -> ());
+  (buffer_info t b).max_capacity <- cap
+
+let set_task_weight t w a = (task_info t w).tweight <- a
+let set_buffer_weight t b v = (buffer_info t b).bweight <- v
+let processors t = List.init t.nprocs Fun.id
+let memories t = List.init t.nmems Fun.id
+let graphs t = List.init t.ngraphs Fun.id
+
+let tasks t g =
+  List.filter (fun w -> (task_info t w).tgraph = g) (List.init t.ntasks Fun.id)
+
+let buffers t g =
+  List.filter
+    (fun b -> (buffer_info t b).bgraph = g)
+    (List.init t.nbuffers Fun.id)
+
+let all_tasks t = List.init t.ntasks Fun.id
+let all_buffers t = List.init t.nbuffers Fun.id
+let granularity t = t.granularity
+let proc_name t p = (proc_info t p).pname
+let replenishment t p = (proc_info t p).replenishment
+let overhead t p = (proc_info t p).overhead
+let memory_name t m = (memory_info t m).mname
+let memory_capacity t m = (memory_info t m).capacity
+let graph_name t g = (graph_info t g).gname
+let period t g = (graph_info t g).period
+let latency_bound t g = (graph_info t g).latency_bound
+let task_name t w = (task_info t w).tname
+let task_proc t w = (task_info t w).tproc
+let task_graph t w = (task_info t w).tgraph
+let wcet t w = (task_info t w).wcet
+let task_weight t w = (task_info t w).tweight
+let buffer_name t b = (buffer_info t b).bname
+let buffer_src t b = (buffer_info t b).bsrc
+let buffer_dst t b = (buffer_info t b).bdst
+let buffer_memory t b = (buffer_info t b).bmemory
+let container_size t b = (buffer_info t b).container_size
+let initial_tokens t b = (buffer_info t b).initial_tokens
+let buffer_weight t b = (buffer_info t b).bweight
+let max_capacity t b = (buffer_info t b).max_capacity
+
+let tasks_on t p =
+  List.filter (fun w -> (task_info t w).tproc = p) (all_tasks t)
+
+let buffers_in t m =
+  List.filter (fun b -> (buffer_info t b).bmemory = m) (all_buffers t)
+
+let find_by_name infos total get_name name =
+  let rec loop i =
+    if i >= total then raise Not_found
+    else if get_name (nth_rev infos i total) = name then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let find_proc t name =
+  find_by_name t.procs t.nprocs (fun (p : proc_info) -> p.pname) name
+
+let find_memory t name =
+  find_by_name t.mems t.nmems (fun (m : memory_info) -> m.mname) name
+
+let find_graph t name =
+  find_by_name t.graph_infos t.ngraphs (fun (g : graph_info) -> g.gname) name
+
+let find_task t name =
+  find_by_name t.task_infos t.ntasks (fun (w : task_info) -> w.tname) name
+
+let find_buffer t name =
+  find_by_name t.buffer_infos t.nbuffers (fun (b : buffer_info) -> b.bname) name
+
+let task_id w = w
+let buffer_id b = b
+
+let task_of_id t i =
+  ignore (task_info t i);
+  i
+
+let buffer_of_id t i =
+  ignore (buffer_info t i);
+  i
+let proc_id p = p
+let memory_id m = m
+let graph_id g = g
+
+let validate t =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  List.iter
+    (fun p ->
+      let pi = proc_info t p in
+      let min_budgets =
+        List.length (tasks_on t p) |> float_of_int |> ( *. ) t.granularity
+      in
+      if pi.overhead +. min_budgets > pi.replenishment then
+        add
+          "processor %s: overhead plus one granule per task already exceeds \
+           the replenishment interval"
+          pi.pname)
+    (processors t);
+  List.iter
+    (fun m ->
+      let mi = memory_info t m in
+      let min_fill =
+        List.fold_left
+          (fun acc b ->
+            acc
+            + (container_size t b * Int.max 1 (initial_tokens t b)))
+          0 (buffers_in t m)
+      in
+      if min_fill > mi.capacity then
+        add "memory %s: minimal buffer footprint %d exceeds capacity %d"
+          mi.mname min_fill mi.capacity)
+    (memories t);
+  List.iter
+    (fun w ->
+      let wi = task_info t w in
+      let pi = proc_info t wi.tproc in
+      (* Even with the whole interval as budget the actor modelling the
+         task has firing duration ≥ χ, so µ < χ is hopeless. *)
+      let mu = (graph_info t wi.tgraph).period in
+      if wi.wcet > mu then
+        add "task %s: wcet %g exceeds the graph period %g" wi.tname wi.wcet mu;
+      if wi.wcet > pi.replenishment then
+        add "task %s: wcet %g exceeds the replenishment interval %g of %s"
+          wi.tname wi.wcet pi.replenishment pi.pname)
+    (all_tasks t);
+  List.rev !problems
+
+type mapped = { budget : task -> float; capacity : buffer -> int }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>granularity %g@," t.granularity;
+  List.iter
+    (fun p ->
+      let pi = proc_info t p in
+      Format.fprintf ppf "processor %s replenishment %g overhead %g@," pi.pname
+        pi.replenishment pi.overhead)
+    (processors t);
+  List.iter
+    (fun m ->
+      let mi = memory_info t m in
+      Format.fprintf ppf "memory %s capacity %d@," mi.mname mi.capacity)
+    (memories t);
+  List.iter
+    (fun g ->
+      let gi = graph_info t g in
+      Format.fprintf ppf "taskgraph %s period %g%s@," gi.gname gi.period
+        (match gi.latency_bound with
+        | None -> ""
+        | Some l -> Printf.sprintf " latency %g" l);
+      List.iter
+        (fun w ->
+          let wi = task_info t w in
+          Format.fprintf ppf "  task %s proc %s wcet %g weight %g@," wi.tname
+            (proc_name t wi.tproc) wi.wcet wi.tweight)
+        (tasks t g);
+      List.iter
+        (fun b ->
+          let bi = buffer_info t b in
+          Format.fprintf ppf
+            "  buffer %s from %s to %s memory %s container %d initial %d \
+             weight %g%s@,"
+            bi.bname (task_name t bi.bsrc) (task_name t bi.bdst)
+            (memory_name t bi.bmemory) bi.container_size bi.initial_tokens
+            bi.bweight
+            (match bi.max_capacity with
+            | None -> ""
+            | Some c -> Printf.sprintf " max %d" c))
+        (buffers t g))
+    (graphs t);
+  Format.fprintf ppf "@]"
+
+let pp_mapped t ppf m =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "budget %s = %g@," (task_name t w) (m.budget w))
+    (all_tasks t);
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "capacity %s = %d containers@," (buffer_name t b)
+        (m.capacity b))
+    (all_buffers t);
+  Format.fprintf ppf "@]"
+
+let pp_dot ppf t =
+  Format.fprintf ppf "digraph taskgraphs {@.";
+  Format.fprintf ppf "  rankdir=LR;@.";
+  Format.fprintf ppf "  node [shape=box];@.";
+  List.iter
+    (fun g ->
+      let gi = graph_info t g in
+      Format.fprintf ppf "  subgraph cluster_%d {@." g;
+      Format.fprintf ppf "    label=\"%s (mu=%g)\";@." gi.gname gi.period;
+      List.iter
+        (fun w ->
+          let wi = task_info t w in
+          Format.fprintf ppf
+            "    w%d [label=\"%s\\nchi=%g on %s\"];@." w wi.tname wi.wcet
+            (proc_name t wi.tproc))
+        (tasks t g);
+      Format.fprintf ppf "  }@.")
+    (graphs t);
+  List.iter
+    (fun b ->
+      let bi = buffer_info t b in
+      let cap =
+        match bi.max_capacity with
+        | None -> ""
+        | Some c -> Printf.sprintf " cap<=%d" c
+      in
+      Format.fprintf ppf
+        "  w%d -> w%d [label=\"%s zeta=%d iota=%d%s\"];@." bi.bsrc bi.bdst
+        bi.bname bi.container_size bi.initial_tokens cap)
+    (all_buffers t);
+  Format.fprintf ppf "}@."

@@ -1,0 +1,201 @@
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+(* A line is split into whitespace-separated words; key/value attributes
+   come in pairs after the positional head of each declaration. *)
+let words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let float_attr line key v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None -> fail line "attribute %s: %S is not a number" key v
+
+let int_attr line key v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> fail line "attribute %s: %S is not an integer" key v
+
+(* Parse a [key value key value ...] tail into an association list,
+   checking against the allowed keys. *)
+let rec attrs line allowed = function
+  | [] -> []
+  | [ key ] -> fail line "attribute %s has no value" key
+  | key :: value :: rest ->
+    if not (List.mem key allowed) then fail line "unknown attribute %S" key
+    else (key, value) :: attrs line allowed rest
+
+let find_attr kvs key = List.assoc_opt key kvs
+
+let require_attr line kvs key =
+  match find_attr kvs key with
+  | Some v -> v
+  | None -> fail line "missing attribute %s" key
+
+type pre_decl =
+  | P_granularity of float
+  | P_processor of string * float * float
+  | P_memory of string * int
+  | P_graph of string * float * float option
+  | P_task of string * string * float * float (* name, proc, wcet, weight *)
+  | P_buffer of
+      string * string * string * string * int * int * float * int option
+      (* name, from, to, memory, container, initial, weight, max *)
+
+let parse_line lineno line =
+  match words line with
+  | [] -> None
+  | "#" :: _ -> None
+  | head :: _ when String.length head > 0 && head.[0] = '#' -> None
+  | "granularity" :: rest -> begin
+    match rest with
+    | [ v ] -> Some (P_granularity (float_attr lineno "granularity" v))
+    | _ -> fail lineno "granularity expects exactly one value"
+  end
+  | "processor" :: name :: rest ->
+    let kvs = attrs lineno [ "replenishment"; "overhead" ] rest in
+    let repl =
+      float_attr lineno "replenishment" (require_attr lineno kvs "replenishment")
+    in
+    let ovh =
+      match find_attr kvs "overhead" with
+      | Some v -> float_attr lineno "overhead" v
+      | None -> 0.0
+    in
+    Some (P_processor (name, repl, ovh))
+  | "memory" :: name :: rest ->
+    let kvs = attrs lineno [ "capacity" ] rest in
+    Some
+      (P_memory
+         (name, int_attr lineno "capacity" (require_attr lineno kvs "capacity")))
+  | "taskgraph" :: name :: rest ->
+    let kvs = attrs lineno [ "period"; "latency" ] rest in
+    let latency =
+      match find_attr kvs "latency" with
+      | Some v -> Some (float_attr lineno "latency" v)
+      | None -> None
+    in
+    Some
+      (P_graph
+         ( name,
+           float_attr lineno "period" (require_attr lineno kvs "period"),
+           latency ))
+  | "task" :: name :: rest ->
+    let kvs = attrs lineno [ "proc"; "wcet"; "weight" ] rest in
+    let proc = require_attr lineno kvs "proc" in
+    let wcet = float_attr lineno "wcet" (require_attr lineno kvs "wcet") in
+    let weight =
+      match find_attr kvs "weight" with
+      | Some v -> float_attr lineno "weight" v
+      | None -> 1.0
+    in
+    Some (P_task (name, proc, wcet, weight))
+  | "buffer" :: name :: rest ->
+    let kvs =
+      attrs lineno
+        [ "from"; "to"; "memory"; "container"; "initial"; "weight"; "max" ]
+        rest
+    in
+    let from = require_attr lineno kvs "from"
+    and to_ = require_attr lineno kvs "to"
+    and memory = require_attr lineno kvs "memory" in
+    let container =
+      match find_attr kvs "container" with
+      | Some v -> int_attr lineno "container" v
+      | None -> 1
+    in
+    let initial =
+      match find_attr kvs "initial" with
+      | Some v -> int_attr lineno "initial" v
+      | None -> 0
+    in
+    let weight =
+      match find_attr kvs "weight" with
+      | Some v -> float_attr lineno "weight" v
+      | None -> 1.0
+    in
+    let max_cap =
+      match find_attr kvs "max" with
+      | Some v -> Some (int_attr lineno "max" v)
+      | None -> None
+    in
+    Some (P_buffer (name, from, to_, memory, container, initial, weight, max_cap))
+  | head :: _ -> fail lineno "unknown declaration %S" head
+
+let config_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let decls =
+    List.concat
+      (List.mapi
+         (fun i line ->
+           match parse_line (i + 1) line with
+           | None -> []
+           | Some d -> [ (i + 1, d) ])
+         lines)
+  in
+  let granularity =
+    match
+      List.filter_map
+        (function _, P_granularity g -> Some g | _ -> None)
+        decls
+    with
+    | [] -> 1.0
+    | [ g ] -> g
+    | _ :: (_ : float list) -> raise (Parse_error (0, "duplicate granularity"))
+  in
+  let cfg =
+    try Config.create ~granularity ()
+    with Invalid_argument msg -> raise (Parse_error (0, msg))
+  in
+  let current_graph = ref None in
+  let wrap lineno f = try f () with Invalid_argument msg -> fail lineno "%s" msg in
+  let lookup lineno what find name =
+    try find cfg name with Not_found -> fail lineno "unknown %s %S" what name
+  in
+  List.iter
+    (fun (lineno, d) ->
+      match d with
+      | P_granularity _ -> ()
+      | P_processor (name, replenishment, overhead) ->
+        wrap lineno (fun () ->
+            ignore (Config.add_processor cfg ~name ~replenishment ~overhead ()))
+      | P_memory (name, capacity) ->
+        wrap lineno (fun () -> ignore (Config.add_memory cfg ~name ~capacity))
+      | P_graph (name, period, latency_bound) ->
+        wrap lineno (fun () ->
+            current_graph :=
+              Some (Config.add_graph cfg ~name ~period ?latency_bound ()))
+      | P_task (name, proc, wcet, weight) -> begin
+        match !current_graph with
+        | None -> fail lineno "task %S outside any taskgraph" name
+        | Some g ->
+          let proc = lookup lineno "processor" Config.find_proc proc in
+          wrap lineno (fun () ->
+              ignore (Config.add_task cfg g ~name ~proc ~wcet ~weight ()))
+      end
+      | P_buffer (name, from, to_, memory, container, initial, weight, max_cap)
+        -> begin
+        match !current_graph with
+        | None -> fail lineno "buffer %S outside any taskgraph" name
+        | Some g ->
+          let src = lookup lineno "task" Config.find_task from
+          and dst = lookup lineno "task" Config.find_task to_
+          and memory = lookup lineno "memory" Config.find_memory memory in
+          wrap lineno (fun () ->
+              ignore
+                (Config.add_buffer cfg g ~name ~src ~dst ~memory
+                   ~container_size:container ~initial_tokens:initial ~weight
+                   ?max_capacity:max_cap ()))
+      end)
+    decls;
+  cfg
+
+let config_of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  config_of_string content

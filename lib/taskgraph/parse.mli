@@ -1,0 +1,30 @@
+(** Parser for the textual configuration format printed by
+    {!Config.pp}.
+
+    The format is line-oriented; [#] starts a comment.  Keywords:
+
+    {v
+    granularity 1
+    processor p1 replenishment 40 overhead 0
+    memory m1 capacity 1000
+    taskgraph t1 period 10
+      task wa proc p1 wcet 1 weight 1
+      task wb proc p2 wcet 1 weight 1
+      buffer bab from wa to wb memory m1 container 1 initial 0 weight 1 max 10
+    v}
+
+    Tasks and buffers attach to the most recently declared task graph.
+    Optional attributes ([overhead], [weight], [container], [initial],
+    [max]) may be omitted.  [granularity] defaults to 1. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+(** [config_of_string s] parses a configuration.
+    @raise Parse_error on malformed input. *)
+val config_of_string : string -> Config.t
+
+(** [config_of_file path] reads and parses a file.
+    @raise Sys_error when the file cannot be read.
+    @raise Parse_error on malformed input. *)
+val config_of_file : string -> Config.t

@@ -1,0 +1,24 @@
+(** Mutable binary min-heap keyed by floats, used as the event queue of
+    the discrete-event simulator.  Ties are broken by insertion order,
+    which keeps event processing deterministic. *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> 'a t
+
+(** [is_empty h] is true when the heap holds no elements. *)
+val is_empty : 'a t -> bool
+
+(** [size h] is the number of stored elements. *)
+val size : 'a t -> int
+
+(** [push h key v] inserts [v] with priority [key]. *)
+val push : 'a t -> float -> 'a -> unit
+
+(** [pop h] removes and returns the minimum-key element (earliest
+    insertion first among equal keys). *)
+val pop : 'a t -> (float * 'a) option
+
+(** [peek h] returns the minimum without removing it. *)
+val peek : 'a t -> (float * 'a) option

@@ -1,0 +1,262 @@
+module Config = Taskgraph.Config
+
+type report = {
+  task_period : Config.task -> float;
+  graph_period : Config.graph -> float;
+  task_completions : Config.task -> float array;
+  task_executions : Config.task -> (float * float) array;
+  buffer_high_water : Config.buffer -> int;
+  makespan : float;
+}
+
+let processing_completion ~window_offset ~budget ~interval ~start ~work =
+  if budget <= 0.0 || interval <= 0.0 || budget > interval then
+    invalid_arg "Sim.processing_completion: invalid window";
+  if work < 0.0 then invalid_arg "Sim.processing_completion: negative work";
+  let start = Float.max start 0.0 in
+  if work <= 0.0 then start
+  else begin
+    (* Iterate the interval index explicitly: [k] strictly increases, so
+       the loop terminates even when floating-point rounding makes
+       [floor (t /. interval)] disagree with the index that produced
+       [t]. *)
+    (* Service can only begin at [max start wstart]; whatever fits
+       before the window closes is consumed, the rest rolls over. *)
+    let rec advance k remaining =
+      let wstart = (k *. interval) +. window_offset in
+      let wend = wstart +. budget in
+      let begin_service = Float.max start wstart in
+      let available = wend -. begin_service in
+      if available <= 0.0 then advance (k +. 1.0) remaining
+      else if remaining <= available then begin_service +. remaining
+      else advance (k +. 1.0) (remaining -. available)
+    in
+    advance (Float.max 0.0 (floor (start /. interval) -. 1.0)) work
+  end
+
+(* Mutable per-entity simulation state. *)
+type buffer_state = {
+  mutable filled : int;  (** containers holding data, ready to consume *)
+  mutable empty : int;   (** containers available to a producer *)
+  capacity : int;
+  mutable high_water : int;  (** max of capacity − empty seen so far *)
+}
+
+type task_state = {
+  mutable fired : int;        (** completed executions *)
+  mutable busy : bool;
+  mutable completions : float list;  (** reversed *)
+  mutable claim_times : float list;  (** reversed; parallel to completions *)
+  window_offset : float;
+  budget : float;
+  interval : float;
+  wcet : float;
+  inputs : int list;   (** buffer ids consumed from *)
+  outputs : int list;  (** buffer ids produced into *)
+}
+
+let run cfg (mapped : Config.mapped) ~iterations ?execution_time () =
+  if iterations < 4 then invalid_arg "Sim.run: iterations must be >= 4";
+  let tasks = Config.all_tasks cfg in
+  let buffers = Config.all_buffers cfg in
+  (* Static window layout per processor: overhead first, then one window
+     per task in declaration order. *)
+  let offsets = Hashtbl.create 16 in
+  let layout_errors = ref [] in
+  List.iter
+    (fun p ->
+      let cursor = ref (Config.overhead cfg p) in
+      List.iter
+        (fun w ->
+          Hashtbl.replace offsets (Config.task_id w) !cursor;
+          cursor := !cursor +. mapped.Config.budget w)
+        (Config.tasks_on cfg p);
+      if !cursor > Config.replenishment cfg p +. 1e-9 then
+        layout_errors :=
+          Printf.sprintf "processor %s oversubscribed: %g > %g"
+            (Config.proc_name cfg p) !cursor
+            (Config.replenishment cfg p)
+          :: !layout_errors)
+    (Config.processors cfg);
+  let buffer_states =
+    List.map
+      (fun b ->
+        let cap = mapped.Config.capacity b in
+        let iota = Config.initial_tokens cfg b in
+        if cap < Int.max 1 iota then
+          layout_errors :=
+            Printf.sprintf "buffer %s: invalid capacity %d"
+              (Config.buffer_name cfg b) cap
+            :: !layout_errors;
+        ( Config.buffer_id b,
+          {
+            filled = iota;
+            empty = cap - iota;
+            capacity = cap;
+            high_water = iota;
+          } ))
+      buffers
+  in
+  let task_states =
+    List.map
+      (fun w ->
+        let beta = mapped.Config.budget w in
+        let p = Config.task_proc cfg w in
+        if beta <= 0.0 then
+          layout_errors :=
+            Printf.sprintf "task %s: non-positive budget"
+              (Config.task_name cfg w)
+            :: !layout_errors;
+        ( Config.task_id w,
+          {
+            fired = 0;
+            busy = false;
+            completions = [];
+            claim_times = [];
+            window_offset =
+              (try Hashtbl.find offsets (Config.task_id w) with Not_found -> 0.0);
+            budget = beta;
+            interval = Config.replenishment cfg p;
+            wcet = Config.wcet cfg w;
+            inputs =
+              List.filter_map
+                (fun b ->
+                  if Config.buffer_dst cfg b = w then
+                    Some (Config.buffer_id b)
+                  else None)
+                buffers;
+            outputs =
+              List.filter_map
+                (fun b ->
+                  if Config.buffer_src cfg b = w then
+                    Some (Config.buffer_id b)
+                  else None)
+                buffers;
+          } ))
+      tasks
+  in
+  match !layout_errors with
+  | _ :: _ as errs -> Error (String.concat "; " errs)
+  | [] ->
+    let bstate id = List.assoc id buffer_states in
+    let tstate id = List.assoc id task_states in
+    let consumers = Hashtbl.create 16 and producers = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        Hashtbl.replace consumers (Config.buffer_id b)
+          (Config.task_id (Config.buffer_dst cfg b));
+        Hashtbl.replace producers (Config.buffer_id b)
+          (Config.task_id (Config.buffer_src cfg b)))
+      buffers;
+    let events = Heap.create () in
+    let makespan = ref 0.0 in
+    (* Try to start an execution of the task at time [now]; claims one
+       filled container on each input and one empty container on each
+       output, then schedules the completion event. *)
+    let try_start now id =
+      let st = tstate id in
+      if (not st.busy) && st.fired < iterations then begin
+        let ready =
+          List.for_all (fun b -> (bstate b).filled >= 1) st.inputs
+          && List.for_all (fun b -> (bstate b).empty >= 1) st.outputs
+        in
+        if ready then begin
+          List.iter (fun b -> (bstate b).filled <- (bstate b).filled - 1) st.inputs;
+          List.iter
+            (fun b ->
+              let bs = bstate b in
+              bs.empty <- bs.empty - 1;
+              if bs.capacity - bs.empty > bs.high_water then
+                bs.high_water <- bs.capacity - bs.empty)
+            st.outputs;
+          st.busy <- true;
+          st.claim_times <- now :: st.claim_times;
+          let work =
+            match execution_time with
+            | None -> st.wcet
+            | Some f ->
+              (* Clamp into (0, χ]: the model is only conservative for
+                 actual times at most the declared worst case. *)
+              Float.min st.wcet
+                (Float.max 1e-9 (f (Config.task_of_id cfg id) st.fired))
+          in
+          let finish =
+            processing_completion ~window_offset:st.window_offset
+              ~budget:st.budget ~interval:st.interval ~start:now ~work
+          in
+          Heap.push events finish id
+        end
+      end
+    in
+    List.iter (fun (id, _) -> try_start 0.0 id) task_states;
+    let rec drain () =
+      match Heap.pop events with
+      | None -> ()
+      | Some (now, id) ->
+        let st = tstate id in
+        st.busy <- false;
+        st.fired <- st.fired + 1;
+        st.completions <- now :: st.completions;
+        if now > !makespan then makespan := now;
+        (* Produced data wakes consumers; released space wakes
+           producers. *)
+        List.iter
+          (fun b ->
+            (bstate b).filled <- (bstate b).filled + 1;
+            try_start now (Hashtbl.find consumers b))
+          st.outputs;
+        List.iter
+          (fun b ->
+            (bstate b).empty <- (bstate b).empty + 1;
+            try_start now (Hashtbl.find producers b))
+          st.inputs;
+        try_start now id;
+        drain ()
+    in
+    drain ();
+    let unfinished =
+      List.filter (fun (_, st) -> st.fired < iterations) task_states
+    in
+    if unfinished <> [] then
+      Error
+        (Printf.sprintf "deadlock: %d task(s) stalled before reaching %d \
+                         executions"
+           (List.length unfinished) iterations)
+    else begin
+      let completion_arrays =
+        List.map
+          (fun (id, st) ->
+            (id, Array.of_list (List.rev st.completions)))
+          task_states
+      in
+      let execution_arrays =
+        List.map
+          (fun (id, st) ->
+            let claims = Array.of_list (List.rev st.claim_times)
+            and ends = Array.of_list (List.rev st.completions) in
+            (id, Array.init (Array.length ends) (fun i -> (claims.(i), ends.(i)))))
+          task_states
+      in
+      let task_period w =
+        let arr = List.assoc (Config.task_id w) completion_arrays in
+        let n = Array.length arr in
+        let k1 = n / 2 and k2 = n - 1 in
+        (arr.(k2) -. arr.(k1)) /. float_of_int (k2 - k1)
+      in
+      Ok
+        {
+          task_period;
+          graph_period =
+            (fun g ->
+              List.fold_left
+                (fun acc w -> Float.max acc (task_period w))
+                0.0 (Config.tasks cfg g));
+          task_completions =
+            (fun w -> List.assoc (Config.task_id w) completion_arrays);
+          task_executions =
+            (fun w -> List.assoc (Config.task_id w) execution_arrays);
+          buffer_high_water =
+            (fun b -> (bstate (Config.buffer_id b)).high_water);
+          makespan = !makespan;
+        }
+    end

@@ -1,0 +1,76 @@
+(** Discrete-event simulation of task graphs under TDM budget
+    schedulers.
+
+    This is the repo's stand-in for the paper's multiprocessor
+    platform: each processor serves its tasks time-division-multiplexed
+    with a static window of [β(w)] cycles per replenishment interval
+    [̺(p)] (overhead [o(p)] reserved at the start of each interval).  A
+    task execution starts when every input buffer holds at least one
+    filled container and every output buffer at least one empty one; it
+    then claims both, processes its worst-case execution time [χ(w)]
+    inside its TDM windows, and on completion publishes the produced
+    container downstream and releases the consumed one upstream —
+    exactly the synchronisation behaviour the paper's dataflow model
+    conservatively bounds (Wiggers et al., EMSOFT 2009).
+
+    Because the dataflow model is conservative, a mapping that admits a
+    PAS with period [µ] must simulate at a measured steady-state period
+    ≤ [µ]; the tests assert this. *)
+
+type report = {
+  task_period : Taskgraph.Config.task -> float;
+      (** steady-state inter-completion time of the task (measured over
+          the second half of the run) *)
+  graph_period : Taskgraph.Config.graph -> float;
+      (** the slowest task period of the graph *)
+  task_completions : Taskgraph.Config.task -> float array;
+      (** completion instant of every simulated execution *)
+  task_executions : Taskgraph.Config.task -> (float * float) array;
+      (** per execution: the instant the task claimed its containers
+          (start of the waiting phase) and its completion instant *)
+  buffer_high_water : Taskgraph.Config.buffer -> int;
+      (** the largest number of containers simultaneously unavailable
+          to the producer (filled or claimed); never exceeds the
+          mapped capacity, and equals it when the buffer ever ran
+          full *)
+  makespan : float;  (** time of the last simulated completion *)
+}
+
+(** [run cfg mapped ~iterations ?execution_time ()] simulates until
+    every task completed [iterations] executions.
+
+    [execution_time] supplies the {e actual} processing time of each
+    execution (arguments: the task and its 0-based execution index);
+    it defaults to the worst case [χ(w)].  Values are clamped to
+    [(0, χ(w)]] — the paper's model is conservative only for actual
+    times at most the declared worst case.  Varying execution times
+    exercise the temporal-monotonicity property budget schedulers
+    guarantee (Wiggers et al., EMSOFT 2009): finishing early can never
+    hurt downstream progress.
+
+    @return [Error reason] on deadlock (no runnable task before the
+    iteration target is met) or when a budget/capacity is invalid
+    (non-positive budget, capacity below the initial tokens,
+    oversubscribed processor).
+    @raise Invalid_argument if [iterations < 4] (too short to measure a
+    steady-state period). *)
+val run :
+  Taskgraph.Config.t ->
+  Taskgraph.Config.mapped ->
+  iterations:int ->
+  ?execution_time:(Taskgraph.Config.task -> int -> float) ->
+  unit ->
+  (report, string) Stdlib.result
+
+(** [processing_completion ~window_offset ~budget ~interval ~start
+    ~work] is the instant at which [work] cycles of processing finish
+    when started at [start] and served only inside the TDM window
+    [[k·interval + window_offset, k·interval + window_offset + budget)]
+    of every interval [k].  Exposed for direct unit testing. *)
+val processing_completion :
+  window_offset:float ->
+  budget:float ->
+  interval:float ->
+  start:float ->
+  work:float ->
+  float

@@ -1,0 +1,117 @@
+module Config = Taskgraph.Config
+
+(* VCD identifier codes: printable ASCII from '!' upward, skipping the
+   characters that confuse parsers the least; short codes suffice for
+   our signal counts. *)
+let code i =
+  let alphabet =
+    "!#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+  in
+  let base = String.length alphabet in
+  let rec build i acc =
+    let acc = String.make 1 alphabet.[i mod base] ^ acc in
+    if i < base then acc else build ((i / base) - 1) acc
+  in
+  build i ""
+
+let binary_of_int n =
+  if n = 0 then "0"
+  else begin
+    let rec go n acc = if n = 0 then acc else go (n / 2) (string_of_int (n land 1) ^ acc) in
+    go n ""
+  end
+
+type event = Task_on of int | Task_off of int | Buffer_delta of int * int
+
+let dump ?(per_mcycle = 1000) cfg (mapped : Config.mapped)
+    (report : Sim.report) ppf =
+  if per_mcycle <= 0 then invalid_arg "Vcd.dump: per_mcycle must be > 0";
+  let tasks = Config.all_tasks cfg and buffers = Config.all_buffers cfg in
+  let task_code = Hashtbl.create 16 and buffer_code = Hashtbl.create 16 in
+  List.iteri
+    (fun i w -> Hashtbl.replace task_code (Config.task_id w) (code i))
+    tasks;
+  let ntasks = List.length tasks in
+  List.iteri
+    (fun i b ->
+      Hashtbl.replace buffer_code (Config.buffer_id b) (code (ntasks + i)))
+    buffers;
+  (* Gather timed events. *)
+  let events = ref [] in
+  let push t e = events := (t, e) :: !events in
+  List.iter
+    (fun w ->
+      let id = Config.task_id w in
+      Array.iter
+        (fun (claim, finish) ->
+          push claim (Task_on id);
+          push finish (Task_off id))
+        (report.Sim.task_executions w))
+    tasks;
+  List.iter
+    (fun b ->
+      let bid = Config.buffer_id b in
+      Array.iter
+        (fun (claim, _) -> push claim (Buffer_delta (bid, 1)))
+        (report.Sim.task_executions (Config.buffer_src cfg b));
+      Array.iter
+        (fun (_, finish) -> push finish (Buffer_delta (bid, -1)))
+        (report.Sim.task_executions (Config.buffer_dst cfg b)))
+    buffers;
+  let ticks t = int_of_float (Float.round (t *. float_of_int per_mcycle)) in
+  let sorted =
+    List.stable_sort
+      (fun (t1, _) (t2, _) -> compare (ticks t1) (ticks t2))
+      (List.rev !events)
+  in
+  (* Header. *)
+  Format.fprintf ppf "$comment budgetbuf TDM simulation trace $end@.";
+  Format.fprintf ppf "$timescale 1ns $end@.";
+  Format.fprintf ppf "$scope module budgetbuf $end@.";
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "$var wire 1 %s %s $end@."
+        (Hashtbl.find task_code (Config.task_id w))
+        (Config.task_name cfg w))
+    tasks;
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "$var integer 32 %s %s $end@."
+        (Hashtbl.find buffer_code (Config.buffer_id b))
+        (Config.buffer_name cfg b))
+    buffers;
+  Format.fprintf ppf "$upscope $end@.$enddefinitions $end@.";
+  (* Initial values: tasks idle; buffers at their initially-filled
+     level (containers already unavailable to the producer). *)
+  let fill = Hashtbl.create 16 in
+  Format.fprintf ppf "$dumpvars@.";
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "0%s@." (Hashtbl.find task_code (Config.task_id w)))
+    tasks;
+  List.iter
+    (fun b ->
+      let iota = Config.initial_tokens cfg b in
+      Hashtbl.replace fill (Config.buffer_id b) iota;
+      Format.fprintf ppf "b%s %s@." (binary_of_int iota)
+        (Hashtbl.find buffer_code (Config.buffer_id b)))
+    buffers;
+  Format.fprintf ppf "$end@.";
+  ignore mapped;
+  let current = ref (-1) in
+  List.iter
+    (fun (t, e) ->
+      let tk = ticks t in
+      if tk <> !current then begin
+        Format.fprintf ppf "#%d@." tk;
+        current := tk
+      end;
+      match e with
+      | Task_on id -> Format.fprintf ppf "1%s@." (Hashtbl.find task_code id)
+      | Task_off id -> Format.fprintf ppf "0%s@." (Hashtbl.find task_code id)
+      | Buffer_delta (bid, d) ->
+        let v = Hashtbl.find fill bid + d in
+        Hashtbl.replace fill bid v;
+        Format.fprintf ppf "b%s %s@." (binary_of_int (Int.max 0 v))
+          (Hashtbl.find buffer_code bid))
+    sorted

@@ -1,0 +1,26 @@
+(** Value-change-dump (VCD, IEEE 1364) export of a simulation run.
+
+    Emits one 1-bit signal per task ([1] while an execution is between
+    its claim and completion instants) and one integer signal per
+    buffer (containers unavailable to the producer over time), so any
+    waveform viewer (GTKWave & co.) can display the TDM schedule and
+    buffer occupancy of a mapped system — the debugging view an EDA
+    engineer expects.
+
+    Time is emitted in nanoseconds at a caller-chosen resolution:
+    simulation instants (Mcycles, floats) are scaled by [per_mcycle]
+    (default 1000) and rounded. *)
+
+(** [dump cfg mapped report ppf] writes a VCD document for the
+    [iterations] recorded in [report].  Buffer fill levels are
+    reconstructed from the execution intervals: a producer claims a
+    container at its claim instant and the consumer frees it at its
+    completion instant.
+    @param per_mcycle VCD time units per Mcycle (default 1000). *)
+val dump :
+  ?per_mcycle:int ->
+  Taskgraph.Config.t ->
+  Taskgraph.Config.mapped ->
+  Sim.report ->
+  Format.formatter ->
+  unit

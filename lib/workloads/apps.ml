@@ -1,0 +1,104 @@
+module Config = Taskgraph.Config
+
+(* A chain builder with per-task WCETs, one processor per task. *)
+let chain_app ~graph ~period ~tasks ~buffer_weight =
+  let cfg = Config.create ~granularity:1.0 () in
+  let m = Config.add_memory cfg ~name:"m0" ~capacity:100_000 in
+  let g = Config.add_graph cfg ~name:graph ~period () in
+  let handles =
+    List.mapi
+      (fun i (name, wcet) ->
+        let p =
+          Config.add_processor cfg
+            ~name:(Printf.sprintf "p%d" i)
+            ~replenishment:40.0 ()
+        in
+        Config.add_task cfg g ~name ~proc:p ~wcet ~weight:1.0 ())
+      tasks
+  in
+  let rec connect i = function
+    | a :: (b :: _ as rest) ->
+      ignore
+        (Config.add_buffer cfg g
+           ~name:(Printf.sprintf "b%d" i)
+           ~src:a ~dst:b ~memory:m ~weight:buffer_weight ());
+      connect (i + 1) rest
+    | [ _ ] | [] -> ()
+  in
+  connect 0 handles;
+  cfg
+
+let h263_decoder () =
+  (* QCIF frame each 33 ms ≈ a 12-Mcycle budget window at a canonical
+     clock; the IDCT dominates. *)
+  chain_app ~graph:"h263" ~period:12.0 ~buffer_weight:0.01
+    ~tasks:[ ("vld", 0.8); ("iq", 0.5); ("idct", 2.4); ("mc", 1.3) ]
+
+let mp3_playback () =
+  chain_app ~graph:"mp3" ~period:10.0 ~buffer_weight:0.01
+    ~tasks:
+      [
+        ("huffman", 0.6); ("requant", 0.4); ("stereo", 0.3); ("imdct", 1.8);
+        ("synth", 1.2);
+      ]
+
+let modem () =
+  let cfg = Config.create ~granularity:1.0 () in
+  let m = Config.add_memory cfg ~name:"m0" ~capacity:100_000 in
+  let g = Config.add_graph cfg ~name:"modem" ~period:8.0 () in
+  let proc i =
+    Config.add_processor cfg ~name:(Printf.sprintf "p%d" i) ~replenishment:40.0 ()
+  in
+  let task i name wcet =
+    Config.add_task cfg g ~name ~proc:(proc i) ~wcet ~weight:1.0 ()
+  in
+  let filt = task 0 "filt" 0.7 in
+  let eq = task 1 "eq" 1.1 in
+  let demod = task 2 "demod" 0.9 in
+  let deco = task 3 "deco" 0.6 in
+  let sync = task 4 "sync" 0.4 in
+  let out = task 5 "out" 0.3 in
+  let buf = ref 0 in
+  let connect src dst =
+    ignore
+      (Config.add_buffer cfg g
+         ~name:(Printf.sprintf "b%d" !buf)
+         ~src ~dst ~memory:m ~weight:0.01 ());
+    incr buf
+  in
+  connect filt eq;
+  connect eq demod;
+  (* The equaliser output also feeds the synchroniser (fork), both
+     paths joining at the decoder. *)
+  connect eq sync;
+  connect sync deco;
+  connect demod deco;
+  connect deco out;
+  cfg
+
+let car_radio () =
+  let cfg = Config.create ~granularity:1.0 () in
+  let p0 = Config.add_processor cfg ~name:"p0" ~replenishment:40.0 () in
+  let p1 = Config.add_processor cfg ~name:"p1" ~replenishment:40.0 () in
+  let m = Config.add_memory cfg ~name:"m0" ~capacity:100_000 in
+  let audio = Config.add_graph cfg ~name:"audio" ~period:16.0 () in
+  let dec = Config.add_task cfg audio ~name:"aud.dec" ~proc:p0 ~wcet:1.4 () in
+  let drc = Config.add_task cfg audio ~name:"aud.drc" ~proc:p1 ~wcet:0.8 () in
+  ignore
+    (Config.add_buffer cfg audio ~name:"aud.buf" ~src:dec ~dst:drc ~memory:m
+       ~weight:0.01 ());
+  let ta = Config.add_graph cfg ~name:"ta" ~period:60.0 () in
+  let det = Config.add_task cfg ta ~name:"ta.detect" ~proc:p0 ~wcet:2.2 () in
+  let mix = Config.add_task cfg ta ~name:"ta.mix" ~proc:p1 ~wcet:1.1 () in
+  ignore
+    (Config.add_buffer cfg ta ~name:"ta.buf" ~src:det ~dst:mix ~memory:m
+       ~weight:0.01 ());
+  cfg
+
+let all =
+  [
+    ("h263-decoder", h263_decoder);
+    ("mp3-playback", mp3_playback);
+    ("modem", modem);
+    ("car-radio", car_radio);
+  ]

@@ -1,0 +1,34 @@
+(** Streaming applications from the multimedia-mapping literature,
+    modelled as single-rate task graphs at the granularity the paper
+    uses (tasks = pipeline stages, Mcycle-scale worst-case execution
+    times).  Numbers are representative of the published models (H.263
+    and MP3 appear throughout the SDF mapping literature, e.g. Stuijk
+    et al. DAC'07 — the paper's reference [8]); they are documented
+    approximations, not measurements, and serve as realistic-shape
+    instances for the benches.
+
+    All builders mirror the naming conventions of {!Gen}: processors
+    ["p0"…], one memory ["m0"], graph name as given below. *)
+
+(** [h263_decoder ()] — graph ["h263"]: variable-length decoding →
+    inverse quantisation → IDCT → motion compensation, a 4-stage chain
+    with a dominant IDCT stage; period one QCIF frame. *)
+val h263_decoder : unit -> Taskgraph.Config.t
+
+(** [mp3_playback ()] — graph ["mp3"]: Huffman decoding → requantise →
+    stereo/alias processing → IMDCT → synthesis filterbank, a 5-stage
+    chain; period one granule pair. *)
+val mp3_playback : unit -> Taskgraph.Config.t
+
+(** [modem ()] — graph ["modem"]: the classic bidirectional-ish modem
+    pipeline reduced to its forward chain with a fork for the equaliser
+    feedback path (6 tasks, one split-join). *)
+val modem : unit -> Taskgraph.Config.t
+
+(** [car_radio ()] — two jobs sharing two processors: an audio
+    decoder chain (graph ["audio"]) and a traffic-announcement decoder
+    (graph ["ta"]), the paper's car-entertainment motivation. *)
+val car_radio : unit -> Taskgraph.Config.t
+
+(** [all] — the named applications, for table-driven benches. *)
+val all : (string * (unit -> Taskgraph.Config.t)) list

@@ -1,0 +1,270 @@
+module Config = Taskgraph.Config
+
+let paper_t1 () =
+  let cfg = Config.create ~granularity:1.0 () in
+  let p1 = Config.add_processor cfg ~name:"p1" ~replenishment:40.0 () in
+  let p2 = Config.add_processor cfg ~name:"p2" ~replenishment:40.0 () in
+  let m = Config.add_memory cfg ~name:"m0" ~capacity:1_000 in
+  let g = Config.add_graph cfg ~name:"t1" ~period:10.0 () in
+  let wa = Config.add_task cfg g ~name:"wa" ~proc:p1 ~wcet:1.0 ~weight:1.0 () in
+  let wb = Config.add_task cfg g ~name:"wb" ~proc:p2 ~wcet:1.0 ~weight:1.0 () in
+  ignore
+    (Config.add_buffer cfg g ~name:"bab" ~src:wa ~dst:wb ~memory:m
+       ~container_size:1 ~initial_tokens:0 ~weight:0.001 ());
+  cfg
+
+let paper_t2 () =
+  let cfg = Config.create ~granularity:1.0 () in
+  let p1 = Config.add_processor cfg ~name:"p1" ~replenishment:40.0 () in
+  let p2 = Config.add_processor cfg ~name:"p2" ~replenishment:40.0 () in
+  let p3 = Config.add_processor cfg ~name:"p3" ~replenishment:40.0 () in
+  let m = Config.add_memory cfg ~name:"m0" ~capacity:1_000 in
+  let g = Config.add_graph cfg ~name:"t2" ~period:10.0 () in
+  let wa = Config.add_task cfg g ~name:"wa" ~proc:p1 ~wcet:1.0 ~weight:1.0 () in
+  let wb = Config.add_task cfg g ~name:"wb" ~proc:p2 ~wcet:1.0 ~weight:1.0 () in
+  let wc = Config.add_task cfg g ~name:"wc" ~proc:p3 ~wcet:1.0 ~weight:1.0 () in
+  ignore
+    (Config.add_buffer cfg g ~name:"bab" ~src:wa ~dst:wb ~memory:m
+       ~container_size:1 ~initial_tokens:0 ~weight:0.001 ());
+  ignore
+    (Config.add_buffer cfg g ~name:"bbc" ~src:wb ~dst:wc ~memory:m
+       ~container_size:1 ~initial_tokens:0 ~weight:0.001 ());
+  cfg
+
+let chain ~n ?(replenishment = 40.0) ?(wcet = 1.0) ?(period = 10.0)
+    ?(budget_weight = 1.0) ?(buffer_weight = 0.001) ?shared_procs () =
+  if n < 2 then invalid_arg "Gen.chain: n must be >= 2";
+  let nprocs = match shared_procs with None -> n | Some k -> k in
+  if nprocs < 1 then invalid_arg "Gen.chain: shared_procs must be >= 1";
+  let cfg = Config.create ~granularity:1.0 () in
+  let procs =
+    Array.init nprocs (fun i ->
+        Config.add_processor cfg
+          ~name:(Printf.sprintf "p%d" i)
+          ~replenishment ())
+  in
+  let m = Config.add_memory cfg ~name:"m0" ~capacity:1_000_000 in
+  let g = Config.add_graph cfg ~name:"t0" ~period () in
+  let tasks =
+    Array.init n (fun i ->
+        Config.add_task cfg g
+          ~name:(Printf.sprintf "w%d" i)
+          ~proc:procs.(i mod nprocs) ~wcet ~weight:budget_weight ())
+  in
+  for i = 0 to n - 2 do
+    ignore
+      (Config.add_buffer cfg g
+         ~name:(Printf.sprintf "b%d" i)
+         ~src:tasks.(i) ~dst:tasks.(i + 1) ~memory:m ~container_size:1
+         ~initial_tokens:0 ~weight:buffer_weight ())
+  done;
+  cfg
+
+let split_join ~branches ?(replenishment = 40.0) ?(wcet = 1.0) ?(period = 10.0)
+    () =
+  if branches < 1 then invalid_arg "Gen.split_join: branches must be >= 1";
+  let n = branches + 2 in
+  let cfg = Config.create ~granularity:1.0 () in
+  let procs =
+    Array.init n (fun i ->
+        Config.add_processor cfg
+          ~name:(Printf.sprintf "p%d" i)
+          ~replenishment ())
+  in
+  let m = Config.add_memory cfg ~name:"m0" ~capacity:1_000_000 in
+  let g = Config.add_graph cfg ~name:"t0" ~period () in
+  let tasks =
+    Array.init n (fun i ->
+        Config.add_task cfg g
+          ~name:(Printf.sprintf "w%d" i)
+          ~proc:procs.(i) ~wcet ~weight:1.0 ())
+  in
+  let source = tasks.(0) and sink = tasks.(n - 1) in
+  let buf = ref 0 in
+  let add_buffer src dst =
+    ignore
+      (Config.add_buffer cfg g
+         ~name:(Printf.sprintf "b%d" !buf)
+         ~src ~dst ~memory:m ~container_size:1 ~initial_tokens:0 ~weight:0.001
+         ());
+    incr buf
+  in
+  for i = 1 to branches do
+    add_buffer source tasks.(i);
+    add_buffer tasks.(i) sink
+  done;
+  cfg
+
+let ring ~n ~initial ?(replenishment = 40.0) ?(wcet = 1.0) ?(period = 10.0) ()
+    =
+  if n < 2 then invalid_arg "Gen.ring: n must be >= 2";
+  if initial < 1 then invalid_arg "Gen.ring: initial must be >= 1";
+  let cfg = Config.create ~granularity:1.0 () in
+  let procs =
+    Array.init n (fun i ->
+        Config.add_processor cfg
+          ~name:(Printf.sprintf "p%d" i)
+          ~replenishment ())
+  in
+  let m = Config.add_memory cfg ~name:"m0" ~capacity:1_000_000 in
+  let g = Config.add_graph cfg ~name:"t0" ~period () in
+  let tasks =
+    Array.init n (fun i ->
+        Config.add_task cfg g
+          ~name:(Printf.sprintf "w%d" i)
+          ~proc:procs.(i) ~wcet ~weight:1.0 ())
+  in
+  for i = 0 to n - 1 do
+    let src = tasks.(i) and dst = tasks.((i + 1) mod n) in
+    let tokens = if i = n - 1 then initial else 0 in
+    ignore
+      (Config.add_buffer cfg g
+         ~name:(Printf.sprintf "b%d" i)
+         ~src ~dst ~memory:m ~container_size:1 ~initial_tokens:tokens
+         ~weight:0.001 ())
+  done;
+  cfg
+
+let grid_config ~ntasks ~replenishment ~period =
+  let cfg = Config.create ~granularity:1.0 () in
+  let procs =
+    Array.init ntasks (fun i ->
+        Config.add_processor cfg
+          ~name:(Printf.sprintf "p%d" i)
+          ~replenishment ())
+  in
+  let m = Config.add_memory cfg ~name:"m0" ~capacity:1_000_000 in
+  let g = Config.add_graph cfg ~name:"t0" ~period () in
+  (cfg, procs, m, g)
+
+let mesh ~rows ~cols ?(replenishment = 40.0) ?(wcet = 1.0) ?(period = 10.0) ()
+    =
+  if rows < 1 || cols < 1 || rows * cols < 2 then
+    invalid_arg "Gen.mesh: need at least two tasks";
+  let cfg, procs, m, g =
+    grid_config ~ntasks:(rows * cols) ~replenishment ~period
+  in
+  let tasks =
+    Array.init (rows * cols) (fun i ->
+        Config.add_task cfg g
+          ~name:(Printf.sprintf "w%d_%d" (i / cols) (i mod cols))
+          ~proc:procs.(i) ~wcet ~weight:1.0 ())
+  in
+  let buf = ref 0 in
+  let connect src dst =
+    ignore
+      (Config.add_buffer cfg g
+         ~name:(Printf.sprintf "b%d" !buf)
+         ~src ~dst ~memory:m ~container_size:1 ~initial_tokens:0 ~weight:0.001
+         ());
+    incr buf
+  in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let here = tasks.((i * cols) + j) in
+      if i + 1 < rows then connect here tasks.(((i + 1) * cols) + j);
+      if j + 1 < cols then connect here tasks.((i * cols) + j + 1)
+    done
+  done;
+  cfg
+
+let binary_tree ~depth ?(replenishment = 40.0) ?(wcet = 1.0) ?(period = 10.0)
+    () =
+  if depth < 1 then invalid_arg "Gen.binary_tree: depth must be >= 1";
+  let ntasks = (1 lsl (depth + 1)) - 1 in
+  let cfg, procs, m, g = grid_config ~ntasks ~replenishment ~period in
+  let tasks =
+    Array.init ntasks (fun i ->
+        Config.add_task cfg g
+          ~name:(Printf.sprintf "w%d" i)
+          ~proc:procs.(i) ~wcet ~weight:1.0 ())
+  in
+  let buf = ref 0 in
+  for i = 0 to ntasks - 1 do
+    List.iter
+      (fun child ->
+        if child < ntasks then begin
+          ignore
+            (Config.add_buffer cfg g
+               ~name:(Printf.sprintf "b%d" !buf)
+               ~src:tasks.(i) ~dst:tasks.(child) ~memory:m ~container_size:1
+               ~initial_tokens:0 ~weight:0.001 ());
+          incr buf
+        end)
+      [ (2 * i) + 1; (2 * i) + 2 ]
+  done;
+  cfg
+
+let random_chain rng ~n () =
+  if n < 2 then invalid_arg "Gen.random_chain: n must be >= 2";
+  let wcets = Array.init n (fun _ -> Rng.float rng ~lo:0.5 ~hi:2.0) in
+  let repls = Array.init n (fun _ -> Rng.float rng ~lo:20.0 ~hi:60.0) in
+  let max_wcet = Array.fold_left Float.max 0.0 wcets in
+  let period = Float.max (4.0 *. max_wcet) (Rng.float rng ~lo:5.0 ~hi:15.0) in
+  let cfg = Config.create ~granularity:1.0 () in
+  let m = Config.add_memory cfg ~name:"m0" ~capacity:1_000_000 in
+  let g = Config.add_graph cfg ~name:"t0" ~period () in
+  let tasks =
+    Array.init n (fun i ->
+        let proc =
+          Config.add_processor cfg
+            ~name:(Printf.sprintf "p%d" i)
+            ~replenishment:repls.(i) ()
+        in
+        Config.add_task cfg g
+          ~name:(Printf.sprintf "w%d" i)
+          ~proc ~wcet:wcets.(i) ~weight:1.0 ())
+  in
+  for i = 0 to n - 2 do
+    ignore
+      (Config.add_buffer cfg g
+         ~name:(Printf.sprintf "b%d" i)
+         ~src:tasks.(i) ~dst:tasks.(i + 1) ~memory:m ~container_size:1
+         ~initial_tokens:0 ~weight:0.001 ())
+  done;
+  cfg
+
+let multi_job rng ~jobs ~tasks_per_job ~procs () =
+  if jobs < 1 || tasks_per_job < 1 || procs < 1 then
+    invalid_arg "Gen.multi_job: arguments must be >= 1";
+  let total = jobs * tasks_per_job in
+  let per_proc = (total + procs - 1) / procs in
+  if per_proc > 30 then
+    invalid_arg "Gen.multi_job: too many tasks per processor to be feasible";
+  let cfg = Config.create ~granularity:1.0 () in
+  let proc_arr =
+    Array.init procs (fun i ->
+        Config.add_processor cfg
+          ~name:(Printf.sprintf "p%d" i)
+          ~replenishment:40.0 ())
+  in
+  let m = Config.add_memory cfg ~name:"m0" ~capacity:1_000_000 in
+  (* Loose periods keep the shared-processor setting feasible: each
+     task needs β ≥ ̺·χ/µ and a processor hosts up to [per_proc]
+     tasks. *)
+  let next_proc = ref 0 in
+  for j = 0 to jobs - 1 do
+    let wcet_scale = Rng.float rng ~lo:0.5 ~hi:1.5 in
+    let period = 20.0 *. float_of_int per_proc *. wcet_scale in
+    let g =
+      Config.add_graph cfg ~name:(Printf.sprintf "t%d" j) ~period ()
+    in
+    let tasks =
+      Array.init tasks_per_job (fun i ->
+          let p = proc_arr.(!next_proc mod procs) in
+          incr next_proc;
+          Config.add_task cfg g
+            ~name:(Printf.sprintf "t%d.w%d" j i)
+            ~proc:p
+            ~wcet:(wcet_scale *. Rng.float rng ~lo:0.8 ~hi:1.2)
+            ~weight:1.0 ())
+    in
+    for i = 0 to tasks_per_job - 2 do
+      ignore
+        (Config.add_buffer cfg g
+           ~name:(Printf.sprintf "t%d.b%d" j i)
+           ~src:tasks.(i) ~dst:tasks.(i + 1) ~memory:m ~container_size:1
+           ~initial_tokens:0 ~weight:0.001 ())
+    done
+  done;
+  cfg

@@ -1,0 +1,105 @@
+(** Workload generators.
+
+    The paper evaluates on two hand-built task graphs; these builders
+    reconstruct both exactly and generalise them so the benches can
+    also measure scaling.  Naming is stable and documented so callers
+    can retrieve handles with [Config.find_task]/[find_buffer]:
+    tasks are ["w0"], ["w1"], …; buffers ["b0"], ["b1"], …; processors
+    ["p0"], …; the single memory is ["m0"]; graphs are ["t0"], ["t1"],
+    … (or ["t1"]/["t2"] for the paper's instances with their original
+    task names ["wa"], ["wb"], ["wc"]). *)
+
+(** [paper_t1 ()] is the producer–consumer graph of the paper's first
+    experiment: tasks [wa], [wb] on processors [p1], [p2]
+    (̺ = 40 Mcycles each), χ = 1 Mcycle, µ = 10 Mcycles, unit
+    containers, buffer [bab], budget-dominant weights (a = 1,
+    b = 0.001). *)
+val paper_t1 : unit -> Taskgraph.Config.t
+
+(** [paper_t2 ()] extends T1 with task [wc] on processor [p3] and
+    buffer [bbc], as in the paper's second experiment. *)
+val paper_t2 : unit -> Taskgraph.Config.t
+
+(** [chain ~n ()] is a pipeline of [n] tasks [w0 → w1 → … → w(n−1)],
+    one per processor, with the T1 parameters (̺ = 40, χ = 1, µ = 10)
+    unless overridden.  [shared_procs] (default [n]) maps tasks onto
+    that many processors round-robin, exercising Constraint (9) with
+    more than one task per processor.
+    @raise Invalid_argument if [n < 2]. *)
+val chain :
+  n:int ->
+  ?replenishment:float ->
+  ?wcet:float ->
+  ?period:float ->
+  ?budget_weight:float ->
+  ?buffer_weight:float ->
+  ?shared_procs:int ->
+  unit ->
+  Taskgraph.Config.t
+
+(** [split_join ~branches ()] is a fork–join graph: source [w0] feeds
+    [branches] parallel tasks which feed sink [w(branches+1)]; every
+    task on its own processor, T1 parameters.
+    @raise Invalid_argument if [branches < 1]. *)
+val split_join :
+  branches:int ->
+  ?replenishment:float ->
+  ?wcet:float ->
+  ?period:float ->
+  unit ->
+  Taskgraph.Config.t
+
+(** [ring ~n ~initial ()] is a directed cycle of [n] tasks where the
+    closing buffer carries [initial] initially-filled containers
+    (pipelining depth of the feedback loop).
+    @raise Invalid_argument if [n < 2] or [initial < 1]. *)
+val ring :
+  n:int ->
+  initial:int ->
+  ?replenishment:float ->
+  ?wcet:float ->
+  ?period:float ->
+  unit ->
+  Taskgraph.Config.t
+
+(** [mesh ~rows ~cols ()] is a 2-D grid of tasks where task [(i,j)]
+    feeds [(i+1,j)] and [(i,j+1)] — the wavefront pattern of image and
+    stencil pipelines.  Every task on its own processor, T1 parameters.
+    @raise Invalid_argument if [rows < 1], [cols < 1] or the mesh is a
+    single task. *)
+val mesh :
+  rows:int ->
+  cols:int ->
+  ?replenishment:float ->
+  ?wcet:float ->
+  ?period:float ->
+  unit ->
+  Taskgraph.Config.t
+
+(** [binary_tree ~depth ()] is a balanced scatter tree: the root feeds
+    two children, each feeding two more, for [depth] levels
+    (2^(depth+1) − 1 tasks).
+    @raise Invalid_argument if [depth < 1]. *)
+val binary_tree :
+  depth:int ->
+  ?replenishment:float ->
+  ?wcet:float ->
+  ?period:float ->
+  unit ->
+  Taskgraph.Config.t
+
+(** [random_chain rng ~n ()] draws WCETs in [0.5, 2], replenishment
+    intervals in [20, 60] and sets the period to a feasible value
+    (4× the largest WCET at minimum), so the generated instance is
+    solvable with unbounded buffers. *)
+val random_chain : Rng.t -> n:int -> unit -> Taskgraph.Config.t
+
+(** [multi_job rng ~jobs ~tasks_per_job ~procs ()] builds [jobs]
+    independent chain task graphs whose tasks share [procs] processors
+    round-robin — the paper's multi-job setting where Constraint (9)
+    couples otherwise independent graphs.
+    @raise Invalid_argument if any argument is < 1 or the processors
+    cannot possibly host the tasks. *)
+val multi_job :
+  Rng.t -> jobs:int -> tasks_per_job:int -> procs:int -> unit ->
+  Taskgraph.Config.t

@@ -1,0 +1,28 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+(* splitmix64 step (Steele, Lea & Flood 2014). *)
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be > 0";
+  (* Keep 62 bits so the value fits OCaml's 63-bit int non-negatively. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  raw mod bound
+
+let float t ~lo ~hi =
+  if hi <= lo then invalid_arg "Rng.float: empty range";
+  let raw = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  let unit = raw /. 9007199254740992.0 (* 2^53 *) in
+  lo +. (unit *. (hi -. lo))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let split t = create (next t)

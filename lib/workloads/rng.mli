@@ -1,0 +1,26 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Workload generation must be reproducible across runs and
+    independent of the global [Random] state, so benches and tests can
+    reference "chain #17 of seed 42" and get the same instance
+    forever. *)
+
+type t
+
+(** [create seed] makes a generator; equal seeds yield equal streams. *)
+val create : int64 -> t
+
+(** [int t ~bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> bound:int -> int
+
+(** [float t ~lo ~hi] is uniform in [lo, hi).
+    @raise Invalid_argument if [hi <= lo]. *)
+val float : t -> lo:float -> hi:float -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [split t] derives an independent generator (for nested structures
+    whose sizes must not perturb sibling streams). *)
+val split : t -> t

@@ -1,0 +1,156 @@
+End-to-end tests of the budgetbuf command-line interface.  Commands with
+nondeterministic output (timings) are filtered down to their stable
+lines.
+
+Generate the paper's producer-consumer instance:
+
+  $ ../../bin/budgetbuf_cli.exe generate t1 > t1.cfg
+  $ cat t1.cfg
+  granularity 1
+  processor p1 replenishment 40 overhead 0
+  processor p2 replenishment 40 overhead 0
+  memory m0 capacity 1000
+  taskgraph t1 period 10
+    task wa proc p1 wcet 1 weight 1
+    task wb proc p2 wcet 1 weight 1
+    buffer bab from wa to wb memory m0 container 1 initial 0 weight 0.001
+  
+
+Validate it:
+
+  $ ../../bin/budgetbuf_cli.exe validate t1.cfg
+  parsed: 2 processors, 1 memories, 1 graphs, 2 tasks, 1 buffers
+  no structural problems found
+
+Solve it (timings stripped):
+
+  $ ../../bin/budgetbuf_cli.exe solve t1.cfg | grep -v "objective:"
+  budget wa = 4
+  budget wb = 4
+  capacity bab = 10 containers
+  
+  verification: ok
+
+Latency of the solved mapping:
+
+  $ ../../bin/budgetbuf_cli.exe latency t1.cfg
+  graph t1: end-to-end latency 92.000 (period 10.000)
+
+Trade-off sweep over small capacities:
+
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3
+  cap    wa           wb          
+  1      36.1078      36.1078     
+  2      31.2788      31.2788     
+  3      26.5089      26.5089     
+
+Parse errors carry the file and line:
+
+  $ echo "processor p1" > broken.cfg
+  $ ../../bin/budgetbuf_cli.exe validate broken.cfg
+  error: broken.cfg:1: missing attribute replenishment
+  [1]
+
+Unknown experiment names are rejected:
+
+  $ ../../bin/budgetbuf_cli.exe experiment nope 2>&1 | head -1
+  budgetbuf: ID argument: invalid value 'nope', expected one of 'fig2a',
+
+An infeasible instance reports a clean error:
+
+  $ cat > tight.cfg <<'CFG'
+  > processor p1 replenishment 40
+  > processor p2 replenishment 40
+  > memory m capacity 100
+  > taskgraph t period 0.5
+  >   task wa proc p1 wcet 1
+  >   task wb proc p2 wcet 1
+  >   buffer b from wa to wb memory m
+  > CFG
+  $ ../../bin/budgetbuf_cli.exe solve tight.cfg 2>&1 | tail -1
+  error: infeasible: no budget and buffer assignment satisfies the throughput requirement under the given processor, memory and capacity bounds
+
+Store and replay a mapping:
+
+  $ ../../bin/budgetbuf_cli.exe solve t1.cfg --output t1.map | grep written
+  mapping written to t1.map
+  $ cat t1.map
+  budget wa 4
+  budget wb 4
+  capacity bab 10
+  
+  $ ../../bin/budgetbuf_cli.exe check t1.cfg t1.map
+  graph t1: feasible, minimal period 10.0000 (required 10.0000)
+  $ ../../bin/budgetbuf_cli.exe simulate t1.cfg t1.map --iterations 1000
+  graph t1: measured period 10.0180 (required 10.0000)
+
+A corrupted mapping is rejected with the offending line:
+
+  $ echo "budget wa -1" > bad.map
+  $ ../../bin/budgetbuf_cli.exe check t1.cfg bad.map
+  error: bad.map:1: budget of wa must be > 0
+  [1]
+
+Graphviz export:
+
+  $ ../../bin/budgetbuf_cli.exe dot t1.cfg | head -5
+  digraph taskgraphs {
+    rankdir=LR;
+    node [shape=box];
+    subgraph cluster_0 {
+      label="t1 (mu=10)";
+  $ ../../bin/budgetbuf_cli.exe dot t1.cfg --srdf | grep -c "n[0-9] ->"
+  6
+
+Multi-rate SDF analysis:
+
+  $ cat > updown.sdf <<'SDF'
+  > actor a durations 1
+  > actor b durations 1
+  > channel a 2 -> b 1
+  > channel b 1 -> a 2 initial 2
+  > SDF
+  $ ../../bin/budgetbuf_cli.exe sdf updown.sdf
+  actor a: 1 phase(s), 1 cycle(s) per iteration
+  actor b: 1 phase(s), 2 cycle(s) per iteration
+  expansion: 3 actors, 4 queues
+  iteration period: 2
+  $ echo "actor broken" > broken.sdf
+  $ ../../bin/budgetbuf_cli.exe sdf broken.sdf
+  error: broken.sdf:1: unknown declaration "actor"
+  [1]
+
+Sensitivity analysis of the solved mapping:
+
+  $ ../../bin/budgetbuf_cli.exe analyze t1.cfg t1.map
+  graph t1:
+    throughput slack: 0.0000 (period 10.0000)
+    critical cycle at ratio 10.0000: tasks {wb}, buffers {}
+    budget slack wa: 0.0000 of 4.0000
+    budget slack wb: 0.0000 of 4.0000
+
+Paper experiment through the CLI (Figure 2(b) series):
+
+  $ ../../bin/budgetbuf_cli.exe experiment fig2b | grep -c "^  [0-9]"
+  9
+
+Consolidated report:
+
+  $ ../../bin/budgetbuf_cli.exe report t1.cfg t1.map
+  processors:
+    p1           4.00 of  40.00 Mcycles (10%)
+    p2           4.00 of  40.00 Mcycles (10%)
+  memories:
+    m0             10 of   1000 units (1%)
+  graphs:
+    t1         period 10.000 required, 10.000 achievable, slack 0.000, latency 92.000
+      critical cycle at ratio 10.0000: tasks {wb}, buffers {}
+  verification: ok
+  
+
+VCD waveform export:
+
+  $ ../../bin/budgetbuf_cli.exe simulate t1.cfg t1.map --iterations 20 --vcd t1.vcd | tail -1
+  waveform written to t1.vcd
+  $ grep -c '$var' t1.vcd
+  3

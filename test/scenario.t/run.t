@@ -1,0 +1,31 @@
+A complete design workflow through the CLI: generate a two-job system,
+solve it, store the mapping, verify it, analyse its sensitivity,
+replay it on the simulator and export artefacts.
+
+  $ ../../bin/budgetbuf_cli.exe generate multijob -n 2 --seed 7 > sys.cfg
+  $ ../../bin/budgetbuf_cli.exe validate sys.cfg | tail -1
+  no structural problems found
+  $ ../../bin/budgetbuf_cli.exe solve sys.cfg --output sys.map | grep -E "verification|written"
+  verification: ok
+  mapping written to sys.map
+  $ ../../bin/budgetbuf_cli.exe check sys.cfg sys.map | grep -c feasible
+  2
+  $ ../../bin/budgetbuf_cli.exe report sys.cfg sys.map | grep -c "period .* required"
+  2
+  $ ../../bin/budgetbuf_cli.exe simulate sys.cfg sys.map --iterations 400 | grep -c "measured period"
+  2
+  $ ../../bin/budgetbuf_cli.exe dot sys.cfg | head -1
+  digraph taskgraphs {
+
+The stored mapping still checks after a manual edit that stays
+feasible (capacities may grow freely):
+
+  $ sed 's/^capacity t0.b0 .*/capacity t0.b0 64/' sys.map > grown.map
+  $ ../../bin/budgetbuf_cli.exe check sys.cfg grown.map | grep -c feasible
+  2
+
+But shrinking a budget below its minimum is caught:
+
+  $ sed 's/^budget t0.w0 .*/budget t0.w0 0.5/' sys.map > broken.map
+  $ ../../bin/budgetbuf_cli.exe check sys.cfg broken.map | grep -c violation
+  1

@@ -1,0 +1,107 @@
+(* Golden tests of the experiment harness: the headline reproduction
+   numbers (Figures 2 and 3, the baselines table) must not drift.  The
+   tables are rendered to strings and probed for the key values; full
+   textual goldens would be too brittle against formatting tweaks. *)
+
+let render f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains hay needle =
+  let ln = String.length needle and lh = String.length hay in
+  let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
+  at 0
+
+let check_contains table needle =
+  if not (contains table needle) then
+    Alcotest.failf "table does not contain %S:@.%s" needle table
+
+let test_fig2a_values () =
+  let t = render Experiments.fig2a in
+  (* First, mid and last points of the paper's curve. *)
+  check_contains t "36.1078";
+  check_contains t "17.3107";
+  check_contains t "4.0000";
+  (* And the closed-form column agrees within printing precision. *)
+  check_contains t "paper (analytic)"
+
+let test_fig2b_values () =
+  let t = render Experiments.fig2b in
+  check_contains t "4.8290";
+  check_contains t "2.0238"
+
+let test_fig3_values () =
+  let t = render Experiments.fig3 in
+  (* wb pinned at its ceiling for small caps, the joint floor at 10. *)
+  check_contains t "39.000";
+  check_contains t "33.229";
+  check_contains t "4.000"
+
+let test_t1_analytic_oracle () =
+  Alcotest.(check (float 1e-4)) "d=1" 36.1078 (Experiments.t1_analytic 1);
+  Alcotest.(check (float 1e-4)) "d=10" 4.0 (Experiments.t1_analytic 10)
+
+let test_baselines_false_negatives () =
+  let t = render Experiments.baselines in
+  check_contains t "FALSE-NEGATIVE";
+  (* Joint at cap 10 reaches the 8.010 optimum. *)
+  check_contains t "8.010"
+
+let test_rounding_bounded () =
+  let t = render Experiments.rounding in
+  check_contains t "granularity";
+  (* Overheads are printed as percentages; g = 1 stays in single
+     digits. *)
+  check_contains t "3.98"
+
+let test_lp_cross_check_agrees () =
+  let t = render Experiments.lp_cross_check in
+  Alcotest.(check bool) "no solver failure" false (contains t "stalled");
+  check_contains t "7,7,7"
+
+let test_mcr_ablation_agrees () =
+  let t = render Experiments.mcr_ablation in
+  Alcotest.(check bool) "all rows agree" false (contains t "NO")
+
+let test_critical_crossover () =
+  let t = render Experiments.critical in
+  (* The buffer ring binds below cap 10; the self-loop at 10. *)
+  check_contains t "wa,wb";
+  check_contains t "bab";
+  check_contains t "0.0000"
+
+let test_registry_complete () =
+  List.iter
+    (fun name ->
+      match Experiments.by_name name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "experiment %s missing from registry" name)
+    [
+      "fig2a"; "fig2b"; "fig3"; "rt"; "baselines"; "rounding"; "lp"; "sim";
+      "mcr"; "pareto"; "binding"; "campaign"; "dse"; "critical"; "latency";
+      "slp"; "apps"; "all";
+    ];
+  Alcotest.(check bool) "unknown rejected" true
+    (Experiments.by_name "nope" = None)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "fig2a" `Quick test_fig2a_values;
+          Alcotest.test_case "fig2b" `Quick test_fig2b_values;
+          Alcotest.test_case "fig3" `Quick test_fig3_values;
+          Alcotest.test_case "analytic oracle" `Quick test_t1_analytic_oracle;
+          Alcotest.test_case "baselines" `Quick test_baselines_false_negatives;
+          Alcotest.test_case "rounding" `Quick test_rounding_bounded;
+          Alcotest.test_case "lp cross-check" `Quick test_lp_cross_check_agrees;
+          Alcotest.test_case "mcr ablation" `Quick test_mcr_ablation_agrees;
+          Alcotest.test_case "critical crossover" `Quick
+            test_critical_crossover;
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+        ] );
+    ]

@@ -1,0 +1,412 @@
+(* Tests for the two-phase simplex solver and the LP builder. *)
+
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Tableau level                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let solve_std rows b c =
+  Simplex.Tableau.solve ~a:(Mat.of_rows rows) ~b ~c
+
+let test_tableau_basic () =
+  (* min −x − y  s.t. x + y + s = 4, x + 2y + t = 6  → x=4, y=0 or x=2,y=2,
+     optimum −4. *)
+  match
+    solve_std
+      [ [| 1.; 1.; 1.; 0. |]; [| 1.; 2.; 0.; 1. |] ]
+      [| 4.; 6. |]
+      [| -1.; -1.; 0.; 0. |]
+  with
+  | Simplex.Tableau.Optimal { objective; _ } -> check_float "obj" (-4.0) objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_tableau_infeasible () =
+  (* x + s = 1 and x − t = 3 with x,s,t ≥ 0 → x ≤ 1 and x ≥ 3. *)
+  match
+    solve_std
+      [ [| 1.; 1.; 0. |]; [| 1.; 0.; -1. |] ]
+      [| 1.; 3. |] [| 0.; 0.; 0. |]
+  with
+  | Simplex.Tableau.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_tableau_unbounded () =
+  (* min −x s.t. x − y = 0: x can grow with y. *)
+  match solve_std [ [| 1.; -1. |] ] [| 0. |] [| -1.; 0. |] with
+  | Simplex.Tableau.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_tableau_degenerate () =
+  (* Klee–Minty-flavoured degenerate problem; must terminate. *)
+  match
+    solve_std
+      [ [| 1.; 0.; 1.; 0.; 0. |]; [| 4.; 1.; 0.; 1.; 0. |]; [| 8.; 4.; 0.; 0.; 1. |] ]
+      [| 5.; 25.; 125. |]
+      [| -4.; -2.; 0.; 0.; 0. |]
+  with
+  | Simplex.Tableau.Optimal { objective; _ } ->
+    Alcotest.(check bool) "finite optimum" true (Float.is_finite objective)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_tableau_bad_b () =
+  Alcotest.check_raises "negative b"
+    (Invalid_argument "Tableau.solve: b must be >= 0") (fun () ->
+      ignore (solve_std [ [| 1. |] ] [| -1. |] [| 1. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Lp builder                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_lp_basic_max () =
+  (* max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), 36. *)
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" ()
+  and y = Simplex.Lp.add_variable p ~name:"y" () in
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x) ] Simplex.Lp.Le 4.0);
+  ignore (Simplex.Lp.add_constraint p [ (2.0, y) ] Simplex.Lp.Le 12.0);
+  ignore (Simplex.Lp.add_constraint p [ (3.0, x); (2.0, y) ] Simplex.Lp.Le 18.0);
+  Simplex.Lp.set_objective p ~maximize:true [ (3.0, x); (5.0, y) ];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Optimal { objective; value; _ } ->
+    check_float "obj" 36.0 objective;
+    check_float "x" 2.0 (value x);
+    check_float "y" 6.0 (value y)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_free_variable () =
+  (* min x s.t. x ≥ −5 with x free → −5. *)
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" ~lb:None () in
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x) ] Simplex.Lp.Ge (-5.0));
+  Simplex.Lp.set_objective p [ (1.0, x) ];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Optimal { objective; value; _ } ->
+    check_float "obj" (-5.0) objective;
+    check_float "x" (-5.0) (value x)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_shifted_lower_bound () =
+  (* min x + y s.t. x + y ≥ 10, x ≥ 3, y ≥ 2 (bounds as lb). *)
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" ~lb:(Some 3.0) ()
+  and y = Simplex.Lp.add_variable p ~name:"y" ~lb:(Some 2.0) () in
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x); (1.0, y) ] Simplex.Lp.Ge 10.0);
+  Simplex.Lp.set_objective p [ (1.0, x); (1.0, y) ];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Optimal { objective; value; _ } ->
+    check_float "obj" 10.0 objective;
+    Alcotest.(check bool) "x ≥ 3" true (value x >= 3.0 -. 1e-9);
+    Alcotest.(check bool) "y ≥ 2" true (value y >= 2.0 -. 1e-9)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_upper_bound () =
+  (* max x s.t. x ≤ 7 via ub. *)
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" ~ub:(Some 7.0) () in
+  Simplex.Lp.set_objective p ~maximize:true [ (1.0, x) ];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Optimal { objective; _ } -> check_float "obj" 7.0 objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_equality () =
+  (* min x + 2y s.t. x + y = 4, x − y = 0 → x = y = 2, obj 6. *)
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" ()
+  and y = Simplex.Lp.add_variable p ~name:"y" () in
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x); (1.0, y) ] Simplex.Lp.Eq 4.0);
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x); (-1.0, y) ] Simplex.Lp.Eq 0.0);
+  Simplex.Lp.set_objective p [ (1.0, x); (2.0, y) ];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Optimal { objective; value; _ } ->
+    check_float "obj" 6.0 objective;
+    check_float "x" 2.0 (value x);
+    check_float "y" 2.0 (value y)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_infeasible () =
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" () in
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x) ] Simplex.Lp.Le 1.0);
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x) ] Simplex.Lp.Ge 2.0);
+  Simplex.Lp.set_objective p [ (1.0, x) ];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_lp_unbounded () =
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" ~lb:None () in
+  Simplex.Lp.set_objective p [ (1.0, x) ];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_lp_duplicate_terms () =
+  (* Terms mentioning a variable twice must be summed: 2x ≤ 4. *)
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" () in
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x); (1.0, x) ] Simplex.Lp.Le 4.0);
+  Simplex.Lp.set_objective p ~maximize:true [ (1.0, x) ];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Optimal { objective; _ } -> check_float "obj" 2.0 objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_negative_rhs () =
+  (* Row with negative rhs must be normalised correctly:
+     −x ≤ −3 ⟺ x ≥ 3. *)
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" () in
+  ignore (Simplex.Lp.add_constraint p [ (-1.0, x) ] Simplex.Lp.Le (-3.0));
+  Simplex.Lp.set_objective p [ (1.0, x) ];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Optimal { objective; _ } -> check_float "obj" 3.0 objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_names () =
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"alpha" () in
+  let y = Simplex.Lp.add_variable p ~name:"beta" () in
+  Alcotest.(check string) "x" "alpha" (Simplex.Lp.name p x);
+  Alcotest.(check string) "y" "beta" (Simplex.Lp.name p y);
+  Alcotest.(check int) "count" 2 (Simplex.Lp.num_variables p)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Random LPs constructed to be feasible by design: pick x₀ ≥ 0, set
+   b = A·x₀ + slack ≥ A·x₀, then minimise a non-negative objective; the
+   solver must return Optimal with objective ≤ cᵀx₀ and a feasible point. *)
+let gen_feasible_lp =
+  let open QCheck2.Gen in
+  let dim_m = 4 and dim_n = 3 in
+  let entry = float_range (-5.0) 5.0 in
+  let* rows = array_size (return dim_m) (array_size (return dim_n) entry) in
+  let* x0 = array_size (return dim_n) (float_range 0.0 5.0) in
+  let* slack = array_size (return dim_m) (float_range 0.0 3.0) in
+  let* c = array_size (return dim_n) (float_range 0.0 4.0) in
+  return (rows, x0, slack, c)
+
+let prop_feasible_lp_optimal =
+  QCheck2.Test.make ~name:"random feasible LPs solve to optimality" ~count:150
+    gen_feasible_lp
+    (fun (rows, x0, slack, c) ->
+      let p = Simplex.Lp.create () in
+      let vars =
+        Array.init (Array.length x0) (fun i ->
+            Simplex.Lp.add_variable p ~name:(Printf.sprintf "x%d" i) ())
+      in
+      Array.iteri
+        (fun i row ->
+          let terms = Array.to_list (Array.mapi (fun j a -> (a, vars.(j))) row) in
+          let rhs =
+            Array.to_list row
+            |> List.mapi (fun j a -> a *. x0.(j))
+            |> List.fold_left ( +. ) slack.(i)
+          in
+          ignore (Simplex.Lp.add_constraint p terms Simplex.Lp.Le rhs))
+        rows;
+      Simplex.Lp.set_objective p
+        (Array.to_list (Array.mapi (fun j k -> (k, vars.(j))) c));
+      match Simplex.Lp.solve p with
+      | Simplex.Lp.Optimal { objective; value; _ } ->
+        let cx0 =
+          Array.to_list c |> List.mapi (fun j k -> k *. x0.(j))
+          |> List.fold_left ( +. ) 0.0
+        in
+        let feasible =
+          Array.for_all
+            (fun v -> value v >= -1e-7)
+            vars
+        in
+        objective <= cx0 +. 1e-6 && feasible
+      | Simplex.Lp.Infeasible | Simplex.Lp.Unbounded -> false)
+
+let prop_objective_monotone_in_rhs =
+  (* Loosening a ≤ constraint can only improve (not worsen) the optimum. *)
+  QCheck2.Test.make ~name:"relaxing rhs improves objective" ~count:100
+    QCheck2.Gen.(pair (float_range 1.0 10.0) (float_range 0.0 5.0))
+    (fun (rhs, extra) ->
+      let run bound =
+        let p = Simplex.Lp.create () in
+        let x = Simplex.Lp.add_variable p ~name:"x" () in
+        let y = Simplex.Lp.add_variable p ~name:"y" () in
+        ignore (Simplex.Lp.add_constraint p [ (1.0, x); (2.0, y) ] Simplex.Lp.Le bound);
+        Simplex.Lp.set_objective p ~maximize:true [ (1.0, x); (1.0, y) ];
+        match Simplex.Lp.solve p with
+        | Simplex.Lp.Optimal { objective; _ } -> objective
+        | _ -> Alcotest.fail "expected optimal"
+      in
+      run (rhs +. extra) >= run rhs -. 1e-9)
+
+
+(* ------------------------------------------------------------------ *)
+(* Additional LP edge cases                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_lp_counts () =
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" () in
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x) ] Simplex.Lp.Le 1.0);
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x) ] Simplex.Lp.Ge 0.0);
+  Alcotest.(check int) "variables" 1 (Simplex.Lp.num_variables p);
+  Alcotest.(check int) "constraints" 2 (Simplex.Lp.num_constraints p)
+
+let test_lp_redundant_equalities () =
+  (* Duplicate equality rows leave a redundant artificial basic at
+     zero; the drive-out logic must still produce the optimum. *)
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" ()
+  and y = Simplex.Lp.add_variable p ~name:"y" () in
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x); (1.0, y) ] Simplex.Lp.Eq 4.0);
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x); (1.0, y) ] Simplex.Lp.Eq 4.0);
+  ignore (Simplex.Lp.add_constraint p [ (2.0, x); (2.0, y) ] Simplex.Lp.Eq 8.0);
+  Simplex.Lp.set_objective p [ (1.0, x); (3.0, y) ];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Optimal { objective; _ } -> check_float "obj" 4.0 objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_negative_eq_rhs () =
+  (* x − y = −2, minimise x + y with both ≥ 0 → x = 0, y = 2. *)
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" ()
+  and y = Simplex.Lp.add_variable p ~name:"y" () in
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x); (-1.0, y) ] Simplex.Lp.Eq (-2.0));
+  Simplex.Lp.set_objective p [ (1.0, x); (1.0, y) ];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Optimal { objective; value; _ } ->
+    check_float "obj" 2.0 objective;
+    check_float "y" 2.0 (value y)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_zero_objective () =
+  (* Pure feasibility problem. *)
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" () in
+  ignore (Simplex.Lp.add_constraint p [ (1.0, x) ] Simplex.Lp.Ge 3.0);
+  Simplex.Lp.set_objective p [];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Optimal { objective; value; _ } ->
+    check_float "obj" 0.0 objective;
+    Alcotest.(check bool) "feasible point" true (value x >= 3.0 -. 1e-9)
+  | _ -> Alcotest.fail "expected optimal"
+
+
+
+(* ------------------------------------------------------------------ *)
+(* Dual values (shadow prices)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_duals_textbook () =
+  (* max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18: optimal basis has
+     duals (0, 3/2, 1) — the textbook example. *)
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" ()
+  and y = Simplex.Lp.add_variable p ~name:"y" () in
+  let c1 = Simplex.Lp.add_constraint p [ (1.0, x) ] Simplex.Lp.Le 4.0 in
+  let c2 = Simplex.Lp.add_constraint p [ (2.0, y) ] Simplex.Lp.Le 12.0 in
+  let c3 =
+    Simplex.Lp.add_constraint p [ (3.0, x); (2.0, y) ] Simplex.Lp.Le 18.0
+  in
+  Simplex.Lp.set_objective p ~maximize:true [ (3.0, x); (5.0, y) ];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Optimal { dual; _ } ->
+    check_float "slack constraint" 0.0 (dual c1);
+    check_float "y bound" 1.5 (dual c2);
+    check_float "joint bound" 1.0 (dual c3)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_duals_strong_duality () =
+  (* cᵀx* = Σ yᵢ·bᵢ at optimality. *)
+  let p = Simplex.Lp.create () in
+  let x = Simplex.Lp.add_variable p ~name:"x" ()
+  and y = Simplex.Lp.add_variable p ~name:"y" () in
+  let rows =
+    [
+      (Simplex.Lp.add_constraint p [ (1.0, x); (1.0, y) ] Simplex.Lp.Ge 4.0, 4.0);
+      (Simplex.Lp.add_constraint p [ (2.0, x); (1.0, y) ] Simplex.Lp.Ge 5.0, 5.0);
+    ]
+  in
+  Simplex.Lp.set_objective p [ (3.0, x); (2.0, y) ];
+  match Simplex.Lp.solve p with
+  | Simplex.Lp.Optimal { objective; dual; _ } ->
+    let dual_obj =
+      List.fold_left (fun acc (c, b) -> acc +. (dual c *. b)) 0.0 rows
+    in
+    check_float "strong duality" objective dual_obj
+  | _ -> Alcotest.fail "expected optimal"
+
+let prop_duals_predict_rhs_perturbation =
+  (* Perturbing an active constraint's rhs by eps changes the optimum
+     by ~ dual·eps (for small eps and a non-degenerate basis). *)
+  QCheck2.Test.make ~name:"duals predict rhs sensitivity" ~count:60
+    QCheck2.Gen.(pair (float_range 2.0 8.0) (float_range 3.0 9.0))
+    (fun (b1, b2) ->
+      let solve_with d1 =
+        let p = Simplex.Lp.create () in
+        let x = Simplex.Lp.add_variable p ~name:"x" ()
+        and y = Simplex.Lp.add_variable p ~name:"y" () in
+        let c1 =
+          Simplex.Lp.add_constraint p [ (1.0, x); (1.0, y) ] Simplex.Lp.Le d1
+        in
+        ignore
+          (Simplex.Lp.add_constraint p [ (1.0, x); (3.0, y) ] Simplex.Lp.Le b2);
+        Simplex.Lp.set_objective p ~maximize:true [ (2.0, x); (3.0, y) ];
+        match Simplex.Lp.solve p with
+        | Simplex.Lp.Optimal { objective; dual; _ } -> (objective, dual c1)
+        | _ -> Alcotest.fail "expected optimal"
+      in
+      let obj0, y1 = solve_with b1 in
+      let eps = 1e-4 in
+      let obj1, _ = solve_with (b1 +. eps) in
+      Float.abs (obj1 -. obj0 -. (y1 *. eps)) <= 1e-7)
+
+
+let () =
+  Alcotest.run "simplex"
+    [
+      ( "tableau",
+        [
+          Alcotest.test_case "basic" `Quick test_tableau_basic;
+          Alcotest.test_case "infeasible" `Quick test_tableau_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_tableau_unbounded;
+          Alcotest.test_case "degenerate terminates" `Quick
+            test_tableau_degenerate;
+          Alcotest.test_case "negative b rejected" `Quick test_tableau_bad_b;
+        ] );
+      ( "lp",
+        [
+          Alcotest.test_case "basic max" `Quick test_lp_basic_max;
+          Alcotest.test_case "free variable" `Quick test_lp_free_variable;
+          Alcotest.test_case "shifted lower bound" `Quick
+            test_lp_shifted_lower_bound;
+          Alcotest.test_case "upper bound" `Quick test_lp_upper_bound;
+          Alcotest.test_case "equality" `Quick test_lp_equality;
+          Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
+          Alcotest.test_case "duplicate terms" `Quick test_lp_duplicate_terms;
+          Alcotest.test_case "negative rhs" `Quick test_lp_negative_rhs;
+          Alcotest.test_case "names" `Quick test_lp_names;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "counts" `Quick test_lp_counts;
+          Alcotest.test_case "redundant equalities" `Quick
+            test_lp_redundant_equalities;
+          Alcotest.test_case "negative eq rhs" `Quick test_lp_negative_eq_rhs;
+          Alcotest.test_case "zero objective" `Quick test_lp_zero_objective;
+        ] );
+      ( "duals",
+        Alcotest.test_case "textbook" `Quick test_duals_textbook
+        :: Alcotest.test_case "strong duality" `Quick
+             test_duals_strong_duality
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_duals_predict_rhs_perturbation ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_feasible_lp_optimal; prop_objective_monotone_in_rhs ] );
+    ]

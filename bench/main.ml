@@ -8,7 +8,13 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- fig2a   # one experiment
      dune exec bench/main.exe -- tables  # all tables, no timing suite
-     dune exec bench/main.exe -- bench   # timing suite only *)
+     dune exec bench/main.exe -- bench   # timing suite only
+     dune exec bench/main.exe -- par     # parallel speedup report only
+
+   [--jobs N] selects the domain-pool width for the experiment tables
+   and the parallel speedup report (default: BUDGETBUF_JOBS, else the
+   machine's recommended domain count; --jobs 1 is the sequential
+   path). *)
 
 module Config = Taskgraph.Config
 module Mapping = Budgetbuf.Mapping
@@ -176,20 +182,103 @@ let bechamel_suite () =
       Format.printf "  %-48s %10.3f ms  %-8s@." name (time_ns /. 1e6) r2)
     (List.sort compare !rows)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel speedup report: the DSE throughput curve at --jobs N       *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock of the whole capacity sweep (each point is a full
+   bisection of solves), sequential vs pooled, plus the pool counters —
+   so the speedup is measured, not asserted. *)
+let par_report ~jobs ppf =
+  Format.fprintf ppf "@.=== Parallel throughput-curve sweep (DSE dual) ===@.@.";
+  let caps = caps_1_10 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run name cfg =
+    let seq, t_seq =
+      time (fun () -> Budgetbuf.Dse.throughput_curve cfg ~caps)
+    in
+    Parallel.Pool.with_pool ~domains:jobs @@ fun pool ->
+    let par, t_par =
+      time (fun () -> Budgetbuf.Dse.throughput_curve ~pool cfg ~caps)
+    in
+    if seq <> par then
+      Format.fprintf ppf "  %-14s DETERMINISM VIOLATION@." name
+    else begin
+      Format.fprintf ppf
+        "  %-14s jobs 1: %7.1f ms   jobs %d: %7.1f ms   speedup %.2fx@." name
+        (1000.0 *. t_seq) jobs (1000.0 *. t_par)
+        (t_seq /. Float.max 1e-9 t_par);
+      Format.fprintf ppf "  %-14s pool: %a@." "" Parallel.Stats.pp
+        (Parallel.Pool.stats pool)
+    end
+  in
+  run "paper T1" (Workloads.Gen.paper_t1 ());
+  run "chain n=6" (Workloads.Gen.chain ~n:6 ());
+  Format.fprintf ppf
+    "@.  (identical curves across job counts; speedup bounded by the %d \
+     core(s) of this machine)@."
+    (Domain.recommended_domain_count ())
+
 let () =
   let ppf = Format.std_formatter in
-  match if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None with
-  | None ->
-    Experiments.all ppf;
+  let jobs =
+    ref
+      (try Parallel.Pool.default_domains ()
+       with Invalid_argument msg ->
+         Format.eprintf "error: %s@." msg;
+         exit 2)
+  in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest -> begin
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := j;
+        parse rest
+      | Some _ | None ->
+        Format.eprintf "error: --jobs must be >= 1@.";
+        exit 2
+    end
+    | "--jobs" :: [] ->
+      Format.eprintf "error: --jobs expects a count@.";
+      exit 2
+    | arg :: rest ->
+      positional := arg :: !positional;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let with_pool f =
+    if !jobs = 1 then f None
+    else Parallel.Pool.with_pool ~domains:!jobs (fun pool -> f (Some pool))
+  in
+  match List.rev !positional with
+  | [] ->
+    with_pool (fun pool -> Experiments.all ?pool ppf);
+    par_report ~jobs:!jobs ppf;
     bechamel_suite ()
-  | Some "tables" -> Experiments.all ppf
-  | Some "bench" -> bechamel_suite ()
-  | Some name -> begin
+  | [ "tables" ] -> with_pool (fun pool -> Experiments.all ?pool ppf)
+  | [ "bench" ] ->
+    par_report ~jobs:!jobs ppf;
+    bechamel_suite ()
+  | [ "par" ] -> par_report ~jobs:!jobs ppf
+  | [ name ] -> begin
     match Experiments.by_name name with
-    | Some run -> run ppf
+    | Some _ ->
+      with_pool (fun pool ->
+          match Experiments.by_name ?pool name with
+          | Some run -> run ppf
+          | None -> assert false)
     | None ->
-      Format.eprintf "unknown experiment %S (expected: %s, tables, bench)@."
-        name
+      Format.eprintf
+        "unknown experiment %S (expected: %s, tables, bench, par)@." name
         (String.concat ", " Experiments.names);
       exit 2
   end
+  | _ ->
+    Format.eprintf "usage: main.exe [EXPERIMENT|tables|bench|par] [--jobs N]@.";
+    exit 2

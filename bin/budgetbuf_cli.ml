@@ -30,6 +30,44 @@ let load_config path =
   | exception Sys_error msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
+(* --jobs: domain pool for the sweep commands                          *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Evaluate independent solves on $(docv) domains (default: the \
+           $(b,BUDGETBUF_JOBS) environment variable, else the machine's \
+           recommended domain count).  $(b,--jobs 1) forces the sequential \
+           path; the results are identical either way.")
+
+(* Resolves --jobs to an optional pool and hands it to [f]; jobs = 1
+   passes no pool at all, which is exactly the sequential code path. *)
+let with_jobs jobs f =
+  match jobs with
+  | Some n when n < 1 ->
+    Format.eprintf "error: --jobs must be >= 1@.";
+    1
+  | _ -> begin
+    match
+      match jobs with
+      | Some n -> Ok n
+      | None -> begin
+        try Ok (Parallel.Pool.default_domains ())
+        with Invalid_argument msg -> Error msg
+      end
+    with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok 1 -> f None
+    | Ok n -> Parallel.Pool.with_pool ~domains:n (fun pool -> f (Some pool))
+  end
+
+(* ------------------------------------------------------------------ *)
 (* solve                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -182,7 +220,7 @@ let buffers_arg =
           "Comma-separated buffer names to cap (default: every buffer of \
            the configuration).")
 
-let do_tradeoff () path (lo, hi) buffer_names =
+let do_tradeoff () path (lo, hi) buffer_names jobs =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -203,8 +241,9 @@ let do_tradeoff () path (lo, hi) buffer_names =
       Format.eprintf "error: empty or invalid cap range@.";
       1
     | Ok buffers ->
+      with_jobs jobs @@ fun pool ->
       let caps = List.init (hi - lo + 1) (fun i -> lo + i) in
-      let points = Tradeoff.capacity_sweep cfg ~buffers ~caps in
+      let points = Tradeoff.capacity_sweep ?pool cfg ~buffers ~caps in
       let tasks = Config.all_tasks cfg in
       Format.printf "%-6s" "cap";
       List.iter
@@ -232,7 +271,9 @@ let tradeoff_cmd =
   let doc = "sweep buffer-capacity caps and print the budget trade-off curve" in
   Cmd.v
     (Cmd.info "tradeoff" ~doc)
-    Term.(const do_tradeoff $ logs_term $ file_arg $ caps_arg $ buffers_arg)
+    Term.(
+      const do_tradeoff $ logs_term $ file_arg $ caps_arg $ buffers_arg
+      $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -247,8 +288,9 @@ let experiment_arg =
           (Printf.sprintf "Experiment id: %s."
              (String.concat ", " Experiments.names)))
 
-let do_experiment () id =
-  match Experiments.by_name id with
+let do_experiment () id jobs =
+  with_jobs jobs @@ fun pool ->
+  match Experiments.by_name ?pool id with
   | Some run ->
     run Format.std_formatter;
     0
@@ -256,7 +298,8 @@ let do_experiment () id =
 
 let experiment_cmd =
   let doc = "regenerate a table or figure of the paper" in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const do_experiment $ logs_term $ experiment_arg)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const do_experiment $ logs_term $ experiment_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -466,13 +509,14 @@ let steps_arg =
     value & opt int 9
     & info [ "steps" ] ~docv:"N" ~doc:"Number of weight ratios to sweep.")
 
-let do_pareto () path steps =
+let do_pareto () path steps jobs =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
     1
   | Ok cfg ->
-    let points = Budgetbuf.Pareto.frontier ~steps cfg in
+    with_jobs jobs @@ fun pool ->
+    let points = Budgetbuf.Pareto.frontier ~steps ?pool cfg in
     if points = [] then begin
       Format.printf "no feasible point@.";
       1
@@ -492,7 +536,7 @@ let do_pareto () path steps =
 let pareto_cmd =
   let doc = "sweep objective weights and print the budget/buffer Pareto front" in
   Cmd.v (Cmd.info "pareto" ~doc)
-    Term.(const do_pareto $ logs_term $ file_arg $ steps_arg)
+    Term.(const do_pareto $ logs_term $ file_arg $ steps_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bind                                                                *)

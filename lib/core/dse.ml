@@ -3,70 +3,25 @@ module Config = Taskgraph.Config
 let with_periods cfg ~scale =
   if scale <= 0.0 || not (Float.is_finite scale) then
     invalid_arg "Dse.with_periods: scale must be > 0";
-  let fresh = Config.create ~granularity:(Config.granularity cfg) () in
-  let procs =
-    List.map
-      (fun p ->
-        ( Config.proc_id p,
-          Config.add_processor fresh ~name:(Config.proc_name cfg p)
-            ~replenishment:(Config.replenishment cfg p)
-            ~overhead:(Config.overhead cfg p) () ))
-      (Config.processors cfg)
-  in
-  let mems =
-    List.map
-      (fun m ->
-        ( Config.memory_id m,
-          Config.add_memory fresh ~name:(Config.memory_name cfg m)
-            ~capacity:(Config.memory_capacity cfg m) ))
-      (Config.memories cfg)
-  in
-  List.iter
-    (fun g ->
-      let fresh_g =
-        Config.add_graph fresh ~name:(Config.graph_name cfg g)
-          ~period:(Config.period cfg g *. scale)
-          ?latency_bound:(Config.latency_bound cfg g) ()
-      in
-      let tasks =
-        List.map
-          (fun w ->
-            ( Config.task_id w,
-              Config.add_task fresh fresh_g ~name:(Config.task_name cfg w)
-                ~proc:(List.assoc (Config.proc_id (Config.task_proc cfg w)) procs)
-                ~wcet:(Config.wcet cfg w)
-                ~weight:(Config.task_weight cfg w) () ))
-          (Config.tasks cfg g)
-      in
-      List.iter
-        (fun b ->
-          ignore
-            (Config.add_buffer fresh fresh_g
-               ~name:(Config.buffer_name cfg b)
-               ~src:(List.assoc (Config.task_id (Config.buffer_src cfg b)) tasks)
-               ~dst:(List.assoc (Config.task_id (Config.buffer_dst cfg b)) tasks)
-               ~memory:
-                 (List.assoc
-                    (Config.memory_id (Config.buffer_memory cfg b))
-                    mems)
-               ~container_size:(Config.container_size cfg b)
-               ~initial_tokens:(Config.initial_tokens cfg b)
-               ~weight:(Config.buffer_weight cfg b)
-               ?max_capacity:(Config.max_capacity cfg b) ()))
-        (Config.buffers cfg g))
-    (Config.graphs cfg);
-  fresh
+  Config.copy ~period_scale:scale cfg
 
-let feasible ?params cfg scale =
-  match Mapping.solve ?params (with_periods cfg ~scale) with
-  | Ok r -> r.Mapping.verification = []
-  | Error _ -> false
-
-let min_period_scale ?(tolerance = 1e-4) ?params cfg =
+let min_period_scale ?(tolerance = 1e-4) ?params ?on_probe cfg =
+  (* One mutable clone serves every probe: only the periods change
+     between probes, so rescaling them in place beats rebuilding the
+     whole configuration each time. *)
+  let probe_cfg = Config.copy cfg in
+  let base = List.map (fun g -> (g, Config.period cfg g)) (Config.graphs cfg) in
+  let feasible scale =
+    (match on_probe with None -> () | Some f -> f scale);
+    List.iter (fun (g, mu) -> Config.set_period probe_cfg g (mu *. scale)) base;
+    match Mapping.solve ?params probe_cfg with
+    | Ok r -> r.Mapping.verification = []
+    | Error _ -> false
+  in
   (* Grow until feasible, then bisect. *)
   let rec find_hi scale =
     if scale > 1000.0 then None
-    else if feasible ?params cfg scale then Some scale
+    else if feasible scale then Some scale
     else find_hi (2.0 *. scale)
   in
   match find_hi 1.0 with
@@ -77,7 +32,7 @@ let min_period_scale ?(tolerance = 1e-4) ?params cfg =
       else begin
         let mid = 0.5 *. (lo +. hi) in
         if mid <= 0.0 then hi
-        else if feasible ?params cfg mid then bisect lo mid (iters - 1)
+        else if feasible mid then bisect lo mid (iters - 1)
         else bisect mid hi (iters - 1)
       end
     in
@@ -92,18 +47,23 @@ let min_period_scale ?(tolerance = 1e-4) ?params cfg =
     in
     Some (bisect (Float.min lo0 hi0) hi0 60)
 
-let throughput_curve ?params cfg ~caps =
-  List.filter_map
-    (fun cap ->
-      let capped = with_periods cfg ~scale:1.0 in
-      List.iter
-        (fun b -> Config.set_max_capacity capped b (Some cap))
-        (Config.all_buffers capped);
-      match min_period_scale ?params capped with
-      | None -> None
-      | Some scale -> begin
-        match Config.graphs capped with
-        | g :: _ -> Some (cap, Config.period capped g *. scale)
-        | [] -> None
-      end)
-    caps
+let throughput_curve ?params ?pool cfg ~caps =
+  let solve_cap cap =
+    let capped = Config.copy cfg in
+    List.iter
+      (fun b -> Config.set_max_capacity capped b (Some cap))
+      (Config.all_buffers capped);
+    match min_period_scale ?params capped with
+    | None -> None
+    | Some scale -> begin
+      match Config.graphs capped with
+      | g :: _ -> Some (cap, Config.period capped g *. scale)
+      | [] -> None
+    end
+  in
+  let points =
+    match pool with
+    | None -> List.map solve_cap caps
+    | Some pool -> Parallel.Pool.map pool solve_cap caps
+  in
+  List.filter_map Fun.id points

@@ -14,24 +14,34 @@
     @raise Invalid_argument if [scale <= 0]. *)
 val with_periods : Taskgraph.Config.t -> scale:float -> Taskgraph.Config.t
 
-(** [min_period_scale ?tolerance ?params cfg] is the smallest factor
-    [s] such that the configuration with all periods scaled by [s] is
-    feasible, found by bisection to relative [tolerance] (default
-    1e-4).  [s ≤ 1] means the stated requirements hold with margin;
-    [s > 1] means they must be relaxed by that factor.  [None] when
-    even a 1000× relaxation is infeasible (a structural dead end such
-    as an over-full memory). *)
+(** [min_period_scale ?tolerance ?params ?on_probe cfg] is the
+    smallest factor [s] such that the configuration with all periods
+    scaled by [s] is feasible, found by bisection to relative
+    [tolerance] (default 1e-4).  [s ≤ 1] means the stated requirements
+    hold with margin; [s > 1] means they must be relaxed by that
+    factor.  [None] when even a 1000× relaxation is infeasible (a
+    structural dead end such as an over-full memory).
+
+    All probes share one internal clone of [cfg] whose periods are
+    rescaled in place — [cfg] itself is never mutated.  [on_probe] is
+    called with the scale of every feasibility probe (solve); the
+    regression tests use it to pin the probe count so the fast path
+    cannot silently regress. *)
 val min_period_scale :
-  ?tolerance:float -> ?params:Conic.Socp.params -> Taskgraph.Config.t ->
+  ?tolerance:float -> ?params:Conic.Socp.params -> ?on_probe:(float -> unit) ->
+  Taskgraph.Config.t ->
   float option
 
-(** [throughput_curve ?params cfg ~caps] sweeps a shared buffer
+(** [throughput_curve ?params ?pool cfg ~caps] sweeps a shared buffer
     capacity cap and reports, per cap, the minimal feasible period of
     the {e first} task graph (single-graph configurations being the
     common case).  Points whose cap admits no feasible period are
-    omitted. *)
+    omitted.  Every cap is an independent bisection over independent
+    solves; with [?pool] they are evaluated concurrently, with output
+    bit-identical to the sequential sweep (see {!Parallel.Pool.map}). *)
 val throughput_curve :
   ?params:Conic.Socp.params ->
+  ?pool:Parallel.Pool.t ->
   Taskgraph.Config.t ->
   caps:int list ->
   (int * float) list

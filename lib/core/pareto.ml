@@ -11,69 +11,64 @@ let pp_point ppf p =
   Format.fprintf ppf "ratio %.3g: budgets %.4f, %d containers" p.weight_ratio
     p.budget_sum p.buffer_containers
 
-let frontier ?(steps = 9) ?params cfg =
+let frontier ?(steps = 9) ?params ?pool cfg =
   if steps < 1 then invalid_arg "Pareto.frontier: steps must be >= 1";
   let tasks = Config.all_tasks cfg and buffers = Config.all_buffers cfg in
-  let saved_task = List.map (fun w -> (w, Config.task_weight cfg w)) tasks in
-  let saved_buf = List.map (fun b -> (b, Config.buffer_weight cfg b)) buffers in
-  let restore () =
-    List.iter (fun (w, a) -> Config.set_task_weight cfg w a) saved_task;
-    List.iter (fun (b, v) -> Config.set_buffer_weight cfg b v) saved_buf
+  (* Geometric sweep of the budget-to-buffer weight ratio; every ratio
+     reweights its own clone so the candidate solves are independent
+     (and [cfg] keeps its weights without any restore dance). *)
+  let lo = 1e-3 and hi = 1e3 in
+  let ratios =
+    if steps = 1 then [ 1.0 ]
+    else
+      List.init steps (fun i ->
+          lo *. ((hi /. lo) ** (float_of_int i /. float_of_int (steps - 1))))
   in
-  Fun.protect ~finally:restore (fun () ->
-      (* Geometric sweep of the budget-to-buffer weight ratio. *)
-      let lo = 1e-3 and hi = 1e3 in
-      let ratios =
-        if steps = 1 then [ 1.0 ]
-        else
-          List.init steps (fun i ->
-              lo
-              *. ((hi /. lo)
-                 ** (float_of_int i /. float_of_int (steps - 1))))
+  let solve_ratio ratio =
+    let candidate = Config.copy cfg in
+    List.iter (fun w -> Config.set_task_weight candidate w ratio) tasks;
+    List.iter (fun b -> Config.set_buffer_weight candidate b 1.0) buffers;
+    match Mapping.solve ?params candidate with
+    | Error _ -> None
+    | Ok r ->
+      let budget_sum =
+        List.fold_left
+          (fun acc w -> acc +. r.Mapping.continuous.Socp_builder.budget w)
+          0.0 tasks
       in
-      let raw =
-        List.filter_map
-          (fun ratio ->
-            List.iter (fun w -> Config.set_task_weight cfg w ratio) tasks;
-            List.iter (fun b -> Config.set_buffer_weight cfg b 1.0) buffers;
-            match Mapping.solve ?params cfg with
-            | Error _ -> None
-            | Ok r ->
-              let budget_sum =
-                List.fold_left
-                  (fun acc w ->
-                    acc +. r.Mapping.continuous.Socp_builder.budget w)
-                  0.0 tasks
-              in
-              let buffer_containers =
-                List.fold_left
-                  (fun acc b -> acc + r.Mapping.mapped.Config.capacity b)
-                  0 buffers
-              in
-              Some
-                {
-                  weight_ratio = ratio;
-                  budget_sum;
-                  buffer_containers;
-                  rounded_objective = r.Mapping.rounded_objective;
-                })
-          ratios
+      let buffer_containers =
+        List.fold_left
+          (fun acc b -> acc + r.Mapping.mapped.Config.capacity b)
+          0 buffers
       in
-      (* Keep the non-dominated points (smaller budget AND smaller
-         buffers is better), sorted by buffer use. *)
-      let sorted =
-        List.sort
-          (fun p1 p2 ->
-            match compare p1.buffer_containers p2.buffer_containers with
-            | 0 -> compare p1.budget_sum p2.budget_sum
-            | c -> c)
-          raw
-      in
-      let rec prune best_budget = function
-        | [] -> []
-        | p :: rest ->
-          if p.budget_sum < best_budget -. 1e-6 then
-            p :: prune p.budget_sum rest
-          else prune best_budget rest
-      in
-      prune infinity sorted)
+      Some
+        {
+          weight_ratio = ratio;
+          budget_sum;
+          buffer_containers;
+          rounded_objective = r.Mapping.rounded_objective;
+        }
+  in
+  let raw =
+    List.filter_map Fun.id
+      (match pool with
+      | None -> List.map solve_ratio ratios
+      | Some pool -> Parallel.Pool.map pool solve_ratio ratios)
+  in
+  (* Keep the non-dominated points (smaller budget AND smaller
+     buffers is better), sorted by buffer use. *)
+  let sorted =
+    List.sort
+      (fun p1 p2 ->
+        match compare p1.buffer_containers p2.buffer_containers with
+        | 0 -> compare p1.budget_sum p2.budget_sum
+        | c -> c)
+      raw
+  in
+  let rec prune best_budget = function
+    | [] -> []
+    | p :: rest ->
+      if p.budget_sum < best_budget -. 1e-6 then p :: prune p.budget_sum rest
+      else prune best_budget rest
+  in
+  prune infinity sorted

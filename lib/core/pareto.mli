@@ -17,14 +17,18 @@ type point = {
   rounded_objective : float;
 }
 
-(** [frontier ?steps ?params cfg] solves the joint program for [steps]
-    (default 9) weight ratios spread geometrically between heavily
-    budget-dominant and heavily buffer-dominant, restores the
-    configuration's original weights afterwards, and returns the
-    non-dominated points sorted by increasing buffer use.  Infeasible
-    instances yield the empty list. *)
+(** [frontier ?steps ?params ?pool cfg] solves the joint program for
+    [steps] (default 9) weight ratios spread geometrically between
+    heavily budget-dominant and heavily buffer-dominant and returns the
+    non-dominated points sorted by increasing buffer use.  Each ratio
+    reweights a private clone of [cfg], so the configuration is never
+    mutated and the candidate solves are independent; with [?pool] they
+    run concurrently, with results bit-identical to the sequential
+    sweep (see {!Parallel.Pool.map}).  Infeasible instances yield the
+    empty list. *)
 val frontier :
-  ?steps:int -> ?params:Conic.Socp.params -> Taskgraph.Config.t -> point list
+  ?steps:int -> ?params:Conic.Socp.params -> ?pool:Parallel.Pool.t ->
+  Taskgraph.Config.t -> point list
 
 (** [pp_point ppf p] prints one frontier point. *)
 val pp_point : Format.formatter -> point -> unit

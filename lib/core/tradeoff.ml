@@ -5,17 +5,18 @@ type point = {
   result : (Mapping.result, Mapping.error) Stdlib.result;
 }
 
-let capacity_sweep ?params cfg ~buffers ~caps =
-  let saved = List.map (fun b -> (b, Config.max_capacity cfg b)) buffers in
-  let restore () =
-    List.iter (fun (b, cap) -> Config.set_max_capacity cfg b cap) saved
+let capacity_sweep ?params ?pool cfg ~buffers ~caps =
+  (* Each cap solves its own clone (handles are dense ids, valid across
+     copies), so candidate solves are independent and can be batched on
+     a pool; [cfg] is never touched. *)
+  let solve_cap cap =
+    let candidate = Config.copy cfg in
+    List.iter (fun b -> Config.set_max_capacity candidate b (Some cap)) buffers;
+    { cap; result = Mapping.solve ?params candidate }
   in
-  Fun.protect ~finally:restore (fun () ->
-      List.map
-        (fun cap ->
-          List.iter (fun b -> Config.set_max_capacity cfg b (Some cap)) buffers;
-          { cap; result = Mapping.solve ?params cfg })
-        caps)
+  match pool with
+  | None -> List.map solve_cap caps
+  | Some pool -> Parallel.Pool.map pool solve_cap caps
 
 let budget_of point task =
   match point.result with

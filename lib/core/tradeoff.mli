@@ -11,12 +11,16 @@ type point = {
   result : (Mapping.result, Mapping.error) Stdlib.result;
 }
 
-(** [capacity_sweep cfg ~buffers ~caps] runs {!Mapping.solve} once per
-    cap, temporarily setting [max_capacity] of every buffer in
-    [buffers] to the cap.  Previous bounds are restored afterwards.
-    Caps are processed in the given order. *)
+(** [capacity_sweep ?params ?pool cfg ~buffers ~caps] runs
+    {!Mapping.solve} once per cap, setting [max_capacity] of every
+    buffer in [buffers] to the cap on a private clone of [cfg] ([cfg]
+    itself is left untouched).  Points come back in the order of
+    [caps]; with [?pool] the candidate solves run concurrently, with
+    results bit-identical to the sequential sweep (see
+    {!Parallel.Pool.map}). *)
 val capacity_sweep :
   ?params:Conic.Socp.params ->
+  ?pool:Parallel.Pool.t ->
   Taskgraph.Config.t ->
   buffers:Taskgraph.Config.buffer list ->
   caps:int list ->

@@ -290,7 +290,7 @@ let mcr_ablation ppf =
       | _ -> Format.fprintf ppf "  %-8d unexpected classification@." n)
     [ 10; 50; 100; 200 ]
 
-let pareto ppf =
+let pareto ?pool ppf =
   header ppf "Extension: Pareto frontier of budgets vs containers (T1)";
   Format.fprintf ppf "  %-14s %-16s %-12s@." "weight ratio" "sum of budgets"
     "containers";
@@ -300,7 +300,7 @@ let pareto ppf =
       Format.fprintf ppf "  %-14.3g %-16.4f %-12d@."
         p.Budgetbuf.Pareto.weight_ratio p.Budgetbuf.Pareto.budget_sum
         p.Budgetbuf.Pareto.buffer_containers)
-    (Budgetbuf.Pareto.frontier ~steps:11 cfg);
+    (Budgetbuf.Pareto.frontier ~steps:11 ?pool cfg);
   Format.fprintf ppf
     "@.  (the frontier spans the same curve as Figure 2(a): 2x39 budget@.    \  with 1 container down to 2x4 budget with 10 containers)@."
 
@@ -447,7 +447,7 @@ let critical ppf =
     "@.  for caps below 10 the buffer ring through both tasks binds;@.\
     \  at 10 the self-loop of a single task takes over (beta = 4).@."
 
-let dse ppf =
+let dse ?pool ppf =
   header ppf
     "Extension: best sustainable period vs buffer capacity (DSE dual)";
   Format.fprintf ppf "  %-9s %-24s@." "capacity" "min period [Mcycles]";
@@ -455,7 +455,7 @@ let dse ppf =
   List.iter
     (fun (cap, period) ->
       Format.fprintf ppf "  %-9d %-24.4f@." cap period)
-    (Budgetbuf.Dse.throughput_curve cfg ~caps:caps_1_10);
+    (Budgetbuf.Dse.throughput_curve ?pool cfg ~caps:caps_1_10);
   Format.fprintf ppf
     "@.  the dual reading of Figure 2(a): with d containers the platform@.\
     \  sustains the printed period at best.  The floor rho*chi/(rho-o-g)@.\
@@ -581,26 +581,35 @@ let apps ppf =
           sim)
     Workloads.Apps.all
 
-let all ppf =
-  fig2a ppf;
-  fig2b ppf;
-  fig3 ppf;
-  runtime ppf;
-  baselines ppf;
-  rounding ppf;
-  lp_cross_check ppf;
-  simulation ppf;
-  mcr_ablation ppf;
-  pareto ppf;
-  binding ppf;
-  campaign ppf;
-  dse ppf;
-  critical ppf;
-  latency ppf;
-  slp ppf;
-  apps ppf
+let series ?pool () =
+  [
+    fig2a; fig2b; fig3; runtime; baselines; rounding; lp_cross_check;
+    simulation; mcr_ablation; pareto ?pool; binding; campaign; dse ?pool;
+    critical; latency; slp; apps;
+  ]
 
-let registry =
+let all ?pool ppf =
+  match pool with
+  | None -> List.iter (fun f -> f ppf) (series ())
+  | Some pool ->
+    (* Each table/figure renders into its own buffer on the pool;
+       printing the buffers in registry order afterwards keeps the
+       report byte-identical to the sequential run.  The nested sweeps
+       of [pareto] and [dse] share the same pool (the pool supports
+       nested maps), so no domain idles while a big series runs. *)
+    let rendered =
+      Parallel.Pool.map pool
+        (fun f ->
+          let buf = Buffer.create 4096 in
+          let bppf = Format.formatter_of_buffer buf in
+          f bppf;
+          Format.pp_print_flush bppf ();
+          Buffer.contents buf)
+        (series ~pool ())
+    in
+    List.iter (Format.pp_print_string ppf) rendered
+
+let registry ?pool () =
   [
     ("fig2a", fig2a);
     ("fig2b", fig2b);
@@ -611,16 +620,16 @@ let registry =
     ("lp", lp_cross_check);
     ("sim", simulation);
     ("mcr", mcr_ablation);
-    ("pareto", pareto);
+    ("pareto", pareto ?pool);
     ("binding", binding);
     ("campaign", campaign);
-    ("dse", dse);
+    ("dse", dse ?pool);
     ("critical", critical);
     ("latency", latency);
     ("slp", slp);
     ("apps", apps);
-    ("all", all);
+    ("all", all ?pool);
   ]
 
-let by_name name = List.assoc_opt name registry
-let names = List.map fst registry
+let by_name ?pool name = List.assoc_opt name (registry ?pool ())
+let names = List.map fst (registry ())

@@ -45,18 +45,20 @@ val simulation : Format.formatter -> unit
     graphs. *)
 val mcr_ablation : Format.formatter -> unit
 
-(** [pareto ppf] — extension: the Pareto frontier of total budget vs
-    total containers on T1 (the weight sweep the paper describes). *)
-val pareto : Format.formatter -> unit
+(** [pareto ?pool ppf] — extension: the Pareto frontier of total budget
+    vs total containers on T1 (the weight sweep the paper describes).
+    The candidate solves batch onto [?pool] when given. *)
+val pareto : ?pool:Parallel.Pool.t -> Format.formatter -> unit
 
 (** [binding ppf] — extension: binding-search strategies compared on an
     asymmetric two-processor pipeline. *)
 val binding : Format.formatter -> unit
 
-(** [dse ppf] — extension: the dual of Figure 2(a): best sustainable
-    period per buffer-capacity cap, by bisection over the joint
-    program. *)
-val dse : Format.formatter -> unit
+(** [dse ?pool ppf] — extension: the dual of Figure 2(a): best
+    sustainable period per buffer-capacity cap, by bisection over the
+    joint program.  The capacity points batch onto [?pool] when
+    given. *)
+val dse : ?pool:Parallel.Pool.t -> Format.formatter -> unit
 
 (** [campaign ppf] — extension: the Section I false-negative argument
     at scale: 100 random capped chains, counting how often the
@@ -85,13 +87,21 @@ val slp : Format.formatter -> unit
     modem, car radio) solved and simulated end to end. *)
 val apps : Format.formatter -> unit
 
-(** [all ppf] runs every experiment above in order. *)
-val all : Format.formatter -> unit
+(** [all ?pool ppf] runs every experiment above.  Without a pool the
+    sections print directly, in order.  With a pool each independent
+    section renders concurrently into its own buffer and the buffers
+    are emitted in the same fixed order, so every computed figure of
+    the report is identical to the sequential run.  (The measured
+    wall-clock columns of the runtime/MCR/application tables vary
+    between any two runs, pooled or not.) *)
+val all : ?pool:Parallel.Pool.t -> Format.formatter -> unit
 
-(** [by_name name] looks up an experiment printer by its table id
+(** [by_name ?pool name] looks up an experiment printer by its table id
     ("fig2a", "fig2b", "fig3", "rt", "baselines", "rounding", "lp",
-    "sim", "all"); [None] for unknown names. *)
-val by_name : string -> (Format.formatter -> unit) option
+    "sim", "all"); [None] for unknown names.  [?pool] reaches the
+    experiments that fan out internally ("pareto", "dse", "all"). *)
+val by_name :
+  ?pool:Parallel.Pool.t -> string -> (Format.formatter -> unit) option
 
 (** [names] lists the valid experiment ids. *)
 val names : string list

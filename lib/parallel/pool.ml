@@ -1,0 +1,167 @@
+type t = {
+  lanes : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+      (* signalled on: new work, a map completing, shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable queue_high_water : int;
+  mutable tasks_run : int;
+  mutable shutdown : bool;
+  mutable finished : bool;
+  busy_s : float array; (* slot 0: submitters; slots 1..: workers *)
+  mutable workers : unit Domain.t array;
+}
+
+let default_domains () =
+  match Sys.getenv_opt "BUDGETBUF_JOBS" with
+  | None -> Int.max 1 (Domain.recommended_domain_count ())
+  | Some s when String.trim s = "" ->
+    Int.max 1 (Domain.recommended_domain_count ())
+  | Some s -> begin
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf "BUDGETBUF_JOBS must be a positive integer, got %S" s)
+  end
+
+(* Runs one task and charges its wall-clock time to [slot].  Tasks are
+   the closures built by [map]; they capture their own exceptions, so
+   this never raises. *)
+let run_task t slot task =
+  let t0 = Unix.gettimeofday () in
+  task ();
+  t.busy_s.(slot) <- t.busy_s.(slot) +. (Unix.gettimeofday () -. t0)
+
+let worker t slot =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    next ()
+  and next () =
+    (* precondition: t.mutex held *)
+    match Queue.take_opt t.queue with
+    | Some task ->
+      Mutex.unlock t.mutex;
+      run_task t slot task;
+      loop ()
+    | None ->
+      if t.shutdown then Mutex.unlock t.mutex
+      else begin
+        Condition.wait t.cond t.mutex;
+        next ()
+      end
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Parallel.Pool.create: domains must be >= 1";
+  let t =
+    {
+      lanes = domains;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      queue_high_water = 0;
+      tasks_run = 0;
+      shutdown = false;
+      finished = false;
+      busy_s = Array.make domains 0.0;
+      workers = [||];
+    }
+  in
+  t.workers <-
+    Array.init (domains - 1) (fun i ->
+        Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+let domains t = t.lanes
+
+let map t f xs =
+  if t.finished then invalid_arg "Parallel.Pool.map: pool already finalised";
+  match xs with
+  | [] -> []
+  | xs ->
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let results = Array.make n None in
+    let remaining = ref n in
+    (* Each task writes its own slot: result order is fixed by the
+       input, not by the schedule. *)
+    let task_for i () =
+      let r =
+        match f input.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      results.(i) <- Some r;
+      t.tasks_run <- t.tasks_run + 1;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast t.cond;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (task_for i) t.queue
+    done;
+    let depth = Queue.length t.queue in
+    if depth > t.queue_high_water then t.queue_high_water <- depth;
+    Condition.broadcast t.cond;
+    (* The submitter drains the queue too (this is the whole pool when
+       [domains = 1], and what makes nested maps deadlock-free), then
+       sleeps until its last outstanding task completes. *)
+    let rec drive () =
+      (* precondition: t.mutex held *)
+      if !remaining = 0 then Mutex.unlock t.mutex
+      else begin
+        match Queue.take_opt t.queue with
+        | Some task ->
+          Mutex.unlock t.mutex;
+          run_task t 0 task;
+          Mutex.lock t.mutex;
+          drive ()
+        | None ->
+          Condition.wait t.cond t.mutex;
+          drive ()
+      end
+    in
+    drive ();
+    (* Deterministic join: re-raise the earliest failure, independent
+       of which domain hit it first. *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
+    List.init n (fun i ->
+        match results.(i) with
+        | Some (Ok v) -> v
+        | Some (Error _) | None -> assert false)
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      Stats.domains = t.lanes;
+      tasks_run = t.tasks_run;
+      queue_high_water = t.queue_high_water;
+      busy_s = Array.copy t.busy_s;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let fini t =
+  if not t.finished then begin
+    t.finished <- true;
+    Mutex.lock t.mutex;
+    t.shutdown <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> fini t) (fun () -> f t)

@@ -1,0 +1,58 @@
+(** A fixed-size domain pool for embarrassingly parallel solve fan-out.
+
+    Every capacity point of a throughput curve, every Pareto candidate
+    and every table of the experiment harness is an independent cone
+    solve; this pool runs such batches on OCaml 5 [Domain]s while
+    keeping the results {e deterministic}: [map] stores each result in
+    the slot of its input, so the output list is bit-identical to the
+    sequential [List.map] regardless of how the scheduler interleaves
+    the work.
+
+    Concurrency model: [create ~domains] spawns [domains - 1] worker
+    domains; the domain calling [map] also drains the shared queue
+    while it waits, so a pool with [~domains:1] spawns nothing and runs
+    every task on the caller in submission order — exactly the
+    sequential path.  Caller participation also makes nested [map]
+    calls (a pooled experiment that itself sweeps a curve on the same
+    pool) deadlock-free: whoever waits, works.
+
+    Tasks must not block on anything owned by another task.  The
+    functions handed to [map] are expected to be reentrant — the whole
+    solver stack ([Conic], [Linalg], [Budgetbuf.Mapping]) allocates its
+    scratch per call and satisfies this; see docs/solver.md. *)
+
+type t
+
+(** [default_domains ()] is the pool width used when the caller does
+    not specify one: the [BUDGETBUF_JOBS] environment variable when set
+    and non-blank (a positive integer; anything else raises
+    [Invalid_argument]), otherwise
+    [Domain.recommended_domain_count ()]. *)
+val default_domains : unit -> int
+
+(** [create ~domains] spawns a pool of [domains] lanes ([domains - 1]
+    worker domains plus the submitting caller).
+    @raise Invalid_argument if [domains < 1]. *)
+val create : domains:int -> t
+
+(** [domains t] is the lane count the pool was created with. *)
+val domains : t -> int
+
+(** [map t f xs] applies [f] to every element of [xs] on the pool and
+    returns the results in input order.  Exceptions raised by [f] are
+    captured per task; once every task has finished, the exception of
+    the {e earliest} failed input (deterministic) is re-raised with its
+    backtrace.  A failed task never wedges the pool: the remaining
+    tasks still run and the pool stays usable afterwards. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [stats t] snapshots the instrumentation counters. *)
+val stats : t -> Stats.t
+
+(** [fini t] shuts the pool down and joins the worker domains.
+    Idempotent.  Calling [map] afterwards raises [Invalid_argument]. *)
+val fini : t -> unit
+
+(** [with_pool ~domains f] runs [f] on a fresh pool and finalises it on
+    every exit path. *)
+val with_pool : domains:int -> (t -> 'a) -> 'a

@@ -10,7 +10,7 @@ type memory_info = { mname : string; capacity : int }
 
 type graph_info = {
   gname : string;
-  period : float;
+  mutable period : float;
   latency_bound : float option;
 }
 
@@ -174,6 +174,28 @@ let add_buffer t g ~name ~src ~dst ~memory ?(container_size = 1)
     :: t.buffer_infos;
   t.nbuffers <- b + 1;
   b
+
+let copy ?(period_scale = 1.0) t =
+  if period_scale <= 0.0 || not (Float.is_finite period_scale) then
+    invalid_arg "Config.copy: period_scale must be > 0";
+  {
+    t with
+    (* proc and memory infos are immutable and may be shared; the rest
+       carry mutable fields and must be duplicated so that mutations on
+       the copy never reach the original (and vice versa). *)
+    graph_infos =
+      List.map
+        (fun gi -> { gi with period = gi.period *. period_scale })
+        t.graph_infos;
+    task_infos = List.map (fun wi -> { wi with tname = wi.tname }) t.task_infos;
+    buffer_infos =
+      List.map (fun bi -> { bi with bname = bi.bname }) t.buffer_infos;
+  }
+
+let set_period t g mu =
+  if mu <= 0.0 || not (Float.is_finite mu) then
+    invalid_arg "Config.set_period: period must be > 0";
+  (graph_info t g).period <- mu
 
 let set_max_capacity t b cap =
   (match cap with

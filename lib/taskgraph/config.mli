@@ -72,6 +72,23 @@ val add_buffer :
   ?container_size:int -> ?initial_tokens:int -> ?weight:float ->
   ?max_capacity:int -> unit -> buffer
 
+(** [copy ?period_scale t] is an independent clone of [t], every graph
+    period multiplied by [period_scale] (default 1).  All handles
+    ([proc], [task], [buffer], …) are dense ids assigned in insertion
+    order, so a handle obtained from [t] is valid on the copy and
+    denotes the same entity — which is what lets design-space sweeps
+    hand one clone per candidate to a worker domain and still query the
+    results with the caller's handles.  Mutations on either side never
+    reach the other.
+    @raise Invalid_argument if [period_scale <= 0]. *)
+val copy : ?period_scale:float -> t -> t
+
+(** [set_period t g mu] replaces the throughput requirement of graph
+    [g] (used by bisection probes to rescale one configuration in
+    place).
+    @raise Invalid_argument if [mu <= 0]. *)
+val set_period : t -> graph -> float -> unit
+
 (** [set_max_capacity t b cap] replaces the capacity bound of a buffer
     ([None] removes it). *)
 val set_max_capacity : t -> buffer -> int option -> unit

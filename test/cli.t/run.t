@@ -44,6 +44,37 @@ Trade-off sweep over small capacities:
   2      31.2788      31.2788     
   3      26.5089      26.5089     
 
+The sweep fans out onto a domain pool with --jobs; the report must be
+byte-identical across job counts (the determinism oracle of
+docs/testing.md):
+
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --jobs 1 > seq.out
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --jobs 4 > par.out
+  $ diff seq.out par.out && echo identical
+  identical
+
+A non-positive job count is rejected with a clean error:
+
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --jobs 0
+  error: --jobs must be >= 1
+  [1]
+
+So is a malformed BUDGETBUF_JOBS default (explicit --jobs overrides it):
+
+  $ BUDGETBUF_JOBS=zero ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3
+  error: BUDGETBUF_JOBS must be a positive integer, got "zero"
+  [1]
+  $ BUDGETBUF_JOBS=zero ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --jobs 1 | head -1
+  cap    wa           wb          
+
+The pooled experiments accept --jobs too (Pareto frontier of T1):
+
+  $ ../../bin/budgetbuf_cli.exe pareto t1.cfg --jobs 2 > par.pareto
+  $ ../../bin/budgetbuf_cli.exe pareto t1.cfg --jobs 1 | diff - par.pareto && echo identical
+  identical
+  $ ../../bin/budgetbuf_cli.exe experiment fig2b --jobs 2 | grep -c "^  [0-9]"
+  9
+
 Parse errors carry the file and line:
 
   $ echo "processor p1" > broken.cfg

@@ -1,0 +1,297 @@
+(* Tests for the domain pool (lib/parallel) and the parallel solve
+   fan-out built on it.
+
+   The central property is the determinism oracle of docs/testing.md:
+   [Pool.map] over a capacity sweep must be bit-identical to the
+   sequential [List.map], including the [Error] cases — the parallel
+   and sequential paths act as a pair of independent implementations
+   checking each other. *)
+
+module Config = Taskgraph.Config
+module Mapping = Budgetbuf.Mapping
+module Pool = Parallel.Pool
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* Closed form for the paper's T1 (DESIGN.md §5); unconstrained the
+   self-loop bound β ≥ ̺χ/µ = 4 is active. *)
+let t1_analytic_budget d =
+  let d = float_of_int d in
+  Float.max 4.0
+    (((80.0 -. (10.0 *. d)) +. sqrt ((((10.0 *. d) -. 80.0) ** 2.0) +. 640.0))
+    /. 4.0)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: Pool.map ≡ List.map, bit for bit                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural equality on [Mapping.result] raises (the mapped record
+   holds closures), so the comparison projects every observable of a
+   solve into a string: rounded budgets and capacities, the continuous
+   optimum bit-patterns, the verification report and the error
+   constructor.  Bit-identical projections ⇒ bit-identical results. *)
+let solve_signature cfg = function
+  | Ok (r : Mapping.result) ->
+    let budgets =
+      List.map
+        (fun w ->
+          Printf.sprintf "%Lx/%Lx"
+            (Int64.bits_of_float (r.Mapping.mapped.Config.budget w))
+            (Int64.bits_of_float
+               (r.Mapping.continuous.Budgetbuf.Socp_builder.budget w)))
+        (Config.all_tasks cfg)
+    and caps =
+      List.map
+        (fun b -> string_of_int (r.Mapping.mapped.Config.capacity b))
+        (Config.all_buffers cfg)
+    in
+    Printf.sprintf "ok obj=%Lx robj=%Lx budgets=%s caps=%s verif=%s"
+      (Int64.bits_of_float r.Mapping.objective)
+      (Int64.bits_of_float r.Mapping.rounded_objective)
+      (String.concat "," budgets) (String.concat "," caps)
+      (String.concat ";" r.Mapping.verification)
+  | Error e -> Format.asprintf "error: %a" Mapping.pp_error e
+
+(* One capacity point: cap every buffer of a private clone (handles
+   stay valid across [Config.copy]) and run the full flow. *)
+let solve_capped cfg cap =
+  let candidate = Config.copy cfg in
+  List.iter
+    (fun b -> Config.set_max_capacity candidate b (Some cap))
+    (Config.all_buffers cfg);
+  solve_signature cfg (Mapping.solve candidate)
+
+(* Caps from 1 upward so the sweep crosses from Infeasible to Ok —
+   the property covers the [Error] branch too. *)
+let sweep_caps = [ 1; 2; 3; 5; 8 ]
+
+let prop_pool_map_matches_sequential =
+  QCheck2.Test.make ~name:"Pool.map bit-identical to List.map" ~count:10
+    QCheck2.Gen.(pair (int_range 2 5) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Workloads.Rng.create (Int64.of_int seed) in
+      let cfg = Workloads.Gen.random_chain rng ~n () in
+      let seq = List.map (solve_capped cfg) sweep_caps in
+      let par =
+        Pool.with_pool ~domains:4 @@ fun pool ->
+        Pool.map pool (solve_capped cfg) sweep_caps
+      in
+      if seq <> par then
+        QCheck2.Test.fail_reportf "parallel sweep diverged:@.seq %s@.par %s"
+          (String.concat " | " seq) (String.concat " | " par);
+      true)
+
+let test_throughput_curve_matches_sequential () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  let caps = List.init 6 (fun i -> i + 1) in
+  let seq = Budgetbuf.Dse.throughput_curve cfg ~caps in
+  let par =
+    Pool.with_pool ~domains:4 @@ fun pool ->
+    Budgetbuf.Dse.throughput_curve ~pool cfg ~caps
+  in
+  Alcotest.(check (list (pair int (float 0.0))))
+    "curve identical across job counts" seq par
+
+(* ------------------------------------------------------------------ *)
+(* Failure semantics: earliest exception at the join, pool survives    *)
+(* ------------------------------------------------------------------ *)
+
+let test_exception_reraised_and_pool_usable () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  (match
+     Pool.map pool
+       (fun i -> if i mod 3 = 1 then failwith (Printf.sprintf "task %d" i)
+        else i * i)
+       (List.init 8 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected the task exception at the join"
+  | exception Failure msg ->
+    (* Inputs 1, 4 and 7 all fail; the join must deterministically
+       re-raise the earliest one. *)
+    Alcotest.(check string) "earliest failed input wins" "task 1" msg);
+  (* The failed batch must not wedge the pool: later maps still run. *)
+  let again = Pool.map pool (fun i -> i + 1) (List.init 5 Fun.id) in
+  Alcotest.(check (list int)) "pool usable after failure" [ 1; 2; 3; 4; 5 ]
+    again
+
+let test_map_after_fini_rejected () =
+  let pool = Pool.create ~domains:2 in
+  Pool.fini pool;
+  Pool.fini pool (* idempotent *);
+  match Pool.map pool Fun.id [ 1 ] with
+  | _ -> Alcotest.fail "map on a finalised pool must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_create_rejects_nonpositive () =
+  match Pool.create ~domains:0 with
+  | _ -> Alcotest.fail "domains:0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Reentrancy: concurrent solves of the same instance                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Two domains run the full flow on their own T1 instance at the same
+   time.  The solver stack keeps no global mutable state (docs/
+   solver.md), so both must reproduce the closed-form optimum
+   β′ = 4 to 1e-6 relative — a wrong answer here means a data race in
+   shared scratch. *)
+let test_concurrent_solves_reproduce_optimum () =
+  let solve () =
+    let cfg = Workloads.Gen.paper_t1 () in
+    match Mapping.solve cfg with
+    | Ok r ->
+      List.map
+        (fun w -> r.Mapping.continuous.Budgetbuf.Socp_builder.budget w)
+        (Config.all_tasks cfg)
+    | Error e -> Alcotest.failf "concurrent solve failed: %a" Mapping.pp_error e
+  in
+  let d1 = Domain.spawn solve and d2 = Domain.spawn solve in
+  let budgets = Domain.join d1 @ Domain.join d2 in
+  let expected = t1_analytic_budget 1000 (* unconstrained: 4.0 *) in
+  Alcotest.(check int) "both domains, both tasks" 4 (List.length budgets);
+  List.iter
+    (fun b ->
+      let rel = Float.abs (b -. expected) /. expected in
+      if rel > 1e-6 then
+        Alcotest.failf "budget %.12g off the closed form %.12g (rel %.3g)" b
+          expected rel)
+    budgets
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation and configuration                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_counters () =
+  Pool.with_pool ~domains:3 @@ fun pool ->
+  ignore (Pool.map pool (fun i -> i * 2) (List.init 10 Fun.id));
+  ignore (Pool.map pool (fun i -> i * 3) (List.init 7 Fun.id));
+  let s = Pool.stats pool in
+  Alcotest.(check int) "domains" 3 s.Parallel.Stats.domains;
+  Alcotest.(check int) "tasks run" 17 s.Parallel.Stats.tasks_run;
+  Alcotest.(check bool) "queue high-water bounded" true
+    (s.Parallel.Stats.queue_high_water >= 1
+    && s.Parallel.Stats.queue_high_water <= 10);
+  Alcotest.(check int) "busy slot per lane" 3
+    (Array.length s.Parallel.Stats.busy_s)
+
+let test_single_domain_runs_in_submission_order () =
+  (* domains:1 spawns nothing; tasks run on the caller in order. *)
+  let order = ref [] in
+  Pool.with_pool ~domains:1 @@ fun pool ->
+  let out =
+    Pool.map pool
+      (fun i ->
+        order := i :: !order;
+        i)
+      (List.init 6 Fun.id)
+  in
+  Alcotest.(check (list int)) "results in input order" [ 0; 1; 2; 3; 4; 5 ] out;
+  Alcotest.(check (list int)) "executed in submission order" [ 0; 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_nested_map_does_not_deadlock () =
+  (* An outer task maps on the same pool (the pooled experiment report
+     does exactly this); caller participation must keep it live even
+     when the batch exceeds the lane count. *)
+  Pool.with_pool ~domains:2 @@ fun pool ->
+  let out =
+    Pool.map pool
+      (fun i -> List.fold_left ( + ) 0 (Pool.map pool (fun j -> i * j)
+                                          (List.init 4 Fun.id)))
+      (List.init 6 Fun.id)
+  in
+  Alcotest.(check (list int)) "nested totals" [ 0; 6; 12; 18; 24; 30 ] out
+
+let test_default_domains_env () =
+  let prev = Sys.getenv_opt "BUDGETBUF_JOBS" in
+  let restore () =
+    match prev with
+    | Some v -> Unix.putenv "BUDGETBUF_JOBS" v
+    | None -> Unix.putenv "BUDGETBUF_JOBS" ""
+  in
+  Fun.protect ~finally:restore @@ fun () ->
+  Unix.putenv "BUDGETBUF_JOBS" "3";
+  Alcotest.(check int) "BUDGETBUF_JOBS honoured" 3 (Pool.default_domains ());
+  Unix.putenv "BUDGETBUF_JOBS" "zero";
+  (match Pool.default_domains () with
+  | _ -> Alcotest.fail "garbage BUDGETBUF_JOBS must be rejected"
+  | exception Invalid_argument _ -> ());
+  Unix.putenv "BUDGETBUF_JOBS" "";
+  Alcotest.(check bool) "unset falls back to the machine" true
+    (Pool.default_domains () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Dse.min_period_scale probe budget (satellite of the pool rework)    *)
+(* ------------------------------------------------------------------ *)
+
+(* One shared clone is rescaled in place across all bisection probes;
+   on T1 the search costs exactly 18 solves (1 find_hi probe at scale
+   1, then bisection from the utilisation anchor 0.1 to relative 1e-4).
+   A regression that rebuilds the config per probe keeps this count —
+   the pin is on the solve count, which is the dominant cost and must
+   not creep. *)
+let test_min_period_scale_probe_count () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  let probes = ref 0 in
+  let scale =
+    Budgetbuf.Dse.min_period_scale ~on_probe:(fun _ -> incr probes) cfg
+  in
+  (match scale with
+  | Some s ->
+    (* T1 sustains ~10x its stated rate: the anchor is the bottleneck
+       utilisation wcet/µ = 0.1. *)
+    check_float 1e-3 "min feasible scale" 0.1026 s;
+    Alcotest.(check bool) "requirement holds with margin" true (s <= 1.0)
+  | None -> Alcotest.fail "T1 must have a feasible scale");
+  Alcotest.(check int) "probe count pinned" 18 !probes
+
+let test_min_period_scale_leaves_input_untouched () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  let g = Config.find_graph cfg "t1" in
+  let before = Config.period cfg g in
+  ignore (Budgetbuf.Dse.min_period_scale cfg);
+  check_float 0.0 "period unchanged" before (Config.period cfg g)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "throughput curve identical" `Quick
+            test_throughput_curve_matches_sequential;
+          QCheck_alcotest.to_alcotest prop_pool_map_matches_sequential;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "exception at join, pool survives" `Quick
+            test_exception_reraised_and_pool_usable;
+          Alcotest.test_case "map after fini" `Quick
+            test_map_after_fini_rejected;
+          Alcotest.test_case "domains >= 1" `Quick
+            test_create_rejects_nonpositive;
+        ] );
+      ( "reentrancy",
+        [
+          Alcotest.test_case "concurrent T1 solves hit the optimum" `Quick
+            test_concurrent_solves_reproduce_optimum;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "stats counters" `Quick test_stats_counters;
+          Alcotest.test_case "single domain is sequential" `Quick
+            test_single_domain_runs_in_submission_order;
+          Alcotest.test_case "nested map" `Quick
+            test_nested_map_does_not_deadlock;
+          Alcotest.test_case "BUDGETBUF_JOBS" `Quick test_default_domains_env;
+        ] );
+      ( "dse",
+        [
+          Alcotest.test_case "probe count pinned" `Quick
+            test_min_period_scale_probe_count;
+          Alcotest.test_case "input config untouched" `Quick
+            test_min_period_scale_leaves_input_untouched;
+        ] );
+    ]

@@ -90,6 +90,18 @@ let binding_instance () =
 let bechamel_suite () =
   let open Bechamel in
   let solve cfg () = ignore (Mapping.solve cfg) in
+  (* Cost of climbing one recovery rung: the base attempt is sabotaged
+     into a stall, so every solve pays base + relaxed (see
+     docs/robustness.md). *)
+  let recover cfg =
+    let policy =
+      {
+        Robust.Recovery.fault = Some Robust.Fault.stall_first;
+        max_rungs = 4;
+      }
+    in
+    fun () -> ignore (Mapping.solve ~policy cfg)
+  in
   let sweep gen () =
     let cfg = gen () in
     ignore
@@ -115,6 +127,8 @@ let bechamel_suite () =
           (Staged.stage (sweep Workloads.Gen.paper_t2));
         Test.make ~name:"rt: solve paper T1"
           (Staged.stage (solve (Workloads.Gen.paper_t1 ())));
+        Test.make ~name:"rt: solve paper T1 (stalled base, 1 recovery rung)"
+          (Staged.stage (recover (Workloads.Gen.paper_t1 ())));
         Test.make ~name:"rt: solve paper T2"
           (Staged.stage (solve (Workloads.Gen.paper_t2 ())));
         Test.make ~name:"rt: solve chain n=8"

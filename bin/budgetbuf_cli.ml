@@ -13,6 +13,8 @@ module Parse = Taskgraph.Parse
 module Mapping = Budgetbuf.Mapping
 module Tradeoff = Budgetbuf.Tradeoff
 module Socp_builder = Budgetbuf.Socp_builder
+module Recovery = Robust.Recovery
+module Fault = Robust.Fault
 
 open Cmdliner
 
@@ -68,6 +70,35 @@ let with_jobs jobs f =
   end
 
 (* ------------------------------------------------------------------ *)
+(* --fault: deterministic solver fault injection (testing aid)         *)
+(* ------------------------------------------------------------------ *)
+
+let fault_conv =
+  let parse s =
+    match Fault.of_string s with
+    | Ok plan -> Ok plan
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Fault.to_string p))
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Inject a deterministic solver fault, for exercising the \
+           recovery ladder: $(b,KIND[,iter=N][,attempts=N|all][,only=I]) \
+           with kind $(b,stall) or $(b,nan) (see docs/robustness.md).")
+
+(* Resolves --fault (falling back to BUDGETBUF_FAULT) to a recovery
+   policy for Mapping.solve and the sweep drivers. *)
+let policy_of_fault fault =
+  match fault with
+  | Some plan -> { (Recovery.default_policy ()) with Recovery.fault = Some plan }
+  | None -> Recovery.default_policy ()
+
+(* ------------------------------------------------------------------ *)
 (* solve                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -100,7 +131,7 @@ let continuous_arg =
     & info [ "continuous" ]
         ~doc:"Also print the pre-rounding continuous optimum per variable.")
 
-let do_solve () path simulate continuous output =
+let do_solve () path simulate continuous output fault =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -110,7 +141,7 @@ let do_solve () path simulate continuous output =
     | [] -> ()
     | problems ->
       List.iter (Format.eprintf "warning: %s@.") problems);
-    match Mapping.solve cfg with
+    match Mapping.solve ~policy:(policy_of_fault fault) cfg with
     | Error e ->
       Format.eprintf "error: %a@." Mapping.pp_error e;
       1
@@ -123,6 +154,10 @@ let do_solve () path simulate continuous output =
         r.Mapping.stats.Mapping.variables r.Mapping.stats.Mapping.rows
         r.Mapping.stats.Mapping.iterations
         (1000.0 *. r.Mapping.stats.Mapping.solve_time_s);
+      if r.Mapping.stats.Mapping.attempts > 1 then
+        Format.printf "recovery: %d attempts (%a)@."
+          r.Mapping.stats.Mapping.attempts Recovery.pp_trace
+          r.Mapping.recovery;
       if continuous then
         List.iter
           (fun w ->
@@ -168,7 +203,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Term.(
       const do_solve $ logs_term $ file_arg $ simulate_arg $ continuous_arg
-      $ output_arg)
+      $ output_arg $ fault_arg)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                            *)
@@ -220,7 +255,7 @@ let buffers_arg =
           "Comma-separated buffer names to cap (default: every buffer of \
            the configuration).")
 
-let do_tradeoff () path (lo, hi) buffer_names jobs =
+let do_tradeoff () path (lo, hi) buffer_names jobs fault =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -243,7 +278,10 @@ let do_tradeoff () path (lo, hi) buffer_names jobs =
     | Ok buffers ->
       with_jobs jobs @@ fun pool ->
       let caps = List.init (hi - lo + 1) (fun i -> lo + i) in
-      let points = Tradeoff.capacity_sweep ?pool cfg ~buffers ~caps in
+      let points =
+        Tradeoff.capacity_sweep ~policy:(policy_of_fault fault) ?pool cfg
+          ~buffers ~caps
+      in
       let tasks = Config.all_tasks cfg in
       Format.printf "%-6s" "cap";
       List.iter
@@ -252,18 +290,30 @@ let do_tradeoff () path (lo, hi) buffer_names jobs =
       Format.printf "@.";
       List.iter
         (fun (p : Tradeoff.point) ->
-          Format.printf "%-6d" p.Tradeoff.cap;
-          (match p.Tradeoff.result with
-          | Error _ ->
-            List.iter (fun _ -> Format.printf " %-12s" "infeasible") tasks
+          match p.Tradeoff.result with
+          | Error (Mapping.Solver_failure _) ->
+            (* Listed in the skipped summary below instead of faking an
+               infeasibility verdict. *)
+            ()
+          | Error (Mapping.Infeasible _) ->
+            Format.printf "%-6d" p.Tradeoff.cap;
+            List.iter (fun _ -> Format.printf " %-12s" "infeasible") tasks;
+            Format.printf "@."
           | Ok r ->
+            Format.printf "%-6d" p.Tradeoff.cap;
             List.iter
               (fun w ->
                 Format.printf " %-12.4f"
                   (r.Mapping.continuous.Socp_builder.budget w))
-              tasks);
-          Format.printf "@.")
+              tasks;
+            Format.printf "@.")
         points;
+      (match Tradeoff.skipped points with
+      | [] -> ()
+      | skipped ->
+        let reasons = List.sort_uniq compare (List.map snd skipped) in
+        Format.printf "skipped: %d (%s)@." (List.length skipped)
+          (String.concat ", " reasons));
       0
   end
 
@@ -273,7 +323,7 @@ let tradeoff_cmd =
     (Cmd.info "tradeoff" ~doc)
     Term.(
       const do_tradeoff $ logs_term $ file_arg $ caps_arg $ buffers_arg
-      $ jobs_arg)
+      $ jobs_arg $ fault_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -509,19 +559,31 @@ let steps_arg =
     value & opt int 9
     & info [ "steps" ] ~docv:"N" ~doc:"Number of weight ratios to sweep.")
 
-let do_pareto () path steps jobs =
+let do_pareto () path steps jobs fault =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
     1
   | Ok cfg ->
     with_jobs jobs @@ fun pool ->
-    let points = Budgetbuf.Pareto.frontier ~steps ?pool cfg in
-    if points = [] then begin
+    let sweep =
+      Budgetbuf.Pareto.frontier ~steps ~policy:(policy_of_fault fault) ?pool
+        cfg
+    in
+    let print_skipped () =
+      match sweep.Budgetbuf.Pareto.skipped with
+      | [] -> ()
+      | skipped ->
+        let reasons = List.sort_uniq compare (List.map snd skipped) in
+        Format.printf "skipped: %d (%s)@." (List.length skipped)
+          (String.concat ", " reasons)
+    in
+    (match sweep.Budgetbuf.Pareto.points with
+    | [] ->
       Format.printf "no feasible point@.";
+      print_skipped ();
       1
-    end
-    else begin
+    | points ->
       Format.printf "%-14s %-16s %-12s@." "weight ratio" "sum of budgets"
         "containers";
       List.iter
@@ -530,13 +592,15 @@ let do_pareto () path steps jobs =
             p.Budgetbuf.Pareto.weight_ratio p.Budgetbuf.Pareto.budget_sum
             p.Budgetbuf.Pareto.buffer_containers)
         points;
-      0
-    end
+      print_skipped ();
+      0)
 
 let pareto_cmd =
   let doc = "sweep objective weights and print the budget/buffer Pareto front" in
   Cmd.v (Cmd.info "pareto" ~doc)
-    Term.(const do_pareto $ logs_term $ file_arg $ steps_arg $ jobs_arg)
+    Term.(
+      const do_pareto $ logs_term $ file_arg $ steps_arg $ jobs_arg
+      $ fault_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bind                                                                *)
@@ -840,4 +904,13 @@ let main_cmd =
       sdf_cmd; analyze_cmd; report_cmd;
     ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* A malformed flag value or an impossible request (say, a simulator
+   horizon below its warm-up) surfaces as Invalid_argument/Failure from
+   deep inside the libraries.  Turn these into a one-line diagnostic and
+   a non-zero exit instead of an OCaml backtrace. *)
+let () =
+  match Cmd.eval' ~catch:false main_cmd with
+  | code -> exit code
+  | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+    Format.eprintf "budgetbuf: error: %s@." msg;
+    exit 2

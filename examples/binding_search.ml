@@ -77,4 +77,4 @@ let () =
     Format.printf "@.Pareto frontier for the best binding:@.";
     List.iter
       (fun p -> Format.printf "  %a@." Pareto.pp_point p)
-      (Pareto.frontier ~steps:9 cfg)
+      (Pareto.frontier ~steps:9 cfg).Pareto.points

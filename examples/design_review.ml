@@ -35,7 +35,7 @@ let () =
     Format.printf "@.alternative operating points (Pareto sweep):@.";
     List.iter
       (fun p -> Format.printf "  %a@." Pareto.pp_point p)
-      (Pareto.frontier ~steps:7 cfg);
+      (Pareto.frontier ~steps:7 cfg).Pareto.points;
     (* A what-if: can the pipeline run at twice the rate? *)
     match Budgetbuf.Dse.min_period_scale cfg with
     | Some s when s <= 0.5 ->

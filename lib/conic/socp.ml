@@ -26,19 +26,25 @@ type solution = {
   iterations : int;
 }
 
+type fault = Stall | Nan
+
+type presolve = Presolve_off | Presolve_auto | Presolve_force
+
 type params = {
   max_iter : int;
   feastol : float;
   abstol : float;
   reltol : float;
   step_fraction : float;
+  presolve : presolve;
+  inject : (int -> fault option) option;
 }
 
 (* feastol 1e-7 reflects what dense normal-equation KKT solves can
    reliably deliver; the relaxed exits accept down to 1e3× of these. *)
 let default_params =
   { max_iter = 100; feastol = 1e-7; abstol = 1e-7; reltol = 1e-7;
-    step_fraction = 0.99 }
+    step_fraction = 0.99; presolve = Presolve_auto; inject = None }
 
 let pp_status ppf = function
   | Optimal -> Format.pp_print_string ppf "optimal"
@@ -91,11 +97,8 @@ let make_kkt ~gsp w =
    infeasibility certificate (κ > 0, τ = 0).  This avoids the classic
    failure of plain infeasible-start methods where the complementarity
    gap collapses before the residuals do. *)
-let solve ?(params = default_params) ~c ~g ~h cone =
+let solve_direct ~params ~c ~g ~h cone =
   let n = Vec.dim c and m = Vec.dim h in
-  if Mat.rows g <> m || Mat.cols g <> n then
-    invalid_arg "Socp.solve: G dimensions do not match c and h";
-  if Cone.dim cone <> m then invalid_arg "Socp.solve: cone dimension";
   let gsp = Sparse_rows.of_mat g in
   if m = 0 then begin
     (* No constraints: optimum 0 iff c = 0, otherwise unbounded below. *)
@@ -178,6 +181,23 @@ let solve ?(params = default_params) ~c ~g ~h cone =
       }
     in
     let rec iterate iter =
+      (* Deterministic fault injection (tests only): a [Stall] returns
+         the current iterate with status [Stalled] outright — bypassing
+         the relaxed-acceptance exits, so the failure is guaranteed — a
+         [Nan] poisons the iterate and lets the solver's own guards
+         (NaN step, non-interior scaling, indefinite Gram matrix) trip
+         on the next pass, exercising the natural failure paths. *)
+      (match params.inject with
+      | None -> None
+      | Some f -> f iter)
+      |> function
+      | Some Stall -> result Stalled iter
+      | Some Nan ->
+        !s.(0) <- nan;
+        !z.(0) <- nan;
+        iterate_clean (iter + 1)
+      | None -> iterate_clean iter
+    and iterate_clean iter =
       (* Homogeneous residuals. *)
       let hx = Sparse_rows.mul_vec gsp !x in
       let res_z =
@@ -372,4 +392,74 @@ let solve ?(params = default_params) ~c ~g ~h cone =
       end
     in
     iterate 0
+  end
+
+(* Map a solution of the equilibrated problem back to the original
+   data.  Optimal (and stalled/limit) points get their objectives and
+   residuals recomputed on the original (c, G, h); infeasibility rays
+   are renormalised to the certificate magnitude, matching what
+   [result_certificate] reports on an unscaled solve. *)
+let unscale_solution sc ~c ~g ~h sol =
+  let x, s, z = Presolve.unscale_point sc ~x:sol.x ~s:sol.s ~z:sol.z in
+  match sol.status with
+  | Primal_infeasible ->
+    let denom = Float.max 1e-300 (-.Vec.dot h z) in
+    {
+      sol with
+      x = Vec.scale (1.0 /. denom) x;
+      s = Vec.scale (1.0 /. denom) s;
+      z = Vec.scale (1.0 /. denom) z;
+    }
+  | Dual_infeasible ->
+    let denom = Float.max 1e-300 (-.Vec.dot c x) in
+    {
+      sol with
+      x = Vec.scale (1.0 /. denom) x;
+      s = Vec.scale (1.0 /. denom) s;
+      z = Vec.scale (1.0 /. denom) z;
+    }
+  | Optimal | Iteration_limit | Stalled ->
+    let gsp = Sparse_rows.of_mat g in
+    let norm_h = Float.max 1.0 (Vec.nrm2 h)
+    and norm_c = Float.max 1.0 (Vec.nrm2 c) in
+    let pres =
+      Vec.nrm2 (Vec.sub (Vec.add (Sparse_rows.mul_vec gsp x) s) h) /. norm_h
+    in
+    let dres = Vec.nrm2 (Vec.add (Sparse_rows.mul_tvec gsp z) c) /. norm_c in
+    {
+      status = sol.status;
+      x;
+      s;
+      z;
+      primal_objective = Vec.dot c x;
+      dual_objective = -.Vec.dot h z;
+      gap = Vec.dot s z;
+      primal_residual = pres;
+      dual_residual = dres;
+      iterations = sol.iterations;
+    }
+
+let solve ?(params = default_params) ~c ~g ~h cone =
+  let n = Vec.dim c and m = Vec.dim h in
+  if Mat.rows g <> m || Mat.cols g <> n then
+    invalid_arg "Socp.solve: G dimensions do not match c and h";
+  if Cone.dim cone <> m then invalid_arg "Socp.solve: cone dimension";
+  let equilibrate =
+    match params.presolve with
+    | Presolve_off -> false
+    | Presolve_force -> m > 0
+    (* Auto: only pay for scaling (and give up the bit-identical
+       iteration path) when the data actually spans many orders of
+       magnitude. *)
+    | Presolve_auto -> m > 0 && Presolve.badly_scaled g
+  in
+  if not equilibrate then solve_direct ~params ~c ~g ~h cone
+  else begin
+    let sc, c', g', h' = Presolve.equilibrate ~c ~g ~h cone in
+    Log.debug (fun f ->
+        f "presolve: Ruiz equilibration, dynamic range %.2e -> %.2e"
+          (Presolve.dynamic_range g)
+          (Presolve.dynamic_range g'));
+    let sol = solve_direct ~params ~c:c' ~g:g' ~h:h' cone in
+    unscale_solution sc ~c ~g ~h sol
   end

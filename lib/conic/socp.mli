@@ -37,12 +37,30 @@ type solution = {
   iterations : int;
 }
 
+(** Deterministic fault injected by tests through {!params.inject}:
+    [Stall] makes the iteration return [Stalled] outright at the chosen
+    iteration; [Nan] poisons the iterate with NaNs so the solver's own
+    numerical guards trip on the following pass.  See
+    docs/robustness.md. *)
+type fault = Stall | Nan
+
+(** Presolve policy.  [Presolve_auto] (the default) applies Ruiz
+    equilibration ({!Presolve}) only when {!Presolve.badly_scaled}
+    holds, so well-scaled problems keep a bit-identical iteration path;
+    [Presolve_force] always equilibrates (used by the recovery ladder's
+    re-scaled retry); [Presolve_off] never does. *)
+type presolve = Presolve_off | Presolve_auto | Presolve_force
+
 type params = {
   max_iter : int;      (** default 100 *)
   feastol : float;     (** residual tolerance, default 1e-8 *)
   abstol : float;      (** absolute gap tolerance, default 1e-8 *)
   reltol : float;      (** relative gap tolerance, default 1e-8 *)
   step_fraction : float;  (** fraction-to-boundary, default 0.99 *)
+  presolve : presolve;    (** default [Presolve_auto] *)
+  inject : (int -> fault option) option;
+      (** fault-injection hook, called with the iteration number before
+          each pass; [None] (the default) injects nothing *)
 }
 
 val default_params : params

@@ -1,11 +1,14 @@
 module Config = Taskgraph.Config
+module Recovery = Robust.Recovery
+module Fault = Robust.Fault
 
 let with_periods cfg ~scale =
   if scale <= 0.0 || not (Float.is_finite scale) then
     invalid_arg "Dse.with_periods: scale must be > 0";
   Config.copy ~period_scale:scale cfg
 
-let min_period_scale ?(tolerance = 1e-4) ?params ?on_probe cfg =
+let min_period_scale ?(tolerance = 1e-4) ?params ?policy ?on_probe ?on_failure
+    cfg =
   (* One mutable clone serves every probe: only the periods change
      between probes, so rescaling them in place beats rebuilding the
      whole configuration each time. *)
@@ -14,8 +17,14 @@ let min_period_scale ?(tolerance = 1e-4) ?params ?on_probe cfg =
   let feasible scale =
     (match on_probe with None -> () | Some f -> f scale);
     List.iter (fun (g, mu) -> Config.set_period probe_cfg g (mu *. scale)) base;
-    match Mapping.solve ?params probe_cfg with
+    match Mapping.solve ?params ?policy probe_cfg with
     | Ok r -> r.Mapping.verification = []
+    | Error (Mapping.Solver_failure _ as e) ->
+      (* A solver failure is not an infeasibility verdict: let callers
+         (the sweep drivers) distinguish a broken probe from a genuine
+         dead end before treating the whole search as infeasible. *)
+      (match on_failure with None -> () | Some f -> f e);
+      false
     | Error _ -> false
   in
   (* Grow until feasible, then bisect. *)
@@ -47,23 +56,74 @@ let min_period_scale ?(tolerance = 1e-4) ?params ?on_probe cfg =
     in
     Some (bisect (Float.min lo0 hi0) hi0 60)
 
-let throughput_curve ?params ?pool cfg ~caps =
-  let solve_cap cap =
-    let capped = Config.copy cfg in
-    List.iter
-      (fun b -> Config.set_max_capacity capped b (Some cap))
-      (Config.all_buffers capped);
-    match min_period_scale ?params capped with
-    | None -> None
-    | Some scale -> begin
-      match Config.graphs capped with
-      | g :: _ -> Some (cap, Config.period capped g *. scale)
-      | [] -> None
+type curve_point = {
+  cap : int;
+  outcome : (float option, string) Stdlib.result;
+}
+
+let curve_points points =
+  List.filter_map
+    (fun p ->
+      match p.outcome with Ok (Some period) -> Some (p.cap, period) | _ -> None)
+    points
+
+let curve_skipped points =
+  List.filter_map
+    (fun p ->
+      match p.outcome with Error reason -> Some (p.cap, reason) | Ok _ -> None)
+    points
+
+let throughput_curve ?params ?policy ?pool cfg ~caps =
+  let policy =
+    match policy with Some p -> p | None -> Recovery.default_policy ()
+  in
+  (* Each candidate gets its own clone, its own slice of the fault plan
+     and — crucially — its own exception barrier: a crash in one cap's
+     bisection becomes that point's outcome instead of killing the
+     sweep at the pool join. *)
+  let solve_cap (index, cap) =
+    let candidate_policy =
+      { policy with Recovery.fault = Fault.for_candidate policy.Recovery.fault ~index }
+    in
+    let failed = ref None in
+    let on_failure e =
+      if !failed = None then failed := Some (Mapping.short_reason e)
+    in
+    match
+      let capped = Config.copy cfg in
+      List.iter
+        (fun b -> Config.set_max_capacity capped b (Some cap))
+        (Config.all_buffers capped);
+      match
+        min_period_scale ?params ~policy:candidate_policy ~on_failure capped
+      with
+      | None -> None
+      | Some scale -> begin
+        match Config.graphs capped with
+        | g :: _ -> Some (Config.period capped g *. scale)
+        | [] -> None
+      end
+    with
+    | Some period -> { cap; outcome = Ok (Some period) }
+    | None -> begin
+      (* No feasible scale: an infeasibility verdict everywhere is the
+         honest [Ok None]; a failing solver is a skip with a reason. *)
+      match !failed with
+      | Some reason -> { cap; outcome = Error reason }
+      | None -> { cap; outcome = Ok None }
     end
+    | exception e ->
+      { cap; outcome = Error ("uncaught exception: " ^ Printexc.to_string e) }
   in
-  let points =
-    match pool with
-    | None -> List.map solve_cap caps
-    | Some pool -> Parallel.Pool.map pool solve_cap caps
-  in
-  List.filter_map Fun.id points
+  let indexed = List.mapi (fun i cap -> (i, cap)) caps in
+  match pool with
+  | None -> List.map solve_cap indexed
+  | Some pool ->
+    List.map2
+      (fun (_, cap) r ->
+        match r with
+        | Ok p -> p
+        | Error e ->
+          { cap; outcome = Error ("uncaught exception: " ^ Printexc.to_string e) })
+      indexed
+      (Parallel.Pool.map_result pool solve_cap indexed)

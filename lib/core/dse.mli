@@ -14,34 +14,66 @@
     @raise Invalid_argument if [scale <= 0]. *)
 val with_periods : Taskgraph.Config.t -> scale:float -> Taskgraph.Config.t
 
-(** [min_period_scale ?tolerance ?params ?on_probe cfg] is the
+(** [min_period_scale ?tolerance ?params ?policy ?on_probe cfg] is the
     smallest factor [s] such that the configuration with all periods
     scaled by [s] is feasible, found by bisection to relative
     [tolerance] (default 1e-4).  [s ≤ 1] means the stated requirements
     hold with margin; [s > 1] means they must be relaxed by that
     factor.  [None] when even a 1000× relaxation is infeasible (a
-    structural dead end such as an over-full memory).
+    structural dead end such as an over-full memory — or a solver
+    failure that survived the whole recovery ladder on every probe).
 
     All probes share one internal clone of [cfg] whose periods are
-    rescaled in place — [cfg] itself is never mutated.  [on_probe] is
-    called with the scale of every feasibility probe (solve); the
-    regression tests use it to pin the probe count so the fast path
-    cannot silently regress. *)
+    rescaled in place — [cfg] itself is never mutated.  [policy] is
+    forwarded to every probe's {!Mapping.solve}.  [on_probe] is called
+    with the scale of every feasibility probe (solve); the regression
+    tests use it to pin the probe count so the fast path cannot
+    silently regress.  [on_failure] is called with every probe error
+    that is a solver failure (not an infeasibility verdict): the sweep
+    drivers use it to tell a broken candidate from a genuine dead end
+    and report it as skipped instead of infeasible. *)
 val min_period_scale :
-  ?tolerance:float -> ?params:Conic.Socp.params -> ?on_probe:(float -> unit) ->
+  ?tolerance:float ->
+  ?params:Conic.Socp.params ->
+  ?policy:Robust.Recovery.policy ->
+  ?on_probe:(float -> unit) ->
+  ?on_failure:(Mapping.error -> unit) ->
   Taskgraph.Config.t ->
   float option
 
-(** [throughput_curve ?params ?pool cfg ~caps] sweeps a shared buffer
-    capacity cap and reports, per cap, the minimal feasible period of
-    the {e first} task graph (single-graph configurations being the
-    common case).  Points whose cap admits no feasible period are
-    omitted.  Every cap is an independent bisection over independent
-    solves; with [?pool] they are evaluated concurrently, with output
-    bit-identical to the sequential sweep (see {!Parallel.Pool.map}). *)
+(** One capacity point of a throughput curve.  [outcome] is
+    [Ok (Some period)] for a feasible cap, [Ok None] when no period up
+    to the 1000× relaxation is feasible under that cap, and
+    [Error reason] when the candidate failed rather than proved
+    infeasible — its solver failed past the whole recovery ladder, or
+    its evaluation crashed (the sweep carries on — see
+    {!Parallel.Pool.map_result}). *)
+type curve_point = {
+  cap : int;
+  outcome : (float option, string) Stdlib.result;
+}
+
+(** [curve_points points] keeps the feasible [(cap, period)] pairs, in
+    sweep order — the historical shape of the curve. *)
+val curve_points : curve_point list -> (int * float) list
+
+(** [curve_skipped points] lists the [(cap, reason)] of candidates that
+    failed outright (not the merely infeasible ones). *)
+val curve_skipped : curve_point list -> (int * string) list
+
+(** [throughput_curve ?params ?policy ?pool cfg ~caps] sweeps a shared
+    buffer capacity cap and reports, per cap, the minimal feasible
+    period of the {e first} task graph (single-graph configurations
+    being the common case).  Every cap is an independent bisection over
+    independent solves; with [?pool] they are evaluated concurrently,
+    with output bit-identical to the sequential sweep.  A failing
+    candidate is reported in its own {!curve_point.outcome} instead of
+    aborting the sweep.  A fault plan restricted with [only=I] applies
+    to the 0-based [I]-th cap of the sweep. *)
 val throughput_curve :
   ?params:Conic.Socp.params ->
+  ?policy:Robust.Recovery.policy ->
   ?pool:Parallel.Pool.t ->
   Taskgraph.Config.t ->
   caps:int list ->
-  (int * float) list
+  curve_point list

@@ -1,11 +1,14 @@
 module Config = Taskgraph.Config
 module Socp = Conic.Socp
 module Model = Conic.Model
+module Recovery = Robust.Recovery
+module Fault = Robust.Fault
 
 type stats = {
   variables : int;
   rows : int;
   iterations : int;
+  attempts : int;
   solve_time_s : float;
 }
 
@@ -15,6 +18,8 @@ type result = {
   objective : float;
   rounded_objective : float;
   verification : string list;
+  sim_check : string list;
+  recovery : Recovery.trace;
   stats : stats;
 }
 
@@ -24,36 +29,245 @@ let pp_error ppf = function
   | Infeasible msg -> Format.fprintf ppf "infeasible: %s" msg
   | Solver_failure msg -> Format.fprintf ppf "solver failure: %s" msg
 
-(* The tolerance matches the solver accuracy: a continuous value within
-   1e-6 of a grid point is snapped down rather than rounded a whole
-   granule up.  [solve] re-verifies the rounded mapping and falls back
-   to strict (eps = 0) rounding should the snap ever be unsound. *)
-let round_eps = 1e-6
+(* Short, stable label for sweep skip summaries ("skipped: 1 (stalled)").
+   The Solver_failure messages below all start with the status word. *)
+let short_reason = function
+  | Infeasible _ -> "infeasible"
+  | Solver_failure msg ->
+    if String.length msg >= 15 && String.sub msg 0 15 = "iteration limit" then
+      "iteration limit"
+    else if String.length msg >= 7 && String.sub msg 0 7 = "stalled" then
+      "stalled"
+    else if String.length msg >= 9 && String.sub msg 0 9 = "unbounded" then
+      "unbounded"
+    else if String.length msg >= 8 && String.sub msg 0 8 = "uncaught" then
+      "exception"
+    else "failure"
 
-let round_budget_eps ~eps ~granularity beta' =
-  let q = ceil ((beta' /. granularity) -. eps) in
-  granularity *. Float.max 1.0 q
+let round_budget = Rounding.round_budget
+let round_capacity = Rounding.round_capacity
 
-let round_capacity_eps ~eps ~initial_tokens delta' =
-  let q = int_of_float (ceil (delta' -. eps)) in
-  Int.max 1 (initial_tokens + Int.max 0 q)
+(* TDM-simulation cross-check of a rounded mapping: the dataflow model
+   is conservative, so a mapping whose PAS admits period µ must
+   simulate close to µ or better.  A deadlock (or a gross period miss)
+   means the mapping is unusable regardless of what the solver
+   claimed; a small transient overshoot is reported but tolerated —
+   200 iterations measure the steady state through a startup phase. *)
+let sim_soft_margin = 1.10
+let sim_hard_margin = 1.5
 
-let round_budget ~granularity beta' =
-  round_budget_eps ~eps:round_eps ~granularity beta'
+let sim_cross_check cfg mapped =
+  if Config.all_tasks cfg = [] then []
+  else
+    match Tdm_sim.Sim.run cfg mapped ~iterations:200 () with
+    | Error e -> [ Printf.sprintf "simulation failed: %s" e ]
+    | Ok report ->
+      List.concat_map
+        (fun g ->
+          let mu = Config.period cfg g in
+          let p = report.Tdm_sim.Sim.graph_period g in
+          if p > (sim_soft_margin *. mu) +. 1e-9 then
+            [
+              Printf.sprintf
+                "simulation: graph %s measured period %.4f exceeds required \
+                 %.4f"
+                (Config.graph_name cfg g) p mu;
+            ]
+          else [])
+        (Config.graphs cfg)
 
-let round_capacity ~initial_tokens delta' =
-  round_capacity_eps ~eps:round_eps ~initial_tokens delta'
+(* A sim verdict that proves the mapping unusable (as opposed to a
+   transient measurement overshoot): deadlock, invalid budgets, or a
+   period beyond any startup effect. *)
+let sim_hard_failure cfg mapped =
+  if Config.all_tasks cfg = [] then None
+  else
+    match Tdm_sim.Sim.run cfg mapped ~iterations:200 () with
+    | Error e -> Some (Printf.sprintf "simulation failed: %s" e)
+    | Ok report ->
+      List.find_map
+        (fun g ->
+          let mu = Config.period cfg g in
+          let p = report.Tdm_sim.Sim.graph_period g in
+          if p > sim_hard_margin *. mu then
+            Some
+              (Printf.sprintf
+                 "simulation: graph %s measured period %.4f far exceeds \
+                  required %.4f"
+                 (Config.graph_name cfg g) p mu)
+          else None)
+        (Config.graphs cfg)
 
-let solve ?params cfg =
+let rounded_objective_of cfg (mapped : Config.mapped) =
+  List.fold_left
+    (fun acc w -> acc +. (Config.task_weight cfg w *. mapped.Config.budget w))
+    0.0 (Config.all_tasks cfg)
+  +. List.fold_left
+       (fun acc b ->
+         acc
+         +. Config.buffer_weight cfg b
+            *. float_of_int
+                 (Config.container_size cfg b
+                 * (mapped.Config.capacity b - Config.initial_tokens cfg b)))
+       0.0 (Config.all_buffers cfg)
+
+(* Round and certify an Optimal continuous point.  Certification is in
+   two tiers: the Bellman–Ford re-verification (exact, reported in
+   [verification] as before) always runs; on a *recovered* solve the
+   mapping must additionally pass it — and the simulation hard check —
+   or the degraded solve is turned into an error rather than silently
+   returned. *)
+let finish_optimal cfg builder result trace stats =
+  let continuous = Socp_builder.extract cfg builder result in
+  let granularity = Config.granularity cfg in
+  let mapped_with eps =
+    let budgets =
+      List.map
+        (fun w ->
+          ( Config.task_id w,
+            Rounding.round_budget_eps ~eps ~granularity
+              (continuous.Socp_builder.budget w) ))
+        (Config.all_tasks cfg)
+    in
+    let capacities =
+      List.map
+        (fun b ->
+          ( Config.buffer_id b,
+            Rounding.round_capacity_eps ~eps
+              ~initial_tokens:(Config.initial_tokens cfg b)
+              (continuous.Socp_builder.space b) ))
+        (Config.all_buffers cfg)
+    in
+    {
+      Config.budget = (fun w -> List.assoc (Config.task_id w) budgets);
+      Config.capacity = (fun b -> List.assoc (Config.buffer_id b) capacities);
+    }
+  in
+  (* Snap near-grid values first; if the exact re-check rejects that
+     (possible only when the optimum genuinely sits past a grid
+     point), fall back to the strictly conservative rounding. *)
+  let mapped =
+    let snapped = mapped_with Rounding.round_eps in
+    if Dataflow_model.verify cfg snapped = [] then snapped
+    else mapped_with 0.0
+  in
+  let verification = Dataflow_model.verify cfg mapped in
+  let sim_check = sim_cross_check cfg mapped in
+  if Recovery.recovered trace && verification <> [] then
+    Error
+      (Solver_failure
+         (Format.asprintf
+            "stalled recovery produced an uncertifiable mapping (%s) after \
+             %d attempt(s) (%a)"
+            (String.concat "; " verification)
+            (Recovery.attempts trace) Recovery.pp_trace trace))
+  else
+    match
+      if Recovery.recovered trace && verification = [] then
+        sim_hard_failure cfg mapped
+      else None
+    with
+    | Some msg ->
+      Error
+        (Solver_failure
+           (Format.asprintf
+              "stalled recovery produced an uncertifiable mapping (%s) after \
+               %d attempt(s) (%a)"
+              msg (Recovery.attempts trace) Recovery.pp_trace trace))
+    | None ->
+      Ok
+        {
+          mapped;
+          continuous;
+          objective = continuous.Socp_builder.objective;
+          rounded_objective = rounded_objective_of cfg mapped;
+          verification;
+          sim_check;
+          recovery = trace;
+          stats;
+        }
+
+(* Last rung of the ladder: when every cone-solver attempt stalled,
+   restate the problem on the exact-simplex path — Fair_share budgets
+   plus the phase-2 buffer LP of the two-phase baseline.  The result is
+   not the joint optimum, but it is feasible and certified, which beats
+   returning nothing.  The synthesized [continuous] point reports the
+   fallback's own (rounded) values. *)
+let fallback_lp cfg trace stats final_status =
+  let fail ?note () =
+    let suffix = match note with None -> "" | Some n -> "; " ^ n in
+    Error
+      (Solver_failure
+         (Format.asprintf "%a after %d attempt(s) (%a)%s" Socp.pp_status
+            final_status (Recovery.attempts trace) Recovery.pp_trace trace
+            suffix))
+  in
+  match Two_phase.budget_first ~policy:Two_phase.Fair_share cfg with
+  | Error e ->
+    fail
+      ~note:
+        (Format.asprintf "fallback LP also failed: %a" Two_phase.pp_error e)
+      ()
+  | Ok tp ->
+    let mapped = tp.Two_phase.mapped in
+    let verification = Dataflow_model.verify cfg mapped in
+    let hard =
+      if verification <> [] then Some (String.concat "; " verification)
+      else sim_hard_failure cfg mapped
+    in
+    (match hard with
+    | Some msg -> fail ~note:("fallback LP mapping failed certification: " ^ msg) ()
+    | None ->
+      let attempt =
+        {
+          Recovery.stage = Recovery.Fallback_lp;
+          status = "recovered (exact simplex)";
+          iterations = 0;
+          time_s = 0.0;
+        }
+      in
+      let trace = trace @ [ attempt ] in
+      let continuous =
+        {
+          Socp_builder.budget = (fun w -> mapped.Config.budget w);
+          (* λ is the reciprocal surrogate of Constraint (8), λ·β′ ≥ 1. *)
+          lambda = (fun w -> 1.0 /. mapped.Config.budget w);
+          space =
+            (fun b ->
+              float_of_int
+                (mapped.Config.capacity b - Config.initial_tokens cfg b));
+          capacity = (fun b -> float_of_int (mapped.Config.capacity b));
+          objective = tp.Two_phase.objective;
+        }
+      in
+      Ok
+        {
+          mapped;
+          continuous;
+          objective = tp.Two_phase.objective;
+          rounded_objective = tp.Two_phase.objective;
+          verification;
+          sim_check = sim_cross_check cfg mapped;
+          recovery = trace;
+          stats = { stats with attempts = stats.attempts + 1 };
+        })
+
+let solve ?params ?policy cfg =
+  let policy =
+    match policy with Some p -> p | None -> Recovery.default_policy ()
+  in
   let builder = Socp_builder.build cfg in
   let t0 = Unix.gettimeofday () in
-  let result = Model.solve ?params builder.Socp_builder.model in
+  let result, trace =
+    Recovery.solve_model ~policy ?params builder.Socp_builder.model
+  in
   let elapsed = Unix.gettimeofday () -. t0 in
   let stats =
     {
       variables = Model.num_variables builder.Socp_builder.model;
       rows = Model.num_rows builder.Socp_builder.model;
       iterations = result.Model.raw.Socp.iterations;
+      attempts = Recovery.attempts trace;
       solve_time_s = elapsed;
     }
   in
@@ -66,67 +280,18 @@ let solve ?params cfg =
   | Socp.Dual_infeasible ->
     (* Objective (5) has non-negative weights over non-negative
        variables, so unboundedness indicates a modelling error. *)
-    Error (Solver_failure "cone program reported unbounded (dual infeasible)")
+    Error (Solver_failure "unbounded cone program (dual infeasible)")
   | Socp.Iteration_limit | Socp.Stalled ->
-    Error
-      (Solver_failure
-         (Format.asprintf "interior-point method stopped with status %a"
-            Socp.pp_status result.Model.status))
-  | Socp.Optimal ->
-    let continuous = Socp_builder.extract cfg builder result in
-    let granularity = Config.granularity cfg in
-    let mapped_with eps =
-      let budgets =
-        List.map
-          (fun w ->
-            ( Config.task_id w,
-              round_budget_eps ~eps ~granularity
-                (continuous.Socp_builder.budget w) ))
-          (Config.all_tasks cfg)
-      in
-      let capacities =
-        List.map
-          (fun b ->
-            ( Config.buffer_id b,
-              round_capacity_eps ~eps
-                ~initial_tokens:(Config.initial_tokens cfg b)
-                (continuous.Socp_builder.space b) ))
-          (Config.all_buffers cfg)
-      in
-      {
-        Config.budget = (fun w -> List.assoc (Config.task_id w) budgets);
-        Config.capacity = (fun b -> List.assoc (Config.buffer_id b) capacities);
-      }
-    in
-    (* Snap near-grid values first; if the exact re-check rejects that
-       (possible only when the optimum genuinely sits past a grid
-       point), fall back to the strictly conservative rounding. *)
-    let mapped =
-      let snapped = mapped_with round_eps in
-      if Dataflow_model.verify cfg snapped = [] then snapped
-      else mapped_with 0.0
-    in
-    let rounded_objective =
-      List.fold_left
-        (fun acc w ->
-          acc +. (Config.task_weight cfg w *. mapped.Config.budget w))
-        0.0 (Config.all_tasks cfg)
-      +. List.fold_left
-           (fun acc b ->
-             acc
-             +. Config.buffer_weight cfg b
-                *. float_of_int
-                     (Config.container_size cfg b
-                     * (mapped.Config.capacity b - Config.initial_tokens cfg b)))
-           0.0 (Config.all_buffers cfg)
-    in
-    let verification = Dataflow_model.verify cfg mapped in
-    Ok
-      {
-        mapped;
-        continuous;
-        objective = continuous.Socp_builder.objective;
-        rounded_objective;
-        verification;
-        stats;
-      }
+    (* The whole cone ladder failed; try the exact-simplex restatement
+       unless the fault plan covers that attempt too. *)
+    let fallback_attempt = Recovery.attempts trace + 1 in
+    if Fault.covers policy.Recovery.fault ~attempt:fallback_attempt then
+      Error
+        (Solver_failure
+           (Format.asprintf
+              "%a after %d attempt(s) (%a); fallback LP disabled by fault \
+               plan"
+              Socp.pp_status result.Model.status (Recovery.attempts trace)
+              Recovery.pp_trace trace))
+    else fallback_lp cfg trace stats result.Model.status
+  | Socp.Optimal -> finish_optimal cfg builder result trace stats

@@ -2,31 +2,49 @@
     headline contribution.
 
     [solve] builds Algorithm 1 for the whole configuration, runs the
-    interior-point solver, applies the conservative roundings
-    [β = g·⌈β′/g⌉] and [γ = ι + ⌈δ′⌉], and re-verifies the rounded
-    mapping against the exact dataflow feasibility test (Constraint (1)
-    via Bellman–Ford), the processor budget capacities and the memory
-    capacities.  By the monotonicity argument of Section IV the
+    interior-point solver under the {!Robust.Recovery} ladder, applies
+    the conservative roundings [β = g·⌈β′/g⌉] and [γ = ι + ⌈δ′⌉], and
+    re-verifies the rounded mapping against the exact dataflow
+    feasibility test (Constraint (1) via Bellman–Ford), the processor
+    budget capacities and the memory capacities, plus a TDM-simulation
+    cross-check.  By the monotonicity argument of Section IV the
     verification must succeed whenever the solver returned an optimal
-    continuous point; it is nevertheless checked and reported. *)
+    continuous point; it is nevertheless checked and reported.
+
+    Resilience (docs/robustness.md): when the cone solve stalls, the
+    recovery ladder retries with relaxed tolerances, a deeper iteration
+    budget and a re-equilibrated problem, and finally restates the
+    problem on the exact-simplex buffer LP of {!Two_phase}.  A
+    recovered (degraded) solve must pass certification — Bellman–Ford
+    and the simulation hard check — or [solve] returns an error rather
+    than silently handing back an unverified mapping. *)
 
 type stats = {
   variables : int;
   rows : int;
-  iterations : int;
-  solve_time_s : float;  (** wall-clock time of the cone solve *)
+  iterations : int;  (** interior-point iterations of the final attempt *)
+  attempts : int;  (** recovery-ladder attempts, 1 in normal operation *)
+  solve_time_s : float;  (** wall-clock time of the whole solve ladder *)
 }
 
 type result = {
   mapped : Taskgraph.Config.mapped;
   continuous : Socp_builder.continuous;
-      (** the pre-rounding optimum, for reporting the trade-off curves *)
+      (** the pre-rounding optimum, for reporting the trade-off curves
+          (on the LP-fallback path: the fallback's own values) *)
   objective : float;  (** continuous optimum of Objective (5) *)
   rounded_objective : float;
       (** Objective (5) evaluated on the rounded β, γ *)
   verification : string list;
-      (** violations found when re-checking the rounded mapping; empty
-          in normal operation *)
+      (** violations found when re-checking the rounded mapping with
+          the exact dataflow test; empty in normal operation *)
+  sim_check : string list;
+      (** TDM-simulation cross-check notes (measured period beyond the
+          required period by more than a startup margin, or a failed
+          run); empty in normal operation *)
+  recovery : Robust.Recovery.trace;
+      (** one attempt per solver run; more than one means the solve was
+          recovered *)
   stats : stats;
 }
 
@@ -36,21 +54,33 @@ type error =
           assignment meets the throughput requirement under the given
           processor, memory and capacity bounds *)
   | Solver_failure of string
-      (** the interior-point method returned an unusable status *)
+      (** every rung of the recovery ladder returned an unusable status
+          (or a recovered mapping failed certification) *)
 
-(** [solve ?params cfg] runs the full flow.  [params] tunes the
-    interior-point solver. *)
+(** [solve ?params ?policy cfg] runs the full flow.  [params] tunes the
+    interior-point solver; [policy] (default
+    {!Robust.Recovery.default_policy}, which honours [BUDGETBUF_FAULT])
+    controls the recovery ladder and fault injection. *)
 val solve :
-  ?params:Conic.Socp.params -> Taskgraph.Config.t -> (result, error) Stdlib.result
+  ?params:Conic.Socp.params ->
+  ?policy:Robust.Recovery.policy ->
+  Taskgraph.Config.t ->
+  (result, error) Stdlib.result
 
 (** [round_budget ~granularity beta'] is [g·⌈β′/g⌉] with a small
     tolerance so values within 1e-9 of a grid point do not round up an
-    extra granule. *)
+    extra granule.  (= {!Rounding.round_budget}.) *)
 val round_budget : granularity:float -> float -> float
 
 (** [round_capacity ~initial_tokens delta'] is
-    [max 1 (ι + ⌈δ′⌉)] with the same tolerance. *)
+    [max 1 (ι + ⌈δ′⌉)] with the same tolerance.
+    (= {!Rounding.round_capacity}.) *)
 val round_capacity : initial_tokens:int -> float -> int
+
+(** [short_reason e] is a short stable label for sweep skip summaries:
+    ["infeasible"], ["stalled"], ["iteration limit"], ["unbounded"],
+    ["exception"] or ["failure"]. *)
+val short_reason : error -> string
 
 (** [pp_error ppf e] prints an error. *)
 val pp_error : Format.formatter -> error -> unit

@@ -1,4 +1,6 @@
 module Config = Taskgraph.Config
+module Recovery = Robust.Recovery
+module Fault = Robust.Fault
 
 type point = {
   weight_ratio : float;
@@ -7,12 +9,17 @@ type point = {
   rounded_objective : float;
 }
 
+type sweep = { points : point list; skipped : (float * string) list }
+
 let pp_point ppf p =
   Format.fprintf ppf "ratio %.3g: budgets %.4f, %d containers" p.weight_ratio
     p.budget_sum p.buffer_containers
 
-let frontier ?(steps = 9) ?params ?pool cfg =
+let frontier ?(steps = 9) ?params ?policy ?pool cfg =
   if steps < 1 then invalid_arg "Pareto.frontier: steps must be >= 1";
+  let policy =
+    match policy with Some p -> p | None -> Recovery.default_policy ()
+  in
   let tasks = Config.all_tasks cfg and buffers = Config.all_buffers cfg in
   (* Geometric sweep of the budget-to-buffer weight ratio; every ratio
      reweights its own clone so the candidate solves are independent
@@ -24,12 +31,20 @@ let frontier ?(steps = 9) ?params ?pool cfg =
       List.init steps (fun i ->
           lo *. ((hi /. lo) ** (float_of_int i /. float_of_int (steps - 1))))
   in
-  let solve_ratio ratio =
-    let candidate = Config.copy cfg in
-    List.iter (fun w -> Config.set_task_weight candidate w ratio) tasks;
-    List.iter (fun b -> Config.set_buffer_weight candidate b 1.0) buffers;
-    match Mapping.solve ?params candidate with
-    | Error _ -> None
+  (* Per-candidate outcome: a solver failure (or a crash) is reported
+     in [skipped] while the rest of the frontier survives; a plain
+     infeasibility verdict is silently dropped as before (an infeasible
+     instance has no frontier points at any ratio). *)
+  let solve_ratio (index, ratio) =
+    let candidate_policy =
+      { policy with Recovery.fault = Fault.for_candidate policy.Recovery.fault ~index }
+    in
+    match
+      let candidate = Config.copy cfg in
+      List.iter (fun w -> Config.set_task_weight candidate w ratio) tasks;
+      List.iter (fun b -> Config.set_buffer_weight candidate b 1.0) buffers;
+      Mapping.solve ?params ~policy:candidate_policy candidate
+    with
     | Ok r ->
       let budget_sum =
         List.fold_left
@@ -41,19 +56,34 @@ let frontier ?(steps = 9) ?params ?pool cfg =
           (fun acc b -> acc + r.Mapping.mapped.Config.capacity b)
           0 buffers
       in
-      Some
+      `Point
         {
           weight_ratio = ratio;
           budget_sum;
           buffer_containers;
           rounded_objective = r.Mapping.rounded_objective;
         }
+    | Error (Mapping.Infeasible _) -> `Infeasible
+    | Error (Mapping.Solver_failure _ as e) ->
+      `Skipped (ratio, Mapping.short_reason e)
+    | exception _ -> `Skipped (ratio, "exception")
+  in
+  let indexed = List.mapi (fun i r -> (i, r)) ratios in
+  let outcomes =
+    match pool with
+    | None -> List.map solve_ratio indexed
+    | Some pool ->
+      List.map2
+        (fun (_, ratio) r ->
+          match r with Ok o -> o | Error _ -> `Skipped (ratio, "exception"))
+        indexed
+        (Parallel.Pool.map_result pool solve_ratio indexed)
   in
   let raw =
-    List.filter_map Fun.id
-      (match pool with
-      | None -> List.map solve_ratio ratios
-      | Some pool -> Parallel.Pool.map pool solve_ratio ratios)
+    List.filter_map (function `Point p -> Some p | _ -> None) outcomes
+  in
+  let skipped =
+    List.filter_map (function `Skipped s -> Some s | _ -> None) outcomes
   in
   (* Keep the non-dominated points (smaller budget AND smaller
      buffers is better), sorted by buffer use. *)
@@ -71,4 +101,4 @@ let frontier ?(steps = 9) ?params ?pool cfg =
       if p.budget_sum < best_budget -. 1e-6 then p :: prune p.budget_sum rest
       else prune best_budget rest
   in
-  prune infinity sorted
+  { points = prune infinity sorted; skipped }

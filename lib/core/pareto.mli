@@ -17,18 +17,31 @@ type point = {
   rounded_objective : float;
 }
 
-(** [frontier ?steps ?params ?pool cfg] solves the joint program for
-    [steps] (default 9) weight ratios spread geometrically between
-    heavily budget-dominant and heavily buffer-dominant and returns the
-    non-dominated points sorted by increasing buffer use.  Each ratio
-    reweights a private clone of [cfg], so the configuration is never
-    mutated and the candidate solves are independent; with [?pool] they
-    run concurrently, with results bit-identical to the sequential
-    sweep (see {!Parallel.Pool.map}).  Infeasible instances yield the
-    empty list. *)
+(** A frontier sweep: the surviving non-dominated points plus the
+    [(ratio, reason)] of candidates whose solve failed outright (the
+    rest of the frontier is still returned — one permanently failing
+    candidate costs one point, not the sweep). *)
+type sweep = { points : point list; skipped : (float * string) list }
+
+(** [frontier ?steps ?params ?policy ?pool cfg] solves the joint
+    program for [steps] (default 9) weight ratios spread geometrically
+    between heavily budget-dominant and heavily buffer-dominant and
+    returns the non-dominated points sorted by increasing buffer use.
+    Each ratio reweights a private clone of [cfg], so the configuration
+    is never mutated and the candidate solves are independent; with
+    [?pool] they run concurrently, with results bit-identical to the
+    sequential sweep (see {!Parallel.Pool.map_result}).  Infeasible
+    instances yield an empty [points] list; failing candidates land in
+    [skipped].  A fault plan restricted with [only=I] applies to the
+    0-based [I]-th ratio of the sweep.
+    @raise Invalid_argument if [steps < 1]. *)
 val frontier :
-  ?steps:int -> ?params:Conic.Socp.params -> ?pool:Parallel.Pool.t ->
-  Taskgraph.Config.t -> point list
+  ?steps:int ->
+  ?params:Conic.Socp.params ->
+  ?policy:Robust.Recovery.policy ->
+  ?pool:Parallel.Pool.t ->
+  Taskgraph.Config.t ->
+  sweep
 
 (** [pp_point ppf p] prints one frontier point. *)
 val pp_point : Format.formatter -> point -> unit

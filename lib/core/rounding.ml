@@ -1,0 +1,19 @@
+(* The tolerance matches the solver accuracy: a continuous value within
+   1e-6 of a grid point is snapped down rather than rounded a whole
+   granule up.  Callers re-verify the rounded mapping and fall back to
+   strict (eps = 0) rounding should the snap ever be unsound. *)
+let round_eps = 1e-6
+
+let round_budget_eps ~eps ~granularity beta' =
+  let q = ceil ((beta' /. granularity) -. eps) in
+  granularity *. Float.max 1.0 q
+
+let round_capacity_eps ~eps ~initial_tokens delta' =
+  let q = int_of_float (ceil (delta' -. eps)) in
+  Int.max 1 (initial_tokens + Int.max 0 q)
+
+let round_budget ~granularity beta' =
+  round_budget_eps ~eps:round_eps ~granularity beta'
+
+let round_capacity ~initial_tokens delta' =
+  round_capacity_eps ~eps:round_eps ~initial_tokens delta'

@@ -1,22 +1,67 @@
 module Config = Taskgraph.Config
+module Recovery = Robust.Recovery
+module Fault = Robust.Fault
 
 type point = {
   cap : int;
   result : (Mapping.result, Mapping.error) Stdlib.result;
 }
 
-let capacity_sweep ?params ?pool cfg ~buffers ~caps =
+let capacity_sweep ?params ?policy ?pool cfg ~buffers ~caps =
+  let policy =
+    match policy with Some p -> p | None -> Recovery.default_policy ()
+  in
   (* Each cap solves its own clone (handles are dense ids, valid across
      copies), so candidate solves are independent and can be batched on
-     a pool; [cfg] is never touched. *)
-  let solve_cap cap =
-    let candidate = Config.copy cfg in
-    List.iter (fun b -> Config.set_max_capacity candidate b (Some cap)) buffers;
-    { cap; result = Mapping.solve ?params candidate }
+     a pool; [cfg] is never touched.  Exceptions become that point's
+     [Solver_failure] so one bad candidate cannot abort the sweep. *)
+  let solve_cap (index, cap) =
+    let candidate_policy =
+      { policy with Recovery.fault = Fault.for_candidate policy.Recovery.fault ~index }
+    in
+    let result =
+      match
+        let candidate = Config.copy cfg in
+        List.iter
+          (fun b -> Config.set_max_capacity candidate b (Some cap))
+          buffers;
+        Mapping.solve ?params ~policy:candidate_policy candidate
+      with
+      | r -> r
+      | exception e ->
+        Error
+          (Mapping.Solver_failure
+             ("uncaught exception: " ^ Printexc.to_string e))
+    in
+    { cap; result }
   in
+  let indexed = List.mapi (fun i cap -> (i, cap)) caps in
   match pool with
-  | None -> List.map solve_cap caps
-  | Some pool -> Parallel.Pool.map pool solve_cap caps
+  | None -> List.map solve_cap indexed
+  | Some pool ->
+    List.map2
+      (fun (_, cap) r ->
+        match r with
+        | Ok p -> p
+        | Error e ->
+          {
+            cap;
+            result =
+              Error
+                (Mapping.Solver_failure
+                   ("uncaught exception: " ^ Printexc.to_string e));
+          })
+      indexed
+      (Parallel.Pool.map_result pool solve_cap indexed)
+
+let skipped points =
+  List.filter_map
+    (fun p ->
+      match p.result with
+      | Error (Mapping.Solver_failure _ as e) ->
+        Some (p.cap, Mapping.short_reason e)
+      | Error (Mapping.Infeasible _) | Ok _ -> None)
+    points
 
 let budget_of point task =
   match point.result with

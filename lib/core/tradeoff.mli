@@ -11,20 +11,29 @@ type point = {
   result : (Mapping.result, Mapping.error) Stdlib.result;
 }
 
-(** [capacity_sweep ?params ?pool cfg ~buffers ~caps] runs
+(** [capacity_sweep ?params ?policy ?pool cfg ~buffers ~caps] runs
     {!Mapping.solve} once per cap, setting [max_capacity] of every
     buffer in [buffers] to the cap on a private clone of [cfg] ([cfg]
     itself is left untouched).  Points come back in the order of
     [caps]; with [?pool] the candidate solves run concurrently, with
     results bit-identical to the sequential sweep (see
-    {!Parallel.Pool.map}). *)
+    {!Parallel.Pool.map_result}).  A candidate that raises is recorded
+    as that point's [Solver_failure] instead of aborting the sweep;
+    a fault plan restricted with [only=I] applies to the 0-based
+    [I]-th cap. *)
 val capacity_sweep :
   ?params:Conic.Socp.params ->
+  ?policy:Robust.Recovery.policy ->
   ?pool:Parallel.Pool.t ->
   Taskgraph.Config.t ->
   buffers:Taskgraph.Config.buffer list ->
   caps:int list ->
   point list
+
+(** [skipped points] lists the [(cap, reason)] of points whose solve
+    failed (solver failures, not infeasibility verdicts), for the
+    sweep reports' ["skipped: N (reason)"] summaries. *)
+val skipped : point list -> (int * string) list
 
 (** [budget_of point task] extracts a task's continuous budget from a
     sweep point, or [None] if that run failed. *)

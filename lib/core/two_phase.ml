@@ -40,7 +40,7 @@ let min_budget cfg w =
   let p = Config.task_proc cfg w in
   let mu = Config.period cfg (Config.task_graph cfg w) in
   let need = Config.replenishment cfg p *. Config.wcet cfg w /. mu in
-  Mapping.round_budget ~granularity:(Config.granularity cfg) need
+  Rounding.round_budget ~granularity:(Config.granularity cfg) need
 
 let fair_share cfg w =
   let p = Config.task_proc cfg w in
@@ -190,7 +190,7 @@ let buffer_lp cfg ~budget =
   | Lp.Optimal { value; _ } ->
     Ok
       (fun b ->
-        Mapping.round_capacity
+        Rounding.round_capacity
           ~initial_tokens:(Config.initial_tokens cfg b)
           (value (dv b)))
 
@@ -239,7 +239,7 @@ let budgets_at_fixed_capacity ?params cfg ~capacity =
     let continuous = Socp_builder.extract cfg builder result in
     Ok
       (fun w ->
-        Mapping.round_budget
+        Rounding.round_budget
           ~granularity:(Config.granularity cfg)
           (continuous.Socp_builder.budget w))
 

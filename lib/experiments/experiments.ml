@@ -77,17 +77,17 @@ let fig3 ppf =
 
 let runtime ppf =
   header ppf "Run-time of the full analysis (build + solve + round + verify)";
-  Format.fprintf ppf "  %-22s %-8s %-8s %-12s %-10s@." "instance" "tasks"
-    "rows" "time [ms]" "iters";
+  Format.fprintf ppf "  %-22s %-8s %-8s %-12s %-10s %-9s@." "instance" "tasks"
+    "rows" "time [ms]" "iters" "attempts";
   let time_once name cfg =
     match Mapping.solve cfg with
     | Error e -> Format.fprintf ppf "  %-22s %a@." name Mapping.pp_error e
     | Ok r ->
-      Format.fprintf ppf "  %-22s %-8d %-8d %-12.2f %-10d@." name
+      Format.fprintf ppf "  %-22s %-8d %-8d %-12.2f %-10d %-9d@." name
         (List.length (Config.all_tasks cfg))
         r.Mapping.stats.Mapping.rows
         (1000.0 *. r.Mapping.stats.Mapping.solve_time_s)
-        r.Mapping.stats.Mapping.iterations
+        r.Mapping.stats.Mapping.iterations r.Mapping.stats.Mapping.attempts
   in
   time_once "paper T1" (Workloads.Gen.paper_t1 ());
   time_once "paper T2" (Workloads.Gen.paper_t2 ());
@@ -295,12 +295,19 @@ let pareto ?pool ppf =
   Format.fprintf ppf "  %-14s %-16s %-12s@." "weight ratio" "sum of budgets"
     "containers";
   let cfg = Workloads.Gen.paper_t1 () in
+  let sweep = Budgetbuf.Pareto.frontier ~steps:11 ?pool cfg in
   List.iter
     (fun (p : Budgetbuf.Pareto.point) ->
       Format.fprintf ppf "  %-14.3g %-16.4f %-12d@."
         p.Budgetbuf.Pareto.weight_ratio p.Budgetbuf.Pareto.budget_sum
         p.Budgetbuf.Pareto.buffer_containers)
-    (Budgetbuf.Pareto.frontier ~steps:11 ?pool cfg);
+    sweep.Budgetbuf.Pareto.points;
+  (match sweep.Budgetbuf.Pareto.skipped with
+  | [] -> ()
+  | skipped ->
+    Format.fprintf ppf "  skipped: %d (%s)@." (List.length skipped)
+      (String.concat ", "
+         (List.sort_uniq compare (List.map snd skipped))));
   Format.fprintf ppf
     "@.  (the frontier spans the same curve as Figure 2(a): 2x39 budget@.    \  with 1 container down to 2x4 budget with 10 containers)@."
 
@@ -452,10 +459,17 @@ let dse ?pool ppf =
     "Extension: best sustainable period vs buffer capacity (DSE dual)";
   Format.fprintf ppf "  %-9s %-24s@." "capacity" "min period [Mcycles]";
   let cfg = Workloads.Gen.paper_t1 () in
+  let curve = Budgetbuf.Dse.throughput_curve ?pool cfg ~caps:caps_1_10 in
   List.iter
     (fun (cap, period) ->
       Format.fprintf ppf "  %-9d %-24.4f@." cap period)
-    (Budgetbuf.Dse.throughput_curve ?pool cfg ~caps:caps_1_10);
+    (Budgetbuf.Dse.curve_points curve);
+  (match Budgetbuf.Dse.curve_skipped curve with
+  | [] -> ()
+  | skipped ->
+    Format.fprintf ppf "  skipped: %d (%s)@." (List.length skipped)
+      (String.concat ", "
+         (List.sort_uniq compare (List.map snd skipped))));
   Format.fprintf ppf
     "@.  the dual reading of Figure 2(a): with d containers the platform@.\
     \  sustains the printed period at best.  The floor rho*chi/(rho-o-g)@.\
@@ -598,7 +612,7 @@ let all ?pool ppf =
        of [pareto] and [dse] share the same pool (the pool supports
        nested maps), so no domain idles while a big series runs. *)
     let rendered =
-      Parallel.Pool.map pool
+      Parallel.Pool.map_result pool
         (fun f ->
           let buf = Buffer.create 4096 in
           let bppf = Format.formatter_of_buffer buf in
@@ -607,7 +621,14 @@ let all ?pool ppf =
           Buffer.contents buf)
         (series ~pool ())
     in
-    List.iter (Format.pp_print_string ppf) rendered
+    (* A crashing series costs its own table, not the whole report. *)
+    List.iter
+      (function
+        | Ok text -> Format.pp_print_string ppf text
+        | Error e ->
+          Format.fprintf ppf "@.  (series failed: %s)@.@."
+            (Printexc.to_string e))
+      rendered
 
 let registry ?pool () =
   [

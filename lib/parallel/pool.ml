@@ -76,10 +76,14 @@ let create ~domains =
 
 let domains t = t.lanes
 
-let map t f xs =
-  if t.finished then invalid_arg "Parallel.Pool.map: pool already finalised";
+(* Shared fan-out engine: runs [f] over [xs] on the pool and returns
+   one captured outcome per input slot.  [map] and [map_result] differ
+   only in how they join the outcomes. *)
+let execute t ~caller f xs =
+  if t.finished then
+    invalid_arg (Printf.sprintf "Parallel.Pool.%s: pool already finalised" caller);
   match xs with
-  | [] -> []
+  | [] -> [||]
   | xs ->
     let input = Array.of_list xs in
     let n = Array.length input in
@@ -126,17 +130,28 @@ let map t f xs =
       end
     in
     drive ();
-    (* Deterministic join: re-raise the earliest failure, independent
-       of which domain hit it first. *)
-    Array.iter
+    Array.map
       (function
-        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-        | Some (Ok _) | None -> ())
-      results;
-    List.init n (fun i ->
-        match results.(i) with
-        | Some (Ok v) -> v
-        | Some (Error _) | None -> assert false)
+        | Some r -> r
+        | None -> assert false)
+      results
+
+let map t f xs =
+  let results = execute t ~caller:"map" f xs in
+  (* Deterministic join: re-raise the earliest failure, independent of
+     which domain hit it first.  Successful results are discarded on
+     that path — callers who need them use [map_result]. *)
+  Array.iter
+    (function
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Ok _ -> ())
+    results;
+  Array.to_list (Array.map (function Ok v -> v | Error _ -> assert false) results)
+
+let map_result t f xs =
+  let results = execute t ~caller:"map_result" f xs in
+  Array.to_list
+    (Array.map (function Ok v -> Ok v | Error (e, _bt) -> Error e) results)
 
 let stats t =
   Mutex.lock t.mutex;

@@ -43,8 +43,21 @@ val domains : t -> int
     captured per task; once every task has finished, the exception of
     the {e earliest} failed input (deterministic) is re-raised with its
     backtrace.  A failed task never wedges the pool: the remaining
-    tasks still run and the pool stays usable afterwards. *)
+    tasks still run and the pool stays usable afterwards.
+
+    Note the fail-fast join discards the successful results when it
+    re-raises — after the exception there is no way to recover the
+    outcomes of the tasks that did finish.  Batches whose items may
+    legitimately fail (sweeps over solver candidates, for instance)
+    should use {!map_result} and decide per item. *)
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_result t f xs] is {!map} with per-item outcomes instead of a
+    fail-fast join: every element yields [Ok (f x)] or [Error e] in
+    input order, so one failing item cannot discard its siblings'
+    results.  Determinism matches [map]: outcomes land in the slot of
+    their input regardless of scheduling. *)
+val map_result : t -> ('a -> 'b) -> 'a list -> ('b, exn) Stdlib.result list
 
 (** [stats t] snapshots the instrumentation counters. *)
 val stats : t -> Stats.t

@@ -1,0 +1,106 @@
+module Socp = Conic.Socp
+
+type plan = {
+  kind : Socp.fault;
+  iteration : int;
+  attempts : int;
+  only : int option;
+}
+
+let stall_first =
+  { kind = Socp.Stall; iteration = 0; attempts = 1; only = None }
+
+let of_string spec =
+  let spec = String.trim spec in
+  match String.split_on_char ',' spec with
+  | [] | [ "" ] -> Error "empty fault spec"
+  | kind :: opts -> begin
+    match
+      (match String.trim kind with
+      | "stall" -> Ok Socp.Stall
+      | "nan" -> Ok Socp.Nan
+      | k -> Error (Printf.sprintf "unknown fault kind %S (expected stall or nan)" k))
+    with
+    | Error _ as e -> e
+    | Ok kind ->
+      let parse_int name v =
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= 0 -> Ok n
+        | Some _ | None ->
+          Error (Printf.sprintf "fault spec: %s expects a non-negative integer, got %S" name v)
+      in
+      List.fold_left
+        (fun acc opt ->
+          match acc with
+          | Error _ as e -> e
+          | Ok plan -> begin
+            match String.index_opt opt '=' with
+            | None -> Error (Printf.sprintf "fault spec: malformed option %S" opt)
+            | Some i ->
+              let key = String.trim (String.sub opt 0 i) in
+              let v = String.sub opt (i + 1) (String.length opt - i - 1) in
+              (match key with
+              | "iter" ->
+                Result.map (fun n -> { plan with iteration = n }) (parse_int "iter" v)
+              | "attempts" -> begin
+                match String.trim v with
+                | "all" -> Ok { plan with attempts = max_int }
+                | v -> begin
+                  match int_of_string_opt v with
+                  | Some n when n >= 1 -> Ok { plan with attempts = n }
+                  | Some _ | None ->
+                    Error
+                      (Printf.sprintf
+                         "fault spec: attempts expects a positive integer or \
+                          \"all\", got %S" v)
+                end
+              end
+              | "only" ->
+                Result.map (fun n -> { plan with only = Some n }) (parse_int "only" v)
+              | k -> Error (Printf.sprintf "fault spec: unknown option %S" k))
+          end)
+        (Ok { stall_first with kind })
+        opts
+  end
+
+let to_string plan =
+  let kind = match plan.kind with Socp.Stall -> "stall" | Socp.Nan -> "nan" in
+  let b = Buffer.create 32 in
+  Buffer.add_string b kind;
+  if plan.iteration <> 0 then
+    Buffer.add_string b (Printf.sprintf ",iter=%d" plan.iteration);
+  if plan.attempts <> 1 then
+    Buffer.add_string b
+      (if plan.attempts = max_int then ",attempts=all"
+       else Printf.sprintf ",attempts=%d" plan.attempts);
+  (match plan.only with
+  | None -> ()
+  | Some i -> Buffer.add_string b (Printf.sprintf ",only=%d" i));
+  Buffer.contents b
+
+let of_env () =
+  match Sys.getenv_opt "BUDGETBUF_FAULT" with
+  | None -> None
+  | Some s when String.trim s = "" -> None
+  | Some s -> begin
+    match of_string s with
+    | Ok plan -> Some plan
+    | Error msg ->
+      invalid_arg (Printf.sprintf "BUDGETBUF_FAULT: %s" msg)
+  end
+
+let for_candidate plan ~index =
+  match plan with
+  | None -> None
+  | Some { only = None; _ } -> plan
+  | Some ({ only = Some i; _ } as p) ->
+    if i = index then Some { p with only = None } else None
+
+let covers plan ~attempt =
+  match plan with None -> false | Some p -> attempt <= p.attempts
+
+let inject plan ~attempt =
+  match plan with
+  | Some p when attempt <= p.attempts ->
+    Some (fun iter -> if iter = p.iteration then Some p.kind else None)
+  | Some _ | None -> None

@@ -1,0 +1,56 @@
+(** Deterministic fault-injection plans.
+
+    A plan describes which solver attempts of a {!Recovery} ladder are
+    sabotaged and how, so tests (and the [@runtest-fault] suite) can
+    exercise every recovery rung without fishing for pathological
+    instances.  Plans are plain data parsed from a spec string:
+
+    {v KIND[,iter=N][,attempts=N|all][,only=I] v}
+
+    where [KIND] is [stall] or [nan], [iter] is the interior-point
+    iteration at which the fault fires (default 0), [attempts] is how
+    many leading ladder attempts are faulted (default 1; [all] faults
+    every attempt {e including} the simplex fallback, making the solve
+    fail permanently), and [only] restricts the plan to the [I]-th
+    candidate (0-based) of a sweep.
+
+    The CLI accepts a spec through [--fault]; the test suites through
+    the [BUDGETBUF_FAULT] environment variable. *)
+
+type plan = {
+  kind : Conic.Socp.fault;
+  iteration : int;  (** IPM iteration at which the fault fires *)
+  attempts : int;
+      (** number of leading ladder attempts faulted; [max_int] ("all")
+          also disables the simplex fallback *)
+  only : int option;  (** restrict to one 0-based sweep candidate *)
+}
+
+(** [stall_first] is the simplest plan: [Stall] at iteration 0 of the
+    first attempt only. *)
+val stall_first : plan
+
+(** [of_string spec] parses the spec grammar above. *)
+val of_string : string -> (plan, string) Stdlib.result
+
+(** [to_string plan] prints a spec that parses back to [plan]. *)
+val to_string : plan -> string
+
+(** [of_env ()] reads [BUDGETBUF_FAULT]: [None] when unset or blank.
+    @raise Invalid_argument on a malformed spec. *)
+val of_env : unit -> plan option
+
+(** [for_candidate plan ~index] specialises a plan to sweep candidate
+    [index]: a plan with [only = Some i] applies (with the restriction
+    dropped) only when [i = index]; a plan without [only] applies to
+    every candidate. *)
+val for_candidate : plan option -> index:int -> plan option
+
+(** [covers plan ~attempt] is true when the 1-based ladder [attempt] is
+    faulted under [plan]. *)
+val covers : plan option -> attempt:int -> bool
+
+(** [inject plan ~attempt] is the {!Conic.Socp.params.inject} hook for
+    the given 1-based ladder attempt — [None] when the attempt is not
+    covered by the plan. *)
+val inject : plan option -> attempt:int -> (int -> Conic.Socp.fault option) option

@@ -1,0 +1,95 @@
+module Socp = Conic.Socp
+module Model = Conic.Model
+
+type stage = Base | Relaxed | Deep | Jittered | Fallback_lp
+
+type attempt = {
+  stage : stage;
+  status : string;
+  iterations : int;
+  time_s : float;
+}
+
+type trace = attempt list
+
+let stage_name = function
+  | Base -> "base"
+  | Relaxed -> "relaxed"
+  | Deep -> "deep"
+  | Jittered -> "jittered"
+  | Fallback_lp -> "fallback-lp"
+
+let attempts = List.length
+let recovered = function [] | [ { stage = Base; _ } ] -> false | _ -> true
+
+let pp_trace ppf trace =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+    (fun ppf a -> Format.fprintf ppf "%s: %s" (stage_name a.stage) a.status)
+    ppf trace
+
+type policy = { fault : Fault.plan option; max_rungs : int }
+
+let default_policy () = { fault = Fault.of_env (); max_rungs = 4 }
+let no_recovery = { fault = None; max_rungs = 1 }
+
+let rung_params (base : Socp.params) = function
+  | Base | Fallback_lp -> base
+  | Relaxed ->
+    {
+      base with
+      Socp.feastol = base.Socp.feastol *. 10.0;
+      abstol = base.Socp.abstol *. 10.0;
+      reltol = base.Socp.reltol *. 10.0;
+    }
+  | Deep -> { base with Socp.max_iter = base.Socp.max_iter * 4 }
+  | Jittered ->
+    {
+      base with
+      Socp.max_iter = base.Socp.max_iter * 4;
+      feastol = base.Socp.feastol *. 10.0;
+      abstol = base.Socp.abstol *. 10.0;
+      reltol = base.Socp.reltol *. 10.0;
+      (* A shorter fraction-to-boundary step and forced re-equilibration
+         push the iteration onto a different trajectory entirely. *)
+      step_fraction = 0.9;
+      presolve = Socp.Presolve_force;
+    }
+
+let cone_stages = [ Base; Relaxed; Deep; Jittered ]
+
+let solve_model ?policy ?(params = Socp.default_params) m =
+  let policy = match policy with Some p -> p | None -> default_policy () in
+  let rungs =
+    List.filteri (fun i _ -> i < Int.max 1 policy.max_rungs) cone_stages
+  in
+  let run attempt_no stage =
+    let p = rung_params params stage in
+    let p = { p with Socp.inject = Fault.inject policy.fault ~attempt:attempt_no } in
+    let t0 = Unix.gettimeofday () in
+    let r = Model.solve ~params:p m in
+    let att =
+      {
+        stage;
+        status = Format.asprintf "%a" Socp.pp_status r.Model.status;
+        iterations = r.Model.raw.Socp.iterations;
+        time_s = Unix.gettimeofday () -. t0;
+      }
+    in
+    (r, att)
+  in
+  let rec climb attempt_no trace = function
+    | [] -> assert false
+    | stage :: rest ->
+      let r, att = run attempt_no stage in
+      let trace = att :: trace in
+      let final = List.rev trace in
+      (match r.Model.status with
+      (* Certificates are exact verdicts of the homogeneous embedding;
+         retrying could only burn time to reach the same answer. *)
+      | Socp.Optimal | Socp.Primal_infeasible | Socp.Dual_infeasible ->
+        (r, final)
+      | Socp.Iteration_limit | Socp.Stalled ->
+        if rest = [] then (r, final) else climb (attempt_no + 1) trace rest)
+  in
+  climb 1 [] rungs

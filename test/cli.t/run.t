@@ -185,3 +185,39 @@ VCD waveform export:
   waveform written to t1.vcd
   $ grep -c '$var' t1.vcd
   3
+
+Solver resilience (docs/robustness.md): an injected stall on the first
+interior-point attempt is recovered one rung up the ladder, and the
+recovery is reported next to the objective line:
+
+  $ ../../bin/budgetbuf_cli.exe solve t1.cfg --fault stall | grep -v "objective:"
+  budget wa = 4
+  budget wb = 4
+  capacity bab = 10 containers
+  
+  recovery: 2 attempts (base: stalled; relaxed: optimal)
+  verification: ok
+
+A candidate whose solver fails permanently is skipped with a reason
+while the rest of the sweep survives:
+
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --fault stall,attempts=all,only=1
+  cap    wa           wb          
+  1      36.1078      36.1078     
+  3      26.5089      26.5089     
+  skipped: 1 (stalled)
+
+  $ ../../bin/budgetbuf_cli.exe pareto t1.cfg --steps 5 --fault stall,attempts=all,only=1 | tail -1
+  skipped: 1 (stalled)
+
+A malformed fault spec is rejected by the option parser:
+
+  $ ../../bin/budgetbuf_cli.exe solve t1.cfg --fault wedge 2>&1 | head -1
+  budgetbuf: option '--fault': unknown fault kind "wedge" (expected stall or
+
+An impossible request that surfaces as an exception deep inside the
+libraries exits with a one-line error instead of an OCaml backtrace:
+
+  $ ../../bin/budgetbuf_cli.exe simulate t1.cfg t1.map --iterations 2
+  budgetbuf: error: Sim.run: iterations must be >= 4
+  [2]

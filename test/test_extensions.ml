@@ -125,7 +125,7 @@ let test_binding_infeasible_reported () =
 
 let test_pareto_frontier_shape () =
   let cfg = Workloads.Gen.paper_t1 () in
-  let points = Pareto.frontier ~steps:9 cfg in
+  let points = (Pareto.frontier ~steps:9 cfg).Pareto.points in
   Alcotest.(check bool) "at least two points" true (List.length points >= 2);
   (* Sorted by buffers ascending, budgets strictly descending. *)
   let rec check = function
@@ -141,7 +141,7 @@ let test_pareto_frontier_shape () =
 
 let test_pareto_extremes () =
   let cfg = Workloads.Gen.paper_t1 () in
-  let points = Pareto.frontier ~steps:9 cfg in
+  let points = (Pareto.frontier ~steps:9 cfg).Pareto.points in
   let budgets = List.map (fun p -> p.Pareto.budget_sum) points in
   (* The budget-dominant end reaches the self-loop bound 2·4 = 8. *)
   check_float 0.1 "min budget end" 8.0 (List.fold_left Float.min infinity budgets);
@@ -170,7 +170,7 @@ let test_pareto_infeasible_empty () =
   let wb = Config.add_task cfg2 g ~name:"wb" ~proc:p2 ~wcet:1.0 () in
   ignore (Config.add_buffer cfg2 g ~name:"b" ~src:wa ~dst:wb ~memory:m ());
   Alcotest.(check (list (of_pp Pareto.pp_point))) "empty" []
-    (Pareto.frontier ~steps:3 cfg2)
+    (Pareto.frontier ~steps:3 cfg2).Pareto.points
 
 (* ------------------------------------------------------------------ *)
 (* Latency                                                             *)
@@ -272,7 +272,7 @@ let prop_pareto_points_feasible =
     QCheck2.Gen.(int_range 2 4)
     (fun n ->
       let cfg = Workloads.Gen.chain ~n () in
-      let points = Pareto.frontier ~steps:5 cfg in
+      let points = (Pareto.frontier ~steps:5 cfg).Pareto.points in
       points <> []
       && List.for_all (fun p -> p.Pareto.buffer_containers >= n - 1) points)
 
@@ -501,7 +501,7 @@ let test_dse_min_period_infeasible_structure () =
 let test_dse_throughput_curve_monotone () =
   (* More buffering can only improve the best period (Fig 2a dualised). *)
   let cfg = Workloads.Gen.paper_t1 () in
-  let curve = Dse.throughput_curve cfg ~caps:[ 1; 2; 4; 8 ] in
+  let curve = Dse.curve_points (Dse.throughput_curve cfg ~caps:[ 1; 2; 4; 8 ]) in
   Alcotest.(check int) "all caps feasible" 4 (List.length curve);
   let rec monotone = function
     | (_, p1) :: ((_, p2) :: _ as rest) -> p1 >= p2 -. 1e-6 && monotone rest

@@ -84,10 +84,13 @@ let prop_pool_map_matches_sequential =
 let test_throughput_curve_matches_sequential () =
   let cfg = Workloads.Gen.paper_t1 () in
   let caps = List.init 6 (fun i -> i + 1) in
-  let seq = Budgetbuf.Dse.throughput_curve cfg ~caps in
+  let seq =
+    Budgetbuf.Dse.curve_points (Budgetbuf.Dse.throughput_curve cfg ~caps)
+  in
   let par =
     Pool.with_pool ~domains:4 @@ fun pool ->
-    Budgetbuf.Dse.throughput_curve ~pool cfg ~caps
+    Budgetbuf.Dse.curve_points
+      (Budgetbuf.Dse.throughput_curve ~pool cfg ~caps)
   in
   Alcotest.(check (list (pair int (float 0.0))))
     "curve identical across job counts" seq par

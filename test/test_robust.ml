@@ -1,0 +1,453 @@
+(* Tests for the solver resilience layer: fault-plan parsing, Ruiz
+   equilibration (unit + property), the staged recovery ladder pinned
+   rung by rung through fault injection, failure-tolerant sweeps, and
+   Pool.map_result. *)
+
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Cone = Conic.Cone
+module Socp = Conic.Socp
+module Presolve = Conic.Presolve
+module Fault = Robust.Fault
+module Recovery = Robust.Recovery
+module Config = Taskgraph.Config
+module Mapping = Budgetbuf.Mapping
+module Pool = Parallel.Pool
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_parse () =
+  (match Fault.of_string "stall" with
+  | Ok p ->
+    Alcotest.(check bool) "kind" true (p.Fault.kind = Socp.Stall);
+    Alcotest.(check int) "iter" 0 p.Fault.iteration;
+    Alcotest.(check int) "attempts" 1 p.Fault.attempts;
+    Alcotest.(check bool) "only" true (p.Fault.only = None)
+  | Error e -> Alcotest.failf "stall rejected: %s" e);
+  (match Fault.of_string "nan,iter=3,attempts=2,only=1" with
+  | Ok p ->
+    Alcotest.(check bool) "kind" true (p.Fault.kind = Socp.Nan);
+    Alcotest.(check int) "iter" 3 p.Fault.iteration;
+    Alcotest.(check int) "attempts" 2 p.Fault.attempts;
+    Alcotest.(check bool) "only" true (p.Fault.only = Some 1)
+  | Error e -> Alcotest.failf "full spec rejected: %s" e);
+  (match Fault.of_string "stall,attempts=all" with
+  | Ok p -> Alcotest.(check int) "all" max_int p.Fault.attempts
+  | Error e -> Alcotest.failf "attempts=all rejected: %s" e);
+  List.iter
+    (fun bad ->
+      match Fault.of_string bad with
+      | Ok _ -> Alcotest.failf "%S accepted" bad
+      | Error _ -> ())
+    [ ""; "wedge"; "stall,iter=x"; "stall,bogus=1"; "stall,attempts=0" ]
+
+let test_fault_roundtrip () =
+  List.iter
+    (fun spec ->
+      match Fault.of_string spec with
+      | Error e -> Alcotest.failf "%S rejected: %s" spec e
+      | Ok p -> (
+        match Fault.of_string (Fault.to_string p) with
+        | Ok p' -> Alcotest.(check bool) spec true (p = p')
+        | Error e -> Alcotest.failf "roundtrip of %S rejected: %s" spec e))
+    [ "stall"; "nan,iter=2"; "stall,attempts=all,only=3" ]
+
+let test_fault_candidate_and_coverage () =
+  let plan spec =
+    match Fault.of_string spec with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "%S: %s" spec e
+  in
+  let only1 = plan "stall,only=1" in
+  Alcotest.(check bool) "only=1 skips candidate 0" true
+    (Fault.for_candidate (Some only1) ~index:0 = None);
+  (match Fault.for_candidate (Some only1) ~index:1 with
+  | Some p -> Alcotest.(check bool) "restriction dropped" true (p.Fault.only = None)
+  | None -> Alcotest.fail "only=1 must cover candidate 1");
+  Alcotest.(check bool) "unrestricted covers all" true
+    (Fault.for_candidate (Some Fault.stall_first) ~index:7 <> None);
+  Alcotest.(check bool) "no plan, no fault" true
+    (Fault.for_candidate None ~index:0 = None);
+  Alcotest.(check bool) "attempt 1 covered" true
+    (Fault.covers (Some Fault.stall_first) ~attempt:1);
+  Alcotest.(check bool) "attempt 2 clean" false
+    (Fault.covers (Some Fault.stall_first) ~attempt:2);
+  Alcotest.(check bool) "all covers the fallback too" true
+    (Fault.covers (Some (plan "stall,attempts=all")) ~attempt:5)
+
+(* ------------------------------------------------------------------ *)
+(* Equilibration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* min x + y s.t. x ≥ 1, y ≥ 2 → optimum 3, with the two constraint
+   rows scaled seven orders of magnitude apart.  Row scaling does not
+   change the feasible set, so the optimum is unchanged; the 1e7
+   dynamic range trips both the auto-detector and the equilibrator. *)
+let test_equilibrate_lp_exact () =
+  let g = Mat.of_rows [ [| -1e4; 0.0 |]; [| 0.0; -1e-3 |] ] in
+  let h = [| -1e4; -2e-3 |] in
+  let c = [| 1.0; 1.0 |] in
+  let cone = Cone.make [ Cone.Nonneg 2 ] in
+  Alcotest.(check bool) "detected as badly scaled" true
+    (Presolve.badly_scaled g);
+  let params = { Socp.default_params with Socp.presolve = Socp.Presolve_force } in
+  let sol = Socp.solve ~params ~c ~g ~h cone in
+  Alcotest.(check bool) "optimal" true (sol.Socp.status = Socp.Optimal);
+  check_float 1e-5 "objective" 3.0 sol.Socp.primal_objective;
+  check_float 1e-5 "x" 1.0 sol.Socp.x.(0);
+  check_float 1e-5 "y" 2.0 sol.Socp.x.(1)
+
+let test_equilibrate_soc_block_uniform () =
+  (* min x s.t. ‖(3, 4)‖ ≤ x with the three cone rows scaled by wildly
+     different factors: block-uniform row scaling must keep the SOC
+     membership intact and still find x* = 5. *)
+  let g = Mat.of_rows [ [| -1.0 |]; [| 0.0 |]; [| 0.0 |] ] in
+  let h = [| 0.0; 3.0; 4.0 |] in
+  let sc, c', g', h' =
+    Presolve.equilibrate ~c:[| 1e6 |] ~g ~h (Cone.make [ Cone.Soc 3 ])
+  in
+  (* Every row of one SOC block must carry the same scale. *)
+  Alcotest.(check bool) "block-uniform rows" true
+    (sc.Presolve.row.(0) = sc.Presolve.row.(1)
+    && sc.Presolve.row.(1) = sc.Presolve.row.(2));
+  let sol = Socp.solve ~c:c' ~g:g' ~h:h' (Cone.make [ Cone.Soc 3 ]) in
+  Alcotest.(check bool) "scaled problem optimal" true
+    (sol.Socp.status = Socp.Optimal);
+  let x, _, _ = Presolve.unscale_point sc ~x:sol.Socp.x ~s:sol.Socp.s ~z:sol.Socp.z in
+  check_float 1e-5 "x* unscaled" 5.0 x.(0)
+
+let test_dynamic_range () =
+  Alcotest.(check bool) "well-scaled" false
+    (Presolve.badly_scaled (Mat.of_rows [ [| 1.0; -2.0 |]; [| 0.5; 4.0 |] ]));
+  check_float 0.0 "zero matrix range" 1.0
+    (Presolve.dynamic_range (Mat.create 2 2))
+
+(* Random strictly-feasible LPs: h = G·x₀ + 1 (primal interior),
+   c = −Gᵀ·z₀ with z₀ > 0 (dual interior), so the optimum exists and
+   strong duality holds.  Scaling rows and columns through ±10³ leaves
+   the optimal value unchanged; the equilibrated solve must recover it
+   to 1e-6 relative. *)
+let prop_equilibration_preserves_optimum =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 2 4 in
+      let* m = int_range (n + 1) (n + 3) in
+      let* entries = array_size (return (m * n)) (float_range (-1.0) 1.0) in
+      let* x0 = array_size (return n) (float_range (-1.0) 1.0) in
+      let* z0 = array_size (return m) (float_range 0.1 1.1) in
+      let* row_exp = array_size (return m) (float_range (-3.0) 3.0) in
+      let* col_exp = array_size (return n) (float_range (-3.0) 3.0) in
+      return (n, m, entries, x0, z0, row_exp, col_exp))
+  in
+  QCheck2.Test.make ~count:30
+    ~name:"equilibration preserves the continuous optimum" gen
+    (fun (n, m, entries, x0, z0, row_exp, col_exp) ->
+      let g = Mat.init m n (fun i j -> entries.((i * n) + j)) in
+      let h = Array.init m (fun i -> (Mat.mul_vec g x0).(i) +. 1.0) in
+      let c =
+        Array.init n (fun j ->
+            -.Array.fold_left ( +. ) 0.0
+                (Array.init m (fun i -> Mat.get g i j *. z0.(i))))
+      in
+      let cone = Cone.make [ Cone.Nonneg m ] in
+      let reference = Socp.solve ~c ~g ~h cone in
+      QCheck2.assume (reference.Socp.status = Socp.Optimal);
+      let dr = Array.map (fun e -> 10.0 ** e) row_exp in
+      let dc = Array.map (fun e -> 10.0 ** e) col_exp in
+      let g2 = Mat.init m n (fun i j -> dr.(i) *. Mat.get g i j *. dc.(j)) in
+      let h2 = Array.init m (fun i -> dr.(i) *. h.(i)) in
+      let c2 = Array.init n (fun j -> dc.(j) *. c.(j)) in
+      let params =
+        { Socp.default_params with Socp.presolve = Socp.Presolve_force }
+      in
+      let sol = Socp.solve ~params ~c:c2 ~g:g2 ~h:h2 cone in
+      if sol.Socp.status <> Socp.Optimal then
+        QCheck2.Test.fail_reportf "scaled solve not optimal: %a"
+          Socp.pp_status sol.Socp.status;
+      let ref_obj = reference.Socp.primal_objective in
+      let err = Float.abs (sol.Socp.primal_objective -. ref_obj) in
+      if err > 1e-6 *. Float.max 1.0 (Float.abs ref_obj) then
+        QCheck2.Test.fail_reportf "optimum drifted: %.9f vs %.9f" ref_obj
+          sol.Socp.primal_objective;
+      true)
+
+(* The full pipeline keeps its answer under forced equilibration (SOC
+   blocks included, on the paper's own instance). *)
+let test_presolve_force_matches_default () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  let reference =
+    match Mapping.solve cfg with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "reference solve failed"
+  in
+  let params =
+    { Socp.default_params with Socp.presolve = Socp.Presolve_force }
+  in
+  match Mapping.solve ~params cfg with
+  | Error _ -> Alcotest.fail "forced-presolve solve failed"
+  | Ok r ->
+    check_float 1e-6 "continuous objective" reference.Mapping.objective
+      r.Mapping.objective;
+    check_float 1e-9 "rounded objective" reference.Mapping.rounded_objective
+      r.Mapping.rounded_objective;
+    Alcotest.(check (list string)) "verified" [] r.Mapping.verification
+
+(* ------------------------------------------------------------------ *)
+(* Recovery ladder, rung by rung                                       *)
+(* ------------------------------------------------------------------ *)
+
+let plan spec =
+  match Fault.of_string spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "%S: %s" spec e
+
+let policy spec = { Recovery.fault = Some (plan spec); max_rungs = 4 }
+
+let stage_names r =
+  List.map (fun a -> Recovery.stage_name a.Recovery.stage) r.Mapping.recovery
+
+let solve_with spec =
+  Mapping.solve ~policy:(policy spec) (Workloads.Gen.paper_t1 ())
+
+let reference_mapping () =
+  match Mapping.solve (Workloads.Gen.paper_t1 ()) with
+  | Ok r -> r
+  | Error _ -> Alcotest.fail "clean solve failed"
+
+let check_recovered_matches ?(compare_budgets = true) spec expected_stages =
+  match solve_with spec with
+  | Error e -> Alcotest.failf "%s: %a" spec Mapping.pp_error e
+  | Ok r ->
+    Alcotest.(check (list string)) (spec ^ " trace") expected_stages
+      (stage_names r);
+    Alcotest.(check int) (spec ^ " attempts")
+      (List.length expected_stages)
+      r.Mapping.stats.Mapping.attempts;
+    Alcotest.(check (list string)) (spec ^ " verified") []
+      r.Mapping.verification;
+    if compare_budgets then begin
+      let reference = reference_mapping () in
+      (* Every cone rung solves the same convex program, so whichever
+         rung finally answered, the certified rounded mapping is the
+         one the clean solve produces.  (The simplex fallback solves a
+         different, budget-fixed program: its mapping is certified but
+         not identical.) *)
+      List.iter
+        (fun w ->
+          check_float 1e-9 "budget"
+            (reference.Mapping.mapped.Config.budget w)
+            (r.Mapping.mapped.Config.budget w))
+        (Config.all_tasks (Workloads.Gen.paper_t1 ()))
+    end
+
+let test_rung_relaxed () =
+  check_recovered_matches "stall" [ "base"; "relaxed" ]
+
+let test_rung_deep () =
+  check_recovered_matches "stall,attempts=2" [ "base"; "relaxed"; "deep" ]
+
+let test_rung_jittered () =
+  check_recovered_matches "stall,attempts=3"
+    [ "base"; "relaxed"; "deep"; "jittered" ]
+
+let test_rung_fallback_lp () =
+  check_recovered_matches ~compare_budgets:false "stall,attempts=4"
+    [ "base"; "relaxed"; "deep"; "jittered"; "fallback-lp" ]
+
+let test_nan_fault_recovers () =
+  match solve_with "nan,iter=1" with
+  | Error e -> Alcotest.failf "nan fault not recovered: %a" Mapping.pp_error e
+  | Ok r ->
+    Alcotest.(check bool) "recovered" true (Recovery.recovered r.Mapping.recovery);
+    Alcotest.(check (list string)) "verified" [] r.Mapping.verification
+
+let test_permanent_fault_fails_cleanly () =
+  match solve_with "stall,attempts=all" with
+  | Ok _ -> Alcotest.fail "permanent fault must not produce a mapping"
+  | Error (Mapping.Infeasible _) -> Alcotest.fail "not an infeasibility"
+  | Error (Mapping.Solver_failure msg as e) ->
+    let contains needle hay =
+      let n = String.length needle and h = String.length hay in
+      let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+      scan 0
+    in
+    Alcotest.(check string) "short reason" "stalled" (Mapping.short_reason e);
+    Alcotest.(check bool) "mentions the disabled fallback" true
+      (contains "fallback LP disabled" msg)
+
+let test_no_recovery_policy () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  match Mapping.solve ~policy:Recovery.no_recovery cfg with
+  | Error e -> Alcotest.failf "clean solve failed: %a" Mapping.pp_error e
+  | Ok r ->
+    Alcotest.(check (list string)) "single base attempt" [ "base" ]
+      (stage_names r);
+    Alcotest.(check bool) "not recovered" false
+      (Recovery.recovered r.Mapping.recovery)
+
+(* ------------------------------------------------------------------ *)
+(* Failure-tolerant sweeps                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Pareto = Budgetbuf.Pareto
+module Dse = Budgetbuf.Dse
+module Tradeoff = Budgetbuf.Tradeoff
+
+let test_pareto_survives_failing_candidate () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  let clean = Pareto.frontier ~steps:5 cfg in
+  let faulty =
+    Pool.with_pool ~domains:4 @@ fun pool ->
+    Pareto.frontier ~steps:5
+      ~policy:(policy "stall,attempts=all,only=1")
+      ~pool cfg
+  in
+  Alcotest.(check (list (pair (float 0.0) string))) "clean sweep skips none"
+    [] clean.Pareto.skipped;
+  (match faulty.Pareto.skipped with
+  | [ (_, reason) ] -> Alcotest.(check string) "reason" "stalled" reason
+  | sk -> Alcotest.failf "expected one skipped candidate, got %d"
+            (List.length sk));
+  Alcotest.(check bool) "remaining points survive" true
+    (faulty.Pareto.points <> []);
+  (* Every clean point that did not come from the sabotaged candidate
+     is still on the faulty frontier. *)
+  let failed_ratio = List.hd (List.map fst faulty.Pareto.skipped) in
+  List.iter
+    (fun p ->
+      if p.Pareto.weight_ratio <> failed_ratio then
+        Alcotest.(check bool) "point preserved" true
+          (List.exists
+             (fun q ->
+               q.Pareto.weight_ratio = p.Pareto.weight_ratio
+               && q.Pareto.buffer_containers = p.Pareto.buffer_containers)
+             faulty.Pareto.points))
+    clean.Pareto.points
+
+let test_throughput_curve_reports_skips () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  let curve =
+    Dse.throughput_curve ~policy:(policy "stall,attempts=all,only=2") cfg
+      ~caps:[ 1; 2; 4; 8 ]
+  in
+  Alcotest.(check int) "three candidates survive" 3
+    (List.length (Dse.curve_points curve));
+  match Dse.curve_skipped curve with
+  | [ (cap, reason) ] ->
+    Alcotest.(check int) "failed cap" 4 cap;
+    Alcotest.(check string) "reason" "stalled" reason
+  | sk -> Alcotest.failf "expected one skip, got %d" (List.length sk)
+
+let test_capacity_sweep_reports_skips () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  let buffers = Config.all_buffers cfg in
+  let points =
+    Tradeoff.capacity_sweep ~policy:(policy "stall,attempts=all,only=0") cfg
+      ~buffers ~caps:[ 1; 2; 3 ]
+  in
+  Alcotest.(check int) "all caps reported" 3 (List.length points);
+  match Tradeoff.skipped points with
+  | [ (cap, reason) ] ->
+    Alcotest.(check int) "failed cap" 1 cap;
+    Alcotest.(check string) "reason" "stalled" reason
+  | sk -> Alcotest.failf "expected one skip, got %d" (List.length sk)
+
+(* ------------------------------------------------------------------ *)
+(* Pool.map_result                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_result_outcomes () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  let outcomes =
+    Pool.map_result pool
+      (fun i -> if i mod 3 = 1 then failwith (string_of_int i) else i * i)
+      (List.init 8 Fun.id)
+  in
+  Alcotest.(check int) "slot count" 8 (List.length outcomes);
+  List.iteri
+    (fun i outcome ->
+      match outcome with
+      | Ok v ->
+        Alcotest.(check bool) "success slot" true (i mod 3 <> 1);
+        Alcotest.(check int) "value" (i * i) v
+      | Error (Failure msg) ->
+        Alcotest.(check bool) "failure slot" true (i mod 3 = 1);
+        Alcotest.(check string) "message" (string_of_int i) msg
+      | Error e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
+    outcomes;
+  (* The pool survives the failures. *)
+  Alcotest.(check (list (of_pp Fmt.int))) "pool usable afterwards"
+    [ 2; 4; 6 ]
+    (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_map_result_empty_and_sequential () =
+  Pool.with_pool ~domains:2 @@ fun pool ->
+  Alcotest.(check int) "empty input" 0
+    (List.length (Pool.map_result pool (fun x -> x) []));
+  let seq =
+    Pool.with_pool ~domains:1 @@ fun p1 ->
+    Pool.map_result p1 (fun i -> 10 * i) [ 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "sequential pool agrees" true
+    (List.map Result.get_ok seq
+    = List.map Result.get_ok (Pool.map_result pool (fun i -> 10 * i) [ 1; 2; 3 ]))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qcheck = QCheck_alcotest.to_alcotest in
+  Alcotest.run "robust"
+    [
+      ( "fault",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_fault_parse;
+          Alcotest.test_case "spec roundtrip" `Quick test_fault_roundtrip;
+          Alcotest.test_case "candidates and coverage" `Quick
+            test_fault_candidate_and_coverage;
+        ] );
+      ( "presolve",
+        [
+          Alcotest.test_case "scaled LP solved exactly" `Quick
+            test_equilibrate_lp_exact;
+          Alcotest.test_case "SOC rows block-uniform" `Quick
+            test_equilibrate_soc_block_uniform;
+          Alcotest.test_case "dynamic range" `Quick test_dynamic_range;
+          qcheck prop_equilibration_preserves_optimum;
+          Alcotest.test_case "forced presolve matches default" `Quick
+            test_presolve_force_matches_default;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "rung 2: relaxed" `Quick test_rung_relaxed;
+          Alcotest.test_case "rung 3: deep" `Quick test_rung_deep;
+          Alcotest.test_case "rung 4: jittered" `Quick test_rung_jittered;
+          Alcotest.test_case "rung 5: simplex fallback" `Quick
+            test_rung_fallback_lp;
+          Alcotest.test_case "nan fault recovers" `Quick
+            test_nan_fault_recovers;
+          Alcotest.test_case "permanent fault fails cleanly" `Quick
+            test_permanent_fault_fails_cleanly;
+          Alcotest.test_case "no_recovery policy" `Quick
+            test_no_recovery_policy;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "pareto survives a failing candidate" `Quick
+            test_pareto_survives_failing_candidate;
+          Alcotest.test_case "throughput curve reports skips" `Quick
+            test_throughput_curve_reports_skips;
+          Alcotest.test_case "capacity sweep reports skips" `Quick
+            test_capacity_sweep_reports_skips;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map_result outcomes" `Quick
+            test_map_result_outcomes;
+          Alcotest.test_case "map_result empty + sequential" `Quick
+            test_map_result_empty_and_sequential;
+        ] );
+    ]

@@ -5,11 +5,12 @@
    times the full analysis with Bechamel (one Test.make per
    table/figure).
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- fig2a   # one experiment
-     dune exec bench/main.exe -- tables  # all tables, no timing suite
-     dune exec bench/main.exe -- bench   # timing suite only
-     dune exec bench/main.exe -- par     # parallel speedup report only
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe -- fig2a    # one experiment
+     dune exec bench/main.exe -- tables   # all tables, no timing suite
+     dune exec bench/main.exe -- bench    # timing suite only
+     dune exec bench/main.exe -- par      # parallel speedup report only
+     dune exec bench/main.exe -- durable  # journal overhead report only
 
    [--jobs N] selects the domain-pool width for the experiment tables
    and the parallel speedup report (default: BUDGETBUF_JOBS, else the
@@ -129,6 +130,27 @@ let bechamel_suite () =
           (Staged.stage (solve (Workloads.Gen.paper_t1 ())));
         Test.make ~name:"rt: solve paper T1 (stalled base, 1 recovery rung)"
           (Staged.stage (recover (Workloads.Gen.paper_t1 ())));
+        Test.make ~name:"fig2a+b: T1 capacity sweep (journaled, fsync/cap)"
+          (Staged.stage (fun () ->
+               let path = Filename.temp_file "budgetbuf-bench" ".journal" in
+               Sys.remove path;
+               match
+                 Durable.Journal.resume
+                   ~fingerprint:(Durable.Journal.fingerprint [ "bench" ])
+                   path
+               with
+               | Error msg -> failwith msg
+               | Ok journal ->
+                 Fun.protect
+                   ~finally:(fun () ->
+                     Durable.Journal.close journal;
+                     Sys.remove path)
+                   (fun () ->
+                     let cfg = Workloads.Gen.paper_t1 () in
+                     ignore
+                       (Tradeoff.capacity_sweep ~journal cfg
+                          ~buffers:(Config.all_buffers cfg)
+                          ~caps:caps_1_10))));
         Test.make ~name:"rt: solve paper T2"
           (Staged.stage (solve (Workloads.Gen.paper_t2 ())));
         Test.make ~name:"rt: solve chain n=8"
@@ -237,6 +259,116 @@ let par_report ~jobs ppf =
      core(s) of this machine)@."
     (Domain.recommended_domain_count ())
 
+(* ------------------------------------------------------------------ *)
+(* Durable-sweep overhead: journaling cost per candidate               *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock of the Experiment-2-style capacity sweep with and without
+   a journal (one fsync'd line per completed candidate).  The target of
+   docs/robustness.md — under 2% on a solver-bound sweep — is reported,
+   not asserted: machines with slow fsync exist, and the number itself
+   is the deliverable.  Also written to BENCH_durable.json. *)
+let durable_report ppf =
+  Format.fprintf ppf "@.=== Durable sweep overhead (journal + fsync) ===@.@.";
+  (* A solver-bound sweep: each of the 10 candidates is a full joint
+     solve of a 24-task chain (~100 ms), so the per-candidate fsync has
+     something real to hide behind — paper T1 solves in under a
+     millisecond per cap and would measure the disk, not the journal
+     design. *)
+  let cfg = Workloads.Gen.chain ~n:24 () in
+  let buffers = Config.all_buffers cfg in
+  let once f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let sweep ?journal () =
+    Tradeoff.capacity_sweep ?journal cfg ~buffers ~caps:caps_1_10
+  in
+  let journaled_sweep () =
+    let path = Filename.temp_file "budgetbuf-bench" ".journal" in
+    Sys.remove path;
+    let journal =
+      match
+        Durable.Journal.resume
+          ~fingerprint:(Durable.Journal.fingerprint [ "bench" ])
+          path
+      with
+      | Ok j -> j
+      | Error msg -> failwith msg
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Durable.Journal.close journal;
+        Sys.remove path)
+      (fun () -> sweep ~journal ())
+  in
+  (* One warm-up sweep so neither variant pays first-run costs, then
+     measure each variant end to end (best of [rounds], order swapped
+     per round so ramping load cannot systematically penalise whichever
+     runs second).  On a shared box a ~1 s sweep drifts by ±5% run to
+     run, which drowns the few ms of fsync being measured, so the
+     end-to-end difference is reported as informational only; the
+     headline overhead is derived from the journal machinery's cost
+     measured directly — everything journaling adds to a sweep is one
+     [resume], [candidates] fsync'd [record]s and one [close], and that
+     microbenchmark converges where the end-to-end delta cannot. *)
+  ignore (sweep ());
+  let rounds = 5 in
+  let t_plain = ref infinity and t_journal = ref infinity in
+  for round = 1 to rounds do
+    let plain () = t_plain := Float.min !t_plain (once (fun () -> sweep ()))
+    and journal () = t_journal := Float.min !t_journal (once journaled_sweep) in
+    if round mod 2 = 0 then (plain (); journal ()) else (journal (); plain ())
+  done;
+  let t_plain = !t_plain and t_journal = !t_journal in
+  let candidates = List.length caps_1_10 in
+  let payload = String.make 180 'x' in
+  let journal_cost =
+    (* A realistic tradeoff payload is ~180 bytes; 20 reps of the full
+       open/record*/close cycle give a stable minimum. *)
+    let reps = 20 in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let path = Filename.temp_file "budgetbuf-bench" ".journal" in
+      Sys.remove path;
+      let t =
+        once (fun () ->
+            match
+              Durable.Journal.resume
+                ~fingerprint:(Durable.Journal.fingerprint [ "bench" ])
+                path
+            with
+            | Error msg -> failwith msg
+            | Ok j ->
+              for i = 0 to candidates - 1 do
+                Durable.Journal.record j ~index:i ~payload
+              done;
+              Durable.Journal.close j)
+      in
+      Sys.remove path;
+      best := Float.min !best t
+    done;
+    !best
+  in
+  let overhead_pct = 100.0 *. (journal_cost /. t_plain) in
+  Format.fprintf ppf "  candidates:         %d@." candidates;
+  Format.fprintf ppf "  plain sweep:        %8.1f ms@." (1000.0 *. t_plain);
+  Format.fprintf ppf
+    "  journaled sweep:    %8.1f ms (end-to-end; +/-5%% machine noise)@."
+    (1000.0 *. t_journal);
+  Format.fprintf ppf "  journal machinery:  %8.1f ms (%d fsync'd records)@."
+    (1000.0 *. journal_cost) candidates;
+  Format.fprintf ppf "  overhead:           %8.2f %% (target < 2 %%)@."
+    overhead_pct;
+  let oc = open_out "BENCH_durable.json" in
+  Printf.fprintf oc
+    "{ \"candidates\": %d, \"sweep_s_plain\": %.6f, \"sweep_s_journal\": \
+     %.6f, \"journal_s\": %.6f, \"overhead_pct\": %.3f }\n"
+    candidates t_plain t_journal journal_cost overhead_pct;
+  close_out oc;
+  Format.fprintf ppf "  written: BENCH_durable.json@."
+
 let () =
   let ppf = Format.std_formatter in
   let jobs =
@@ -274,12 +406,14 @@ let () =
   | [] ->
     with_pool (fun pool -> Experiments.all ?pool ppf);
     par_report ~jobs:!jobs ppf;
+    durable_report ppf;
     bechamel_suite ()
   | [ "tables" ] -> with_pool (fun pool -> Experiments.all ?pool ppf)
   | [ "bench" ] ->
     par_report ~jobs:!jobs ppf;
     bechamel_suite ()
   | [ "par" ] -> par_report ~jobs:!jobs ppf
+  | [ "durable" ] -> durable_report ppf
   | [ name ] -> begin
     match Experiments.by_name name with
     | Some _ ->
@@ -289,10 +423,12 @@ let () =
           | None -> assert false)
     | None ->
       Format.eprintf
-        "unknown experiment %S (expected: %s, tables, bench, par)@." name
+        "unknown experiment %S (expected: %s, tables, bench, par, durable)@."
+        name
         (String.concat ", " Experiments.names);
       exit 2
   end
   | _ ->
-    Format.eprintf "usage: main.exe [EXPERIMENT|tables|bench|par] [--jobs N]@.";
+    Format.eprintf
+      "usage: main.exe [EXPERIMENT|tables|bench|par|durable] [--jobs N]@.";
     exit 2

@@ -99,6 +99,141 @@ let policy_of_fault fault =
   | None -> Recovery.default_policy ()
 
 (* ------------------------------------------------------------------ *)
+(* --resume / --deadline / --per-candidate-deadline: durable sweeps    *)
+(* ------------------------------------------------------------------ *)
+
+module Journal = Durable.Journal
+module Deadline = Durable.Deadline
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"JOURNAL"
+        ~doc:
+          "Journal completed candidates to $(docv) (created if missing) and \
+           restore the ones already recorded there, so a killed sweep \
+           re-solves only what is missing.  The journal is pinned to this \
+           exact configuration and sweep grid; a mismatched journal is \
+           refused (see docs/robustness.md).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Stop the sweep after $(docv) seconds of wall clock.  In-flight \
+           candidates are drained (and journaled under $(b,--resume)); the \
+           report covers the candidates that finished.")
+
+let candidate_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "per-candidate-deadline" ] ~docv:"SECS"
+        ~doc:
+          "Give each candidate solve at most $(docv) seconds of wall clock; \
+           a candidate that exceeds it is skipped as timed out while the \
+           sweep continues (and is retried on a $(b,--resume)).")
+
+(* Ctrl-C flips a flag the sweep polls between candidates: in-flight
+   solves drain, get journaled, and the partial report still prints —
+   the same graceful stop as a deadline.  The handler chains to the
+   default disposition so a second Ctrl-C kills the process the
+   ordinary way. *)
+let install_sigint flag =
+  match
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           Atomic.set flag true;
+           Sys.set_signal Sys.sigint Sys.Signal_default))
+  with
+  | prev -> Some prev
+  | exception (Invalid_argument _ | Sys_error _) -> None
+
+let restore_sigint = function
+  | None -> ()
+  | Some prev -> ( try Sys.set_signal Sys.sigint prev with _ -> ())
+
+(* Validates the durability flags, opens the journal, installs the
+   SIGINT drain and hands the sweep everything it needs.  Prints
+   "resumed: N/M from journal" before the sweep's own report and
+   "deadline|interrupted: stopped after N/M candidates" after it;
+   a deadline stop exits 0 (the partial result is well-formed), an
+   interrupt exits 130. *)
+let with_durability ~fingerprint ~resume ~deadline ~candidate_deadline run =
+  let bad name = function
+    | Some s when Float.is_nan s || s <= 0.0 ->
+      Some (Printf.sprintf "%s must be positive" name)
+    | _ -> None
+  in
+  match
+    match bad "--deadline" deadline with
+    | Some m -> Error m
+    | None -> begin
+      match bad "--per-candidate-deadline" candidate_deadline with
+      | Some m -> Error m
+      | None -> begin
+        match resume with
+        | None -> Ok None
+        | Some path -> Result.map Option.some (Journal.resume ~fingerprint path)
+      end
+    end
+  with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok journal ->
+    let deadline = Option.map Deadline.after deadline in
+    let cancelled = Atomic.make false in
+    let prev = install_sigint cancelled in
+    let progress = ref None in
+    let finally () =
+      restore_sigint prev;
+      Option.iter Journal.close journal
+    in
+    Fun.protect ~finally @@ fun () ->
+    let code =
+      run ~journal ~deadline ~candidate_deadline
+        ~cancel:(fun () -> Atomic.get cancelled)
+        ~on_progress:(fun p ->
+          progress := Some p;
+          if p.Durable.Sweep.resumed > 0 then
+            Format.printf "resumed: %d/%d from journal@."
+              p.Durable.Sweep.resumed p.Durable.Sweep.total)
+    in
+    match !progress with
+    | Some p when p.Durable.Sweep.not_run > 0 ->
+      let finished = p.Durable.Sweep.total - p.Durable.Sweep.not_run in
+      if Atomic.get cancelled then begin
+        Format.printf "interrupted: stopped after %d/%d candidates@." finished
+          p.Durable.Sweep.total;
+        130
+      end
+      else begin
+        Format.printf "deadline: stopped after %d/%d candidates@." finished
+          p.Durable.Sweep.total;
+        code
+      end
+    | _ -> code
+
+(* The journal fingerprint: the full canonical configuration text plus
+   everything that shapes the candidate grid.  --jobs is deliberately
+   absent — results are identical across job counts — while the fault
+   plan is included: a faulted sweep's verdicts must not leak into a
+   clean resume. *)
+let sweep_fingerprint ~command ~cfg ~grid ~fault =
+  Journal.fingerprint
+    [
+      command;
+      Format.asprintf "%a" Config.pp cfg;
+      grid;
+      (match fault with None -> "" | Some p -> Fault.to_string p);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* solve                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -255,7 +390,8 @@ let buffers_arg =
           "Comma-separated buffer names to cap (default: every buffer of \
            the configuration).")
 
-let do_tradeoff () path (lo, hi) buffer_names jobs fault =
+let do_tradeoff () path (lo, hi) buffer_names jobs fault resume deadline
+    candidate_deadline =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -278,9 +414,20 @@ let do_tradeoff () path (lo, hi) buffer_names jobs fault =
     | Ok buffers ->
       with_jobs jobs @@ fun pool ->
       let caps = List.init (hi - lo + 1) (fun i -> lo + i) in
+      let fingerprint =
+        sweep_fingerprint ~command:"tradeoff" ~cfg
+          ~grid:
+            (Printf.sprintf "caps=%d:%d buffers=%s" lo hi
+               (String.concat ","
+                  (List.map (Config.buffer_name cfg) buffers)))
+          ~fault
+      in
+      with_durability ~fingerprint ~resume ~deadline ~candidate_deadline
+      @@ fun ~journal ~deadline ~candidate_deadline ~cancel ~on_progress ->
       let points =
-        Tradeoff.capacity_sweep ~policy:(policy_of_fault fault) ?pool cfg
-          ~buffers ~caps
+        Tradeoff.capacity_sweep ~policy:(policy_of_fault fault) ?pool ?journal
+          ?deadline ?candidate_deadline ~cancel ~on_progress cfg ~buffers
+          ~caps
       in
       let tasks = Config.all_tasks cfg in
       Format.printf "%-6s" "cap";
@@ -291,7 +438,7 @@ let do_tradeoff () path (lo, hi) buffer_names jobs fault =
       List.iter
         (fun (p : Tradeoff.point) ->
           match p.Tradeoff.result with
-          | Error (Mapping.Solver_failure _) ->
+          | Error (Mapping.Solver_failure _ | Mapping.Timed_out _) ->
             (* Listed in the skipped summary below instead of faking an
                infeasibility verdict. *)
             ()
@@ -323,7 +470,8 @@ let tradeoff_cmd =
     (Cmd.info "tradeoff" ~doc)
     Term.(
       const do_tradeoff $ logs_term $ file_arg $ caps_arg $ buffers_arg
-      $ jobs_arg $ fault_arg)
+      $ jobs_arg $ fault_arg $ resume_arg $ deadline_arg
+      $ candidate_deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -559,48 +707,118 @@ let steps_arg =
     value & opt int 9
     & info [ "steps" ] ~docv:"N" ~doc:"Number of weight ratios to sweep.")
 
-let do_pareto () path steps jobs fault =
+let do_pareto () path steps jobs fault resume deadline candidate_deadline =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
     1
   | Ok cfg ->
-    with_jobs jobs @@ fun pool ->
-    let sweep =
-      Budgetbuf.Pareto.frontier ~steps ~policy:(policy_of_fault fault) ?pool
-        cfg
-    in
-    let print_skipped () =
-      match sweep.Budgetbuf.Pareto.skipped with
-      | [] -> ()
-      | skipped ->
-        let reasons = List.sort_uniq compare (List.map snd skipped) in
-        Format.printf "skipped: %d (%s)@." (List.length skipped)
-          (String.concat ", " reasons)
-    in
-    (match sweep.Budgetbuf.Pareto.points with
-    | [] ->
-      Format.printf "no feasible point@.";
-      print_skipped ();
+    if steps < 1 then begin
+      Format.eprintf "error: --steps must be at least 1@.";
       1
-    | points ->
-      Format.printf "%-14s %-16s %-12s@." "weight ratio" "sum of budgets"
-        "containers";
-      List.iter
-        (fun (p : Budgetbuf.Pareto.point) ->
-          Format.printf "%-14.3g %-16.4f %-12d@."
-            p.Budgetbuf.Pareto.weight_ratio p.Budgetbuf.Pareto.budget_sum
-            p.Budgetbuf.Pareto.buffer_containers)
-        points;
-      print_skipped ();
-      0)
+    end
+    else
+      with_jobs jobs @@ fun pool ->
+      let fingerprint =
+        sweep_fingerprint ~command:"pareto" ~cfg
+          ~grid:(Printf.sprintf "steps=%d" steps)
+          ~fault
+      in
+      with_durability ~fingerprint ~resume ~deadline ~candidate_deadline
+      @@ fun ~journal ~deadline ~candidate_deadline ~cancel ~on_progress ->
+      let sweep =
+        Budgetbuf.Pareto.frontier ~steps ~policy:(policy_of_fault fault) ?pool
+          ?journal ?deadline ?candidate_deadline ~cancel ~on_progress cfg
+      in
+      let print_skipped () =
+        match sweep.Budgetbuf.Pareto.skipped with
+        | [] -> ()
+        | skipped ->
+          let reasons = List.sort_uniq compare (List.map snd skipped) in
+          Format.printf "skipped: %d (%s)@." (List.length skipped)
+            (String.concat ", " reasons)
+      in
+      (match sweep.Budgetbuf.Pareto.points with
+      | [] ->
+        Format.printf "no feasible point@.";
+        print_skipped ();
+        1
+      | points ->
+        Format.printf "%-14s %-16s %-12s@." "weight ratio" "sum of budgets"
+          "containers";
+        List.iter
+          (fun (p : Budgetbuf.Pareto.point) ->
+            Format.printf "%-14.3g %-16.4f %-12d@."
+              p.Budgetbuf.Pareto.weight_ratio p.Budgetbuf.Pareto.budget_sum
+              p.Budgetbuf.Pareto.buffer_containers)
+          points;
+        print_skipped ();
+        0)
 
 let pareto_cmd =
   let doc = "sweep objective weights and print the budget/buffer Pareto front" in
   Cmd.v (Cmd.info "pareto" ~doc)
     Term.(
       const do_pareto $ logs_term $ file_arg $ steps_arg $ jobs_arg
-      $ fault_arg)
+      $ fault_arg $ resume_arg $ deadline_arg $ candidate_deadline_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dse                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let do_dse () path (lo, hi) jobs fault resume deadline candidate_deadline =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg ->
+    if lo > hi || lo < 1 then begin
+      Format.eprintf "error: empty or invalid cap range@.";
+      1
+    end
+    else
+      with_jobs jobs @@ fun pool ->
+      let caps = List.init (hi - lo + 1) (fun i -> lo + i) in
+      let fingerprint =
+        sweep_fingerprint ~command:"dse" ~cfg
+          ~grid:(Printf.sprintf "caps=%d:%d" lo hi)
+          ~fault
+      in
+      with_durability ~fingerprint ~resume ~deadline ~candidate_deadline
+      @@ fun ~journal ~deadline ~candidate_deadline ~cancel ~on_progress ->
+      let points =
+        Budgetbuf.Dse.throughput_curve ~policy:(policy_of_fault fault) ?pool
+          ?journal ?deadline ?candidate_deadline ~cancel ~on_progress cfg
+          ~caps
+      in
+      Format.printf "%-6s %-12s@." "cap" "min period";
+      let skipped = ref [] in
+      List.iter
+        (fun (p : Budgetbuf.Dse.curve_point) ->
+          match p.Budgetbuf.Dse.outcome with
+          | Ok (Some period) ->
+            Format.printf "%-6d %-12.4f@." p.Budgetbuf.Dse.cap period
+          | Ok None -> Format.printf "%-6d %-12s@." p.Budgetbuf.Dse.cap "infeasible"
+          | Error reason ->
+            skipped := (p.Budgetbuf.Dse.cap, reason) :: !skipped)
+        points;
+      (match List.rev !skipped with
+      | [] -> ()
+      | skipped ->
+        let reasons = List.sort_uniq compare (List.map snd skipped) in
+        Format.printf "skipped: %d (%s)@." (List.length skipped)
+          (String.concat ", " reasons));
+      0
+
+let dse_cmd =
+  let doc =
+    "sweep buffer-capacity caps and print the minimal feasible period \
+     (throughput curve) per cap"
+  in
+  Cmd.v (Cmd.info "dse" ~doc)
+    Term.(
+      const do_dse $ logs_term $ file_arg $ caps_arg $ jobs_arg $ fault_arg
+      $ resume_arg $ deadline_arg $ candidate_deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bind                                                                *)
@@ -900,7 +1118,8 @@ let main_cmd =
     (Cmd.info "budgetbuf" ~version:"1.0.0" ~doc)
     [
       solve_cmd; validate_cmd; tradeoff_cmd; experiment_cmd; generate_cmd;
-      pareto_cmd; bind_cmd; latency_cmd; check_cmd; simulate_cmd; dot_cmd;
+      pareto_cmd; dse_cmd; bind_cmd; latency_cmd; check_cmd; simulate_cmd;
+      dot_cmd;
       sdf_cmd; analyze_cmd; report_cmd;
     ]
 

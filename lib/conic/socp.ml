@@ -12,6 +12,7 @@ type status =
   | Dual_infeasible
   | Iteration_limit
   | Stalled
+  | Timed_out
 
 type solution = {
   status : status;
@@ -26,7 +27,7 @@ type solution = {
   iterations : int;
 }
 
-type fault = Stall | Nan
+type fault = Stall | Nan | Slow
 
 type presolve = Presolve_off | Presolve_auto | Presolve_force
 
@@ -38,13 +39,15 @@ type params = {
   step_fraction : float;
   presolve : presolve;
   inject : (int -> fault option) option;
+  deadline : (unit -> bool) option;
 }
 
 (* feastol 1e-7 reflects what dense normal-equation KKT solves can
    reliably deliver; the relaxed exits accept down to 1e3× of these. *)
 let default_params =
   { max_iter = 100; feastol = 1e-7; abstol = 1e-7; reltol = 1e-7;
-    step_fraction = 0.99; presolve = Presolve_auto; inject = None }
+    step_fraction = 0.99; presolve = Presolve_auto; inject = None;
+    deadline = None }
 
 let pp_status ppf = function
   | Optimal -> Format.pp_print_string ppf "optimal"
@@ -52,6 +55,7 @@ let pp_status ppf = function
   | Dual_infeasible -> Format.pp_print_string ppf "dual infeasible"
   | Iteration_limit -> Format.pp_print_string ppf "iteration limit"
   | Stalled -> Format.pp_print_string ppf "stalled"
+  | Timed_out -> Format.pp_print_string ppf "timed out"
 
 (* Solve the 2×2 scaled KKT system
      Gᵀ·dz        = bx
@@ -181,22 +185,36 @@ let solve_direct ~params ~c ~g ~h cone =
       }
     in
     let rec iterate iter =
-      (* Deterministic fault injection (tests only): a [Stall] returns
-         the current iterate with status [Stalled] outright — bypassing
-         the relaxed-acceptance exits, so the failure is guaranteed — a
-         [Nan] poisons the iterate and lets the solver's own guards
-         (NaN step, non-interior scaling, indefinite Gram matrix) trip
-         on the next pass, exercising the natural failure paths. *)
-      (match params.inject with
-      | None -> None
-      | Some f -> f iter)
-      |> function
-      | Some Stall -> result Stalled iter
-      | Some Nan ->
-        !s.(0) <- nan;
-        !z.(0) <- nan;
-        iterate_clean (iter + 1)
-      | None -> iterate_clean iter
+      (* Cooperative deadline: polled once per iteration, before the
+         (expensive) Cholesky work.  Expiry returns the best τ-scaled
+         iterate with status [Timed_out]; there is no signal and no
+         asynchronous interruption, so the iterate is always
+         consistent. *)
+      if (match params.deadline with None -> false | Some expired -> expired ())
+      then result Timed_out iter
+      else
+        (* Deterministic fault injection (tests only): a [Stall] returns
+           the current iterate with status [Stalled] outright — bypassing
+           the relaxed-acceptance exits, so the failure is guaranteed — a
+           [Nan] poisons the iterate and lets the solver's own guards
+           (NaN step, non-interior scaling, indefinite Gram matrix) trip
+           on the next pass, exercising the natural failure paths.  A
+           [Slow] sleeps half a second and then proceeds normally: the
+           way tests plant a wall-clock-pathological candidate without
+           fishing for one. *)
+        (match params.inject with
+        | None -> None
+        | Some f -> f iter)
+        |> function
+        | Some Stall -> result Stalled iter
+        | Some Nan ->
+          !s.(0) <- nan;
+          !z.(0) <- nan;
+          iterate_clean (iter + 1)
+        | Some Slow ->
+          Unix.sleepf 0.5;
+          iterate_clean iter
+        | None -> iterate_clean iter
     and iterate_clean iter =
       (* Homogeneous residuals. *)
       let hx = Sparse_rows.mul_vec gsp !x in
@@ -418,7 +436,7 @@ let unscale_solution sc ~c ~g ~h sol =
       s = Vec.scale (1.0 /. denom) s;
       z = Vec.scale (1.0 /. denom) z;
     }
-  | Optimal | Iteration_limit | Stalled ->
+  | Optimal | Iteration_limit | Stalled | Timed_out ->
     let gsp = Sparse_rows.of_mat g in
     let norm_h = Float.max 1.0 (Vec.nrm2 h)
     and norm_c = Float.max 1.0 (Vec.nrm2 c) in

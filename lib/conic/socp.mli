@@ -23,6 +23,9 @@ type status =
           (the primal is unbounded below) *)
   | Iteration_limit
   | Stalled  (** step sizes collapsed before reaching the tolerance *)
+  | Timed_out
+      (** the {!params.deadline} hook reported expiry; the solution
+          carries the best iterate reached so far *)
 
 type solution = {
   status : status;
@@ -40,9 +43,11 @@ type solution = {
 (** Deterministic fault injected by tests through {!params.inject}:
     [Stall] makes the iteration return [Stalled] outright at the chosen
     iteration; [Nan] poisons the iterate with NaNs so the solver's own
-    numerical guards trip on the following pass.  See
-    docs/robustness.md. *)
-type fault = Stall | Nan
+    numerical guards trip on the following pass; [Slow] sleeps half a
+    second at the chosen iteration and then proceeds normally — a
+    wall-clock-pathological (but otherwise healthy) solve for deadline
+    tests.  See docs/robustness.md. *)
+type fault = Stall | Nan | Slow
 
 (** Presolve policy.  [Presolve_auto] (the default) applies Ruiz
     equilibration ({!Presolve}) only when {!Presolve.badly_scaled}
@@ -61,6 +66,11 @@ type params = {
   inject : (int -> fault option) option;
       (** fault-injection hook, called with the iteration number before
           each pass; [None] (the default) injects nothing *)
+  deadline : (unit -> bool) option;
+      (** cooperative deadline: polled at the head of every iteration
+          (cheap next to the Cholesky work); once it returns true the
+          solve stops with {!status.Timed_out} and the best iterate so
+          far.  [None] (the default) keeps the loop hook-free. *)
 }
 
 val default_params : params

@@ -7,6 +7,11 @@ let with_periods cfg ~scale =
     invalid_arg "Dse.with_periods: scale must be > 0";
   Config.copy ~period_scale:scale cfg
 
+(* Raised inside a bisection when a probe times out: once the deadline
+   is blown, further probes could only time out too, so the search is
+   abandoned wholesale instead of bisecting on garbage. *)
+exception Probe_expired
+
 let min_period_scale ?(tolerance = 1e-4) ?params ?policy ?on_probe ?on_failure
     cfg =
   (* One mutable clone serves every probe: only the periods change
@@ -25,6 +30,9 @@ let min_period_scale ?(tolerance = 1e-4) ?params ?policy ?on_probe ?on_failure
          dead end before treating the whole search as infeasible. *)
       (match on_failure with None -> () | Some f -> f e);
       false
+    | Error (Mapping.Timed_out _ as e) ->
+      (match on_failure with None -> () | Some f -> f e);
+      raise Probe_expired
     | Error _ -> false
   in
   (* Grow until feasible, then bisect. *)
@@ -33,28 +41,31 @@ let min_period_scale ?(tolerance = 1e-4) ?params ?policy ?on_probe ?on_failure
     else if feasible scale then Some scale
     else find_hi (2.0 *. scale)
   in
-  match find_hi 1.0 with
-  | None -> None
-  | Some hi0 ->
-    let rec bisect lo hi iters =
-      if iters = 0 || hi -. lo <= tolerance *. hi then hi
-      else begin
-        let mid = 0.5 *. (lo +. hi) in
-        if mid <= 0.0 then hi
-        else if feasible mid then bisect lo mid (iters - 1)
-        else bisect mid hi (iters - 1)
-      end
-    in
-    (* The period can never drop below the largest WCET; anchor the
-       lower end there instead of zero to save probes. *)
-    let lo0 =
-      List.fold_left
-        (fun acc w ->
-          let mu = Config.period cfg (Config.task_graph cfg w) in
-          Float.max acc (Config.wcet cfg w /. mu))
-        1e-9 (Config.all_tasks cfg)
-    in
-    Some (bisect (Float.min lo0 hi0) hi0 60)
+  let search () =
+    match find_hi 1.0 with
+    | None -> None
+    | Some hi0 ->
+      let rec bisect lo hi iters =
+        if iters = 0 || hi -. lo <= tolerance *. hi then hi
+        else begin
+          let mid = 0.5 *. (lo +. hi) in
+          if mid <= 0.0 then hi
+          else if feasible mid then bisect lo mid (iters - 1)
+          else bisect mid hi (iters - 1)
+        end
+      in
+      (* The period can never drop below the largest WCET; anchor the
+         lower end there instead of zero to save probes. *)
+      let lo0 =
+        List.fold_left
+          (fun acc w ->
+            let mu = Config.period cfg (Config.task_graph cfg w) in
+            Float.max acc (Config.wcet cfg w /. mu))
+          1e-9 (Config.all_tasks cfg)
+      in
+      Some (bisect (Float.min lo0 hi0) hi0 60)
+  in
+  match search () with v -> v | exception Probe_expired -> None
 
 type curve_point = {
   cap : int;
@@ -73,17 +84,48 @@ let curve_skipped points =
       match p.outcome with Error reason -> Some (p.cap, reason) | Ok _ -> None)
     points
 
-let throughput_curve ?params ?policy ?pool cfg ~caps =
+(* Journal payload of one curve point (docs/formats.md).  A timed-out
+   candidate is deliberately not journaled — a timeout is a property of
+   this run's deadline, not of the instance, so a resume retries it. *)
+let encode_point p =
+  match p.outcome with
+  | Ok (Some period) -> Some ("period " ^ Durability.float_to_token period)
+  | Ok None -> Some "infeasible"
+  | Error reason ->
+    if String.equal reason "timed out" then None
+    else Some (Printf.sprintf "skip %S" reason)
+
+let decode_point cap payload =
+  if String.equal payload "infeasible" then Some { cap; outcome = Ok None }
+  else
+    match
+      let ib = Scanf.Scanning.from_string payload in
+      match Durability.scan_token ib with
+      | "period" -> Some { cap; outcome = Ok (Some (Durability.scan_float ib)) }
+      | "skip" -> Some { cap; outcome = Error (Durability.scan_quoted ib) }
+      | _ -> None
+    with
+    | v -> v
+    | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+
+let throughput_curve ?params ?policy ?pool ?deadline ?candidate_deadline
+    ?journal ?cancel ?on_progress cfg ~caps =
   let policy =
     match policy with Some p -> p | None -> Recovery.default_policy ()
   in
+  let deadline = Option.value deadline ~default:Durable.Deadline.none in
+  let caps = Array.of_list caps in
   (* Each candidate gets its own clone, its own slice of the fault plan
      and — crucially — its own exception barrier: a crash in one cap's
      bisection becomes that point's outcome instead of killing the
      sweep at the pool join. *)
-  let solve_cap (index, cap) =
+  let solve_cap index =
+    let cap = caps.(index) in
     let candidate_policy =
       { policy with Recovery.fault = Fault.for_candidate policy.Recovery.fault ~index }
+    in
+    let params =
+      Durability.params_with_deadline params ~deadline ~candidate_deadline
     in
     let failed = ref None in
     let on_failure e =
@@ -115,15 +157,10 @@ let throughput_curve ?params ?policy ?pool cfg ~caps =
     | exception e ->
       { cap; outcome = Error ("uncaught exception: " ^ Printexc.to_string e) }
   in
-  let indexed = List.mapi (fun i cap -> (i, cap)) caps in
-  match pool with
-  | None -> List.map solve_cap indexed
-  | Some pool ->
-    List.map2
-      (fun (_, cap) r ->
-        match r with
-        | Ok p -> p
-        | Error e ->
-          { cap; outcome = Error ("uncaught exception: " ^ Printexc.to_string e) })
-      indexed
-      (Parallel.Pool.map_result pool solve_cap indexed)
+  let results, progress =
+    Durable.Sweep.run ?pool ?journal ~deadline ?cancel ~encode:encode_point
+      ~decode:(fun i payload -> decode_point caps.(i) payload)
+      ~n:(Array.length caps) solve_cap
+  in
+  (match on_progress with None -> () | Some f -> f progress);
+  List.filter_map Fun.id (Array.to_list results)

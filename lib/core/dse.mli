@@ -31,7 +31,12 @@ val with_periods : Taskgraph.Config.t -> scale:float -> Taskgraph.Config.t
     silently regress.  [on_failure] is called with every probe error
     that is a solver failure (not an infeasibility verdict): the sweep
     drivers use it to tell a broken candidate from a genuine dead end
-    and report it as skipped instead of infeasible. *)
+    and report it as skipped instead of infeasible.
+
+    When [params] carries a {!Conic.Socp.params.deadline} and a probe
+    times out, the whole search is abandoned ([None]) after reporting
+    the timeout through [on_failure] — past the deadline, bisecting on
+    further timed-out probes could only manufacture garbage bounds. *)
 val min_period_scale :
   ?tolerance:float ->
   ?params:Conic.Socp.params ->
@@ -69,11 +74,30 @@ val curve_skipped : curve_point list -> (int * string) list
     with output bit-identical to the sequential sweep.  A failing
     candidate is reported in its own {!curve_point.outcome} instead of
     aborting the sweep.  A fault plan restricted with [only=I] applies
-    to the 0-based [I]-th cap of the sweep. *)
+    to the 0-based [I]-th cap of the sweep.
+
+    Durability (docs/robustness.md): [?journal] records every completed
+    cap and restores the ones already present, so a killed sweep
+    resumed against the same journal re-solves only the missing caps —
+    with bit-identical points, because journal payloads round-trip
+    floats exactly.  [?deadline] bounds the whole sweep and
+    [?candidate_deadline] (seconds) each cap's bisection; both are also
+    polled inside the interior-point iteration loop, so even a single
+    slow solve stops promptly with a ["timed out"] outcome (which is
+    {e not} journaled — a resume retries it).  [?cancel] is polled
+    between candidates (cooperative cancellation — Ctrl-C handling in
+    the CLI); candidates in flight are drained, not aborted.  A sweep
+    cut short returns the points actually evaluated, in cap order;
+    [?on_progress] reports the restored/solved/abandoned split. *)
 val throughput_curve :
   ?params:Conic.Socp.params ->
   ?policy:Robust.Recovery.policy ->
   ?pool:Parallel.Pool.t ->
+  ?deadline:Durable.Deadline.t ->
+  ?candidate_deadline:float ->
+  ?journal:Durable.Journal.t ->
+  ?cancel:(unit -> bool) ->
+  ?on_progress:(Durable.Sweep.progress -> unit) ->
   Taskgraph.Config.t ->
   caps:int list ->
   curve_point list

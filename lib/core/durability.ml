@@ -1,0 +1,37 @@
+module Socp = Conic.Socp
+module Deadline = Durable.Deadline
+
+(* Per-candidate solver parameters: the whole-sweep deadline combined
+   with a fresh per-candidate budget (started now, i.e. when the
+   candidate starts), installed as the Socp iteration-loop hook.  When
+   neither limit is set the caller's params pass through untouched, so
+   an unlimited sweep keeps a hook-free iteration loop. *)
+let params_with_deadline params ~deadline ~candidate_deadline =
+  let dl =
+    match candidate_deadline with
+    | None -> deadline
+    | Some s -> Deadline.combine deadline (Deadline.after s)
+  in
+  match Deadline.check dl with
+  | None -> params
+  | Some expired ->
+    let base = Option.value params ~default:Socp.default_params in
+    Some { base with Socp.deadline = Some expired }
+
+(* Journal payloads render floats as hex literals ("%h"), which
+   [float_of_string] parses back bit-exactly — a resumed sweep must
+   reproduce the uninterrupted run to the last digit. *)
+let float_to_token = Printf.sprintf "%h"
+
+(* Whitespace-separated token scanners for payload decoding.  All of
+   them raise on malformed input ([Scanf.Scan_failure], [Failure]);
+   decoders catch and drop the record, which merely re-solves the
+   candidate. *)
+let scan_token ib = Scanf.bscanf ib " %s" Fun.id
+let scan_float ib = float_of_string (scan_token ib)
+let scan_int ib = int_of_string (scan_token ib)
+let scan_quoted ib = Scanf.bscanf ib " %S" Fun.id
+
+let expect_token ib tok =
+  if not (String.equal (scan_token ib) tok) then
+    raise (Scanf.Scan_failure ("expected " ^ tok))

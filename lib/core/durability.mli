@@ -1,0 +1,32 @@
+(** Glue between the sweep drivers and {!Durable}: deadline-aware
+    solver parameters and the token codec conventions shared by the
+    journal payload encoders of {!Dse}, {!Tradeoff} and {!Pareto}.
+
+    Payload grammar convention (see docs/formats.md): payloads are
+    single lines of whitespace-separated tokens; floats are rendered as
+    C99 hex literals ([%h], bit-exact round-trip), free-form strings as
+    OCaml-quoted literals ([%S], whitespace-safe). *)
+
+(** [params_with_deadline params ~deadline ~candidate_deadline] is
+    [params] with {!Conic.Socp.params.deadline} polling the earlier of
+    the whole-sweep [deadline] and a fresh per-candidate budget of
+    [candidate_deadline] seconds starting now.  [params] is returned
+    untouched when neither limit is set.
+    @raise Invalid_argument if [candidate_deadline <= 0]. *)
+val params_with_deadline :
+  Conic.Socp.params option ->
+  deadline:Durable.Deadline.t ->
+  candidate_deadline:float option ->
+  Conic.Socp.params option
+
+(** [float_to_token f] renders [f] as a hex float literal. *)
+val float_to_token : float -> string
+
+(** Token scanners over a [Scanf] buffer; all raise
+    [Scanf.Scan_failure] or [Failure] on malformed input. *)
+
+val scan_token : Scanf.Scanning.in_channel -> string
+val scan_float : Scanf.Scanning.in_channel -> float
+val scan_int : Scanf.Scanning.in_channel -> int
+val scan_quoted : Scanf.Scanning.in_channel -> string
+val expect_token : Scanf.Scanning.in_channel -> string -> unit

@@ -23,16 +23,21 @@ type result = {
   stats : stats;
 }
 
-type error = Infeasible of string | Solver_failure of string
+type error =
+  | Infeasible of string
+  | Solver_failure of string
+  | Timed_out of string
 
 let pp_error ppf = function
   | Infeasible msg -> Format.fprintf ppf "infeasible: %s" msg
   | Solver_failure msg -> Format.fprintf ppf "solver failure: %s" msg
+  | Timed_out msg -> Format.fprintf ppf "timed out: %s" msg
 
 (* Short, stable label for sweep skip summaries ("skipped: 1 (stalled)").
    The Solver_failure messages below all start with the status word. *)
 let short_reason = function
   | Infeasible _ -> "infeasible"
+  | Timed_out _ -> "timed out"
   | Solver_failure msg ->
     if String.length msg >= 15 && String.sub msg 0 15 = "iteration limit" then
       "iteration limit"
@@ -281,6 +286,14 @@ let solve ?params ?policy cfg =
     (* Objective (5) has non-negative weights over non-negative
        variables, so unboundedness indicates a modelling error. *)
     Error (Solver_failure "unbounded cone program (dual infeasible)")
+  | Socp.Timed_out ->
+    (* The deadline that stopped the cone solve is already blown; the
+       exact-simplex fallback would only blow it further.  No retry, no
+       fallback — the sweep layer decides whether a resume re-solves. *)
+    Error
+      (Timed_out
+         (Format.asprintf "deadline expired after %d attempt(s) (%a)"
+            (Recovery.attempts trace) Recovery.pp_trace trace))
   | Socp.Iteration_limit | Socp.Stalled ->
     (* The whole cone ladder failed; try the exact-simplex restatement
        unless the fault plan covers that attempt too. *)

@@ -56,6 +56,14 @@ type error =
   | Solver_failure of string
       (** every rung of the recovery ladder returned an unusable status
           (or a recovered mapping failed certification) *)
+  | Timed_out of string
+      (** the solve's cooperative deadline
+          ({!Conic.Socp.params.deadline}) expired mid-solve.  Unlike a
+          [Solver_failure] this is not a verdict about the instance at
+          all: neither the recovery ladder nor the LP fallback is tried
+          (the deadline is already blown), and the durable sweep layer
+          deliberately does {e not} journal it, so a resume retries the
+          candidate. *)
 
 (** [solve ?params ?policy cfg] runs the full flow.  [params] tunes the
     interior-point solver; [policy] (default
@@ -78,8 +86,8 @@ val round_budget : granularity:float -> float -> float
 val round_capacity : initial_tokens:int -> float -> int
 
 (** [short_reason e] is a short stable label for sweep skip summaries:
-    ["infeasible"], ["stalled"], ["iteration limit"], ["unbounded"],
-    ["exception"] or ["failure"]. *)
+    ["infeasible"], ["timed out"], ["stalled"], ["iteration limit"],
+    ["unbounded"], ["exception"] or ["failure"]. *)
 val short_reason : error -> string
 
 (** [pp_error ppf e] prints an error. *)

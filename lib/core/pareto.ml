@@ -15,11 +15,56 @@ let pp_point ppf p =
   Format.fprintf ppf "ratio %.3g: budgets %.4f, %d containers" p.weight_ratio
     p.budget_sum p.buffer_containers
 
-let frontier ?(steps = 9) ?params ?policy ?pool cfg =
+(* Journal payload of one frontier candidate (docs/formats.md).  The
+   frontier pruning happens after the sweep, so the journal records the
+   raw per-ratio outcome.  Timed-out candidates are not journaled: a
+   resume retries them. *)
+let encode_outcome = function
+  | `Point p ->
+    Some
+      (String.concat " "
+         [
+           "point";
+           Durability.float_to_token p.weight_ratio;
+           Durability.float_to_token p.budget_sum;
+           string_of_int p.buffer_containers;
+           Durability.float_to_token p.rounded_objective;
+         ])
+  | `Infeasible -> Some "infeasible"
+  | `Skipped (ratio, reason) ->
+    if String.equal reason "timed out" then None
+    else
+      Some
+        (Printf.sprintf "skip %s %S" (Durability.float_to_token ratio) reason)
+
+let decode_outcome payload =
+  if String.equal payload "infeasible" then Some `Infeasible
+  else
+    match
+      let ib = Scanf.Scanning.from_string payload in
+      match Durability.scan_token ib with
+      | "point" ->
+        let weight_ratio = Durability.scan_float ib in
+        let budget_sum = Durability.scan_float ib in
+        let buffer_containers = Durability.scan_int ib in
+        let rounded_objective = Durability.scan_float ib in
+        Some
+          (`Point { weight_ratio; budget_sum; buffer_containers; rounded_objective })
+      | "skip" ->
+        let ratio = Durability.scan_float ib in
+        Some (`Skipped (ratio, Durability.scan_quoted ib))
+      | _ -> None
+    with
+    | v -> v
+    | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+
+let frontier ?(steps = 9) ?params ?policy ?pool ?deadline ?candidate_deadline
+    ?journal ?cancel ?on_progress cfg =
   if steps < 1 then invalid_arg "Pareto.frontier: steps must be >= 1";
   let policy =
     match policy with Some p -> p | None -> Recovery.default_policy ()
   in
+  let deadline = Option.value deadline ~default:Durable.Deadline.none in
   let tasks = Config.all_tasks cfg and buffers = Config.all_buffers cfg in
   (* Geometric sweep of the budget-to-buffer weight ratio; every ratio
      reweights its own clone so the candidate solves are independent
@@ -35,9 +80,14 @@ let frontier ?(steps = 9) ?params ?policy ?pool cfg =
      in [skipped] while the rest of the frontier survives; a plain
      infeasibility verdict is silently dropped as before (an infeasible
      instance has no frontier points at any ratio). *)
-  let solve_ratio (index, ratio) =
+  let ratios = Array.of_list ratios in
+  let solve_ratio index =
+    let ratio = ratios.(index) in
     let candidate_policy =
       { policy with Recovery.fault = Fault.for_candidate policy.Recovery.fault ~index }
+    in
+    let params =
+      Durability.params_with_deadline params ~deadline ~candidate_deadline
     in
     match
       let candidate = Config.copy cfg in
@@ -64,21 +114,17 @@ let frontier ?(steps = 9) ?params ?policy ?pool cfg =
           rounded_objective = r.Mapping.rounded_objective;
         }
     | Error (Mapping.Infeasible _) -> `Infeasible
-    | Error (Mapping.Solver_failure _ as e) ->
+    | Error ((Mapping.Solver_failure _ | Mapping.Timed_out _) as e) ->
       `Skipped (ratio, Mapping.short_reason e)
     | exception _ -> `Skipped (ratio, "exception")
   in
-  let indexed = List.mapi (fun i r -> (i, r)) ratios in
-  let outcomes =
-    match pool with
-    | None -> List.map solve_ratio indexed
-    | Some pool ->
-      List.map2
-        (fun (_, ratio) r ->
-          match r with Ok o -> o | Error _ -> `Skipped (ratio, "exception"))
-        indexed
-        (Parallel.Pool.map_result pool solve_ratio indexed)
+  let results, progress =
+    Durable.Sweep.run ?pool ?journal ~deadline ?cancel ~encode:encode_outcome
+      ~decode:(fun _ payload -> decode_outcome payload)
+      ~n:(Array.length ratios) solve_ratio
   in
+  (match on_progress with None -> () | Some f -> f progress);
+  let outcomes = List.filter_map Fun.id (Array.to_list results) in
   let raw =
     List.filter_map (function `Point p -> Some p | _ -> None) outcomes
   in

@@ -34,12 +34,25 @@ type sweep = { points : point list; skipped : (float * string) list }
     instances yield an empty [points] list; failing candidates land in
     [skipped].  A fault plan restricted with [only=I] applies to the
     0-based [I]-th ratio of the sweep.
+
+    Durability (docs/robustness.md): [?journal] records each ratio's
+    raw outcome (frontier pruning always re-runs over the union of
+    restored and fresh outcomes); [?deadline] /
+    [?candidate_deadline] / [?cancel] stop the sweep cooperatively, and
+    a timed-out ratio lands in [skipped] with reason ["timed out"]
+    without being journaled, so a resume retries it.  [?on_progress]
+    reports the restored/solved/abandoned split.
     @raise Invalid_argument if [steps < 1]. *)
 val frontier :
   ?steps:int ->
   ?params:Conic.Socp.params ->
   ?policy:Robust.Recovery.policy ->
   ?pool:Parallel.Pool.t ->
+  ?deadline:Durable.Deadline.t ->
+  ?candidate_deadline:float ->
+  ?journal:Durable.Journal.t ->
+  ?cancel:(unit -> bool) ->
+  ?on_progress:(Durable.Sweep.progress -> unit) ->
   Taskgraph.Config.t ->
   sweep
 

@@ -7,17 +7,161 @@ type point = {
   result : (Mapping.result, Mapping.error) Stdlib.result;
 }
 
-let capacity_sweep ?params ?policy ?pool cfg ~buffers ~caps =
+(* Journal payload of one sweep point (docs/formats.md).  A successful
+   solve is encoded as a faithful projection of [Mapping.result]:
+   objectives, the continuous budget/λ per task and space/capacity per
+   buffer (in dense-id order), the rounded mapping, and the
+   verification / sim-check notes.  The recovery trace and timing stats
+   are *not* journaled — a restored point reports [recovery = []] and
+   zeroed stats, documented as "restored from journal".  A timed-out
+   candidate is never journaled, so a resume retries it. *)
+let encode_result cfg (r : Mapping.result) =
+  let buf = Buffer.create 256 in
+  let tok s =
+    if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf s
+  in
+  let flt f = tok (Durability.float_to_token f) in
+  let tasks = Config.all_tasks cfg and buffers = Config.all_buffers cfg in
+  tok "ok";
+  flt r.Mapping.objective;
+  flt r.Mapping.rounded_objective;
+  tok "t";
+  tok (string_of_int (List.length tasks));
+  List.iter
+    (fun w ->
+      flt (r.Mapping.continuous.Socp_builder.budget w);
+      flt (r.Mapping.continuous.Socp_builder.lambda w);
+      flt (r.Mapping.mapped.Config.budget w))
+    tasks;
+  tok "b";
+  tok (string_of_int (List.length buffers));
+  List.iter
+    (fun b ->
+      flt (r.Mapping.continuous.Socp_builder.space b);
+      flt (r.Mapping.continuous.Socp_builder.capacity b);
+      tok (string_of_int (r.Mapping.mapped.Config.capacity b)))
+    buffers;
+  tok "v";
+  tok (string_of_int (List.length r.Mapping.verification));
+  List.iter (fun n -> tok (Printf.sprintf "%S" n)) r.Mapping.verification;
+  tok "s";
+  tok (string_of_int (List.length r.Mapping.sim_check));
+  List.iter (fun n -> tok (Printf.sprintf "%S" n)) r.Mapping.sim_check;
+  Buffer.contents buf
+
+let encode_point cfg p =
+  match p.result with
+  | Ok r -> Some (encode_result cfg r)
+  | Error (Mapping.Infeasible msg) -> Some (Printf.sprintf "infeasible %S" msg)
+  | Error (Mapping.Solver_failure msg) -> Some (Printf.sprintf "failure %S" msg)
+  | Error (Mapping.Timed_out _) -> None
+
+let decode_result cfg ib =
+  let module D = Durability in
+  let obj = D.scan_float ib and robj = D.scan_float ib in
+  let tasks = Config.all_tasks cfg and buffers = Config.all_buffers cfg in
+  D.expect_token ib "t";
+  if D.scan_int ib <> List.length tasks then
+    raise (Scanf.Scan_failure "task count mismatch");
+  let per_task =
+    List.map
+      (fun w ->
+        let budget = D.scan_float ib in
+        let lambda = D.scan_float ib in
+        let mapped = D.scan_float ib in
+        (Config.task_id w, (budget, lambda, mapped)))
+      tasks
+  in
+  D.expect_token ib "b";
+  if D.scan_int ib <> List.length buffers then
+    raise (Scanf.Scan_failure "buffer count mismatch");
+  let per_buffer =
+    List.map
+      (fun b ->
+        let space = D.scan_float ib in
+        let capacity = D.scan_float ib in
+        let mapped = D.scan_int ib in
+        (Config.buffer_id b, (space, capacity, mapped)))
+      buffers
+  in
+  let scan_notes tag =
+    D.expect_token ib tag;
+    List.init (D.scan_int ib) (fun _ -> ()) |> List.map (fun () -> D.scan_quoted ib)
+  in
+  let verification = scan_notes "v" in
+  let sim_check = scan_notes "s" in
+  let task_field pick w = pick (List.assoc (Config.task_id w) per_task) in
+  let buffer_field pick b = pick (List.assoc (Config.buffer_id b) per_buffer) in
+  {
+    Mapping.mapped =
+      {
+        Config.budget = task_field (fun (_, _, m) -> m);
+        Config.capacity = buffer_field (fun (_, _, m) -> m);
+      };
+    continuous =
+      {
+        Socp_builder.budget = task_field (fun (b, _, _) -> b);
+        lambda = task_field (fun (_, l, _) -> l);
+        space = buffer_field (fun (s, _, _) -> s);
+        capacity = buffer_field (fun (_, c, _) -> c);
+        objective = obj;
+      };
+    objective = obj;
+    rounded_objective = robj;
+    verification;
+    sim_check;
+    (* Restored from journal: the solve was not re-run, so there is no
+       recovery trace and no timing to report. *)
+    recovery = [];
+    stats =
+      {
+        Mapping.variables = 0;
+        rows = 0;
+        iterations = 0;
+        attempts = 0;
+        solve_time_s = 0.0;
+      };
+  }
+
+let decode_point cfg cap payload =
+  match
+    let ib = Scanf.Scanning.from_string payload in
+    match Durability.scan_token ib with
+    | "ok" -> Some { cap; result = Ok (decode_result cfg ib) }
+    | "infeasible" ->
+      Some
+        { cap; result = Error (Mapping.Infeasible (Durability.scan_quoted ib)) }
+    | "failure" ->
+      Some
+        {
+          cap;
+          result = Error (Mapping.Solver_failure (Durability.scan_quoted ib));
+        }
+    | _ -> None
+  with
+  | v -> v
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file | Not_found) ->
+    None
+
+let capacity_sweep ?params ?policy ?pool ?deadline ?candidate_deadline ?journal
+    ?cancel ?on_progress cfg ~buffers ~caps =
   let policy =
     match policy with Some p -> p | None -> Recovery.default_policy ()
   in
+  let deadline = Option.value deadline ~default:Durable.Deadline.none in
+  let caps = Array.of_list caps in
   (* Each cap solves its own clone (handles are dense ids, valid across
      copies), so candidate solves are independent and can be batched on
      a pool; [cfg] is never touched.  Exceptions become that point's
      [Solver_failure] so one bad candidate cannot abort the sweep. *)
-  let solve_cap (index, cap) =
+  let solve_cap index =
+    let cap = caps.(index) in
     let candidate_policy =
       { policy with Recovery.fault = Fault.for_candidate policy.Recovery.fault ~index }
+    in
+    let params =
+      Durability.params_with_deadline params ~deadline ~candidate_deadline
     in
     let result =
       match
@@ -35,30 +179,20 @@ let capacity_sweep ?params ?policy ?pool cfg ~buffers ~caps =
     in
     { cap; result }
   in
-  let indexed = List.mapi (fun i cap -> (i, cap)) caps in
-  match pool with
-  | None -> List.map solve_cap indexed
-  | Some pool ->
-    List.map2
-      (fun (_, cap) r ->
-        match r with
-        | Ok p -> p
-        | Error e ->
-          {
-            cap;
-            result =
-              Error
-                (Mapping.Solver_failure
-                   ("uncaught exception: " ^ Printexc.to_string e));
-          })
-      indexed
-      (Parallel.Pool.map_result pool solve_cap indexed)
+  let results, progress =
+    Durable.Sweep.run ?pool ?journal ~deadline ?cancel
+      ~encode:(encode_point cfg)
+      ~decode:(fun i payload -> decode_point cfg caps.(i) payload)
+      ~n:(Array.length caps) solve_cap
+  in
+  (match on_progress with None -> () | Some f -> f progress);
+  List.filter_map Fun.id (Array.to_list results)
 
 let skipped points =
   List.filter_map
     (fun p ->
       match p.result with
-      | Error (Mapping.Solver_failure _ as e) ->
+      | Error ((Mapping.Solver_failure _ | Mapping.Timed_out _) as e) ->
         Some (p.cap, Mapping.short_reason e)
       | Error (Mapping.Infeasible _) | Ok _ -> None)
     points

@@ -20,11 +20,29 @@ type point = {
     {!Parallel.Pool.map_result}).  A candidate that raises is recorded
     as that point's [Solver_failure] instead of aborting the sweep;
     a fault plan restricted with [only=I] applies to the 0-based
-    [I]-th cap. *)
+    [I]-th cap.
+
+    Durability (docs/robustness.md): [?journal] records every completed
+    cap (including infeasible and failed verdicts — they are verdicts)
+    and restores recorded caps instead of re-solving them.  A restored
+    point carries the exact objectives, continuous values, rounded
+    mapping and certification notes of the original solve, but an empty
+    [recovery] trace and zeroed [stats] — the solve did not run again.
+    [?deadline] bounds the whole sweep, [?candidate_deadline] (seconds)
+    each solve; both are polled inside the interior-point loop, and an
+    expired candidate gets the [Timed_out] error — never journaled, so
+    a resume retries it.  [?cancel] stops the sweep between candidates;
+    abandoned caps are simply absent from the returned list
+    ([?on_progress] reports the split). *)
 val capacity_sweep :
   ?params:Conic.Socp.params ->
   ?policy:Robust.Recovery.policy ->
   ?pool:Parallel.Pool.t ->
+  ?deadline:Durable.Deadline.t ->
+  ?candidate_deadline:float ->
+  ?journal:Durable.Journal.t ->
+  ?cancel:(unit -> bool) ->
+  ?on_progress:(Durable.Sweep.progress -> unit) ->
   Taskgraph.Config.t ->
   buffers:Taskgraph.Config.buffer list ->
   caps:int list ->

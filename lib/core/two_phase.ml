@@ -230,7 +230,8 @@ let budgets_at_fixed_capacity ?params cfg ~capacity =
       (Infeasible
          "budget phase infeasible for the phase-1 buffer capacities (a \
           joint assignment may still exist)")
-  | Socp.Dual_infeasible | Socp.Iteration_limit | Socp.Stalled ->
+  | Socp.Dual_infeasible | Socp.Iteration_limit | Socp.Stalled
+  | Socp.Timed_out ->
     Error
       (Solver_failure
          (Format.asprintf "cone solve stopped with status %a" Socp.pp_status

@@ -1,0 +1,173 @@
+(* Append-only sweep journal.  One line per completed candidate:
+
+     <crc32-hex> done <index> <payload>
+
+   preceded by a header line
+
+     <crc32-hex> budgetbuf-journal 1 <fingerprint>
+
+   Each line's CRC covers everything after the single separating
+   space.  Lines are written with one [write] and one [fsync], so a
+   crash leaves at most one torn line — at the tail — which loading
+   detects (bad CRC or missing newline) and truncates away.  The
+   fingerprint pins the journal to one exact sweep: a resume against a
+   different config or grid must re-solve, not silently reuse stale
+   answers. *)
+
+type entry = { index : int; payload : string }
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  mutex : Mutex.t;
+  mutable closed : bool;
+  entries : entry list;
+}
+
+let version = "1"
+let magic = "budgetbuf-journal"
+
+let fingerprint parts =
+  (* Length-prefix every part so ["ab"; "c"] and ["a"; "bc"] differ. *)
+  Crc.hex
+    (List.fold_left
+       (fun acc p ->
+         Crc.update (Crc.update acc (string_of_int (String.length p) ^ ":")) p)
+       0l parts)
+
+let render_line body = Crc.hex (Crc.string body) ^ " " ^ body ^ "\n"
+
+(* [line] has no trailing newline.  [None] on any damage: too short,
+   missing separator, CRC mismatch. *)
+let body_of_line line =
+  if String.length line < 10 || line.[8] <> ' ' then None
+  else
+    let crc = String.sub line 0 8 in
+    let body = String.sub line 9 (String.length line - 9) in
+    if String.equal crc (Crc.hex (Crc.string body)) then Some body else None
+
+let entry_of_body body =
+  match String.split_on_char ' ' body with
+  | "done" :: idx :: rest -> begin
+    match int_of_string_opt idx with
+    | Some index when index >= 0 ->
+      Some { index; payload = String.concat " " rest }
+    | Some _ | None -> None
+  end
+  | _ -> None
+
+(* Newline-terminated lines with their start offsets; an unterminated
+   tail chunk is torn by definition and not returned. *)
+let scan_lines content =
+  let len = String.length content in
+  let rec scan pos acc =
+    if pos >= len then List.rev acc
+    else
+      match String.index_from_opt content pos '\n' with
+      | None -> List.rev acc
+      | Some nl -> scan (nl + 1) ((pos, String.sub content pos (nl - pos)) :: acc)
+  in
+  scan 0 []
+
+(* Returns the good entries, the byte length of the valid prefix, and
+   the fingerprint found in the header. *)
+let load content =
+  match scan_lines content with
+  | [] -> Error "empty or truncated journal header"
+  | (_, first) :: rest -> begin
+    match Option.bind (body_of_line first) (fun body ->
+        match String.split_on_char ' ' body with
+        | [ m; v; fp ] when String.equal m magic && String.equal v version ->
+          Some fp
+        | _ -> None)
+    with
+    | None -> Error "not a budgetbuf journal (bad or corrupt header)"
+    | Some fp ->
+      let good_len = ref (String.length first + 1) in
+      let rec take acc = function
+        | [] -> List.rev acc
+        | (pos, line) :: rest -> begin
+          match Option.bind (body_of_line line) entry_of_body with
+          | Some e ->
+            good_len := pos + String.length line + 1;
+            take (e :: acc) rest
+          | None ->
+            (* First damaged line: everything from here on is dropped —
+               after a torn write nothing downstream is trustworthy. *)
+            List.rev acc
+        end
+      in
+      (* Bind before building the tuple: tuple components evaluate
+         right-to-left, and [take] must run before [!good_len]. *)
+      let entries = take [] rest in
+      Ok (entries, !good_len, fp)
+  end
+
+let write_fully fd s =
+  let len = String.length s in
+  let rec go pos =
+    if pos < len then go (pos + Unix.write_substring fd s pos (len - pos))
+  in
+  go 0
+
+let resume ~fingerprint path =
+  if Sys.file_exists path then begin
+    let content = In_channel.with_open_bin path In_channel.input_all in
+    match load content with
+    | Error msg -> Error (Printf.sprintf "resume journal %s: %s" path msg)
+    | Ok (entries, good_len, found) ->
+      if not (String.equal found fingerprint) then
+        Error
+          (Printf.sprintf
+             "resume journal %s: fingerprint mismatch — the journal was \
+              written by a different configuration or sweep; delete it to \
+              start over"
+             path)
+      else begin
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+        if good_len < String.length content then Unix.ftruncate fd good_len;
+        ignore (Unix.lseek fd good_len Unix.SEEK_SET);
+        Ok { path; fd; mutex = Mutex.create (); closed = false; entries }
+      end
+  end
+  else begin
+    match
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "resume journal %s: %s" path (Unix.error_message err))
+    | fd ->
+      let header =
+        render_line (String.concat " " [ magic; version; fingerprint ])
+      in
+      write_fully fd header;
+      Unix.fsync fd;
+      Ok { path; fd; mutex = Mutex.create (); closed = false; entries = [] }
+  end
+
+let entries t = t.entries
+let path t = t.path
+
+let record t ~index ~payload =
+  if index < 0 then invalid_arg "Durable.Journal.record: index must be >= 0";
+  if String.contains payload '\n' then
+    invalid_arg "Durable.Journal.record: payload must not contain newlines";
+  let line = render_line (Printf.sprintf "done %d %s" index payload) in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if t.closed then invalid_arg "Durable.Journal.record: journal closed";
+      write_fully t.fd line;
+      Unix.fsync t.fd)
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Unix.close t.fd
+      end)

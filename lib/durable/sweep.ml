@@ -1,0 +1,78 @@
+(* The shared durable fan-out: restore journal hits, run the missing
+   candidates (on a pool when given), journal each completion, and stop
+   cleanly — never mid-candidate — when the deadline expires or the
+   caller cancels.  Slots that were neither restored nor run come back
+   [None]; the caller decides how to present a partial sweep. *)
+
+type progress = { total : int; resumed : int; solved : int; not_run : int }
+
+let pp_progress ppf p =
+  Format.fprintf ppf "%d/%d resumed, %d solved, %d not run" p.resumed p.total
+    p.solved p.not_run
+
+let run ?pool ?journal ?(deadline = Deadline.none) ?cancel ~encode ~decode ~n f
+    =
+  if n < 0 then invalid_arg "Durable.Sweep.run: n must be >= 0";
+  let results = Array.make (Int.max n 1) None in
+  let resumed = ref 0 in
+  (match journal with
+  | None -> ()
+  | Some j ->
+    List.iter
+      (fun { Journal.index; payload } ->
+        if index >= 0 && index < n then
+          match results.(index) with
+          | Some _ -> () (* duplicate record: first one wins *)
+          | None -> (
+            match decode index payload with
+            | Some v ->
+              results.(index) <- Some v;
+              incr resumed
+            | None -> ()))
+      (Journal.entries j));
+  let stop =
+    let cancelled =
+      match cancel with None -> fun () -> false | Some c -> c
+    in
+    fun () -> cancelled () || Deadline.expired deadline
+  in
+  let counter = Mutex.create () in
+  let solved = ref 0 in
+  let solve_one i =
+    let v = f i in
+    (* Journal before counting: if the fsync raises, the candidate is
+       not reported as saved. *)
+    (match journal with
+    | None -> ()
+    | Some j -> (
+      match encode v with
+      | None -> () (* not a final verdict (e.g. timed out): re-solve on resume *)
+      | Some payload -> Journal.record j ~index:i ~payload));
+    Mutex.lock counter;
+    incr solved;
+    Mutex.unlock counter;
+    v
+  in
+  let todo =
+    List.filter
+      (fun i -> match results.(i) with None -> true | Some _ -> false)
+      (List.init n Fun.id)
+  in
+  (match pool with
+  | None ->
+    List.iter
+      (fun i -> if not (stop ()) then results.(i) <- Some (solve_one i))
+      todo
+  | Some pool ->
+    List.iter2
+      (fun i r ->
+        match r with
+        | Ok v -> results.(i) <- Some v
+        | Error Parallel.Pool.Cancelled -> ()
+        | Error e -> raise e)
+      todo
+      (Parallel.Pool.map_result ~cancel:stop pool solve_one todo));
+  let results = if n = 0 then [||] else results in
+  ( results,
+    { total = n; resumed = !resumed; solved = !solved; not_run = n - !resumed - !solved }
+  )

@@ -1,0 +1,47 @@
+(** Durable candidate fan-out — the engine shared by
+    [Dse.throughput_curve], [Tradeoff.capacity_sweep] and
+    [Pareto.frontier].
+
+    [run] evaluates candidates [0 .. n-1], restoring any found in the
+    journal, journaling each new completion, and stopping cleanly
+    between candidates when the deadline expires or [cancel] reports
+    true.  In-flight candidates are drained, never aborted: the result
+    is always well formed, merely partial. *)
+
+(** How a sweep ended: of [total] candidates, [resumed] were restored
+    from the journal, [solved] were newly evaluated, and [not_run] were
+    abandoned to the deadline or cancellation
+    ([total = resumed + solved + not_run]). *)
+type progress = { total : int; resumed : int; solved : int; not_run : int }
+
+val pp_progress : Format.formatter -> progress -> unit
+
+(** [run ?pool ?journal ?deadline ?cancel ~encode ~decode ~n f]
+    evaluates [f i] for every candidate [i] not restored from
+    [journal], in index order (concurrently on [pool] when given, with
+    slot-deterministic results as per {!Parallel.Pool.map_result}).
+    Slot [i] of the returned array is [None] when candidate [i] was
+    abandoned.
+
+    [encode v] is the journal payload of a completed candidate —
+    [None] withholds the record (used for outcomes that are not final
+    verdicts, such as a per-candidate timeout, so a resume retries
+    them).  [decode i payload] restores candidate [i] from a journal
+    record; [None] discards the record and re-solves.  Payloads must
+    not contain newlines.
+
+    [f] must not raise — the sweep drivers install their own
+    per-candidate exception barrier; an exception that escapes [f]
+    (or the journal's own I/O failing) is re-raised at the join.
+
+    @raise Invalid_argument if [n < 0]. *)
+val run :
+  ?pool:Parallel.Pool.t ->
+  ?journal:Journal.t ->
+  ?deadline:Deadline.t ->
+  ?cancel:(unit -> bool) ->
+  encode:('a -> string option) ->
+  decode:(int -> string -> 'a option) ->
+  n:int ->
+  (int -> 'a) ->
+  'a option array * progress

@@ -76,10 +76,15 @@ let create ~domains =
 
 let domains t = t.lanes
 
+exception Cancelled
+
 (* Shared fan-out engine: runs [f] over [xs] on the pool and returns
    one captured outcome per input slot.  [map] and [map_result] differ
-   only in how they join the outcomes. *)
-let execute t ~caller f xs =
+   only in how they join the outcomes.  [cancel] is polled once per
+   task, before it starts: tasks already running are drained to
+   completion (their results are kept), tasks not yet started record
+   [Cancelled] without running — the pool itself is never torn down. *)
+let execute ?cancel t ~caller f xs =
   if t.finished then
     invalid_arg (Printf.sprintf "Parallel.Pool.%s: pool already finalised" caller);
   match xs with
@@ -89,13 +94,16 @@ let execute t ~caller f xs =
     let n = Array.length input in
     let results = Array.make n None in
     let remaining = ref n in
+    let cancelled () = match cancel with None -> false | Some c -> c () in
     (* Each task writes its own slot: result order is fixed by the
        input, not by the schedule. *)
     let task_for i () =
       let r =
-        match f input.(i) with
-        | v -> Ok v
-        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        if cancelled () then Error (Cancelled, Printexc.get_callstack 0)
+        else
+          match f input.(i) with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
       in
       Mutex.lock t.mutex;
       results.(i) <- Some r;
@@ -148,8 +156,8 @@ let map t f xs =
     results;
   Array.to_list (Array.map (function Ok v -> v | Error _ -> assert false) results)
 
-let map_result t f xs =
-  let results = execute t ~caller:"map_result" f xs in
+let map_result ?cancel t f xs =
+  let results = execute ?cancel t ~caller:"map_result" f xs in
   Array.to_list
     (Array.map (function Ok v -> Ok v | Error (e, _bt) -> Error e) results)
 

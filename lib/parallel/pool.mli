@@ -52,12 +52,29 @@ val domains : t -> int
     should use {!map_result} and decide per item. *)
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
-(** [map_result t f xs] is {!map} with per-item outcomes instead of a
-    fail-fast join: every element yields [Ok (f x)] or [Error e] in
-    input order, so one failing item cannot discard its siblings'
-    results.  Determinism matches [map]: outcomes land in the slot of
-    their input regardless of scheduling. *)
-val map_result : t -> ('a -> 'b) -> 'a list -> ('b, exn) Stdlib.result list
+(** Outcome recorded for an input whose task was cancelled before it
+    started (see {!map_result}'s [?cancel]).  Never raised by the pool
+    itself — it only ever appears inside an [Error]. *)
+exception Cancelled
+
+(** [map_result ?cancel t f xs] is {!map} with per-item outcomes
+    instead of a fail-fast join: every element yields [Ok (f x)] or
+    [Error e] in input order, so one failing item cannot discard its
+    siblings' results.  Determinism matches [map]: outcomes land in the
+    slot of their input regardless of scheduling.
+
+    [cancel] enables cooperative cancellation: it is polled once per
+    task, immediately before the task would start.  Once it returns
+    true, tasks not yet started record [Error Cancelled] without
+    running [f], while tasks already in flight are drained to
+    completion and keep their real outcome — the join still returns one
+    well-formed result per input and the pool remains usable.  [cancel]
+    is called concurrently from every lane, so it must be thread-safe
+    and must not raise; reading a flag or polling a deadline both
+    qualify. *)
+val map_result :
+  ?cancel:(unit -> bool) -> t -> ('a -> 'b) -> 'a list ->
+  ('b, exn) Stdlib.result list
 
 (** [stats t] snapshots the instrumentation counters. *)
 val stats : t -> Stats.t

@@ -19,7 +19,11 @@ let of_string spec =
       (match String.trim kind with
       | "stall" -> Ok Socp.Stall
       | "nan" -> Ok Socp.Nan
-      | k -> Error (Printf.sprintf "unknown fault kind %S (expected stall or nan)" k))
+      | "slow" -> Ok Socp.Slow
+      | k ->
+        Error
+          (Printf.sprintf
+             "unknown fault kind %S (expected stall, nan or slow)" k))
     with
     | Error _ as e -> e
     | Ok kind ->
@@ -64,7 +68,12 @@ let of_string spec =
   end
 
 let to_string plan =
-  let kind = match plan.kind with Socp.Stall -> "stall" | Socp.Nan -> "nan" in
+  let kind =
+    match plan.kind with
+    | Socp.Stall -> "stall"
+    | Socp.Nan -> "nan"
+    | Socp.Slow -> "slow"
+  in
   let b = Buffer.create 32 in
   Buffer.add_string b kind;
   if plan.iteration <> 0 then

@@ -86,8 +86,11 @@ let solve_model ?policy ?(params = Socp.default_params) m =
       let final = List.rev trace in
       (match r.Model.status with
       (* Certificates are exact verdicts of the homogeneous embedding;
-         retrying could only burn time to reach the same answer. *)
-      | Socp.Optimal | Socp.Primal_infeasible | Socp.Dual_infeasible ->
+         retrying could only burn time to reach the same answer.  A
+         timed-out attempt is final too: the deadline that expired on
+         this rung can only be more expired on the next. *)
+      | Socp.Optimal | Socp.Primal_infeasible | Socp.Dual_infeasible
+      | Socp.Timed_out ->
         (r, final)
       | Socp.Iteration_limit | Socp.Stalled ->
         if rest = [] then (r, final) else climb (attempt_no + 1) trace rest)

@@ -60,15 +60,18 @@ let parse cfg text =
       end
       | _ -> fail lineno "expected 'budget <task> <value>' or 'capacity <buffer> <n>'")
     (String.split_on_char '\n' text);
+  (* Missing assignments have no line of their own; keep the 1-based
+     convention by blaming the last line of the input. *)
+  let last_line = max 1 (List.length (String.split_on_char '\n' text)) in
   List.iter
     (fun w ->
       if not (Hashtbl.mem budgets (Config.task_id w)) then
-        fail 0 "missing budget for task %s" (Config.task_name cfg w))
+        fail last_line "missing budget for task %s" (Config.task_name cfg w))
     (Config.all_tasks cfg);
   List.iter
     (fun b ->
       if not (Hashtbl.mem capacities (Config.buffer_id b)) then
-        fail 0 "missing capacity for buffer %s" (Config.buffer_name cfg b))
+        fail last_line "missing capacity for buffer %s" (Config.buffer_name cfg b))
     (Config.all_buffers cfg);
   {
     Config.budget = (fun w -> Hashtbl.find budgets (Config.task_id w));

@@ -24,7 +24,8 @@ val print : Config.t -> Format.formatter -> Config.mapped -> unit
     non-positive budgets and capacities below a buffer's initial tokens
     are rejected.
     @raise Parse_error with a 1-based line number on malformed or
-    incomplete input. *)
+    incomplete input (a missing assignment, having no line of its own,
+    is blamed on the last line). *)
 val parse : Config.t -> string -> Config.mapped
 
 (** [parse_file cfg path] reads a mapping from a file.

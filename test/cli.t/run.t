@@ -213,7 +213,7 @@ while the rest of the sweep survives:
 A malformed fault spec is rejected by the option parser:
 
   $ ../../bin/budgetbuf_cli.exe solve t1.cfg --fault wedge 2>&1 | head -1
-  budgetbuf: option '--fault': unknown fault kind "wedge" (expected stall or
+  budgetbuf: option '--fault': unknown fault kind "wedge" (expected stall, nan
 
 An impossible request that surfaces as an exception deep inside the
 libraries exits with a one-line error instead of an OCaml backtrace:
@@ -221,3 +221,84 @@ libraries exits with a one-line error instead of an OCaml backtrace:
   $ ../../bin/budgetbuf_cli.exe simulate t1.cfg t1.map --iterations 2
   budgetbuf: error: Sim.run: iterations must be >= 4
   [2]
+
+Durable sweeps (docs/robustness.md).  The dse subcommand sweeps a
+shared capacity cap against the minimal feasible period:
+
+  $ ../../bin/budgetbuf_cli.exe dse t1.cfg --caps 1:4
+  cap    min period  
+  1      4.0515      
+  2      2.0257      
+  3      1.3505      
+  4      1.0257      
+
+--resume journals every completed candidate and restores recorded ones
+on the next run — a finished sweep resumes without a single new solve:
+
+  $ ../../bin/budgetbuf_cli.exe dse t1.cfg --caps 1:4 --resume curve.journal > /dev/null
+  $ ../../bin/budgetbuf_cli.exe dse t1.cfg --caps 1:4 --resume curve.journal
+  resumed: 4/4 from journal
+  cap    min period  
+  1      4.0515      
+  2      2.0257      
+  3      1.3505      
+  4      1.0257      
+
+A torn final line — the mark of a crash mid-write — is truncated on
+load and the candidate it described is simply re-solved:
+
+  $ printf 'deadbeef done 9 torn' >> curve.journal
+  $ ../../bin/budgetbuf_cli.exe dse t1.cfg --caps 1:4 --resume curve.journal | head -1
+  resumed: 4/4 from journal
+
+The journal is fingerprinted against the exact configuration and sweep
+grid; resuming a different sweep against it is refused:
+
+  $ ../../bin/budgetbuf_cli.exe dse t1.cfg --caps 1:6 --resume curve.journal
+  error: resume journal curve.journal: fingerprint mismatch — the journal was written by a different configuration or sweep; delete it to start over
+  [1]
+
+tradeoff and pareto journal the same way:
+
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --resume caps.journal > /dev/null
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --resume caps.journal
+  resumed: 3/3 from journal
+  cap    wa           wb          
+  1      36.1078      36.1078     
+  2      31.2788      31.2788     
+  3      26.5089      26.5089     
+
+Deadline flags are validated up front, with the usual one-line-error,
+non-zero-exit convention:
+
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --deadline 0
+  error: --deadline must be positive
+  [1]
+
+  $ ../../bin/budgetbuf_cli.exe pareto t1.cfg --per-candidate-deadline=-1
+  error: --per-candidate-deadline must be positive
+  [1]
+
+  $ ../../bin/budgetbuf_cli.exe dse t1.cfg --deadline=0
+  error: --deadline must be positive
+  [1]
+
+  $ ../../bin/budgetbuf_cli.exe pareto t1.cfg --steps 0
+  error: --steps must be at least 1
+  [1]
+
+A whole-sweep deadline stops cleanly between candidates and reports
+how far it got (the count depends on timing, so only the summary
+line's presence is pinned):
+
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:6 --fault slow --deadline 0.2 | grep -c "^deadline: stopped after"
+  1
+
+A per-candidate deadline skips only the slow candidate — here injected
+on the second cap — while the sweep completes:
+
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --fault slow,only=1 --per-candidate-deadline 0.2
+  cap    wa           wb          
+  1      36.1078      36.1078     
+  3      26.5089      26.5089     
+  skipped: 1 (timed out)

@@ -862,6 +862,36 @@ let test_sdf_parse_lookup () =
   let _, find = Sdf_parse.of_string "actor x durations 1" in
   Alcotest.check_raises "unknown" Not_found (fun () -> ignore (find "y"))
 
+let prop_sdf_parse_total =
+  (* Arbitrary byte strings (not just printable text) must either parse
+     or raise Parse_error with a 1-based line — never escape with
+     another exception. *)
+  QCheck2.Test.make ~name:"Sdf_parse total on arbitrary bytes" ~count:500
+    QCheck2.Gen.string (fun junk ->
+      match Sdf_parse.of_string junk with
+      | _ -> true
+      | exception Sdf_parse.Parse_error (line, _) -> line >= 1)
+
+let prop_sdf_parse_total_mutated =
+  (* Valid descriptions with junk spliced anywhere exercise the deeper
+     branches (rate lists, channel endpoints) of the parser. *)
+  QCheck2.Test.make ~name:"Sdf_parse total on mutated descriptions"
+    ~count:300
+    QCheck2.Gen.(pair nat string)
+    (fun (pos, junk) ->
+      let base =
+        "actor a durations 2\nactor b durations 1,3\n\
+         channel a 2 -> b 1,1 initial 1\n"
+      in
+      let pos = pos mod (String.length base + 1) in
+      let mutated =
+        String.sub base 0 pos ^ junk
+        ^ String.sub base pos (String.length base - pos)
+      in
+      match Sdf_parse.of_string mutated with
+      | _ -> true
+      | exception Sdf_parse.Parse_error (line, _) -> line >= 1)
+
 
 
 (* ------------------------------------------------------------------ *)
@@ -1030,6 +1060,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_sdf_parse_basic;
           Alcotest.test_case "errors" `Quick test_sdf_parse_errors;
           Alcotest.test_case "lookup" `Quick test_sdf_parse_lookup;
+          QCheck_alcotest.to_alcotest prop_sdf_parse_total;
+          QCheck_alcotest.to_alcotest prop_sdf_parse_total_mutated;
         ] );
       ( "critical-cycle",
         [

@@ -269,6 +269,7 @@ let test_permanent_fault_fails_cleanly () =
   match solve_with "stall,attempts=all" with
   | Ok _ -> Alcotest.fail "permanent fault must not produce a mapping"
   | Error (Mapping.Infeasible _) -> Alcotest.fail "not an infeasibility"
+  | Error (Mapping.Timed_out _) -> Alcotest.fail "not a timeout"
   | Error (Mapping.Solver_failure msg as e) ->
     let contains needle hay =
       let n = String.length needle and h = String.length hay in

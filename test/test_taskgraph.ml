@@ -2,6 +2,7 @@
 
 module Config = Taskgraph.Config
 module Parse = Taskgraph.Parse
+module Mapped_io = Taskgraph.Mapped_io
 
 let check_float eps = Alcotest.(check (float eps))
 
@@ -226,13 +227,45 @@ let prop_parser_never_crashes =
       | _ -> true
       | exception Parse.Parse_error _ -> true)
 
+let prop_mapped_parser_total =
+  (* Arbitrary byte strings (not just printable mutations) must either
+     parse or raise Parse_error with a 1-based line — never escape with
+     another exception. *)
+  QCheck2.Test.make ~name:"Mapped_io.parse total on arbitrary bytes"
+    ~count:500 QCheck2.Gen.string (fun junk ->
+      let cfg, _, _, _, _, _, _, _ = sample () in
+      match Mapped_io.parse cfg junk with
+      | _ -> true
+      | exception Mapped_io.Parse_error (line, _) -> line >= 1)
+
+let prop_mapped_roundtrip_random =
+  (* print → parse round-trips any mapping whose budgets survive the
+     %g rendering exactly (integers up to six significant digits). *)
+  QCheck2.Test.make ~name:"Mapped_io print/parse round-trip" ~count:200
+    QCheck2.Gen.(
+      triple (int_range 1 999_999) (int_range 1 999_999) (int_range 1 10_000))
+    (fun (ba, bb, cap) ->
+      let cfg, _, _, _, _, wa, wb, b = sample () in
+      let mapped =
+        {
+          Config.budget =
+            (fun w ->
+              float_of_int
+                (if Config.task_id w = Config.task_id wa then ba else bb));
+          Config.capacity = (fun _ -> cap);
+        }
+      in
+      let text = Format.asprintf "%a" (Mapped_io.print cfg) mapped in
+      let back = Mapped_io.parse cfg text in
+      back.Config.budget wa = float_of_int ba
+      && back.Config.budget wb = float_of_int bb
+      && back.Config.capacity b = cap)
+
 
 
 (* ------------------------------------------------------------------ *)
 (* Mapped_io                                                           *)
 (* ------------------------------------------------------------------ *)
-
-module Mapped_io = Taskgraph.Mapped_io
 
 let sample_mapped (_cfg : Config.t) =
   {
@@ -250,29 +283,34 @@ let test_mapped_roundtrip () =
   Alcotest.(check int) "capacity" (mapped.Config.capacity b)
     (back.Config.capacity b)
 
-let expect_mapped_error cfg text =
+let expect_mapped_error ?line cfg text =
   match Mapped_io.parse cfg text with
-  | exception Mapped_io.Parse_error _ -> ()
+  | exception Mapped_io.Parse_error (l, _) -> begin
+    match line with
+    | None -> ()
+    | Some expected -> Alcotest.(check int) "line" expected l
+  end
   | _ -> Alcotest.fail "expected a parse error"
 
 let test_mapped_errors () =
   let cfg, _, _, _, _, _, _, _ = sample () in
-  (* missing entries *)
-  expect_mapped_error cfg "budget wa 4";
+  (* missing entries are blamed on the last line *)
+  expect_mapped_error ~line:1 cfg "budget wa 4";
+  expect_mapped_error ~line:1 cfg "";
   (* unknown names *)
-  expect_mapped_error cfg "budget nosuch 4";
-  expect_mapped_error cfg "capacity nosuch 4";
+  expect_mapped_error ~line:1 cfg "budget nosuch 4";
+  expect_mapped_error ~line:1 cfg "capacity nosuch 4";
   (* duplicates *)
-  expect_mapped_error cfg
+  expect_mapped_error ~line:2 cfg
     "budget wa 4\nbudget wa 5\nbudget wb 4\ncapacity bab 4";
   (* invalid values *)
-  expect_mapped_error cfg
+  expect_mapped_error ~line:1 cfg
     "budget wa 0\nbudget wb 4\ncapacity bab 4";
   (* capacity below initial tokens (bab has iota = 1... capacity 0) *)
-  expect_mapped_error cfg
+  expect_mapped_error ~line:3 cfg
     "budget wa 4\nbudget wb 4\ncapacity bab 0";
   (* junk line *)
-  expect_mapped_error cfg "hello world"
+  expect_mapped_error ~line:1 cfg "hello world"
 
 let test_mapped_comments_ok () =
   let cfg, _, _, _, _, wa, _, _ = sample () in
@@ -318,5 +356,8 @@ let () =
         ] );
       ( "fuzz",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_roundtrip_generated; prop_parser_never_crashes ] );
+          [
+            prop_roundtrip_generated; prop_parser_never_crashes;
+            prop_mapped_parser_total; prop_mapped_roundtrip_random;
+          ] );
     ]

@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- bench    # timing suite only
      dune exec bench/main.exe -- par      # parallel speedup report only
      dune exec bench/main.exe -- durable  # journal overhead report only
+     dune exec bench/main.exe -- certify  # certification overhead only
 
    [--jobs N] selects the domain-pool width for the experiment tables
    and the parallel speedup report (default: BUDGETBUF_JOBS, else the
@@ -369,6 +370,76 @@ let durable_report ppf =
   close_out oc;
   Format.fprintf ppf "  written: BENCH_durable.json@."
 
+(* ------------------------------------------------------------------ *)
+(* Exact-certification overhead: proof cost per candidate              *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock of [Certify.check] against the joint solve it certifies,
+   accumulated over an Experiment-2-style capacity sweep on the paper's
+   two instances plus a longer chain.  The target of docs/robustness.md
+   — certification under 10% of solve time per candidate — is reported,
+   not asserted.  Also written to BENCH_certify.json.  (The solve
+   denominator itself already contains one certification, so the ratio
+   is measured against the pessimistic baseline.) *)
+let certify_report ppf =
+  Format.fprintf ppf "@.=== Exact certification overhead ===@.@.";
+  let instances =
+    [
+      ("paper T1", Workloads.Gen.paper_t1 ());
+      ("paper T2", Workloads.Gen.paper_t2 ());
+      ("chain n=12", Workloads.Gen.chain ~n:12 ());
+    ]
+  in
+  let run (name, cfg) =
+    let buffers = Config.all_buffers cfg in
+    let solve_t = ref 0.0 and cert_t = ref 0.0 and n = ref 0 in
+    List.iter
+      (fun cap ->
+        let candidate = Config.copy cfg in
+        List.iter
+          (fun b -> Config.set_max_capacity candidate b (Some cap))
+          buffers;
+        let t0 = Unix.gettimeofday () in
+        match Mapping.solve candidate with
+        | Error _ -> ()
+        | Ok r ->
+          solve_t := !solve_t +. (Unix.gettimeofday () -. t0);
+          (* The certifier is far faster than the solve: average a
+             small batch so the clock granularity cannot dominate. *)
+          let reps = 10 in
+          let t1 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            ignore (Budgetbuf.Certify.check candidate r.Mapping.mapped)
+          done;
+          cert_t :=
+            !cert_t +. ((Unix.gettimeofday () -. t1) /. float_of_int reps);
+          incr n)
+      caps_1_10;
+    (name, !n, !solve_t, !cert_t)
+  in
+  let rows = List.map run instances in
+  List.iter
+    (fun (name, n, s, c) ->
+      Format.fprintf ppf
+        "  %-14s %2d candidates   solve %8.1f ms   certify %6.2f ms   \
+         (%.2f %%)@."
+        name n (1000.0 *. s) (1000.0 *. c)
+        (100.0 *. (c /. Float.max 1e-9 s)))
+    rows;
+  let n = List.fold_left (fun acc (_, n, _, _) -> acc + n) 0 rows in
+  let solve_s = List.fold_left (fun acc (_, _, s, _) -> acc +. s) 0.0 rows in
+  let cert_s = List.fold_left (fun acc (_, _, _, c) -> acc +. c) 0.0 rows in
+  let overhead_pct = 100.0 *. (cert_s /. Float.max 1e-9 solve_s) in
+  Format.fprintf ppf "  overhead:           %8.2f %% (target < 10 %%)@."
+    overhead_pct;
+  let oc = open_out "BENCH_certify.json" in
+  Printf.fprintf oc
+    "{ \"candidates\": %d, \"solve_s\": %.6f, \"certify_s\": %.6f, \
+     \"overhead_pct\": %.3f }\n"
+    n solve_s cert_s overhead_pct;
+  close_out oc;
+  Format.fprintf ppf "  written: BENCH_certify.json@."
+
 let () =
   let ppf = Format.std_formatter in
   let jobs =
@@ -407,6 +478,7 @@ let () =
     with_pool (fun pool -> Experiments.all ?pool ppf);
     par_report ~jobs:!jobs ppf;
     durable_report ppf;
+    certify_report ppf;
     bechamel_suite ()
   | [ "tables" ] -> with_pool (fun pool -> Experiments.all ?pool ppf)
   | [ "bench" ] ->
@@ -414,6 +486,7 @@ let () =
     bechamel_suite ()
   | [ "par" ] -> par_report ~jobs:!jobs ppf
   | [ "durable" ] -> durable_report ppf
+  | [ "certify" ] -> certify_report ppf
   | [ name ] -> begin
     match Experiments.by_name name with
     | Some _ ->
@@ -423,12 +496,14 @@ let () =
           | None -> assert false)
     | None ->
       Format.eprintf
-        "unknown experiment %S (expected: %s, tables, bench, par, durable)@."
+        "unknown experiment %S (expected: %s, tables, bench, par, durable, \
+         certify)@."
         name
         (String.concat ", " Experiments.names);
       exit 2
   end
   | _ ->
     Format.eprintf
-      "usage: main.exe [EXPERIMENT|tables|bench|par|durable] [--jobs N]@.";
+      "usage: main.exe [EXPERIMENT|tables|bench|par|durable|certify] [--jobs \
+       N]@.";
     exit 2

@@ -87,9 +87,11 @@ let fault_arg =
     & opt (some fault_conv) None
     & info [ "fault" ] ~docv:"SPEC"
         ~doc:
-          "Inject a deterministic solver fault, for exercising the \
-           recovery ladder: $(b,KIND[,iter=N][,attempts=N|all][,only=I]) \
-           with kind $(b,stall) or $(b,nan) (see docs/robustness.md).")
+          "Inject a deterministic fault, for exercising the recovery \
+           ladder and the exact certifier: \
+           $(b,KIND[,iter=N][,attempts=N|all][,only=I]) with kind \
+           $(b,stall), $(b,nan), $(b,slow) or $(b,bad_round) (see \
+           docs/robustness.md).")
 
 (* Resolves --fault (falling back to BUDGETBUF_FAULT) to a recovery
    policy for Mapping.solve and the sweep drivers. *)
@@ -97,6 +99,16 @@ let policy_of_fault fault =
   match fault with
   | Some plan -> { (Recovery.default_policy ()) with Recovery.fault = Some plan }
   | None -> Recovery.default_policy ()
+
+(* --certify: exact-certification summary on the sweep commands. *)
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Report how many of the sweep's reported mappings carry an exact \
+           rational certificate (see docs/robustness.md): one \
+           $(b,certified: n/m) summary line after the table.")
 
 (* ------------------------------------------------------------------ *)
 (* --resume / --deadline / --per-candidate-deadline: durable sweeps    *)
@@ -303,7 +315,13 @@ let do_solve () path simulate continuous output fault =
       (match r.Mapping.verification with
       | [] -> Format.printf "verification: ok@."
       | problems ->
-        List.iter (Format.printf "verification problem: %s@.") problems);
+        List.iter
+          (fun v ->
+            Format.printf "verification problem: %s@."
+              (Budgetbuf.Violation.to_string v))
+          problems);
+      Format.printf "certificate: %s@."
+        (Budgetbuf.Certify.summary r.Mapping.certificate);
       (match output with
       | None -> ()
       | Some file ->
@@ -329,7 +347,11 @@ let do_solve () path simulate continuous output fault =
                 (Config.period cfg g))
             (Config.graphs cfg)
       end);
-      if r.Mapping.verification = [] then 0 else 1
+      if
+        r.Mapping.verification = []
+        && Budgetbuf.Certify.certified r.Mapping.certificate
+      then 0
+      else 1
   end
 
 let solve_cmd =
@@ -390,8 +412,8 @@ let buffers_arg =
           "Comma-separated buffer names to cap (default: every buffer of \
            the configuration).")
 
-let do_tradeoff () path (lo, hi) buffer_names jobs fault resume deadline
-    candidate_deadline =
+let do_tradeoff () path (lo, hi) buffer_names jobs fault certify resume
+    deadline candidate_deadline =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -461,6 +483,21 @@ let do_tradeoff () path (lo, hi) buffer_names jobs fault resume deadline
         let reasons = List.sort_uniq compare (List.map snd skipped) in
         Format.printf "skipped: %d (%s)@." (List.length skipped)
           (String.concat ", " reasons));
+      if certify then begin
+        let solved =
+          List.filter_map
+            (fun (p : Tradeoff.point) ->
+              match p.Tradeoff.result with Ok r -> Some r | Error _ -> None)
+            points
+        in
+        let n =
+          List.length
+            (List.filter
+               (fun r -> Budgetbuf.Certify.certified r.Mapping.certificate)
+               solved)
+        in
+        Format.printf "certified: %d/%d@." n (List.length solved)
+      end;
       0
   end
 
@@ -470,7 +507,7 @@ let tradeoff_cmd =
     (Cmd.info "tradeoff" ~doc)
     Term.(
       const do_tradeoff $ logs_term $ file_arg $ caps_arg $ buffers_arg
-      $ jobs_arg $ fault_arg $ resume_arg $ deadline_arg
+      $ jobs_arg $ fault_arg $ certify_arg $ resume_arg $ deadline_arg
       $ candidate_deadline_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -613,7 +650,10 @@ let do_check () path mapped_path =
           (Config.graphs cfg);
         0
       | problems ->
-        List.iter (Format.printf "violation: %s@.") problems;
+        List.iter
+          (fun v ->
+            Format.printf "violation: %s@." (Budgetbuf.Violation.to_string v))
+          problems;
         1
     end
   end
@@ -622,6 +662,41 @@ let check_cmd =
   let doc = "verify a stored mapping against its configuration" in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const do_check $ logs_term $ file_arg $ mapped_arg)
+
+(* ------------------------------------------------------------------ *)
+(* certify: exact rational proof for a stored mapping                  *)
+(* ------------------------------------------------------------------ *)
+
+let do_certify () path mapped_path =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg -> begin
+    match load_mapped cfg mapped_path with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok mapped ->
+      let cert = Budgetbuf.Certify.check cfg mapped in
+      (match cert with
+      | Budgetbuf.Certify.Certified w ->
+        List.iter
+          (fun (actor, start) ->
+            Format.printf "start %s = %s@." actor (Exact.Rat.to_string start))
+          w.Budgetbuf.Certify.starts
+      | Budgetbuf.Certify.Refuted _ -> ());
+      Format.printf "certificate: %s@." (Budgetbuf.Certify.summary cert);
+      if Budgetbuf.Certify.certified cert then 0 else 1
+  end
+
+let certify_cmd =
+  let doc =
+    "certify a stored mapping with exact rational arithmetic (machine-checkable \
+     proof or refutation)"
+  in
+  Cmd.v (Cmd.info "certify" ~doc)
+    Term.(const do_certify $ logs_term $ file_arg $ mapped_arg)
 
 let iterations_arg =
   Arg.(
@@ -707,7 +782,8 @@ let steps_arg =
     value & opt int 9
     & info [ "steps" ] ~docv:"N" ~doc:"Number of weight ratios to sweep.")
 
-let do_pareto () path steps jobs fault resume deadline candidate_deadline =
+let do_pareto () path steps jobs fault certify resume deadline
+    candidate_deadline =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -738,10 +814,22 @@ let do_pareto () path steps jobs fault resume deadline candidate_deadline =
           Format.printf "skipped: %d (%s)@." (List.length skipped)
             (String.concat ", " reasons)
       in
+      let print_certified points =
+        if certify then
+          let n =
+            List.length
+              (List.filter
+                 (fun (p : Budgetbuf.Pareto.point) ->
+                   p.Budgetbuf.Pareto.certified)
+                 points)
+          in
+          Format.printf "certified: %d/%d@." n (List.length points)
+      in
       (match sweep.Budgetbuf.Pareto.points with
       | [] ->
         Format.printf "no feasible point@.";
         print_skipped ();
+        print_certified [];
         1
       | points ->
         Format.printf "%-14s %-16s %-12s@." "weight ratio" "sum of budgets"
@@ -753,6 +841,7 @@ let do_pareto () path steps jobs fault resume deadline candidate_deadline =
               p.Budgetbuf.Pareto.buffer_containers)
           points;
         print_skipped ();
+        print_certified points;
         0)
 
 let pareto_cmd =
@@ -760,13 +849,15 @@ let pareto_cmd =
   Cmd.v (Cmd.info "pareto" ~doc)
     Term.(
       const do_pareto $ logs_term $ file_arg $ steps_arg $ jobs_arg
-      $ fault_arg $ resume_arg $ deadline_arg $ candidate_deadline_arg)
+      $ fault_arg $ certify_arg $ resume_arg $ deadline_arg
+      $ candidate_deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dse                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let do_dse () path (lo, hi) jobs fault resume deadline candidate_deadline =
+let do_dse () path (lo, hi) jobs fault certify resume deadline
+    candidate_deadline =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -808,6 +899,23 @@ let do_dse () path (lo, hi) jobs fault resume deadline candidate_deadline =
         let reasons = List.sort_uniq compare (List.map snd skipped) in
         Format.printf "skipped: %d (%s)@." (List.length skipped)
           (String.concat ", " reasons));
+      if certify then begin
+        let feasible =
+          List.filter
+            (fun (p : Budgetbuf.Dse.curve_point) ->
+              match p.Budgetbuf.Dse.outcome with
+              | Ok (Some _) -> true
+              | Ok None | Error _ -> false)
+            points
+        in
+        let n =
+          List.length
+            (List.filter
+               (fun (p : Budgetbuf.Dse.curve_point) -> p.Budgetbuf.Dse.certified)
+               feasible)
+        in
+        Format.printf "certified: %d/%d@." n (List.length feasible)
+      end;
       0
 
 let dse_cmd =
@@ -818,7 +926,7 @@ let dse_cmd =
   Cmd.v (Cmd.info "dse" ~doc)
     Term.(
       const do_dse $ logs_term $ file_arg $ caps_arg $ jobs_arg $ fault_arg
-      $ resume_arg $ deadline_arg $ candidate_deadline_arg)
+      $ certify_arg $ resume_arg $ deadline_arg $ candidate_deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bind                                                                *)
@@ -1118,8 +1226,8 @@ let main_cmd =
     (Cmd.info "budgetbuf" ~version:"1.0.0" ~doc)
     [
       solve_cmd; validate_cmd; tradeoff_cmd; experiment_cmd; generate_cmd;
-      pareto_cmd; dse_cmd; bind_cmd; latency_cmd; check_cmd; simulate_cmd;
-      dot_cmd;
+      pareto_cmd; dse_cmd; bind_cmd; latency_cmd; check_cmd; certify_cmd;
+      simulate_cmd; dot_cmd;
       sdf_cmd; analyze_cmd; report_cmd;
     ]
 

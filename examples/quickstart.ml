@@ -56,7 +56,13 @@ let () =
     (match result.Mapping.verification with
     | [] -> Format.printf "verification: PAS exists at period 10, all capacities respected@."
     | problems ->
-      List.iter (Format.printf "verification problem: %s@.") problems);
+      List.iter
+        (fun v ->
+          Format.printf "verification problem: %s@."
+            (Budgetbuf.Violation.to_string v))
+        problems);
+    Format.printf "exact certificate: %s@."
+      (Budgetbuf.Certify.summary result.Mapping.certificate);
     (* Cross-validate on the TDM discrete-event simulator. *)
     (match Tdm_sim.Sim.run cfg result.Mapping.mapped ~iterations:1000 () with
     | Error e -> Format.printf "simulation failed: %s@." e

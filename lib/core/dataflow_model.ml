@@ -117,12 +117,13 @@ let latency_of cfg g (mapped : Config.mapped) =
 
 let verify cfg (mapped : Config.mapped) =
   let problems = ref [] in
-  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let add v = problems := v :: !problems in
   List.iter
     (fun g ->
       if not (throughput_ok cfg g mapped) then
-        add "task graph %s: no periodic schedule with period %g exists"
-          (Config.graph_name cfg g) (Config.period cfg g))
+        add
+          (Violation.Throughput
+             { graph = Config.graph_name cfg g; period = Config.period cfg g }))
     (Config.graphs cfg);
   List.iter
     (fun p ->
@@ -133,9 +134,13 @@ let verify cfg (mapped : Config.mapped) =
           (Config.tasks_on cfg p)
       in
       if used > Config.replenishment cfg p +. 1e-9 then
-        add "processor %s: allocated budgets %g exceed the interval %g"
-          (Config.proc_name cfg p) used
-          (Config.replenishment cfg p))
+        add
+          (Violation.Processor_capacity
+             {
+               proc = Config.proc_name cfg p;
+               used;
+               capacity = Config.replenishment cfg p;
+             }))
     (Config.processors cfg);
   List.iter
     (fun m ->
@@ -146,9 +151,13 @@ let verify cfg (mapped : Config.mapped) =
           0 (Config.buffers_in cfg m)
       in
       if used > Config.memory_capacity cfg m then
-        add "memory %s: buffer footprint %d exceeds capacity %d"
-          (Config.memory_name cfg m) used
-          (Config.memory_capacity cfg m))
+        add
+          (Violation.Memory_capacity
+             {
+               memory = Config.memory_name cfg m;
+               used;
+               capacity = Config.memory_capacity cfg m;
+             }))
     (Config.memories cfg);
   List.iter
     (fun g ->
@@ -159,18 +168,22 @@ let verify cfg (mapped : Config.mapped) =
         | None -> () (* throughput check already reported the failure *)
         | Some l ->
           if l > bound +. 1e-6 then
-            add "task graph %s: latency %g exceeds its bound %g"
-              (Config.graph_name cfg g) l bound
+            add
+              (Violation.Latency
+                 { graph = Config.graph_name cfg g; latency = l; bound })
       end)
     (Config.graphs cfg);
   List.iter
     (fun b ->
       match Config.max_capacity cfg b with
       | Some cap when mapped.Config.capacity b > cap ->
-        add "buffer %s: capacity %d exceeds its bound %d"
-          (Config.buffer_name cfg b)
-          (mapped.Config.capacity b)
-          cap
+        add
+          (Violation.Buffer_bound
+             {
+               buffer = Config.buffer_name cfg b;
+               capacity = mapped.Config.capacity b;
+               bound = cap;
+             })
       | Some _ | None -> ())
     (Config.all_buffers cfg);
   List.rev !problems

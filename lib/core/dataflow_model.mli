@@ -47,9 +47,9 @@ val throughput_ok :
 (** [verify cfg mapped] checks the whole mapped configuration:
     throughput of every task graph (via {!throughput_ok}), processor
     budget capacity (Constraint (4) plus overhead), and memory
-    capacity.  Returns the list of violations, empty when the mapping
-    is valid. *)
-val verify : Taskgraph.Config.t -> Taskgraph.Config.mapped -> string list
+    capacity.  Returns the list of structured violations, empty when
+    the mapping is valid; render with {!Violation.to_string}. *)
+val verify : Taskgraph.Config.t -> Taskgraph.Config.mapped -> Violation.t list
 
 (** [min_feasible_period cfg g mapped] is the smallest period the
     mapped graph can sustain (its SRDF maximum cycle ratio), useful for

@@ -13,7 +13,7 @@ let with_periods cfg ~scale =
 exception Probe_expired
 
 let min_period_scale ?(tolerance = 1e-4) ?params ?policy ?on_probe ?on_failure
-    cfg =
+    ?on_feasible cfg =
   (* One mutable clone serves every probe: only the periods change
      between probes, so rescaling them in place beats rebuilding the
      whole configuration each time. *)
@@ -23,7 +23,10 @@ let min_period_scale ?(tolerance = 1e-4) ?params ?policy ?on_probe ?on_failure
     (match on_probe with None -> () | Some f -> f scale);
     List.iter (fun (g, mu) -> Config.set_period probe_cfg g (mu *. scale)) base;
     match Mapping.solve ?params ?policy probe_cfg with
-    | Ok r -> r.Mapping.verification = []
+    | Ok r ->
+      let ok = r.Mapping.verification = [] in
+      if ok then (match on_feasible with None -> () | Some f -> f r);
+      ok
     | Error (Mapping.Solver_failure _ as e) ->
       (* A solver failure is not an infeasibility verdict: let callers
          (the sweep drivers) distinguish a broken probe from a genuine
@@ -70,6 +73,7 @@ let min_period_scale ?(tolerance = 1e-4) ?params ?policy ?on_probe ?on_failure
 type curve_point = {
   cap : int;
   outcome : (float option, string) Stdlib.result;
+  certified : bool;
 }
 
 let curve_points points =
@@ -89,20 +93,37 @@ let curve_skipped points =
    this run's deadline, not of the instance, so a resume retries it. *)
 let encode_point p =
   match p.outcome with
-  | Ok (Some period) -> Some ("period " ^ Durability.float_to_token period)
+  | Ok (Some period) ->
+    Some
+      (String.concat " "
+         [
+           "period";
+           Durability.float_to_token period;
+           (if p.certified then "cert" else "uncert");
+         ])
   | Ok None -> Some "infeasible"
   | Error reason ->
     if String.equal reason "timed out" then None
     else Some (Printf.sprintf "skip %S" reason)
 
 let decode_point cap payload =
-  if String.equal payload "infeasible" then Some { cap; outcome = Ok None }
+  if String.equal payload "infeasible" then
+    Some { cap; outcome = Ok None; certified = false }
   else
     match
       let ib = Scanf.Scanning.from_string payload in
       match Durability.scan_token ib with
-      | "period" -> Some { cap; outcome = Ok (Some (Durability.scan_float ib)) }
-      | "skip" -> Some { cap; outcome = Error (Durability.scan_quoted ib) }
+      | "period" ->
+        let period = Durability.scan_float ib in
+        let certified =
+          match Durability.scan_token ib with
+          | "cert" -> true
+          | "uncert" -> false
+          | _ -> raise (Scanf.Scan_failure "malformed certification token")
+        in
+        Some { cap; outcome = Ok (Some period); certified }
+      | "skip" ->
+        Some { cap; outcome = Error (Durability.scan_quoted ib); certified = false }
       | _ -> None
     with
     | v -> v
@@ -131,13 +152,21 @@ let throughput_curve ?params ?policy ?pool ?deadline ?candidate_deadline
     let on_failure e =
       if !failed = None then failed := Some (Mapping.short_reason e)
     in
+    (* The bisection only ever narrows [hi] onto feasible probes, so
+       the last feasible probe *is* the accepted period: its
+       certificate decides the point's [certified] verdict. *)
+    let last_certified = ref false in
+    let on_feasible r =
+      last_certified := Certify.certified r.Mapping.certificate
+    in
     match
       let capped = Config.copy cfg in
       List.iter
         (fun b -> Config.set_max_capacity capped b (Some cap))
         (Config.all_buffers capped);
       match
-        min_period_scale ?params ~policy:candidate_policy ~on_failure capped
+        min_period_scale ?params ~policy:candidate_policy ~on_failure
+          ~on_feasible capped
       with
       | None -> None
       | Some scale -> begin
@@ -146,16 +175,21 @@ let throughput_curve ?params ?policy ?pool ?deadline ?candidate_deadline
         | [] -> None
       end
     with
-    | Some period -> { cap; outcome = Ok (Some period) }
+    | Some period ->
+      { cap; outcome = Ok (Some period); certified = !last_certified }
     | None -> begin
       (* No feasible scale: an infeasibility verdict everywhere is the
          honest [Ok None]; a failing solver is a skip with a reason. *)
       match !failed with
-      | Some reason -> { cap; outcome = Error reason }
-      | None -> { cap; outcome = Ok None }
+      | Some reason -> { cap; outcome = Error reason; certified = false }
+      | None -> { cap; outcome = Ok None; certified = false }
     end
     | exception e ->
-      { cap; outcome = Error ("uncaught exception: " ^ Printexc.to_string e) }
+      {
+        cap;
+        outcome = Error ("uncaught exception: " ^ Printexc.to_string e);
+        certified = false;
+      }
   in
   let results, progress =
     Durable.Sweep.run ?pool ?journal ~deadline ?cancel ~encode:encode_point

@@ -31,7 +31,12 @@ val with_periods : Taskgraph.Config.t -> scale:float -> Taskgraph.Config.t
     silently regress.  [on_failure] is called with every probe error
     that is a solver failure (not an infeasibility verdict): the sweep
     drivers use it to tell a broken candidate from a genuine dead end
-    and report it as skipped instead of infeasible.
+    and report it as skipped instead of infeasible.  [on_feasible] is
+    called with the full {!Mapping.result} of every probe that passes
+    verification; because the bisection only ever narrows onto feasible
+    probes, the last such call describes the accepted scale — the sweep
+    drivers use it to read the exact certificate ({!Certify}) of the
+    mapping behind the answer.
 
     When [params] carries a {!Conic.Socp.params.deadline} and a probe
     times out, the whole search is abandoned ([None]) after reporting
@@ -43,6 +48,7 @@ val min_period_scale :
   ?policy:Robust.Recovery.policy ->
   ?on_probe:(float -> unit) ->
   ?on_failure:(Mapping.error -> unit) ->
+  ?on_feasible:(Mapping.result -> unit) ->
   Taskgraph.Config.t ->
   float option
 
@@ -52,10 +58,15 @@ val min_period_scale :
     [Error reason] when the candidate failed rather than proved
     infeasible — its solver failed past the whole recovery ladder, or
     its evaluation crashed (the sweep carries on — see
-    {!Parallel.Pool.map_result}). *)
+    {!Parallel.Pool.map_result}).  [certified] reports whether the
+    mapping behind the accepted period carries an exact rational
+    certificate ({!Certify}); it is only meaningful for
+    [Ok (Some _)] outcomes and [false] otherwise.  The flag is
+    journaled, so a restored point keeps the original verdict. *)
 type curve_point = {
   cap : int;
   outcome : (float option, string) Stdlib.result;
+  certified : bool;
 }
 
 (** [curve_points points] keeps the feasible [(cap, period)] pairs, in

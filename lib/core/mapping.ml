@@ -17,7 +17,8 @@ type result = {
   continuous : Socp_builder.continuous;
   objective : float;
   rounded_objective : float;
-  verification : string list;
+  verification : Violation.t list;
+  certificate : Certify.t;
   sim_check : string list;
   recovery : Recovery.trace;
   stats : stats;
@@ -116,13 +117,44 @@ let rounded_objective_of cfg (mapped : Config.mapped) =
                  * (mapped.Config.capacity b - Config.initial_tokens cfg b)))
        0.0 (Config.all_buffers cfg)
 
+(* The [bad_round] fault: corrupt the rounded solution — one budget
+   down a granule (or, lacking tasks, one capacity down a container) —
+   so tests can pin the exact-certification refutation path against a
+   mapping that is wrong by construction. *)
+let corrupt_rounding cfg (mapped : Config.mapped) =
+  match Config.all_tasks cfg with
+  | w :: _ ->
+    let victim = Config.task_id w in
+    let bad = mapped.Config.budget w -. Config.granularity cfg in
+    {
+      mapped with
+      Config.budget =
+        (fun w' ->
+          if Config.task_id w' = victim then bad else mapped.Config.budget w');
+    }
+  | [] -> begin
+    match Config.all_buffers cfg with
+    | b :: _ ->
+      let victim = Config.buffer_id b in
+      let bad = mapped.Config.capacity b - 1 in
+      {
+        mapped with
+        Config.capacity =
+          (fun b' ->
+            if Config.buffer_id b' = victim then bad
+            else mapped.Config.capacity b');
+      }
+    | [] -> mapped
+  end
+
 (* Round and certify an Optimal continuous point.  Certification is in
-   two tiers: the Bellman–Ford re-verification (exact, reported in
-   [verification] as before) always runs; on a *recovered* solve the
-   mapping must additionally pass it — and the simulation hard check —
-   or the degraded solve is turned into an error rather than silently
+   three tiers: the float Bellman–Ford re-verification (reported in
+   [verification] as before) and the exact rational certificate
+   ([certificate]) always run; on a *recovered* solve the mapping must
+   additionally pass both — and the simulation hard check — or the
+   degraded solve is turned into an error rather than silently
    returned. *)
-let finish_optimal cfg builder result trace stats =
+let finish_optimal cfg ~policy builder result trace stats =
   let continuous = Socp_builder.extract cfg builder result in
   let granularity = Config.granularity cfg in
   let mapped_with eps =
@@ -148,49 +180,66 @@ let finish_optimal cfg builder result trace stats =
       Config.capacity = (fun b -> List.assoc (Config.buffer_id b) capacities);
     }
   in
-  (* Snap near-grid values first; if the exact re-check rejects that
-     (possible only when the optimum genuinely sits past a grid
-     point), fall back to the strictly conservative rounding. *)
-  let mapped =
-    let snapped = mapped_with Rounding.round_eps in
-    if Dataflow_model.verify cfg snapped = [] then snapped
-    else mapped_with 0.0
-  in
-  let verification = Dataflow_model.verify cfg mapped in
-  let sim_check = sim_cross_check cfg mapped in
-  if Recovery.recovered trace && verification <> [] then
+  match
+    (* Snap near-grid values first; if either re-check rejects that
+       (possible only when the optimum genuinely sits past a grid
+       point — the exact certifier decides the boundary the float
+       check cannot), fall back to the strictly conservative
+       rounding. *)
+    let mapped, verification, certificate =
+      let snapped = mapped_with Rounding.round_eps in
+      let v = Dataflow_model.verify cfg snapped in
+      let c = Certify.check cfg snapped in
+      if v = [] && Certify.certified c then (snapped, v, c)
+      else
+        let strict = mapped_with 0.0 in
+        (strict, Dataflow_model.verify cfg strict, Certify.check cfg strict)
+    in
+    if Fault.corrupts_rounding policy.Recovery.fault then
+      let bad = corrupt_rounding cfg mapped in
+      (bad, Dataflow_model.verify cfg bad, Certify.check cfg bad)
+    else (mapped, verification, certificate)
+  with
+  | exception Rounding.Non_finite { what; value } ->
     Error
       (Solver_failure
-         (Format.asprintf
-            "stalled recovery produced an uncertifiable mapping (%s) after \
-             %d attempt(s) (%a)"
-            (String.concat "; " verification)
-            (Recovery.attempts trace) Recovery.pp_trace trace))
-  else
-    match
-      if Recovery.recovered trace && verification = [] then
-        sim_hard_failure cfg mapped
-      else None
-    with
-    | Some msg ->
+         (Printf.sprintf
+            "non-finite %s %h emitted by the solver; rounding refused" what
+            value))
+  | mapped, verification, certificate ->
+    let sim_check = sim_cross_check cfg mapped in
+    let uncertifiable msg =
       Error
         (Solver_failure
            (Format.asprintf
               "stalled recovery produced an uncertifiable mapping (%s) after \
                %d attempt(s) (%a)"
               msg (Recovery.attempts trace) Recovery.pp_trace trace))
-    | None ->
-      Ok
-        {
-          mapped;
-          continuous;
-          objective = continuous.Socp_builder.objective;
-          rounded_objective = rounded_objective_of cfg mapped;
-          verification;
-          sim_check;
-          recovery = trace;
-          stats;
-        }
+    in
+    if Recovery.recovered trace && verification <> [] then
+      uncertifiable
+        (String.concat "; " (List.map Violation.to_string verification))
+    else if Recovery.recovered trace && not (Certify.certified certificate)
+    then uncertifiable (Certify.summary certificate)
+    else
+      (match
+         if Recovery.recovered trace then sim_hard_failure cfg mapped
+         else None
+       with
+      | Some msg -> uncertifiable msg
+      | None ->
+        Ok
+          {
+            mapped;
+            continuous;
+            objective = continuous.Socp_builder.objective;
+            rounded_objective = rounded_objective_of cfg mapped;
+            verification;
+            certificate;
+            sim_check;
+            recovery = trace;
+            stats;
+          })
 
 (* Last rung of the ladder: when every cone-solver attempt stalled,
    restate the problem on the exact-simplex path — Fair_share budgets
@@ -216,8 +265,12 @@ let fallback_lp cfg trace stats final_status =
   | Ok tp ->
     let mapped = tp.Two_phase.mapped in
     let verification = Dataflow_model.verify cfg mapped in
+    let certificate = tp.Two_phase.certificate in
     let hard =
-      if verification <> [] then Some (String.concat "; " verification)
+      if verification <> [] then
+        Some (String.concat "; " (List.map Violation.to_string verification))
+      else if not (Certify.certified certificate) then
+        Some (Certify.summary certificate)
       else sim_hard_failure cfg mapped
     in
     (match hard with
@@ -252,6 +305,7 @@ let fallback_lp cfg trace stats final_status =
           objective = tp.Two_phase.objective;
           rounded_objective = tp.Two_phase.objective;
           verification;
+          certificate;
           sim_check = sim_cross_check cfg mapped;
           recovery = trace;
           stats = { stats with attempts = stats.attempts + 1 };
@@ -307,4 +361,4 @@ let solve ?params ?policy cfg =
               Socp.pp_status result.Model.status (Recovery.attempts trace)
               Recovery.pp_trace trace))
     else fallback_lp cfg trace stats result.Model.status
-  | Socp.Optimal -> finish_optimal cfg builder result trace stats
+  | Socp.Optimal -> finish_optimal cfg ~policy builder result trace stats

@@ -4,12 +4,13 @@
     [solve] builds Algorithm 1 for the whole configuration, runs the
     interior-point solver under the {!Robust.Recovery} ladder, applies
     the conservative roundings [β = g·⌈β′/g⌉] and [γ = ι + ⌈δ′⌉], and
-    re-verifies the rounded mapping against the exact dataflow
-    feasibility test (Constraint (1) via Bellman–Ford), the processor
-    budget capacities and the memory capacities, plus a TDM-simulation
-    cross-check.  By the monotonicity argument of Section IV the
-    verification must succeed whenever the solver returned an optimal
-    continuous point; it is nevertheless checked and reported.
+    re-verifies the rounded mapping against the dataflow feasibility
+    test (Constraint (1) via Bellman–Ford), the processor budget
+    capacities and the memory capacities, plus a TDM-simulation
+    cross-check and an exact rational certificate ({!Certify}).  By
+    the monotonicity argument of Section IV the verification must
+    succeed whenever the solver returned an optimal continuous point;
+    it is nevertheless checked and reported.
 
     Resilience (docs/robustness.md): when the cone solve stalls, the
     recovery ladder retries with relaxed tolerances, a deeper iteration
@@ -35,9 +36,15 @@ type result = {
   objective : float;  (** continuous optimum of Objective (5) *)
   rounded_objective : float;
       (** Objective (5) evaluated on the rounded β, γ *)
-  verification : string list;
+  verification : Violation.t list;
       (** violations found when re-checking the rounded mapping with
-          the exact dataflow test; empty in normal operation *)
+          the float dataflow test; empty in normal operation *)
+  certificate : Certify.t;
+      (** exact rational certificate of the rounded mapping:
+          [Certified] with the start-time witness, or [Refuted] with
+          the violated constraint / positive-cycle witness.  Always
+          computed; a {e recovered} solve that fails it is turned into
+          an error instead of being returned *)
   sim_check : string list;
       (** TDM-simulation cross-check notes (measured period beyond the
           required period by more than a startup margin, or a failed

@@ -7,6 +7,7 @@ type point = {
   budget_sum : float;
   buffer_containers : int;
   rounded_objective : float;
+  certified : bool;
 }
 
 type sweep = { points : point list; skipped : (float * string) list }
@@ -29,6 +30,7 @@ let encode_outcome = function
            Durability.float_to_token p.budget_sum;
            string_of_int p.buffer_containers;
            Durability.float_to_token p.rounded_objective;
+           (if p.certified then "cert" else "uncert");
          ])
   | `Infeasible -> Some "infeasible"
   | `Skipped (ratio, reason) ->
@@ -48,8 +50,21 @@ let decode_outcome payload =
         let budget_sum = Durability.scan_float ib in
         let buffer_containers = Durability.scan_int ib in
         let rounded_objective = Durability.scan_float ib in
+        let certified =
+          match Durability.scan_token ib with
+          | "cert" -> true
+          | "uncert" -> false
+          | _ -> raise (Scanf.Scan_failure "malformed certification token")
+        in
         Some
-          (`Point { weight_ratio; budget_sum; buffer_containers; rounded_objective })
+          (`Point
+            {
+              weight_ratio;
+              budget_sum;
+              buffer_containers;
+              rounded_objective;
+              certified;
+            })
       | "skip" ->
         let ratio = Durability.scan_float ib in
         Some (`Skipped (ratio, Durability.scan_quoted ib))
@@ -112,6 +127,7 @@ let frontier ?(steps = 9) ?params ?policy ?pool ?deadline ?candidate_deadline
           budget_sum;
           buffer_containers;
           rounded_objective = r.Mapping.rounded_objective;
+          certified = Certify.certified r.Mapping.certificate;
         }
     | Error (Mapping.Infeasible _) -> `Infeasible
     | Error ((Mapping.Solver_failure _ | Mapping.Timed_out _) as e) ->

@@ -15,6 +15,10 @@ type point = {
   buffer_containers : int;
       (** Σ γ(b) of the rounded mapping (total containers) *)
   rounded_objective : float;
+  certified : bool;
+      (** whether the rounded mapping behind this point carries an
+          exact rational certificate (see {!Certify}); journaled, so a
+          restored point keeps the original verdict *)
 }
 
 (** A frontier sweep: the surviving non-dominated points plus the

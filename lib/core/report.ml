@@ -85,7 +85,7 @@ let build cfg (mapped : Config.mapped) =
     processors;
     memories;
     graphs;
-    violations = Dataflow_model.verify cfg mapped;
+    violations = List.map Violation.to_string (Dataflow_model.verify cfg mapped);
   }
 
 let pp cfg ppf t =

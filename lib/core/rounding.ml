@@ -4,11 +4,21 @@
    strict (eps = 0) rounding should the snap ever be unsound. *)
 let round_eps = 1e-6
 
+exception Non_finite of { what : string; value : float }
+
+(* A NaN or infinite solver output would flow straight through
+   [ceil]/[int_of_float] into garbage (NaN budgets, 0 capacities);
+   refuse loudly with a typed error the recovery ladder can catch. *)
+let ensure_finite what value =
+  if not (Float.is_finite value) then raise (Non_finite { what; value })
+
 let round_budget_eps ~eps ~granularity beta' =
+  ensure_finite "budget" beta';
   let q = ceil ((beta' /. granularity) -. eps) in
   granularity *. Float.max 1.0 q
 
 let round_capacity_eps ~eps ~initial_tokens delta' =
+  ensure_finite "buffer space" delta';
   let q = int_of_float (ceil (delta' -. eps)) in
   Int.max 1 (initial_tokens + Int.max 0 q)
 

@@ -12,6 +12,11 @@
     It matches the solver accuracy (1e-6). *)
 val round_eps : float
 
+(** Raised (instead of rounding garbage) when a solver output reaching
+    the grid is NaN or infinite; [what] is ["budget"] or
+    ["buffer space"]. *)
+exception Non_finite of { what : string; value : float }
+
 val round_budget_eps : eps:float -> granularity:float -> float -> float
 val round_capacity_eps : eps:float -> initial_tokens:int -> float -> int
 

@@ -13,8 +13,12 @@ type point = {
    buffer (in dense-id order), the rounded mapping, and the
    verification / sim-check notes.  The recovery trace and timing stats
    are *not* journaled — a restored point reports [recovery = []] and
-   zeroed stats, documented as "restored from journal".  A timed-out
-   candidate is never journaled, so a resume retries it. *)
+   zeroed stats, documented as "restored from journal".  The exact
+   certificate is not journaled either, deliberately: the decoder
+   re-certifies the restored mapping against the candidate
+   configuration, so the CRC guards the bits and the certifier guards
+   the meaning.  A timed-out candidate is never journaled, so a resume
+   retries it. *)
 let encode_result cfg (r : Mapping.result) =
   let buf = Buffer.create 256 in
   let tok s =
@@ -44,7 +48,9 @@ let encode_result cfg (r : Mapping.result) =
     buffers;
   tok "v";
   tok (string_of_int (List.length r.Mapping.verification));
-  List.iter (fun n -> tok (Printf.sprintf "%S" n)) r.Mapping.verification;
+  List.iter
+    (fun v -> tok (Printf.sprintf "%S" (Violation.encode v)))
+    r.Mapping.verification;
   tok "s";
   tok (string_of_int (List.length r.Mapping.sim_check));
   List.iter (fun n -> tok (Printf.sprintf "%S" n)) r.Mapping.sim_check;
@@ -57,7 +63,10 @@ let encode_point cfg p =
   | Error (Mapping.Solver_failure msg) -> Some (Printf.sprintf "failure %S" msg)
   | Error (Mapping.Timed_out _) -> None
 
-let decode_result cfg ib =
+(* [candidate] is the capped clone the point was originally solved on:
+   the restored mapping is re-certified against it, not merely
+   replayed. *)
+let decode_result cfg ~candidate ib =
   let module D = Durability in
   let obj = D.scan_float ib and robj = D.scan_float ib in
   let tasks = Config.all_tasks cfg and buffers = Config.all_buffers cfg in
@@ -89,16 +98,25 @@ let decode_result cfg ib =
     D.expect_token ib tag;
     List.init (D.scan_int ib) (fun _ -> ()) |> List.map (fun () -> D.scan_quoted ib)
   in
-  let verification = scan_notes "v" in
+  let verification =
+    List.map
+      (fun s ->
+        match Violation.decode s with
+        | Some v -> v
+        | None -> raise (Scanf.Scan_failure "malformed violation"))
+      (scan_notes "v")
+  in
   let sim_check = scan_notes "s" in
   let task_field pick w = pick (List.assoc (Config.task_id w) per_task) in
   let buffer_field pick b = pick (List.assoc (Config.buffer_id b) per_buffer) in
+  let mapped =
+    {
+      Config.budget = task_field (fun (_, _, m) -> m);
+      Config.capacity = buffer_field (fun (_, _, m) -> m);
+    }
+  in
   {
-    Mapping.mapped =
-      {
-        Config.budget = task_field (fun (_, _, m) -> m);
-        Config.capacity = buffer_field (fun (_, _, m) -> m);
-      };
+    Mapping.mapped;
     continuous =
       {
         Socp_builder.budget = task_field (fun (b, _, _) -> b);
@@ -110,6 +128,10 @@ let decode_result cfg ib =
     objective = obj;
     rounded_objective = robj;
     verification;
+    (* CRC already guarded the bits; re-certifying guards the meaning
+       (and gives a reused entry the original's certificate instead of
+       an empty one). *)
+    certificate = Certify.check candidate mapped;
     sim_check;
     (* Restored from journal: the solve was not re-run, so there is no
        recovery trace and no timing to report. *)
@@ -124,11 +146,11 @@ let decode_result cfg ib =
       };
   }
 
-let decode_point cfg cap payload =
+let decode_point cfg ~candidate cap payload =
   match
     let ib = Scanf.Scanning.from_string payload in
     match Durability.scan_token ib with
-    | "ok" -> Some { cap; result = Ok (decode_result cfg ib) }
+    | "ok" -> Some { cap; result = Ok (decode_result cfg ~candidate ib) }
     | "infeasible" ->
       Some
         { cap; result = Error (Mapping.Infeasible (Durability.scan_quoted ib)) }
@@ -182,7 +204,14 @@ let capacity_sweep ?params ?policy ?pool ?deadline ?candidate_deadline ?journal
   let results, progress =
     Durable.Sweep.run ?pool ?journal ~deadline ?cancel
       ~encode:(encode_point cfg)
-      ~decode:(fun i payload -> decode_point cfg caps.(i) payload)
+      ~decode:(fun i payload ->
+        (* Rebuild the capped candidate the point was solved on, so the
+           restored mapping is re-certified against the right bounds. *)
+        let candidate = Config.copy cfg in
+        List.iter
+          (fun b -> Config.set_max_capacity candidate b (Some caps.(i)))
+          buffers;
+        decode_point cfg ~candidate caps.(i) payload)
       ~n:(Array.length caps) solve_cap
   in
   (match on_progress with None -> () | Some f -> f progress);

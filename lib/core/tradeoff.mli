@@ -26,8 +26,12 @@ type point = {
     cap (including infeasible and failed verdicts — they are verdicts)
     and restores recorded caps instead of re-solving them.  A restored
     point carries the exact objectives, continuous values, rounded
-    mapping and certification notes of the original solve, but an empty
-    [recovery] trace and zeroed [stats] — the solve did not run again.
+    mapping and verification notes of the original solve, plus a
+    {e freshly recomputed} exact certificate — the decoder re-certifies
+    the restored mapping against the capped candidate configuration
+    (the CRC guards the bits, the certifier guards the meaning) — but
+    an empty [recovery] trace and zeroed [stats]: the solve did not run
+    again.
     [?deadline] bounds the whole sweep, [?candidate_deadline] (seconds)
     each solve; both are polled inside the interior-point loop, and an
     expired candidate gets the [Timed_out] error — never journaled, so

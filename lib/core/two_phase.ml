@@ -6,7 +6,12 @@ module Socp = Conic.Socp
 type budget_policy = Min_budget | Fair_share
 type buffer_policy = At_bound | Uniform of int
 
-type result = { mapped : Config.mapped; objective : float; rounds : int }
+type result = {
+  mapped : Config.mapped;
+  objective : float;
+  rounds : int;
+  certificate : Certify.t;
+}
 
 type error = Infeasible of string | Solver_failure of string
 
@@ -197,10 +202,24 @@ let buffer_lp cfg ~budget =
 let finish cfg ~budget ~capacity ~rounds =
   let mapped = { Config.budget; Config.capacity } in
   match Dataflow_model.verify cfg mapped with
-  | [] -> Ok { mapped; objective = objective_of cfg mapped; rounds }
+  | exception Rounding.Non_finite { what; value } ->
+    Error
+      (Solver_failure
+         (Printf.sprintf
+            "non-finite %s %h emitted by the solver; rounding refused" what
+            value))
+  | [] ->
+    Ok
+      {
+        mapped;
+        objective = objective_of cfg mapped;
+        rounds;
+        certificate = Certify.check cfg mapped;
+      }
   | problems ->
     Error (Solver_failure ("two-phase result failed verification: "
-                           ^ String.concat "; " problems))
+                           ^ String.concat "; "
+                               (List.map Violation.to_string problems)))
 
 let budget_first ?(policy = Min_budget) cfg =
   let budget = budgets_of_policy cfg policy in
@@ -238,11 +257,24 @@ let budgets_at_fixed_capacity ?params cfg ~capacity =
             result.Model.status))
   | Socp.Optimal ->
     let continuous = Socp_builder.extract cfg builder result in
-    Ok
-      (fun w ->
-        Rounding.round_budget
-          ~granularity:(Config.granularity cfg)
-          (continuous.Socp_builder.budget w))
+    (* Round eagerly: a NaN budget surfaces here as a typed error
+       instead of escaping from some later closure call. *)
+    (match
+       List.map
+         (fun w ->
+           ( Config.task_id w,
+             Rounding.round_budget
+               ~granularity:(Config.granularity cfg)
+               (continuous.Socp_builder.budget w) ))
+         (Config.all_tasks cfg)
+     with
+    | exception Rounding.Non_finite { what; value } ->
+      Error
+        (Solver_failure
+           (Printf.sprintf
+              "non-finite %s %h emitted by the solver; rounding refused" what
+              value))
+    | budgets -> Ok (fun w -> List.assoc (Config.task_id w) budgets))
 
 let buffer_first ?(policy = At_bound) ?(fallback = 2) ?params cfg =
   if fallback < 1 then invalid_arg "Two_phase.buffer_first: fallback < 1";
@@ -279,12 +311,10 @@ let alternating ?(max_rounds = 10) ?params cfg =
           let improved =
             match best with
             | None -> true
-            | Some prev -> obj < prev.objective -. 1e-6
+            | Some (_, prev_obj, _) -> obj < prev_obj -. 1e-6
           in
           let best' =
-            if improved then
-              Some { mapped; objective = obj; rounds = (2 * rounds) + 2 }
-            else best
+            if improved then Some (mapped, obj, (2 * rounds) + 2) else best
           in
           if improved then loop budget' best' (rounds + 1)
           else Ok best'
@@ -294,14 +324,15 @@ let alternating ?(max_rounds = 10) ?params cfg =
   let* best = loop budget0 None 0 in
   match best with
   | None -> Error (Infeasible "alternating flow found no feasible point")
-  | Some r -> begin
-    match Dataflow_model.verify cfg r.mapped with
-    | [] -> Ok r
+  | Some (mapped, objective, rounds) -> begin
+    match Dataflow_model.verify cfg mapped with
+    | [] ->
+      Ok { mapped; objective; rounds; certificate = Certify.check cfg mapped }
     | problems ->
       Error
         (Solver_failure
            ("alternating result failed verification: "
-           ^ String.concat "; " problems))
+           ^ String.concat "; " (List.map Violation.to_string problems)))
   end
 
 let buffer_sizing_lp = buffer_lp

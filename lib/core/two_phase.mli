@@ -39,6 +39,11 @@ type result = {
       (** Objective (5) on the final (rounded) mapping, comparable with
           {!Mapping.result.rounded_objective} *)
   rounds : int;  (** number of phase solves performed *)
+  certificate : Certify.t;
+      (** exact rational certificate of the final mapping (two-phase
+          results only reach the caller after passing the float
+          verification, so a [Refuted] certificate flags a genuine
+          near-boundary rounding problem) *)
 }
 
 type error =

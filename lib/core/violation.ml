@@ -1,0 +1,98 @@
+type t =
+  | Throughput of { graph : string; period : float }
+  | Processor_capacity of { proc : string; used : float; capacity : float }
+  | Memory_capacity of { memory : string; used : int; capacity : int }
+  | Latency of { graph : string; latency : float; bound : float }
+  | Buffer_bound of { buffer : string; capacity : int; bound : int }
+  | Budget_range of { task : string; budget : float; replenishment : float }
+  | Non_finite of { what : string; value : float }
+
+let constraint_id = function
+  | Throughput _ -> "throughput"
+  | Processor_capacity _ -> "proc-capacity"
+  | Memory_capacity _ -> "mem-capacity"
+  | Latency _ -> "latency"
+  | Buffer_bound _ -> "buffer-bound"
+  | Budget_range _ -> "budget-range"
+  | Non_finite _ -> "non-finite"
+
+let to_string = function
+  | Throughput { graph; period } ->
+      Printf.sprintf "task graph %s: no periodic schedule with period %g exists"
+        graph period
+  | Processor_capacity { proc; used; capacity } ->
+      Printf.sprintf "processor %s: allocated budgets %g exceed the interval %g"
+        proc used capacity
+  | Memory_capacity { memory; used; capacity } ->
+      Printf.sprintf "memory %s: buffer footprint %d exceeds capacity %d" memory
+        used capacity
+  | Latency { graph; latency; bound } ->
+      Printf.sprintf "task graph %s: latency %g exceeds its bound %g" graph
+        latency bound
+  | Buffer_bound { buffer; capacity; bound } ->
+      Printf.sprintf "buffer %s: capacity %d exceeds its bound %d" buffer
+        capacity bound
+  | Budget_range { task; budget; replenishment } ->
+      Printf.sprintf "task %s: budget %g outside (0, %g]" task budget
+        replenishment
+  | Non_finite { what; value } ->
+      Printf.sprintf "%s is not finite (%g)" what value
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let ftok = Durability.float_to_token
+
+let encode = function
+  | Throughput { graph; period } ->
+      Printf.sprintf "tput %S %s" graph (ftok period)
+  | Processor_capacity { proc; used; capacity } ->
+      Printf.sprintf "proc %S %s %s" proc (ftok used) (ftok capacity)
+  | Memory_capacity { memory; used; capacity } ->
+      Printf.sprintf "mem %S %d %d" memory used capacity
+  | Latency { graph; latency; bound } ->
+      Printf.sprintf "lat %S %s %s" graph (ftok latency) (ftok bound)
+  | Buffer_bound { buffer; capacity; bound } ->
+      Printf.sprintf "bufb %S %d %d" buffer capacity bound
+  | Budget_range { task; budget; replenishment } ->
+      Printf.sprintf "brange %S %s %s" task (ftok budget) (ftok replenishment)
+  | Non_finite { what; value } ->
+      Printf.sprintf "nonfin %S %s" what (ftok value)
+
+let decode s =
+  let ib = Scanf.Scanning.from_string s in
+  let tok () = Durability.scan_token ib in
+  let quoted () = Durability.scan_quoted ib in
+  let f () = Durability.scan_float ib in
+  let i () = Durability.scan_int ib in
+  match
+    match tok () with
+    | "tput" ->
+        let graph = quoted () in
+        Throughput { graph; period = f () }
+    | "proc" ->
+        let proc = quoted () in
+        let used = f () in
+        Processor_capacity { proc; used; capacity = f () }
+    | "mem" ->
+        let memory = quoted () in
+        let used = i () in
+        Memory_capacity { memory; used; capacity = i () }
+    | "lat" ->
+        let graph = quoted () in
+        let latency = f () in
+        Latency { graph; latency; bound = f () }
+    | "bufb" ->
+        let buffer = quoted () in
+        let capacity = i () in
+        Buffer_bound { buffer; capacity; bound = i () }
+    | "brange" ->
+        let task = quoted () in
+        let budget = f () in
+        Budget_range { task; budget; replenishment = f () }
+    | "nonfin" ->
+        let what = quoted () in
+        Non_finite { what; value = f () }
+    | _ -> raise (Scanf.Scan_failure "unknown violation tag")
+  with
+  | v -> Some v
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None

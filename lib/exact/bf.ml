@@ -1,0 +1,83 @@
+type verdict = Feasible of Rat.t array | Positive_cycle of int list
+
+let longest_path ~nodes edges =
+  if nodes = 0 then Feasible [||]
+  else begin
+    (* One common denominator for every weight: the relaxation loop
+       then needs only integer adds and compares. *)
+    let den =
+      Array.fold_left
+        (fun acc (_, _, w) -> Bigint.lcm acc w.Rat.den)
+        Bigint.one edges
+    in
+    let scaled =
+      Array.map
+        (fun (_, _, w) -> Bigint.mul w.Rat.num (Bigint.div den w.Rat.den))
+        edges
+    in
+    let d = Array.make nodes Bigint.zero in
+    let pred = Array.make nodes (-1) in
+    let last = ref (-1) in
+    let relax () =
+      let any = ref false in
+      Array.iteri
+        (fun k (s, t, _) ->
+          let nd = Bigint.add d.(s) scaled.(k) in
+          if Bigint.compare nd d.(t) > 0 then begin
+            d.(t) <- nd;
+            pred.(t) <- k;
+            any := true;
+            last := t
+          end)
+        edges;
+      !any
+    in
+    let changed = ref true in
+    let rounds = ref 0 in
+    while !changed && !rounds <= nodes do
+      changed := relax ();
+      incr rounds
+    done;
+    if not !changed then
+      Feasible (Array.map (fun di -> Rat.make di den) d)
+    else begin
+      (* A relaxation fired on round [nodes + 1]: some cycle has
+         positive weight.  Trace the predecessor graph back from the
+         last updated node until it closes on itself; a few extra
+         relaxation passes deepen the predecessor pointers if the
+         first trace runs off the relaxed region. *)
+      let extract () =
+        let visited = Array.make nodes (-1) in
+        let rec walk v step =
+          if step > nodes + 1 || v < 0 || pred.(v) < 0 then None
+          else if visited.(v) >= 0 then Some v
+          else begin
+            visited.(v) <- step;
+            let s, _, _ = edges.(pred.(v)) in
+            walk s (step + 1)
+          end
+        in
+        match walk !last 0 with
+        | None -> None
+        | Some u ->
+            let rec collect v acc steps =
+              if steps > nodes + 1 then None
+              else
+                let e = pred.(v) in
+                let s, _, _ = edges.(e) in
+                if s = u then Some (e :: acc)
+                else collect s (e :: acc) (steps + 1)
+            in
+            collect u [] 0
+      in
+      let rec attempt i =
+        match extract () with
+        | Some cycle -> Positive_cycle cycle
+        | None when i < nodes ->
+            ignore (relax ());
+            attempt (i + 1)
+        | None -> Positive_cycle []
+      in
+      attempt 0
+    end
+  end

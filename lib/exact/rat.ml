@@ -1,0 +1,85 @@
+type t = { num : Bigint.t; den : Bigint.t }
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero
+  else if Bigint.is_zero num then zero
+  else begin
+    let num, den =
+      if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den)
+      else (num, den)
+    in
+    let g = Bigint.gcd num den in
+    if Bigint.equal g Bigint.one then { num; den }
+    else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let of_float f =
+  if f = 0.0 then zero
+  else if not (Float.is_finite f) then
+    invalid_arg (Printf.sprintf "Rat.of_float: not finite (%h)" f)
+  else begin
+    (* f = m·2^e with 0.5 <= |m| < 1; scale the mantissa to the 53-bit
+       integer it actually is.  The conversion is exact: doubles are
+       dyadic rationals. *)
+    let m, e = Float.frexp f in
+    let mant = Int64.of_float (Float.ldexp m 53) in
+    let e = e - 53 in
+    let mant = Bigint.of_int64 mant in
+    if e >= 0 then of_bigint (Bigint.shift_left mant e)
+    else make mant (Bigint.shift_left Bigint.one (-e))
+  end
+
+(* Naive num/.den over- or underflows once either side outgrows the
+   float range, even when the quotient itself is representable.
+   Normalize the quotient to ~64 bits first, then scale back with
+   ldexp: exact whenever the true value is a representable dyadic. *)
+let to_float t =
+  if Bigint.is_zero t.num then 0.0
+  else begin
+    let a = Bigint.abs t.num and b = t.den in
+    let shift = 64 - (Bigint.bit_length a - Bigint.bit_length b) in
+    let q =
+      if shift >= 0 then Bigint.div (Bigint.shift_left a shift) b
+      else Bigint.div a (Bigint.shift_left b (-shift))
+    in
+    let f = Float.ldexp (Bigint.to_float q) (-shift) in
+    if Bigint.sign t.num < 0 then -.f else f
+  end
+
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = { t with num = Bigint.abs t.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let div a b =
+  if Bigint.is_zero b.num then raise Division_by_zero
+  else make (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
+
+(* a/b ? c/d  <=>  a·d ? c·b   (denominators positive) *)
+let compare a b =
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let sign t = Bigint.sign t.num
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let is_integer t = Bigint.equal t.den Bigint.one
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

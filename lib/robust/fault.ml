@@ -1,14 +1,16 @@
 module Socp = Conic.Socp
 
+type kind = Solver of Socp.fault | Bad_round
+
 type plan = {
-  kind : Socp.fault;
+  kind : kind;
   iteration : int;
   attempts : int;
   only : int option;
 }
 
 let stall_first =
-  { kind = Socp.Stall; iteration = 0; attempts = 1; only = None }
+  { kind = Solver Socp.Stall; iteration = 0; attempts = 1; only = None }
 
 let of_string spec =
   let spec = String.trim spec in
@@ -17,13 +19,14 @@ let of_string spec =
   | kind :: opts -> begin
     match
       (match String.trim kind with
-      | "stall" -> Ok Socp.Stall
-      | "nan" -> Ok Socp.Nan
-      | "slow" -> Ok Socp.Slow
+      | "stall" -> Ok (Solver Socp.Stall)
+      | "nan" -> Ok (Solver Socp.Nan)
+      | "slow" -> Ok (Solver Socp.Slow)
+      | "bad_round" -> Ok Bad_round
       | k ->
         Error
           (Printf.sprintf
-             "unknown fault kind %S (expected stall, nan or slow)" k))
+             "unknown fault kind %S (expected stall, nan, slow or bad_round)" k))
     with
     | Error _ as e -> e
     | Ok kind ->
@@ -70,9 +73,10 @@ let of_string spec =
 let to_string plan =
   let kind =
     match plan.kind with
-    | Socp.Stall -> "stall"
-    | Socp.Nan -> "nan"
-    | Socp.Slow -> "slow"
+    | Solver Socp.Stall -> "stall"
+    | Solver Socp.Nan -> "nan"
+    | Solver Socp.Slow -> "slow"
+    | Bad_round -> "bad_round"
   in
   let b = Buffer.create 32 in
   Buffer.add_string b kind;
@@ -106,10 +110,16 @@ let for_candidate plan ~index =
     if i = index then Some { p with only = None } else None
 
 let covers plan ~attempt =
-  match plan with None -> false | Some p -> attempt <= p.attempts
+  match plan with
+  | None | Some { kind = Bad_round; _ } -> false
+  | Some p -> attempt <= p.attempts
 
 let inject plan ~attempt =
   match plan with
-  | Some p when attempt <= p.attempts ->
-    Some (fun iter -> if iter = p.iteration then Some p.kind else None)
+  | Some ({ kind = Solver fault; _ } as p) when attempt <= p.attempts ->
+    Some (fun iter -> if iter = p.iteration then Some fault else None)
   | Some _ | None -> None
+
+let corrupts_rounding = function
+  | Some { kind = Bad_round; _ } -> true
+  | Some _ | None -> false

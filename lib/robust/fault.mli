@@ -7,18 +7,27 @@
 
     {v KIND[,iter=N][,attempts=N|all][,only=I] v}
 
-    where [KIND] is [stall] or [nan], [iter] is the interior-point
-    iteration at which the fault fires (default 0), [attempts] is how
-    many leading ladder attempts are faulted (default 1; [all] faults
-    every attempt {e including} the simplex fallback, making the solve
-    fail permanently), and [only] restricts the plan to the [I]-th
-    candidate (0-based) of a sweep.
+    where [KIND] is [stall], [nan], [slow] or [bad_round], [iter] is
+    the interior-point iteration at which the fault fires (default 0),
+    [attempts] is how many leading ladder attempts are faulted
+    (default 1; [all] faults every attempt {e including} the simplex
+    fallback, making the solve fail permanently), and [only] restricts
+    the plan to the [I]-th candidate (0-based) of a sweep.
+
+    [bad_round] is different in nature: it leaves the solver alone and
+    instead corrupts the solution {e after} rounding (one budget down a
+    granule), so the exact-certification refutation path can be pinned
+    deterministically.
 
     The CLI accepts a spec through [--fault]; the test suites through
     the [BUDGETBUF_FAULT] environment variable. *)
 
+type kind =
+  | Solver of Conic.Socp.fault  (** injected into the IPM iteration *)
+  | Bad_round  (** corrupts the rounded solution, not the solver *)
+
 type plan = {
-  kind : Conic.Socp.fault;
+  kind : kind;
   iteration : int;  (** IPM iteration at which the fault fires *)
   attempts : int;
       (** number of leading ladder attempts faulted; [max_int] ("all")
@@ -47,8 +56,13 @@ val of_env : unit -> plan option
 val for_candidate : plan option -> index:int -> plan option
 
 (** [covers plan ~attempt] is true when the 1-based ladder [attempt] is
-    faulted under [plan]. *)
+    faulted under [plan].  Always false for [Bad_round] plans, which do
+    not touch the solver. *)
 val covers : plan option -> attempt:int -> bool
+
+(** [corrupts_rounding plan] is true when [plan] asks for the rounded
+    solution to be corrupted ([Bad_round]). *)
+val corrupts_rounding : plan option -> bool
 
 (** [inject plan ~attempt] is the {!Conic.Socp.params.inject} hook for
     the given 1-based ladder attempt — [None] when the attempt is not

@@ -30,6 +30,7 @@ Solve it (timings stripped):
   capacity bab = 10 containers
   
   verification: ok
+  certificate: ok (exact, 4 start times)
 
 Latency of the solved mapping:
 
@@ -197,6 +198,7 @@ recovery is reported next to the objective line:
   
   recovery: 2 attempts (base: stalled; relaxed: optimal)
   verification: ok
+  certificate: ok (exact, 4 start times)
 
 A candidate whose solver fails permanently is skipped with a reason
 while the rest of the sweep survives:
@@ -210,10 +212,51 @@ while the rest of the sweep survives:
   $ ../../bin/budgetbuf_cli.exe pareto t1.cfg --steps 5 --fault stall,attempts=all,only=1 | tail -1
   skipped: 1 (stalled)
 
+Exact certification (docs/robustness.md): the certify subcommand
+re-derives the rounded mapping's schedule in exact rational arithmetic
+and prints a machine-checkable witness — the start-time potentials
+substitute into every constraint by rational evaluation alone:
+
+  $ ../../bin/budgetbuf_cli.exe certify t1.cfg t1.map
+  start wa.1 = 0
+  start wa.2 = 36
+  start wb.1 = 46
+  start wb.2 = 82
+  certificate: ok (exact, 4 start times)
+
+A bad_round fault corrupts the mapping after rounding (first budget
+down one granule); the float verifier and the exact certifier both
+catch it, and the refutation names the overloaded cycle with its exact
+rational excess:
+
+  $ ../../bin/budgetbuf_cli.exe solve t1.cfg --fault bad_round -o bad.map > /dev/null
+  [1]
+  $ ../../bin/budgetbuf_cli.exe certify t1.cfg bad.map
+  certificate: refuted: task graph t1: positive cycle wa.2 (excess 10/3)
+  [1]
+
+The sweep commands take --certify and summarise how many of the
+reported mappings carry an exact certificate.  A corrupted candidate
+only fails certification where the granule actually overshoots the
+exact bound — here the tightest cap of the sweep:
+
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --certify --fault bad_round,only=2
+  cap    wa           wb          
+  1      36.1078      36.1078     
+  2      31.2788      31.2788     
+  3      26.5089      26.5089     
+  certified: 2/3
+
+  $ ../../bin/budgetbuf_cli.exe dse t1.cfg --caps 1:4 --certify | tail -1
+  certified: 4/4
+
+  $ ../../bin/budgetbuf_cli.exe pareto t1.cfg --steps 5 --certify | tail -1
+  certified: 2/2
+
 A malformed fault spec is rejected by the option parser:
 
   $ ../../bin/budgetbuf_cli.exe solve t1.cfg --fault wedge 2>&1 | head -1
-  budgetbuf: option '--fault': unknown fault kind "wedge" (expected stall, nan
+  budgetbuf: option '--fault': unknown fault kind "wedge" (expected stall, nan,
 
 An impossible request that surfaces as an exception deep inside the
 libraries exits with a one-line error instead of an OCaml backtrace:

@@ -13,6 +13,9 @@ module Two_phase = Budgetbuf.Two_phase
 
 let check_float eps = Alcotest.(check (float eps))
 
+(* Violations as their report strings, for (list string) checks. *)
+let vnotes = List.map Budgetbuf.Violation.to_string
+
 (* Closed form for the paper's T1 (derived in DESIGN.md §5): the
    critical cycle gives 2(40 − β + 40/β) ≤ 10·d, clamped below by the
    self-loop bound β ≥ ̺χ/µ = 4. *)
@@ -159,7 +162,7 @@ let test_t1_rounding_verifies () =
       let r = solve_exn cfg in
       Alcotest.(check (list string))
         (Printf.sprintf "d=%d verification" d)
-        [] r.Mapping.verification)
+        [] (vnotes r.Mapping.verification))
     [ 1; 4; 7; 10 ]
 
 let test_t1_relaxation_tight () =
@@ -339,7 +342,7 @@ let test_budget_first_fair_share_works_unbounded () =
   | Ok r ->
     Alcotest.(check (list string))
       "verifies" []
-      (Dataflow_model.verify cfg r.Two_phase.mapped)
+      (vnotes (Dataflow_model.verify cfg r.Two_phase.mapped))
 
 let test_budget_first_min_budget_false_negative () =
   (* With capacity capped at 6, the joint flow succeeds but the
@@ -347,7 +350,7 @@ let test_budget_first_min_budget_false_negative () =
      Section I. *)
   let cfg = t1_with_cap 6 in
   (match Mapping.solve cfg with
-  | Ok r -> Alcotest.(check (list string)) "joint ok" [] r.Mapping.verification
+  | Ok r -> Alcotest.(check (list string)) "joint ok" [] (vnotes r.Mapping.verification)
   | Error e -> Alcotest.failf "joint flow failed: %a" Mapping.pp_error e);
   match Two_phase.budget_first ~policy:Two_phase.Min_budget cfg with
   | Error (Two_phase.Infeasible _) -> ()
@@ -393,7 +396,7 @@ let test_buffer_first_uniform_double_buffering () =
       (r.Two_phase.mapped.Config.capacity (Config.find_buffer cfg "bab"));
     Alcotest.(check (list string))
       "verifies" []
-      (Dataflow_model.verify cfg r.Two_phase.mapped)
+      (vnotes (Dataflow_model.verify cfg r.Two_phase.mapped))
 
 let test_joint_no_worse_than_two_phase () =
   (* On the weighted objective the joint optimum is never worse than
@@ -419,7 +422,7 @@ let test_alternating_converges () =
     Alcotest.(check bool) "ran at least one round" true (r.Two_phase.rounds >= 2);
     Alcotest.(check (list string))
       "verifies" []
-      (Dataflow_model.verify cfg r.Two_phase.mapped);
+      (vnotes (Dataflow_model.verify cfg r.Two_phase.mapped));
     let joint = solve_exn cfg in
     Alcotest.(check bool) "joint ≤ alternating" true
       (joint.Mapping.rounded_objective <= r.Two_phase.objective +. 1e-6)
@@ -432,7 +435,7 @@ let test_multi_job_budget_constraint () =
   let rng = Workloads.Rng.create 11L in
   let cfg = Workloads.Gen.multi_job rng ~jobs:3 ~tasks_per_job:3 ~procs:3 () in
   let r = solve_exn cfg in
-  Alcotest.(check (list string)) "verifies" [] r.Mapping.verification;
+  Alcotest.(check (list string)) "verifies" [] (vnotes r.Mapping.verification);
   (* Constraint (4): Σ budgets ≤ ̺ on every processor. *)
   List.iter
     (fun p ->
@@ -567,7 +570,7 @@ let test_initial_tokens_respected () =
   let r = solve_exn cfg in
   let b = Config.find_buffer cfg "bab" in
   Alcotest.(check bool) "γ ≥ ι" true (r.Mapping.mapped.Config.capacity b >= 3);
-  Alcotest.(check (list string)) "verifies" [] r.Mapping.verification
+  Alcotest.(check (list string)) "verifies" [] (vnotes r.Mapping.verification)
 
 let test_memory_capacity_binds () =
   (* Memory for at most 6 unit containers (constraint (10) reserves one
@@ -589,7 +592,7 @@ let test_container_size_scales_memory () =
   let r = solve_exn cfg in
   let b = Config.find_buffer cfg "bab" in
   Alcotest.(check bool) "γ ≤ 5" true (r.Mapping.mapped.Config.capacity b <= 5);
-  Alcotest.(check (list string)) "verifies" [] r.Mapping.verification
+  Alcotest.(check (list string)) "verifies" [] (vnotes r.Mapping.verification)
 
 let test_shared_memory_couples_buffers () =
   (* Two graphs share one small memory: the sum of their capacities is
@@ -619,7 +622,7 @@ let test_shared_memory_couples_buffers () =
       0 (Config.all_buffers cfg)
   in
   Alcotest.(check bool) "Σγ ≤ 10" true (total <= 10);
-  Alcotest.(check (list string)) "verifies" [] r.Mapping.verification
+  Alcotest.(check (list string)) "verifies" [] (vnotes r.Mapping.verification)
 
 let test_overhead_reduces_available_budget () =
   (* With o(p) = 30 of 40 Mcycles, budgets are capped at 9 (granule
@@ -638,7 +641,7 @@ let test_overhead_reduces_available_budget () =
     (fun w ->
       Alcotest.(check bool) "β ≤ 9" true (r.Mapping.mapped.Config.budget w <= 9.0 +. 1e-9))
     (Config.all_tasks cfg);
-  Alcotest.(check (list string)) "verifies" [] r.Mapping.verification
+  Alcotest.(check (list string)) "verifies" [] (vnotes r.Mapping.verification)
 
 
 
@@ -693,7 +696,7 @@ let test_verify_reports_specific_violations () =
   let mapped =
     { Config.budget = (fun _ -> 10.0); Config.capacity = (fun _ -> 7) }
   in
-  let problems = Dataflow_model.verify cfg mapped in
+  let problems = vnotes (Dataflow_model.verify cfg mapped) in
   let contains hay needle =
     let ln = String.length needle and lh = String.length hay in
     let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
@@ -732,7 +735,7 @@ let test_latency_bound_tightens_budgets () =
   let cfg = t1_with_latency (Some 60.0) in
   let r = solve_exn cfg in
   Alcotest.(check (list string)) "verified incl. latency" []
-    r.Mapping.verification;
+    (vnotes r.Mapping.verification);
   let g = Config.find_graph cfg "t1" in
   match Budgetbuf.Latency.chain_bound cfg g r.Mapping.mapped with
   | Some l -> Alcotest.(check bool) "latency ≤ 60" true (l <= 60.0 +. 1e-6)
@@ -807,7 +810,7 @@ let test_slp_mapping_verified_when_claimed () =
           Alcotest.(check (list string))
             (Printf.sprintf "cap %d verifies" cap)
             []
-            (Dataflow_model.verify cfg o.Slp.mapped))
+            (vnotes (Dataflow_model.verify cfg o.Slp.mapped)))
     [ 2; 5; 8 ]
 
 let test_slp_never_beats_socp_continuous () =

@@ -403,7 +403,8 @@ let test_tradeoff_resume_restores_results () =
               (rb.Mapping.mapped.Config.capacity b'))
           buffers;
         Alcotest.(check (list string)) "verification notes"
-          ra.Mapping.verification rb.Mapping.verification
+          (List.map Budgetbuf.Violation.to_string ra.Mapping.verification)
+          (List.map Budgetbuf.Violation.to_string rb.Mapping.verification)
       | Error ea, Error eb ->
         Alcotest.(check string) "same verdict" (Mapping.short_reason ea)
           (Mapping.short_reason eb)

@@ -57,7 +57,8 @@ let test_binding_greedy_feasible () =
   | Ok o ->
     Alcotest.(check int) "single solve" 1 o.Binding.explored;
     Alcotest.(check (list string)) "verified" []
-      o.Binding.result.Mapping.verification;
+      (List.map Budgetbuf.Violation.to_string
+         o.Binding.result.Mapping.verification);
     Alcotest.(check int) "every task assigned"
       (List.length (Config.all_tasks cfg))
       (List.length o.Binding.assignment)
@@ -68,7 +69,8 @@ let test_binding_first_fit_feasible () =
   | Error msg -> Alcotest.fail msg
   | Ok o ->
     Alcotest.(check (list string)) "verified" []
-      o.Binding.result.Mapping.verification
+      (List.map Budgetbuf.Violation.to_string
+         o.Binding.result.Mapping.verification)
 
 let test_binding_exhaustive_beats_or_ties_greedy () =
   (* Two tasks with very different WCETs and two processors with
@@ -328,7 +330,8 @@ let test_memory_greedy_spreads () =
     in
     Alcotest.(check int) "uses both memories" 2 (List.length mems);
     Alcotest.(check (list string)) "verified" []
-      o.Binding.result.Mapping.verification
+      (List.map Budgetbuf.Violation.to_string
+         o.Binding.result.Mapping.verification)
 
 let test_memory_exhaustive_finds_best () =
   let cfg = memory_instance ~m0:11 ~m1:11 in
@@ -337,7 +340,8 @@ let test_memory_exhaustive_finds_best () =
   | Ok o ->
     Alcotest.(check int) "explored all 4" 4 o.Binding.explored;
     Alcotest.(check (list string)) "verified" []
-      o.Binding.result.Mapping.verification
+      (List.map Budgetbuf.Violation.to_string
+         o.Binding.result.Mapping.verification)
 
 let test_memory_infeasible () =
   (* Memories too small for even the minimal footprint. *)
@@ -560,7 +564,8 @@ let test_multirate_solves_and_simulates () =
     match Mapping.solve cfg with
     | Error e -> Alcotest.failf "solve failed: %a" Mapping.pp_error e
     | Ok r ->
-      Alcotest.(check (list string)) "verified" [] r.Mapping.verification;
+      Alcotest.(check (list string)) "verified" []
+        (List.map Budgetbuf.Violation.to_string r.Mapping.verification);
       (* Aggregates are consistent with the per-copy values. *)
       let total_src = prov.Multirate.task_budget r.Mapping.mapped src in
       Alcotest.(check bool) "src budget positive" true (total_src > 0.0);

@@ -41,7 +41,7 @@ let full_pipeline name build () =
   | Error e -> Alcotest.failf "%s: solve failed: %a" name Mapping.pp_error e
   | Ok r ->
     Alcotest.(check (list string)) (name ^ ": verified") []
-      r.Mapping.verification;
+      (List.map Budgetbuf.Violation.to_string r.Mapping.verification);
     let mapped = r.Mapping.mapped in
     (* 3. The mapping serialises and parses back identically. *)
     let mtext = Format.asprintf "%a" (Taskgraph.Mapped_io.print cfg) mapped in

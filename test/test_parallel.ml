@@ -49,7 +49,8 @@ let solve_signature cfg = function
       (Int64.bits_of_float r.Mapping.objective)
       (Int64.bits_of_float r.Mapping.rounded_objective)
       (String.concat "," budgets) (String.concat "," caps)
-      (String.concat ";" r.Mapping.verification)
+      (String.concat ";"
+         (List.map Budgetbuf.Violation.to_string r.Mapping.verification))
   | Error e -> Format.asprintf "error: %a" Mapping.pp_error e
 
 (* One capacity point: cap every buffer of a private clone (handles

@@ -23,14 +23,14 @@ let check_float eps = Alcotest.(check (float eps))
 let test_fault_parse () =
   (match Fault.of_string "stall" with
   | Ok p ->
-    Alcotest.(check bool) "kind" true (p.Fault.kind = Socp.Stall);
+    Alcotest.(check bool) "kind" true (p.Fault.kind = Fault.Solver Socp.Stall);
     Alcotest.(check int) "iter" 0 p.Fault.iteration;
     Alcotest.(check int) "attempts" 1 p.Fault.attempts;
     Alcotest.(check bool) "only" true (p.Fault.only = None)
   | Error e -> Alcotest.failf "stall rejected: %s" e);
   (match Fault.of_string "nan,iter=3,attempts=2,only=1" with
   | Ok p ->
-    Alcotest.(check bool) "kind" true (p.Fault.kind = Socp.Nan);
+    Alcotest.(check bool) "kind" true (p.Fault.kind = Fault.Solver Socp.Nan);
     Alcotest.(check int) "iter" 3 p.Fault.iteration;
     Alcotest.(check int) "attempts" 2 p.Fault.attempts;
     Alcotest.(check bool) "only" true (p.Fault.only = Some 1)
@@ -194,7 +194,8 @@ let test_presolve_force_matches_default () =
       r.Mapping.objective;
     check_float 1e-9 "rounded objective" reference.Mapping.rounded_objective
       r.Mapping.rounded_objective;
-    Alcotest.(check (list string)) "verified" [] r.Mapping.verification
+    Alcotest.(check (list string)) "verified" []
+        (List.map Budgetbuf.Violation.to_string r.Mapping.verification)
 
 (* ------------------------------------------------------------------ *)
 (* Recovery ladder, rung by rung                                       *)
@@ -228,7 +229,7 @@ let check_recovered_matches ?(compare_budgets = true) spec expected_stages =
       (List.length expected_stages)
       r.Mapping.stats.Mapping.attempts;
     Alcotest.(check (list string)) (spec ^ " verified") []
-      r.Mapping.verification;
+      (List.map Budgetbuf.Violation.to_string r.Mapping.verification);
     if compare_budgets then begin
       let reference = reference_mapping () in
       (* Every cone rung solves the same convex program, so whichever
@@ -263,7 +264,8 @@ let test_nan_fault_recovers () =
   | Error e -> Alcotest.failf "nan fault not recovered: %a" Mapping.pp_error e
   | Ok r ->
     Alcotest.(check bool) "recovered" true (Recovery.recovered r.Mapping.recovery);
-    Alcotest.(check (list string)) "verified" [] r.Mapping.verification
+    Alcotest.(check (list string)) "verified" []
+        (List.map Budgetbuf.Violation.to_string r.Mapping.verification)
 
 let test_permanent_fault_fails_cleanly () =
   match solve_with "stall,attempts=all" with

@@ -283,7 +283,7 @@ let test_apps_solvable_and_simulate () =
         Alcotest.failf "%s failed: %a" name Budgetbuf.Mapping.pp_error e
       | Ok r ->
         Alcotest.(check (list string)) (name ^ " verifies") []
-          r.Budgetbuf.Mapping.verification)
+          (List.map Budgetbuf.Violation.to_string r.Budgetbuf.Mapping.verification))
     Apps.all
 
 let test_apps_registry () =

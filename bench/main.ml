@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- par      # parallel speedup report only
      dune exec bench/main.exe -- durable  # journal overhead report only
      dune exec bench/main.exe -- certify  # certification overhead only
+     dune exec bench/main.exe -- obs      # observability overhead only
 
    [--jobs N] selects the domain-pool width for the experiment tables
    and the parallel speedup report (default: BUDGETBUF_JOBS, else the
@@ -371,6 +372,80 @@ let durable_report ppf =
   Format.fprintf ppf "  written: BENCH_durable.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: tracing cost on an instrumented sweep       *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock of the same solver-bound capacity sweep uninstrumented,
+   with a null-sink context (metrics only) and with a file-sink trace.
+   The targets of docs/observability.md — null sink under 1%, file
+   sink under 5% — are reported, not asserted (a shared box drifts by
+   a few percent run to run).  Also written to BENCH_obs.json. *)
+let obs_report ppf =
+  Format.fprintf ppf "@.=== Observability overhead (tracing + metrics) ===@.@.";
+  let cfg = Workloads.Gen.chain ~n:24 () in
+  let buffers = Config.all_buffers cfg in
+  let once f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let sweep ?obs () =
+    Tradeoff.capacity_sweep ?obs cfg ~buffers ~caps:caps_1_10
+  in
+  let null_sweep () =
+    let obs = Obs.Ctx.make () in
+    sweep ~obs ()
+  in
+  let file_sweep () =
+    let path = Filename.temp_file "budgetbuf-bench" ".trace" in
+    let sink = Obs.Sink.file path in
+    let obs = Obs.Ctx.make ~sink () in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Sink.close sink;
+        Sys.remove path)
+      (fun () -> sweep ~obs ())
+  in
+  (* Warm up once, then best-of-rounds with the variant order rotated so
+     ramping machine load cannot systematically penalise one of them. *)
+  ignore (sweep ());
+  let rounds = 5 in
+  let t_plain = ref infinity
+  and t_null = ref infinity
+  and t_file = ref infinity in
+  for round = 1 to rounds do
+    let variants =
+      [|
+        (fun () -> t_plain := Float.min !t_plain (once (fun () -> sweep ())));
+        (fun () -> t_null := Float.min !t_null (once null_sweep));
+        (fun () -> t_file := Float.min !t_file (once file_sweep));
+      |]
+    in
+    for k = 0 to 2 do
+      variants.((round + k) mod 3) ()
+    done
+  done;
+  let t_plain = !t_plain and t_null = !t_null and t_file = !t_file in
+  let pct t = 100.0 *. (Float.max 0.0 (t -. t_plain) /. t_plain) in
+  let null_pct = pct t_null and file_pct = pct t_file in
+  Format.fprintf ppf "  candidates:         %d@." (List.length caps_1_10);
+  Format.fprintf ppf "  plain sweep:        %8.1f ms@." (1000.0 *. t_plain);
+  Format.fprintf ppf
+    "  null-sink sweep:    %8.1f ms (%+.2f %%, target < 1 %%)@."
+    (1000.0 *. t_null) null_pct;
+  Format.fprintf ppf
+    "  file-sink sweep:    %8.1f ms (%+.2f %%, target < 5 %%)@."
+    (1000.0 *. t_file) file_pct;
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{ \"candidates\": %d, \"sweep_s_plain\": %.6f, \"sweep_s_null\": %.6f, \
+     \"sweep_s_file\": %.6f, \"null_overhead_pct\": %.3f, \
+     \"file_overhead_pct\": %.3f }\n"
+    (List.length caps_1_10) t_plain t_null t_file null_pct file_pct;
+  close_out oc;
+  Format.fprintf ppf "  written: BENCH_obs.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Exact-certification overhead: proof cost per candidate              *)
 (* ------------------------------------------------------------------ *)
 
@@ -479,6 +554,7 @@ let () =
     par_report ~jobs:!jobs ppf;
     durable_report ppf;
     certify_report ppf;
+    obs_report ppf;
     bechamel_suite ()
   | [ "tables" ] -> with_pool (fun pool -> Experiments.all ?pool ppf)
   | [ "bench" ] ->
@@ -487,6 +563,7 @@ let () =
   | [ "par" ] -> par_report ~jobs:!jobs ppf
   | [ "durable" ] -> durable_report ppf
   | [ "certify" ] -> certify_report ppf
+  | [ "obs" ] | [ "--obs" ] -> obs_report ppf
   | [ name ] -> begin
     match Experiments.by_name name with
     | Some _ ->
@@ -497,13 +574,13 @@ let () =
     | None ->
       Format.eprintf
         "unknown experiment %S (expected: %s, tables, bench, par, durable, \
-         certify)@."
+         certify, obs)@."
         name
         (String.concat ", " Experiments.names);
       exit 2
   end
   | _ ->
     Format.eprintf
-      "usage: main.exe [EXPERIMENT|tables|bench|par|durable|certify] [--jobs \
-       N]@.";
+      "usage: main.exe [EXPERIMENT|tables|bench|par|durable|certify|obs] \
+       [--jobs N]@.";
     exit 2

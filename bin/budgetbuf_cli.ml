@@ -100,6 +100,54 @@ let policy_of_fault fault =
   | Some plan -> { (Recovery.default_policy ()) with Recovery.fault = Some plan }
   | None -> Recovery.default_policy ()
 
+(* ------------------------------------------------------------------ *)
+(* --trace / --metrics: observability (docs/observability.md)          *)
+(* ------------------------------------------------------------------ *)
+
+let obs_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured JSONL event trace to $(docv) (CRC-framed, \
+           decodable with $(b,budgetbuf trace cat)); see \
+           docs/observability.md for the event vocabulary.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print an aggregate metrics table after the run: solves and \
+           iterations, recovery rungs, injected faults, certificate \
+           verdicts, candidate verdicts, journal restores, pool activity \
+           and wall-clock totals.")
+
+(* Resolves --trace/--metrics to an optional observability context.
+   The trace file is closed on every exit path; an unwritable --trace
+   path raises [Sys_error] before any solving starts, which the
+   top-level handler turns into a clean exit 2. *)
+let with_obs ~trace ~metrics f =
+  match (trace, metrics) with
+  | None, false -> f None
+  | _ ->
+    let sink =
+      match trace with
+      | None -> Obs.Sink.null
+      | Some path -> Obs.Sink.file path
+    in
+    let obs = Obs.Ctx.make ~sink () in
+    let code = Fun.protect ~finally:(fun () -> Obs.Sink.close sink) (fun () -> f (Some obs)) in
+    (match trace with
+    | None -> ()
+    | Some path -> Format.printf "trace written to %s@." path);
+    if metrics then begin
+      Format.printf "metrics:@.";
+      List.iter (Format.printf "  %s@.") (Obs.Ctx.report obs)
+    end;
+    code
+
 (* --certify: exact-certification summary on the sweep commands. *)
 let certify_arg =
   Arg.(
@@ -278,7 +326,7 @@ let continuous_arg =
     & info [ "continuous" ]
         ~doc:"Also print the pre-rounding continuous optimum per variable.")
 
-let do_solve () path simulate continuous output fault =
+let do_solve () path simulate continuous output fault trace metrics =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -288,7 +336,8 @@ let do_solve () path simulate continuous output fault =
     | [] -> ()
     | problems ->
       List.iter (Format.eprintf "warning: %s@.") problems);
-    match Mapping.solve ~policy:(policy_of_fault fault) cfg with
+    with_obs ~trace ~metrics @@ fun obs ->
+    match Mapping.solve ?obs ~policy:(policy_of_fault fault) cfg with
     | Error e ->
       Format.eprintf "error: %a@." Mapping.pp_error e;
       1
@@ -360,7 +409,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Term.(
       const do_solve $ logs_term $ file_arg $ simulate_arg $ continuous_arg
-      $ output_arg $ fault_arg)
+      $ output_arg $ fault_arg $ obs_trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                            *)
@@ -413,7 +462,7 @@ let buffers_arg =
            the configuration).")
 
 let do_tradeoff () path (lo, hi) buffer_names jobs fault certify resume
-    deadline candidate_deadline =
+    deadline candidate_deadline trace metrics =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -444,12 +493,13 @@ let do_tradeoff () path (lo, hi) buffer_names jobs fault certify resume
                   (List.map (Config.buffer_name cfg) buffers)))
           ~fault
       in
+      with_obs ~trace ~metrics @@ fun obs ->
       with_durability ~fingerprint ~resume ~deadline ~candidate_deadline
       @@ fun ~journal ~deadline ~candidate_deadline ~cancel ~on_progress ->
       let points =
         Tradeoff.capacity_sweep ~policy:(policy_of_fault fault) ?pool ?journal
-          ?deadline ?candidate_deadline ~cancel ~on_progress cfg ~buffers
-          ~caps
+          ?deadline ?candidate_deadline ~cancel ?obs ~on_progress cfg
+          ~buffers ~caps
       in
       let tasks = Config.all_tasks cfg in
       Format.printf "%-6s" "cap";
@@ -508,7 +558,7 @@ let tradeoff_cmd =
     Term.(
       const do_tradeoff $ logs_term $ file_arg $ caps_arg $ buffers_arg
       $ jobs_arg $ fault_arg $ certify_arg $ resume_arg $ deadline_arg
-      $ candidate_deadline_arg)
+      $ candidate_deadline_arg $ obs_trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -783,7 +833,7 @@ let steps_arg =
     & info [ "steps" ] ~docv:"N" ~doc:"Number of weight ratios to sweep.")
 
 let do_pareto () path steps jobs fault certify resume deadline
-    candidate_deadline =
+    candidate_deadline trace metrics =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -800,11 +850,12 @@ let do_pareto () path steps jobs fault certify resume deadline
           ~grid:(Printf.sprintf "steps=%d" steps)
           ~fault
       in
+      with_obs ~trace ~metrics @@ fun obs ->
       with_durability ~fingerprint ~resume ~deadline ~candidate_deadline
       @@ fun ~journal ~deadline ~candidate_deadline ~cancel ~on_progress ->
       let sweep =
         Budgetbuf.Pareto.frontier ~steps ~policy:(policy_of_fault fault) ?pool
-          ?journal ?deadline ?candidate_deadline ~cancel ~on_progress cfg
+          ?journal ?deadline ?candidate_deadline ~cancel ?obs ~on_progress cfg
       in
       let print_skipped () =
         match sweep.Budgetbuf.Pareto.skipped with
@@ -850,14 +901,14 @@ let pareto_cmd =
     Term.(
       const do_pareto $ logs_term $ file_arg $ steps_arg $ jobs_arg
       $ fault_arg $ certify_arg $ resume_arg $ deadline_arg
-      $ candidate_deadline_arg)
+      $ candidate_deadline_arg $ obs_trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dse                                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let do_dse () path (lo, hi) jobs fault certify resume deadline
-    candidate_deadline =
+    candidate_deadline trace metrics =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -875,11 +926,12 @@ let do_dse () path (lo, hi) jobs fault certify resume deadline
           ~grid:(Printf.sprintf "caps=%d:%d" lo hi)
           ~fault
       in
+      with_obs ~trace ~metrics @@ fun obs ->
       with_durability ~fingerprint ~resume ~deadline ~candidate_deadline
       @@ fun ~journal ~deadline ~candidate_deadline ~cancel ~on_progress ->
       let points =
         Budgetbuf.Dse.throughput_curve ~policy:(policy_of_fault fault) ?pool
-          ?journal ?deadline ?candidate_deadline ~cancel ~on_progress cfg
+          ?journal ?deadline ?candidate_deadline ~cancel ?obs ~on_progress cfg
           ~caps
       in
       Format.printf "%-6s %-12s@." "cap" "min period";
@@ -926,7 +978,8 @@ let dse_cmd =
   Cmd.v (Cmd.info "dse" ~doc)
     Term.(
       const do_dse $ logs_term $ file_arg $ caps_arg $ jobs_arg $ fault_arg
-      $ certify_arg $ resume_arg $ deadline_arg $ candidate_deadline_arg)
+      $ certify_arg $ resume_arg $ deadline_arg $ candidate_deadline_arg
+      $ obs_trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bind                                                                *)
@@ -1216,6 +1269,37 @@ let sdf_cmd =
     Term.(const do_sdf $ logs_term $ file_arg $ serialize_flag $ sdf_dot_flag)
 
 (* ------------------------------------------------------------------ *)
+(* trace: inspect --trace files                                        *)
+(* ------------------------------------------------------------------ *)
+
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Trace file written by $(b,--trace).")
+
+let do_trace_cat () path =
+  match Obs.Sink.read_file path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok events ->
+    List.iter (fun e -> print_endline (Obs.Trace.summary e)) events;
+    0
+
+let trace_cat_cmd =
+  let doc =
+    "decode a trace file to one line per event (sequence number, event \
+     name, fields; timestamps omitted)"
+  in
+  Cmd.v (Cmd.info "cat" ~doc)
+    Term.(const do_trace_cat $ logs_term $ trace_file_arg)
+
+let trace_cmd =
+  let doc = "inspect structured trace files (see docs/observability.md)" in
+  Cmd.group (Cmd.info "trace" ~doc) [ trace_cat_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
@@ -1228,7 +1312,7 @@ let main_cmd =
       solve_cmd; validate_cmd; tradeoff_cmd; experiment_cmd; generate_cmd;
       pareto_cmd; dse_cmd; bind_cmd; latency_cmd; check_cmd; certify_cmd;
       simulate_cmd; dot_cmd;
-      sdf_cmd; analyze_cmd; report_cmd;
+      sdf_cmd; analyze_cmd; report_cmd; trace_cmd;
     ]
 
 (* A malformed flag value or an impossible request (say, a simulator

@@ -40,6 +40,7 @@ type params = {
   presolve : presolve;
   inject : (int -> fault option) option;
   deadline : (unit -> bool) option;
+  obs : Obs.Ctx.t option;
 }
 
 (* feastol 1e-7 reflects what dense normal-equation KKT solves can
@@ -47,7 +48,7 @@ type params = {
 let default_params =
   { max_iter = 100; feastol = 1e-7; abstol = 1e-7; reltol = 1e-7;
     step_fraction = 0.99; presolve = Presolve_auto; inject = None;
-    deadline = None }
+    deadline = None; obs = None }
 
 let pp_status ppf = function
   | Optimal -> Format.pp_print_string ppf "optimal"
@@ -138,6 +139,9 @@ let solve_direct ~params ~c ~g ~h cone =
     let best_score = ref infinity in
     let best_state = ref None in
     let last_improvement = ref 0 in
+    (* Step length that produced the current iterate, reported with the
+       iteration trace event (0 before the first step). *)
+    let last_step = ref 0.0 in
     let scaled () =
       let t = !tau in
       ( Vec.scale (1.0 /. t) !x,
@@ -252,6 +256,12 @@ let solve_direct ~params ~c ~g ~h cone =
             "iter %2d  pcost % .6e  dcost % .6e  gap %.2e  pres %.2e  dres \
              %.2e  tau %.2e  kappa %.2e"
             iter pcost dcost gap pres dres !tau !kappa);
+      (match params.obs with
+      | None -> ()
+      | Some o ->
+        Obs.Ctx.emit o
+          (Obs.Trace.Socp_iter
+             { iter; pres; dres; gap; step = !last_step }));
       (* Relaxed acceptance used when progress dries up: the iterate is
          still returned as Optimal if it is accurate to ~1e3× the target
          tolerances (mirrors the "close to optimal" exit of ECOS). *)
@@ -398,6 +408,7 @@ let solve_direct ~params ~c ~g ~h cone =
               let step = Float.min 1.0 (params.step_fraction *. alpha) in
               if step <= 1e-12 || Float.is_nan step then finish_or Stalled
               else begin
+                last_step := step;
                 Vec.axpy step dx !x;
                 Vec.axpy step ds !s;
                 Vec.axpy step dz !z;
@@ -462,6 +473,12 @@ let solve ?(params = default_params) ~c ~g ~h cone =
   if Mat.rows g <> m || Mat.cols g <> n then
     invalid_arg "Socp.solve: G dimensions do not match c and h";
   if Cone.dim cone <> m then invalid_arg "Socp.solve: cone dimension";
+  (match params.obs with
+  | None -> ()
+  | Some o -> Obs.Ctx.emit o (Obs.Trace.Solve_start { rows = m; cols = n }));
+  let t0 =
+    match params.obs with None -> 0.0 | Some _ -> Obs.Clock.now ()
+  in
   let equilibrate =
     match params.presolve with
     | Presolve_off -> false
@@ -471,13 +488,31 @@ let solve ?(params = default_params) ~c ~g ~h cone =
        magnitude. *)
     | Presolve_auto -> m > 0 && Presolve.badly_scaled g
   in
-  if not equilibrate then solve_direct ~params ~c ~g ~h cone
-  else begin
-    let sc, c', g', h' = Presolve.equilibrate ~c ~g ~h cone in
-    Log.debug (fun f ->
-        f "presolve: Ruiz equilibration, dynamic range %.2e -> %.2e"
-          (Presolve.dynamic_range g)
-          (Presolve.dynamic_range g'));
-    let sol = solve_direct ~params ~c:c' ~g:g' ~h:h' cone in
-    unscale_solution sc ~c ~g ~h sol
-  end
+  let sol =
+    if not equilibrate then solve_direct ~params ~c ~g ~h cone
+    else begin
+      let sc, c', g', h' = Presolve.equilibrate ~c ~g ~h cone in
+      let range_before = Presolve.dynamic_range g
+      and range_after = Presolve.dynamic_range g' in
+      Log.debug (fun f ->
+          f "presolve: Ruiz equilibration, dynamic range %.2e -> %.2e"
+            range_before range_after);
+      (match params.obs with
+      | None -> ()
+      | Some o ->
+        Obs.Ctx.emit o (Obs.Trace.Presolve { range_before; range_after }));
+      let sol = solve_direct ~params ~c:c' ~g:g' ~h:h' cone in
+      unscale_solution sc ~c ~g ~h sol
+    end
+  in
+  (match params.obs with
+  | None -> ()
+  | Some o ->
+    Obs.Ctx.emit o
+      (Obs.Trace.Solve_end
+         {
+           status = Format.asprintf "%a" pp_status sol.status;
+           iterations = sol.iterations;
+           time_s = Obs.Clock.now () -. t0;
+         }));
+  sol

@@ -71,6 +71,15 @@ type params = {
           (cheap next to the Cholesky work); once it returns true the
           solve stops with {!status.Timed_out} and the best iterate so
           far.  [None] (the default) keeps the loop hook-free. *)
+  obs : Obs.Ctx.t option;
+      (** observability context: when set, the solve emits
+          [Solve_start]/[Solve_end], one [Socp_iter] event per
+          interior-point iteration (residuals, gap, step length) and a
+          [Presolve] event when equilibration runs.  [None] (the
+          default) keeps the loop entirely instrumentation-free; the
+          hook travels inside [params] so the recovery ladder and the
+          sweep engines forward it without extra plumbing.  See
+          docs/observability.md. *)
 }
 
 val default_params : params

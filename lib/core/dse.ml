@@ -12,8 +12,11 @@ let with_periods cfg ~scale =
    abandoned wholesale instead of bisecting on garbage. *)
 exception Probe_expired
 
-let min_period_scale ?(tolerance = 1e-4) ?params ?policy ?on_probe ?on_failure
-    ?on_feasible cfg =
+let min_period_scale ?(tolerance = 1e-4) ?params ?policy ?obs ?on_probe
+    ?on_failure ?on_feasible cfg =
+  (* The context rides inside the params so every probe's [Mapping.solve]
+     sees it without further plumbing. *)
+  let params = Durability.params_with_obs params obs in
   (* One mutable clone serves every probe: only the periods change
      between probes, so rescaling them in place beats rebuilding the
      whole configuration each time. *)
@@ -130,7 +133,7 @@ let decode_point cap payload =
     | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
 
 let throughput_curve ?params ?policy ?pool ?deadline ?candidate_deadline
-    ?journal ?cancel ?on_progress cfg ~caps =
+    ?journal ?cancel ?obs ?on_progress cfg ~caps =
   let policy =
     match policy with Some p -> p | None -> Recovery.default_policy ()
   in
@@ -146,7 +149,9 @@ let throughput_curve ?params ?policy ?pool ?deadline ?candidate_deadline
       { policy with Recovery.fault = Fault.for_candidate policy.Recovery.fault ~index }
     in
     let params =
-      Durability.params_with_deadline params ~deadline ~candidate_deadline
+      Durability.params_with_obs
+        (Durability.params_with_deadline params ~deadline ~candidate_deadline)
+        obs
     in
     let failed = ref None in
     let on_failure e =
@@ -159,40 +164,55 @@ let throughput_curve ?params ?policy ?pool ?deadline ?candidate_deadline
     let on_feasible r =
       last_certified := Certify.certified r.Mapping.certificate
     in
-    match
-      let capped = Config.copy cfg in
-      List.iter
-        (fun b -> Config.set_max_capacity capped b (Some cap))
-        (Config.all_buffers capped);
+    let point =
       match
-        min_period_scale ?params ~policy:candidate_policy ~on_failure
-          ~on_feasible capped
+        let capped = Config.copy cfg in
+        List.iter
+          (fun b -> Config.set_max_capacity capped b (Some cap))
+          (Config.all_buffers capped);
+        match
+          min_period_scale ?params ~policy:candidate_policy ~on_failure
+            ~on_feasible capped
+        with
+        | None -> None
+        | Some scale -> begin
+          match Config.graphs capped with
+          | g :: _ -> Some (Config.period capped g *. scale)
+          | [] -> None
+        end
       with
-      | None -> None
-      | Some scale -> begin
-        match Config.graphs capped with
-        | g :: _ -> Some (Config.period capped g *. scale)
-        | [] -> None
+      | Some period ->
+        { cap; outcome = Ok (Some period); certified = !last_certified }
+      | None -> begin
+        (* No feasible scale: an infeasibility verdict everywhere is the
+           honest [Ok None]; a failing solver is a skip with a reason. *)
+        match !failed with
+        | Some reason -> { cap; outcome = Error reason; certified = false }
+        | None -> { cap; outcome = Ok None; certified = false }
       end
-    with
-    | Some period ->
-      { cap; outcome = Ok (Some period); certified = !last_certified }
-    | None -> begin
-      (* No feasible scale: an infeasibility verdict everywhere is the
-         honest [Ok None]; a failing solver is a skip with a reason. *)
-      match !failed with
-      | Some reason -> { cap; outcome = Error reason; certified = false }
-      | None -> { cap; outcome = Ok None; certified = false }
-    end
-    | exception e ->
-      {
-        cap;
-        outcome = Error ("uncaught exception: " ^ Printexc.to_string e);
-        certified = false;
-      }
+      | exception e ->
+        {
+          cap;
+          outcome = Error ("uncaught exception: " ^ Printexc.to_string e);
+          certified = false;
+        }
+    in
+    (match obs with
+    | None -> ()
+    | Some o ->
+      let verdict =
+        match point.outcome with
+        | Ok (Some _) -> "feasible"
+        | Ok None -> "infeasible"
+        | Error reason ->
+          if String.equal reason "timed out" then "timed out" else "skipped"
+      in
+      Obs.Ctx.emit o (Obs.Trace.Candidate { index; verdict }));
+    point
   in
   let results, progress =
-    Durable.Sweep.run ?pool ?journal ~deadline ?cancel ~encode:encode_point
+    Durable.Sweep.run ?pool ?journal ?obs ~deadline ?cancel
+      ~encode:encode_point
       ~decode:(fun i payload -> decode_point caps.(i) payload)
       ~n:(Array.length caps) solve_cap
   in

@@ -46,6 +46,7 @@ val min_period_scale :
   ?tolerance:float ->
   ?params:Conic.Socp.params ->
   ?policy:Robust.Recovery.policy ->
+  ?obs:Obs.Ctx.t ->
   ?on_probe:(float -> unit) ->
   ?on_failure:(Mapping.error -> unit) ->
   ?on_feasible:(Mapping.result -> unit) ->
@@ -99,7 +100,14 @@ val curve_skipped : curve_point list -> (int * string) list
     between candidates (cooperative cancellation — Ctrl-C handling in
     the CLI); candidates in flight are drained, not aborted.  A sweep
     cut short returns the points actually evaluated, in cap order;
-    [?on_progress] reports the restored/solved/abandoned split. *)
+    [?on_progress] reports the restored/solved/abandoned split.
+
+    Observability (docs/observability.md): [?obs] rides into every
+    probe's solver and emits one {!Obs.Trace.Candidate} event per
+    newly-evaluated cap (verdict ["feasible"], ["infeasible"],
+    ["skipped"] or ["timed out"]), one {!Obs.Trace.Restore} event per
+    slot when a journal is consulted, and the pool's dispatch/join
+    events. *)
 val throughput_curve :
   ?params:Conic.Socp.params ->
   ?policy:Robust.Recovery.policy ->
@@ -108,6 +116,7 @@ val throughput_curve :
   ?candidate_deadline:float ->
   ?journal:Durable.Journal.t ->
   ?cancel:(unit -> bool) ->
+  ?obs:Obs.Ctx.t ->
   ?on_progress:(Durable.Sweep.progress -> unit) ->
   Taskgraph.Config.t ->
   caps:int list ->

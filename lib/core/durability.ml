@@ -18,6 +18,28 @@ let params_with_deadline params ~deadline ~candidate_deadline =
     let base = Option.value params ~default:Socp.default_params in
     Some { base with Socp.deadline = Some expired }
 
+(* Install an observability context as the [Socp.params.obs] hook so
+   the solver, the recovery ladder and [Mapping] all see it without
+   per-call plumbing.  [None] passes the params through untouched —
+   the uninstrumented path stays hook-free. *)
+let params_with_obs params obs =
+  match obs with
+  | None -> params
+  | Some _ ->
+    let base = Option.value params ~default:Socp.default_params in
+    Some { base with Socp.obs }
+
+(* The effective context of a call that takes both [?obs] and
+   [?params]: an explicit [?obs] wins, else whatever already rides in
+   the params (as threaded by an enclosing sweep). *)
+let obs_of params obs =
+  match obs with
+  | Some _ -> obs
+  | None -> (
+    match (params : Socp.params option) with
+    | Some p -> p.Socp.obs
+    | None -> None)
+
 (* Journal payloads render floats as hex literals ("%h"), which
    [float_of_string] parses back bit-exactly — a resumed sweep must
    reproduce the uninterrupted run to the last digit. *)

@@ -19,6 +19,18 @@ val params_with_deadline :
   candidate_deadline:float option ->
   Conic.Socp.params option
 
+(** [params_with_obs params obs] installs [obs] as
+    {!Conic.Socp.params.obs} so the solver and the recovery ladder
+    emit into it; [params] is returned untouched when [obs] is
+    [None]. *)
+val params_with_obs :
+  Conic.Socp.params option -> Obs.Ctx.t option -> Conic.Socp.params option
+
+(** [obs_of params obs] is the effective context of a call taking both
+    [?obs] and [?params]: an explicit [obs] wins, else the one already
+    riding in [params]. *)
+val obs_of : Conic.Socp.params option -> Obs.Ctx.t option -> Obs.Ctx.t option
+
 (** [float_to_token f] renders [f] as a hex float literal. *)
 val float_to_token : float -> string
 

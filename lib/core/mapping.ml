@@ -154,7 +154,7 @@ let corrupt_rounding cfg (mapped : Config.mapped) =
    additionally pass both — and the simulation hard check — or the
    degraded solve is turned into an error rather than silently
    returned. *)
-let finish_optimal cfg ~policy builder result trace stats =
+let finish_optimal cfg ~policy ~obs builder result trace stats =
   let continuous = Socp_builder.extract cfg builder result in
   let granularity = Config.granularity cfg in
   let mapped_with eps =
@@ -195,9 +195,15 @@ let finish_optimal cfg ~policy builder result trace stats =
         let strict = mapped_with 0.0 in
         (strict, Dataflow_model.verify cfg strict, Certify.check cfg strict)
     in
-    if Fault.corrupts_rounding policy.Recovery.fault then
+    if Fault.corrupts_rounding policy.Recovery.fault then begin
+      (match obs with
+      | None -> ()
+      | Some o ->
+        Obs.Ctx.emit o
+          (Obs.Trace.Fault_injected { kind = "bad_round"; attempt = 1 }));
       let bad = corrupt_rounding cfg mapped in
       (bad, Dataflow_model.verify cfg bad, Certify.check cfg bad)
+    end
     else (mapped, verification, certificate)
   with
   | exception Rounding.Non_finite { what; value } ->
@@ -207,6 +213,16 @@ let finish_optimal cfg ~policy builder result trace stats =
             "non-finite %s %h emitted by the solver; rounding refused" what
             value))
   | mapped, verification, certificate ->
+    (match obs with
+    | None -> ()
+    | Some o ->
+      Obs.Ctx.emit o
+        (Obs.Trace.Certificate
+           {
+             verdict =
+               (if Certify.certified certificate then "certified"
+                else "refuted");
+           }));
     let sim_check = sim_cross_check cfg mapped in
     let uncertifiable msg =
       Error
@@ -247,7 +263,7 @@ let finish_optimal cfg ~policy builder result trace stats =
    not the joint optimum, but it is feasible and certified, which beats
    returning nothing.  The synthesized [continuous] point reports the
    fallback's own (rounded) values. *)
-let fallback_lp cfg trace stats final_status =
+let fallback_lp cfg ~obs trace stats final_status =
   let fail ?note () =
     let suffix = match note with None -> "" | Some n -> "; " ^ n in
     Error
@@ -256,8 +272,28 @@ let fallback_lp cfg trace stats final_status =
             final_status (Recovery.attempts trace) Recovery.pp_trace trace
             suffix))
   in
-  match Two_phase.budget_first ~policy:Two_phase.Fair_share cfg with
+  (match obs with
+  | None -> ()
+  | Some o ->
+    Obs.Ctx.emit o
+      (Obs.Trace.Rung_enter
+         { attempt = Recovery.attempts trace + 1; stage = "fallback-lp" }));
+  let exit_rung status =
+    match obs with
+    | None -> ()
+    | Some o ->
+      Obs.Ctx.emit o
+        (Obs.Trace.Rung_exit
+           {
+             attempt = Recovery.attempts trace + 1;
+             stage = "fallback-lp";
+             status;
+             fault = None;
+           })
+  in
+  match Two_phase.budget_first ~policy:Two_phase.Fair_share ?obs cfg with
   | Error e ->
+    exit_rung "failed";
     fail
       ~note:
         (Format.asprintf "fallback LP also failed: %a" Two_phase.pp_error e)
@@ -274,8 +310,11 @@ let fallback_lp cfg trace stats final_status =
       else sim_hard_failure cfg mapped
     in
     (match hard with
-    | Some msg -> fail ~note:("fallback LP mapping failed certification: " ^ msg) ()
+    | Some msg ->
+      exit_rung "uncertified";
+      fail ~note:("fallback LP mapping failed certification: " ^ msg) ()
     | None ->
+      exit_rung "recovered (exact simplex)";
       let attempt =
         {
           Recovery.stage = Recovery.Fallback_lp;
@@ -311,14 +350,19 @@ let fallback_lp cfg trace stats final_status =
           stats = { stats with attempts = stats.attempts + 1 };
         })
 
-let solve ?params ?policy cfg =
+let solve ?params ?policy ?obs cfg =
   let policy =
     match policy with Some p -> p | None -> Recovery.default_policy ()
   in
+  (* An explicit [?obs] wins; otherwise keep whatever already rides in
+     the params (threaded there by an enclosing sweep). *)
+  let obs = Durability.obs_of params obs in
+  let params = Durability.params_with_obs params obs in
   let builder = Socp_builder.build cfg in
   let t0 = Unix.gettimeofday () in
   let result, trace =
-    Recovery.solve_model ~policy ?params builder.Socp_builder.model
+    Obs.Ctx.with_span obs "socp" (fun () ->
+        Recovery.solve_model ~policy ?params builder.Socp_builder.model)
   in
   let elapsed = Unix.gettimeofday () -. t0 in
   let stats =
@@ -360,5 +404,7 @@ let solve ?params ?policy cfg =
                plan"
               Socp.pp_status result.Model.status (Recovery.attempts trace)
               Recovery.pp_trace trace))
-    else fallback_lp cfg trace stats result.Model.status
-  | Socp.Optimal -> finish_optimal cfg ~policy builder result trace stats
+    else fallback_lp cfg ~obs trace stats result.Model.status
+  | Socp.Optimal ->
+    Obs.Ctx.with_span obs "finish" (fun () ->
+        finish_optimal cfg ~policy ~obs builder result trace stats)

@@ -72,13 +72,19 @@ type error =
           deliberately does {e not} journal it, so a resume retries the
           candidate. *)
 
-(** [solve ?params ?policy cfg] runs the full flow.  [params] tunes the
-    interior-point solver; [policy] (default
+(** [solve ?params ?policy ?obs cfg] runs the full flow.  [params]
+    tunes the interior-point solver; [policy] (default
     {!Robust.Recovery.default_policy}, which honours [BUDGETBUF_FAULT])
-    controls the recovery ladder and fault injection. *)
+    controls the recovery ladder and fault injection.  [obs] (or a
+    context already installed in [params]) receives the solve's trace
+    events — solver iterations, recovery rungs, the certificate
+    verdict — and the ["socp"] / ["finish"] phase spans; observation
+    never changes the result (the trace-transparency property of
+    test_obs.ml). *)
 val solve :
   ?params:Conic.Socp.params ->
   ?policy:Robust.Recovery.policy ->
+  ?obs:Obs.Ctx.t ->
   Taskgraph.Config.t ->
   (result, error) Stdlib.result
 

@@ -74,7 +74,7 @@ let decode_outcome payload =
     | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
 
 let frontier ?(steps = 9) ?params ?policy ?pool ?deadline ?candidate_deadline
-    ?journal ?cancel ?on_progress cfg =
+    ?journal ?cancel ?obs ?on_progress cfg =
   if steps < 1 then invalid_arg "Pareto.frontier: steps must be >= 1";
   let policy =
     match policy with Some p -> p | None -> Recovery.default_policy ()
@@ -102,40 +102,56 @@ let frontier ?(steps = 9) ?params ?policy ?pool ?deadline ?candidate_deadline
       { policy with Recovery.fault = Fault.for_candidate policy.Recovery.fault ~index }
     in
     let params =
-      Durability.params_with_deadline params ~deadline ~candidate_deadline
+      Durability.params_with_obs
+        (Durability.params_with_deadline params ~deadline ~candidate_deadline)
+        obs
     in
-    match
-      let candidate = Config.copy cfg in
-      List.iter (fun w -> Config.set_task_weight candidate w ratio) tasks;
-      List.iter (fun b -> Config.set_buffer_weight candidate b 1.0) buffers;
-      Mapping.solve ?params ~policy:candidate_policy candidate
-    with
-    | Ok r ->
-      let budget_sum =
-        List.fold_left
-          (fun acc w -> acc +. r.Mapping.continuous.Socp_builder.budget w)
-          0.0 tasks
+    let outcome =
+      match
+        let candidate = Config.copy cfg in
+        List.iter (fun w -> Config.set_task_weight candidate w ratio) tasks;
+        List.iter (fun b -> Config.set_buffer_weight candidate b 1.0) buffers;
+        Mapping.solve ?params ~policy:candidate_policy candidate
+      with
+      | Ok r ->
+        let budget_sum =
+          List.fold_left
+            (fun acc w -> acc +. r.Mapping.continuous.Socp_builder.budget w)
+            0.0 tasks
+        in
+        let buffer_containers =
+          List.fold_left
+            (fun acc b -> acc + r.Mapping.mapped.Config.capacity b)
+            0 buffers
+        in
+        `Point
+          {
+            weight_ratio = ratio;
+            budget_sum;
+            buffer_containers;
+            rounded_objective = r.Mapping.rounded_objective;
+            certified = Certify.certified r.Mapping.certificate;
+          }
+      | Error (Mapping.Infeasible _) -> `Infeasible
+      | Error ((Mapping.Solver_failure _ | Mapping.Timed_out _) as e) ->
+        `Skipped (ratio, Mapping.short_reason e)
+      | exception _ -> `Skipped (ratio, "exception")
+    in
+    (match obs with
+    | None -> ()
+    | Some o ->
+      let verdict =
+        match outcome with
+        | `Point _ -> "ok"
+        | `Infeasible -> "infeasible"
+        | `Skipped _ -> "skipped"
       in
-      let buffer_containers =
-        List.fold_left
-          (fun acc b -> acc + r.Mapping.mapped.Config.capacity b)
-          0 buffers
-      in
-      `Point
-        {
-          weight_ratio = ratio;
-          budget_sum;
-          buffer_containers;
-          rounded_objective = r.Mapping.rounded_objective;
-          certified = Certify.certified r.Mapping.certificate;
-        }
-    | Error (Mapping.Infeasible _) -> `Infeasible
-    | Error ((Mapping.Solver_failure _ | Mapping.Timed_out _) as e) ->
-      `Skipped (ratio, Mapping.short_reason e)
-    | exception _ -> `Skipped (ratio, "exception")
+      Obs.Ctx.emit o (Obs.Trace.Candidate { index; verdict }));
+    outcome
   in
   let results, progress =
-    Durable.Sweep.run ?pool ?journal ~deadline ?cancel ~encode:encode_outcome
+    Durable.Sweep.run ?pool ?journal ?obs ~deadline ?cancel
+      ~encode:encode_outcome
       ~decode:(fun _ payload -> decode_outcome payload)
       ~n:(Array.length ratios) solve_ratio
   in

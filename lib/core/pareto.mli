@@ -46,6 +46,12 @@ type sweep = { points : point list; skipped : (float * string) list }
     a timed-out ratio lands in [skipped] with reason ["timed out"]
     without being journaled, so a resume retries it.  [?on_progress]
     reports the restored/solved/abandoned split.
+
+    Observability (docs/observability.md): [?obs] rides into every
+    candidate's solver and emits one {!Obs.Trace.Candidate} event per
+    newly-solved ratio (verdict ["ok"], ["infeasible"] or
+    ["skipped"]), one {!Obs.Trace.Restore} event per slot when a
+    journal is consulted, and the pool's dispatch/join events.
     @raise Invalid_argument if [steps < 1]. *)
 val frontier :
   ?steps:int ->
@@ -56,6 +62,7 @@ val frontier :
   ?candidate_deadline:float ->
   ?journal:Durable.Journal.t ->
   ?cancel:(unit -> bool) ->
+  ?obs:Obs.Ctx.t ->
   ?on_progress:(Durable.Sweep.progress -> unit) ->
   Taskgraph.Config.t ->
   sweep

@@ -167,7 +167,7 @@ let decode_point cfg ~candidate cap payload =
     None
 
 let capacity_sweep ?params ?policy ?pool ?deadline ?candidate_deadline ?journal
-    ?cancel ?on_progress cfg ~buffers ~caps =
+    ?cancel ?obs ?on_progress cfg ~buffers ~caps =
   let policy =
     match policy with Some p -> p | None -> Recovery.default_policy ()
   in
@@ -183,7 +183,9 @@ let capacity_sweep ?params ?policy ?pool ?deadline ?candidate_deadline ?journal
       { policy with Recovery.fault = Fault.for_candidate policy.Recovery.fault ~index }
     in
     let params =
-      Durability.params_with_deadline params ~deadline ~candidate_deadline
+      Durability.params_with_obs
+        (Durability.params_with_deadline params ~deadline ~candidate_deadline)
+        obs
     in
     let result =
       match
@@ -199,10 +201,21 @@ let capacity_sweep ?params ?policy ?pool ?deadline ?candidate_deadline ?journal
           (Mapping.Solver_failure
              ("uncaught exception: " ^ Printexc.to_string e))
     in
+    (match obs with
+    | None -> ()
+    | Some o ->
+      let verdict =
+        match result with
+        | Ok _ -> "ok"
+        | Error (Mapping.Infeasible _) -> "infeasible"
+        | Error (Mapping.Timed_out _) -> "timed out"
+        | Error (Mapping.Solver_failure _) -> "skipped"
+      in
+      Obs.Ctx.emit o (Obs.Trace.Candidate { index; verdict }));
     { cap; result }
   in
   let results, progress =
-    Durable.Sweep.run ?pool ?journal ~deadline ?cancel
+    Durable.Sweep.run ?pool ?journal ?obs ~deadline ?cancel
       ~encode:(encode_point cfg)
       ~decode:(fun i payload ->
         (* Rebuild the capped candidate the point was solved on, so the

@@ -37,7 +37,13 @@ type point = {
     expired candidate gets the [Timed_out] error — never journaled, so
     a resume retries it.  [?cancel] stops the sweep between candidates;
     abandoned caps are simply absent from the returned list
-    ([?on_progress] reports the split). *)
+    ([?on_progress] reports the split).
+
+    Observability (docs/observability.md): [?obs] rides into every
+    candidate's solver and emits one {!Obs.Trace.Candidate} event per
+    newly-solved cap (verdict ["ok"], ["infeasible"], ["skipped"] or
+    ["timed out"]), one {!Obs.Trace.Restore} event per slot when a
+    journal is consulted, and the pool's dispatch/join events. *)
 val capacity_sweep :
   ?params:Conic.Socp.params ->
   ?policy:Robust.Recovery.policy ->
@@ -46,6 +52,7 @@ val capacity_sweep :
   ?candidate_deadline:float ->
   ?journal:Durable.Journal.t ->
   ?cancel:(unit -> bool) ->
+  ?obs:Obs.Ctx.t ->
   ?on_progress:(Durable.Sweep.progress -> unit) ->
   Taskgraph.Config.t ->
   buffers:Taskgraph.Config.buffer list ->

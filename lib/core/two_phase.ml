@@ -199,7 +199,7 @@ let buffer_lp cfg ~budget =
           ~initial_tokens:(Config.initial_tokens cfg b)
           (value (dv b)))
 
-let finish cfg ~budget ~capacity ~rounds =
+let finish ?obs cfg ~budget ~capacity ~rounds =
   let mapped = { Config.budget; Config.capacity } in
   match Dataflow_model.verify cfg mapped with
   | exception Rounding.Non_finite { what; value } ->
@@ -209,23 +209,28 @@ let finish cfg ~budget ~capacity ~rounds =
             "non-finite %s %h emitted by the solver; rounding refused" what
             value))
   | [] ->
-    Ok
-      {
-        mapped;
-        objective = objective_of cfg mapped;
-        rounds;
-        certificate = Certify.check cfg mapped;
-      }
+    let certificate = Certify.check cfg mapped in
+    (match obs with
+    | None -> ()
+    | Some o ->
+      Obs.Ctx.emit o
+        (Obs.Trace.Certificate
+           {
+             verdict =
+               (if Certify.certified certificate then "certified"
+                else "refuted");
+           }));
+    Ok { mapped; objective = objective_of cfg mapped; rounds; certificate }
   | problems ->
     Error (Solver_failure ("two-phase result failed verification: "
                            ^ String.concat "; "
                                (List.map Violation.to_string problems)))
 
-let budget_first ?(policy = Min_budget) cfg =
+let budget_first ?(policy = Min_budget) ?obs cfg =
   let budget = budgets_of_policy cfg policy in
   let* () = check_budgets cfg budget in
   let* capacity = buffer_lp cfg ~budget in
-  finish cfg ~budget ~capacity ~rounds:2
+  finish ?obs cfg ~budget ~capacity ~rounds:2
 
 (* ------------------------------------------------------------------ *)
 (* Phase 2': budgets at fixed capacities — the cone program with δ′    *)

@@ -54,10 +54,14 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-(** [budget_first ?policy cfg] runs phase 1 (budgets) then phase 2
-    (buffer LP via simplex). *)
+(** [budget_first ?policy ?obs cfg] runs phase 1 (budgets) then phase 2
+    (buffer LP via simplex).  [obs] receives a {!Obs.Trace.Certificate}
+    verdict event when the flow reaches certification. *)
 val budget_first :
-  ?policy:budget_policy -> Taskgraph.Config.t -> (result, error) Stdlib.result
+  ?policy:budget_policy ->
+  ?obs:Obs.Ctx.t ->
+  Taskgraph.Config.t ->
+  (result, error) Stdlib.result
 
 (** [buffer_sizing_lp cfg ~budget] is the phase-2 linear program alone:
     minimal (rounded) buffer capacities for the given fixed budgets, by

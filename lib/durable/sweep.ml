@@ -10,8 +10,8 @@ let pp_progress ppf p =
   Format.fprintf ppf "%d/%d resumed, %d solved, %d not run" p.resumed p.total
     p.solved p.not_run
 
-let run ?pool ?journal ?(deadline = Deadline.none) ?cancel ~encode ~decode ~n f
-    =
+let run ?pool ?journal ?obs ?(deadline = Deadline.none) ?cancel ~encode ~decode
+    ~n f =
   if n < 0 then invalid_arg "Durable.Sweep.run: n must be >= 0";
   let results = Array.make (Int.max n 1) None in
   let resumed = ref 0 in
@@ -29,7 +29,16 @@ let run ?pool ?journal ?(deadline = Deadline.none) ?cancel ~encode ~decode ~n f
               results.(index) <- Some v;
               incr resumed
             | None -> ()))
-      (Journal.entries j));
+      (Journal.entries j);
+    (* One restore verdict per slot, hit or miss — only meaningful (and
+       only emitted) when a journal was consulted at all. *)
+    match obs with
+    | None -> ()
+    | Some o ->
+      for i = 0 to n - 1 do
+        Obs.Ctx.emit o
+          (Obs.Trace.Restore { index = i; hit = results.(i) <> None })
+      done);
   let stop =
     let cancelled =
       match cancel with None -> fun () -> false | Some c -> c
@@ -71,7 +80,7 @@ let run ?pool ?journal ?(deadline = Deadline.none) ?cancel ~encode ~decode ~n f
         | Error Parallel.Pool.Cancelled -> ()
         | Error e -> raise e)
       todo
-      (Parallel.Pool.map_result ~cancel:stop pool solve_one todo));
+      (Parallel.Pool.map_result ~cancel:stop ?obs pool solve_one todo));
   let results = if n = 0 then [||] else results in
   ( results,
     { total = n; resumed = !resumed; solved = !solved; not_run = n - !resumed - !solved }

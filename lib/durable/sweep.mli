@@ -34,10 +34,15 @@ val pp_progress : Format.formatter -> progress -> unit
     per-candidate exception barrier; an exception that escapes [f]
     (or the journal's own I/O failing) is re-raised at the join.
 
+    [obs] emits one [Restore] event per slot (hit or miss) when a
+    journal is consulted, and is forwarded to the pool for its
+    dispatch/join events.
+
     @raise Invalid_argument if [n < 0]. *)
 val run :
   ?pool:Parallel.Pool.t ->
   ?journal:Journal.t ->
+  ?obs:Obs.Ctx.t ->
   ?deadline:Deadline.t ->
   ?cancel:(unit -> bool) ->
   encode:('a -> string option) ->

@@ -1,0 +1,12 @@
+(* The trace clock, replaceable for tests: a golden-trace test must get
+   bit-identical timestamps and span durations, so it installs a
+   deterministic counter here (the same pattern as
+   [Durable.Deadline.set_clock_for_testing]). *)
+
+let clock = ref Unix.gettimeofday
+
+let set_clock_for_testing = function
+  | None -> clock := Unix.gettimeofday
+  | Some f -> clock := f
+
+let now () = !clock ()

@@ -1,0 +1,12 @@
+(** The clock that stamps trace events and measures spans.
+
+    Injectable for tests, mirroring [Durable.Deadline]: a deterministic
+    clock yields bit-identical traces, which is what makes them
+    testable at all (docs/observability.md). *)
+
+(** [now ()] reads the trace clock. *)
+val now : unit -> float
+
+(** [set_clock_for_testing (Some f)] replaces the wall clock with [f];
+    [None] restores [Unix.gettimeofday].  Tests only. *)
+val set_clock_for_testing : (unit -> float) option -> unit

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3), the checksum of gzip and PNG.  Used to detect
+    torn or corrupted lines in trace files ({!Sink}) and sweep journals
+    ([Durable.Journal], which re-exports this module). *)
+
+(** [string s] is the CRC-32 of [s].  The classic check value holds:
+    [string "123456789" = 0xCBF43926l]. *)
+val string : string -> int32
+
+(** [update crc s] extends a running checksum, so
+    [update (string a) b = string (a ^ b)]. *)
+val update : int32 -> string -> int32
+
+(** [hex crc] is the 8-digit lowercase hex rendering. *)
+val hex : int32 -> string

@@ -1,0 +1,159 @@
+(* The observability context threaded through the stack as [?obs].
+
+   [emit] does two things: it folds the event into the aggregate
+   metrics (the [--metrics] table), and — unless the sink is null — it
+   stamps the event with a sequence number and a clock reading and
+   hands it to the sink.  The metrics side uses the lock-free
+   per-domain cells of [Metrics] for the counters every solve touches;
+   the low-rate keyed tallies (rung histogram, candidate verdicts,
+   span totals — a handful of events per solve, not per iteration) go
+   through one small mutex-guarded table. *)
+
+type t = {
+  sink : Sink.t;
+  seq : int Atomic.t;
+  solves : Metrics.Counter.t;
+  iterations : Metrics.Counter.t;
+  restore_hits : Metrics.Counter.t;
+  restore_misses : Metrics.Counter.t;
+  dispatched : Metrics.Counter.t;
+  joined : Metrics.Counter.t;
+  solve_time : Metrics.Histogram.t;
+  keyed_mutex : Mutex.t;
+  rungs : (string, int ref) Hashtbl.t;
+  certificates : (string, int ref) Hashtbl.t;
+  candidates : (string, int ref) Hashtbl.t;
+  faults : (string, int ref) Hashtbl.t;
+  phases : (string, float ref) Hashtbl.t;
+}
+
+let make ?(sink = Sink.null) () =
+  {
+    sink;
+    seq = Atomic.make 0;
+    solves = Metrics.Counter.make ();
+    iterations = Metrics.Counter.make ();
+    restore_hits = Metrics.Counter.make ();
+    restore_misses = Metrics.Counter.make ();
+    dispatched = Metrics.Counter.make ();
+    joined = Metrics.Counter.make ();
+    solve_time = Metrics.Histogram.make ();
+    keyed_mutex = Mutex.create ();
+    rungs = Hashtbl.create 8;
+    certificates = Hashtbl.create 4;
+    candidates = Hashtbl.create 8;
+    faults = Hashtbl.create 4;
+    phases = Hashtbl.create 8;
+  }
+
+let sink t = t.sink
+
+let bump_keyed t table key =
+  Mutex.lock t.keyed_mutex;
+  (match Hashtbl.find_opt table key with
+  | Some r -> incr r
+  | None -> Hashtbl.add table key (ref 1));
+  Mutex.unlock t.keyed_mutex
+
+let add_phase t name elapsed =
+  Mutex.lock t.keyed_mutex;
+  (match Hashtbl.find_opt t.phases name with
+  | Some r -> r := !r +. elapsed
+  | None -> Hashtbl.add t.phases name (ref elapsed));
+  Mutex.unlock t.keyed_mutex
+
+let emit t event =
+  (match event with
+  | Trace.Solve_end { iterations; time_s; _ } ->
+    Metrics.Counter.incr t.solves;
+    Metrics.Counter.incr ~by:iterations t.iterations;
+    Metrics.Histogram.observe t.solve_time time_s
+  | Trace.Rung_enter { stage; _ } -> bump_keyed t t.rungs stage
+  | Trace.Fault_injected { kind; _ } -> bump_keyed t t.faults kind
+  | Trace.Certificate { verdict } -> bump_keyed t t.certificates verdict
+  | Trace.Candidate { verdict; _ } -> bump_keyed t t.candidates verdict
+  | Trace.Restore { hit; _ } ->
+    Metrics.Counter.incr (if hit then t.restore_hits else t.restore_misses)
+  | Trace.Task_dispatch _ -> Metrics.Counter.incr t.dispatched
+  | Trace.Task_join _ -> Metrics.Counter.incr t.joined
+  | Trace.Span_close { name; elapsed_s } -> add_phase t name elapsed_s
+  | Trace.Solve_start _ | Trace.Socp_iter _ | Trace.Presolve _
+  | Trace.Rung_exit _ | Trace.Span_open _ ->
+    ());
+  match t.sink with
+  | s when s == Sink.null -> ()
+  | s ->
+    Sink.emit s
+      {
+        Trace.seq = Atomic.fetch_and_add t.seq 1;
+        time = Clock.now ();
+        event;
+      }
+
+let with_span obs name f =
+  match obs with
+  | None -> f ()
+  | Some t ->
+    emit t (Trace.Span_open { name });
+    let t0 = Clock.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        emit t (Trace.Span_close { name; elapsed_s = Clock.now () -. t0 }))
+      f
+
+(* The end-of-run metrics table.  Keyed lines render their entries in
+   sorted key order, and empty sections are omitted entirely, so the
+   output is deterministic for a deterministic run (wall-clock values —
+   the [phase ...] and mean-time lines — are the exception, which is
+   why they carry a recognisable prefix the cram tests filter on). *)
+let keyed_line table label =
+  let entries =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  match entries with
+  | [] -> None
+  | entries ->
+    Some
+      (Printf.sprintf "%s: %s" label
+         (String.concat " "
+            (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) entries)))
+
+let report t =
+  Mutex.lock t.keyed_mutex;
+  let phase_entries =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.phases []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let rung_line = keyed_line t.rungs "rungs" in
+  let cert_line = keyed_line t.certificates "certificates" in
+  let cand_line = keyed_line t.candidates "candidates" in
+  let fault_line = keyed_line t.faults "faults" in
+  Mutex.unlock t.keyed_mutex;
+  let solves = Metrics.Counter.value t.solves in
+  let lines = ref [] in
+  let add l = lines := l :: !lines in
+  add
+    (Printf.sprintf "solves: %d (%d iterations)" solves
+       (Metrics.Counter.value t.iterations));
+  (match rung_line with Some l -> add l | None -> ());
+  (match fault_line with Some l -> add l | None -> ());
+  (match cert_line with Some l -> add l | None -> ());
+  (match cand_line with Some l -> add l | None -> ());
+  let hits = Metrics.Counter.value t.restore_hits
+  and misses = Metrics.Counter.value t.restore_misses in
+  if hits + misses > 0 then
+    add (Printf.sprintf "restores: %d hit, %d missed" hits misses);
+  let dispatched = Metrics.Counter.value t.dispatched
+  and joined = Metrics.Counter.value t.joined in
+  if dispatched + joined > 0 then
+    add (Printf.sprintf "pool: %d dispatched, %d joined" dispatched joined);
+  if solves > 0 then
+    add
+      (Printf.sprintf "solve time: %.3f s total, %.4f s mean"
+         (Metrics.Histogram.sum t.solve_time)
+         (Metrics.Histogram.sum t.solve_time /. float_of_int solves));
+  List.iter
+    (fun (name, s) -> add (Printf.sprintf "phase %s: %.3f s" name s))
+    phase_entries;
+  List.rev !lines

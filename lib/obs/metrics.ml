@@ -1,0 +1,79 @@
+(* Lock-free-per-domain metric cells.
+
+   Each counter (and each histogram bucket) is an array of [slots]
+   atomic cells; a domain increments the cell indexed by its own id, so
+   concurrent increments from different domains land on different cache
+   lines with no lock and no contention in the common case.  Reads fold
+   over all cells — they happen at join time (after [Pool.map] returns,
+   or at end-of-run for the metrics table), when the writers are
+   quiescent, so the fold is an exact total even though it is not a
+   single atomic snapshot. *)
+
+let slots = 64 (* power of two: domain ids fold in with a mask *)
+
+let slot_of_domain () = (Domain.self () :> int) land (slots - 1)
+
+module Counter = struct
+  type t = int Atomic.t array
+
+  let make () = Array.init slots (fun _ -> Atomic.make 0)
+
+  let incr ?(by = 1) t =
+    ignore (Atomic.fetch_and_add t.(slot_of_domain ()) by)
+
+  let value t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array; (* strictly increasing upper bounds *)
+    buckets : int Atomic.t array array; (* slots × (bounds + overflow) *)
+    counts : int Atomic.t array;
+    sums : float Atomic.t array;
+  }
+
+  (* Wall-clock-of-a-solve scale: 0.1 ms up to 10 s, then overflow. *)
+  let default_bounds = [| 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+
+  let make ?(bounds = default_bounds) () =
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= bounds.(i - 1) then
+          invalid_arg "Obs.Metrics.Histogram.make: bounds must be increasing")
+      bounds;
+    {
+      bounds = Array.copy bounds;
+      buckets =
+        Array.init slots (fun _ ->
+            Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0));
+      counts = Array.init slots (fun _ -> Atomic.make 0);
+      sums = Array.init slots (fun _ -> Atomic.make 0.0);
+    }
+
+  let rec atomic_add_float cell v =
+    let old = Atomic.get cell in
+    if not (Atomic.compare_and_set cell old (old +. v)) then
+      atomic_add_float cell v
+
+  let observe t v =
+    let slot = slot_of_domain () in
+    let n = Array.length t.bounds in
+    let rec bucket i = if i >= n || v <= t.bounds.(i) then i else bucket (i + 1) in
+    ignore (Atomic.fetch_and_add t.buckets.(slot).(bucket 0) 1);
+    ignore (Atomic.fetch_and_add t.counts.(slot) 1);
+    atomic_add_float t.sums.(slot) v
+
+  let count t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.counts
+  let sum t = Array.fold_left (fun acc c -> acc +. Atomic.get c) 0.0 t.sums
+
+  let buckets t =
+    Array.init
+      (Array.length t.bounds + 1)
+      (fun i ->
+        let upper =
+          if i < Array.length t.bounds then t.bounds.(i) else Float.infinity
+        in
+        ( upper,
+          Array.fold_left (fun acc row -> acc + Atomic.get row.(i)) 0 t.buckets
+        ))
+end

@@ -1,0 +1,43 @@
+(** Lock-free-per-domain counters and histograms.
+
+    Writers touch only the atomic cell indexed by their own domain id
+    — no lock, no shared cache line in the common case — and readers
+    fold over all cells at join time (after the pool has drained, or at
+    end-of-run for the [--metrics] table), when the total is exact. *)
+
+module Counter : sig
+  type t
+
+  val make : unit -> t
+
+  (** [incr ?by t] adds [by] (default 1) to the calling domain's cell.
+      Thread-safe from any domain. *)
+  val incr : ?by:int -> t -> unit
+
+  (** [value t] folds all cells.  Exact when the writers are quiescent;
+      otherwise a consistent partial sum (never torn). *)
+  val value : t -> int
+end
+
+module Histogram : sig
+  type t
+
+  (** [make ?bounds ()] builds a histogram with the given strictly
+      increasing upper bucket bounds (default: a wall-clock scale from
+      0.1 ms to 10 s) plus an implicit overflow bucket.
+      @raise Invalid_argument if the bounds are not increasing. *)
+  val make : ?bounds:float array -> unit -> t
+
+  (** [observe t v] records [v] in the calling domain's cells. *)
+  val observe : t -> float -> unit
+
+  (** [count t] is the total number of observations. *)
+  val count : t -> int
+
+  (** [sum t] is the sum of all observed values. *)
+  val sum : t -> float
+
+  (** [buckets t] pairs each bucket's upper bound (the last is
+      [infinity]) with its aggregated count. *)
+  val buckets : t -> (float * int) array
+end

@@ -1,0 +1,122 @@
+(* Pluggable trace consumers.
+
+   The file sink uses the same line framing as the sweep journal
+   (lib/durable/journal.ml): every line is
+
+     <crc32-hex> <body>
+
+   with the CRC covering everything after the single separating space,
+   preceded by a header line whose body is "budgetbuf-trace 1".  Unlike
+   the journal there is no fsync per record — a trace is diagnostic,
+   not durable state — so writes go through a buffered channel and a
+   crash can tear the tail, which the reader detects (bad CRC, bad
+   JSON or missing newline) and truncates away, exactly like a torn
+   journal. *)
+
+let magic = "budgetbuf-trace"
+let version = "1"
+
+let render_line body = Crc.hex (Crc.string body) ^ " " ^ body ^ "\n"
+
+(* [line] has no trailing newline.  [None] on any damage: too short,
+   missing separator, CRC mismatch. *)
+let body_of_line line =
+  if String.length line < 10 || line.[8] <> ' ' then None
+  else
+    let crc = String.sub line 0 8 in
+    let body = String.sub line 9 (String.length line - 9) in
+    if String.equal crc (Crc.hex (Crc.string body)) then Some body else None
+
+type t =
+  | Null
+  | Ring of { capacity : int; q : Trace.t Queue.t; m : Mutex.t }
+  | File of {
+      path : string;
+      oc : out_channel;
+      m : Mutex.t;
+      mutable closed : bool;
+    }
+
+let null = Null
+
+let ring ~capacity =
+  if capacity < 1 then invalid_arg "Obs.Sink.ring: capacity must be >= 1";
+  Ring { capacity; q = Queue.create (); m = Mutex.create () }
+
+let file path =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
+  output_string oc (render_line (magic ^ " " ^ version));
+  File { path; oc; m = Mutex.create (); closed = false }
+
+let emit t ev =
+  match t with
+  | Null -> ()
+  | Ring r ->
+    Mutex.lock r.m;
+    Queue.push ev r.q;
+    while Queue.length r.q > r.capacity do
+      ignore (Queue.pop r.q)
+    done;
+    Mutex.unlock r.m
+  | File f ->
+    Mutex.lock f.m;
+    if not f.closed then output_string f.oc (render_line (Trace.to_json ev));
+    Mutex.unlock f.m
+
+let events = function
+  | Ring r ->
+    Mutex.lock r.m;
+    let evs = List.of_seq (Queue.to_seq r.q) in
+    Mutex.unlock r.m;
+    evs
+  | Null | File _ -> []
+
+let path = function File f -> Some f.path | Null | Ring _ -> None
+
+let close = function
+  | Null | Ring _ -> ()
+  | File f ->
+    Mutex.lock f.m;
+    if not f.closed then begin
+      f.closed <- true;
+      close_out f.oc
+    end;
+    Mutex.unlock f.m
+
+(* Newline-terminated lines; an unterminated tail chunk is torn by
+   definition and not returned (same discipline as Journal.scan_lines). *)
+let scan_lines content =
+  let len = String.length content in
+  let rec scan pos acc =
+    if pos >= len then List.rev acc
+    else
+      match String.index_from_opt content pos '\n' with
+      | None -> List.rev acc
+      | Some nl -> scan (nl + 1) (String.sub content pos (nl - pos) :: acc)
+  in
+  scan 0 []
+
+let read_file p =
+  match In_channel.with_open_bin p In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | content -> begin
+    match scan_lines content with
+    | [] -> Error (p ^ ": empty or truncated trace header")
+    | first :: rest -> begin
+      match body_of_line first with
+      | Some body when String.equal body (magic ^ " " ^ version) ->
+        (* Stop at the first damaged line: after a torn write nothing
+           downstream is trustworthy. *)
+        let rec take acc = function
+          | [] -> List.rev acc
+          | line :: rest -> begin
+            match Option.bind (body_of_line line) Trace.of_json_line with
+            | Some ev -> take (ev :: acc) rest
+            | None -> List.rev acc
+          end
+        in
+        Ok (take [] rest)
+      | Some _ | None ->
+        Error (p ^ ": not a budgetbuf trace (bad or corrupt header)")
+    end
+  end

@@ -1,0 +1,43 @@
+(** Pluggable trace consumers.
+
+    - {!null}: discards events — the default, near-zero overhead.
+    - {!ring}: keeps the last [capacity] events in memory, evicting the
+      oldest; what the deterministic trace tests read back.
+    - {!file}: a CRC'd append-only JSONL file with the same line
+      framing as the sweep journal ([Durable.Journal]) but without the
+      per-record fsync — a trace is diagnostic, not durable state.  A
+      torn tail is detected and dropped on read. *)
+
+type t
+
+(** The sink that discards everything. *)
+val null : t
+
+(** [ring ~capacity] keeps the most recent [capacity] events.
+    @raise Invalid_argument if [capacity < 1]. *)
+val ring : capacity:int -> t
+
+(** [file path] creates (or truncates) [path] and writes the trace
+    header.  Raises [Sys_error] when the path is not writable — the
+    CLI surfaces that as a clean flag-validation error. *)
+val file : string -> t
+
+(** [emit t ev] delivers one stamped event.  Thread-safe. *)
+val emit : t -> Trace.t -> unit
+
+(** [events t] is the ring contents, oldest first; [[]] for the other
+    sinks. *)
+val events : t -> Trace.t list
+
+(** [path t] is the file sink's path. *)
+val path : t -> string option
+
+(** [close t] flushes and closes a file sink.  Idempotent; a no-op for
+    the other sinks.  Emitting after close is silently dropped. *)
+val close : t -> unit
+
+(** [read_file path] decodes a trace file back into events, dropping a
+    torn or corrupt tail (bad CRC, bad JSON, unterminated line) —
+    everything before the first damaged line is returned.  [Error] when
+    the file is unreadable or its header is not a budgetbuf trace. *)
+val read_file : string -> (Trace.t list, string) result

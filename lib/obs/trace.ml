@@ -1,0 +1,347 @@
+(* The event vocabulary and its line codec.
+
+   One event is one flat JSON object on one line:
+
+     {"seq":12,"t":0.0312,"ev":"socp_iter","iter":4,"pres":...}
+
+   Floats render with "%.17g", which [float_of_string] parses back
+   bit-exactly (17 significant digits pin a binary64); the non-finite
+   values JSON cannot spell are quoted ("nan", "inf", "-inf") and the
+   decoder accepts both spellings.  The decoder is a tiny parser for
+   exactly this shape — flat objects of strings, numbers and booleans —
+   not a general JSON library; anything else is rejected as damage. *)
+
+type event =
+  | Solve_start of { rows : int; cols : int }
+  | Solve_end of { status : string; iterations : int; time_s : float }
+  | Socp_iter of {
+      iter : int;
+      pres : float;
+      dres : float;
+      gap : float;
+      step : float;
+    }
+  | Presolve of { range_before : float; range_after : float }
+  | Rung_enter of { attempt : int; stage : string }
+  | Rung_exit of {
+      attempt : int;
+      stage : string;
+      status : string;
+      fault : string option;
+    }
+  | Fault_injected of { kind : string; attempt : int }
+  | Certificate of { verdict : string }
+  | Restore of { index : int; hit : bool }
+  | Task_dispatch of { index : int }
+  | Task_join of { index : int; ok : bool }
+  | Candidate of { index : int; verdict : string }
+  | Span_open of { name : string }
+  | Span_close of { name : string; elapsed_s : float }
+
+type t = { seq : int; time : float; event : event }
+
+let event_name = function
+  | Solve_start _ -> "solve_start"
+  | Solve_end _ -> "solve_end"
+  | Socp_iter _ -> "socp_iter"
+  | Presolve _ -> "presolve"
+  | Rung_enter _ -> "rung_enter"
+  | Rung_exit _ -> "rung_exit"
+  | Fault_injected _ -> "fault_injected"
+  | Certificate _ -> "certificate"
+  | Restore _ -> "restore"
+  | Task_dispatch _ -> "task_dispatch"
+  | Task_join _ -> "task_join"
+  | Candidate _ -> "candidate"
+  | Span_open _ -> "span_open"
+  | Span_close _ -> "span_close"
+
+(* ---- encoding ---------------------------------------------------- *)
+
+let add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_float b f =
+  if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.17g" f)
+  else
+    add_json_string b
+      (if Float.is_nan f then "nan" else if f > 0.0 then "inf" else "-inf")
+
+type field = S of string | N of float | I of int | B of bool
+
+let fields_of_event = function
+  | Solve_start { rows; cols } -> [ ("rows", I rows); ("cols", I cols) ]
+  | Solve_end { status; iterations; time_s } ->
+    [ ("status", S status); ("iterations", I iterations); ("time_s", N time_s) ]
+  | Socp_iter { iter; pres; dres; gap; step } ->
+    [
+      ("iter", I iter);
+      ("pres", N pres);
+      ("dres", N dres);
+      ("gap", N gap);
+      ("step", N step);
+    ]
+  | Presolve { range_before; range_after } ->
+    [ ("range_before", N range_before); ("range_after", N range_after) ]
+  | Rung_enter { attempt; stage } ->
+    [ ("attempt", I attempt); ("stage", S stage) ]
+  | Rung_exit { attempt; stage; status; fault } ->
+    [ ("attempt", I attempt); ("stage", S stage); ("status", S status) ]
+    @ (match fault with None -> [] | Some f -> [ ("fault", S f) ])
+  | Fault_injected { kind; attempt } ->
+    [ ("kind", S kind); ("attempt", I attempt) ]
+  | Certificate { verdict } -> [ ("verdict", S verdict) ]
+  | Restore { index; hit } -> [ ("index", I index); ("hit", B hit) ]
+  | Task_dispatch { index } -> [ ("index", I index) ]
+  | Task_join { index; ok } -> [ ("index", I index); ("ok", B ok) ]
+  | Candidate { index; verdict } ->
+    [ ("index", I index); ("verdict", S verdict) ]
+  | Span_open { name } -> [ ("name", S name) ]
+  | Span_close { name; elapsed_s } ->
+    [ ("name", S name); ("elapsed_s", N elapsed_s) ]
+
+let to_json { seq; time; event } =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "{\"seq\":";
+  Buffer.add_string b (string_of_int seq);
+  Buffer.add_string b ",\"t\":";
+  add_float b time;
+  Buffer.add_string b ",\"ev\":";
+  add_json_string b (event_name event);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ',';
+      add_json_string b k;
+      Buffer.add_char b ':';
+      match v with
+      | S s -> add_json_string b s
+      | N f -> add_float b f
+      | I i -> Buffer.add_string b (string_of_int i)
+      | B v -> Buffer.add_string b (if v then "true" else "false"))
+    (fields_of_event event);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* One-line human rendering for `budgetbuf trace cat`.  The timestamp
+   is deliberately omitted — it is the one nondeterministic column, and
+   leaving it out keeps golden cram output stable. *)
+let summary { seq; event; _ } =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (string_of_int seq);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (event_name event);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      match v with
+      | S s -> Buffer.add_string b s
+      | N f -> add_float b f
+      | I i -> Buffer.add_string b (string_of_int i)
+      | B v -> Buffer.add_string b (if v then "true" else "false"))
+    (fields_of_event event);
+  Buffer.contents b
+
+(* ---- decoding ---------------------------------------------------- *)
+
+type json = Jstr of string | Jnum of float | Jbool of bool
+
+exception Bad
+
+let parse_object line =
+  let len = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos >= len then raise Bad else line.[!pos] in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < len && (match line.[!pos] with ' ' | '\t' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c = if peek () <> c then raise Bad else advance () in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+          if !pos + 4 >= len then raise Bad;
+          let hex = String.sub line (!pos + 1) 4 in
+          let code =
+            match int_of_string_opt ("0x" ^ hex) with
+            | Some c when c < 0x80 -> c
+            | Some _ | None -> raise Bad
+          in
+          pos := !pos + 4;
+          Buffer.add_char b (Char.chr code)
+        | _ -> raise Bad);
+        advance ();
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Jstr (parse_string ())
+    | 't' ->
+      if !pos + 4 <= len && String.sub line !pos 4 = "true" then begin
+        pos := !pos + 4;
+        Jbool true
+      end
+      else raise Bad
+    | 'f' ->
+      if !pos + 5 <= len && String.sub line !pos 5 = "false" then begin
+        pos := !pos + 5;
+        Jbool false
+      end
+      else raise Bad
+    | '-' | '0' .. '9' ->
+      let start = !pos in
+      while
+        !pos < len
+        &&
+        match line.[!pos] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        advance ()
+      done;
+      (match float_of_string_opt (String.sub line start (!pos - start)) with
+      | Some f -> Jnum f
+      | None -> raise Bad)
+    | _ -> raise Bad
+  in
+  skip_ws ();
+  expect '{';
+  let rec pairs acc =
+    skip_ws ();
+    match peek () with
+    | '}' ->
+      advance ();
+      List.rev acc
+    | _ ->
+      let k = parse_string () in
+      skip_ws ();
+      expect ':';
+      let v = parse_value () in
+      skip_ws ();
+      (match peek () with
+      | ',' ->
+        advance ();
+        pairs ((k, v) :: acc)
+      | '}' ->
+        advance ();
+        List.rev ((k, v) :: acc)
+      | _ -> raise Bad)
+  in
+  let obj = pairs [] in
+  skip_ws ();
+  if !pos <> len then raise Bad;
+  obj
+
+let of_json_line line =
+  match
+    let obj = parse_object line in
+    let str k =
+      match List.assoc_opt k obj with Some (Jstr s) -> s | _ -> raise Bad
+    in
+    let num k =
+      match List.assoc_opt k obj with
+      | Some (Jnum f) -> f
+      | Some (Jstr "nan") -> Float.nan
+      | Some (Jstr "inf") -> Float.infinity
+      | Some (Jstr "-inf") -> Float.neg_infinity
+      | _ -> raise Bad
+    in
+    let int k =
+      let f = num k in
+      let i = int_of_float f in
+      if float_of_int i = f then i else raise Bad
+    in
+    let boolean k =
+      match List.assoc_opt k obj with Some (Jbool v) -> v | _ -> raise Bad
+    in
+    let event =
+      match str "ev" with
+      | "solve_start" -> Solve_start { rows = int "rows"; cols = int "cols" }
+      | "solve_end" ->
+        Solve_end
+          {
+            status = str "status";
+            iterations = int "iterations";
+            time_s = num "time_s";
+          }
+      | "socp_iter" ->
+        Socp_iter
+          {
+            iter = int "iter";
+            pres = num "pres";
+            dres = num "dres";
+            gap = num "gap";
+            step = num "step";
+          }
+      | "presolve" ->
+        Presolve
+          { range_before = num "range_before"; range_after = num "range_after" }
+      | "rung_enter" ->
+        Rung_enter { attempt = int "attempt"; stage = str "stage" }
+      | "rung_exit" ->
+        Rung_exit
+          {
+            attempt = int "attempt";
+            stage = str "stage";
+            status = str "status";
+            fault =
+              (match List.assoc_opt "fault" obj with
+              | Some (Jstr s) -> Some s
+              | None -> None
+              | Some _ -> raise Bad);
+          }
+      | "fault_injected" ->
+        Fault_injected { kind = str "kind"; attempt = int "attempt" }
+      | "certificate" -> Certificate { verdict = str "verdict" }
+      | "restore" -> Restore { index = int "index"; hit = boolean "hit" }
+      | "task_dispatch" -> Task_dispatch { index = int "index" }
+      | "task_join" -> Task_join { index = int "index"; ok = boolean "ok" }
+      | "candidate" ->
+        Candidate { index = int "index"; verdict = str "verdict" }
+      | "span_open" -> Span_open { name = str "name" }
+      | "span_close" ->
+        Span_close { name = str "name"; elapsed_s = num "elapsed_s" }
+      | _ -> raise Bad
+    in
+    { seq = int "seq"; time = num "t"; event }
+  with
+  | t -> Some t
+  | exception Bad -> None

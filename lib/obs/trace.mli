@@ -1,0 +1,70 @@
+(** The trace event vocabulary and its line codec.
+
+    Every layer of the stack reports through this one variant: the
+    interior-point solver (iteration residuals, presolve scaling), the
+    recovery ladder (rung enter/exit, injected faults), the mapping
+    flow (certificate verdicts), the durable sweeps (restore hits,
+    candidate verdicts) and the domain pool (task dispatch/join).  The
+    full grammar is documented in docs/observability.md. *)
+
+type event =
+  | Solve_start of { rows : int; cols : int }
+      (** a cone solve begins, with the (pruned) problem dimensions *)
+  | Solve_end of { status : string; iterations : int; time_s : float }
+      (** the cone solve returned *)
+  | Socp_iter of {
+      iter : int;
+      pres : float;  (** primal residual of the τ-scaled iterate *)
+      dres : float;  (** dual residual *)
+      gap : float;  (** complementarity gap *)
+      step : float;  (** step length that produced this iterate (0 at iter 0) *)
+    }  (** one interior-point iteration *)
+  | Presolve of { range_before : float; range_after : float }
+      (** Ruiz equilibration ran, with the dynamic range it removed *)
+  | Rung_enter of { attempt : int; stage : string }
+      (** the recovery ladder starts an attempt on [stage] *)
+  | Rung_exit of {
+      attempt : int;
+      stage : string;
+      status : string;
+      fault : string option;
+          (** the fault kind injected into this attempt, if any *)
+    }  (** the attempt returned with [status] *)
+  | Fault_injected of { kind : string; attempt : int }
+      (** a fault plan fired (solver faults at rung entry, [bad_round]
+          at the rounding step) — exactly one per fired fault *)
+  | Certificate of { verdict : string }
+      (** exact certification verdict: ["certified"] or ["refuted"] *)
+  | Restore of { index : int; hit : bool }
+      (** journal restore consulted for sweep slot [index] *)
+  | Task_dispatch of { index : int }  (** a pool task starts running *)
+  | Task_join of { index : int; ok : bool }
+      (** a pool task finished; [ok] is false when it captured an
+          exception *)
+  | Candidate of { index : int; verdict : string }
+      (** a sweep candidate finished: ["ok"], ["feasible"],
+          ["infeasible"], ["skipped"] or ["timed out"] *)
+  | Span_open of { name : string }  (** a timed phase begins *)
+  | Span_close of { name : string; elapsed_s : float }
+      (** the phase ends, with its duration on the trace clock *)
+
+(** A stamped event: [seq] is a process-wide monotone sequence number
+    (per context) and [time] the {!Clock} reading at emission. *)
+type t = { seq : int; time : float; event : event }
+
+(** [event_name e] is the stable snake_case tag (the ["ev"] field). *)
+val event_name : event -> string
+
+(** [to_json t] renders one flat JSON object, no trailing newline.
+    Finite floats use ["%.17g"] (bit-exact round trip); non-finite
+    values are quoted (["nan"], ["inf"], ["-inf"]). *)
+val to_json : t -> string
+
+(** [of_json_line line] decodes what {!to_json} wrote; [None] on any
+    damage (the caller treats the line as torn). *)
+val of_json_line : string -> t option
+
+(** [summary t] is the one-line human rendering used by
+    [budgetbuf trace cat]: sequence number, event name and fields —
+    {e without} the timestamp, the one nondeterministic column. *)
+val summary : t -> string

@@ -83,8 +83,12 @@ exception Cancelled
    only in how they join the outcomes.  [cancel] is polled once per
    task, before it starts: tasks already running are drained to
    completion (their results are kept), tasks not yet started record
-   [Cancelled] without running — the pool itself is never torn down. *)
-let execute ?cancel t ~caller f xs =
+   [Cancelled] without running — the pool itself is never torn down.
+   [tasks_run] counts the tasks that actually ran [f]: a
+   cancel-short-circuited slot records its [Cancelled] outcome without
+   bumping the counter, so after any fan-out [tasks_run] equals the
+   number of items started (= all of them when nothing cancels). *)
+let execute ?cancel ?obs t ~caller f xs =
   if t.finished then
     invalid_arg (Printf.sprintf "Parallel.Pool.%s: pool already finalised" caller);
   match xs with
@@ -95,19 +99,32 @@ let execute ?cancel t ~caller f xs =
     let results = Array.make n None in
     let remaining = ref n in
     let cancelled () = match cancel with None -> false | Some c -> c () in
+    let emit ev =
+      match obs with None -> () | Some o -> Obs.Ctx.emit o ev
+    in
     (* Each task writes its own slot: result order is fixed by the
        input, not by the schedule. *)
     let task_for i () =
-      let r =
-        if cancelled () then Error (Cancelled, Printexc.get_callstack 0)
-        else
+      let r, ran =
+        if cancelled () then (Error (Cancelled, Printexc.get_callstack 0), false)
+        else begin
+          emit (Obs.Trace.Task_dispatch { index = i });
           match f input.(i) with
-          | v -> Ok v
-          | exception e -> Error (e, Printexc.get_raw_backtrace ())
+          | v -> (Ok v, true)
+          | exception e -> (Error (e, Printexc.get_raw_backtrace ()), true)
+        end
       in
+      (* The join event must precede the completion handshake below:
+         once [remaining] hits 0 the submitter returns and the caller
+         may read the metrics, so an event emitted after the decrement
+         could be lost to that read. *)
+      if ran then
+        emit
+          (Obs.Trace.Task_join
+             { index = i; ok = (match r with Ok _ -> true | Error _ -> false) });
       Mutex.lock t.mutex;
       results.(i) <- Some r;
-      t.tasks_run <- t.tasks_run + 1;
+      if ran then t.tasks_run <- t.tasks_run + 1;
       decr remaining;
       if !remaining = 0 then Condition.broadcast t.cond;
       Mutex.unlock t.mutex
@@ -144,8 +161,8 @@ let execute ?cancel t ~caller f xs =
         | None -> assert false)
       results
 
-let map t f xs =
-  let results = execute t ~caller:"map" f xs in
+let map ?obs t f xs =
+  let results = execute ?obs t ~caller:"map" f xs in
   (* Deterministic join: re-raise the earliest failure, independent of
      which domain hit it first.  Successful results are discarded on
      that path — callers who need them use [map_result]. *)
@@ -156,8 +173,8 @@ let map t f xs =
     results;
   Array.to_list (Array.map (function Ok v -> v | Error _ -> assert false) results)
 
-let map_result ?cancel t f xs =
-  let results = execute ?cancel t ~caller:"map_result" f xs in
+let map_result ?cancel ?obs t f xs =
+  let results = execute ?cancel ?obs t ~caller:"map_result" f xs in
   Array.to_list
     (Array.map (function Ok v -> Ok v | Error (e, _bt) -> Error e) results)
 

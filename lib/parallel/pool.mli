@@ -49,8 +49,13 @@ val domains : t -> int
     re-raises — after the exception there is no way to recover the
     outcomes of the tasks that did finish.  Batches whose items may
     legitimately fail (sweeps over solver candidates, for instance)
-    should use {!map_result} and decide per item. *)
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+    should use {!map_result} and decide per item.
+
+    [obs] emits one [Task_dispatch] event when a task starts running
+    and one [Task_join] when it finishes (with [ok = false] when it
+    captured an exception); cancel-short-circuited tasks emit
+    neither.  Events may arrive from any lane. *)
+val map : ?obs:Obs.Ctx.t -> t -> ('a -> 'b) -> 'a list -> 'b list
 
 (** Outcome recorded for an input whose task was cancelled before it
     started (see {!map_result}'s [?cancel]).  Never raised by the pool
@@ -71,12 +76,18 @@ exception Cancelled
     well-formed result per input and the pool remains usable.  [cancel]
     is called concurrently from every lane, so it must be thread-safe
     and must not raise; reading a flag or polling a deadline both
-    qualify. *)
+    qualify.  [obs] is as in {!map}. *)
 val map_result :
-  ?cancel:(unit -> bool) -> t -> ('a -> 'b) -> 'a list ->
+  ?cancel:(unit -> bool) -> ?obs:Obs.Ctx.t -> t -> ('a -> 'b) -> 'a list ->
   ('b, exn) Stdlib.result list
 
-(** [stats t] snapshots the instrumentation counters. *)
+(** [stats t] snapshots the instrumentation counters.
+    [Stats.tasks_run] counts tasks that actually ran their function:
+    after any {!map}/{!map_result} it equals the number of items,
+    except under cooperative cancellation where it equals the number
+    of items started (cancel-short-circuited slots record their
+    [Cancelled] outcome without counting as run).  [Stats.busy_s] is
+    monotone non-decreasing across calls. *)
 val stats : t -> Stats.t
 
 (** [fini t] shuts the pool down and joins the worker domains.

@@ -70,14 +70,14 @@ let of_string spec =
         opts
   end
 
+let kind_name = function
+  | Solver Socp.Stall -> "stall"
+  | Solver Socp.Nan -> "nan"
+  | Solver Socp.Slow -> "slow"
+  | Bad_round -> "bad_round"
+
 let to_string plan =
-  let kind =
-    match plan.kind with
-    | Solver Socp.Stall -> "stall"
-    | Solver Socp.Nan -> "nan"
-    | Solver Socp.Slow -> "slow"
-    | Bad_round -> "bad_round"
-  in
+  let kind = kind_name plan.kind in
   let b = Buffer.create 32 in
   Buffer.add_string b kind;
   if plan.iteration <> 0 then

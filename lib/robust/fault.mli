@@ -39,6 +39,10 @@ type plan = {
     first attempt only. *)
 val stall_first : plan
 
+(** [kind_name kind] is the spec keyword of [kind] (["stall"], ["nan"],
+    ["slow"], ["bad_round"]) — also the label trace events carry. *)
+val kind_name : kind -> string
+
 (** [of_string spec] parses the spec grammar above. *)
 val of_string : string -> (plan, string) Stdlib.result
 

@@ -66,6 +66,23 @@ let solve_model ?policy ?(params = Socp.default_params) m =
   let run attempt_no stage =
     let p = rung_params params stage in
     let p = { p with Socp.inject = Fault.inject policy.fault ~attempt:attempt_no } in
+    (* The fault label carried by the rung-exit event (and the
+       [Fault_injected] marker): the trace must agree exactly with the
+       plan — one fired fault, one matching event. *)
+    let fault =
+      if Fault.covers policy.fault ~attempt:attempt_no then
+        Option.map (fun pl -> Fault.kind_name pl.Fault.kind) policy.fault
+      else None
+    in
+    (match p.Socp.obs with
+    | None -> ()
+    | Some o ->
+      Obs.Ctx.emit o
+        (Obs.Trace.Rung_enter { attempt = attempt_no; stage = stage_name stage });
+      match fault with
+      | None -> ()
+      | Some kind ->
+        Obs.Ctx.emit o (Obs.Trace.Fault_injected { kind; attempt = attempt_no }));
     let t0 = Unix.gettimeofday () in
     let r = Model.solve ~params:p m in
     let att =
@@ -76,6 +93,17 @@ let solve_model ?policy ?(params = Socp.default_params) m =
         time_s = Unix.gettimeofday () -. t0;
       }
     in
+    (match p.Socp.obs with
+    | None -> ()
+    | Some o ->
+      Obs.Ctx.emit o
+        (Obs.Trace.Rung_exit
+           {
+             attempt = attempt_no;
+             stage = stage_name stage;
+             status = att.status;
+             fault;
+           }));
     (r, att)
   in
   let rec climb attempt_no trace = function

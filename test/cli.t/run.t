@@ -345,3 +345,69 @@ on the second cap — while the sweep completes:
   1      36.1078      36.1078     
   3      26.5089      26.5089     
   skipped: 1 (timed out)
+
+Observability (docs/observability.md): --metrics prints a
+deterministic aggregate table after the run.  The wall-clock lines
+(prefixed "solve time" and "phase ") are filtered here; everything
+else — including the recovery rung taken and the injected fault — is
+pinned exactly:
+
+  $ ../../bin/budgetbuf_cli.exe solve t1.cfg --fault stall --metrics | sed -n '/^metrics:/,$p' | grep -v -e "solve time" -e "phase "
+  metrics:
+    solves: 2 (11 iterations)
+    rungs: base=1 relaxed=1
+    faults: stall=1
+    certificates: certified=1
+
+A resumed sweep shows up as journal restores instead of solves — the
+second run answers entirely from the journal:
+
+  $ ../../bin/budgetbuf_cli.exe dse t1.cfg --caps 1:4 --resume obs.journal --metrics > /dev/null
+  $ ../../bin/budgetbuf_cli.exe dse t1.cfg --caps 1:4 --resume obs.journal --metrics | sed -n '/^metrics:/,$p' | grep -v -e "solve time" -e "phase "
+  metrics:
+    solves: 0 (0 iterations)
+    restores: 4 hit, 0 missed
+
+--trace writes a CRC-framed JSONL event trace, and trace cat decodes
+it back (timestamps are omitted from the rendering, so the listing is
+deterministic):
+
+  $ ../../bin/budgetbuf_cli.exe solve t1.cfg --trace t1.trace | tail -1
+  trace written to t1.trace
+  $ ../../bin/budgetbuf_cli.exe trace cat t1.trace | head -4
+  0 span_open name=socp
+  1 rung_enter attempt=1 stage=base
+  2 solve_start rows=20 cols=9
+  3 socp_iter iter=0 pres=0.99899496611131777 dres=78.326157399725247 gap=16 step=0
+  $ ../../bin/budgetbuf_cli.exe trace cat t1.trace | tail -3 | sed 's/ elapsed_s=.*//'
+  18 span_open name=finish
+  19 certificate verdict=certified
+  20 span_close name=finish
+
+The event vocabulary seen by a faulted solve, as the sorted set of
+event names:
+
+  $ ../../bin/budgetbuf_cli.exe solve t1.cfg --fault stall --trace faulted.trace > /dev/null
+  $ ../../bin/budgetbuf_cli.exe trace cat faulted.trace | awk '{print $2}' | sort -u
+  certificate
+  fault_injected
+  rung_enter
+  rung_exit
+  socp_iter
+  solve_end
+  solve_start
+  span_close
+  span_open
+
+An unwritable trace path is rejected up front, before any solving:
+
+  $ ../../bin/budgetbuf_cli.exe solve t1.cfg --trace /nonexistent-budgetbuf-dir/x.trace
+  budgetbuf: error: /nonexistent-budgetbuf-dir/x.trace: No such file or directory
+  [2]
+
+A damaged trace file is refused with a clean error:
+
+  $ printf 'not a trace\n' > bogus.trace
+  $ ../../bin/budgetbuf_cli.exe trace cat bogus.trace
+  error: bogus.trace: not a budgetbuf trace (bad or corrupt header)
+  [1]

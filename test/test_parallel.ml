@@ -179,6 +179,51 @@ let test_stats_counters () =
   Alcotest.(check int) "busy slot per lane" 3
     (Array.length s.Parallel.Stats.busy_s)
 
+(* Pin the tasks_run contract the --metrics pool line is built on:
+   after a map or map_result every item counts (failures included —
+   they ran), while under cooperative cancellation only started tasks
+   count, because the short-circuited slots record [Error Cancelled]
+   without ever running [f].  Busy seconds can only accumulate. *)
+let test_stats_tasks_run_contract () =
+  Pool.with_pool ~domains:3 @@ fun pool ->
+  let busy s = Array.fold_left ( +. ) 0.0 s.Parallel.Stats.busy_s in
+  ignore (Pool.map pool (fun i -> i + 1) (List.init 11 Fun.id));
+  let s1 = Pool.stats pool in
+  Alcotest.(check int) "map counts every item" 11 s1.Parallel.Stats.tasks_run;
+  ignore
+    (Pool.map_result pool
+       (fun i -> if i = 2 then failwith "boom" else i)
+       (List.init 5 Fun.id));
+  let s2 = Pool.stats pool in
+  Alcotest.(check int) "map_result counts every item, failures included" 16
+    s2.Parallel.Stats.tasks_run;
+  Alcotest.(check bool) "busy seconds monotone" true (busy s2 >= busy s1);
+  let started = Atomic.make 0 in
+  let outcomes =
+    Pool.map_result pool
+      ~cancel:(fun () -> Atomic.get started >= 3)
+      (fun i ->
+        Atomic.incr started;
+        Unix.sleepf 0.002;
+        i)
+      (List.init 50 Fun.id)
+  in
+  let ran, cancelled =
+    List.fold_left
+      (fun (r, c) -> function
+        | Ok _ -> (r + 1, c)
+        | Error Pool.Cancelled -> (r, c + 1)
+        | Error _ -> Alcotest.fail "unexpected task failure")
+      (0, 0) outcomes
+  in
+  Alcotest.(check int) "every slot accounted for" 50 (ran + cancelled);
+  Alcotest.(check bool) "cancellation actually short-circuited" true
+    (cancelled > 0);
+  let s3 = Pool.stats pool in
+  Alcotest.(check int) "under cancellation only started tasks count"
+    (16 + ran) s3.Parallel.Stats.tasks_run;
+  Alcotest.(check bool) "busy seconds still monotone" true (busy s3 >= busy s2)
+
 let test_single_domain_runs_in_submission_order () =
   (* domains:1 spawns nothing; tasks run on the caller in order. *)
   let order = ref [] in
@@ -285,6 +330,8 @@ let () =
       ( "pool",
         [
           Alcotest.test_case "stats counters" `Quick test_stats_counters;
+          Alcotest.test_case "tasks_run contract" `Quick
+            test_stats_tasks_run_contract;
           Alcotest.test_case "single domain is sequential" `Quick
             test_single_domain_runs_in_submission_order;
           Alcotest.test_case "nested map" `Quick

@@ -293,6 +293,64 @@ let test_no_recovery_policy () =
       (Recovery.recovered r.Mapping.recovery)
 
 (* ------------------------------------------------------------------ *)
+(* Fault observability                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every fired fault leaves exactly one matching trace
+   (docs/observability.md): the solver kinds produce one
+   [Fault_injected] and one faulted [Rung_exit] carrying the same
+   label, while [bad_round] — which sabotages the rounding step, not
+   the solver — produces one [Fault_injected] and no faulted rung at
+   all (and none when the instance is infeasible, because rounding
+   never runs).  Checked on random instances across all four kinds;
+   the [slow] kind costs a real 0.5 s sleep per case, so the seed
+   split keeps it rare. *)
+let prop_fault_trace_matches_plan =
+  QCheck.Test.make ~count:24
+    ~name:"each fired fault emits exactly one matching trace event"
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let kind =
+        match seed mod 8 with
+        | 0 | 1 -> "stall"
+        | 2 | 3 -> "nan"
+        | 4 | 5 -> "bad_round"
+        | 6 -> "bad_round"
+        | _ -> "slow"
+      in
+      let rng = Workloads.Rng.create (Int64.of_int seed) in
+      let cfg =
+        if seed mod 2 = 0 then
+          Workloads.Gen.random_chain rng ~n:(2 + (seed mod 4)) ()
+        else
+          Workloads.Gen.multi_job rng
+            ~jobs:(1 + (seed mod 3))
+            ~tasks_per_job:(2 + (seed mod 2))
+            ~procs:(1 + (seed mod 3))
+            ()
+      in
+      let sink = Obs.Sink.ring ~capacity:4096 in
+      let obs = Obs.Ctx.make ~sink () in
+      let result = Mapping.solve ~policy:(policy kind) ~obs cfg in
+      let injected, faulted_exits =
+        List.fold_left
+          (fun (inj, exits) e ->
+            match e.Obs.Trace.event with
+            | Obs.Trace.Fault_injected { kind = k; _ } when String.equal k kind
+              ->
+              (inj + 1, exits)
+            | Obs.Trace.Rung_exit { fault = Some k; _ } when String.equal k kind
+              ->
+              (inj, exits + 1)
+            | _ -> (inj, exits))
+          (0, 0) (Obs.Sink.events sink)
+      in
+      if String.equal kind "bad_round" then
+        let expected = match result with Ok _ -> 1 | Error _ -> 0 in
+        injected = expected && faulted_exits = 0
+      else injected = 1 && faulted_exits = 1)
+
+(* ------------------------------------------------------------------ *)
 (* Failure-tolerant sweeps                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -436,6 +494,7 @@ let () =
             test_permanent_fault_fails_cleanly;
           Alcotest.test_case "no_recovery policy" `Quick
             test_no_recovery_policy;
+          qcheck prop_fault_trace_matches_plan;
         ] );
       ( "sweeps",
         [

@@ -90,8 +90,39 @@ let fault_arg =
           "Inject a deterministic fault, for exercising the recovery \
            ladder and the exact certifier: \
            $(b,KIND[,iter=N][,attempts=N|all][,only=I]) with kind \
-           $(b,stall), $(b,nan), $(b,slow) or $(b,bad_round) (see \
-           docs/robustness.md).")
+           $(b,stall), $(b,nan), $(b,slow), $(b,dense_kkt) or \
+           $(b,bad_round) (see docs/robustness.md).")
+
+let kkt_arg =
+  Arg.(
+    value
+    & opt (enum [ ("dense", `Dense); ("sparse", `Sparse) ]) `Dense
+    & info [ "kkt" ] ~docv:"BACKEND"
+        ~doc:
+          "KKT factorisation backend: $(b,dense) (the proven oracle path, \
+           the default) or $(b,sparse) (CSC Cholesky with a fill-reducing \
+           ordering — symbolic analysis once per solve, numeric \
+           refactorisation per iteration; an iteration whose sparse \
+           factorisation fails silently reruns on the dense path and is \
+           counted in the $(b,kkt fallbacks) line).  See docs/solver.md.")
+
+let no_warm_arg =
+  Arg.(
+    value & flag
+    & info [ "no-warm-start" ]
+        ~doc:
+          "Disable warm starts in sweeps (tradeoff, dse, pareto).  By \
+           default each sweep runs one cold anchor solve whose solution \
+           seeds every candidate; results are bit-identical with or \
+           without $(b,--jobs) and across $(b,--resume), but cold starts \
+           burn more interior-point iterations per candidate.")
+
+(* --kkt as solver params for Mapping.solve and the sweep drivers:
+   [None] for the dense default keeps those calls on their historical
+   hook-free path. *)
+let params_of_kkt = function
+  | `Dense -> None
+  | `Sparse -> Some { Conic.Socp.default_params with Conic.Socp.kkt = `Sparse }
 
 (* Resolves --fault (falling back to BUDGETBUF_FAULT) to a recovery
    policy for Mapping.solve and the sweep drivers. *)
@@ -326,7 +357,7 @@ let continuous_arg =
     & info [ "continuous" ]
         ~doc:"Also print the pre-rounding continuous optimum per variable.")
 
-let do_solve () path simulate continuous output fault trace metrics =
+let do_solve () path simulate continuous output fault kkt trace metrics =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -337,7 +368,11 @@ let do_solve () path simulate continuous output fault trace metrics =
     | problems ->
       List.iter (Format.eprintf "warning: %s@.") problems);
     with_obs ~trace ~metrics @@ fun obs ->
-    match Mapping.solve ?obs ~policy:(policy_of_fault fault) cfg with
+    match
+      Mapping.solve
+        ?params:(params_of_kkt kkt)
+        ?obs ~policy:(policy_of_fault fault) cfg
+    with
     | Error e ->
       Format.eprintf "error: %a@." Mapping.pp_error e;
       1
@@ -354,6 +389,9 @@ let do_solve () path simulate continuous output fault trace metrics =
         Format.printf "recovery: %d attempts (%a)@."
           r.Mapping.stats.Mapping.attempts Recovery.pp_trace
           r.Mapping.recovery;
+      if r.Mapping.stats.Mapping.kkt_fallbacks > 0 then
+        Format.printf "kkt fallbacks: %d (sparse factorisation reran dense)@."
+          r.Mapping.stats.Mapping.kkt_fallbacks;
       if continuous then
         List.iter
           (fun w ->
@@ -409,7 +447,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Term.(
       const do_solve $ logs_term $ file_arg $ simulate_arg $ continuous_arg
-      $ output_arg $ fault_arg $ obs_trace_arg $ metrics_arg)
+      $ output_arg $ fault_arg $ kkt_arg $ obs_trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                            *)
@@ -461,8 +499,8 @@ let buffers_arg =
           "Comma-separated buffer names to cap (default: every buffer of \
            the configuration).")
 
-let do_tradeoff () path (lo, hi) buffer_names jobs fault certify resume
-    deadline candidate_deadline trace metrics =
+let do_tradeoff () path (lo, hi) buffer_names jobs fault kkt no_warm certify
+    resume deadline candidate_deadline trace metrics =
   match load_config path with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
@@ -497,9 +535,11 @@ let do_tradeoff () path (lo, hi) buffer_names jobs fault certify resume
       with_durability ~fingerprint ~resume ~deadline ~candidate_deadline
       @@ fun ~journal ~deadline ~candidate_deadline ~cancel ~on_progress ->
       let points =
-        Tradeoff.capacity_sweep ~policy:(policy_of_fault fault) ?pool ?journal
-          ?deadline ?candidate_deadline ~cancel ?obs ~on_progress cfg
-          ~buffers ~caps
+        Tradeoff.capacity_sweep
+          ?params:(params_of_kkt kkt)
+          ~policy:(policy_of_fault fault) ?pool ?journal ?deadline
+          ?candidate_deadline ~cancel ?obs ~on_progress
+          ~warm_start:(not no_warm) cfg ~buffers ~caps
       in
       let tasks = Config.all_tasks cfg in
       Format.printf "%-6s" "cap";
@@ -533,6 +573,20 @@ let do_tradeoff () path (lo, hi) buffer_names jobs fault certify resume
         let reasons = List.sort_uniq compare (List.map snd skipped) in
         Format.printf "skipped: %d (%s)@." (List.length skipped)
           (String.concat ", " reasons));
+      (* Sparse-backend health: how many iterations across the sweep
+         reran on the dense fallback (restored points report 0 — the
+         solve did not run again). *)
+      let fallbacks =
+        List.fold_left
+          (fun acc (p : Tradeoff.point) ->
+            match p.Tradeoff.result with
+            | Ok r -> acc + r.Mapping.stats.Mapping.kkt_fallbacks
+            | Error _ -> acc)
+          0 points
+      in
+      if fallbacks > 0 then
+        Format.printf "kkt fallbacks: %d (sparse factorisation reran dense)@."
+          fallbacks;
       if certify then begin
         let solved =
           List.filter_map
@@ -557,8 +611,9 @@ let tradeoff_cmd =
     (Cmd.info "tradeoff" ~doc)
     Term.(
       const do_tradeoff $ logs_term $ file_arg $ caps_arg $ buffers_arg
-      $ jobs_arg $ fault_arg $ certify_arg $ resume_arg $ deadline_arg
-      $ candidate_deadline_arg $ obs_trace_arg $ metrics_arg)
+      $ jobs_arg $ fault_arg $ kkt_arg $ no_warm_arg $ certify_arg
+      $ resume_arg $ deadline_arg $ candidate_deadline_arg $ obs_trace_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -832,7 +887,7 @@ let steps_arg =
     value & opt int 9
     & info [ "steps" ] ~docv:"N" ~doc:"Number of weight ratios to sweep.")
 
-let do_pareto () path steps jobs fault certify resume deadline
+let do_pareto () path steps jobs fault kkt no_warm certify resume deadline
     candidate_deadline trace metrics =
   match load_config path with
   | Error msg ->
@@ -854,8 +909,11 @@ let do_pareto () path steps jobs fault certify resume deadline
       with_durability ~fingerprint ~resume ~deadline ~candidate_deadline
       @@ fun ~journal ~deadline ~candidate_deadline ~cancel ~on_progress ->
       let sweep =
-        Budgetbuf.Pareto.frontier ~steps ~policy:(policy_of_fault fault) ?pool
-          ?journal ?deadline ?candidate_deadline ~cancel ?obs ~on_progress cfg
+        Budgetbuf.Pareto.frontier ~steps
+          ?params:(params_of_kkt kkt)
+          ~policy:(policy_of_fault fault) ?pool ?journal ?deadline
+          ?candidate_deadline ~cancel ?obs ~on_progress
+          ~warm_start:(not no_warm) cfg
       in
       let print_skipped () =
         match sweep.Budgetbuf.Pareto.skipped with
@@ -900,14 +958,14 @@ let pareto_cmd =
   Cmd.v (Cmd.info "pareto" ~doc)
     Term.(
       const do_pareto $ logs_term $ file_arg $ steps_arg $ jobs_arg
-      $ fault_arg $ certify_arg $ resume_arg $ deadline_arg
-      $ candidate_deadline_arg $ obs_trace_arg $ metrics_arg)
+      $ fault_arg $ kkt_arg $ no_warm_arg $ certify_arg $ resume_arg
+      $ deadline_arg $ candidate_deadline_arg $ obs_trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dse                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let do_dse () path (lo, hi) jobs fault certify resume deadline
+let do_dse () path (lo, hi) jobs fault kkt no_warm certify resume deadline
     candidate_deadline trace metrics =
   match load_config path with
   | Error msg ->
@@ -930,9 +988,11 @@ let do_dse () path (lo, hi) jobs fault certify resume deadline
       with_durability ~fingerprint ~resume ~deadline ~candidate_deadline
       @@ fun ~journal ~deadline ~candidate_deadline ~cancel ~on_progress ->
       let points =
-        Budgetbuf.Dse.throughput_curve ~policy:(policy_of_fault fault) ?pool
-          ?journal ?deadline ?candidate_deadline ~cancel ?obs ~on_progress cfg
-          ~caps
+        Budgetbuf.Dse.throughput_curve
+          ?params:(params_of_kkt kkt)
+          ~policy:(policy_of_fault fault) ?pool ?journal ?deadline
+          ?candidate_deadline ~cancel ?obs ~on_progress
+          ~warm_start:(not no_warm) cfg ~caps
       in
       Format.printf "%-6s %-12s@." "cap" "min period";
       let skipped = ref [] in
@@ -978,8 +1038,8 @@ let dse_cmd =
   Cmd.v (Cmd.info "dse" ~doc)
     Term.(
       const do_dse $ logs_term $ file_arg $ caps_arg $ jobs_arg $ fault_arg
-      $ certify_arg $ resume_arg $ deadline_arg $ candidate_deadline_arg
-      $ obs_trace_arg $ metrics_arg)
+      $ kkt_arg $ no_warm_arg $ certify_arg $ resume_arg $ deadline_arg
+      $ candidate_deadline_arg $ obs_trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bind                                                                *)

@@ -155,6 +155,7 @@ let solve ?params m =
         primal_residual = nan;
         dual_residual = nan;
         iterations = 0;
+        kkt_fallbacks = 0;
       }
     in
     {

@@ -25,11 +25,14 @@ type solution = {
   primal_residual : float;
   dual_residual : float;
   iterations : int;
+  kkt_fallbacks : int;
 }
 
-type fault = Stall | Nan | Slow
+type fault = Stall | Nan | Slow | Dense_kkt
 
 type presolve = Presolve_off | Presolve_auto | Presolve_force
+
+type warm = { wx : Vec.t; ws : Vec.t; wz : Vec.t }
 
 type params = {
   max_iter : int;
@@ -41,6 +44,8 @@ type params = {
   inject : (int -> fault option) option;
   deadline : (unit -> bool) option;
   obs : Obs.Ctx.t option;
+  kkt : [ `Dense | `Sparse ];
+  warm : warm option;
 }
 
 (* feastol 1e-7 reflects what dense normal-equation KKT solves can
@@ -48,7 +53,7 @@ type params = {
 let default_params =
   { max_iter = 100; feastol = 1e-7; abstol = 1e-7; reltol = 1e-7;
     step_fraction = 0.99; presolve = Presolve_auto; inject = None;
-    deadline = None; obs = None }
+    deadline = None; obs = None; kkt = `Dense; warm = None }
 
 let pp_status ppf = function
   | Optimal -> Format.pp_print_string ppf "optimal"
@@ -58,29 +63,115 @@ let pp_status ppf = function
   | Stalled -> Format.pp_print_string ppf "stalled"
   | Timed_out -> Format.pp_print_string ppf "timed out"
 
+let emit_obs params ev =
+  match params.obs with None -> () | Some o -> Obs.Ctx.emit o ev
+
+(* The once-per-solve sparse KKT context: the structural pattern of
+   GᵀW⁻²G (fixed across iterations — NT scaling mixes rows only within
+   one second-order block) and its symbolic Cholesky analysis. *)
+type sparse_kkt = {
+  pattern : Linalg.Sparse.sym;
+  symbolic : Linalg.Sparse.symbolic;
+}
+
+let make_sparse_kkt ~params ~gsp cone =
+  let soc =
+    let off = ref 0 in
+    List.filter_map
+      (fun b ->
+        let o = !off in
+        match b with
+        | Cone.Nonneg d ->
+          off := o + d;
+          None
+        | Cone.Soc d ->
+          off := o + d;
+          Some (o, d))
+      (Cone.blocks cone)
+  in
+  let pattern = Sparse_rows.gram_pattern gsp ~soc in
+  let symbolic = Linalg.Sparse.symbolic pattern in
+  emit_obs params
+    (Obs.Trace.Kkt_factor
+       {
+         backend = "sparse";
+         phase = "symbolic";
+         n = Sparse_rows.cols gsp;
+         nnz = Linalg.Sparse.factor_nnz symbolic;
+       });
+  { pattern; symbolic }
+
 (* Solve the 2×2 scaled KKT system
      Gᵀ·dz        = bx
      G·dx − W²·dz = bz
    via dz = W⁻²·(G·dx − bz) and the normal equations
-   (Gᵀ·W⁻²·G)·dx = bx + Gᵀ·W⁻²·bz, factorised once per iteration. *)
-let make_kkt ~gsp w =
-  (* The sparse rows of G have a handful of entries each, so both the
-     scaled matrix W⁻¹·G and its Gram matrix are formed in
-     O(Σ nnz(row)²) instead of densifying. *)
-  let mmat, _scaled =
-    Sparse_rows.scaled_gram gsp ~blocks:(Cone.block_layout w)
+   (Gᵀ·W⁻²·G)·dx = bx + Gᵀ·W⁻²·bz, factorised once per iteration.
+
+   The factorisation backend is selected per iteration: [sparse]
+   carries the once-per-solve symbolic analysis and each iteration
+   only refills the fixed pattern and runs the numeric
+   refactorisation; when the sparse factorisation fails (or a
+   [Dense_kkt] fault forces it) the iteration falls back to the dense
+   oracle path, counted in [fallbacks]. *)
+let make_kkt ~params ~fallbacks ~sparse ~force_dense ~gsp w =
+  (* The sparse rows of G have a handful of entries each, so the scaled
+     matrix W⁻¹·G and its Gram matrix are formed in O(Σ nnz(row)²)
+     instead of densifying. *)
+  let scaled =
+    Sparse_rows.scale_rows gsp ~blocks:(Cone.block_layout w)
       ~scale_block:(Cone.apply_inv_rows w)
   in
-  let fact = Cholesky.factor ~max_shift:1e-2 mmat in
   (* Two rounds of iterative refinement recover the digits lost when the
      factorisation needed a diagonal shift near convergence. *)
-  let solve_refined rhs =
-    let dx = Cholesky.solve fact rhs in
-    for _ = 1 to 2 do
-      let r = Vec.sub rhs (Mat.mul_vec mmat dx) in
-      Vec.axpy 1.0 (Cholesky.solve fact r) dx
-    done;
-    dx
+  let dense_refined () =
+    let mmat = Sparse_rows.gram scaled in
+    let fact = Cholesky.factor ~max_shift:1e-2 mmat in
+    fun rhs ->
+      let dx = Cholesky.solve fact rhs in
+      for _ = 1 to 2 do
+        let r = Vec.sub rhs (Mat.mul_vec mmat dx) in
+        Vec.axpy 1.0 (Cholesky.solve fact r) dx
+      done;
+      dx
+  in
+  let solve_refined =
+    match sparse with
+    | None -> dense_refined ()
+    | Some { pattern; symbolic } ->
+      let fall_back () =
+        incr fallbacks;
+        emit_obs params
+          (Obs.Trace.Kkt_factor
+             {
+               backend = "dense";
+               phase = "fallback";
+               n = Sparse_rows.cols gsp;
+               nnz = 0;
+             });
+        dense_refined ()
+      in
+      if force_dense then fall_back ()
+      else begin
+        Sparse_rows.fill_gram scaled ~into:pattern;
+        match Linalg.Sparse.factor ~max_shift:1e-2 symbolic pattern with
+        | exception Linalg.Sparse.Not_positive_definite -> fall_back ()
+        | fact ->
+          emit_obs params
+            (Obs.Trace.Kkt_factor
+               {
+                 backend = "sparse";
+                 phase = "numeric";
+                 n = Sparse_rows.cols gsp;
+                 nnz = Linalg.Sparse.factor_nnz symbolic;
+               });
+          fun rhs ->
+            let dx = Linalg.Sparse.solve fact rhs in
+            for _ = 1 to 2 do
+              let r = Vec.sub rhs (Linalg.Sparse.mul_vec pattern dx) in
+              Vec.axpy 1.0 (Linalg.Sparse.solve fact r) dx
+            done;
+            dx
+      end
   in
   fun ~bx ~bz ->
     let wbz = Cone.apply_inv w (Cone.apply_inv w bz) in
@@ -121,10 +212,18 @@ let solve_direct ~params ~c ~g ~h cone =
       primal_residual = 0.0;
       dual_residual = Vec.nrm2 c;
       iterations = 0;
+      kkt_fallbacks = 0;
     }
   end
   else begin
     let deg = float_of_int (Cone.degree cone + 1) in
+    (* Per-solve mutable state only (no globals): safe across domains. *)
+    let fallbacks = ref 0 in
+    let sparse =
+      match params.kkt with
+      | `Dense -> None
+      | `Sparse -> Some (make_sparse_kkt ~params ~gsp cone)
+    in
     let norm_h = Float.max 1.0 (Vec.nrm2 h)
     and norm_c = Float.max 1.0 (Vec.nrm2 c) in
     let e = Cone.identity cone in
@@ -133,6 +232,39 @@ let solve_direct ~params ~c ~g ~h cone =
     and z = ref (Vec.copy e)
     and tau = ref 1.0
     and kappa = ref 1.0 in
+    (* Warm start: seed (x, s, z) from a caller-supplied point — in a
+       sweep, the neighbouring candidate's solution.  The homogeneous
+       embedding tolerates any strictly interior seed with τ = κ = 1,
+       so s and z are pushed a small margin inside the cone; a point
+       with the wrong dimensions or non-finite entries falls back to
+       the cold start silently (the sweep must never fail because its
+       neighbour did). *)
+    (match params.warm with
+    | None -> ()
+    | Some { wx; ws; wz } ->
+      let finite v = Array.for_all Float.is_finite v in
+      let reject reason =
+        emit_obs params (Obs.Trace.Warm_start { accepted = false; reason })
+      in
+      if Vec.dim wx <> n || Vec.dim ws <> m || Vec.dim wz <> m then
+        reject "dimension mismatch"
+      else if not (finite wx && finite ws && finite wz) then
+        reject "non-finite"
+      else begin
+        let interior v =
+          let u = Vec.copy v in
+          let margin =
+            1e-4 *. Float.max 1.0 (Vec.nrm2 v /. sqrt (float_of_int m))
+          in
+          let me = Cone.min_eig cone u in
+          if me < margin then Vec.axpy (margin -. me) e u;
+          u
+        in
+        x := Vec.copy wx;
+        s := interior ws;
+        z := interior wz;
+        emit_obs params (Obs.Trace.Warm_start { accepted = true; reason = "ok" })
+      end);
     (* Best iterate seen so far: near the numerical floor later
        iterations can degrade, so Stalled/Iteration_limit exits restore
        the snapshot with the smallest combined error. *)
@@ -165,6 +297,7 @@ let solve_direct ~params ~c ~g ~h cone =
         primal_residual = pres;
         dual_residual = dres;
         iterations;
+        kkt_fallbacks = !fallbacks;
       }
     in
     let result_certificate status iterations =
@@ -186,6 +319,7 @@ let solve_direct ~params ~c ~g ~h cone =
         primal_residual = nan;
         dual_residual = nan;
         iterations;
+        kkt_fallbacks = !fallbacks;
       }
     in
     let rec iterate iter =
@@ -214,12 +348,17 @@ let solve_direct ~params ~c ~g ~h cone =
         | Some Nan ->
           !s.(0) <- nan;
           !z.(0) <- nan;
-          iterate_clean (iter + 1)
+          iterate_clean ~force_dense:false (iter + 1)
         | Some Slow ->
           Unix.sleepf 0.5;
-          iterate_clean iter
-        | None -> iterate_clean iter
-    and iterate_clean iter =
+          iterate_clean ~force_dense:false iter
+        | Some Dense_kkt ->
+          (* Force this iteration's sparse factorisation onto the dense
+             fallback path — the deterministic way tests exercise the
+             fallback accounting without fishing for a singular KKT. *)
+          iterate_clean ~force_dense:true iter
+        | None -> iterate_clean ~force_dense:false iter
+    and iterate_clean ~force_dense iter =
       (* Homogeneous residuals. *)
       let hx = Sparse_rows.mul_vec gsp !x in
       let res_z =
@@ -334,7 +473,7 @@ let solve_direct ~params ~c ~g ~h cone =
           match Cone.nt_scaling cone ~s:!s ~z:!z with
           | exception Invalid_argument _ -> finish_or Stalled
           | w -> begin
-            match make_kkt ~gsp w with
+            match make_kkt ~params ~fallbacks ~sparse ~force_dense ~gsp w with
             | exception Cholesky.Not_positive_definite -> finish_or Stalled
             | kkt ->
               let lam = Cone.lambda w in
@@ -466,6 +605,7 @@ let unscale_solution sc ~c ~g ~h sol =
       primal_residual = pres;
       dual_residual = dres;
       iterations = sol.iterations;
+      kkt_fallbacks = sol.kkt_fallbacks;
     }
 
 let solve ?(params = default_params) ~c ~g ~h cone =
@@ -501,6 +641,27 @@ let solve ?(params = default_params) ~c ~g ~h cone =
       | None -> ()
       | Some o ->
         Obs.Ctx.emit o (Obs.Trace.Presolve { range_before; range_after }));
+      (* A warm point lives in the original coordinates; map it forward
+         through the equilibration (the inverse of
+         [Presolve.unscale_point]) so it seeds the scaled solve. *)
+      let params =
+        match params.warm with
+        | Some { wx; ws; wz }
+          when Vec.dim wx = n && Vec.dim ws = m && Vec.dim wz = m ->
+          let warm =
+            Some
+              {
+                wx = Array.mapi (fun i v -> v /. sc.Presolve.col.(i)) wx;
+                ws = Array.mapi (fun i v -> v *. sc.Presolve.row.(i)) ws;
+                wz =
+                  Array.mapi
+                    (fun i v -> v *. sc.Presolve.obj /. sc.Presolve.row.(i))
+                    wz;
+              }
+          in
+          { params with warm }
+        | Some _ | None -> params
+      in
       let sol = solve_direct ~params ~c:c' ~g:g' ~h:h' cone in
       unscale_solution sc ~c ~g ~h sol
     end

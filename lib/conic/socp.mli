@@ -38,6 +38,10 @@ type solution = {
   primal_residual : float;  (** relative norm of [Gx + s − h] *)
   dual_residual : float;    (** relative norm of [Gᵀz + c] *)
   iterations : int;
+  kkt_fallbacks : int;
+      (** iterations where the sparse KKT factorisation failed (or a
+          [Dense_kkt] fault forced it) and the dense oracle path was
+          used instead; always 0 on the pure dense path *)
 }
 
 (** Deterministic fault injected by tests through {!params.inject}:
@@ -46,8 +50,11 @@ type solution = {
     numerical guards trip on the following pass; [Slow] sleeps half a
     second at the chosen iteration and then proceeds normally — a
     wall-clock-pathological (but otherwise healthy) solve for deadline
-    tests.  See docs/robustness.md. *)
-type fault = Stall | Nan | Slow
+    tests.  [Dense_kkt] forces the chosen iteration's sparse KKT
+    factorisation onto the dense fallback path (a no-op on the dense
+    backend) — the deterministic way to exercise the fallback
+    accounting.  See docs/robustness.md. *)
+type fault = Stall | Nan | Slow | Dense_kkt
 
 (** Presolve policy.  [Presolve_auto] (the default) applies Ruiz
     equilibration ({!Presolve}) only when {!Presolve.badly_scaled}
@@ -55,6 +62,15 @@ type fault = Stall | Nan | Slow
     [Presolve_force] always equilibrates (used by the recovery ladder's
     re-scaled retry); [Presolve_off] never does. *)
 type presolve = Presolve_off | Presolve_auto | Presolve_force
+
+(** A warm-start point in the {e original} problem coordinates —
+    typically the [x], [s], [z] of a neighbouring instance's solution.
+    The solver pushes [ws]/[wz] strictly inside the cone and restarts
+    the homogeneous embedding at [τ = κ = 1], so any point is safe to
+    offer: a useless one merely converges like a cold start, and a
+    malformed one (wrong dimensions, non-finite entries) is rejected
+    silently. *)
+type warm = { wx : Linalg.Vec.t; ws : Linalg.Vec.t; wz : Linalg.Vec.t }
 
 type params = {
   max_iter : int;      (** default 100 *)
@@ -80,6 +96,17 @@ type params = {
           hook travels inside [params] so the recovery ladder and the
           sweep engines forward it without extra plumbing.  See
           docs/observability.md. *)
+  kkt : [ `Dense | `Sparse ];
+      (** KKT factorisation backend, default [`Dense].  [`Sparse] runs
+          the normal equations through {!Linalg.Sparse}: one symbolic
+          analysis per solve, one numeric refactorisation per
+          iteration, falling back to the dense path (counted in
+          {!solution.kkt_fallbacks}) for any iteration whose sparse
+          factorisation fails.  Both backends satisfy the same
+          tolerances; the dense path is the differential-testing
+          oracle.  See docs/solver.md. *)
+  warm : warm option;
+      (** optional warm-start point (default [None] — cold start). *)
 }
 
 val default_params : params

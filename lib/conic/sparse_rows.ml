@@ -1,5 +1,33 @@
 type t = { m : int; n : int; rows : (int * float) list array }
 
+(* Canonical row form: strictly increasing column indices, duplicates
+   summed, explicit zeros dropped.  Every constructor funnels through
+   here so downstream consumers (Gram assembly, CSC patterns) can rely
+   on sortedness instead of silently mis-assembling. *)
+let canonical_row n entries =
+  List.iter
+    (fun (j, _) ->
+      if j < 0 || j >= n then invalid_arg "Sparse_rows: column index out of range")
+    entries;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  let merged =
+    List.fold_left
+      (fun acc (j, v) ->
+        match acc with
+        | (j', v') :: rest when j' = j -> (j, v +. v') :: rest
+        | _ -> (j, v) :: acc)
+      [] sorted
+  in
+  List.rev (List.filter (fun (_, v) -> v <> 0.0) merged)
+
+let of_rows ~cols rows =
+  if cols < 0 then invalid_arg "Sparse_rows.of_rows: negative cols";
+  {
+    m = Array.length rows;
+    n = cols;
+    rows = Array.map (canonical_row cols) rows;
+  }
+
 let of_mat a =
   let m = Linalg.Mat.rows a and n = Linalg.Mat.cols a in
   let rows =
@@ -36,17 +64,19 @@ let mul_tvec t y =
   done;
   out
 
-let scaled_gram t ~blocks ~scale_block =
+let scale_rows t ~blocks ~scale_block =
   let scaled = Array.make t.m [] in
   List.iter
     (fun (lo, len) ->
       let block_rows = Array.init len (fun k -> t.rows.(lo + k)) in
       let out = scale_block lo block_rows in
       if Array.length out <> len then
-        invalid_arg "Sparse_rows.scaled_gram: scale_block changed the size";
+        invalid_arg "Sparse_rows.scale_rows: scale_block changed the size";
       Array.iteri (fun k r -> scaled.(lo + k) <- r) out)
     blocks;
-  let b = { t with rows = scaled } in
+  { t with rows = scaled }
+
+let gram t =
   let gram = Linalg.Mat.create t.n t.n in
   Array.iter
     (fun entries ->
@@ -62,11 +92,66 @@ let scaled_gram t ~blocks ~scale_block =
           outer rest
       in
       outer entries)
-    scaled;
+    t.rows;
   (* Mirror into the lower triangle. *)
   for i = 0 to t.n - 1 do
     for j = i + 1 to t.n - 1 do
       Linalg.Mat.set gram j i (Linalg.Mat.get gram i j)
     done
   done;
-  (gram, b)
+  gram
+
+let scaled_gram t ~blocks ~scale_block =
+  let b = scale_rows t ~blocks ~scale_block in
+  (gram b, b)
+
+(* The structural pattern of GᵀW⁻²G is invariant across interior-point
+   iterations: the NT scaling acts row-wise inside the orthant and
+   mixes rows only within one second-order block.  So the pattern of a
+   scaled row is the union of its block's row patterns — computed here
+   once, with every diagonal entry kept structurally (the shift policy
+   touches all of them). *)
+let gram_pattern t ~soc =
+  let structural = Array.map (fun r -> List.map fst r) t.rows in
+  List.iter
+    (fun (lo, len) ->
+      let union =
+        List.sort_uniq compare
+          (List.concat (List.init len (fun k -> structural.(lo + k))))
+      in
+      for k = 0 to len - 1 do
+        structural.(lo + k) <- union
+      done)
+    soc;
+  let triplets = ref [] in
+  for j = 0 to t.n - 1 do
+    triplets := (j, j, 0.0) :: !triplets
+  done;
+  Array.iter
+    (fun cols ->
+      let rec outer = function
+        | [] -> ()
+        | j :: rest ->
+          List.iter (fun k -> triplets := (j, k, 0.0) :: !triplets) rest;
+          outer rest
+      in
+      outer cols)
+    structural;
+  Linalg.Sparse.create ~n:t.n !triplets
+
+(* Numeric fill of a pre-computed pattern: cancellation can only shrink
+   the scaled rows' support, never grow it, so every accumulation lands
+   on a structural entry. *)
+let fill_gram t ~into =
+  Linalg.Sparse.clear into;
+  Array.iter
+    (fun entries ->
+      let rec outer = function
+        | [] -> ()
+        | (j, vj) :: rest ->
+          Linalg.Sparse.add into j j (vj *. vj);
+          List.iter (fun (k, vk) -> Linalg.Sparse.add into j k (vj *. vk)) rest;
+          outer rest
+      in
+      outer entries)
+    t.rows

@@ -12,6 +12,14 @@ type t
 (** [of_mat a] extracts the sparse rows of a dense matrix. *)
 val of_mat : Linalg.Mat.t -> t
 
+(** [of_rows ~cols rows] builds a matrix from per-row
+    [(column, value)] lists.  Rows are canonicalised on construction:
+    entries are sorted by column, duplicate columns are summed, and
+    explicit zeros are dropped — unsorted or duplicated input is never
+    stored as-is.
+    @raise Invalid_argument on a column index out of range. *)
+val of_rows : cols:int -> (int * float) list array -> t
+
 (** [rows t] and [cols t] are the logical dimensions. *)
 val rows : t -> int
 
@@ -30,17 +38,42 @@ val mul_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
 (** [mul_tvec t y] is [Aᵀ·y]. *)
 val mul_tvec : t -> Linalg.Vec.t -> Linalg.Vec.t
 
-(** [scaled_gram t ~scale_rows] computes [BᵀB] (dense, symmetric) where
-    the rows of [B] are produced from the rows of [t] by
-    [scale_rows]: for each contiguous row block [lo..hi] (supplied as
-    the block list [blocks], matching a cone structure) the callback
-    receives the block's sparse rows and returns the scaled sparse
-    rows.  Used to apply the per-block NT scaling [W⁻¹] without
-    densifying. *)
+(** [scale_rows t ~blocks ~scale_block] applies a per-block row
+    transformation: for each contiguous row block [(lo, len)] in
+    [blocks] (matching a cone structure) the callback receives the
+    block's sparse rows and returns the scaled sparse rows, which must
+    be in canonical (sorted, duplicate-free) form — as
+    {!Cone.apply_inv_rows} produces.  Used to apply the NT scaling
+    [W⁻¹] without densifying. *)
+val scale_rows :
+  t ->
+  blocks:(int * int) list ->
+  scale_block:(int -> (int * float) list array -> (int * float) list array) ->
+  t
+
+(** [gram t] is the dense symmetric Gram matrix [tᵀ·t], accumulated
+    row by row in [O(Σ nnz(row)²)]. *)
+val gram : t -> Linalg.Mat.t
+
+(** [scaled_gram t ~blocks ~scale_block] is
+    [(gram (scale_rows t …), scale_rows t …)]. *)
 val scaled_gram :
   t ->
   blocks:(int * int) list ->
   scale_block:(int -> (int * float) list array -> (int * float) list array) ->
   Linalg.Mat.t * t
-(** Returns both the dense Gram matrix [BᵀB] and [B] itself (sparse)
-    for subsequent products. *)
+
+(** [gram_pattern t ~soc] is the structural pattern of the scaled Gram
+    matrix as a sparse symmetric matrix of zeros: [soc] lists the
+    [(offset, length)] row blocks whose rows the NT scaling mixes (the
+    second-order cones), so their structural rows are the union of the
+    block; all [cols t] diagonal entries are included.  The result is
+    the fixed pattern that {!fill_gram} refills each iteration. *)
+val gram_pattern : t -> soc:(int * int) list -> Linalg.Sparse.sym
+
+(** [fill_gram t ~into] clears [into] and accumulates [tᵀ·t] into its
+    structural pattern.
+    @raise Invalid_argument if [t] has an entry pair outside the
+    pattern (i.e. [into] was not built by {!gram_pattern} on a
+    superset pattern). *)
+val fill_gram : t -> into:Linalg.Sparse.sym -> unit

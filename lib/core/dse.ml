@@ -133,7 +133,7 @@ let decode_point cap payload =
     | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
 
 let throughput_curve ?params ?policy ?pool ?deadline ?candidate_deadline
-    ?journal ?cancel ?obs ?on_progress cfg ~caps =
+    ?journal ?cancel ?obs ?on_progress ?(warm_start = true) cfg ~caps =
   let policy =
     match policy with Some p -> p | None -> Recovery.default_policy ()
   in
@@ -170,6 +170,17 @@ let throughput_curve ?params ?policy ?pool ?deadline ?candidate_deadline
         List.iter
           (fun b -> Config.set_max_capacity capped b (Some cap))
           (Config.all_buffers capped);
+        (* One cold anchor per candidate (this cap, unscaled period)
+           seeds every probe of the bisection.  Anchoring on the
+           candidate's own data keeps the seed a pure function of the
+           candidate, so the point is bit-identical however the sweep
+           is scheduled or resumed; see [Durability.warm_anchor]. *)
+        let params =
+          if not warm_start then params
+          else
+            Durability.params_with_warm params
+              (Durability.warm_anchor ?params capped)
+        in
         match
           min_period_scale ?params ~policy:candidate_policy ~on_failure
             ~on_feasible capped

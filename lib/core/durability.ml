@@ -29,6 +29,42 @@ let params_with_obs params obs =
     let base = Option.value params ~default:Socp.default_params in
     Some { base with Socp.obs }
 
+(* Install a warm-start point.  [None] passes through untouched, so
+   cold sweeps keep the caller's exact params (and bit-identical
+   behaviour with pre-warm-start releases). *)
+let params_with_warm params warm =
+  match warm with
+  | None -> params
+  | Some _ ->
+    let base = Option.value params ~default:Socp.default_params in
+    Some { base with Socp.warm }
+
+(* One cold "anchor" solve whose solution seeds every candidate of a
+   sweep.  Anchoring (rather than chaining each candidate to its
+   neighbour) keeps the sweep order-independent: candidates solved in
+   parallel lanes, in journal-restored order, or alone all see the
+   same seed, which is what makes warm starts pool- and resume-safe.
+   The anchor strips observability (its iterations must not pollute
+   the sweep's trace or metrics), fault injection (it is not a
+   candidate; plans count attempts of candidates only) and any stale
+   warm point.  Any outcome other than [Optimal] — including an
+   exception — yields [None]: the sweep silently falls back to cold
+   starts. *)
+let warm_anchor ?params cfg =
+  let params =
+    let base = Option.value params ~default:Socp.default_params in
+    { base with Socp.obs = None; inject = None; warm = None }
+  in
+  match
+    let b = Socp_builder.build cfg in
+    Conic.Model.solve ~params b.Socp_builder.model
+  with
+  | r when r.Conic.Model.status = Socp.Optimal ->
+    let raw = r.Conic.Model.raw in
+    Some { Socp.wx = raw.Socp.x; ws = raw.Socp.s; wz = raw.Socp.z }
+  | _ -> None
+  | exception _ -> None
+
 (* The effective context of a call that takes both [?obs] and
    [?params]: an explicit [?obs] wins, else whatever already rides in
    the params (as threaded by an enclosing sweep). *)

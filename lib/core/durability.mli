@@ -26,6 +26,26 @@ val params_with_deadline :
 val params_with_obs :
   Conic.Socp.params option -> Obs.Ctx.t option -> Conic.Socp.params option
 
+(** [params_with_warm params warm] installs [warm] as
+    {!Conic.Socp.params.warm}; [params] is returned untouched when
+    [warm] is [None]. *)
+val params_with_warm :
+  Conic.Socp.params option ->
+  Conic.Socp.warm option ->
+  Conic.Socp.params option
+
+(** [warm_anchor ?params cfg] runs one cold solve of [cfg]'s SOCP and
+    returns its primal/dual point as a warm-start seed, or [None] if
+    the solve did not reach [Optimal] (or raised).  Observability,
+    fault injection and any warm point are stripped from [params]
+    first: the anchor is bookkeeping, not a sweep candidate.  Sweeps
+    seed {e every} candidate from this one anchor rather than chaining
+    neighbours, so the seed — and therefore every candidate's iteration
+    trajectory — is independent of solve order: bit-identical across
+    [--jobs] levels and across journal-restored resumes. *)
+val warm_anchor :
+  ?params:Conic.Socp.params -> Taskgraph.Config.t -> Conic.Socp.warm option
+
 (** [obs_of params obs] is the effective context of a call taking both
     [?obs] and [?params]: an explicit [obs] wins, else the one already
     riding in [params]. *)

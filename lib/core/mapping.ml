@@ -10,6 +10,7 @@ type stats = {
   iterations : int;
   attempts : int;
   solve_time_s : float;
+  kkt_fallbacks : int;
 }
 
 type result = {
@@ -372,6 +373,7 @@ let solve ?params ?policy ?obs cfg =
       iterations = result.Model.raw.Socp.iterations;
       attempts = Recovery.attempts trace;
       solve_time_s = elapsed;
+      kkt_fallbacks = result.Model.raw.Socp.kkt_fallbacks;
     }
   in
   match result.Model.status with

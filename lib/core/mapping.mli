@@ -26,6 +26,10 @@ type stats = {
   iterations : int;  (** interior-point iterations of the final attempt *)
   attempts : int;  (** recovery-ladder attempts, 1 in normal operation *)
   solve_time_s : float;  (** wall-clock time of the whole solve ladder *)
+  kkt_fallbacks : int;
+      (** iterations of the final attempt where the sparse KKT
+          factorisation fell back to the dense oracle (0 on the dense
+          backend) *)
 }
 
 type result = {

@@ -143,6 +143,7 @@ let decode_result cfg ~candidate ib =
         iterations = 0;
         attempts = 0;
         solve_time_s = 0.0;
+        kkt_fallbacks = 0;
       };
   }
 
@@ -167,12 +168,28 @@ let decode_point cfg ~candidate cap payload =
     None
 
 let capacity_sweep ?params ?policy ?pool ?deadline ?candidate_deadline ?journal
-    ?cancel ?obs ?on_progress cfg ~buffers ~caps =
+    ?cancel ?obs ?on_progress ?(warm_start = true) cfg ~buffers ~caps =
   let policy =
     match policy with Some p -> p | None -> Recovery.default_policy ()
   in
   let deadline = Option.value deadline ~default:Durable.Deadline.none in
   let caps = Array.of_list caps in
+  (* One cold anchor solve (on the first candidate's bounds) seeds every
+     candidate; see [Durability.warm_anchor] for why anchoring — not
+     neighbour-chaining — is what keeps warm starts pool- and
+     resume-deterministic. *)
+  let warm =
+    if (not warm_start) || Array.length caps = 0 then None
+    else begin
+      let anchor = Config.copy cfg in
+      List.iter
+        (fun b -> Config.set_max_capacity anchor b (Some caps.(0)))
+        buffers;
+      Durability.warm_anchor
+        ?params:(Durability.params_with_deadline params ~deadline ~candidate_deadline)
+        anchor
+    end
+  in
   (* Each cap solves its own clone (handles are dense ids, valid across
      copies), so candidate solves are independent and can be batched on
      a pool; [cfg] is never touched.  Exceptions become that point's
@@ -183,9 +200,11 @@ let capacity_sweep ?params ?policy ?pool ?deadline ?candidate_deadline ?journal
       { policy with Recovery.fault = Fault.for_candidate policy.Recovery.fault ~index }
     in
     let params =
-      Durability.params_with_obs
-        (Durability.params_with_deadline params ~deadline ~candidate_deadline)
-        obs
+      Durability.params_with_warm
+        (Durability.params_with_obs
+           (Durability.params_with_deadline params ~deadline ~candidate_deadline)
+           obs)
+        warm
     in
     let result =
       match

@@ -1,0 +1,92 @@
+(** Sparse symmetric matrices in compressed-sparse-column form and a
+    sparse Cholesky factorisation with a fill-reducing ordering.
+
+    This is the sparse counterpart of {!Cholesky}: the interior-point
+    KKT normal equations [GᵀW⁻²G] have a fixed sparsity pattern across
+    iterations (the NT scaling mixes rows only {e within} a cone
+    block), so the expensive combinatorial work — the minimum-degree
+    ordering, the elimination tree, the pattern of the factor — is
+    done once per solve ({!symbolic}) while each iteration only runs
+    the cheap numeric refactorisation ({!factor} / {!refactor}).
+
+    Only the upper triangle is stored.  All orderings and tie-breaks
+    are deterministic (smallest index wins), so factorisations are
+    bit-identical across runs and domains. *)
+
+type sym
+(** A symmetric matrix: upper-triangle CSC with sorted, duplicate-free
+    columns (canonicalised by {!create}). *)
+
+exception Not_positive_definite
+
+(** [create ~n triplets] builds an [n×n] symmetric matrix from
+    [(i, j, v)] triplets.  Entries are mirrored into the upper
+    triangle, sorted, and duplicates are summed.  Structural zeros are
+    kept (the pattern is reused across refactorisations).
+    @raise Invalid_argument on an index out of range. *)
+val create : n:int -> (int * int * float) list -> sym
+
+val dim : sym -> int
+
+(** [nnz a] is the number of stored upper-triangle entries. *)
+val nnz : sym -> int
+
+(** [clear a] zeroes every stored value, keeping the pattern. *)
+val clear : sym -> unit
+
+(** [add a i j v] accumulates [v] into the stored entry [(i, j)]
+    (either triangle may be named; the upper one is touched).
+    @raise Invalid_argument if [(i, j)] is not in the pattern. *)
+val add : sym -> int -> int -> float -> unit
+
+(** [get a i j] is the stored value, or [0.] outside the pattern. *)
+val get : sym -> int -> int -> float
+
+(** [mul_vec a x] is the full symmetric product [A·x]. *)
+val mul_vec : sym -> Vec.t -> Vec.t
+
+(** [to_dense a] expands to a dense symmetric matrix (tests only). *)
+val to_dense : sym -> Mat.t
+
+(** [min_degree a] is a fill-reducing elimination order: [perm.(k)] is
+    the original index eliminated k-th.  Greedy minimum degree with
+    clique merging; ties broken by smallest index, so the order is a
+    pure function of the pattern. *)
+val min_degree : sym -> int array
+
+type symbolic
+(** The once-per-pattern analysis: permutation, elimination tree and
+    the column pointers of the factor [L].  Valid for any matrix with
+    the same pattern as the one analysed. *)
+
+(** [symbolic ?order a] runs the symbolic phase on [a]'s pattern using
+    [order] (default {!min_degree}).
+    @raise Invalid_argument if [order] is not a permutation of
+    [0..n-1]. *)
+val symbolic : ?order:int array -> sym -> symbolic
+
+(** [factor_nnz s] is the number of nonzeros the factor [L] will
+    have (including the diagonal). *)
+val factor_nnz : symbolic -> int
+
+type factor
+
+(** [refactor s a ~shift] numerically factors [P·(A + shift·I)·Pᵀ =
+    L·Lᵀ] reusing the symbolic analysis [s].  [a] must have the same
+    pattern [s] was computed from.  Returns [None] when a pivot is
+    non-positive (the matrix plus shift is not positive definite). *)
+val refactor : symbolic -> sym -> shift:float -> factor option
+
+(** [factor ?max_shift s a] is {!refactor} wrapped in the same
+    progressive diagonal shift policy as {!Cholesky.factor}: shift [0.],
+    then [1e-14·‖a‖] growing ×100 up to [max_shift·‖a‖]
+    (default [1e-4]).
+    @raise Not_positive_definite if no shift in range succeeds. *)
+val factor : ?max_shift:float -> symbolic -> sym -> factor
+
+(** [shift f] is the diagonal regularisation that was applied. *)
+val shift : factor -> float
+
+(** [solve f b] solves [(A + shift·I)·x = b] through the permuted
+    triangular factors. *)
+val solve : factor -> Vec.t -> Vec.t

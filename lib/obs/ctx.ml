@@ -78,7 +78,8 @@ let emit t event =
   | Trace.Task_join _ -> Metrics.Counter.incr t.joined
   | Trace.Span_close { name; elapsed_s } -> add_phase t name elapsed_s
   | Trace.Solve_start _ | Trace.Socp_iter _ | Trace.Presolve _
-  | Trace.Rung_exit _ | Trace.Span_open _ ->
+  | Trace.Rung_exit _ | Trace.Span_open _ | Trace.Kkt_factor _
+  | Trace.Warm_start _ ->
     ());
   match t.sink with
   | s when s == Sink.null -> ()

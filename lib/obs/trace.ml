@@ -30,6 +30,8 @@ type event =
       fault : string option;
     }
   | Fault_injected of { kind : string; attempt : int }
+  | Kkt_factor of { backend : string; phase : string; n : int; nnz : int }
+  | Warm_start of { accepted : bool; reason : string }
   | Certificate of { verdict : string }
   | Restore of { index : int; hit : bool }
   | Task_dispatch of { index : int }
@@ -48,6 +50,8 @@ let event_name = function
   | Rung_enter _ -> "rung_enter"
   | Rung_exit _ -> "rung_exit"
   | Fault_injected _ -> "fault_injected"
+  | Kkt_factor _ -> "kkt_factor"
+  | Warm_start _ -> "warm_start"
   | Certificate _ -> "certificate"
   | Restore _ -> "restore"
   | Task_dispatch _ -> "task_dispatch"
@@ -103,6 +107,10 @@ let fields_of_event = function
     @ (match fault with None -> [] | Some f -> [ ("fault", S f) ])
   | Fault_injected { kind; attempt } ->
     [ ("kind", S kind); ("attempt", I attempt) ]
+  | Kkt_factor { backend; phase; n; nnz } ->
+    [ ("backend", S backend); ("phase", S phase); ("n", I n); ("nnz", I nnz) ]
+  | Warm_start { accepted; reason } ->
+    [ ("accepted", B accepted); ("reason", S reason) ]
   | Certificate { verdict } -> [ ("verdict", S verdict) ]
   | Restore { index; hit } -> [ ("index", I index); ("hit", B hit) ]
   | Task_dispatch { index } -> [ ("index", I index) ]
@@ -330,6 +338,16 @@ let of_json_line line =
           }
       | "fault_injected" ->
         Fault_injected { kind = str "kind"; attempt = int "attempt" }
+      | "kkt_factor" ->
+        Kkt_factor
+          {
+            backend = str "backend";
+            phase = str "phase";
+            n = int "n";
+            nnz = int "nnz";
+          }
+      | "warm_start" ->
+        Warm_start { accepted = boolean "accepted"; reason = str "reason" }
       | "certificate" -> Certificate { verdict = str "verdict" }
       | "restore" -> Restore { index = int "index"; hit = boolean "hit" }
       | "task_dispatch" -> Task_dispatch { index = int "index" }

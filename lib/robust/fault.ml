@@ -22,11 +22,13 @@ let of_string spec =
       | "stall" -> Ok (Solver Socp.Stall)
       | "nan" -> Ok (Solver Socp.Nan)
       | "slow" -> Ok (Solver Socp.Slow)
+      | "dense_kkt" -> Ok (Solver Socp.Dense_kkt)
       | "bad_round" -> Ok Bad_round
       | k ->
         Error
           (Printf.sprintf
-             "unknown fault kind %S (expected stall, nan, slow or bad_round)" k))
+             "unknown fault kind %S (expected stall, nan, slow, dense_kkt or \
+              bad_round)" k))
     with
     | Error _ as e -> e
     | Ok kind ->
@@ -74,6 +76,7 @@ let kind_name = function
   | Solver Socp.Stall -> "stall"
   | Solver Socp.Nan -> "nan"
   | Solver Socp.Slow -> "slow"
+  | Solver Socp.Dense_kkt -> "dense_kkt"
   | Bad_round -> "bad_round"
 
 let to_string plan =

@@ -35,14 +35,18 @@ let no_recovery = { fault = None; max_rungs = 1 }
 
 let rung_params (base : Socp.params) = function
   | Base | Fallback_lp -> base
+  (* Every rung past [Base] drops the warm-start point: a seed that
+     steered the base attempt into a stall must not steer the retry
+     too (the cold start is the known-good trajectory). *)
   | Relaxed ->
     {
       base with
       Socp.feastol = base.Socp.feastol *. 10.0;
       abstol = base.Socp.abstol *. 10.0;
       reltol = base.Socp.reltol *. 10.0;
+      warm = None;
     }
-  | Deep -> { base with Socp.max_iter = base.Socp.max_iter * 4 }
+  | Deep -> { base with Socp.max_iter = base.Socp.max_iter * 4; warm = None }
   | Jittered ->
     {
       base with
@@ -51,9 +55,13 @@ let rung_params (base : Socp.params) = function
       abstol = base.Socp.abstol *. 10.0;
       reltol = base.Socp.reltol *. 10.0;
       (* A shorter fraction-to-boundary step and forced re-equilibration
-         push the iteration onto a different trajectory entirely. *)
+         push the iteration onto a different trajectory entirely — and
+         the proven dense KKT oracle replaces the sparse backend, in
+         case the stall was the factorisation's fault. *)
       step_fraction = 0.9;
       presolve = Socp.Presolve_force;
+      warm = None;
+      kkt = `Dense;
     }
 
 let cone_stages = [ Base; Relaxed; Deep; Jittered ]

@@ -10,8 +10,13 @@
       optimal" iterate the strict run rejected);
     + [Deep] — [max_iter] raised 4× (slow-but-steady convergence);
     + [Jittered] — deep iteration budget, loose tolerances, a smaller
-      fraction-to-boundary step and forced Ruiz re-equilibration — a
-      genuinely different trajectory through the central path.
+      fraction-to-boundary step, forced Ruiz re-equilibration and the
+      dense KKT oracle backend — a genuinely different trajectory
+      through the central path.
+
+    Every rung past [Base] also drops any warm-start point from the
+    parameters: the retry must not repeat the seeded trajectory that
+    just failed.
 
     The ladder stops at the first attempt that returns [Optimal] or an
     infeasibility certificate (certificates are exact verdicts; there

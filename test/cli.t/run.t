@@ -43,7 +43,7 @@ Trade-off sweep over small capacities:
   cap    wa           wb          
   1      36.1078      36.1078     
   2      31.2788      31.2788     
-  3      26.5089      26.5089     
+  3      26.5090      26.5090     
 
 The sweep fans out onto a domain pool with --jobs; the report must be
 byte-identical across job counts (the determinism oracle of
@@ -75,6 +75,47 @@ The pooled experiments accept --jobs too (Pareto frontier of T1):
   identical
   $ ../../bin/budgetbuf_cli.exe experiment fig2b --jobs 2 | grep -c "^  [0-9]"
   9
+
+The sparse KKT backend (docs/solver.md) must reproduce the dense
+report — same mapping, same verification, same certificate:
+
+  $ ../../bin/budgetbuf_cli.exe solve t1.cfg --kkt sparse | grep -v "objective:"
+  budget wa = 4
+  budget wb = 4
+  capacity bab = 10 containers
+  
+  verification: ok
+  certificate: ok (exact, 4 start times)
+
+
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --kkt sparse
+  cap    wa           wb          
+  1      36.1078      36.1078     
+  2      31.2788      31.2788     
+  3      26.5090      26.5090     
+
+  $ ../../bin/budgetbuf_cli.exe dse t1.cfg --caps 1:4 --kkt sparse
+  cap    min period  
+  1      4.0515      
+  2      2.0257      
+  3      1.3505      
+  4      1.0257      
+
+An unknown backend is rejected by the option parser:
+
+  $ ../../bin/budgetbuf_cli.exe solve t1.cfg --kkt bogus 2>&1 | head -1
+  budgetbuf: option '--kkt': invalid value 'bogus', expected either 'dense' or
+
+The sweeps seed every candidate from one cold anchor solve;
+--no-warm-start runs every candidate cold instead.  Both reach the
+same optima (the last display digit may move within solver
+tolerance):
+
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --no-warm-start
+  cap    wa           wb          
+  1      36.1078      36.1078     
+  2      31.2788      31.2788     
+  3      26.5089      26.5089     
 
 Parse errors carry the file and line:
 
@@ -206,11 +247,37 @@ while the rest of the sweep survives:
   $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --fault stall,attempts=all,only=1
   cap    wa           wb          
   1      36.1078      36.1078     
-  3      26.5089      26.5089     
+  3      26.5090      26.5090     
   skipped: 1 (stalled)
 
   $ ../../bin/budgetbuf_cli.exe pareto t1.cfg --steps 5 --fault stall,attempts=all,only=1 | tail -1
   skipped: 1 (stalled)
+
+The dense_kkt fault forces sparse factorisations onto the dense
+fallback; the answer must not move, and the reruns are counted next
+to the result:
+
+  $ ../../bin/budgetbuf_cli.exe solve t1.cfg --kkt sparse --fault dense_kkt | grep -v "objective:"
+  budget wa = 4
+  budget wb = 4
+  capacity bab = 10 containers
+  
+  kkt fallbacks: 1 (sparse factorisation reran dense)
+  verification: ok
+  certificate: ok (exact, 4 start times)
+
+
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --kkt sparse --fault dense_kkt,attempts=all
+  cap    wa           wb          
+  1      36.1078      36.1078     
+  2      31.2788      31.2788     
+  3      26.5090      26.5090     
+  kkt fallbacks: 3 (sparse factorisation reran dense)
+
+On the dense backend the fault is a no-op:
+
+  $ ../../bin/budgetbuf_cli.exe solve t1.cfg --fault dense_kkt | grep "kkt fallbacks" | wc -l
+  0
 
 Exact certification (docs/robustness.md): the certify subcommand
 re-derives the rounded mapping's schedule in exact rational arithmetic
@@ -244,7 +311,7 @@ exact bound — here the tightest cap of the sweep:
   cap    wa           wb          
   1      36.1078      36.1078     
   2      31.2788      31.2788     
-  3      26.5089      26.5089     
+  3      26.5090      26.5090     
   certified: 2/3
 
   $ ../../bin/budgetbuf_cli.exe dse t1.cfg --caps 1:4 --certify | tail -1
@@ -309,7 +376,7 @@ tradeoff and pareto journal the same way:
   cap    wa           wb          
   1      36.1078      36.1078     
   2      31.2788      31.2788     
-  3      26.5089      26.5089     
+  3      26.5090      26.5090     
 
 Deadline flags are validated up front, with the usual one-line-error,
 non-zero-exit convention:
@@ -343,7 +410,7 @@ on the second cap — while the sweep completes:
   $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:3 --fault slow,only=1 --per-candidate-deadline 0.2
   cap    wa           wb          
   1      36.1078      36.1078     
-  3      26.5089      26.5089     
+  3      26.5090      26.5090     
   skipped: 1 (timed out)
 
 Observability (docs/observability.md): --metrics prints a

@@ -413,6 +413,95 @@ let test_tradeoff_resume_restores_results () =
   Sys.remove path
 
 (* ------------------------------------------------------------------ *)
+(* Warm starts: determinism across pool sizes and resumes              *)
+(* ------------------------------------------------------------------ *)
+
+(* The sweeps seed every candidate from one cold anchor solve (see
+   Durability.warm_anchor), so the seed — and every candidate's
+   iteration trajectory — must be independent of solve order.  These
+   pins hold the warm path to the same bit-identical standard as the
+   cold one: --jobs 1 vs --jobs 4, and killed-and-resumed vs
+   uninterrupted. *)
+
+let check_tradeoff_points_identical expected actual =
+  List.iter2
+    (fun (a : Tradeoff.point) (b : Tradeoff.point) ->
+      Alcotest.(check int) "cap" a.Tradeoff.cap b.Tradeoff.cap;
+      match (a.Tradeoff.result, b.Tradeoff.result) with
+      | Ok ra, Ok rb ->
+        check_float 0.0 "objective" ra.Mapping.objective rb.Mapping.objective;
+        check_float 0.0 "rounded objective" ra.Mapping.rounded_objective
+          rb.Mapping.rounded_objective
+      | Error ea, Error eb ->
+        Alcotest.(check string) "same verdict" (Mapping.short_reason ea)
+          (Mapping.short_reason eb)
+      | _ -> Alcotest.fail "verdict differs")
+    expected actual
+
+let test_warm_sweep_jobs_determinism () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  let buffers = Config.all_buffers cfg in
+  let caps = [ 1; 2; 3; 4 ] in
+  let seq = Tradeoff.capacity_sweep ~warm_start:true cfg ~buffers ~caps in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let par =
+        Tradeoff.capacity_sweep ~warm_start:true ~pool cfg ~buffers ~caps
+      in
+      check_tradeoff_points_identical seq par);
+  (* The warm path changes the trajectory, never the answer: the cold
+     sweep reaches the same optima within solver tolerance. *)
+  let cold = Tradeoff.capacity_sweep ~warm_start:false cfg ~buffers ~caps in
+  List.iter2
+    (fun (a : Tradeoff.point) (b : Tradeoff.point) ->
+      match (a.Tradeoff.result, b.Tradeoff.result) with
+      | Ok ra, Ok rb ->
+        Alcotest.(check bool)
+          "warm and cold optima agree" true
+          (Float.abs (ra.Mapping.objective -. rb.Mapping.objective)
+          <= 1e-4 *. (1.0 +. Float.abs rb.Mapping.objective))
+      | Error ea, Error eb ->
+        Alcotest.(check string) "same verdict" (Mapping.short_reason ea)
+          (Mapping.short_reason eb)
+      | _ -> Alcotest.fail "warm start changed a verdict")
+    seq cold
+
+let test_warm_dse_resume_bit_identical () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  let caps = [ 1; 2; 3; 4 ] in
+  let full =
+    Dse.curve_points (Dse.throughput_curve ~warm_start:true cfg ~caps)
+  in
+  let path = temp_journal () in
+  let fp = Journal.fingerprint [ "warm-dse-resume" ] in
+  (* Kill after the first candidate, then resume under a 4-domain pool:
+     the curve must still be bit-identical to the uninterrupted
+     sequential sweep. *)
+  with_journal ~fingerprint:fp path (fun j ->
+      let calls = ref 0 in
+      let cancel () =
+        incr calls;
+        !calls > 1
+      in
+      ignore (Dse.throughput_curve ~warm_start:true ~journal:j ~cancel cfg ~caps));
+  let prog = ref None in
+  with_journal ~fingerprint:fp path (fun j ->
+      Pool.with_pool ~domains:4 (fun pool ->
+          let points =
+            Dse.throughput_curve ~warm_start:true ~journal:j ~pool
+              ~on_progress:(fun p -> prog := Some p)
+              cfg ~caps
+          in
+          Alcotest.(check (list (pair int (float 0.0))))
+            "identical to the uninterrupted sweep" full
+            (Dse.curve_points points)));
+  (match !prog with
+  | Some p ->
+    Alcotest.(check int) "restored 1" 1 p.Sweep.resumed;
+    Alcotest.(check int) "re-solved 3" 3 p.Sweep.solved
+  | None -> Alcotest.fail "no progress report");
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
 (* Drivers: deadlines                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -543,6 +632,10 @@ let () =
             test_dse_resume_exact_solves;
           Alcotest.test_case "tradeoff resume" `Quick
             test_tradeoff_resume_restores_results;
+          Alcotest.test_case "warm sweep jobs determinism" `Quick
+            test_warm_sweep_jobs_determinism;
+          Alcotest.test_case "warm dse resume bit-identical" `Quick
+            test_warm_dse_resume_bit_identical;
           Alcotest.test_case "candidate deadline" `Slow
             test_tradeoff_candidate_deadline;
           Alcotest.test_case "sweep deadline" `Slow

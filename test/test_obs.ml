@@ -252,6 +252,8 @@ let test_json_round_trip_qcheck () =
           Trace.Candidate { index = i; verdict = s };
           Trace.Span_open { name = s };
           Trace.Span_close { name = s; elapsed_s = f };
+          Trace.Kkt_factor { backend = s; phase = s; n = i; nnz = i + 2 };
+          Trace.Warm_start { accepted = i mod 2 = 0; reason = s };
         ])
   in
   QCheck.Test.make ~count:500 ~name:"trace JSONL round-trips every event"
@@ -412,6 +414,91 @@ let test_traced_solve_matches_plain () =
       "socp_iter"; "solve_end"; "certificate";
     ]
 
+(* The sparse KKT path announces its factorisation schedule: exactly
+   one symbolic analysis per interior-point attempt, then one numeric
+   refactorisation per iteration — the cost model docs/solver.md sells.
+   A dense solve of the same instance emits no kkt_factor events at
+   all, so existing dense goldens cannot move. *)
+let test_sparse_solve_trace_shape () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  let params =
+    { Conic.Socp.default_params with Conic.Socp.kkt = `Sparse }
+  in
+  let sink = Sink.ring ~capacity:4096 in
+  (match Mapping.solve ~params ~obs:(Ctx.make ~sink ()) cfg with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "paper T1 must solve");
+  let events = Sink.events sink in
+  let kkt p =
+    List.filter
+      (fun e ->
+        match e.Trace.event with
+        | Trace.Kkt_factor { phase; _ } -> String.equal phase p
+        | _ -> false)
+      events
+  in
+  let iters =
+    List.length
+      (List.filter
+         (fun e ->
+           match e.Trace.event with Trace.Socp_iter _ -> true | _ -> false)
+         events)
+  in
+  Alcotest.(check int) "one symbolic analysis" 1 (List.length (kkt "symbolic"));
+  (* The converging iteration exits after its residual check, before
+     assembling a new KKT system: one numeric refactorisation for every
+     iteration but the last. *)
+  Alcotest.(check int)
+    "one numeric refactorisation per stepping iteration" (iters - 1)
+    (List.length (kkt "numeric"));
+  Alcotest.(check int) "no dense fallbacks" 0 (List.length (kkt "fallback"));
+  List.iter
+    (fun e ->
+      match e.Trace.event with
+      | Trace.Kkt_factor { backend; n; nnz; _ } ->
+        Alcotest.(check string) "backend" "sparse" backend;
+        Alcotest.(check bool) "dimension recorded" true (n > 0);
+        Alcotest.(check bool) "pattern size recorded" true (nnz > 0)
+      | _ -> ())
+    events;
+  (* The dense oracle path stays silent. *)
+  let dense_sink = Sink.ring ~capacity:4096 in
+  (match Mapping.solve ~obs:(Ctx.make ~sink:dense_sink ()) cfg with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "paper T1 must solve");
+  Alcotest.(check int)
+    "dense solve emits no kkt_factor events" 0
+    (List.length
+       (List.filter
+          (fun e ->
+            match e.Trace.event with
+            | Trace.Kkt_factor _ | Trace.Warm_start _ -> true
+            | _ -> false)
+          (Sink.events dense_sink)))
+
+(* Warm starts announce acceptance or rejection with a reason; the
+   codec line for each is pinned here (seq/t come from the fake
+   clock). *)
+let test_warm_start_event_golden () =
+  with_fake_clock @@ fun () ->
+  let sink = Sink.ring ~capacity:8 in
+  let obs = Ctx.make ~sink () in
+  Ctx.emit obs (Trace.Warm_start { accepted = true; reason = "" });
+  Ctx.emit obs
+    (Trace.Warm_start { accepted = false; reason = "dimension mismatch" });
+  Ctx.emit obs
+    (Trace.Kkt_factor { backend = "sparse"; phase = "symbolic"; n = 9; nnz = 25 });
+  let golden =
+    [
+      {|{"seq":0,"t":0,"ev":"warm_start","accepted":true,"reason":""}|};
+      {|{"seq":1,"t":1,"ev":"warm_start","accepted":false,"reason":"dimension mismatch"}|};
+      {|{"seq":2,"t":2,"ev":"kkt_factor","backend":"sparse","phase":"symbolic","n":9,"nnz":25}|};
+    ]
+  in
+  Alcotest.(check (list string))
+    "bit-identical event lines" golden
+    (List.map Trace.to_json (Sink.events sink))
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
@@ -450,4 +537,11 @@ let () =
         Alcotest.test_case "traced solve matches plain" `Quick
           test_traced_solve_matches_plain
         :: qsuite );
+      ( "sparse kkt",
+        [
+          Alcotest.test_case "solve trace shape" `Quick
+            test_sparse_solve_trace_shape;
+          Alcotest.test_case "event golden lines" `Quick
+            test_warm_start_event_golden;
+        ] );
     ]

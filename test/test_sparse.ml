@@ -1,0 +1,476 @@
+(* Sparse KKT path: the sparse Cholesky core, the canonicalised sparse
+   rows, and the dense-vs-sparse differential oracle (docs/solver.md).
+
+   The dense backend is the oracle: on every instance the sparse path
+   must reproduce its verdict, its objective and its certificate.  The
+   unit half pins the mutation cases a naive CSC implementation gets
+   wrong — duplicate triplets, unsorted rows, rank-deficient and
+   singular matrices, empty columns. *)
+
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Sparse = Linalg.Sparse
+module Cholesky = Linalg.Cholesky
+module Sparse_rows = Conic.Sparse_rows
+module Socp = Conic.Socp
+module Model = Conic.Model
+module Config = Taskgraph.Config
+module Mapping = Budgetbuf.Mapping
+module Certify = Budgetbuf.Certify
+module Socp_builder = Budgetbuf.Socp_builder
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let sparse_params = { Socp.default_params with Socp.kkt = `Sparse }
+
+(* ------------------------------------------------------------------ *)
+(* Sparse symmetric construction                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_mirrors_and_sums () =
+  (* Lower-triangle input is mirrored up; duplicates are summed. *)
+  let a =
+    Sparse.create ~n:3
+      [ (0, 0, 4.0); (1, 0, 1.0); (0, 1, 1.0); (1, 1, 3.0); (2, 2, 5.0) ]
+  in
+  Alcotest.(check int) "dim" 3 (Sparse.dim a);
+  (* (1,0) and (0,1) are the same upper entry: 1 + 1 = 2. *)
+  check_float "summed duplicate" 2.0 (Sparse.get a 0 1);
+  check_float "mirror read" 2.0 (Sparse.get a 1 0);
+  check_float "diag" 4.0 (Sparse.get a 0 0);
+  check_float "outside pattern" 0.0 (Sparse.get a 0 2);
+  let d = Sparse.to_dense a in
+  check_float "dense mirror" 2.0 (Mat.get d 1 0)
+
+let test_create_out_of_range () =
+  Alcotest.check_raises "row out of range"
+    (Invalid_argument "Sparse.create: index out of range") (fun () ->
+      ignore (Sparse.create ~n:3 [ (3, 0, 1.0) ]))
+
+let test_structural_zeros_kept () =
+  (* An explicit zero stays in the pattern so [add] can refill it. *)
+  let a = Sparse.create ~n:2 [ (0, 0, 1.0); (0, 1, 0.0); (1, 1, 1.0) ] in
+  Alcotest.(check int) "nnz keeps structural zero" 3 (Sparse.nnz a);
+  Sparse.add a 0 1 0.5;
+  check_float "refilled" 0.5 (Sparse.get a 0 1)
+
+let test_add_outside_pattern () =
+  let a = Sparse.create ~n:3 [ (0, 0, 1.0); (1, 1, 1.0); (2, 2, 1.0) ] in
+  Alcotest.check_raises "outside pattern"
+    (Invalid_argument "Sparse.add: entry outside the pattern") (fun () ->
+      Sparse.add a 0 2 1.0)
+
+let test_clear_keeps_pattern () =
+  let a = Sparse.create ~n:2 [ (0, 0, 4.0); (0, 1, 1.0); (1, 1, 3.0) ] in
+  Sparse.clear a;
+  Alcotest.(check int) "nnz" 3 (Sparse.nnz a);
+  check_float "cleared" 0.0 (Sparse.get a 0 0);
+  Sparse.add a 0 0 4.0;
+  Sparse.add a 0 1 1.0;
+  Sparse.add a 1 1 3.0;
+  check_float "refilled" 4.0 (Sparse.get a 0 0)
+
+let test_mul_vec () =
+  let a = Sparse.create ~n:2 [ (0, 0, 4.0); (0, 1, 1.0); (1, 1, 3.0) ] in
+  let y = Sparse.mul_vec a [| 1.0; 2.0 |] in
+  check_float "row 0" 6.0 y.(0);
+  check_float "row 1" 7.0 y.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Factorisation: agreement with the dense oracle                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Random sparse SPD matrix: random upper off-diagonals plus a
+   dominant diagonal. *)
+let random_spd ~n seed =
+  let rng = Workloads.Rng.create (Int64.of_int seed) in
+  let triplets = ref [] in
+  for i = 0 to n - 1 do
+    triplets :=
+      (i, i, float_of_int n +. Workloads.Rng.float rng ~lo:0.0 ~hi:4.0)
+      :: !triplets;
+    for j = i + 1 to n - 1 do
+      if Workloads.Rng.float rng ~lo:0.0 ~hi:1.0 < 0.3 then
+        triplets :=
+          (i, j, Workloads.Rng.float rng ~lo:(-1.0) ~hi:1.0) :: !triplets
+    done
+  done;
+  Sparse.create ~n !triplets
+
+let random_rhs ~n seed =
+  let rng = Workloads.Rng.create (Int64.of_int (seed + 7919)) in
+  Array.init n (fun _ -> Workloads.Rng.float rng ~lo:(-1.0) ~hi:1.0)
+
+let prop_sparse_solve_matches_dense =
+  QCheck2.Test.make ~name:"sparse Cholesky solve matches dense oracle"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 2 20) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let a = random_spd ~n seed in
+      let b = random_rhs ~n seed in
+      let sy = Sparse.symbolic a in
+      let xs = Sparse.solve (Sparse.factor sy a) b in
+      let xd = Cholesky.solve (Cholesky.factor (Sparse.to_dense a)) b in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) <= 1e-7) xs xd)
+
+let prop_min_degree_is_permutation =
+  QCheck2.Test.make ~name:"min_degree is a permutation of 0..n-1" ~count:100
+    QCheck2.Gen.(pair (int_range 1 30) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let a = random_spd ~n seed in
+      let perm = Sparse.min_degree a in
+      let seen = Array.make n false in
+      Array.length perm = n
+      && Array.for_all
+           (fun p ->
+             p >= 0 && p < n
+             &&
+             if seen.(p) then false
+             else begin
+               seen.(p) <- true;
+               true
+             end)
+           perm)
+
+let prop_refactor_reuses_pattern =
+  QCheck2.Test.make
+    ~name:"clear/add refill refactors to the same solution" ~count:50
+    QCheck2.Gen.(pair (int_range 2 12) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let a = random_spd ~n seed in
+      let sy = Sparse.symbolic a in
+      let b = random_rhs ~n seed in
+      let x1 = Sparse.solve (Sparse.factor sy a) b in
+      (* Snapshot, clear, refill the same values through [add], and the
+         refactorisation must be bit-identical. *)
+      let dense = Sparse.to_dense a in
+      Sparse.clear a;
+      for i = 0 to n - 1 do
+        for j = i to n - 1 do
+          let v = Mat.get dense i j in
+          if v <> 0.0 then Sparse.add a i j v
+        done
+      done;
+      let x2 = Sparse.solve (Sparse.factor sy a) b in
+      Array.for_all2 (fun u v -> Float.equal u v) x1 x2)
+
+let test_rank_deficient_refused_then_shifted () =
+  (* [1 1; 1 1] is PSD but singular: the strict factorisation must
+     refuse it, and the shift policy must recover. *)
+  let a =
+    Sparse.create ~n:2 [ (0, 0, 1.0); (0, 1, 1.0); (1, 1, 1.0) ]
+  in
+  let sy = Sparse.symbolic a in
+  Alcotest.(check bool)
+    "refactor at shift 0 refuses" true
+    (Sparse.refactor sy a ~shift:0.0 = None);
+  let f = Sparse.factor sy a in
+  Alcotest.(check bool) "shift applied" true (Sparse.shift f > 0.0)
+
+let test_indefinite_raises () =
+  let a =
+    Sparse.create ~n:2 [ (0, 0, 1.0); (0, 1, 4.0); (1, 1, 1.0) ]
+  in
+  let sy = Sparse.symbolic a in
+  Alcotest.check_raises "indefinite" Sparse.Not_positive_definite (fun () ->
+      ignore (Sparse.factor ~max_shift:1e-8 sy a))
+
+let test_zero_matrix_regularised () =
+  (* All-zero values: the strict factorisation refuses, and the shift
+     policy (falling back to unit scale when the Frobenius norm is
+     zero) regularises instead of looping. *)
+  let a = Sparse.create ~n:2 [ (0, 0, 0.0); (1, 1, 0.0) ] in
+  let sy = Sparse.symbolic a in
+  Alcotest.(check bool)
+    "refactor at shift 0 refuses" true
+    (Sparse.refactor sy a ~shift:0.0 = None);
+  let f = Sparse.factor sy a in
+  Alcotest.(check bool) "shift applied" true (Sparse.shift f > 0.0)
+
+let test_empty_column_recovered_by_shift () =
+  (* Column 1 has no entries at all (not even a diagonal): a zero pivot
+     at shift 0, recovered by the progressive shift. *)
+  let a = Sparse.create ~n:3 [ (0, 0, 2.0); (2, 2, 3.0) ] in
+  let sy = Sparse.symbolic a in
+  Alcotest.(check bool)
+    "refactor at shift 0 refuses" true
+    (Sparse.refactor sy a ~shift:0.0 = None);
+  let f = Sparse.factor ~max_shift:1.0 sy a in
+  Alcotest.(check bool) "shift applied" true (Sparse.shift f > 0.0)
+
+let test_identity_permutation_order () =
+  (* [symbolic ?order] accepts an explicit ordering; identity must give
+     the same solutions as min-degree. *)
+  let a = random_spd ~n:8 42 in
+  let b = random_rhs ~n:8 42 in
+  let x1 = Sparse.solve (Sparse.factor (Sparse.symbolic a) a) b in
+  let order = Array.init 8 Fun.id in
+  let x2 = Sparse.solve (Sparse.factor (Sparse.symbolic ~order a) a) b in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-8)) "component" v x2.(i))
+    x1
+
+let test_bad_order_rejected () =
+  let a = Sparse.create ~n:2 [ (0, 0, 1.0); (1, 1, 1.0) ] in
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Sparse.symbolic: order is not a permutation")
+    (fun () -> ignore (Sparse.symbolic ~order:[| 0; 0 |] a))
+
+(* ------------------------------------------------------------------ *)
+(* Sparse_rows canonicalisation                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_rows_canonicalises () =
+  (* Unsorted entries, a duplicate column and an explicit zero: the
+     stored row must come back sorted, summed and zero-free. *)
+  let t =
+    Sparse_rows.of_rows ~cols:4
+      [| [ (2, 1.0); (0, 3.0); (2, 0.5); (3, 0.0) ]; [] |]
+  in
+  Alcotest.(check (list (pair int (float 1e-12))))
+    "canonical row"
+    [ (0, 3.0); (2, 1.5) ]
+    (Sparse_rows.row t 0);
+  Alcotest.(check int) "nnz" 2 (Sparse_rows.nnz t);
+  Alcotest.(check int) "cols" 4 (Sparse_rows.cols t);
+  (* The matrix-vector product sees the canonical values. *)
+  let y = Sparse_rows.mul_vec t [| 1.0; 1.0; 2.0; 100.0 |] in
+  check_float "mul_vec" 6.0 y.(0)
+
+let test_of_rows_out_of_range () =
+  Alcotest.check_raises "column out of range"
+    (Invalid_argument "Sparse_rows: column index out of range") (fun () ->
+      ignore (Sparse_rows.of_rows ~cols:4 [| [ (4, 1.0) ] |]))
+
+let test_fill_gram_matches_dense_gram () =
+  let t =
+    Sparse_rows.of_rows ~cols:3
+      [| [ (0, 1.0); (2, 2.0) ]; [ (1, 3.0) ]; [ (0, -1.0); (1, 1.0) ] |]
+  in
+  let pattern = Sparse_rows.gram_pattern t ~soc:[] in
+  Sparse_rows.fill_gram t ~into:pattern;
+  let dense = Sparse_rows.gram t in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "entry (%d,%d)" i j)
+        (Mat.get dense i j) (Sparse.get pattern i j)
+    done
+  done
+
+let test_gram_pattern_soc_union () =
+  (* Rows 0-1 form a SOC block: the NT scaling mixes them, so the
+     pattern must contain the cross term (0,1) even though no single
+     row touches both columns. *)
+  let t =
+    Sparse_rows.of_rows ~cols:2 [| [ (0, 1.0) ]; [ (1, 1.0) ] |]
+  in
+  let plain = Sparse_rows.gram_pattern t ~soc:[] in
+  let soc = Sparse_rows.gram_pattern t ~soc:[ (0, 2) ] in
+  check_float "no block: no cross term" 0.0 (Sparse.get plain 0 1);
+  Alcotest.(check int) "no block: nnz" 2 (Sparse.nnz plain);
+  Alcotest.(check int) "soc block adds cross term" 3 (Sparse.nnz soc)
+
+(* ------------------------------------------------------------------ *)
+(* Dense-vs-sparse differential oracle                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rel_close a b = Float.abs (a -. b) <= 1e-4 *. (1.0 +. Float.abs a)
+
+(* The oracle proper: on a random workload the sparse path must agree
+   with the dense path on the verdict, the objective and the
+   certificate — and a sparse-accepted mapping must itself certify
+   exactly. *)
+let prop_differential_oracle =
+  QCheck2.Test.make ~name:"sparse agrees with the dense oracle" ~count:300
+    QCheck2.Gen.(pair (int_range 2 6) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Workloads.Rng.create (Int64.of_int seed) in
+      let cfg = Workloads.Gen.random_chain rng ~n () in
+      let dense = Mapping.solve cfg in
+      let sparse = Mapping.solve ~params:sparse_params cfg in
+      match (dense, sparse) with
+      | Ok d, Ok s ->
+        rel_close d.Mapping.objective s.Mapping.objective
+        && rel_close d.Mapping.rounded_objective s.Mapping.rounded_objective
+        && Certify.certified d.Mapping.certificate
+           = Certify.certified s.Mapping.certificate
+        && Certify.certified s.Mapping.certificate
+        && s.Mapping.verification = []
+      | Error de, Error se ->
+        String.equal (Mapping.short_reason de) (Mapping.short_reason se)
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let test_oracle_on_paper_instances () =
+  List.iter
+    (fun cfg ->
+      match
+        (Mapping.solve cfg, Mapping.solve ~params:sparse_params cfg)
+      with
+      | Ok d, Ok s ->
+        Alcotest.(check bool)
+          "objectives agree" true
+          (rel_close d.Mapping.objective s.Mapping.objective);
+        Alcotest.(check bool)
+          "sparse certifies" true
+          (Certify.certified s.Mapping.certificate);
+        Alcotest.(check int)
+          "no dense fallbacks" 0 s.Mapping.stats.Mapping.kkt_fallbacks
+      | _ -> Alcotest.fail "both backends must solve the paper instances")
+    [ Workloads.Gen.paper_t1 (); Workloads.Gen.paper_t2 () ]
+
+let test_sparse_infeasible_agrees () =
+  (* µ < χ can never be met: both backends must report the same
+     infeasibility verdict. *)
+  let cfg = Config.create ~granularity:1.0 () in
+  let p1 = Config.add_processor cfg ~name:"p1" ~replenishment:40.0 () in
+  let p2 = Config.add_processor cfg ~name:"p2" ~replenishment:40.0 () in
+  let m = Config.add_memory cfg ~name:"m" ~capacity:100 in
+  let g = Config.add_graph cfg ~name:"t" ~period:0.5 () in
+  let wa = Config.add_task cfg g ~name:"wa" ~proc:p1 ~wcet:1.0 () in
+  let wb = Config.add_task cfg g ~name:"wb" ~proc:p2 ~wcet:1.0 () in
+  ignore (Config.add_buffer cfg g ~name:"b" ~src:wa ~dst:wb ~memory:m ());
+  match (Mapping.solve cfg, Mapping.solve ~params:sparse_params cfg) with
+  | Error (Mapping.Infeasible _), Error (Mapping.Infeasible _) -> ()
+  | _ -> Alcotest.fail "both backends must report infeasibility"
+
+(* ------------------------------------------------------------------ *)
+(* Warm starts                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_start_reaches_same_optimum () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  let b = Socp_builder.build cfg in
+  let cold = Model.solve b.Socp_builder.model in
+  Alcotest.(check bool) "cold optimal" true (cold.Model.status = Socp.Optimal);
+  let warm =
+    {
+      Socp.wx = cold.Model.raw.Socp.x;
+      ws = cold.Model.raw.Socp.s;
+      wz = cold.Model.raw.Socp.z;
+    }
+  in
+  let params = { Socp.default_params with Socp.warm = Some warm } in
+  let warmed = Model.solve ~params b.Socp_builder.model in
+  Alcotest.(check bool) "warm optimal" true (warmed.Model.status = Socp.Optimal);
+  Alcotest.(check bool)
+    "same objective" true
+    (rel_close cold.Model.objective warmed.Model.objective);
+  (* A warm start from the optimum should not take longer than the
+     cold solve. *)
+  Alcotest.(check bool)
+    "no extra iterations" true
+    (warmed.Model.raw.Socp.iterations <= cold.Model.raw.Socp.iterations)
+
+let test_warm_start_dimension_mismatch_is_cold () =
+  (* A warm point of the wrong dimension is silently rejected: the
+     solve must still succeed from the cold start. *)
+  let cfg = Workloads.Gen.paper_t1 () in
+  let b = Socp_builder.build cfg in
+  let warm = { Socp.wx = [| 1.0 |]; ws = [| 1.0 |]; wz = [| 1.0 |] } in
+  let params = { Socp.default_params with Socp.warm = Some warm } in
+  let r = Model.solve ~params b.Socp_builder.model in
+  Alcotest.(check bool) "still optimal" true (r.Model.status = Socp.Optimal)
+
+let test_warm_start_non_finite_is_cold () =
+  let cfg = Workloads.Gen.paper_t1 () in
+  let b = Socp_builder.build cfg in
+  let cold = Model.solve b.Socp_builder.model in
+  let wx = Array.copy cold.Model.raw.Socp.x in
+  wx.(0) <- Float.nan;
+  let warm =
+    { Socp.wx; ws = cold.Model.raw.Socp.s; wz = cold.Model.raw.Socp.z }
+  in
+  let params = { Socp.default_params with Socp.warm = Some warm } in
+  let r = Model.solve ~params b.Socp_builder.model in
+  Alcotest.(check bool) "still optimal" true (r.Model.status = Socp.Optimal)
+
+let prop_warm_start_preserves_oracle =
+  QCheck2.Test.make
+    ~name:"warm-started sparse solves still match the dense oracle"
+    ~count:30
+    QCheck2.Gen.(pair (int_range 2 5) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Workloads.Rng.create (Int64.of_int seed) in
+      let cfg = Workloads.Gen.random_chain rng ~n () in
+      let anchor = Budgetbuf.Durability.warm_anchor cfg in
+      let params =
+        Budgetbuf.Durability.params_with_warm (Some sparse_params) anchor
+      in
+      match (Mapping.solve cfg, Mapping.solve ?params cfg) with
+      | Ok d, Ok s ->
+        rel_close d.Mapping.objective s.Mapping.objective
+        && Certify.certified s.Mapping.certificate
+      | Error de, Error se ->
+        String.equal (Mapping.short_reason de) (Mapping.short_reason se)
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "sparse"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "mirrors and sums" `Quick
+            test_create_mirrors_and_sums;
+          Alcotest.test_case "out of range" `Quick test_create_out_of_range;
+          Alcotest.test_case "structural zeros kept" `Quick
+            test_structural_zeros_kept;
+          Alcotest.test_case "add outside pattern" `Quick
+            test_add_outside_pattern;
+          Alcotest.test_case "clear keeps pattern" `Quick
+            test_clear_keeps_pattern;
+          Alcotest.test_case "mul_vec" `Quick test_mul_vec;
+        ] );
+      ( "factorisation",
+        [
+          Alcotest.test_case "rank-deficient refused then shifted" `Quick
+            test_rank_deficient_refused_then_shifted;
+          Alcotest.test_case "indefinite raises" `Quick test_indefinite_raises;
+          Alcotest.test_case "zero matrix regularised" `Quick
+            test_zero_matrix_regularised;
+          Alcotest.test_case "empty column recovered by shift" `Quick
+            test_empty_column_recovered_by_shift;
+          Alcotest.test_case "explicit identity order" `Quick
+            test_identity_permutation_order;
+          Alcotest.test_case "bad order rejected" `Quick
+            test_bad_order_rejected;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_sparse_solve_matches_dense;
+              prop_min_degree_is_permutation;
+              prop_refactor_reuses_pattern;
+            ] );
+      ( "sparse rows",
+        [
+          Alcotest.test_case "of_rows canonicalises" `Quick
+            test_of_rows_canonicalises;
+          Alcotest.test_case "of_rows out of range" `Quick
+            test_of_rows_out_of_range;
+          Alcotest.test_case "fill_gram matches dense gram" `Quick
+            test_fill_gram_matches_dense_gram;
+          Alcotest.test_case "gram_pattern soc union" `Quick
+            test_gram_pattern_soc_union;
+        ] );
+      ( "differential oracle",
+        [
+          Alcotest.test_case "paper instances" `Quick
+            test_oracle_on_paper_instances;
+          Alcotest.test_case "infeasible agrees" `Quick
+            test_sparse_infeasible_agrees;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_differential_oracle ] );
+      ( "warm starts",
+        [
+          Alcotest.test_case "reaches same optimum" `Quick
+            test_warm_start_reaches_same_optimum;
+          Alcotest.test_case "dimension mismatch is cold" `Quick
+            test_warm_start_dimension_mismatch_is_cold;
+          Alcotest.test_case "non-finite is cold" `Quick
+            test_warm_start_non_finite_is_cold;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_warm_start_preserves_oracle ] );
+    ]

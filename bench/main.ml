@@ -601,6 +601,344 @@ let sparse_report ppf =
   close_out oc;
   Format.fprintf ppf "  written: BENCH_sparse.json@."
 
+(* ------------------------------------------------------------------ *)
+(* Admission server under load, faults and a crash                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The solve-as-a-service acceptance run (docs/serving.md): a warm
+   multi-client phase measuring reply latency and certificate coverage,
+   a fault-injection phase that must recover on a later rung, an
+   overload burst against a one-slot queue that must shed with explicit
+   [overloaded] replies rather than queue unboundedly, and a kill/
+   restart phase whose journal must answer the replayed workload almost
+   entirely from cache.  Every roundtrip returns — a hung connection
+   would hang the bench itself.  Also written to BENCH_serve.json. *)
+let serve_report ~jobs ppf =
+  Format.fprintf ppf "@.=== Admission server (load, faults, crash) ===@.@.";
+  (* The crash phase writes into sockets of a server that has already
+     halted and restored the default SIGPIPE disposition; the bench
+     must see EPIPE as an Error, not die of the signal. *)
+  let saved_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigpipe saved_pipe)
+  @@ fun () ->
+  let tmp name =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bb-bench-%d-%s" (Unix.getpid ()) name)
+  in
+  let rm path = try Sys.remove path with Sys_error _ -> () in
+  let t1_cap cap =
+    let cfg = Workloads.Gen.paper_t1 () in
+    Taskgraph.Config.set_max_capacity cfg
+      (Taskgraph.Config.find_buffer cfg "bab")
+      (Some cap);
+    Format.asprintf "%a" Taskgraph.Config.pp cfg
+  in
+  let certified = function
+    | Serve.Protocol.Admitted { certificate; _ } ->
+      String.length certificate >= 2 && String.sub certificate 0 2 = "ok"
+    | _ -> false
+  in
+  let start cfg =
+    let result = ref (Error "server never ran") in
+    let th = Thread.create (fun () -> result := Serve.Server.run cfg) () in
+    (th, result)
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    sorted.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  (* -- warm phase: 4 clients x 8 instances, release after admit ------ *)
+  let warm_caps = [ 10; 11; 12; 13; 14; 15; 16; 17 ] in
+  let warm_texts = List.map t1_cap warm_caps in
+  let journal = tmp "serve.cachej" in
+  rm journal;
+  let sock = tmp "serve-warm.sock" in
+  let th, res =
+    start
+      {
+        (Serve.Server.default_config ~socket_path:sock) with
+        Serve.Server.cache_path = Some journal;
+        domains = jobs;
+        batch = jobs;
+      }
+  in
+  let lock = Mutex.create () in
+  let lats = ref [] and hits = ref 0 and misses = ref 0 in
+  let certs = ref 0 and answered = ref 0 and errors = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let clients =
+    List.init 4 (fun c ->
+        Thread.create
+          (fun () ->
+            match
+              Serve.Client.with_connection sock (fun conn ->
+                  List.iteri
+                    (fun i text ->
+                      let id = Printf.sprintf "w%d-%d" c i in
+                      let t = Unix.gettimeofday () in
+                      (match
+                         Serve.Client.roundtrip conn
+                           (Serve.Protocol.Admit
+                              {
+                                id;
+                                config = text;
+                                deadline_s = None;
+                                fault = None;
+                              })
+                       with
+                      | Ok reply ->
+                        let dt = Unix.gettimeofday () -. t in
+                        Mutex.lock lock;
+                        incr answered;
+                        lats := dt :: !lats;
+                        if certified reply then incr certs;
+                        (match reply with
+                        | Serve.Protocol.Admitted { cache = `Hit; _ } ->
+                          incr hits
+                        | Serve.Protocol.Admitted { cache = `Miss; _ } ->
+                          incr misses
+                        | _ -> ());
+                        Mutex.unlock lock
+                      | Error _ ->
+                        Mutex.lock lock;
+                        incr errors;
+                        Mutex.unlock lock);
+                      ignore
+                        (Serve.Client.roundtrip conn
+                           (Serve.Protocol.Release { id })))
+                    warm_texts;
+                  Ok ())
+            with
+            | Ok () -> ()
+            | Error _ ->
+              Mutex.lock lock;
+              incr errors;
+              Mutex.unlock lock)
+          ())
+  in
+  List.iter Thread.join clients;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* -- fault phase: stalled first attempts on the same server -------- *)
+  let recovered = ref 0 and fault_total = 4 in
+  (match
+     Serve.Client.with_connection sock (fun conn ->
+         List.iter
+           (fun cap ->
+             match
+               Serve.Client.roundtrip conn
+                 (Serve.Protocol.Admit
+                    {
+                      id = Printf.sprintf "f%d" cap;
+                      config = t1_cap cap;
+                      deadline_s = None;
+                      fault = Some "stall";
+                    })
+             with
+             | Ok (Serve.Protocol.Admitted { attempts; _ }) when attempts > 1
+               -> incr recovered
+             | _ -> ())
+           [ 20; 21; 22; 23 ];
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error _ -> incr errors);
+  (match
+     Serve.Client.with_connection sock (fun conn ->
+         Serve.Client.roundtrip conn Serve.Protocol.Shutdown)
+   with
+  | Ok _ -> ()
+  | Error _ -> incr errors);
+  Thread.join th;
+  (match !res with Ok _ -> () | Error _ -> incr errors);
+  let lat_sorted =
+    let a = Array.of_list !lats in
+    Array.sort compare a;
+    a
+  in
+  let p50 = if Array.length lat_sorted = 0 then 0.0 else percentile lat_sorted 0.50
+  and p99 = if Array.length lat_sorted = 0 then 0.0 else percentile lat_sorted 0.99 in
+  let req_s = float_of_int !answered /. Float.max 1e-9 elapsed in
+  Format.fprintf ppf
+    "  warm: %d requests, %d certified, %d hits / %d misses, p50 %.1f ms, \
+     p99 %.1f ms, %.0f req/s@."
+    !answered !certs !hits !misses (1000.0 *. p50) (1000.0 *. p99) req_s;
+  Format.fprintf ppf "  faults: %d/%d recovered on a later rung@." !recovered
+    fault_total;
+  (* -- overload burst: one-slot queue, deliberately slow solves ------ *)
+  let sock2 = tmp "serve-load.sock" in
+  let th2, res2 =
+    start
+      {
+        (Serve.Server.default_config ~socket_path:sock2) with
+        Serve.Server.queue_capacity = 1;
+        batch = 1;
+        domains = 1;
+      }
+  in
+  let burst = 12 in
+  let shed = ref 0 and burst_answered = ref 0 in
+  let primer =
+    Thread.create
+      (fun () ->
+        ignore
+          (Serve.Client.with_connection sock2 (fun conn ->
+               Serve.Client.roundtrip conn
+                 (Serve.Protocol.Admit
+                    {
+                      id = "primer";
+                      config = t1_cap 9;
+                      deadline_s = None;
+                      fault = Some "slow";
+                    }))))
+      ()
+  in
+  Thread.delay 0.1;
+  let burst_threads =
+    List.init burst (fun i ->
+        Thread.create
+          (fun () ->
+            match
+              Serve.Client.with_connection sock2 (fun conn ->
+                  Serve.Client.roundtrip conn
+                    (Serve.Protocol.Admit
+                       {
+                         id = Printf.sprintf "b%d" i;
+                         config = t1_cap (40 + i);
+                         deadline_s = None;
+                         fault = Some "slow";
+                       }))
+            with
+            | Ok reply ->
+              Mutex.lock lock;
+              incr burst_answered;
+              (match reply with
+              | Serve.Protocol.Overloaded _ -> incr shed
+              | _ -> ());
+              Mutex.unlock lock
+            | Error _ ->
+              Mutex.lock lock;
+              incr errors;
+              Mutex.unlock lock)
+          ())
+  in
+  List.iter Thread.join burst_threads;
+  Thread.join primer;
+  (match
+     Serve.Client.with_connection sock2 (fun conn ->
+         Serve.Client.roundtrip conn Serve.Protocol.Shutdown)
+   with
+  | Ok _ -> ()
+  | Error _ -> incr errors);
+  Thread.join th2;
+  (match !res2 with Ok _ -> () | Error _ -> incr errors);
+  Format.fprintf ppf
+    "  overload: %d/%d burst requests answered, %d shed with explicit \
+     overloaded replies@."
+    !burst_answered burst !shed;
+  (* -- crash and restart: journal answers the replayed workload ------ *)
+  let journal2 = tmp "serve-crash.cachej" in
+  rm journal2;
+  let crash_caps = [ 30; 31; 32; 33; 34; 35; 36; 37 ] in
+  let sock3 = tmp "serve-crash.sock" in
+  let th3, res3 =
+    start
+      {
+        (Serve.Server.default_config ~socket_path:sock3) with
+        Serve.Server.cache_path = Some journal2;
+        halt_after_admits = Some 6;
+      }
+  in
+  let dropped = ref 0 in
+  ignore
+    (Serve.Client.with_connection sock3 (fun conn ->
+         List.iteri
+           (fun i cap ->
+             match
+               Serve.Client.roundtrip conn
+                 (Serve.Protocol.Admit
+                    {
+                      id = Printf.sprintf "c%d" i;
+                      config = t1_cap cap;
+                      deadline_s = None;
+                      fault = None;
+                    })
+             with
+             | Ok _ ->
+               ignore
+                 (Serve.Client.roundtrip conn
+                    (Serve.Protocol.Release { id = Printf.sprintf "c%d" i }))
+             | Error _ -> incr dropped)
+           crash_caps;
+         Ok ()));
+  Thread.join th3;
+  let halted = match !res3 with Ok (Serve.Server.Halted, _) -> true | _ -> false in
+  let th4, res4 =
+    start
+      {
+        (Serve.Server.default_config ~socket_path:sock3) with
+        Serve.Server.cache_path = Some journal2;
+      }
+  in
+  let replay_hits = ref 0 and replay_total = ref 0 in
+  ignore
+    (Serve.Client.with_connection sock3 (fun conn ->
+         for round = 1 to 5 do
+           List.iteri
+             (fun i cap ->
+               let id = Printf.sprintf "r%d-%d" round i in
+               (match
+                  Serve.Client.roundtrip conn
+                    (Serve.Protocol.Admit
+                       {
+                         id;
+                         config = t1_cap cap;
+                         deadline_s = None;
+                         fault = None;
+                       })
+                with
+               | Ok (Serve.Protocol.Admitted { cache = `Hit; _ }) ->
+                 incr replay_hits;
+                 incr replay_total
+               | Ok _ -> incr replay_total
+               | Error _ -> incr errors);
+               ignore
+                 (Serve.Client.roundtrip conn (Serve.Protocol.Release { id })))
+             crash_caps
+         done;
+         ignore (Serve.Client.roundtrip conn Serve.Protocol.Shutdown);
+         Ok ()));
+  Thread.join th4;
+  (match !res4 with Ok _ -> () | Error _ -> incr errors);
+  rm journal;
+  rm journal2;
+  let hit_rate =
+    float_of_int !replay_hits /. Float.max 1.0 (float_of_int !replay_total)
+  in
+  Format.fprintf ppf
+    "  crash/restart: halted %s after 6 settled admits (%d dropped without \
+     reply), replay %d/%d from cache (%.1f%%, target > 90%%)@."
+    (if halted then "cleanly" else "UNEXPECTEDLY")
+    !dropped !replay_hits !replay_total (100.0 *. hit_rate);
+  Format.fprintf ppf "  hung connections: 0 (every roundtrip returned); \
+                      transport errors: %d@."
+    !errors;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{ \"warm\": { \"requests\": %d, \"certified\": %d, \"cache_hits\": %d, \
+     \"cache_misses\": %d, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"req_s\": \
+     %.1f },\n\
+    \  \"faults\": { \"injected\": %d, \"recovered\": %d },\n\
+    \  \"overload\": { \"burst\": %d, \"answered\": %d, \"shed\": %d },\n\
+    \  \"restart\": { \"halted\": %b, \"dropped\": %d, \"replayed\": %d, \
+     \"cache_hits\": %d, \"hit_rate\": %.4f },\n\
+    \  \"transport_errors\": %d }\n"
+    !answered !certs !hits !misses (1000.0 *. p50) (1000.0 *. p99) req_s
+    fault_total !recovered burst !burst_answered !shed halted !dropped
+    !replay_total !replay_hits hit_rate !errors;
+  close_out oc;
+  Format.fprintf ppf "  written: BENCH_serve.json@."
+
 let () =
   let ppf = Format.std_formatter in
   let jobs =
@@ -642,6 +980,7 @@ let () =
     certify_report ppf;
     obs_report ppf;
     sparse_report ppf;
+    serve_report ~jobs:!jobs ppf;
     bechamel_suite ()
   | [ "tables" ] -> with_pool (fun pool -> Experiments.all ?pool ppf)
   | [ "bench" ] ->
@@ -652,6 +991,7 @@ let () =
   | [ "certify" ] -> certify_report ppf
   | [ "obs" ] | [ "--obs" ] -> obs_report ppf
   | [ "sparse" ] -> sparse_report ppf
+  | [ "serve" ] -> serve_report ~jobs:!jobs ppf
   | [ name ] -> begin
     match Experiments.by_name name with
     | Some _ ->
@@ -662,7 +1002,7 @@ let () =
     | None ->
       Format.eprintf
         "unknown experiment %S (expected: %s, tables, bench, par, durable, \
-         certify, obs, sparse)@."
+         certify, obs, sparse, serve)@."
         name
         (String.concat ", " Experiments.names);
       exit 2
@@ -670,5 +1010,5 @@ let () =
   | _ ->
     Format.eprintf
       "usage: main.exe \
-       [EXPERIMENT|tables|bench|par|durable|certify|obs|sparse] [--jobs N]@.";
+       [EXPERIMENT|tables|bench|par|durable|certify|obs|sparse|serve] [--jobs N]@.";
     exit 2

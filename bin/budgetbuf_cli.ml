@@ -96,15 +96,20 @@ let fault_arg =
 let kkt_arg =
   Arg.(
     value
-    & opt (enum [ ("dense", `Dense); ("sparse", `Sparse) ]) `Dense
+    & opt (enum [ ("auto", `Auto); ("dense", `Dense); ("sparse", `Sparse) ])
+        `Auto
     & info [ "kkt" ] ~docv:"BACKEND"
         ~doc:
-          "KKT factorisation backend: $(b,dense) (the proven oracle path, \
-           the default) or $(b,sparse) (CSC Cholesky with a fill-reducing \
-           ordering — symbolic analysis once per solve, numeric \
-           refactorisation per iteration; an iteration whose sparse \
-           factorisation fails silently reruns on the dense path and is \
-           counted in the $(b,kkt fallbacks) line).  See docs/solver.md.")
+          "KKT factorisation backend: $(b,auto) (the default: $(b,dense) \
+           below the instance-size threshold where both are fast and the \
+           dense path is the proven oracle, $(b,sparse) above it, where \
+           the sparse Cholesky wins decisively — see BENCH_sparse.json), \
+           $(b,dense) (force the oracle path) or $(b,sparse) (CSC \
+           Cholesky with a fill-reducing ordering — symbolic analysis \
+           once per solve, numeric refactorisation per iteration; an \
+           iteration whose sparse factorisation fails silently reruns on \
+           the dense path and is counted in the $(b,kkt fallbacks) \
+           line).  See docs/solver.md.")
 
 let no_warm_arg =
   Arg.(
@@ -118,11 +123,18 @@ let no_warm_arg =
            burn more interior-point iterations per candidate.")
 
 (* --kkt as solver params for Mapping.solve and the sweep drivers:
-   [None] for the dense default keeps those calls on their historical
-   hook-free path. *)
-let params_of_kkt = function
+   [None] keeps those calls on their historical hook-free path, which
+   is why `Auto resolves small instances to [None] rather than to
+   explicit dense params — bit-identical output to the seed there. *)
+let params_of_kkt kkt cfg =
+  let sparse =
+    Some { Conic.Socp.default_params with Conic.Socp.kkt = `Sparse }
+  in
+  match kkt with
   | `Dense -> None
-  | `Sparse -> Some { Conic.Socp.default_params with Conic.Socp.kkt = `Sparse }
+  | `Sparse -> sparse
+  | `Auto -> (
+    match Mapping.kkt_auto cfg with `Dense -> None | `Sparse -> sparse)
 
 (* Resolves --fault (falling back to BUDGETBUF_FAULT) to a recovery
    policy for Mapping.solve and the sweep drivers. *)
@@ -228,32 +240,45 @@ let candidate_deadline_arg =
            a candidate that exceeds it is skipped as timed out while the \
            sweep continues (and is retried on a $(b,--resume)).")
 
-(* Ctrl-C flips a flag the sweep polls between candidates: in-flight
-   solves drain, get journaled, and the partial report still prints —
-   the same graceful stop as a deadline.  The handler chains to the
-   default disposition so a second Ctrl-C kills the process the
-   ordinary way. *)
-let install_sigint flag =
-  match
-    Sys.signal Sys.sigint
-      (Sys.Signal_handle
-         (fun _ ->
-           Atomic.set flag true;
-           Sys.set_signal Sys.sigint Sys.Signal_default))
-  with
-  | prev -> Some prev
-  | exception (Invalid_argument _ | Sys_error _) -> None
+(* Ctrl-C or a TERM from a supervisor flips a flag the sweep polls
+   between candidates: in-flight solves drain, get journaled, and the
+   partial report still prints — the same graceful stop as a deadline.
+   The flag records which signal fired so the exit code is the
+   conventional 128+n (130 for INT, 143 for TERM).  Each handler
+   chains to the default disposition so a second signal kills the
+   process the ordinary way. *)
+let drain_signals = [ Sys.sigint; Sys.sigterm ]
 
-let restore_sigint = function
-  | None -> ()
-  | Some prev -> ( try Sys.set_signal Sys.sigint prev with _ -> ())
+(* OCaml signal numbers are negative encodings; the shell convention
+   (exit 128+n) wants the OS numbers. *)
+let os_signal_number s =
+  if s = Sys.sigint then 2 else if s = Sys.sigterm then 15 else abs s
+
+let install_drain_signals flag =
+  List.filter_map
+    (fun signum ->
+      match
+        Sys.signal signum
+          (Sys.Signal_handle
+             (fun s ->
+               Atomic.set flag s;
+               Sys.set_signal signum Sys.Signal_default))
+      with
+      | prev -> Some (signum, prev)
+      | exception (Invalid_argument _ | Sys_error _) -> None)
+    drain_signals
+
+let restore_drain_signals saved =
+  List.iter
+    (fun (signum, prev) -> try Sys.set_signal signum prev with _ -> ())
+    saved
 
 (* Validates the durability flags, opens the journal, installs the
-   SIGINT drain and hands the sweep everything it needs.  Prints
-   "resumed: N/M from journal" before the sweep's own report and
-   "deadline|interrupted: stopped after N/M candidates" after it;
+   SIGINT/SIGTERM drain and hands the sweep everything it needs.
+   Prints "resumed: N/M from journal" before the sweep's own report
+   and "deadline|interrupted: stopped after N/M candidates" after it;
    a deadline stop exits 0 (the partial result is well-formed), an
-   interrupt exits 130. *)
+   interrupt exits 128+signal (130 on INT, 143 on TERM). *)
 let with_durability ~fingerprint ~resume ~deadline ~candidate_deadline run =
   let bad name = function
     | Some s when Float.is_nan s || s <= 0.0 ->
@@ -278,17 +303,17 @@ let with_durability ~fingerprint ~resume ~deadline ~candidate_deadline run =
     1
   | Ok journal ->
     let deadline = Option.map Deadline.after deadline in
-    let cancelled = Atomic.make false in
-    let prev = install_sigint cancelled in
+    let cancelled = Atomic.make 0 in
+    let prev = install_drain_signals cancelled in
     let progress = ref None in
     let finally () =
-      restore_sigint prev;
+      restore_drain_signals prev;
       Option.iter Journal.close journal
     in
     Fun.protect ~finally @@ fun () ->
     let code =
       run ~journal ~deadline ~candidate_deadline
-        ~cancel:(fun () -> Atomic.get cancelled)
+        ~cancel:(fun () -> Atomic.get cancelled <> 0)
         ~on_progress:(fun p ->
           progress := Some p;
           if p.Durable.Sweep.resumed > 0 then
@@ -298,10 +323,11 @@ let with_durability ~fingerprint ~resume ~deadline ~candidate_deadline run =
     match !progress with
     | Some p when p.Durable.Sweep.not_run > 0 ->
       let finished = p.Durable.Sweep.total - p.Durable.Sweep.not_run in
-      if Atomic.get cancelled then begin
+      let signalled = Atomic.get cancelled in
+      if signalled <> 0 then begin
         Format.printf "interrupted: stopped after %d/%d candidates@." finished
           p.Durable.Sweep.total;
-        130
+        128 + os_signal_number signalled
       end
       else begin
         Format.printf "deadline: stopped after %d/%d candidates@." finished
@@ -370,7 +396,7 @@ let do_solve () path simulate continuous output fault kkt trace metrics =
     with_obs ~trace ~metrics @@ fun obs ->
     match
       Mapping.solve
-        ?params:(params_of_kkt kkt)
+        ?params:(params_of_kkt kkt cfg)
         ?obs ~policy:(policy_of_fault fault) cfg
     with
     | Error e ->
@@ -536,7 +562,7 @@ let do_tradeoff () path (lo, hi) buffer_names jobs fault kkt no_warm certify
       @@ fun ~journal ~deadline ~candidate_deadline ~cancel ~on_progress ->
       let points =
         Tradeoff.capacity_sweep
-          ?params:(params_of_kkt kkt)
+          ?params:(params_of_kkt kkt cfg)
           ~policy:(policy_of_fault fault) ?pool ?journal ?deadline
           ?candidate_deadline ~cancel ?obs ~on_progress
           ~warm_start:(not no_warm) cfg ~buffers ~caps
@@ -910,7 +936,7 @@ let do_pareto () path steps jobs fault kkt no_warm certify resume deadline
       @@ fun ~journal ~deadline ~candidate_deadline ~cancel ~on_progress ->
       let sweep =
         Budgetbuf.Pareto.frontier ~steps
-          ?params:(params_of_kkt kkt)
+          ?params:(params_of_kkt kkt cfg)
           ~policy:(policy_of_fault fault) ?pool ?journal ?deadline
           ?candidate_deadline ~cancel ?obs ~on_progress
           ~warm_start:(not no_warm) cfg
@@ -989,7 +1015,7 @@ let do_dse () path (lo, hi) jobs fault kkt no_warm certify resume deadline
       @@ fun ~journal ~deadline ~candidate_deadline ~cancel ~on_progress ->
       let points =
         Budgetbuf.Dse.throughput_curve
-          ?params:(params_of_kkt kkt)
+          ?params:(params_of_kkt kkt cfg)
           ~policy:(policy_of_fault fault) ?pool ?journal ?deadline
           ?candidate_deadline ~cancel ?obs ~on_progress
           ~warm_start:(not no_warm) cfg ~caps
@@ -1360,6 +1386,266 @@ let trace_cmd =
   Cmd.group (Cmd.info "trace" ~doc) [ trace_cat_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* serve / request: the admission-control server (docs/serving.md)     *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the server listens on.")
+
+let serve_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"JOURNAL"
+        ~doc:
+          "Persist the canonical-instance memo cache to $(docv) (a \
+           CRC-framed journal, created if missing, replayed on start): \
+           repeated instances answer from cache with byte-identical \
+           mappings and certificates, across restarts and crashes.")
+
+let serve_queue_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Bound the admission queue at $(docv) requests; beyond it admits \
+           are shed immediately with an $(b,overloaded) reply and a retry \
+           hint (backpressure, never unbounded buffering).")
+
+let serve_batch_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Dispatch up to $(docv) queued solves onto the domain pool at \
+           once (default: the $(b,--jobs) width).")
+
+let serve_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Default arrival-to-reply budget for admits that do not carry \
+           their own $(b,deadline_s): queued past it or solving past it \
+           answers $(b,timed_out) instead of hanging the socket.")
+
+let do_serve () socket cache queue batch jobs deadline kkt trace metrics =
+  match
+    match jobs with
+    | Some n when n < 1 -> Error "--jobs must be >= 1"
+    | Some n -> Ok n
+    | None -> (
+      try Ok (Parallel.Pool.default_domains ())
+      with Invalid_argument msg -> Error msg)
+  with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok domains -> (
+    with_obs ~trace ~metrics @@ fun obs ->
+    let config =
+      {
+        Serve.Server.socket_path = socket;
+        queue_capacity = queue;
+        batch = (match batch with Some b -> b | None -> domains);
+        domains;
+        default_deadline_s = deadline;
+        cache_path = cache;
+        kkt;
+        obs;
+        signals = true;
+        halt_after_admits = None;
+        log =
+          Some
+            (fun line ->
+              print_endline line;
+              flush stdout);
+      }
+    in
+    match Serve.Server.run config with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok (reason, s) ->
+      Format.printf
+        "serve: %s; admitted=%d rejected=%d infeasible=%d timed_out=%d \
+         failed=%d shed=%d refused=%d released=%d cache_hits=%d \
+         cache_misses=%d@."
+        (Serve.Server.describe reason)
+        s.Serve.Protocol.admitted s.Serve.Protocol.rejected
+        s.Serve.Protocol.infeasible s.Serve.Protocol.timed_out
+        s.Serve.Protocol.failed s.Serve.Protocol.shed s.Serve.Protocol.refused
+        s.Serve.Protocol.released s.Serve.Protocol.cache_hits
+        s.Serve.Protocol.cache_misses;
+      (match reason with
+      | Serve.Server.Shutdown_request | Serve.Server.Halted -> 0
+      | Serve.Server.Signalled n -> 128 + n))
+
+let serve_cmd =
+  let doc =
+    "serve solve requests over a Unix socket with admission control, \
+     backpressure, per-request deadlines and a crash-safe memo cache \
+     (see docs/serving.md)"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const do_serve $ logs_term $ socket_arg $ serve_cache_arg
+      $ serve_queue_arg $ serve_batch_arg $ jobs_arg $ serve_deadline_arg
+      $ kkt_arg $ obs_trace_arg $ metrics_arg)
+
+let request_op_arg =
+  Arg.(
+    required
+    & pos 0
+        (some
+           (enum
+              [
+                ("admit", `Admit); ("release", `Release); ("stats", `Stats);
+                ("shutdown", `Shutdown);
+              ]))
+        None
+    & info [] ~docv:"OP"
+        ~doc:
+          "$(b,admit) a configuration (solve and reserve its footprint), \
+           $(b,release) a live job, fetch server $(b,stats), or ask for a \
+           graceful $(b,shutdown).")
+
+let request_file_arg =
+  Arg.(
+    value
+    & pos 1 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Configuration file to admit.")
+
+let request_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "id" ] ~docv:"JOB"
+        ~doc:
+          "Job id for $(b,admit)/$(b,release); unique among live jobs on \
+           the server.")
+
+let request_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:"Arrival-to-reply budget for this admit.")
+
+let do_request () socket op file id deadline fault =
+  (* A server dying mid-exchange must surface as a transport error and
+     a nonzero exit, not kill the client with SIGPIPE. *)
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  match
+    match op with
+    | `Admit -> (
+      match (file, id) with
+      | None, _ -> Error "admit needs a configuration FILE"
+      | _, None -> Error "admit needs --id"
+      | Some path, Some id -> (
+        match In_channel.with_open_text path In_channel.input_all with
+        | config ->
+          Ok
+            (Serve.Protocol.Admit
+               {
+                 id;
+                 config;
+                 deadline_s = deadline;
+                 fault = Option.map Fault.to_string fault;
+               })
+        | exception Sys_error msg -> Error msg))
+    | `Release -> (
+      match id with
+      | None -> Error "release needs --id"
+      | Some id -> Ok (Serve.Protocol.Release { id }))
+    | `Stats -> Ok Serve.Protocol.Stats
+    | `Shutdown -> Ok Serve.Protocol.Shutdown
+  with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    2
+  | Ok request -> (
+    match
+      Serve.Client.with_connection socket (fun c ->
+          Serve.Client.roundtrip c request)
+    with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      2
+    | Ok response -> (
+      match response with
+      | Serve.Protocol.Admitted
+          { id; cache; mapping; certificate; attempts; _ } ->
+        Format.printf "admitted %s (cache %s%s)@." id
+          (match cache with `Hit -> "hit" | `Miss -> "miss")
+          (if attempts > 1 then
+             Printf.sprintf ", recovered in %d attempts" attempts
+           else "");
+        print_string mapping;
+        if mapping = "" || mapping.[String.length mapping - 1] <> '\n' then
+          print_newline ();
+        Format.printf "certificate: %s@." certificate;
+        0
+      | Serve.Protocol.Rejected { id; reason } ->
+        Format.printf "rejected %s: %s@." id reason;
+        1
+      | Serve.Protocol.Unsat { id; reason } ->
+        Format.printf "infeasible %s: %s@." id reason;
+        1
+      | Serve.Protocol.Late { id; reason } ->
+        Format.printf "timed out %s: %s@." id reason;
+        4
+      | Serve.Protocol.Failed { id; reason } ->
+        Format.printf "failed %s: %s@." id reason;
+        2
+      | Serve.Protocol.Overloaded { id; _ } ->
+        (* The retry hint is load-dependent (and so nondeterministic);
+           scripts read it from the wire, humans just retry. *)
+        Format.printf "overloaded %s: retry later@." id;
+        3
+      | Serve.Protocol.Released { id; found } ->
+        if found then Format.printf "released %s@." id
+        else Format.printf "released %s: not found@." id;
+        if found then 0 else 1
+      | Serve.Protocol.Stats_reply s ->
+        Format.printf
+          "stats: admitted=%d rejected=%d infeasible=%d timed_out=%d \
+           failed=%d shed=%d refused=%d released=%d cache_hits=%d \
+           cache_misses=%d live=%d queue=%d@."
+          s.Serve.Protocol.admitted s.Serve.Protocol.rejected
+          s.Serve.Protocol.infeasible s.Serve.Protocol.timed_out
+          s.Serve.Protocol.failed s.Serve.Protocol.shed
+          s.Serve.Protocol.refused s.Serve.Protocol.released
+          s.Serve.Protocol.cache_hits s.Serve.Protocol.cache_misses
+          s.Serve.Protocol.live s.Serve.Protocol.queue;
+        0
+      | Serve.Protocol.Refused { reason } ->
+        Format.eprintf "error: %s@." reason;
+        2
+      | Serve.Protocol.Bye ->
+        Format.printf "server shutting down@.";
+        0))
+
+let request_cmd =
+  let doc =
+    "send one request to a running $(b,budgetbuf serve) instance and \
+     print its reply (exit 0 admitted/ok, 1 infeasible/rejected, 2 \
+     error, 3 overloaded, 4 timed out)"
+  in
+  Cmd.v
+    (Cmd.info "request" ~doc)
+    Term.(
+      const do_request $ logs_term $ socket_arg $ request_op_arg
+      $ request_file_arg $ request_id_arg $ request_deadline_arg $ fault_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
@@ -1372,7 +1658,7 @@ let main_cmd =
       solve_cmd; validate_cmd; tradeoff_cmd; experiment_cmd; generate_cmd;
       pareto_cmd; dse_cmd; bind_cmd; latency_cmd; check_cmd; certify_cmd;
       simulate_cmd; dot_cmd;
-      sdf_cmd; analyze_cmd; report_cmd; trace_cmd;
+      sdf_cmd; analyze_cmd; report_cmd; trace_cmd; serve_cmd; request_cmd;
     ]
 
 (* A malformed flag value or an impossible request (say, a simulator

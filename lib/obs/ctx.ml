@@ -18,12 +18,16 @@ type t = {
   restore_misses : Metrics.Counter.t;
   dispatched : Metrics.Counter.t;
   joined : Metrics.Counter.t;
+  cache_hits : Metrics.Counter.t;
+  cache_misses : Metrics.Counter.t;
+  sheds : Metrics.Counter.t;
   solve_time : Metrics.Histogram.t;
   keyed_mutex : Mutex.t;
   rungs : (string, int ref) Hashtbl.t;
   certificates : (string, int ref) Hashtbl.t;
   candidates : (string, int ref) Hashtbl.t;
   faults : (string, int ref) Hashtbl.t;
+  requests : (string, int ref) Hashtbl.t;
   phases : (string, float ref) Hashtbl.t;
 }
 
@@ -37,12 +41,16 @@ let make ?(sink = Sink.null) () =
     restore_misses = Metrics.Counter.make ();
     dispatched = Metrics.Counter.make ();
     joined = Metrics.Counter.make ();
+    cache_hits = Metrics.Counter.make ();
+    cache_misses = Metrics.Counter.make ();
+    sheds = Metrics.Counter.make ();
     solve_time = Metrics.Histogram.make ();
     keyed_mutex = Mutex.create ();
     rungs = Hashtbl.create 8;
     certificates = Hashtbl.create 4;
     candidates = Hashtbl.create 8;
     faults = Hashtbl.create 4;
+    requests = Hashtbl.create 8;
     phases = Hashtbl.create 8;
   }
 
@@ -76,10 +84,14 @@ let emit t event =
     Metrics.Counter.incr (if hit then t.restore_hits else t.restore_misses)
   | Trace.Task_dispatch _ -> Metrics.Counter.incr t.dispatched
   | Trace.Task_join _ -> Metrics.Counter.incr t.joined
+  | Trace.Request_done { status; _ } -> bump_keyed t t.requests status
+  | Trace.Cache_hit _ -> Metrics.Counter.incr t.cache_hits
+  | Trace.Cache_miss _ -> Metrics.Counter.incr t.cache_misses
+  | Trace.Shed _ -> Metrics.Counter.incr t.sheds
   | Trace.Span_close { name; elapsed_s } -> add_phase t name elapsed_s
   | Trace.Solve_start _ | Trace.Socp_iter _ | Trace.Presolve _
   | Trace.Rung_exit _ | Trace.Span_open _ | Trace.Kkt_factor _
-  | Trace.Warm_start _ ->
+  | Trace.Warm_start _ | Trace.Request_start _ ->
     ());
   match t.sink with
   | s when s == Sink.null -> ()
@@ -130,6 +142,7 @@ let report t =
   let cert_line = keyed_line t.certificates "certificates" in
   let cand_line = keyed_line t.candidates "candidates" in
   let fault_line = keyed_line t.faults "faults" in
+  let request_line = keyed_line t.requests "requests" in
   Mutex.unlock t.keyed_mutex;
   let solves = Metrics.Counter.value t.solves in
   let lines = ref [] in
@@ -141,10 +154,17 @@ let report t =
   (match fault_line with Some l -> add l | None -> ());
   (match cert_line with Some l -> add l | None -> ());
   (match cand_line with Some l -> add l | None -> ());
+  (match request_line with Some l -> add l | None -> ());
   let hits = Metrics.Counter.value t.restore_hits
   and misses = Metrics.Counter.value t.restore_misses in
   if hits + misses > 0 then
     add (Printf.sprintf "restores: %d hit, %d missed" hits misses);
+  let chits = Metrics.Counter.value t.cache_hits
+  and cmisses = Metrics.Counter.value t.cache_misses in
+  if chits + cmisses > 0 then
+    add (Printf.sprintf "memo cache: %d hit, %d missed" chits cmisses);
+  let sheds = Metrics.Counter.value t.sheds in
+  if sheds > 0 then add (Printf.sprintf "shed: %d" sheds);
   let dispatched = Metrics.Counter.value t.dispatched
   and joined = Metrics.Counter.value t.joined in
   if dispatched + joined > 0 then

@@ -37,6 +37,17 @@ type event =
   | Task_dispatch of { index : int }
   | Task_join of { index : int; ok : bool }
   | Candidate of { index : int; verdict : string }
+  | Request_start of { op : string; id : string }
+  | Request_done of {
+      op : string;
+      id : string;
+      status : string;
+      queue_s : float;
+      total_s : float;
+    }
+  | Cache_hit of { key : string }
+  | Cache_miss of { key : string }
+  | Shed of { queue : int }
   | Span_open of { name : string }
   | Span_close of { name : string; elapsed_s : float }
 
@@ -57,6 +68,11 @@ let event_name = function
   | Task_dispatch _ -> "task_dispatch"
   | Task_join _ -> "task_join"
   | Candidate _ -> "candidate"
+  | Request_start _ -> "request_start"
+  | Request_done _ -> "request_done"
+  | Cache_hit _ -> "cache_hit"
+  | Cache_miss _ -> "cache_miss"
+  | Shed _ -> "shed"
   | Span_open _ -> "span_open"
   | Span_close _ -> "span_close"
 
@@ -117,6 +133,18 @@ let fields_of_event = function
   | Task_join { index; ok } -> [ ("index", I index); ("ok", B ok) ]
   | Candidate { index; verdict } ->
     [ ("index", I index); ("verdict", S verdict) ]
+  | Request_start { op; id } -> [ ("op", S op); ("id", S id) ]
+  | Request_done { op; id; status; queue_s; total_s } ->
+    [
+      ("op", S op);
+      ("id", S id);
+      ("status", S status);
+      ("queue_s", N queue_s);
+      ("total_s", N total_s);
+    ]
+  | Cache_hit { key } -> [ ("key", S key) ]
+  | Cache_miss { key } -> [ ("key", S key) ]
+  | Shed { queue } -> [ ("queue", I queue) ]
   | Span_open { name } -> [ ("name", S name) ]
   | Span_close { name; elapsed_s } ->
     [ ("name", S name); ("elapsed_s", N elapsed_s) ]
@@ -354,6 +382,19 @@ let of_json_line line =
       | "task_join" -> Task_join { index = int "index"; ok = boolean "ok" }
       | "candidate" ->
         Candidate { index = int "index"; verdict = str "verdict" }
+      | "request_start" -> Request_start { op = str "op"; id = str "id" }
+      | "request_done" ->
+        Request_done
+          {
+            op = str "op";
+            id = str "id";
+            status = str "status";
+            queue_s = num "queue_s";
+            total_s = num "total_s";
+          }
+      | "cache_hit" -> Cache_hit { key = str "key" }
+      | "cache_miss" -> Cache_miss { key = str "key" }
+      | "shed" -> Shed { queue = int "queue" }
       | "span_open" -> Span_open { name = str "name" }
       | "span_close" ->
         Span_close { name = str "name"; elapsed_s = num "elapsed_s" }

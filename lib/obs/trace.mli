@@ -58,6 +58,24 @@ type event =
   | Candidate of { index : int; verdict : string }
       (** a sweep candidate finished: ["ok"], ["feasible"],
           ["infeasible"], ["skipped"] or ["timed out"] *)
+  | Request_start of { op : string; id : string }
+      (** the admission server parsed a request ([op] is ["admit"],
+          ["release"], ["stats"] or ["shutdown"]; [id] is the
+          client-chosen job id, empty for control requests) *)
+  | Request_done of {
+      op : string;
+      id : string;
+      status : string;
+      queue_s : float;  (** time spent in the admission queue *)
+      total_s : float;  (** arrival-to-reply wall clock *)
+    }  (** the reply was written, with the reply's status tag *)
+  | Cache_hit of { key : string }
+      (** a canonical-instance memo-cache lookup hit; [key] is the
+          8-hex CRC digest of the canonical instance text *)
+  | Cache_miss of { key : string }  (** the lookup missed *)
+  | Shed of { queue : int }
+      (** an admit request was shed by backpressure: the bounded
+          admission queue already held [queue] requests *)
   | Span_open of { name : string }  (** a timed phase begins *)
   | Span_close of { name : string; elapsed_s : float }
       (** the phase ends, with its duration on the trace clock *)

@@ -1,0 +1,79 @@
+(* Mutex + condition variable around a [Queue.t]; systhreads, not
+   domains — the accept loop and the dispatcher share one domain, and
+   [Condition.wait] releases the runtime lock so the other thread runs
+   while a popper sleeps. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Serve.Bounded.create: capacity < 1";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let try_push t x =
+  Mutex.lock t.lock;
+  let r =
+    if t.closed then `Closed
+    else if Queue.length t.items >= t.capacity then `Full
+    else begin
+      Queue.add x t.items;
+      Condition.signal t.nonempty;
+      `Ok
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let pop t =
+  Mutex.lock t.lock;
+  let rec wait () =
+    match Queue.take_opt t.items with
+    | Some x -> Some x
+    | None ->
+      if t.closed then None
+      else begin
+        Condition.wait t.nonempty t.lock;
+        wait ()
+      end
+  in
+  let r = wait () in
+  Mutex.unlock t.lock;
+  r
+
+let pop_nowait t =
+  Mutex.lock t.lock;
+  let r = Queue.take_opt t.items in
+  Mutex.unlock t.lock;
+  r
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.items in
+  Mutex.unlock t.lock;
+  n
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock
+
+let halt t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  let dropped = List.of_seq (Queue.to_seq t.items) in
+  Queue.clear t.items;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  dropped

@@ -1,0 +1,42 @@
+(** A bounded blocking queue — the admission queue between the accept
+    loop and the dispatcher thread.
+
+    The bound is the backpressure mechanism: {!try_push} never blocks
+    and reports [`Full] so the accept loop can shed the request with an
+    explicit [overloaded] reply instead of queueing unbounded work
+    behind a slow solver (docs/serving.md).  Only {!pop} blocks, and
+    only the dispatcher calls it. *)
+
+type 'a t
+
+(** [create ~capacity] is an empty queue holding at most [capacity]
+    elements.
+    @raise Invalid_argument if [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+(** [try_push t x] enqueues without blocking: [`Ok], or [`Full] when
+    the bound is reached (the caller sheds), or [`Closed] after
+    {!close}. *)
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+
+(** [pop t] blocks until an element is available and dequeues it;
+    [None] once the queue is closed {e and} drained — the dispatcher's
+    signal to exit after finishing in-flight work. *)
+val pop : 'a t -> 'a option
+
+(** [pop_nowait t] dequeues if an element is immediately available
+    (used to fill a dispatch batch behind a blocking {!pop}). *)
+val pop_nowait : 'a t -> 'a option
+
+(** [length t] is the current element count (racy by nature; used for
+    the shed trace event and the retry hint). *)
+val length : 'a t -> int
+
+(** [close t] stops accepting pushes; queued elements remain poppable.
+    Graceful drain: close, then let the dispatcher pop to [None]. *)
+val close : 'a t -> unit
+
+(** [halt t] closes {e and} discards everything still queued, returning
+    the discarded elements (so a crash-simulating stop can count the
+    work it dropped).  Blocked poppers wake up with [None]. *)
+val halt : 'a t -> 'a list

@@ -1,0 +1,156 @@
+(* Canonical normal form + journal-backed table.
+
+   The canonical text deliberately does NOT reuse [Config.pp]: that
+   printer exists to round-trip the concrete syntax and renders floats
+   with "%g", which identifies 0.30000000000000004 with 0.3 — a
+   semantic perturbation below "%g" resolution would alias two
+   different instances.  Here floats render as hex literals
+   ([Durability.float_to_token]), so equality of keys is exactly
+   equality of the parsed instances. *)
+
+module Config = Taskgraph.Config
+module Durability = Budgetbuf.Durability
+
+let sorted_by_name name xs =
+  List.sort (fun a b -> String.compare (name a) (name b)) xs
+
+let canonical_key cfg =
+  let b = Buffer.create 512 in
+  let f x = Durability.float_to_token x in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "budgetbuf-canonical 1";
+  line "granularity %s" (f (Config.granularity cfg));
+  List.iter
+    (fun p ->
+      line "processor %S %s %s" (Config.proc_name cfg p)
+        (f (Config.replenishment cfg p))
+        (f (Config.overhead cfg p)))
+    (sorted_by_name (Config.proc_name cfg) (Config.processors cfg));
+  List.iter
+    (fun m ->
+      line "memory %S %d" (Config.memory_name cfg m)
+        (Config.memory_capacity cfg m))
+    (sorted_by_name (Config.memory_name cfg) (Config.memories cfg));
+  List.iter
+    (fun g ->
+      line "graph %S %s %s" (Config.graph_name cfg g)
+        (f (Config.period cfg g))
+        (match Config.latency_bound cfg g with
+        | Some l -> f l
+        | None -> "-"))
+    (sorted_by_name (Config.graph_name cfg) (Config.graphs cfg));
+  List.iter
+    (fun w ->
+      line "task %S %S %S %s %s" (Config.task_name cfg w)
+        (Config.graph_name cfg (Config.task_graph cfg w))
+        (Config.proc_name cfg (Config.task_proc cfg w))
+        (f (Config.wcet cfg w))
+        (f (Config.task_weight cfg w)))
+    (sorted_by_name (Config.task_name cfg) (Config.all_tasks cfg));
+  List.iter
+    (fun bu ->
+      line "buffer %S %S %S %S %S %d %d %s %s" (Config.buffer_name cfg bu)
+        (Config.graph_name cfg (Config.task_graph cfg (Config.buffer_src cfg bu)))
+        (Config.task_name cfg (Config.buffer_src cfg bu))
+        (Config.task_name cfg (Config.buffer_dst cfg bu))
+        (Config.memory_name cfg (Config.buffer_memory cfg bu))
+        (Config.container_size cfg bu)
+        (Config.initial_tokens cfg bu)
+        (f (Config.buffer_weight cfg bu))
+        (match Config.max_capacity cfg bu with
+        | Some c -> string_of_int c
+        | None -> "-"))
+    (sorted_by_name (Config.buffer_name cfg) (Config.all_buffers cfg));
+  Buffer.contents b
+
+let digest key = Durable.Crc.hex (Durable.Crc.string key)
+
+(* ---- journal payloads -------------------------------------------- *)
+
+type outcome =
+  | Solved of {
+      mapping : string;
+      certificate : string;
+      objective : float;
+      rounded_objective : float;
+    }
+  | Unsat of { reason : string }
+
+let fingerprint = Durable.Journal.fingerprint [ "budgetbuf-serve-cache"; "1" ]
+
+let payload_of ~key outcome =
+  match outcome with
+  | Solved { mapping; certificate; objective; rounded_objective } ->
+    Printf.sprintf "solved %S %S %S %s %s" key mapping certificate
+      (Durability.float_to_token objective)
+      (Durability.float_to_token rounded_objective)
+  | Unsat { reason } -> Printf.sprintf "unsat %S %S" key reason
+
+let decode_payload payload =
+  let ib = Scanf.Scanning.from_string payload in
+  match Durability.scan_token ib with
+  | "solved" ->
+    let key = Durability.scan_quoted ib in
+    let mapping = Durability.scan_quoted ib in
+    let certificate = Durability.scan_quoted ib in
+    let objective = Durability.scan_float ib in
+    let rounded_objective = Durability.scan_float ib in
+    Some (key, Solved { mapping; certificate; objective; rounded_objective })
+  | "unsat" ->
+    let key = Durability.scan_quoted ib in
+    let reason = Durability.scan_quoted ib in
+    Some (key, Unsat { reason })
+  | _ -> None
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+
+(* ---- the table --------------------------------------------------- *)
+
+type t = {
+  journal : Durable.Journal.t;
+  lock : Mutex.t;
+  table : (string, outcome) Hashtbl.t;
+  mutable next_index : int;
+}
+
+let open_ ~path =
+  match Durable.Journal.resume ~fingerprint path with
+  | Error _ as e -> e
+  | Ok journal ->
+    let table = Hashtbl.create 64 in
+    let next_index = ref 0 in
+    List.iter
+      (fun { Durable.Journal.index; payload } ->
+        next_index := max !next_index (index + 1);
+        match decode_payload payload with
+        | Some (key, outcome) ->
+          if not (Hashtbl.mem table key) then Hashtbl.add table key outcome
+        | None -> ())
+      (Durable.Journal.entries journal);
+    Ok { journal; lock = Mutex.create (); table; next_index = !next_index }
+
+let find t ~key =
+  Mutex.lock t.lock;
+  let r = Hashtbl.find_opt t.table key in
+  Mutex.unlock t.lock;
+  r
+
+let store t ~key outcome =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        let index = t.next_index in
+        t.next_index <- index + 1;
+        Durable.Journal.record t.journal ~index
+          ~payload:(payload_of ~key outcome);
+        Hashtbl.add t.table key outcome
+      end)
+
+let size t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.lock;
+  n
+
+let close t = Durable.Journal.close t.journal

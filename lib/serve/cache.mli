@@ -1,0 +1,62 @@
+(** The canonical-instance memo cache and its crash-safe journal.
+
+    Two admit requests for the same {e semantic} instance must not
+    solve twice — and must keep answering from cache across a server
+    crash.  The cache keys on {!canonical_key}, a normal form of the
+    configuration that is invariant under the presentation freedoms of
+    the concrete syntax (declaration order of every entity class,
+    decimal float spellings) but sensitive to every semantic field:
+    any change to a rate, capacity, weight or the granularity produces
+    a different key (pinned by the qcheck suite in test_serve.ml).
+
+    Persistence rides the CRC-framed {!Durable.Journal}: one fsynced
+    line per cached verdict, so after [kill -9] at most an in-flight
+    line is lost and {!open_} replays the rest (docs/serving.md
+    documents the payload grammar).  Only settled verdicts are cached —
+    a solved mapping with its exact certificate, or primal
+    infeasibility.  Timeouts and solver failures are circumstances of
+    the attempt, not facts about the instance, and are never
+    journaled. *)
+
+type outcome =
+  | Solved of {
+      mapping : string;  (** {!Taskgraph.Mapped_io} concrete syntax *)
+      certificate : string;  (** {!Budgetbuf.Certify.summary} line *)
+      objective : float;
+      rounded_objective : float;
+    }
+  | Unsat of { reason : string }
+
+type t
+
+(** [canonical_key cfg] renders the normal form: every entity class
+    sorted by name, floats as C99 hex literals (bit-exact, immune to
+    decimal re-spelling), names [%S]-quoted. *)
+val canonical_key : Taskgraph.Config.t -> string
+
+(** [digest key] is the 8-hex CRC-32 digest of a canonical key — the
+    short label used by trace events and log lines.  Lookups always
+    compare full keys, never digests, so a CRC collision costs nothing
+    but a misleading label. *)
+val digest : string -> string
+
+(** [open_ ~path] opens (or creates) the cache journal at [path] and
+    replays its entries.  [Error msg] when the file exists but is not a
+    cache journal (foreign fingerprint, damaged header). *)
+val open_ : path:string -> (t, string) Stdlib.result
+
+(** [find t ~key] looks up a canonical key.  Thread-safe. *)
+val find : t -> key:string -> outcome option
+
+(** [store t ~key outcome] records a settled verdict: inserts into the
+    in-memory table and durably appends one journal line (fsync before
+    returning).  Idempotent — re-storing a present key is a no-op, so
+    concurrent solvers of the same instance cannot double-journal.
+    Thread-safe. *)
+val store : t -> key:string -> outcome -> unit
+
+(** [size t] is the number of cached instances. *)
+val size : t -> int
+
+(** [close t] closes the journal.  Idempotent. *)
+val close : t -> unit

@@ -1,0 +1,73 @@
+(* Blocking line-oriented client.  Replies are small (one line), so a
+   plain read loop with a carry buffer is all the machinery needed. *)
+
+type t = { fd : Unix.file_descr; carry : Buffer.t; mutable closed : bool }
+
+let connect ?(retries = 100) path =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.set_close_on_exec fd;
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; carry = Buffer.create 256; closed = false }
+    | exception Unix.Unix_error (e, _, _) ->
+      Unix.close fd;
+      if n > 0 then begin
+        Unix.sleepf 0.05;
+        go (n - 1)
+      end
+      else
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" path
+             (Unix.error_message e))
+  in
+  go retries
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let read_line t =
+  let scratch = Bytes.create 4096 in
+  let rec go () =
+    let data = Buffer.contents t.carry in
+    match String.index_opt data '\n' with
+    | Some i ->
+      Buffer.clear t.carry;
+      Buffer.add_substring t.carry data (i + 1) (String.length data - i - 1);
+      Ok (String.sub data 0 i)
+    | None -> (
+      match Unix.read t.fd scratch 0 (Bytes.length scratch) with
+      | 0 -> Error "connection closed by server"
+      | n ->
+        Buffer.add_subbytes t.carry scratch 0 n;
+        go ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "read: %s" (Unix.error_message e)))
+  in
+  go ()
+
+let roundtrip t request =
+  if t.closed then Error "connection is closed"
+  else begin
+    let line = Protocol.request_to_line request ^ "\n" in
+    match
+      let len = String.length line in
+      let pos = ref 0 in
+      while !pos < len do
+        pos := !pos + Unix.write_substring t.fd line !pos (len - !pos)
+      done
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "write: %s" (Unix.error_message e))
+    | () -> (
+      match read_line t with
+      | Error _ as e -> e
+      | Ok reply -> Protocol.response_of_line reply)
+  end
+
+let with_connection ?retries path f =
+  match connect ?retries path with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,33 @@
+(** A minimal blocking client for the admission protocol — what the
+    [budgetbuf request] subcommand, the load-generator bench and the
+    in-process tests speak through.
+
+    One request, one reply, in order.  A connection may carry any
+    number of round trips; the server answers control requests even
+    while solves are queued, so interleaving [stats] polls with admits
+    on separate connections is the intended usage. *)
+
+type t
+
+(** [connect ?retries path] dials the Unix-domain socket, retrying
+    [retries] times (default 100) at 50 ms intervals — covering the
+    start-up race of a server launched in the background moments
+    earlier.  [Error msg] when the socket never comes up. *)
+val connect : ?retries:int -> string -> (t, string) Stdlib.result
+
+(** [roundtrip t request] sends one request line and blocks for the
+    reply line.  [Error msg] on a closed or damaged connection or an
+    undecodable reply. *)
+val roundtrip :
+  t -> Protocol.request -> (Protocol.response, string) Stdlib.result
+
+(** [close t] closes the connection.  Idempotent. *)
+val close : t -> unit
+
+(** [with_connection ?retries path f] connects, runs [f] and closes on
+    every exit path. *)
+val with_connection :
+  ?retries:int ->
+  string ->
+  (t -> ('a, string) Stdlib.result) ->
+  ('a, string) Stdlib.result

@@ -1,0 +1,313 @@
+(* Typed view over the wire objects.  Decoding is total: anything that
+   doesn't fit the grammar comes back [Error reason], and the server
+   turns that into a [Refused] reply instead of dropping the
+   connection. *)
+
+type request =
+  | Admit of {
+      id : string;
+      config : string;
+      deadline_s : float option;
+      fault : string option;
+    }
+  | Release of { id : string }
+  | Stats
+  | Shutdown
+
+type stats = {
+  admitted : int;
+  rejected : int;
+  infeasible : int;
+  timed_out : int;
+  failed : int;
+  shed : int;
+  refused : int;
+  cache_hits : int;
+  cache_misses : int;
+  released : int;
+  live : int;
+  queue : int;
+}
+
+let zero_stats =
+  {
+    admitted = 0;
+    rejected = 0;
+    infeasible = 0;
+    timed_out = 0;
+    failed = 0;
+    shed = 0;
+    refused = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    released = 0;
+    live = 0;
+    queue = 0;
+  }
+
+type response =
+  | Admitted of {
+      id : string;
+      cache : [ `Hit | `Miss ];
+      mapping : string;
+      certificate : string;
+      objective : float;
+      rounded_objective : float;
+      attempts : int;
+    }
+  | Rejected of { id : string; reason : string }
+  | Unsat of { id : string; reason : string }
+  | Late of { id : string; reason : string }
+  | Failed of { id : string; reason : string }
+  | Overloaded of { id : string; retry_after_s : float }
+  | Released of { id : string; found : bool }
+  | Stats_reply of stats
+  | Refused of { reason : string }
+  | Bye
+
+let status_of_response = function
+  | Admitted _ -> "admitted"
+  | Rejected _ -> "rejected"
+  | Unsat _ -> "infeasible"
+  | Late _ -> "timed_out"
+  | Failed _ -> "failed"
+  | Overloaded _ -> "overloaded"
+  | Released _ -> "released"
+  | Stats_reply _ -> "stats"
+  | Refused _ -> "error"
+  | Bye -> "shutting_down"
+
+(* ---- requests ---------------------------------------------------- *)
+
+let request_to_line = function
+  | Admit { id; config; deadline_s; fault } ->
+    Wire.render
+      ([ ("op", Wire.String "admit"); ("id", Wire.String id) ]
+      @ (match deadline_s with
+        | Some s -> [ ("deadline_s", Wire.Number s) ]
+        | None -> [])
+      @ (match fault with
+        | Some f -> [ ("fault", Wire.String f) ]
+        | None -> [])
+      @ [ ("config", Wire.String config) ])
+  | Release { id } ->
+    Wire.render [ ("op", Wire.String "release"); ("id", Wire.String id) ]
+  | Stats -> Wire.render [ ("op", Wire.String "stats") ]
+  | Shutdown -> Wire.render [ ("op", Wire.String "shutdown") ]
+
+let request_of_line line =
+  match Wire.parse line with
+  | Error _ as e -> e
+  | Ok obj -> (
+    let required k =
+      match Wire.str obj k with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing or non-string field %S" k)
+    in
+    match Wire.str obj "op" with
+    | None -> Error "missing or non-string field \"op\""
+    | Some "admit" -> (
+      match (required "id", required "config") with
+      | Ok id, Ok config ->
+        if id = "" then Error "empty job id"
+        else begin
+          (* A present field of the wrong type is an error, not a
+             silently dropped option. *)
+          let opt k wrap =
+            match List.assoc_opt k obj with
+            | None -> Ok None
+            | Some v -> (
+              match wrap v with
+              | Some x -> Ok (Some x)
+              | None -> Error (Printf.sprintf "ill-typed field %S" k))
+          in
+          let number = function Wire.Number s -> Some s | _ -> None in
+          let string = function Wire.String s -> Some s | _ -> None in
+          match (opt "deadline_s" number, opt "fault" string) with
+          | Ok (Some s), _ when s <= 0.0 -> Error "non-positive deadline_s"
+          | Ok deadline_s, Ok fault ->
+            Ok (Admit { id; config; deadline_s; fault })
+          | (Error _ as e), _ | _, (Error _ as e) -> e
+        end
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+    | Some "release" -> (
+      match required "id" with
+      | Ok id -> Ok (Release { id })
+      | Error _ as e -> e)
+    | Some "stats" -> Ok Stats
+    | Some "shutdown" -> Ok Shutdown
+    | Some op -> Error (Printf.sprintf "unknown op %S" op))
+
+(* ---- responses --------------------------------------------------- *)
+
+let stats_fields s =
+  [
+    ("admitted", Wire.Number (float_of_int s.admitted));
+    ("rejected", Wire.Number (float_of_int s.rejected));
+    ("infeasible", Wire.Number (float_of_int s.infeasible));
+    ("timed_out", Wire.Number (float_of_int s.timed_out));
+    ("failed", Wire.Number (float_of_int s.failed));
+    ("shed", Wire.Number (float_of_int s.shed));
+    ("refused", Wire.Number (float_of_int s.refused));
+    ("cache_hits", Wire.Number (float_of_int s.cache_hits));
+    ("cache_misses", Wire.Number (float_of_int s.cache_misses));
+    ("released", Wire.Number (float_of_int s.released));
+    ("live", Wire.Number (float_of_int s.live));
+    ("queue", Wire.Number (float_of_int s.queue));
+  ]
+
+let response_to_line r =
+  let status = ("status", Wire.String (status_of_response r)) in
+  match r with
+  | Admitted { id; cache; mapping; certificate; objective; rounded_objective;
+               attempts } ->
+    Wire.render
+      [
+        status;
+        ("id", Wire.String id);
+        ("cache", Wire.String (match cache with `Hit -> "hit" | `Miss -> "miss"));
+        ("mapping", Wire.String mapping);
+        ("certificate", Wire.String certificate);
+        ("objective", Wire.Number objective);
+        ("rounded_objective", Wire.Number rounded_objective);
+        ("attempts", Wire.Number (float_of_int attempts));
+      ]
+  | Rejected { id; reason } | Unsat { id; reason } | Late { id; reason }
+  | Failed { id; reason } ->
+    Wire.render
+      [ status; ("id", Wire.String id); ("reason", Wire.String reason) ]
+  | Overloaded { id; retry_after_s } ->
+    Wire.render
+      [
+        status;
+        ("id", Wire.String id);
+        ("retry_after_s", Wire.Number retry_after_s);
+      ]
+  | Released { id; found } ->
+    Wire.render [ status; ("id", Wire.String id); ("found", Wire.Bool found) ]
+  | Stats_reply s -> Wire.render (status :: stats_fields s)
+  | Refused { reason } -> Wire.render [ status; ("reason", Wire.String reason) ]
+  | Bye -> Wire.render [ status ]
+
+let response_of_line line =
+  match Wire.parse line with
+  | Error _ as e -> e
+  | Ok obj -> (
+    let required k =
+      match Wire.str obj k with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing or non-string field %S" k)
+    in
+    let with_id_reason mk =
+      match (required "id", required "reason") with
+      | Ok id, Ok reason -> Ok (mk id reason)
+      | (Error _ as e), _ | _, (Error _ as e) -> e
+    in
+    match Wire.str obj "status" with
+    | None -> Error "missing or non-string field \"status\""
+    | Some "admitted" -> (
+      let num k =
+        match Wire.number obj k with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "missing or non-number field %S" k)
+      in
+      match
+        ( required "id",
+          required "cache",
+          required "mapping",
+          required "certificate",
+          num "objective",
+          num "rounded_objective",
+          Wire.int obj "attempts" )
+      with
+      | ( Ok id,
+          Ok cache_tag,
+          Ok mapping,
+          Ok certificate,
+          Ok objective,
+          Ok rounded_objective,
+          Some attempts ) -> (
+        match cache_tag with
+        | "hit" | "miss" ->
+          Ok
+            (Admitted
+               {
+                 id;
+                 cache = (if cache_tag = "hit" then `Hit else `Miss);
+                 mapping;
+                 certificate;
+                 objective;
+                 rounded_objective;
+                 attempts;
+               })
+        | _ -> Error "bad cache tag")
+      | (Error e, _, _, _, _, _, _ | _, Error e, _, _, _, _, _
+        | _, _, Error e, _, _, _, _ | _, _, _, Error e, _, _, _
+        | _, _, _, _, Error e, _, _ | _, _, _, _, _, Error e, _ ) ->
+        Error e
+      | _, _, _, _, _, _, None -> Error "missing or non-integer field \"attempts\"")
+    | Some "rejected" -> with_id_reason (fun id reason -> Rejected { id; reason })
+    | Some "infeasible" -> with_id_reason (fun id reason -> Unsat { id; reason })
+    | Some "timed_out" -> with_id_reason (fun id reason -> Late { id; reason })
+    | Some "failed" -> with_id_reason (fun id reason -> Failed { id; reason })
+    | Some "overloaded" -> (
+      match (required "id", Wire.number obj "retry_after_s") with
+      | Ok id, Some retry_after_s -> Ok (Overloaded { id; retry_after_s })
+      | (Error _ as e), _ -> e
+      | _, None -> Error "missing or non-number field \"retry_after_s\"")
+    | Some "released" -> (
+      match (required "id", Wire.bool obj "found") with
+      | Ok id, Some found -> Ok (Released { id; found })
+      | (Error _ as e), _ -> e
+      | _, None -> Error "missing or non-boolean field \"found\"")
+    | Some "stats" -> (
+      let count k =
+        match Wire.int obj k with
+        | Some n when n >= 0 -> Ok n
+        | Some _ | None ->
+          Error (Printf.sprintf "missing or non-count field %S" k)
+      in
+      match
+        ( count "admitted", count "rejected", count "infeasible",
+          count "timed_out", count "failed", count "shed", count "refused",
+          count "cache_hits", count "cache_misses", count "released",
+          count "live", count "queue" )
+      with
+      | ( Ok admitted, Ok rejected, Ok infeasible, Ok timed_out, Ok failed,
+          Ok shed, Ok refused, Ok cache_hits, Ok cache_misses, Ok released,
+          Ok live, Ok queue ) ->
+        Ok
+          (Stats_reply
+             {
+               admitted;
+               rejected;
+               infeasible;
+               timed_out;
+               failed;
+               shed;
+               refused;
+               cache_hits;
+               cache_misses;
+               released;
+               live;
+               queue;
+             })
+      | ( Error e, _, _, _, _, _, _, _, _, _, _, _
+        | _, Error e, _, _, _, _, _, _, _, _, _, _
+        | _, _, Error e, _, _, _, _, _, _, _, _, _
+        | _, _, _, Error e, _, _, _, _, _, _, _, _
+        | _, _, _, _, Error e, _, _, _, _, _, _, _
+        | _, _, _, _, _, Error e, _, _, _, _, _, _
+        | _, _, _, _, _, _, Error e, _, _, _, _, _
+        | _, _, _, _, _, _, _, Error e, _, _, _, _
+        | _, _, _, _, _, _, _, _, Error e, _, _, _
+        | _, _, _, _, _, _, _, _, _, Error e, _, _
+        | _, _, _, _, _, _, _, _, _, _, Error e, _
+        | _, _, _, _, _, _, _, _, _, _, _, Error e ) ->
+        Error e)
+    | Some "error" -> (
+      match required "reason" with
+      | Ok reason -> Ok (Refused { reason })
+      | Error _ as e -> e)
+    | Some "shutting_down" -> Ok Bye
+    | Some status -> Error (Printf.sprintf "unknown status %S" status))

@@ -1,0 +1,98 @@
+(** The admission protocol: typed requests and replies and their
+    {!Wire} line codecs.
+
+    One request line in, one reply line out, in order, per connection.
+    The full grammar with examples lives in docs/serving.md; the
+    summary:
+
+    {v {"op":"admit","id":J,"config":TEXT[,"deadline_s":S][,"fault":SPEC]}
+       {"op":"release","id":J}
+       {"op":"stats"}
+       {"op":"shutdown"} v}
+
+    Every reply carries a ["status"] field naming its constructor
+    (["admitted"], ["rejected"], ["infeasible"], ["timed_out"],
+    ["overloaded"], ["released"], ["stats"], ["error"],
+    ["shutting_down"]).  Replies never carry wall-clock fields — timing
+    lives in the trace stream — so a scripted exchange is byte-stable
+    (the cram suite relies on this; the one exception,
+    [Overloaded.retry_after_s], is load-dependent by design and is the
+    reason the CLI renders it without the number). *)
+
+type request =
+  | Admit of {
+      id : string;  (** client-chosen job id, unique among live jobs *)
+      config : string;  (** configuration text ({!Taskgraph.Parse}) *)
+      deadline_s : float option;
+          (** arrival-to-reply budget; the server's default applies
+              when absent *)
+      fault : string option;
+          (** fault-injection spec ({!Robust.Fault.of_string}) applied
+              to this request's solve only *)
+    }
+  | Release of { id : string }  (** free a live job's footprint *)
+  | Stats
+  | Shutdown  (** ask the server to drain gracefully and exit *)
+
+(** Server-lifetime counters, returned by [Stats] and summarised on
+    exit.  [live] and [queue] are instantaneous, the rest monotone. *)
+type stats = {
+  admitted : int;
+  rejected : int;  (** solved fine but refused by admission control *)
+  infeasible : int;
+  timed_out : int;
+  failed : int;  (** solver failures — every recovery rung exhausted *)
+  shed : int;  (** overloaded replies *)
+  refused : int;  (** malformed requests *)
+  cache_hits : int;
+  cache_misses : int;
+  released : int;
+  live : int;  (** jobs currently admitted *)
+  queue : int;  (** admission queue length *)
+}
+
+val zero_stats : stats
+
+type response =
+  | Admitted of {
+      id : string;
+      cache : [ `Hit | `Miss ];
+      mapping : string;
+          (** the mapped configuration in {!Taskgraph.Mapped_io}
+              concrete syntax (multi-line) *)
+      certificate : string;  (** {!Budgetbuf.Certify.summary} line *)
+      objective : float;
+      rounded_objective : float;
+      attempts : int;  (** recovery-ladder attempts; 1 = clean solve *)
+    }
+  | Rejected of { id : string; reason : string }
+      (** admission control: duplicate id, conflicting resource
+          declaration, or insufficient remaining capacity *)
+  | Unsat of { id : string; reason : string }
+      (** the instance itself is infeasible (cacheable verdict) *)
+  | Late of { id : string; reason : string }
+      (** the request's deadline expired — queued too long or solve
+          timed out *)
+  | Failed of { id : string; reason : string }
+      (** solver failure after the whole recovery ladder *)
+  | Overloaded of {
+      id : string;
+      retry_after_s : float;
+          (** load-based hint: recent mean solve time × queue depth *)
+    }  (** shed by backpressure before entering the queue *)
+  | Released of { id : string; found : bool }
+  | Stats_reply of stats
+  | Refused of { reason : string }  (** malformed or unparsable request *)
+  | Bye  (** acknowledgement of [Shutdown] *)
+
+(** [status_of_response r] is the stable ["status"] tag (also the
+    [Request_done] trace label and the keyed metrics bucket). *)
+val status_of_response : response -> string
+
+(** Line codecs: no trailing newline; [Error] is a one-line reason
+    suitable for a [Refused] reply. *)
+
+val request_to_line : request -> string
+val request_of_line : string -> (request, string) Stdlib.result
+val response_to_line : response -> string
+val response_of_line : string -> (response, string) Stdlib.result

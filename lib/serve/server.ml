@@ -1,0 +1,774 @@
+(* The accept loop, the dispatcher and the admission registry.
+
+   Two threads share one domain: the caller runs [select] over the
+   listening socket and every connection (50 ms tick, so signal flags
+   and stop conditions are polled promptly), the dispatcher blocks on
+   the bounded queue and runs solve batches on the domain pool.  All
+   cross-thread state is either a module with its own lock ([Bounded],
+   [Cache], [Obs.Ctx]) or lives under the one server mutex ([stats],
+   the admission registry) — solves themselves touch no shared state,
+   which is what lets a batch fan out onto the pool unchanged. *)
+
+module Config = Taskgraph.Config
+module Mapping = Budgetbuf.Mapping
+module Durability = Budgetbuf.Durability
+
+type config = {
+  socket_path : string;
+  queue_capacity : int;
+  batch : int;
+  domains : int;
+  default_deadline_s : float option;
+  cache_path : string option;
+  kkt : [ `Auto | `Dense | `Sparse ];
+  obs : Obs.Ctx.t option;
+  signals : bool;
+  halt_after_admits : int option;
+  log : (string -> unit) option;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    queue_capacity = 16;
+    batch = 1;
+    domains = 1;
+    default_deadline_s = None;
+    cache_path = None;
+    kkt = `Auto;
+    obs = None;
+    signals = false;
+    halt_after_admits = None;
+    log = None;
+  }
+
+type stop_reason = Shutdown_request | Signalled of int | Halted
+
+let describe = function
+  | Shutdown_request -> "shutdown"
+  | Signalled n -> Printf.sprintf "interrupted (signal %d)" n
+  | Halted -> "halted"
+
+(* ---- connections ------------------------------------------------- *)
+
+(* A connection outlives its socket activity: jobs it queued may still
+   be in flight when the client half-closes, so the fd is reference
+   counted ([pending]) and closed by whichever side — reader on EOF or
+   dispatcher finishing the last job — drops it to quiescence. *)
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  lock : Mutex.t;  (* guards writes, [pending], [eof], [closed] *)
+  mutable pending : int;
+  mutable eof : bool;
+  mutable closed : bool;
+}
+
+let close_conn_locked c =
+  if not c.closed then begin
+    c.closed <- true;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_reply c response =
+  let line = Protocol.response_to_line response ^ "\n" in
+  Mutex.lock c.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.lock)
+    (fun () ->
+      if not (c.closed || c.eof) then
+        try
+          let len = String.length line in
+          let pos = ref 0 in
+          while !pos < len do
+            pos := !pos + Unix.write_substring c.fd line !pos (len - !pos)
+          done
+        with Unix.Unix_error _ -> c.eof <- true)
+
+let job_done c =
+  Mutex.lock c.lock;
+  c.pending <- c.pending - 1;
+  if c.eof && c.pending = 0 then close_conn_locked c;
+  Mutex.unlock c.lock
+
+(* ---- jobs and shared state --------------------------------------- *)
+
+type job = {
+  job_id : string;
+  job_cfg : Config.t;
+  key : string;
+  deadline : Durable.Deadline.t;
+  fault : Robust.Fault.plan option;
+  job_conn : conn;
+  arrival : float;
+}
+
+(* What an admitted job charges against the shared machine: per
+   resource {e name}, the capacity its configuration declared and the
+   amount its mapping consumes.  Processors: budget Mcycles out of
+   [replenishment − overhead] per interval; memories: container-size
+   units out of ς. *)
+type footprint = {
+  fp_procs : (string * float * float) list;
+  fp_mems : (string * float * float) list;
+}
+
+type state = {
+  scfg : config;
+  queue : job Bounded.t;
+  cache : Cache.t option;
+  pool : Parallel.Pool.t;
+  lock : Mutex.t;  (* guards [stats] and [live] *)
+  mutable stats : Protocol.stats;
+  live : (string, footprint) Hashtbl.t;
+  ewma_solve_s : float Atomic.t;
+  settled_admits : int Atomic.t;
+}
+
+let emit state ev =
+  match state.scfg.obs with Some ctx -> Obs.Ctx.emit ctx ev | None -> ()
+
+let log state fmt =
+  Printf.ksprintf
+    (fun s -> match state.scfg.log with Some f -> f s | None -> ())
+    fmt
+
+let with_lock state f =
+  Mutex.lock state.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state.lock) f
+
+let bump state f = with_lock state (fun () -> state.stats <- f state.stats)
+
+let snapshot state =
+  with_lock state (fun () ->
+      {
+        state.stats with
+        live = Hashtbl.length state.live;
+        queue = Bounded.length state.queue;
+      })
+
+(* ---- admission registry ------------------------------------------ *)
+
+let footprint_of cfg mapped =
+  let fp_procs =
+    List.map
+      (fun p ->
+        let cap = Config.replenishment cfg p -. Config.overhead cfg p in
+        let need =
+          List.fold_left
+            (fun acc w -> acc +. mapped.Config.budget w)
+            0.0 (Config.tasks_on cfg p)
+        in
+        (Config.proc_name cfg p, cap, need))
+      (Config.processors cfg)
+  in
+  let fp_mems =
+    List.map
+      (fun m ->
+        let cap = float_of_int (Config.memory_capacity cfg m) in
+        let need =
+          List.fold_left
+            (fun acc b ->
+              acc
+              +. float_of_int
+                   (mapped.Config.capacity b * Config.container_size cfg b))
+            0.0 (Config.buffers_in cfg m)
+        in
+        (Config.memory_name cfg m, cap, need))
+      (Config.memories cfg)
+  in
+  { fp_procs; fp_mems }
+
+(* Fit check against everything currently admitted, by resource name.
+   Two live configurations naming the same processor or memory must
+   declare it identically — otherwise there is no well-defined shared
+   capacity to ration — and the sum of their needs must fit it (with
+   the usual relative slack so a mapping that exactly fills a resource
+   is not rejected over float noise).  Runs under the server lock. *)
+let admit_locked state id fp =
+  if Hashtbl.mem state.live id then
+    Error (Printf.sprintf "job %S is already admitted; release it first" id)
+  else begin
+    let check kind sum_of fps =
+      List.find_map
+        (fun (name, cap, need) ->
+          let conflict =
+            Hashtbl.fold
+              (fun _ live acc ->
+                acc
+                || List.exists
+                     (fun (n, c, _) -> n = name && c <> cap)
+                     (sum_of live))
+              state.live false
+          in
+          if conflict then
+            Some
+              (Printf.sprintf "%s %S declared with a conflicting capacity"
+                 kind name)
+          else begin
+            let used =
+              Hashtbl.fold
+                (fun _ live acc ->
+                  List.fold_left
+                    (fun acc (n, _, u) -> if n = name then acc +. u else acc)
+                    acc (sum_of live))
+                state.live 0.0
+            in
+            if used +. need > cap +. (1e-9 *. (1.0 +. Float.abs cap)) then
+              Some
+                (Printf.sprintf
+                   "%s %S: insufficient remaining capacity (need %g, free %g)"
+                   kind name need (cap -. used))
+            else None
+          end)
+        fps
+    in
+    match check "processor" (fun fp -> fp.fp_procs) fp.fp_procs with
+    | Some reason -> Error reason
+    | None -> (
+      match check "memory" (fun fp -> fp.fp_mems) fp.fp_mems with
+      | Some reason -> Error reason
+      | None ->
+        Hashtbl.add state.live id fp;
+        Ok ())
+  end
+
+let release state id =
+  with_lock state (fun () ->
+      match Hashtbl.find_opt state.live id with
+      | Some _ ->
+        Hashtbl.remove state.live id;
+        state.stats <- { state.stats with released = state.stats.released + 1 };
+        true
+      | None -> false)
+
+(* ---- solving ----------------------------------------------------- *)
+
+let base_params scfg cfg =
+  let sparse =
+    Some { Conic.Socp.default_params with Conic.Socp.kkt = `Sparse }
+  in
+  match scfg.kkt with
+  | `Dense -> None
+  | `Sparse -> sparse
+  | `Auto -> ( match Mapping.kkt_auto cfg with `Dense -> None | `Sparse -> sparse)
+
+let policy_for job =
+  let base = Robust.Recovery.default_policy () in
+  match job.fault with
+  | Some plan -> { base with Robust.Recovery.fault = Some plan }
+  | None -> base
+
+(* One isolated solve: no shared state, safe on any pool lane.  The
+   outcome distinguishes the cacheable verdicts (solved, infeasible —
+   facts about the instance) from the circumstantial ones (timed out,
+   failed — facts about this attempt). *)
+type solve_outcome =
+  | S_solved of Cache.outcome * int * float  (* outcome, attempts, solve_s *)
+  | S_unsat of string
+  | S_late of string
+  | S_failed of string
+
+let solve_job state job =
+  let params =
+    Durability.params_with_deadline
+      (base_params state.scfg job.job_cfg)
+      ~deadline:job.deadline ~candidate_deadline:None
+  in
+  let params = Durability.params_with_obs params state.scfg.obs in
+  let policy = policy_for job in
+  match Mapping.solve ?params ~policy ?obs:state.scfg.obs job.job_cfg with
+  | Ok r ->
+    let mapping =
+      Format.asprintf "%a" (Taskgraph.Mapped_io.print job.job_cfg) r.mapped
+    in
+    S_solved
+      ( Cache.Solved
+          {
+            mapping;
+            certificate = Budgetbuf.Certify.summary r.certificate;
+            objective = r.objective;
+            rounded_objective = r.rounded_objective;
+          },
+        r.stats.attempts,
+        r.stats.solve_time_s )
+  | Error (Mapping.Infeasible msg) -> S_unsat msg
+  | Error (Mapping.Timed_out msg) -> S_late msg
+  | Error (Mapping.Solver_failure msg) -> S_failed msg
+  | exception exn -> S_failed (Printexc.to_string exn)
+
+(* Settle a job whose verdict is in hand: admission check, reply,
+   counters, trace.  Runs on the dispatcher thread only. *)
+let settle state job ~cache_tag ~dequeued outcome =
+  let response =
+    match outcome with
+    | S_solved (Cache.Solved s, attempts, _) -> (
+      let fp =
+        footprint_of job.job_cfg
+          (Taskgraph.Mapped_io.parse job.job_cfg s.mapping)
+      in
+      match with_lock state (fun () -> admit_locked state job.job_id fp) with
+      | Ok () ->
+        Protocol.Admitted
+          {
+            id = job.job_id;
+            cache = cache_tag;
+            mapping = s.mapping;
+            certificate = s.certificate;
+            objective = s.objective;
+            rounded_objective = s.rounded_objective;
+            attempts;
+          }
+      | Error reason -> Protocol.Rejected { id = job.job_id; reason })
+    | S_solved (Cache.Unsat { reason }, _, _) | S_unsat reason ->
+      Protocol.Unsat { id = job.job_id; reason }
+    | S_late reason -> Protocol.Late { id = job.job_id; reason }
+    | S_failed reason -> Protocol.Failed { id = job.job_id; reason }
+  in
+  bump state (fun s ->
+      match response with
+      | Protocol.Admitted _ -> { s with admitted = s.admitted + 1 }
+      | Protocol.Rejected _ -> { s with rejected = s.rejected + 1 }
+      | Protocol.Unsat _ -> { s with infeasible = s.infeasible + 1 }
+      | Protocol.Late _ -> { s with timed_out = s.timed_out + 1 }
+      | _ -> { s with failed = s.failed + 1 });
+  write_reply job.job_conn response;
+  let now = Unix.gettimeofday () in
+  emit state
+    (Obs.Trace.Request_done
+       {
+         op = "admit";
+         id = job.job_id;
+         status = Protocol.status_of_response response;
+         queue_s = dequeued -. job.arrival;
+         total_s = now -. job.arrival;
+       });
+  job_done job.job_conn;
+  Atomic.incr state.settled_admits
+
+let update_ewma state sample =
+  let rec go () =
+    let old = Atomic.get state.ewma_solve_s in
+    let next = if old <= 0.0 then sample else (0.3 *. sample) +. (0.7 *. old) in
+    if not (Atomic.compare_and_set state.ewma_solve_s old next) then go ()
+  in
+  if Float.is_finite sample && sample > 0.0 then go ()
+
+let retry_hint state =
+  let mean =
+    let e = Atomic.get state.ewma_solve_s in
+    if e > 0.0 then e else 0.05
+  in
+  mean *. float_of_int (Bounded.length state.queue + 1)
+
+(* The dispatcher: pop a job (blocking), opportunistically gather a
+   batch behind it, answer what the cache already settles, fan the
+   rest out on the pool, then settle in arrival order. *)
+let dispatch_batch state first =
+  let dequeued = Unix.gettimeofday () in
+  let rec gather acc n =
+    if n >= state.scfg.batch then List.rev acc
+    else
+      match Bounded.pop_nowait state.queue with
+      | Some j -> gather (j :: acc) (n + 1)
+      | None -> List.rev acc
+  in
+  let batch = gather [ first ] 1 in
+  let classify job =
+    if Durable.Deadline.expired job.deadline then
+      `Settled (job, S_late "deadline expired while queued")
+    else
+      match state.cache with
+      | None -> `Solve job
+      | Some cache -> (
+        match Cache.find cache ~key:job.key with
+        | Some outcome ->
+          emit state (Obs.Trace.Cache_hit { key = Cache.digest job.key });
+          bump state (fun s -> { s with cache_hits = s.cache_hits + 1 });
+          `Settled (job, S_solved (outcome, 1, 0.0))
+        | None ->
+          emit state (Obs.Trace.Cache_miss { key = Cache.digest job.key });
+          bump state (fun s -> { s with cache_misses = s.cache_misses + 1 });
+          `Solve job)
+  in
+  let classified = List.map classify batch in
+  let to_solve =
+    List.filter_map (function `Solve j -> Some j | `Settled _ -> None) classified
+  in
+  let solved =
+    match to_solve with
+    | [] -> []
+    | jobs ->
+      Parallel.Pool.map_result ?obs:state.scfg.obs state.pool
+        (fun job -> solve_job state job)
+        jobs
+      |> List.map2
+           (fun job -> function
+             | Ok outcome -> (job, outcome)
+             | Error exn -> (job, S_failed (Printexc.to_string exn)))
+           jobs
+  in
+  let solved = ref solved in
+  List.iter
+    (fun entry ->
+      match entry with
+      | `Settled (job, outcome) ->
+        settle state job ~cache_tag:`Hit ~dequeued outcome
+      | `Solve _ -> (
+        match !solved with
+        | (job, outcome) :: rest ->
+          solved := rest;
+          (match outcome with
+          | S_solved ((Cache.Solved _ as v), _, solve_s) ->
+            update_ewma state solve_s;
+            Option.iter (fun c -> Cache.store c ~key:job.key v) state.cache
+          | S_unsat reason ->
+            Option.iter
+              (fun c -> Cache.store c ~key:job.key (Cache.Unsat { reason }))
+              state.cache
+          | S_solved (Cache.Unsat _, _, _) | S_late _ | S_failed _ -> ());
+          let outcome =
+            match outcome with
+            | S_unsat reason -> S_solved (Cache.Unsat { reason }, 1, 0.0)
+            | o -> o
+          in
+          settle state job ~cache_tag:`Miss ~dequeued outcome
+        | [] -> assert false))
+    classified
+
+let dispatcher state =
+  let rec loop () =
+    match Bounded.pop state.queue with
+    | None -> ()
+    | Some job ->
+      (try dispatch_batch state job
+       with exn ->
+         (* A dispatcher death would hang every queued client; answer
+            the job that blew up and keep going. *)
+         write_reply job.job_conn
+           (Protocol.Failed
+              { id = job.job_id; reason = Printexc.to_string exn });
+         job_done job.job_conn);
+      loop ()
+  in
+  loop ()
+
+(* ---- request handling (accept-loop thread) ----------------------- *)
+
+type control = Keep_going | Begin_drain
+
+let handle_admit state conn ~id ~config_text ~deadline_s ~fault ~arrival =
+  match
+    let cfg =
+      try Ok (Taskgraph.Parse.config_of_string config_text)
+      with Taskgraph.Parse.Parse_error (line, msg) ->
+        Error (Printf.sprintf "config line %d: %s" line msg)
+    in
+    let fault =
+      match fault with
+      | None -> Ok None
+      | Some spec -> (
+        match Robust.Fault.of_string spec with
+        | Ok plan -> Ok (Some plan)
+        | Error msg -> Error (Printf.sprintf "fault spec: %s" msg))
+    in
+    match (cfg, fault) with
+    | Ok cfg, Ok fault -> Ok (cfg, fault)
+    | Error e, _ | _, Error e -> Error e
+  with
+  | Error reason ->
+    bump state (fun s -> { s with refused = s.refused + 1 });
+    write_reply conn (Protocol.Refused { reason });
+    "error"
+  | Ok (cfg, fault) -> (
+    let deadline =
+      match
+        match deadline_s with
+        | Some _ -> deadline_s
+        | None -> state.scfg.default_deadline_s
+      with
+      | Some s -> Durable.Deadline.after s
+      | None -> Durable.Deadline.none
+    in
+    let job =
+      {
+        job_id = id;
+        job_cfg = cfg;
+        key = Cache.canonical_key cfg;
+        deadline;
+        fault;
+        job_conn = conn;
+        arrival;
+      }
+    in
+    Mutex.lock conn.lock;
+    conn.pending <- conn.pending + 1;
+    Mutex.unlock conn.lock;
+    match Bounded.try_push state.queue job with
+    | `Ok -> "queued"
+    | `Full ->
+      job_done conn;
+      emit state (Obs.Trace.Shed { queue = Bounded.length state.queue });
+      bump state (fun s -> { s with shed = s.shed + 1 });
+      write_reply conn
+        (Protocol.Overloaded { id; retry_after_s = retry_hint state });
+      "overloaded"
+    | `Closed ->
+      job_done conn;
+      bump state (fun s -> { s with refused = s.refused + 1 });
+      write_reply conn (Protocol.Refused { reason = "server is draining" });
+      "error")
+
+let handle_line state conn line =
+  let arrival = Unix.gettimeofday () in
+  let finish ~op ~id status =
+    if status <> "queued" then
+      emit state
+        (Obs.Trace.Request_done
+           {
+             op;
+             id;
+             status;
+             queue_s = 0.0;
+             total_s = Unix.gettimeofday () -. arrival;
+           })
+  in
+  match Protocol.request_of_line line with
+  | Error reason ->
+    bump state (fun s -> { s with refused = s.refused + 1 });
+    write_reply conn (Protocol.Refused { reason });
+    finish ~op:"invalid" ~id:"" "error";
+    Keep_going
+  | Ok request -> (
+    let op, id =
+      match request with
+      | Protocol.Admit { id; _ } -> ("admit", id)
+      | Protocol.Release { id } -> ("release", id)
+      | Protocol.Stats -> ("stats", "")
+      | Protocol.Shutdown -> ("shutdown", "")
+    in
+    emit state (Obs.Trace.Request_start { op; id });
+    match request with
+    | Protocol.Admit { id; config; deadline_s; fault } ->
+      let status =
+        handle_admit state conn ~id ~config_text:config ~deadline_s ~fault
+          ~arrival
+      in
+      finish ~op ~id status;
+      Keep_going
+    | Protocol.Release { id } ->
+      let found = release state id in
+      write_reply conn (Protocol.Released { id; found });
+      finish ~op ~id "released";
+      Keep_going
+    | Protocol.Stats ->
+      write_reply conn (Protocol.Stats_reply (snapshot state));
+      finish ~op ~id "stats";
+      Keep_going
+    | Protocol.Shutdown ->
+      write_reply conn Protocol.Bye;
+      finish ~op ~id "shutting_down";
+      Begin_drain)
+
+(* Drain [conn.rbuf] of complete lines.  Returns [Begin_drain] as soon
+   as a shutdown request is seen (remaining pipelined input is
+   ignored: the client asked us to stop). *)
+let process_buffer state conn =
+  let rec go () =
+    let data = Buffer.contents conn.rbuf in
+    match String.index_opt data '\n' with
+    | None -> Keep_going
+    | Some i -> (
+      let line = String.sub data 0 i in
+      Buffer.clear conn.rbuf;
+      Buffer.add_substring conn.rbuf data (i + 1)
+        (String.length data - i - 1);
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      if line = "" then go ()
+      else
+        match handle_line state conn line with
+        | Keep_going -> go ()
+        | Begin_drain -> Begin_drain)
+  in
+  go ()
+
+(* ---- lifecycle --------------------------------------------------- *)
+
+let sig_flag = Atomic.make 0
+
+(* OCaml signal numbers are negative encodings; [Signalled] carries the
+   OS number so the CLI's exit code is the conventional 128+n. *)
+let os_signal_number s =
+  if s = Sys.sigint then 2 else if s = Sys.sigterm then 15 else abs s
+
+let install_signals () =
+  Atomic.set sig_flag 0;
+  List.map
+    (fun signum ->
+      (signum, Sys.signal signum (Sys.Signal_handle (fun s -> Atomic.set sig_flag s))))
+    [ Sys.sigint; Sys.sigterm ]
+
+let restore_signals saved =
+  List.iter (fun (signum, prev) -> Sys.set_signal signum prev) saved
+
+let bind_socket path =
+  (match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec fd;
+  (try Unix.bind fd (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.listen fd 16;
+  fd
+
+let run scfg =
+  if scfg.queue_capacity < 1 then Error "queue capacity must be at least 1"
+  else if scfg.batch < 1 then Error "batch must be at least 1"
+  else if scfg.domains < 1 then Error "jobs must be at least 1"
+  else begin
+    match
+      match scfg.cache_path with
+      | None -> Ok None
+      | Some path -> (
+        match Cache.open_ ~path with
+        | Ok c -> Ok (Some c)
+        | Error msg -> Error msg)
+    with
+    | Error msg -> Error msg
+    | Ok cache -> (
+      match bind_socket scfg.socket_path with
+      | exception Failure msg ->
+        Option.iter Cache.close cache;
+        Error msg
+      | exception Unix.Unix_error (e, _, _) ->
+        Option.iter Cache.close cache;
+        Error
+          (Printf.sprintf "cannot bind %s: %s" scfg.socket_path
+             (Unix.error_message e))
+      | listen_fd ->
+        let pool = Parallel.Pool.create ~domains:scfg.domains in
+        let state =
+          {
+            scfg;
+            queue = Bounded.create ~capacity:scfg.queue_capacity;
+            cache;
+            pool;
+            lock = Mutex.create ();
+            stats = Protocol.zero_stats;
+            live = Hashtbl.create 16;
+            ewma_solve_s = Atomic.make 0.0;
+            settled_admits = Atomic.make 0;
+          }
+        in
+        let saved_signals =
+          if scfg.signals then install_signals () else []
+        in
+        let saved_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+        let dispatcher_t = Thread.create dispatcher state in
+        (match cache with
+        | Some c -> log state "cache: %d instances from %s" (Cache.size c)
+                      (match scfg.cache_path with Some p -> p | None -> "")
+        | None -> ());
+        log state "listening on %s" scfg.socket_path;
+        let conns = ref [] in
+        let halted job =
+          (* Crash simulation: the job never gets a reply.  Balance the
+             refcount so the fd bookkeeping stays sane. *)
+          job_done job.job_conn
+        in
+        let finish ~graceful reason =
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          (try Unix.unlink scfg.socket_path with Unix.Unix_error _ -> ());
+          if graceful then Bounded.close state.queue
+          else List.iter halted (Bounded.halt state.queue);
+          Thread.join dispatcher_t;
+          List.iter
+            (fun (c : conn) ->
+              Mutex.lock c.lock;
+              close_conn_locked c;
+              Mutex.unlock c.lock)
+            !conns;
+          Option.iter Cache.close cache;
+          Parallel.Pool.fini pool;
+          if scfg.signals then restore_signals saved_signals;
+          Sys.set_signal Sys.sigpipe saved_pipe;
+          let stats = snapshot state in
+          log state "stopping: %s" (describe reason);
+          Ok (reason, stats)
+        in
+        let rec loop () =
+          let signalled = Atomic.get sig_flag in
+          if scfg.signals && signalled <> 0 then begin
+            let n = os_signal_number signalled in
+            log state "draining on signal %d" n;
+            finish ~graceful:true (Signalled n)
+          end
+          else if
+            match scfg.halt_after_admits with
+            | Some n -> Atomic.get state.settled_admits >= n
+            | None -> false
+          then finish ~graceful:false Halted
+          else begin
+            (* Half-closed connections stay in [conns] until their last
+               in-flight job drops the refcount, but the dispatcher may
+               close their fd at any moment — never select on them. *)
+            let fds =
+              listen_fd
+              :: List.filter_map
+                   (fun c -> if c.closed || c.eof then None else Some c.fd)
+                   !conns
+            in
+            match Unix.select fds [] [] 0.05 with
+            | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) ->
+              loop ()
+            | readable, _, _ ->
+              let drain = ref false in
+              if List.mem listen_fd readable then begin
+                match Unix.accept listen_fd with
+                | fd, _ ->
+                  Unix.set_close_on_exec fd;
+                  conns :=
+                    {
+                      fd;
+                      rbuf = Buffer.create 256;
+                      lock = Mutex.create ();
+                      pending = 0;
+                      eof = false;
+                      closed = false;
+                    }
+                    :: !conns
+                | exception Unix.Unix_error _ -> ()
+              end;
+              let scratch = Bytes.create 4096 in
+              List.iter
+                (fun c ->
+                  if (not (c.closed || c.eof)) && List.mem c.fd readable
+                  then begin
+                    match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+                    | 0 | (exception Unix.Unix_error _) ->
+                      Mutex.lock c.lock;
+                      c.eof <- true;
+                      if c.pending = 0 then close_conn_locked c;
+                      Mutex.unlock c.lock
+                    | n ->
+                      Buffer.add_subbytes c.rbuf scratch 0 n;
+                      (match process_buffer state c with
+                      | Keep_going -> ()
+                      | Begin_drain -> drain := true)
+                  end)
+                !conns;
+              conns := List.filter (fun c -> not c.closed) !conns;
+              if !drain then finish ~graceful:true Shutdown_request
+              else loop ()
+          end
+        in
+        loop ())
+  end

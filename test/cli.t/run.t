@@ -104,7 +104,7 @@ report — same mapping, same verification, same certificate:
 An unknown backend is rejected by the option parser:
 
   $ ../../bin/budgetbuf_cli.exe solve t1.cfg --kkt bogus 2>&1 | head -1
-  budgetbuf: option '--kkt': invalid value 'bogus', expected either 'dense' or
+  budgetbuf: option '--kkt': invalid value 'bogus', expected one of 'auto',
 
 The sweeps seed every candidate from one cold anchor solve;
 --no-warm-start runs every candidate cold instead.  Both reach the
@@ -478,3 +478,145 @@ A damaged trace file is refused with a clean error:
   $ ../../bin/budgetbuf_cli.exe trace cat bogus.trace
   error: bogus.trace: not a budgetbuf trace (bad or corrupt header)
   [1]
+
+Solve-as-a-service (docs/serving.md): a long-running admission server
+on a Unix-domain socket, driven by the request subcommand.  Replies
+carry no wall-clock fields, so the exchanges are byte-stable.  First
+the basic lifecycle — admit (a cache miss), duplicate-id rejection,
+a semantically identical instance answered from cache, release, stats
+and a client-requested shutdown:
+
+  $ ../../bin/budgetbuf_cli.exe serve --socket s.sock --cache memo.journal > server.out 2>&1 &
+  $ SERVER=$!
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket s.sock --id j1
+  admitted j1 (cache miss)
+  budget wa 4
+  budget wb 4
+  capacity bab 10
+  certificate: ok (exact, 4 start times)
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket s.sock --id j1
+  rejected j1: job "j1" is already admitted; release it first
+  [1]
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket s.sock --id j2
+  admitted j2 (cache hit)
+  budget wa 4
+  budget wb 4
+  capacity bab 10
+  certificate: ok (exact, 4 start times)
+  $ ../../bin/budgetbuf_cli.exe request release --socket s.sock --id j1
+  released j1
+  $ ../../bin/budgetbuf_cli.exe request stats --socket s.sock
+  stats: admitted=2 rejected=1 infeasible=0 timed_out=0 failed=0 shed=0 refused=0 released=1 cache_hits=2 cache_misses=1 live=1 queue=0
+  $ ../../bin/budgetbuf_cli.exe request shutdown --socket s.sock
+  server shutting down
+  $ wait $SERVER
+  $ cat server.out
+  cache: 0 instances from memo.journal
+  listening on s.sock
+  stopping: shutdown
+  serve: shutdown; admitted=2 rejected=1 infeasible=0 timed_out=0 failed=0 shed=0 refused=0 released=1 cache_hits=2 cache_misses=1
+
+Admission control shares resource capacities across live jobs: with the
+memory tightened to 15 units, a second copy of the instance (10 units
+of buffers each) must wait for the first to release:
+
+  $ sed 's/capacity 1000/capacity 15/' t1.cfg > mem.cfg
+  $ ../../bin/budgetbuf_cli.exe serve --socket m.sock > madm.out 2>&1 &
+  $ MSERVER=$!
+  $ ../../bin/budgetbuf_cli.exe request admit mem.cfg --socket m.sock --id m1 > /dev/null
+  $ ../../bin/budgetbuf_cli.exe request admit mem.cfg --socket m.sock --id m2
+  rejected m2: memory "m0": insufficient remaining capacity (need 10, free 5)
+  [1]
+  $ ../../bin/budgetbuf_cli.exe request release --socket m.sock --id m1
+  released m1
+  $ ../../bin/budgetbuf_cli.exe request admit mem.cfg --socket m.sock --id m2 > /dev/null
+  $ ../../bin/budgetbuf_cli.exe request shutdown --socket m.sock > /dev/null
+  $ wait $MSERVER
+
+Robustness under load (docs/robustness.md): a cache-less server with a
+one-slot queue and a single solver domain.  A stalled first attempt
+recovers on the next rung; a deliberately slow solve against a short
+deadline answers timed_out instead of hanging its socket:
+
+  $ ../../bin/budgetbuf_cli.exe serve --socket q.sock --queue 1 --batch 1 --jobs 1 > q.out 2>&1 &
+  $ QSERVER=$!
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket q.sock --id jf --fault stall
+  admitted jf (cache miss, recovered in 2 attempts)
+  budget wa 4
+  budget wb 4
+  capacity bab 10
+  certificate: ok (exact, 4 start times)
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket q.sock --id jd --fault slow --deadline 0.2
+  timed out jd: deadline expired after 1 attempt(s) (base: timed out)
+  [4]
+
+Backpressure: while a slow solve occupies the only domain and a second
+request fills the one-slot queue, a third is shed immediately with an
+explicit overloaded reply (the retry hint is load-dependent, so the
+client prints it without the number):
+
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket q.sock --id s1 --fault slow > s1.out 2>&1 &
+  $ CLIENT1=$!
+  $ sleep 0.2
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket q.sock --id s2 --fault slow > s2.out 2>&1 &
+  $ CLIENT2=$!
+  $ sleep 0.1
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket q.sock --id s3
+  overloaded s3: retry later
+  [3]
+  $ wait $CLIENT1
+  $ head -1 s1.out
+  admitted s1 (cache miss)
+  $ wait $CLIENT2
+  $ head -1 s2.out
+  admitted s2 (cache miss)
+
+SIGTERM drains gracefully — in-flight work settles, the socket is
+unlinked, and the exit status is 128+15:
+
+  $ kill -TERM $QSERVER
+  $ wait $QSERVER
+  [143]
+  $ cat q.out
+  listening on q.sock
+  draining on signal 15
+  stopping: interrupted (signal 15)
+  serve: interrupted (signal 15); admitted=3 rejected=0 infeasible=0 timed_out=1 failed=0 shed=1 refused=0 released=0 cache_hits=0 cache_misses=0
+
+Crash-safe memoisation: kill -9 a server that has settled one admit,
+restart it on the same journal, and the instance is answered from
+cache — byte-identically, without re-solving:
+
+  $ ../../bin/budgetbuf_cli.exe serve --socket r.sock --cache memo2.journal > r1.out 2>&1 &
+  $ RSERVER=$!
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket r.sock --id k1 > first.reply
+  $ kill -KILL $RSERVER
+  $ wait $RSERVER
+  [137]
+  $ ../../bin/budgetbuf_cli.exe serve --socket r.sock --cache memo2.journal > r2.out 2>&1 &
+  $ RSERVER=$!
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket r.sock --id k2 > second.reply
+  $ head -1 second.reply
+  admitted k2 (cache hit)
+  $ tail -n +2 first.reply > first.body
+  $ tail -n +2 second.reply > second.body
+  $ diff first.body second.body && echo identical
+  identical
+  $ ../../bin/budgetbuf_cli.exe request shutdown --socket r.sock > /dev/null
+  $ wait $RSERVER
+  $ head -1 r2.out
+  cache: 1 instances from memo2.journal
+
+SIGTERM interrupts a durable sweep the same way SIGINT does: the sweep
+stops between candidates, reports how far it got, and exits 128+15
+(the candidate count depends on timing, so only the summary line's
+presence is pinned):
+
+  $ ../../bin/budgetbuf_cli.exe tradeoff t1.cfg --caps 1:6 --fault slow --jobs 1 > sweep-term.out 2>&1 &
+  $ SWEEP=$!
+  $ sleep 0.3
+  $ kill -TERM $SWEEP
+  $ wait $SWEEP
+  [143]
+  $ grep -c "^interrupted: stopped after" sweep-term.out
+  1

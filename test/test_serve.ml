@@ -1,0 +1,731 @@
+(* The admission server (docs/serving.md): the wire codec, the typed
+   protocol, the bounded admission queue, the crash-safe memo cache and
+   the server itself, exercised in-process over a real Unix socket.
+
+   The qcheck half pins the cache key's contract: the canonical form is
+   invariant under every presentation freedom of the concrete syntax
+   (declaration order, decimal float spellings) and sensitive to every
+   semantic field.  The server half covers the three robustness
+   mechanisms end to end — backpressure is cram-tested (it needs load),
+   but deadlines, fault recovery, admission control and crash/restart
+   cache recovery are all deterministic enough to assert here. *)
+
+module Wire = Serve.Wire
+module Protocol = Serve.Protocol
+module Bounded = Serve.Bounded
+module Cache = Serve.Cache
+module Server = Serve.Server
+module Client = Serve.Client
+module Config = Taskgraph.Config
+module Parse = Taskgraph.Parse
+
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  let obj =
+    [
+      ("op", Wire.String "admit");
+      ("id", Wire.String "j\"1\n\\x");
+      ("deadline_s", Wire.Number 0.1);
+      ("n", Wire.Number 42.0);
+      ("flag", Wire.Bool true);
+    ]
+  in
+  let line = Wire.render obj in
+  (match Wire.parse line with
+  | Ok obj' ->
+    check_bool "objects equal" true (obj = obj');
+    check_string "string field" "j\"1\n\\x"
+      (Option.get (Wire.str obj' "id"));
+    check_int "int field" 42 (Option.get (Wire.int obj' "n"));
+    check_bool "bool field" true (Option.get (Wire.bool obj' "flag"))
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* %.17g floats survive bit-exactly. *)
+  let f = 0.30000000000000004 in
+  match Wire.parse (Wire.render [ ("x", Wire.Number f) ]) with
+  | Ok o ->
+    check_bool "float bit-exact" true (Option.get (Wire.number o "x") = f)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_wire_rejects () =
+  let bad line =
+    match Wire.parse line with
+    | Ok _ -> Alcotest.failf "accepted %S" line
+    | Error _ -> ()
+  in
+  bad "{\"a\":{\"b\":1}}";
+  bad "{\"a\":null}";
+  bad "{\"a\":1,\"a\":2}";
+  bad "{\"a\":1} trailing";
+  bad "{\"a\":[1]}";
+  bad "not json";
+  (match Wire.render [ ("x", Wire.Number Float.nan) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nan must be rejected");
+  (* Wrong-typed accessors answer None, not garbage. *)
+  match Wire.parse "{\"a\":1.5}" with
+  | Ok o ->
+    check_bool "not a string" true (Wire.str o "a" = None);
+    check_bool "not integral" true (Wire.int o "a" = None)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round trips                                                *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_request r =
+  match Protocol.request_of_line (Protocol.request_to_line r) with
+  | Ok r' -> check_bool "request round trip" true (r = r')
+  | Error e -> Alcotest.failf "request decode failed: %s" e
+
+let roundtrip_response r =
+  match Protocol.response_of_line (Protocol.response_to_line r) with
+  | Ok r' -> check_bool "response round trip" true (r = r')
+  | Error e -> Alcotest.failf "response decode failed: %s" e
+
+let test_protocol_roundtrip () =
+  List.iter roundtrip_request
+    [
+      Protocol.Admit
+        {
+          id = "j1";
+          config = "granularity 1\ntaskgraph t period 10\n";
+          deadline_s = Some 0.25;
+          fault = Some "stall,iter=3";
+        };
+      Protocol.Admit
+        { id = "j2"; config = "x"; deadline_s = None; fault = None };
+      Protocol.Release { id = "j1" };
+      Protocol.Stats;
+      Protocol.Shutdown;
+    ];
+  List.iter roundtrip_response
+    [
+      Protocol.Admitted
+        {
+          id = "j1";
+          cache = `Miss;
+          mapping = "budget wa 4\nbudget wb 4\ncapacity bab 10\n";
+          certificate = "ok (exact, 4 start times)";
+          objective = 18.25;
+          rounded_objective = 18.5;
+          attempts = 2;
+        };
+      Protocol.Rejected { id = "j"; reason = "duplicate" };
+      Protocol.Unsat { id = "j"; reason = "no assignment" };
+      Protocol.Late { id = "j"; reason = "deadline expired" };
+      Protocol.Failed { id = "j"; reason = "rungs exhausted" };
+      Protocol.Overloaded { id = "j"; retry_after_s = 0.75 };
+      Protocol.Released { id = "j"; found = true };
+      Protocol.Released { id = "j"; found = false };
+      Protocol.Stats_reply
+        {
+          Protocol.zero_stats with
+          Protocol.admitted = 3;
+          cache_hits = 2;
+          live = 1;
+        };
+      Protocol.Refused { reason = "malformed request: nesting" };
+      Protocol.Bye;
+    ]
+
+let test_protocol_rejects () =
+  let bad line =
+    match Protocol.request_of_line line with
+    | Ok _ -> Alcotest.failf "accepted %S" line
+    | Error _ -> ()
+  in
+  bad "{\"op\":\"admit\"}";
+  (* missing id/config *)
+  bad "{\"op\":\"frobnicate\"}";
+  bad "{\"id\":\"j\"}";
+  (* missing op *)
+  bad "{\"op\":\"admit\",\"id\":\"j\",\"config\":\"x\",\"deadline_s\":\"soon\"}"
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_bounded_backpressure () =
+  let q = Bounded.create ~capacity:2 in
+  check_bool "push 1" true (Bounded.try_push q 1 = `Ok);
+  check_bool "push 2" true (Bounded.try_push q 2 = `Ok);
+  check_bool "push 3 sheds" true (Bounded.try_push q 3 = `Full);
+  check_int "length" 2 (Bounded.length q);
+  check_bool "fifo 1" true (Bounded.pop_nowait q = Some 1);
+  check_bool "room again" true (Bounded.try_push q 4 = `Ok);
+  check_bool "fifo 2" true (Bounded.pop_nowait q = Some 2);
+  check_bool "fifo 4" true (Bounded.pop_nowait q = Some 4);
+  check_bool "empty" true (Bounded.pop_nowait q = None)
+
+let test_bounded_close_drains () =
+  let q = Bounded.create ~capacity:4 in
+  ignore (Bounded.try_push q "a");
+  ignore (Bounded.try_push q "b");
+  Bounded.close q;
+  check_bool "closed to pushes" true (Bounded.try_push q "c" = `Closed);
+  check_bool "still pops a" true (Bounded.pop q = Some "a");
+  check_bool "still pops b" true (Bounded.pop q = Some "b");
+  check_bool "then None" true (Bounded.pop q = None)
+
+let test_bounded_halt_discards () =
+  let q = Bounded.create ~capacity:4 in
+  ignore (Bounded.try_push q 1);
+  ignore (Bounded.try_push q 2);
+  let dropped = Bounded.halt q in
+  check_int "dropped count" 2 (List.length dropped);
+  check_bool "pop after halt" true (Bounded.pop q = None);
+  check_bool "push after halt" true (Bounded.try_push q 3 = `Closed)
+
+(* A blocked popper wakes up when an element arrives from another
+   thread, and again when the queue closes. *)
+let test_bounded_blocking_pop () =
+  let q = Bounded.create ~capacity:1 in
+  let got = ref [] in
+  let th =
+    Thread.create
+      (fun () ->
+        let rec go () =
+          match Bounded.pop q with
+          | Some x ->
+            got := x :: !got;
+            go ()
+          | None -> ()
+        in
+        go ())
+      ()
+  in
+  Thread.delay 0.02;
+  ignore (Bounded.try_push q 7);
+  Thread.delay 0.02;
+  Bounded.close q;
+  Thread.join th;
+  check_bool "received" true (!got = [ 7 ])
+
+(* ------------------------------------------------------------------ *)
+(* Canonical keys: invariance and sensitivity                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A chain instance rendered as concrete configuration text, with a
+   controllable declaration order inside each entity class and a
+   controllable respelling of every numeric token.  All grid values are
+   short decimals that parse to the same float under any respelling
+   below, so two renderings of the same tuple denote the same
+   instance. *)
+let chain_text ?(perm = fun l -> l) ?(respell = fun s -> s) ~granularity
+    ~period ~wcets ~caps () =
+  let n = Array.length wcets in
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "granularity %s" (respell granularity);
+  List.iter
+    (fun s -> Buffer.add_string b (s ^ "\n"))
+    (perm
+       (List.init n (fun i ->
+            Printf.sprintf "processor p%d replenishment %s overhead %s" i
+              (respell "40") (respell "0"))));
+  line "memory m capacity 1000";
+  line "taskgraph t period %s" (respell period);
+  List.iter
+    (fun s -> Buffer.add_string b (s ^ "\n"))
+    (perm
+       (List.init n (fun i ->
+            Printf.sprintf "  task w%d proc p%d wcet %s weight 1" i i
+              (respell wcets.(i)))));
+  List.iter
+    (fun s -> Buffer.add_string b (s ^ "\n"))
+    (perm
+       (List.init (n - 1) (fun i ->
+            Printf.sprintf
+              "  buffer b%d from w%d to w%d memory m container 1 initial 0 \
+               weight 1 max %d"
+              i i (i + 1) caps.(i))));
+  Buffer.contents b
+
+let key_of_text text = Cache.canonical_key (Parse.config_of_string text)
+
+(* "2" -> "2.000", "1.5" -> "1.5000": same value, different spelling. *)
+let respell_zeros s =
+  if String.contains s '.' then s ^ "000" else s ^ ".000"
+
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Workloads.Rng.int rng ~bound:(i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let random_instance seed =
+  let rng = Workloads.Rng.create (Int64.of_int seed) in
+  let n = 2 + Workloads.Rng.int rng ~bound:5 in
+  let grid = [| "0.5"; "1"; "1.5"; "2"; "2.5" |] in
+  let wcets =
+    Array.init n (fun _ -> grid.(Workloads.Rng.int rng ~bound:5))
+  in
+  let caps = Array.init (max 1 (n - 1)) (fun _ -> 8 + Workloads.Rng.int rng ~bound:8) in
+  let period = [| "8"; "10"; "12.5" |].(Workloads.Rng.int rng ~bound:3) in
+  let granularity = [| "1"; "0.5" |].(Workloads.Rng.int rng ~bound:2) in
+  (rng, n, granularity, period, wcets, caps)
+
+let prop_key_invariant seed =
+  let rng, _, granularity, period, wcets, caps = random_instance seed in
+  let base = chain_text ~granularity ~period ~wcets ~caps () in
+  let scrambled =
+    chain_text
+      ~perm:(fun l -> shuffle rng l)
+      ~respell:respell_zeros ~granularity ~period ~wcets ~caps ()
+  in
+  String.equal (key_of_text base) (key_of_text scrambled)
+
+let prop_key_sensitive seed =
+  let rng, n, granularity, period, wcets, caps = random_instance seed in
+  let base = key_of_text (chain_text ~granularity ~period ~wcets ~caps ()) in
+  let variant =
+    match Workloads.Rng.int rng ~bound:4 with
+    | 0 ->
+      let granularity = if granularity = "1" then "0.5" else "1" in
+      chain_text ~granularity ~period ~wcets ~caps ()
+    | 1 -> chain_text ~granularity ~period:(period ^ "1") ~wcets ~caps ()
+    | 2 ->
+      let wcets = Array.copy wcets in
+      let i = Workloads.Rng.int rng ~bound:n in
+      wcets.(i) <- (if wcets.(i) = "0.5" then "1" else "0.5");
+      chain_text ~granularity ~period ~wcets ~caps ()
+    | _ ->
+      let caps = Array.copy caps in
+      let i = Workloads.Rng.int rng ~bound:(Array.length caps) in
+      caps.(i) <- caps.(i) + 1;
+      chain_text ~granularity ~period ~wcets ~caps ()
+  in
+  not (String.equal base (key_of_text variant))
+
+let qcheck_key_invariant =
+  QCheck.Test.make ~count:200
+    ~name:"canonical key invariant under order and spelling"
+    QCheck.small_nat prop_key_invariant
+
+let qcheck_key_sensitive =
+  QCheck.Test.make ~count:200
+    ~name:"canonical key sensitive to semantic perturbation"
+    QCheck.small_nat prop_key_sensitive
+
+let test_key_respelling_unit () =
+  let k spelling =
+    key_of_text
+      (chain_text ~respell:spelling ~granularity:"1" ~period:"10"
+         ~wcets:[| "1"; "4" |] ~caps:[| 10 |] ())
+  in
+  check_string "4 vs 4.000" (k (fun s -> s)) (k respell_zeros);
+  check_string "digest is 8 hex" "8"
+    (string_of_int (String.length (Cache.digest (k (fun s -> s)))))
+
+(* ------------------------------------------------------------------ *)
+(* Cache journal                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tmp_counter = ref 0
+
+let tmp_path suffix =
+  incr tmp_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "bb-serve-%d-%d-%s" (Unix.getpid ()) !tmp_counter suffix)
+
+let rm path = try Sys.remove path with Sys_error _ -> ()
+
+let solved =
+  Cache.Solved
+    {
+      mapping = "budget wa 4\nbudget wb 4\ncapacity bab 10\n";
+      certificate = "ok (exact, 4 start times)";
+      objective = 18.25;
+      rounded_objective = 18.5;
+    }
+
+let unsat = Cache.Unsat { reason = "no assignment satisfies the throughput" }
+
+let test_cache_store_reopen () =
+  let path = tmp_path "cache" in
+  rm path;
+  (match Cache.open_ ~path with
+  | Error e -> Alcotest.failf "open: %s" e
+  | Ok t ->
+    check_int "fresh cache empty" 0 (Cache.size t);
+    Cache.store t ~key:"k1" solved;
+    Cache.store t ~key:"k2" unsat;
+    Cache.store t ~key:"k1" solved;
+    (* idempotent *)
+    check_int "two instances" 2 (Cache.size t);
+    check_bool "find hit" true (Cache.find t ~key:"k1" = Some solved);
+    check_bool "find miss" true (Cache.find t ~key:"k3" = None);
+    Cache.close t);
+  (match Cache.open_ ~path with
+  | Error e -> Alcotest.failf "reopen: %s" e
+  | Ok t ->
+    check_int "replayed" 2 (Cache.size t);
+    check_bool "solved survives byte-identically" true
+      (Cache.find t ~key:"k1" = Some solved);
+    check_bool "unsat survives" true (Cache.find t ~key:"k2" = Some unsat);
+    Cache.close t);
+  rm path
+
+let test_cache_foreign_file () =
+  let path = tmp_path "foreign" in
+  let oc = open_out path in
+  output_string oc "not a journal\n";
+  close_out oc;
+  (match Cache.open_ ~path with
+  | Error _ -> ()
+  | Ok t ->
+    Cache.close t;
+    Alcotest.fail "foreign file must be refused");
+  rm path
+
+(* ------------------------------------------------------------------ *)
+(* Server, in process                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let t1_text () =
+  Format.asprintf "%a" Config.pp (Workloads.Gen.paper_t1 ())
+
+let t1_with_cap cap =
+  let cfg = Workloads.Gen.paper_t1 () in
+  Config.set_max_capacity cfg (Config.find_buffer cfg "bab") (Some cap);
+  Format.asprintf "%a" Config.pp cfg
+
+(* Replace the first occurrence of [sub] in [s]. *)
+let replace ~sub ~by s =
+  let n = String.length s and m = String.length sub in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> s
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+
+let start_server cfg =
+  let result = ref (Error "server never ran") in
+  let th = Thread.create (fun () -> result := Server.run cfg) () in
+  (th, result)
+
+let admit c ~id ?deadline_s ?fault config =
+  match
+    Client.roundtrip c (Protocol.Admit { id; config; deadline_s; fault })
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "admit %s: %s" id e
+
+(* The Admitted payload, copied out of its inline record. *)
+type admitted = {
+  cache : [ `Hit | `Miss ];
+  mapping : string;
+  certificate : string;
+  attempts : int;
+}
+
+let expect_admitted r =
+  match r with
+  | Protocol.Admitted { cache; mapping; certificate; attempts; _ } ->
+    { cache; mapping; certificate; attempts }
+  | r ->
+    Alcotest.failf "expected admitted, got %s" (Protocol.status_of_response r)
+
+let shutdown c =
+  match Client.roundtrip c Protocol.Shutdown with
+  | Ok Protocol.Bye -> ()
+  | Ok r ->
+    Alcotest.failf "expected bye, got %s" (Protocol.status_of_response r)
+  | Error e -> Alcotest.failf "shutdown: %s" e
+
+let test_server_admit_release_stats () =
+  let sock = tmp_path "basic.sock" and cache = tmp_path "basic.cachej" in
+  rm cache;
+  let th, res =
+    start_server
+      {
+        (Server.default_config ~socket_path:sock) with
+        Server.cache_path = Some cache;
+      }
+  in
+  (match
+     Client.with_connection sock (fun c ->
+         let a = expect_admitted (admit c ~id:"a" (t1_text ())) in
+         check_bool "first solve is a miss" true (a.cache = `Miss);
+         check_bool "mapping mentions budgets" true
+           (String.length a.mapping > 0);
+         check_bool "certificate is exact" true
+           (String.length a.certificate > 0);
+         (* Same semantic instance, fresh id: a cache hit, byte-identical. *)
+         let b = expect_admitted (admit c ~id:"b" (t1_text ())) in
+         check_bool "second solve is a hit" true (b.cache = `Hit);
+         check_string "mapping byte-identical" a.mapping b.mapping;
+         check_string "certificate byte-identical" a.certificate b.certificate;
+         (* Duplicate live id is rejected by admission control. *)
+         (match admit c ~id:"a" (t1_text ()) with
+         | Protocol.Rejected _ -> ()
+         | r ->
+           Alcotest.failf "duplicate id: %s" (Protocol.status_of_response r));
+         (match Client.roundtrip c (Protocol.Release { id = "a" }) with
+         | Ok (Protocol.Released { found = true; _ }) -> ()
+         | _ -> Alcotest.fail "release a");
+         (match Client.roundtrip c (Protocol.Release { id = "zz" }) with
+         | Ok (Protocol.Released { found = false; _ }) -> ()
+         | _ -> Alcotest.fail "release unknown");
+         (match Client.roundtrip c Protocol.Stats with
+         | Ok (Protocol.Stats_reply s) ->
+           check_int "admitted" 2 s.Protocol.admitted;
+           check_int "rejected" 1 s.Protocol.rejected;
+           (* The duplicate-id admit also hit the cache before
+              admission control rejected it, hence 2 hits. *)
+           check_int "hits" 2 s.Protocol.cache_hits;
+           check_int "misses" 1 s.Protocol.cache_misses;
+           check_int "released" 1 s.Protocol.released;
+           check_int "live" 1 s.Protocol.live
+         | _ -> Alcotest.fail "stats");
+         shutdown c;
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "client: %s" e);
+  Thread.join th;
+  (match !res with
+  | Ok (Server.Shutdown_request, s) -> check_int "final admitted" 2 s.admitted
+  | Ok (r, _) -> Alcotest.failf "stop reason: %s" (Server.describe r)
+  | Error e -> Alcotest.failf "server: %s" e);
+  rm cache
+
+(* Admission control shares capacities across live jobs: a second job
+   whose buffers exceed the remaining memory is rejected until the
+   first releases. *)
+let test_server_admission_capacity () =
+  let sock = tmp_path "adm.sock" in
+  let mem_text = replace ~sub:"capacity 1000" ~by:"capacity 15" (t1_text ()) in
+  let th, res = start_server (Server.default_config ~socket_path:sock) in
+  (match
+     Client.with_connection sock (fun c ->
+         ignore (expect_admitted (admit c ~id:"m1" mem_text));
+         (match admit c ~id:"m2" mem_text with
+         | Protocol.Rejected { reason; _ } ->
+           check_bool "names the memory" true
+             (String.length reason > 0
+             && replace ~sub:"insufficient" ~by:"" reason <> reason)
+         | r ->
+           Alcotest.failf "expected rejected: %s"
+             (Protocol.status_of_response r));
+         (match Client.roundtrip c (Protocol.Release { id = "m1" }) with
+         | Ok (Protocol.Released { found = true; _ }) -> ()
+         | _ -> Alcotest.fail "release m1");
+         ignore (expect_admitted (admit c ~id:"m2" mem_text));
+         shutdown c;
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "client: %s" e);
+  Thread.join th;
+  match !res with
+  | Ok (Server.Shutdown_request, s) ->
+    check_int "rejected once" 1 s.Protocol.rejected
+  | Ok (r, _) -> Alcotest.failf "stop reason: %s" (Server.describe r)
+  | Error e -> Alcotest.failf "server: %s" e
+
+(* Deadlines and fault recovery: a stalled first attempt recovers on
+   the next rung; a deliberately slow solve against a short deadline
+   answers timed_out instead of hanging the socket. *)
+let test_server_deadline_and_fault () =
+  let sock = tmp_path "dl.sock" in
+  let th, res = start_server (Server.default_config ~socket_path:sock) in
+  (match
+     Client.with_connection sock (fun c ->
+         let a = expect_admitted (admit c ~id:"f" ~fault:"stall" (t1_text ())) in
+         check_int "recovered on rung two" 2 a.attempts;
+         (match
+            admit c ~id:"d" ~deadline_s:0.2 ~fault:"slow" (t1_with_cap 11)
+          with
+         | Protocol.Late _ -> ()
+         | r ->
+           Alcotest.failf "expected timed_out: %s"
+             (Protocol.status_of_response r));
+         shutdown c;
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "client: %s" e);
+  Thread.join th;
+  match !res with
+  | Ok (Server.Shutdown_request, s) ->
+    check_int "one timeout" 1 s.Protocol.timed_out
+  | Ok (r, _) -> Alcotest.failf "stop reason: %s" (Server.describe r)
+  | Error e -> Alcotest.failf "server: %s" e
+
+(* Crash/restart recovery: a server killed abruptly after settling K
+   admits leaves a journal from which a restarted server answers the
+   same instances as byte-identical cache hits, without re-solving. *)
+let test_server_restart_recovery () =
+  let sock = tmp_path "crash.sock" and cache = tmp_path "crash.cachej" in
+  rm cache;
+  let texts = List.map t1_with_cap [ 10; 11; 12 ] in
+  let th, res =
+    start_server
+      {
+        (Server.default_config ~socket_path:sock) with
+        Server.cache_path = Some cache;
+        halt_after_admits = Some (List.length texts);
+      }
+  in
+  let first =
+    match
+      Client.with_connection sock (fun c ->
+          Ok
+            (List.mapi
+               (fun i text ->
+                 let a =
+                   expect_admitted (admit c ~id:(Printf.sprintf "a%d" i) text)
+                 in
+                 check_bool "first run misses" true (a.cache = `Miss);
+                 (a.mapping, a.certificate))
+               texts))
+    with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "first run: %s" e
+  in
+  Thread.join th;
+  (match !res with
+  | Ok (Server.Halted, _) -> ()
+  | Ok (r, _) -> Alcotest.failf "expected halt: %s" (Server.describe r)
+  | Error e -> Alcotest.failf "server A: %s" e);
+  (* Restart on the same journal: every instance is a hit, and the
+     mapping and certificate are byte-identical to the first run. *)
+  let th, res =
+    start_server
+      {
+        (Server.default_config ~socket_path:sock) with
+        Server.cache_path = Some cache;
+      }
+  in
+  (match
+     Client.with_connection sock (fun c ->
+         List.iteri
+           (fun i text ->
+             let a =
+               expect_admitted (admit c ~id:(Printf.sprintf "b%d" i) text)
+             in
+             check_bool "restart hits" true (a.cache = `Hit);
+             let mapping, certificate = List.nth first i in
+             check_string "mapping survives the crash" mapping a.mapping;
+             check_string "certificate survives the crash" certificate
+               a.certificate)
+           texts;
+         shutdown c;
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "second run: %s" e);
+  Thread.join th;
+  (match !res with
+  | Ok (Server.Shutdown_request, s) ->
+    check_int "all hits after restart" (List.length texts)
+      s.Protocol.cache_hits;
+    check_int "no re-solves" 0 s.Protocol.cache_misses
+  | Ok (r, _) -> Alcotest.failf "stop reason: %s" (Server.describe r)
+  | Error e -> Alcotest.failf "server B: %s" e);
+  rm cache
+
+(* Malformed lines are refused without killing the connection. *)
+let test_server_refuses_malformed () =
+  let sock = tmp_path "mal.sock" in
+  let th, res = start_server (Server.default_config ~socket_path:sock) in
+  (match
+     Client.with_connection sock (fun c ->
+         (* Reach under Protocol: send raw garbage through a bare
+            socket write by abusing an unknown op. *)
+         (match
+            Client.roundtrip c
+              (Protocol.Admit
+                 { id = "x"; config = "not a config"; deadline_s = None;
+                   fault = None })
+          with
+         | Ok (Protocol.Refused _) -> ()
+         | Ok r ->
+           Alcotest.failf "expected refused: %s"
+             (Protocol.status_of_response r)
+         | Error e -> Alcotest.failf "roundtrip: %s" e);
+         (* The connection still answers. *)
+         (match Client.roundtrip c Protocol.Stats with
+         | Ok (Protocol.Stats_reply s) -> check_int "refused" 1 s.refused
+         | _ -> Alcotest.fail "stats after refusal");
+         shutdown c;
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "client: %s" e);
+  Thread.join th;
+  match !res with
+  | Ok (Server.Shutdown_request, _) -> ()
+  | Ok (r, _) -> Alcotest.failf "stop reason: %s" (Server.describe r)
+  | Error e -> Alcotest.failf "server: %s" e
+
+(* ------------------------------------------------------------------ *)
+
+(* Client-side writes can race a halting server that has restored the
+   default SIGPIPE disposition; the suite wants EPIPE errors, not
+   signal death. *)
+let () = ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "round trip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_wire_rejects;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "round trips" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_protocol_rejects;
+        ] );
+      ( "bounded",
+        [
+          Alcotest.test_case "backpressure" `Quick test_bounded_backpressure;
+          Alcotest.test_case "close drains" `Quick test_bounded_close_drains;
+          Alcotest.test_case "halt discards" `Quick test_bounded_halt_discards;
+          Alcotest.test_case "blocking pop" `Quick test_bounded_blocking_pop;
+        ] );
+      ( "canonical key",
+        [
+          Alcotest.test_case "respelling unit" `Quick test_key_respelling_unit;
+          QCheck_alcotest.to_alcotest qcheck_key_invariant;
+          QCheck_alcotest.to_alcotest qcheck_key_sensitive;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "store, close, reopen" `Quick
+            test_cache_store_reopen;
+          Alcotest.test_case "foreign file refused" `Quick
+            test_cache_foreign_file;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "admit, release, stats" `Quick
+            test_server_admit_release_stats;
+          Alcotest.test_case "admission capacity" `Quick
+            test_server_admission_capacity;
+          Alcotest.test_case "deadline and fault" `Quick
+            test_server_deadline_and_fault;
+          Alcotest.test_case "crash, restart, cache hit" `Quick
+            test_server_restart_recovery;
+          Alcotest.test_case "malformed refused" `Quick
+            test_server_refuses_malformed;
+        ] );
+    ]

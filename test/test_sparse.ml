@@ -406,6 +406,28 @@ let prop_warm_start_preserves_oracle =
       | Ok _, Error _ | Error _, Ok _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Automatic backend dispatch                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* `Auto keys on tasks + buffers against [sparse_auto_threshold]: the
+   paper instances (3 entities) stay on the bit-identical dense path, a
+   chain of n tasks has 2n - 1 entities and flips to sparse at the
+   first n past the threshold. *)
+let test_kkt_auto_dispatch () =
+  Alcotest.(check bool)
+    "paper t1 stays dense" true
+    (Mapping.kkt_auto (Workloads.Gen.paper_t1 ()) = `Dense);
+  Alcotest.(check bool)
+    "paper t2 stays dense" true
+    (Mapping.kkt_auto (Workloads.Gen.paper_t2 ()) = `Dense);
+  let at n = Mapping.kkt_auto (Workloads.Gen.chain ~n ()) in
+  let t = Mapping.sparse_auto_threshold in
+  let below = t / 2 (* 2n - 1 = t - 1 < t *)
+  and above = (t / 2) + 1 (* 2n - 1 = t + 1 >= t *) in
+  Alcotest.(check bool) "below threshold is dense" true (at below = `Dense);
+  Alcotest.(check bool) "above threshold is sparse" true (at above = `Sparse)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "sparse"
@@ -462,6 +484,9 @@ let () =
             test_sparse_infeasible_agrees;
         ]
         @ List.map QCheck_alcotest.to_alcotest [ prop_differential_oracle ] );
+      ( "auto dispatch",
+        [ Alcotest.test_case "kkt_auto threshold" `Quick test_kkt_auto_dispatch ]
+      );
       ( "warm starts",
         [
           Alcotest.test_case "reaches same optimum" `Quick

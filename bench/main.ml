@@ -685,6 +685,7 @@ let serve_report ~jobs ppf =
                                 config = text;
                                 deadline_s = None;
                                 fault = None;
+                                retry = false;
                               })
                        with
                       | Ok reply ->
@@ -733,6 +734,7 @@ let serve_report ~jobs ppf =
                       config = t1_cap cap;
                       deadline_s = None;
                       fault = Some "stall";
+                      retry = false;
                     })
              with
              | Ok (Serve.Protocol.Admitted { attempts; _ }) when attempts > 1
@@ -790,6 +792,7 @@ let serve_report ~jobs ppf =
                       config = t1_cap 9;
                       deadline_s = None;
                       fault = Some "slow";
+                      retry = false;
                     }))))
       ()
   in
@@ -807,6 +810,7 @@ let serve_report ~jobs ppf =
                          config = t1_cap (40 + i);
                          deadline_s = None;
                          fault = Some "slow";
+                         retry = false;
                        }))
             with
             | Ok reply ->
@@ -862,6 +866,7 @@ let serve_report ~jobs ppf =
                       config = t1_cap cap;
                       deadline_s = None;
                       fault = None;
+                      retry = false;
                     })
              with
              | Ok _ ->
@@ -895,6 +900,7 @@ let serve_report ~jobs ppf =
                          config = t1_cap cap;
                          deadline_s = None;
                          fault = None;
+                         retry = false;
                        })
                 with
                | Ok (Serve.Protocol.Admitted { cache = `Hit; _ }) ->
@@ -939,6 +945,209 @@ let serve_report ~jobs ppf =
   close_out oc;
   Format.fprintf ppf "  written: BENCH_serve.json@."
 
+(* ------------------------------------------------------------------ *)
+(* Chaos campaign: availability under a deterministic fault schedule   *)
+(* ------------------------------------------------------------------ *)
+
+(* The chaos acceptance run (docs/robustness.md): a server armed with a
+   seeded fault schedule — torn replies, dropped connections, handler
+   stalls and exceptions, failed and corrupted journal writes — is
+   driven through three rounds of admits by the resilient client.
+   Deliverables: availability (target >= 99%: every request reaches a
+   genuine verdict within the retry budget), the
+   every-solved-reply-certified invariant, zero leaked admissions,
+   reply latency through the faults, a same-seed determinism check
+   (two runs, byte-identical injection logs), and the journal
+   compaction ratio of a deliberately overfilled bounded cache.  Also
+   written to BENCH_chaos.json. *)
+let chaos_report ppf =
+  Format.fprintf ppf
+    "@.=== Chaos campaign (availability under injected faults) ===@.@.";
+  let saved_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigpipe saved_pipe)
+  @@ fun () ->
+  let tmp name =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bb-bench-%d-%s" (Unix.getpid ()) name)
+  in
+  let rm path = try Sys.remove path with Sys_error _ -> () in
+  let t1_cap cap =
+    let cfg = Workloads.Gen.paper_t1 () in
+    Taskgraph.Config.set_max_capacity cfg
+      (Taskgraph.Config.find_buffer cfg "bab")
+      (Some cap);
+    Format.asprintf "%a" Taskgraph.Config.pp cfg
+  in
+  let certified = function
+    | Serve.Protocol.Admitted { certificate; _ } ->
+      String.length certificate >= 2 && String.sub certificate 0 2 = "ok"
+    | _ -> false
+  in
+  let start cfg =
+    let result = ref (Error "server never ran") in
+    let th = Thread.create (fun () -> result := Serve.Server.run cfg) () in
+    (th, result)
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    sorted.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  let errors = ref 0 in
+  (* One full campaign: 3 rounds x 4 instances through the resilient
+     client against a chaos-armed, reconciling, bounded-cache server.
+     Returns the counters and the injection log. *)
+  let run_campaign tag spec =
+    let sock = tmp (Printf.sprintf "chaos-%s.sock" tag) in
+    let journal = tmp (Printf.sprintf "chaos-%s.cachej" tag) in
+    rm journal;
+    let chaos = Serve.Chaos.create spec in
+    let th, res =
+      start
+        {
+          (Serve.Server.default_config ~socket_path:sock) with
+          Serve.Server.cache_path = Some journal;
+          cache_max_entries = Some 4;
+          reconcile = true;
+          chaos = Some chaos;
+        }
+    in
+    let texts = List.map t1_cap [ 10; 11; 12; 13 ] in
+    let retry = { Serve.Client.default_retry with attempts = 8 } in
+    let attempted = ref 0
+    and answered = ref 0
+    and uncertified = ref 0
+    and lats = ref [] in
+    for round = 0 to 2 do
+      List.iteri
+        (fun i text ->
+          let id = Printf.sprintf "%s%d-%d" tag round i in
+          incr attempted;
+          let t = Unix.gettimeofday () in
+          (match
+             Serve.Client.submit ~retry ~socket:sock
+               (Serve.Protocol.Admit
+                  {
+                    id;
+                    config = text;
+                    deadline_s = None;
+                    fault = None;
+                    retry = false;
+                  })
+           with
+          | Ok (Serve.Protocol.Admitted _ as reply) ->
+            lats := (Unix.gettimeofday () -. t) :: !lats;
+            incr answered;
+            if not (certified reply) then incr uncertified
+          | Ok _ | Error _ -> incr errors);
+          match
+            Serve.Client.submit ~retry ~socket:sock
+              (Serve.Protocol.Release { id })
+          with
+          | Ok (Serve.Protocol.Released _) -> ()
+          | Ok _ | Error _ -> incr errors)
+        texts
+    done;
+    (* Shut down through the chaos: an injected failure can eat the
+       Bye, in which case the listener goes away — that is success. *)
+    let rec shut tries =
+      if tries = 0 then incr errors
+      else
+        match
+          Serve.Client.with_connection
+            ~backoff:{ Serve.Client.default_backoff with retries = 2 }
+            sock
+            (fun conn -> Serve.Client.roundtrip conn Serve.Protocol.Shutdown)
+        with
+        | Ok Serve.Protocol.Bye -> ()
+        | Ok _ -> shut (tries - 1)
+        | Error _ -> ()
+    in
+    shut 5;
+    Thread.join th;
+    let live =
+      match !res with
+      | Ok (_, s) -> s.Serve.Protocol.live
+      | Error _ ->
+        incr errors;
+        -1
+    in
+    rm journal;
+    (!attempted, !answered, !uncertified, !lats, live, Serve.Chaos.log chaos)
+  in
+  let spec = { Serve.Chaos.skind = Serve.Chaos.Mix; every = 3; seed = 2026 } in
+  let attempted, answered, uncertified, lats, live, log1 =
+    run_campaign "a" spec
+  in
+  let _, _, _, _, _, log2 = run_campaign "b" spec in
+  let logs_match = List.equal String.equal log1 log2 && log1 <> [] in
+  let lat_sorted =
+    let a = Array.of_list lats in
+    Array.sort compare a;
+    a
+  in
+  let p50 =
+    if Array.length lat_sorted = 0 then 0.0 else percentile lat_sorted 0.50
+  and p99 =
+    if Array.length lat_sorted = 0 then 0.0 else percentile lat_sorted 0.99
+  in
+  let availability =
+    float_of_int answered /. Float.max 1.0 (float_of_int attempted)
+  in
+  Format.fprintf ppf
+    "  campaign: %d/%d answered (availability %.1f%%, target >= 99%%), %d \
+     uncertified solved replies, %d injections, p50 %.1f ms, p99 %.1f ms@."
+    answered attempted (100.0 *. availability) uncertified (List.length log1)
+    (1000.0 *. p50) (1000.0 *. p99);
+  Format.fprintf ppf "  leaked admissions after the dust settles: %d@." live;
+  Format.fprintf ppf "  determinism: same seed, %s injection logs@."
+    (if logs_match then "byte-identical" else "DIVERGENT");
+  (* Compaction: overfill a bounded cache and measure how much journal
+     the size-triggered rewrites reclaimed. *)
+  let stored = 64 and bound = 8 in
+  let cpath = tmp "chaos-compact.cachej" in
+  rm cpath;
+  let total_lines, journal_lines, compactions =
+    match Serve.Cache.open_ ~max_entries:bound cpath with
+    | Error _ ->
+      incr errors;
+      (0, 0, 0)
+    | Ok t ->
+      for i = 1 to stored do
+        Serve.Cache.store t
+          ~key:(Printf.sprintf "k%02d" i)
+          (Serve.Cache.Unsat { reason = "bench filler" })
+      done;
+      let s = Serve.Cache.stats t in
+      Serve.Cache.close t;
+      rm cpath;
+      (s.Serve.Cache.total_lines, s.Serve.Cache.journal_lines,
+       s.Serve.Cache.compactions)
+  in
+  let ratio =
+    float_of_int journal_lines /. Float.max 1.0 (float_of_int total_lines)
+  in
+  Format.fprintf ppf
+    "  compaction: %d stored into a %d-entry bound -> %d journal lines kept \
+     of %d ever (%.1f%% of the unbounded journal, %d compactions)@."
+    stored bound journal_lines total_lines (100.0 *. ratio) compactions;
+  Format.fprintf ppf "  transport errors (after retries): %d@." !errors;
+  let oc = open_out "BENCH_chaos.json" in
+  Printf.fprintf oc
+    "{ \"campaign\": { \"requests\": %d, \"answered\": %d, \"availability\": \
+     %.4f, \"uncertified_solved\": %d, \"leaked_admissions\": %d, \
+     \"injections\": %d, \"p50_ms\": %.3f, \"p99_ms\": %.3f },\n\
+    \  \"determinism\": { \"runs\": 2, \"logs_match\": %b },\n\
+    \  \"compaction\": { \"stored\": %d, \"live_bound\": %d, \
+     \"journal_lines\": %d, \"total_lines\": %d, \"ratio\": %.4f, \
+     \"compactions\": %d },\n\
+    \  \"errors\": %d }\n"
+    attempted answered availability uncertified live (List.length log1)
+    (1000.0 *. p50) (1000.0 *. p99) logs_match stored bound journal_lines
+    total_lines ratio compactions !errors;
+  close_out oc;
+  Format.fprintf ppf "  written: BENCH_chaos.json@."
+
 let () =
   let ppf = Format.std_formatter in
   let jobs =
@@ -981,6 +1190,7 @@ let () =
     obs_report ppf;
     sparse_report ppf;
     serve_report ~jobs:!jobs ppf;
+    chaos_report ppf;
     bechamel_suite ()
   | [ "tables" ] -> with_pool (fun pool -> Experiments.all ?pool ppf)
   | [ "bench" ] ->
@@ -992,6 +1202,7 @@ let () =
   | [ "obs" ] | [ "--obs" ] -> obs_report ppf
   | [ "sparse" ] -> sparse_report ppf
   | [ "serve" ] -> serve_report ~jobs:!jobs ppf
+  | [ "chaos" ] -> chaos_report ppf
   | [ name ] -> begin
     match Experiments.by_name name with
     | Some _ ->
@@ -1002,7 +1213,7 @@ let () =
     | None ->
       Format.eprintf
         "unknown experiment %S (expected: %s, tables, bench, par, durable, \
-         certify, obs, sparse, serve)@."
+         certify, obs, sparse, serve, chaos)@."
         name
         (String.concat ", " Experiments.names);
       exit 2

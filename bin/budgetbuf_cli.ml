@@ -1435,7 +1435,61 @@ let serve_deadline_arg =
            their own $(b,deadline_s): queued past it or solving past it \
            answers $(b,timed_out) instead of hanging the socket.")
 
-let do_serve () socket cache queue batch jobs deadline kkt trace metrics =
+let serve_cache_max_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-max" ] ~docv:"N"
+        ~doc:
+          "Bound the memo cache at $(docv) instances (FIFO eviction) and \
+           compact its journal once at least half the file is dead lines \
+           — the on-disk size stays proportional to the bound.  Default: \
+           unbounded, never compacted.")
+
+let serve_chaos_arg =
+  let chaos_conv =
+    Arg.conv
+      ( (fun s ->
+          match Serve.Chaos.of_string s with
+          | Ok spec -> Ok spec
+          | Error msg -> Error (`Msg msg)),
+        fun ppf spec -> Format.pp_print_string ppf (Serve.Chaos.to_string spec)
+      )
+  in
+  Arg.(
+    value
+    & opt (some chaos_conv) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Inject deterministic faults per $(docv) = \
+           $(i,KIND)[,n=$(i,N)][,seed=$(i,S)]: $(b,torn), $(b,reset), \
+           $(b,stall), $(b,exn), $(b,fsync), $(b,corrupt) or $(b,all), \
+           firing on roughly one in $(i,N) operations (see \
+           docs/robustness.md).  Falls back to the $(b,BUDGETBUF_CHAOS) \
+           environment variable.")
+
+let serve_reconcile_arg =
+  Arg.(
+    value & flag
+    & info [ "reconcile" ]
+        ~doc:
+          "Release the admissions of a connection that closes, so a \
+           crashed client cannot leak capacity.  Off by default: \
+           admissions then outlive their connection until an explicit \
+           $(b,release).")
+
+let serve_watchdog_arg =
+  Arg.(
+    value
+    & opt (some float) (Some 1.0)
+    & info [ "watchdog" ] ~docv:"SECS"
+        ~doc:
+          "Reap solves stuck $(docv) seconds past their deadline: the \
+           client gets $(b,timed_out) and the slot is reclaimed even if \
+           the solve never returns.  Negative disables the watchdog.")
+
+let do_serve () socket cache cache_max queue batch jobs deadline kkt chaos
+    reconcile watchdog trace metrics =
   match
     match jobs with
     | Some n when n < 1 -> Error "--jobs must be >= 1"
@@ -1449,6 +1503,15 @@ let do_serve () socket cache queue batch jobs deadline kkt trace metrics =
     1
   | Ok domains -> (
     with_obs ~trace ~metrics @@ fun obs ->
+    match
+      match chaos with
+      | Some _ -> Ok chaos
+      | None -> ( try Ok (Serve.Chaos.of_env ()) with Invalid_argument m -> Error m)
+    with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok chaos ->
     let config =
       {
         Serve.Server.socket_path = socket;
@@ -1457,10 +1520,15 @@ let do_serve () socket cache queue batch jobs deadline kkt trace metrics =
         domains;
         default_deadline_s = deadline;
         cache_path = cache;
+        cache_max_entries = cache_max;
         kkt;
         obs;
         signals = true;
         halt_after_admits = None;
+        chaos = Option.map (fun spec -> Serve.Chaos.create ?obs spec) chaos;
+        reconcile;
+        watchdog_grace_s =
+          (match watchdog with Some g when g >= 0.0 -> Some g | _ -> None);
         log =
           Some
             (fun line ->
@@ -1497,25 +1565,35 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const do_serve $ logs_term $ socket_arg $ serve_cache_arg
-      $ serve_queue_arg $ serve_batch_arg $ jobs_arg $ serve_deadline_arg
-      $ kkt_arg $ obs_trace_arg $ metrics_arg)
+      $ serve_cache_max_arg $ serve_queue_arg $ serve_batch_arg $ jobs_arg
+      $ serve_deadline_arg $ kkt_arg $ serve_chaos_arg $ serve_reconcile_arg
+      $ serve_watchdog_arg $ obs_trace_arg $ metrics_arg)
 
 let request_op_arg =
   Arg.(
-    required
+    value
     & pos 0
         (some
            (enum
               [
-                ("admit", `Admit); ("release", `Release); ("stats", `Stats);
-                ("shutdown", `Shutdown);
+                ("admit", `Admit); ("release", `Release); ("ping", `Ping);
+                ("stats", `Stats); ("shutdown", `Shutdown);
               ]))
         None
     & info [] ~docv:"OP"
         ~doc:
           "$(b,admit) a configuration (solve and reserve its footprint), \
-           $(b,release) a live job, fetch server $(b,stats), or ask for a \
-           graceful $(b,shutdown).")
+           $(b,release) a live job, $(b,ping) for readiness, fetch server \
+           $(b,stats), or ask for a graceful $(b,shutdown).")
+
+let request_ping_flag =
+  Arg.(
+    value & flag
+    & info [ "ping" ]
+        ~doc:
+          "Shorthand for the $(b,ping) operation: exit 0 when the server \
+           answers $(b,serving), 1 when it is starting or draining, 2 \
+           when it cannot be reached — a ready-made health probe.")
 
 let request_file_arg =
   Arg.(
@@ -1539,42 +1617,62 @@ let request_deadline_arg =
     & info [ "deadline" ] ~docv:"SECS"
         ~doc:"Arrival-to-reply budget for this admit.")
 
-let do_request () socket op file id deadline fault =
+let request_retry_flag =
+  Arg.(
+    value & flag
+    & info [ "retry" ]
+        ~doc:
+          "Run the request through the resilient client engine instead of \
+           one exchange on one connection: reconnect with backoff, honour \
+           $(i,overloaded) retry hints, and re-issue an admit whose reply \
+           was lost with the idempotent wire retry flag (cannot \
+           double-admit).")
+
+let do_request () socket op ping file id deadline fault retry =
   (* A server dying mid-exchange must surface as a transport error and
      a nonzero exit, not kill the client with SIGPIPE. *)
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   match
-    match op with
-    | `Admit -> (
-      match (file, id) with
-      | None, _ -> Error "admit needs a configuration FILE"
-      | _, None -> Error "admit needs --id"
-      | Some path, Some id -> (
-        match In_channel.with_open_text path In_channel.input_all with
-        | config ->
-          Ok
-            (Serve.Protocol.Admit
-               {
-                 id;
-                 config;
-                 deadline_s = deadline;
-                 fault = Option.map Fault.to_string fault;
-               })
-        | exception Sys_error msg -> Error msg))
-    | `Release -> (
-      match id with
-      | None -> Error "release needs --id"
-      | Some id -> Ok (Serve.Protocol.Release { id }))
-    | `Stats -> Ok Serve.Protocol.Stats
-    | `Shutdown -> Ok Serve.Protocol.Shutdown
+    match (op, ping) with
+    | None, false -> Error "an OP (or --ping) is required"
+    | Some _, true -> Error "--ping takes no OP"
+    | None, true | Some `Ping, false -> Ok Serve.Protocol.Ping
+    | Some op, false -> (
+      match op with
+      | `Ping -> assert false
+      | `Admit -> (
+        match (file, id) with
+        | None, _ -> Error "admit needs a configuration FILE"
+        | _, None -> Error "admit needs --id"
+        | Some path, Some id -> (
+          match In_channel.with_open_text path In_channel.input_all with
+          | config ->
+            Ok
+              (Serve.Protocol.Admit
+                 {
+                   id;
+                   config;
+                   deadline_s = deadline;
+                   fault = Option.map Fault.to_string fault;
+                   retry = false;
+                 })
+          | exception Sys_error msg -> Error msg))
+      | `Release -> (
+        match id with
+        | None -> Error "release needs --id"
+        | Some id -> Ok (Serve.Protocol.Release { id }))
+      | `Stats -> Ok Serve.Protocol.Stats
+      | `Shutdown -> Ok Serve.Protocol.Shutdown)
   with
   | Error msg ->
     Format.eprintf "error: %s@." msg;
     2
   | Ok request -> (
     match
-      Serve.Client.with_connection socket (fun c ->
-          Serve.Client.roundtrip c request)
+      if retry then Serve.Client.submit ~socket request
+      else
+        Serve.Client.with_connection socket (fun c ->
+            Serve.Client.roundtrip c request)
     with
     | Error msg ->
       Format.eprintf "error: %s@." msg;
@@ -1618,14 +1716,17 @@ let do_request () socket op file id deadline fault =
         Format.printf
           "stats: admitted=%d rejected=%d infeasible=%d timed_out=%d \
            failed=%d shed=%d refused=%d released=%d cache_hits=%d \
-           cache_misses=%d live=%d queue=%d@."
+           cache_misses=%d pings=%d live=%d queue=%d@."
           s.Serve.Protocol.admitted s.Serve.Protocol.rejected
           s.Serve.Protocol.infeasible s.Serve.Protocol.timed_out
           s.Serve.Protocol.failed s.Serve.Protocol.shed
           s.Serve.Protocol.refused s.Serve.Protocol.released
           s.Serve.Protocol.cache_hits s.Serve.Protocol.cache_misses
-          s.Serve.Protocol.live s.Serve.Protocol.queue;
+          s.Serve.Protocol.pings s.Serve.Protocol.live s.Serve.Protocol.queue;
         0
+      | Serve.Protocol.Ready { state } ->
+        Format.printf "ready: %s@." (Serve.Protocol.readiness_name state);
+        (match state with Serve.Protocol.Serving -> 0 | _ -> 1)
       | Serve.Protocol.Refused { reason } ->
         Format.eprintf "error: %s@." reason;
         2
@@ -1643,7 +1744,8 @@ let request_cmd =
     (Cmd.info "request" ~doc)
     Term.(
       const do_request $ logs_term $ socket_arg $ request_op_arg
-      $ request_file_arg $ request_id_arg $ request_deadline_arg $ fault_arg)
+      $ request_ping_flag $ request_file_arg $ request_id_arg
+      $ request_deadline_arg $ fault_arg $ request_retry_flag)
 
 (* ------------------------------------------------------------------ *)
 

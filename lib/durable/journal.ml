@@ -12,16 +12,34 @@
    detects (bad CRC or missing newline) and truncates away.  The
    fingerprint pins the journal to one exact sweep: a resume against a
    different config or grid must re-solve, not silently reuse stale
-   answers. *)
+   answers.
+
+   Two opt-in extensions serve the chaos-hardened memo cache:
+
+   - salvage mode ([resume ~salvage]): a damaged line in the middle of
+     the file no longer drops everything after it.  The damaged line is
+     handed to the callback (for a .quarantine sidecar) and the valid
+     entries beyond it are kept; the file is compacted to a clean copy
+     via an atomic tmp+rename.  An unterminated tail chunk is still
+     silently truncated — it is the expected residue of a crash, not
+     data loss.
+
+   - [replace]: rewrites the whole journal with a given entry list
+     (fresh header, fresh CRCs) through the same tmp+fsync+rename
+     dance, so a crash at any point leaves either the old complete
+     file or the new complete file, never a hybrid. *)
 
 type entry = { index : int; payload : string }
+type io_fault = [ `Pass | `Fail | `Corrupt ]
 
 type t = {
   path : string;
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr;
   mutex : Mutex.t;
   mutable closed : bool;
   entries : entry list;
+  fp : string;
+  chaos : (unit -> io_fault) option;
 }
 
 let version = "1"
@@ -69,9 +87,13 @@ let scan_lines content =
   in
   scan 0 []
 
-(* Returns the good entries, the byte length of the valid prefix, and
-   the fingerprint found in the header. *)
-let load content =
+(* Returns the good entries, the byte length of the valid prefix, the
+   fingerprint found in the header, and (in salvage mode) the damaged
+   interior lines.  Without [salvage], loading stops at the first
+   damaged line — everything after a torn write is untrustworthy.
+   With it, damaged lines are collected and the valid entries around
+   them are all kept. *)
+let load ?(salvage = false) content =
   match scan_lines content with
   | [] -> Error "empty or truncated journal header"
   | (_, first) :: rest -> begin
@@ -84,6 +106,7 @@ let load content =
     | None -> Error "not a budgetbuf journal (bad or corrupt header)"
     | Some fp ->
       let good_len = ref (String.length first + 1) in
+      let damaged = ref [] in
       let rec take acc = function
         | [] -> List.rev acc
         | (pos, line) :: rest -> begin
@@ -92,15 +115,23 @@ let load content =
             good_len := pos + String.length line + 1;
             take (e :: acc) rest
           | None ->
-            (* First damaged line: everything from here on is dropped —
-               after a torn write nothing downstream is trustworthy. *)
-            List.rev acc
+            if salvage then begin
+              (* Quarantine the damaged line and keep reading: the
+                 lines beyond it were each individually fsync'd and
+                 carry their own CRCs, so they are still trustworthy. *)
+              damaged := line :: !damaged;
+              take acc rest
+            end
+            else
+              (* First damaged line: everything from here on is dropped —
+                 after a torn write nothing downstream is trustworthy. *)
+              List.rev acc
         end
       in
       (* Bind before building the tuple: tuple components evaluate
          right-to-left, and [take] must run before [!good_len]. *)
       let entries = take [] rest in
-      Ok (entries, !good_len, fp)
+      Ok (entries, !good_len, fp, List.rev !damaged)
   end
 
 let write_fully fd s =
@@ -110,12 +141,53 @@ let write_fully fd s =
   in
   go 0
 
-let resume ~fingerprint path =
+let fsync_dir path =
+  (* Persist a rename: fsync the containing directory.  Best effort —
+     some filesystems refuse directory fsync. *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+    (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+    Unix.close dfd
+
+let tmp_path path = path ^ ".tmp"
+
+let render_all ~fingerprint entries =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (render_line (String.concat " " [ magic; version; fingerprint ]));
+  List.iter
+    (fun { index; payload } ->
+      Buffer.add_string b
+        (render_line (Printf.sprintf "done %d %s" index payload)))
+    entries;
+  Buffer.contents b
+
+(* Write a complete replacement journal next to [path] and atomically
+   swap it in.  A crash before the rename leaves the old file intact
+   (plus a stale .tmp that the next open removes); a crash after the
+   rename leaves the new file complete. *)
+let atomic_rewrite ~fingerprint path entries =
+  let tmp = tmp_path path in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  write_fully fd (render_all ~fingerprint entries);
+  Unix.fsync fd;
+  Unix.close fd;
+  Unix.rename tmp path;
+  fsync_dir path
+
+let resume ?salvage ?chaos ~fingerprint path =
+  (* A stale .tmp is the residue of a crash mid-compaction: the rename
+     never happened, so the real journal is intact and the partial
+     copy is garbage. *)
+  (try Sys.remove (tmp_path path) with Sys_error _ -> ());
   if Sys.file_exists path then begin
     let content = In_channel.with_open_bin path In_channel.input_all in
-    match load content with
+    match load ~salvage:(Option.is_some salvage) content with
     | Error msg -> Error (Printf.sprintf "resume journal %s: %s" path msg)
-    | Ok (entries, good_len, found) ->
+    | Ok (entries, good_len, found, damaged) ->
       if not (String.equal found fingerprint) then
         Error
           (Printf.sprintf
@@ -124,10 +196,30 @@ let resume ~fingerprint path =
               start over"
              path)
       else begin
+        (match salvage with
+        | Some quarantine -> List.iter quarantine damaged
+        | None -> ());
+        if damaged <> [] then
+          (* Compact away the damage so the on-disk file is clean
+             again; the quarantine callback above kept the raw bytes. *)
+          atomic_rewrite ~fingerprint path entries
+        else begin
+          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+          if good_len < String.length content then Unix.ftruncate fd good_len;
+          Unix.close fd
+        end;
         let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
-        if good_len < String.length content then Unix.ftruncate fd good_len;
-        ignore (Unix.lseek fd good_len Unix.SEEK_SET);
-        Ok { path; fd; mutex = Mutex.create (); closed = false; entries }
+        ignore (Unix.lseek fd 0 Unix.SEEK_END);
+        Ok
+          {
+            path;
+            fd;
+            mutex = Mutex.create ();
+            closed = false;
+            entries;
+            fp = fingerprint;
+            chaos;
+          }
       end
   end
   else begin
@@ -143,11 +235,29 @@ let resume ~fingerprint path =
       in
       write_fully fd header;
       Unix.fsync fd;
-      Ok { path; fd; mutex = Mutex.create (); closed = false; entries = [] }
+      Ok
+        {
+          path;
+          fd;
+          mutex = Mutex.create ();
+          closed = false;
+          entries = [];
+          fp = fingerprint;
+          chaos;
+        }
   end
 
 let entries t = t.entries
 let path t = t.path
+
+(* Flip one byte in the middle of the line body so the CRC no longer
+   matches: what lands on disk is a well-terminated but damaged line,
+   exactly the mid-file corruption salvage mode quarantines. *)
+let corrupt_line line =
+  let b = Bytes.of_string line in
+  let pos = 9 + ((Bytes.length b - 10) / 2) in
+  Bytes.set b pos (if Bytes.get b pos = 'x' then 'y' else 'x');
+  Bytes.to_string b
 
 let record t ~index ~payload =
   if index < 0 then invalid_arg "Durable.Journal.record: index must be >= 0";
@@ -159,8 +269,30 @@ let record t ~index ~payload =
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
       if t.closed then invalid_arg "Durable.Journal.record: journal closed";
+      let line =
+        match t.chaos with
+        | None -> line
+        | Some draw -> begin
+          match draw () with
+          | `Pass -> line
+          | `Fail -> raise (Unix.Unix_error (Unix.EIO, "write", t.path))
+          | `Corrupt -> corrupt_line line
+        end
+      in
       write_fully t.fd line;
       Unix.fsync t.fd)
+
+let replace t ~entries =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if t.closed then invalid_arg "Durable.Journal.replace: journal closed";
+      atomic_rewrite ~fingerprint:t.fp t.path entries;
+      Unix.close t.fd;
+      let fd = Unix.openfile t.path [ Unix.O_WRONLY ] 0o644 in
+      ignore (Unix.lseek fd 0 Unix.SEEK_END);
+      t.fd <- fd)
 
 let close t =
   Mutex.lock t.mutex;

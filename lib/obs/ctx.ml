@@ -88,6 +88,7 @@ let emit t event =
   | Trace.Cache_hit _ -> Metrics.Counter.incr t.cache_hits
   | Trace.Cache_miss _ -> Metrics.Counter.incr t.cache_misses
   | Trace.Shed _ -> Metrics.Counter.incr t.sheds
+  | Trace.Chaos_injected { kind; _ } -> bump_keyed t t.faults ("chaos:" ^ kind)
   | Trace.Span_close { name; elapsed_s } -> add_phase t name elapsed_s
   | Trace.Solve_start _ | Trace.Socp_iter _ | Trace.Presolve _
   | Trace.Rung_exit _ | Trace.Span_open _ | Trace.Kkt_factor _

@@ -48,6 +48,7 @@ type event =
   | Cache_hit of { key : string }
   | Cache_miss of { key : string }
   | Shed of { queue : int }
+  | Chaos_injected of { kind : string; site : string; ordinal : int }
   | Span_open of { name : string }
   | Span_close of { name : string; elapsed_s : float }
 
@@ -73,6 +74,7 @@ let event_name = function
   | Cache_hit _ -> "cache_hit"
   | Cache_miss _ -> "cache_miss"
   | Shed _ -> "shed"
+  | Chaos_injected _ -> "chaos_injected"
   | Span_open _ -> "span_open"
   | Span_close _ -> "span_close"
 
@@ -145,6 +147,8 @@ let fields_of_event = function
   | Cache_hit { key } -> [ ("key", S key) ]
   | Cache_miss { key } -> [ ("key", S key) ]
   | Shed { queue } -> [ ("queue", I queue) ]
+  | Chaos_injected { kind; site; ordinal } ->
+    [ ("kind", S kind); ("site", S site); ("ordinal", I ordinal) ]
   | Span_open { name } -> [ ("name", S name) ]
   | Span_close { name; elapsed_s } ->
     [ ("name", S name); ("elapsed_s", N elapsed_s) ]
@@ -395,6 +399,9 @@ let of_json_line line =
       | "cache_hit" -> Cache_hit { key = str "key" }
       | "cache_miss" -> Cache_miss { key = str "key" }
       | "shed" -> Shed { queue = int "queue" }
+      | "chaos_injected" ->
+        Chaos_injected
+          { kind = str "kind"; site = str "site"; ordinal = int "ordinal" }
       | "span_open" -> Span_open { name = str "name" }
       | "span_close" ->
         Span_close { name = str "name"; elapsed_s = num "elapsed_s" }

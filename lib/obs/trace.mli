@@ -76,6 +76,9 @@ type event =
   | Shed of { queue : int }
       (** an admit request was shed by backpressure: the bounded
           admission queue already held [queue] requests *)
+  | Chaos_injected of { kind : string; site : string; ordinal : int }
+      (** the chaos injector fired fault [kind] at decision [ordinal]
+          of injection [site] (e.g. ["request"], ["journal"]) *)
   | Span_open of { name : string }  (** a timed phase begins *)
   | Span_close of { name : string; elapsed_s : float }
       (** the phase ends, with its duration on the trace clock *)

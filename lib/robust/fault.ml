@@ -126,3 +126,31 @@ let inject plan ~attempt =
 let corrupts_rounding = function
   | Some { kind = Bad_round; _ } -> true
   | Some _ | None -> false
+
+(* Deterministic schedule randomness: splitmix64 output mixing over a
+   (seed, salt, ordinal) triple.  Chaos schedules and client backoff
+   jitter both key on this, so the same seed replays the same decision
+   sequence byte for byte on any platform. *)
+
+let mix64 x =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let det_bits ~seed ~salt n =
+  let h = ref (mix64 (Int64.of_int seed)) in
+  String.iter
+    (fun c -> h := mix64 (Int64.logxor !h (Int64.of_int (Char.code c))))
+    salt;
+  mix64 (Int64.logxor !h (Int64.of_int n))
+
+let det_int ~seed ~salt ~bound n =
+  if bound <= 0 then invalid_arg "Fault.det_int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (det_bits ~seed ~salt n) 2) in
+  v mod bound
+
+let det_float ~seed ~salt n =
+  let v = Int64.to_float (Int64.shift_right_logical (det_bits ~seed ~salt n) 11) in
+  v *. 0x1p-53

@@ -72,3 +72,20 @@ val corrupts_rounding : plan option -> bool
     the given 1-based ladder attempt — [None] when the attempt is not
     covered by the plan. *)
 val inject : plan option -> attempt:int -> (int -> Conic.Socp.fault option) option
+
+(** {2 Deterministic schedule randomness}
+
+    Stateless splitmix64-style mixing over a [(seed, salt, ordinal)]
+    triple.  Chaos schedules ({!Serve.Chaos}) and client backoff jitter
+    draw from these so that a given seed replays the exact same
+    decision sequence on every run and platform — no hidden global
+    state, no wall clock. *)
+
+(** [det_int ~seed ~salt ~bound n] is a deterministic pseudo-random
+    integer in [\[0, bound)] for ordinal [n] of the stream named
+    [salt].  @raise Invalid_argument when [bound <= 0]. *)
+val det_int : seed:int -> salt:string -> bound:int -> int -> int
+
+(** [det_float ~seed ~salt n] is a deterministic pseudo-random float in
+    [\[0, 1)] for ordinal [n] of the stream named [salt]. *)
+val det_float : seed:int -> salt:string -> int -> float

@@ -105,34 +105,127 @@ let decode_payload payload =
 
 (* ---- the table --------------------------------------------------- *)
 
+type stats = {
+  entries : int;
+  journal_lines : int;
+  total_lines : int;
+  compactions : int;
+  quarantined : int;
+  io_errors : int;
+}
+
 type t = {
   journal : Durable.Journal.t;
   lock : Mutex.t;
   table : (string, outcome) Hashtbl.t;
+  order : string Queue.t;  (* live keys, oldest first — eviction order *)
+  max_entries : int option;
   mutable next_index : int;
+  mutable journal_lines : int;  (* entry lines on disk, live or dead *)
+  mutable total_lines : int;  (* entry lines ever appended (monotone) *)
+  mutable compactions : int;
+  mutable quarantined : int;
+  mutable io_errors : int;
 }
 
-let open_ ~path =
-  match Durable.Journal.resume ~fingerprint path with
+let quarantine_path path = path ^ ".quarantine"
+
+let open_ ?max_entries ?chaos path =
+  (match max_entries with
+  | Some n when n < 1 ->
+    invalid_arg "Serve.Cache.open_: max_entries must be >= 1"
+  | _ -> ());
+  (* Damaged interior lines are not data loss: Journal salvage mode
+     keeps the trustworthy entries around them, and the raw damaged
+     bytes land in the .quarantine sidecar for the operator. *)
+  let quarantined = ref 0 in
+  let salvage line =
+    let fd =
+      Unix.openfile (quarantine_path path)
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+        0o644
+    in
+    let line = line ^ "\n" in
+    let rec go pos =
+      if pos < String.length line then
+        go (pos + Unix.write_substring fd line pos (String.length line - pos))
+    in
+    go 0;
+    Unix.fsync fd;
+    Unix.close fd;
+    incr quarantined
+  in
+  match Durable.Journal.resume ~salvage ?chaos ~fingerprint path with
   | Error _ as e -> e
   | Ok journal ->
     let table = Hashtbl.create 64 in
+    let order = Queue.create () in
     let next_index = ref 0 in
+    let lines = ref 0 in
     List.iter
       (fun { Durable.Journal.index; payload } ->
         next_index := max !next_index (index + 1);
+        incr lines;
         match decode_payload payload with
         | Some (key, outcome) ->
-          if not (Hashtbl.mem table key) then Hashtbl.add table key outcome
+          if not (Hashtbl.mem table key) then begin
+            Hashtbl.add table key outcome;
+            Queue.add key order;
+            match max_entries with
+            | Some m when Hashtbl.length table > m ->
+              Hashtbl.remove table (Queue.pop order)
+            | _ -> ()
+          end
         | None -> ())
       (Durable.Journal.entries journal);
-    Ok { journal; lock = Mutex.create (); table; next_index = !next_index }
+    Ok
+      {
+        journal;
+        lock = Mutex.create ();
+        table;
+        order;
+        max_entries;
+        next_index = !next_index;
+        journal_lines = !lines;
+        total_lines = !lines;
+        compactions = 0;
+        quarantined = !quarantined;
+        io_errors = 0;
+      }
 
 let find t ~key =
   Mutex.lock t.lock;
   let r = Hashtbl.find_opt t.table key in
   Mutex.unlock t.lock;
   r
+
+(* Rewrite the journal to exactly the live entries.  Called with the
+   lock held once the file carries enough dead lines (evicted or
+   superseded) to be worth the rewrite: at least half the file dead
+   and at least a handful of lines to reclaim. *)
+let compact_locked t =
+  let entries =
+    List.of_seq
+      (Seq.mapi
+         (fun index key ->
+           {
+             Durable.Journal.index;
+             payload = payload_of ~key (Hashtbl.find t.table key);
+           })
+         (Queue.to_seq t.order))
+  in
+  Durable.Journal.replace t.journal ~entries;
+  t.journal_lines <- List.length entries;
+  t.next_index <- List.length entries;
+  t.compactions <- t.compactions + 1
+
+let maybe_compact_locked t =
+  match t.max_entries with
+  | None -> ()
+  | Some _ ->
+    let live = Hashtbl.length t.table in
+    if t.journal_lines >= 2 * live && t.journal_lines - live >= 4 then
+      compact_locked t
 
 let store t ~key outcome =
   Mutex.lock t.lock;
@@ -142,9 +235,24 @@ let store t ~key outcome =
       if not (Hashtbl.mem t.table key) then begin
         let index = t.next_index in
         t.next_index <- index + 1;
-        Durable.Journal.record t.journal ~index
-          ~payload:(payload_of ~key outcome);
-        Hashtbl.add t.table key outcome
+        (* A failed journal write degrades durability, not service:
+           the verdict still lands in memory and keeps being served;
+           only a crash before a successful re-store would lose it. *)
+        (match
+           Durable.Journal.record t.journal ~index
+             ~payload:(payload_of ~key outcome)
+         with
+        | () ->
+          t.journal_lines <- t.journal_lines + 1;
+          t.total_lines <- t.total_lines + 1
+        | exception Unix.Unix_error _ -> t.io_errors <- t.io_errors + 1);
+        Hashtbl.add t.table key outcome;
+        Queue.add key t.order;
+        (match t.max_entries with
+        | Some m when Hashtbl.length t.table > m ->
+          Hashtbl.remove t.table (Queue.pop t.order)
+        | _ -> ());
+        maybe_compact_locked t
       end)
 
 let size t =
@@ -152,5 +260,20 @@ let size t =
   let n = Hashtbl.length t.table in
   Mutex.unlock t.lock;
   n
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      entries = Hashtbl.length t.table;
+      journal_lines = t.journal_lines;
+      total_lines = t.total_lines;
+      compactions = t.compactions;
+      quarantined = t.quarantined;
+      io_errors = t.io_errors;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
 
 let close t = Durable.Journal.close t.journal

@@ -40,10 +40,44 @@ val canonical_key : Taskgraph.Config.t -> string
     but a misleading label. *)
 val digest : string -> string
 
-(** [open_ ~path] opens (or creates) the cache journal at [path] and
+(** Housekeeping counters for the bench and the logs.  [entries] and
+    [journal_lines] are instantaneous ([journal_lines] counts entry
+    lines on disk, live or dead); the rest are monotone since
+    {!open_}. *)
+type stats = {
+  entries : int;
+  journal_lines : int;
+  total_lines : int;  (** entry lines ever appended, surviving or not *)
+  compactions : int;
+  quarantined : int;  (** damaged lines moved to the sidecar at open *)
+  io_errors : int;  (** journal writes that failed (verdict kept in memory) *)
+}
+
+(** [open_ path] opens (or creates) the cache journal at [path] and
     replays its entries.  [Error msg] when the file exists but is not a
-    cache journal (foreign fingerprint, damaged header). *)
-val open_ : path:string -> (t, string) Stdlib.result
+    cache journal (foreign fingerprint, damaged header).
+
+    Damaged {e interior} journal lines are not fatal and do not drop
+    the entries after them: each is appended raw to the
+    [<path>.quarantine] sidecar and the journal is compacted to a
+    clean copy (atomic rename), so a flipped byte costs exactly the
+    verdicts it touched.
+
+    [?max_entries] bounds the in-memory table with FIFO eviction and
+    arms size-triggered journal compaction: once at least half the
+    file is dead lines (and at least 4 of them), the live entries are
+    rewritten to a fresh journal via {!Durable.Journal.replace}.
+    Without it the cache is unbounded and never compacts (the
+    pre-existing behaviour).
+
+    [?chaos] is the per-record I/O fault hook
+    ({!Chaos.journal_hook}): failed writes count in [io_errors] and
+    degrade durability, never service. *)
+val open_ :
+  ?max_entries:int ->
+  ?chaos:(unit -> Durable.Journal.io_fault) ->
+  string ->
+  (t, string) Stdlib.result
 
 (** [find t ~key] looks up a canonical key.  Thread-safe. *)
 val find : t -> key:string -> outcome option
@@ -57,6 +91,9 @@ val store : t -> key:string -> outcome -> unit
 
 (** [size t] is the number of cached instances. *)
 val size : t -> int
+
+(** [stats t] snapshots the housekeeping counters.  Thread-safe. *)
+val stats : t -> stats
 
 (** [close t] closes the journal.  Idempotent. *)
 val close : t -> unit

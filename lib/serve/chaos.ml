@@ -1,0 +1,238 @@
+(* Schedule-driven chaos injection for the serve stack.
+
+   The injector is the I/O-boundary sibling of Robust.Fault's solver
+   plans: a seeded spec decides, deterministically, which operations
+   get sabotaged and how.  Decisions are keyed on semantic ordinals —
+   the n-th parsed request, the n-th journal record — never on
+   syscall counts or wall clock, so the same seed replays the exact
+   same injection sequence regardless of scheduling, read chunking or
+   machine speed.  Every firing is appended to an in-memory log and
+   emitted as a [Chaos_injected] trace event. *)
+
+type kind =
+  | Torn  (* replies dribble out one byte per write *)
+  | Reset  (* the connection is dropped without a reply *)
+  | Stall  (* the handler naps before answering *)
+  | Exn  (* the handler raises mid-request *)
+  | Fsync  (* a journal record fails with EIO *)
+  | Corrupt  (* a journal record lands with a flipped byte *)
+  | Mix  (* every kind, chosen per firing *)
+
+let kind_name = function
+  | Torn -> "torn"
+  | Reset -> "reset"
+  | Stall -> "stall"
+  | Exn -> "exn"
+  | Fsync -> "fsync"
+  | Corrupt -> "corrupt"
+  | Mix -> "all"
+
+type spec = { skind : kind; every : int; seed : int }
+
+let default_every = 4
+
+let of_string s =
+  let s = String.trim s in
+  match String.split_on_char ',' s with
+  | [] | [ "" ] -> Error "empty chaos spec"
+  | kind :: opts -> begin
+    match
+      match String.trim kind with
+      | "torn" -> Ok Torn
+      | "reset" -> Ok Reset
+      | "stall" -> Ok Stall
+      | "exn" -> Ok Exn
+      | "fsync" -> Ok Fsync
+      | "corrupt" -> Ok Corrupt
+      | "all" -> Ok Mix
+      | k ->
+        Error
+          (Printf.sprintf
+             "unknown chaos kind %S (expected torn, reset, stall, exn, fsync, \
+              corrupt or all)"
+             k)
+    with
+    | Error _ as e -> e
+    | Ok skind ->
+      let parse_pos name v =
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= 1 -> Ok n
+        | Some _ | None ->
+          Error
+            (Printf.sprintf "chaos spec: %s expects a positive integer, got %S"
+               name v)
+      in
+      let parse_seed v =
+        match int_of_string_opt (String.trim v) with
+        | Some n -> Ok n
+        | None ->
+          Error (Printf.sprintf "chaos spec: seed expects an integer, got %S" v)
+      in
+      (* Options are [n=N] (fire one operation in N, default 4) and
+         [seed=S]; bare integers are positional shorthand in that
+         order, matching the --fault habit of terse specs. *)
+      let rec fold acc bare = function
+        | [] -> acc
+        | opt :: rest -> begin
+          match acc with
+          | Error _ as e -> e
+          | Ok spec -> begin
+            match String.index_opt opt '=' with
+            | Some i ->
+              let key = String.trim (String.sub opt 0 i) in
+              let v = String.sub opt (i + 1) (String.length opt - i - 1) in
+              let acc =
+                match key with
+                | "n" ->
+                  Result.map (fun n -> { spec with every = n }) (parse_pos "n" v)
+                | "seed" ->
+                  Result.map (fun n -> { spec with seed = n }) (parse_seed v)
+                | k -> Error (Printf.sprintf "chaos spec: unknown option %S" k)
+              in
+              fold acc bare rest
+            | None -> begin
+              match (bare, parse_pos "n" opt) with
+              | 0, Ok n -> fold (Ok { spec with every = n }) 1 rest
+              | 1, _ ->
+                fold
+                  (Result.map (fun n -> { spec with seed = n }) (parse_seed opt))
+                  2 rest
+              | _, Error e -> Error e
+              | _, _ ->
+                Error (Printf.sprintf "chaos spec: unexpected option %S" opt)
+            end
+          end
+        end
+      in
+      fold (Ok { skind; every = default_every; seed = 0 }) 0 opts
+  end
+
+let to_string { skind; every; seed } =
+  let b = Buffer.create 24 in
+  Buffer.add_string b (kind_name skind);
+  if every <> default_every then
+    Buffer.add_string b (Printf.sprintf ",n=%d" every);
+  if seed <> 0 then Buffer.add_string b (Printf.sprintf ",seed=%d" seed);
+  Buffer.contents b
+
+let of_env () =
+  match Sys.getenv_opt "BUDGETBUF_CHAOS" with
+  | None -> None
+  | Some s when String.trim s = "" -> None
+  | Some s -> begin
+    match of_string s with
+    | Ok spec -> Some spec
+    | Error msg -> invalid_arg (Printf.sprintf "BUDGETBUF_CHAOS: %s" msg)
+  end
+
+(* ---- the injector ------------------------------------------------ *)
+
+type injection = { site : string; ordinal : int; fired : string }
+
+type t = {
+  spec : spec;
+  obs : Obs.Ctx.t option;
+  lock : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  mutable injections : injection list;  (* newest first *)
+}
+
+let create ?obs spec =
+  {
+    spec;
+    obs;
+    lock = Mutex.create ();
+    counters = Hashtbl.create 4;
+    injections = [];
+  }
+
+let spec t = t.spec
+
+(* One decision per semantic operation: bump the site's ordinal, draw
+   from the (seed, site, ordinal) stream, and fire when the draw says
+   so.  [eligible] lists the kinds the site can express; a spec pinned
+   to a kind the site cannot express never fires there. *)
+let decide t ~site ~eligible =
+  Mutex.lock t.lock;
+  let counter =
+    match Hashtbl.find_opt t.counters site with
+    | Some c -> c
+    | None ->
+      let c = ref 0 in
+      Hashtbl.add t.counters site c;
+      c
+  in
+  let ordinal = !counter in
+  incr counter;
+  let fired =
+    let { skind; every; seed } = t.spec in
+    if Robust.Fault.det_int ~seed ~salt:site ~bound:every ordinal <> 0 then None
+    else
+      match skind with
+      | Mix ->
+        let n = List.length eligible in
+        if n = 0 then None
+        else
+          Some
+            (List.nth eligible
+               (Robust.Fault.det_int ~seed ~salt:(site ^ "/kind") ~bound:n
+                  ordinal))
+      | k -> if List.mem k eligible then Some k else None
+  in
+  (match fired with
+  | None -> ()
+  | Some k ->
+    t.injections <-
+      { site; ordinal; fired = kind_name k } :: t.injections);
+  Mutex.unlock t.lock;
+  (match (fired, t.obs) with
+  | Some k, Some ctx ->
+    Obs.Ctx.emit ctx
+      (Obs.Trace.Chaos_injected { kind = kind_name k; site; ordinal })
+  | _ -> ());
+  fired
+
+type request_action = Pass | Torn_reply | Stall_handler | Drop_conn | Raise_exn
+
+let on_request = function
+  | None -> Pass
+  | Some t -> begin
+    match
+      decide t ~site:"request" ~eligible:[ Torn; Reset; Stall; Exn ]
+    with
+    | None -> Pass
+    | Some Torn -> Torn_reply
+    | Some Reset -> Drop_conn
+    | Some Stall -> Stall_handler
+    | Some Exn -> Raise_exn
+    | Some (Fsync | Corrupt | Mix) -> Pass
+  end
+
+let journal_hook = function
+  | None -> None
+  | Some t ->
+    Some
+      (fun () ->
+        match decide t ~site:"journal" ~eligible:[ Fsync; Corrupt ] with
+        | None -> `Pass
+        | Some Fsync -> `Fail
+        | Some Corrupt -> `Corrupt
+        | Some (Torn | Reset | Stall | Exn | Mix) -> `Pass)
+
+(* The injection log, rendered site#ordinal:kind and sorted per site —
+   the replayable fingerprint of a campaign.  Two runs with the same
+   spec and the same per-site operation sequences produce byte-equal
+   logs. *)
+let log t =
+  Mutex.lock t.lock;
+  let inj = t.injections in
+  Mutex.unlock t.lock;
+  List.map
+    (fun { site; ordinal; fired } ->
+      Printf.sprintf "%s#%d:%s" site ordinal fired)
+    (List.sort
+       (fun a b ->
+         match compare a.site b.site with
+         | 0 -> compare a.ordinal b.ordinal
+         | c -> c)
+       inj)

@@ -9,10 +9,29 @@ type request =
       config : string;
       deadline_s : float option;
       fault : string option;
+      retry : bool;
+          (* a client re-issue after a lost reply: the server may
+             answer [Admitted] for an id it already admitted, provided
+             the canonical instance matches — never double-charging
+             capacity *)
     }
   | Release of { id : string }
+  | Ping
   | Stats
   | Shutdown
+
+type readiness = Starting | Serving | Draining
+
+let readiness_name = function
+  | Starting -> "starting"
+  | Serving -> "serving"
+  | Draining -> "draining"
+
+let readiness_of_name = function
+  | "starting" -> Some Starting
+  | "serving" -> Some Serving
+  | "draining" -> Some Draining
+  | _ -> None
 
 type stats = {
   admitted : int;
@@ -25,6 +44,7 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   released : int;
+  pings : int;
   live : int;
   queue : int;
 }
@@ -41,6 +61,7 @@ let zero_stats =
     cache_hits = 0;
     cache_misses = 0;
     released = 0;
+    pings = 0;
     live = 0;
     queue = 0;
   }
@@ -61,6 +82,7 @@ type response =
   | Failed of { id : string; reason : string }
   | Overloaded of { id : string; retry_after_s : float }
   | Released of { id : string; found : bool }
+  | Ready of { state : readiness }
   | Stats_reply of stats
   | Refused of { reason : string }
   | Bye
@@ -73,6 +95,7 @@ let status_of_response = function
   | Failed _ -> "failed"
   | Overloaded _ -> "overloaded"
   | Released _ -> "released"
+  | Ready _ -> "ready"
   | Stats_reply _ -> "stats"
   | Refused _ -> "error"
   | Bye -> "shutting_down"
@@ -80,7 +103,7 @@ let status_of_response = function
 (* ---- requests ---------------------------------------------------- *)
 
 let request_to_line = function
-  | Admit { id; config; deadline_s; fault } ->
+  | Admit { id; config; deadline_s; fault; retry } ->
     Wire.render
       ([ ("op", Wire.String "admit"); ("id", Wire.String id) ]
       @ (match deadline_s with
@@ -89,9 +112,11 @@ let request_to_line = function
       @ (match fault with
         | Some f -> [ ("fault", Wire.String f) ]
         | None -> [])
+      @ (if retry then [ ("retry", Wire.Bool true) ] else [])
       @ [ ("config", Wire.String config) ])
   | Release { id } ->
     Wire.render [ ("op", Wire.String "release"); ("id", Wire.String id) ]
+  | Ping -> Wire.render [ ("op", Wire.String "ping") ]
   | Stats -> Wire.render [ ("op", Wire.String "stats") ]
   | Shutdown -> Wire.render [ ("op", Wire.String "shutdown") ]
 
@@ -123,17 +148,30 @@ let request_of_line line =
           in
           let number = function Wire.Number s -> Some s | _ -> None in
           let string = function Wire.String s -> Some s | _ -> None in
-          match (opt "deadline_s" number, opt "fault" string) with
-          | Ok (Some s), _ when s <= 0.0 -> Error "non-positive deadline_s"
-          | Ok deadline_s, Ok fault ->
-            Ok (Admit { id; config; deadline_s; fault })
-          | (Error _ as e), _ | _, (Error _ as e) -> e
+          let boolean = function Wire.Bool v -> Some v | _ -> None in
+          match (opt "deadline_s" number, opt "fault" string, opt "retry" boolean)
+          with
+          | Ok (Some s), _, _ when s <= 0.0 -> Error "non-positive deadline_s"
+          | Ok deadline_s, Ok fault, Ok retry ->
+            Ok
+              (Admit
+                 {
+                   id;
+                   config;
+                   deadline_s;
+                   fault;
+                   retry = Option.value retry ~default:false;
+                 })
+          | (Error _ as e), _, _ | _, (Error _ as e), _ | _, _, (Error _ as e)
+            ->
+            e
         end
       | (Error _ as e), _ | _, (Error _ as e) -> e)
     | Some "release" -> (
       match required "id" with
       | Ok id -> Ok (Release { id })
       | Error _ as e -> e)
+    | Some "ping" -> Ok Ping
     | Some "stats" -> Ok Stats
     | Some "shutdown" -> Ok Shutdown
     | Some op -> Error (Printf.sprintf "unknown op %S" op))
@@ -152,6 +190,7 @@ let stats_fields s =
     ("cache_hits", Wire.Number (float_of_int s.cache_hits));
     ("cache_misses", Wire.Number (float_of_int s.cache_misses));
     ("released", Wire.Number (float_of_int s.released));
+    ("pings", Wire.Number (float_of_int s.pings));
     ("live", Wire.Number (float_of_int s.live));
     ("queue", Wire.Number (float_of_int s.queue));
   ]
@@ -185,6 +224,8 @@ let response_to_line r =
       ]
   | Released { id; found } ->
     Wire.render [ status; ("id", Wire.String id); ("found", Wire.Bool found) ]
+  | Ready { state } ->
+    Wire.render [ status; ("state", Wire.String (readiness_name state)) ]
   | Stats_reply s -> Wire.render (status :: stats_fields s)
   | Refused { reason } -> Wire.render [ status; ("reason", Wire.String reason) ]
   | Bye -> Wire.render [ status ]
@@ -260,51 +301,51 @@ let response_of_line line =
       | Ok id, Some found -> Ok (Released { id; found })
       | (Error _ as e), _ -> e
       | _, None -> Error "missing or non-boolean field \"found\"")
-    | Some "stats" -> (
+    | Some "ready" -> (
+      match required "state" with
+      | Ok s -> (
+        match readiness_of_name s with
+        | Some state -> Ok (Ready { state })
+        | None -> Error (Printf.sprintf "unknown readiness state %S" s))
+      | Error _ as e -> e)
+    | Some "stats" ->
       let count k =
         match Wire.int obj k with
         | Some n when n >= 0 -> Ok n
         | Some _ | None ->
           Error (Printf.sprintf "missing or non-count field %S" k)
       in
-      match
-        ( count "admitted", count "rejected", count "infeasible",
-          count "timed_out", count "failed", count "shed", count "refused",
-          count "cache_hits", count "cache_misses", count "released",
-          count "live", count "queue" )
-      with
-      | ( Ok admitted, Ok rejected, Ok infeasible, Ok timed_out, Ok failed,
-          Ok shed, Ok refused, Ok cache_hits, Ok cache_misses, Ok released,
-          Ok live, Ok queue ) ->
-        Ok
-          (Stats_reply
-             {
-               admitted;
-               rejected;
-               infeasible;
-               timed_out;
-               failed;
-               shed;
-               refused;
-               cache_hits;
-               cache_misses;
-               released;
-               live;
-               queue;
-             })
-      | ( Error e, _, _, _, _, _, _, _, _, _, _, _
-        | _, Error e, _, _, _, _, _, _, _, _, _, _
-        | _, _, Error e, _, _, _, _, _, _, _, _, _
-        | _, _, _, Error e, _, _, _, _, _, _, _, _
-        | _, _, _, _, Error e, _, _, _, _, _, _, _
-        | _, _, _, _, _, Error e, _, _, _, _, _, _
-        | _, _, _, _, _, _, Error e, _, _, _, _, _
-        | _, _, _, _, _, _, _, Error e, _, _, _, _
-        | _, _, _, _, _, _, _, _, Error e, _, _, _
-        | _, _, _, _, _, _, _, _, _, Error e, _, _
-        | _, _, _, _, _, _, _, _, _, _, Error e, _
-        | _, _, _, _, _, _, _, _, _, _, _, Error e ) ->
-        Error e)
+      let ( let* ) = Result.bind in
+      let* admitted = count "admitted" in
+      let* rejected = count "rejected" in
+      let* infeasible = count "infeasible" in
+      let* timed_out = count "timed_out" in
+      let* failed = count "failed" in
+      let* shed = count "shed" in
+      let* refused = count "refused" in
+      let* cache_hits = count "cache_hits" in
+      let* cache_misses = count "cache_misses" in
+      let* released = count "released" in
+      let* pings = count "pings" in
+      let* live = count "live" in
+      let* queue = count "queue" in
+      Ok
+        (Stats_reply
+           {
+             admitted;
+             rejected;
+             infeasible;
+             timed_out;
+             failed;
+             shed;
+             refused;
+             cache_hits;
+             cache_misses;
+             released;
+             pings;
+             live;
+             queue;
+           })
     | Some "error" -> (
       match required "reason" with
       | Ok reason -> Ok (Refused { reason })

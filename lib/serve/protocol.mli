@@ -5,14 +5,15 @@
     The full grammar with examples lives in docs/serving.md; the
     summary:
 
-    {v {"op":"admit","id":J,"config":TEXT[,"deadline_s":S][,"fault":SPEC]}
+    {v {"op":"admit","id":J,"config":TEXT[,"deadline_s":S][,"fault":SPEC][,"retry":true]}
        {"op":"release","id":J}
+       {"op":"ping"}
        {"op":"stats"}
        {"op":"shutdown"} v}
 
     Every reply carries a ["status"] field naming its constructor
     (["admitted"], ["rejected"], ["infeasible"], ["timed_out"],
-    ["overloaded"], ["released"], ["stats"], ["error"],
+    ["overloaded"], ["released"], ["ready"], ["stats"], ["error"],
     ["shutting_down"]).  Replies never carry wall-clock fields — timing
     lives in the trace stream — so a scripted exchange is byte-stable
     (the cram suite relies on this; the one exception,
@@ -29,10 +30,27 @@ type request =
       fault : string option;
           (** fault-injection spec ({!Robust.Fault.of_string}) applied
               to this request's solve only *)
+      retry : bool;
+          (** marks a client re-issue after a lost reply: with
+              [retry = true] the server answers [Admitted] for an id it
+              already holds, provided the canonical instance matches —
+              the admission is {e not} charged twice.  Without it a
+              duplicate id is [Rejected], so accidental reuse still
+              fails loudly. *)
     }
   | Release of { id : string }  (** free a live job's footprint *)
+  | Ping  (** readiness probe for load balancers; never queued *)
   | Stats
   | Shutdown  (** ask the server to drain gracefully and exit *)
+
+(** The server's lifecycle as seen by a load balancer: [Starting]
+    before the listening loop runs, [Serving] while accepting work,
+    [Draining] once shutdown began (control ops still answered, new
+    work refused). *)
+type readiness = Starting | Serving | Draining
+
+val readiness_name : readiness -> string
+val readiness_of_name : string -> readiness option
 
 (** Server-lifetime counters, returned by [Stats] and summarised on
     exit.  [live] and [queue] are instantaneous, the rest monotone. *)
@@ -47,6 +65,7 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   released : int;
+  pings : int;  (** readiness probes answered *)
   live : int;  (** jobs currently admitted *)
   queue : int;  (** admission queue length *)
 }
@@ -81,6 +100,7 @@ type response =
           (** load-based hint: recent mean solve time × queue depth *)
     }  (** shed by backpressure before entering the queue *)
   | Released of { id : string; found : bool }
+  | Ready of { state : readiness }  (** reply to [Ping] *)
   | Stats_reply of stats
   | Refused of { reason : string }  (** malformed or unparsable request *)
   | Bye  (** acknowledgement of [Shutdown] *)

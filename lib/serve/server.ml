@@ -1,13 +1,22 @@
 (* The accept loop, the dispatcher and the admission registry.
 
-   Two threads share one domain: the caller runs [select] over the
+   Threads sharing one domain: the caller runs [select] over the
    listening socket and every connection (50 ms tick, so signal flags
    and stop conditions are polled promptly), the dispatcher blocks on
-   the bounded queue and runs solve batches on the domain pool.  All
+   the bounded queue and runs solve batches on the domain pool, and an
+   optional watchdog reaps solves stuck past their deadline.  All
    cross-thread state is either a module with its own lock ([Bounded],
    [Cache], [Obs.Ctx]) or lives under the one server mutex ([stats],
-   the admission registry) — solves themselves touch no shared state,
-   which is what lets a batch fan out onto the pool unchanged. *)
+   the admission registry, the in-flight list) — solves themselves
+   touch no shared state, which is what lets a batch fan out onto the
+   pool unchanged.
+
+   Self-healing posture: a request handler that raises is isolated to
+   a [failed] reply on its own connection (the acceptor never dies); a
+   job is settled exactly once, enforced by a per-job atomic that the
+   dispatcher and the watchdog race for; and with [reconcile] on, a
+   connection that dies takes its admissions with it instead of
+   leaking them in the registry forever. *)
 
 module Config = Taskgraph.Config
 module Mapping = Budgetbuf.Mapping
@@ -20,10 +29,14 @@ type config = {
   domains : int;
   default_deadline_s : float option;
   cache_path : string option;
+  cache_max_entries : int option;
   kkt : [ `Auto | `Dense | `Sparse ];
   obs : Obs.Ctx.t option;
   signals : bool;
   halt_after_admits : int option;
+  chaos : Chaos.t option;
+  reconcile : bool;
+  watchdog_grace_s : float option;
   log : (string -> unit) option;
 }
 
@@ -35,10 +48,14 @@ let default_config ~socket_path =
     domains = 1;
     default_deadline_s = None;
     cache_path = None;
+    cache_max_entries = None;
     kkt = `Auto;
     obs = None;
     signals = false;
     halt_after_admits = None;
+    chaos = None;
+    reconcile = false;
+    watchdog_grace_s = Some 1.0;
     log = None;
   }
 
@@ -56,12 +73,14 @@ let describe = function
    counted ([pending]) and closed by whichever side — reader on EOF or
    dispatcher finishing the last job — drops it to quiescence. *)
 type conn = {
+  cid : int;
   fd : Unix.file_descr;
-  rbuf : Buffer.t;
-  lock : Mutex.t;  (* guards writes, [pending], [eof], [closed] *)
+  frames : Wire.Framer.t;
+  lock : Mutex.t;  (* guards writes, [pending], [eof], [closed], [torn] *)
   mutable pending : int;
   mutable eof : bool;
   mutable closed : bool;
+  mutable torn : bool;  (* chaos: write replies one byte per syscall *)
 }
 
 let close_conn_locked c =
@@ -80,16 +99,15 @@ let write_reply c response =
         try
           let len = String.length line in
           let pos = ref 0 in
+          (* A torn connection dribbles the reply out one byte per
+             syscall: the client sees maximally fragmented reads, which
+             its framer must reassemble into the identical frame. *)
+          let step = if c.torn then 1 else len in
           while !pos < len do
-            pos := !pos + Unix.write_substring c.fd line !pos (len - !pos)
+            pos :=
+              !pos + Unix.write_substring c.fd line !pos (min step (len - !pos))
           done
         with Unix.Unix_error _ -> c.eof <- true)
-
-let job_done c =
-  Mutex.lock c.lock;
-  c.pending <- c.pending - 1;
-  if c.eof && c.pending = 0 then close_conn_locked c;
-  Mutex.unlock c.lock
 
 (* ---- jobs and shared state --------------------------------------- *)
 
@@ -99,18 +117,24 @@ type job = {
   key : string;
   deadline : Durable.Deadline.t;
   fault : Robust.Fault.plan option;
+  job_retry : bool;
   job_conn : conn;
   arrival : float;
+  settled : bool Atomic.t;
+      (* settle-once guard: dispatcher and watchdog race for it *)
 }
 
 (* What an admitted job charges against the shared machine: per
    resource {e name}, the capacity its configuration declared and the
    amount its mapping consumes.  Processors: budget Mcycles out of
    [replenishment − overhead] per interval; memories: container-size
-   units out of ς. *)
+   units out of ς.  The canonical key and owning connection ride along
+   for idempotent retries and crash reconciliation. *)
 type footprint = {
   fp_procs : (string * float * float) list;
   fp_mems : (string * float * float) list;
+  fp_key : string;
+  fp_cid : int;
 }
 
 type state = {
@@ -118,9 +142,12 @@ type state = {
   queue : job Bounded.t;
   cache : Cache.t option;
   pool : Parallel.Pool.t;
-  lock : Mutex.t;  (* guards [stats] and [live] *)
+  lock : Mutex.t;  (* guards [stats], [live] and [inflight] *)
   mutable stats : Protocol.stats;
   live : (string, footprint) Hashtbl.t;
+  mutable inflight : job list;  (* jobs handed to the pool, not settled *)
+  ready : Protocol.readiness Atomic.t;
+  dispatcher_done : bool Atomic.t;
   ewma_solve_s : float Atomic.t;
   settled_admits : int Atomic.t;
 }
@@ -149,7 +176,51 @@ let snapshot state =
 
 (* ---- admission registry ------------------------------------------ *)
 
-let footprint_of cfg mapped =
+(* With [reconcile] on, a connection that is gone releases every
+   admission it owned: a crashed client cannot leak capacity.  Called
+   (outside any conn lock) whenever a connection fully closes. *)
+let reap_conn state (c : conn) =
+  if state.scfg.reconcile then begin
+    let ids =
+      with_lock state (fun () ->
+          let ids =
+            Hashtbl.fold
+              (fun id fp acc -> if fp.fp_cid = c.cid then id :: acc else acc)
+              state.live []
+          in
+          List.iter
+            (fun id ->
+              Hashtbl.remove state.live id;
+              state.stats <-
+                { state.stats with released = state.stats.released + 1 })
+            ids;
+          ids)
+    in
+    List.iter
+      (fun id -> log state "reconcile: released %s (connection closed)" id)
+      ids
+  end
+
+let job_done state (c : conn) =
+  Mutex.lock c.lock;
+  c.pending <- c.pending - 1;
+  let closed_now = c.eof && c.pending = 0 && not c.closed in
+  if closed_now then close_conn_locked c;
+  Mutex.unlock c.lock;
+  if closed_now then reap_conn state c
+
+(* Mark a connection dead (EOF or injected reset).  Closes and reaps
+   immediately when no jobs are in flight; otherwise the last
+   [job_done] does both. *)
+let conn_gone state (c : conn) =
+  Mutex.lock c.lock;
+  c.eof <- true;
+  let closed_now = c.pending = 0 && not c.closed in
+  if closed_now then close_conn_locked c;
+  Mutex.unlock c.lock;
+  if closed_now then reap_conn state c
+
+let footprint_of cfg mapped ~key ~cid =
   let fp_procs =
     List.map
       (fun p ->
@@ -177,18 +248,28 @@ let footprint_of cfg mapped =
         (Config.memory_name cfg m, cap, need))
       (Config.memories cfg)
   in
-  { fp_procs; fp_mems }
+  { fp_procs; fp_mems; fp_key = key; fp_cid = cid }
 
 (* Fit check against everything currently admitted, by resource name.
    Two live configurations naming the same processor or memory must
    declare it identically — otherwise there is no well-defined shared
    capacity to ration — and the sum of their needs must fit it (with
    the usual relative slack so a mapping that exactly fills a resource
-   is not rejected over float noise).  Runs under the server lock. *)
-let admit_locked state id fp =
-  if Hashtbl.mem state.live id then
+   is not rejected over float noise).  Runs under the server lock.
+
+   A [retry] admit for an id already holding the {e same} canonical
+   instance is the lost-reply idempotence path: answer again, rebind
+   the lease to the retrying connection, charge nothing.  A duplicate
+   id without the flag (or with a different instance) still fails
+   loudly. *)
+let admit_locked state id ~retry fp =
+  match Hashtbl.find_opt state.live id with
+  | Some existing when retry && String.equal existing.fp_key fp.fp_key ->
+    Hashtbl.replace state.live id { existing with fp_cid = fp.fp_cid };
+    Ok ()
+  | Some _ ->
     Error (Printf.sprintf "job %S is already admitted; release it first" id)
-  else begin
+  | None -> begin
     let check kind sum_of fps =
       List.find_map
         (fun (name, cap, need) ->
@@ -298,53 +379,78 @@ let solve_job state job =
   | exception exn -> S_failed (Printexc.to_string exn)
 
 (* Settle a job whose verdict is in hand: admission check, reply,
-   counters, trace.  Runs on the dispatcher thread only. *)
+   counters, trace.  Exactly-once: whoever wins the [settled] flag —
+   this path on the dispatcher thread or the watchdog — writes the
+   reply; the loser's verdict is dropped (the cache store already
+   happened, so a watchdog-reaped solve still pays forward). *)
 let settle state job ~cache_tag ~dequeued outcome =
-  let response =
-    match outcome with
-    | S_solved (Cache.Solved s, attempts, _) -> (
-      let fp =
-        footprint_of job.job_cfg
-          (Taskgraph.Mapped_io.parse job.job_cfg s.mapping)
-      in
-      match with_lock state (fun () -> admit_locked state job.job_id fp) with
-      | Ok () ->
-        Protocol.Admitted
-          {
-            id = job.job_id;
-            cache = cache_tag;
-            mapping = s.mapping;
-            certificate = s.certificate;
-            objective = s.objective;
-            rounded_objective = s.rounded_objective;
-            attempts;
-          }
-      | Error reason -> Protocol.Rejected { id = job.job_id; reason })
-    | S_solved (Cache.Unsat { reason }, _, _) | S_unsat reason ->
-      Protocol.Unsat { id = job.job_id; reason }
-    | S_late reason -> Protocol.Late { id = job.job_id; reason }
-    | S_failed reason -> Protocol.Failed { id = job.job_id; reason }
-  in
-  bump state (fun s ->
-      match response with
-      | Protocol.Admitted _ -> { s with admitted = s.admitted + 1 }
-      | Protocol.Rejected _ -> { s with rejected = s.rejected + 1 }
-      | Protocol.Unsat _ -> { s with infeasible = s.infeasible + 1 }
-      | Protocol.Late _ -> { s with timed_out = s.timed_out + 1 }
-      | _ -> { s with failed = s.failed + 1 });
-  write_reply job.job_conn response;
-  let now = Unix.gettimeofday () in
-  emit state
-    (Obs.Trace.Request_done
-       {
-         op = "admit";
-         id = job.job_id;
-         status = Protocol.status_of_response response;
-         queue_s = dequeued -. job.arrival;
-         total_s = now -. job.arrival;
-       });
-  job_done job.job_conn;
-  Atomic.incr state.settled_admits
+  with_lock state (fun () ->
+      state.inflight <- List.filter (fun j -> j != job) state.inflight);
+  if Atomic.compare_and_set job.settled false true then begin
+    let response =
+      match outcome with
+      | S_solved (Cache.Solved s, attempts, _) -> (
+        let admission =
+          with_lock state (fun () ->
+              let fp =
+                footprint_of job.job_cfg
+                  (Taskgraph.Mapped_io.parse job.job_cfg s.mapping)
+                  ~key:job.key ~cid:job.job_conn.cid
+              in
+              let r = admit_locked state job.job_id ~retry:job.job_retry fp in
+              (* The connection may have died while we solved: with
+                 reconcile on, releasing here (or in [reap_conn] when
+                 the close races us) keeps dead clients from leaking
+                 capacity. *)
+              (match r with
+              | Ok ()
+                when state.scfg.reconcile
+                     && (job.job_conn.eof || job.job_conn.closed) ->
+                Hashtbl.remove state.live job.job_id;
+                state.stats <-
+                  { state.stats with released = state.stats.released + 1 }
+              | _ -> ());
+              r)
+        in
+        match admission with
+        | Ok () ->
+          Protocol.Admitted
+            {
+              id = job.job_id;
+              cache = cache_tag;
+              mapping = s.mapping;
+              certificate = s.certificate;
+              objective = s.objective;
+              rounded_objective = s.rounded_objective;
+              attempts;
+            }
+        | Error reason -> Protocol.Rejected { id = job.job_id; reason })
+      | S_solved (Cache.Unsat { reason }, _, _) | S_unsat reason ->
+        Protocol.Unsat { id = job.job_id; reason }
+      | S_late reason -> Protocol.Late { id = job.job_id; reason }
+      | S_failed reason -> Protocol.Failed { id = job.job_id; reason }
+    in
+    bump state (fun s ->
+        match response with
+        | Protocol.Admitted _ -> { s with admitted = s.admitted + 1 }
+        | Protocol.Rejected _ -> { s with rejected = s.rejected + 1 }
+        | Protocol.Unsat _ -> { s with infeasible = s.infeasible + 1 }
+        | Protocol.Late _ -> { s with timed_out = s.timed_out + 1 }
+        | _ -> { s with failed = s.failed + 1 });
+    write_reply job.job_conn response;
+    let now = Unix.gettimeofday () in
+    emit state
+      (Obs.Trace.Request_done
+         {
+           op = "admit";
+           id = job.job_id;
+           status = Protocol.status_of_response response;
+           queue_s = dequeued -. job.arrival;
+           total_s = now -. job.arrival;
+         });
+    job_done state job.job_conn;
+    Atomic.incr state.settled_admits
+  end
 
 let update_ewma state sample =
   let rec go () =
@@ -395,6 +501,9 @@ let dispatch_batch state first =
   let to_solve =
     List.filter_map (function `Solve j -> Some j | `Settled _ -> None) classified
   in
+  (* Register with the watchdog before the pool takes over: from here
+     until its settle, a job stuck past deadline+grace is reaped. *)
+  with_lock state (fun () -> state.inflight <- to_solve @ state.inflight);
   let solved =
     match to_solve with
     | [] -> []
@@ -448,16 +557,61 @@ let dispatcher state =
          write_reply job.job_conn
            (Protocol.Failed
               { id = job.job_id; reason = Printexc.to_string exn });
-         job_done job.job_conn);
+         job_done state job.job_conn);
       loop ()
   in
-  loop ()
+  loop ();
+  Atomic.set state.dispatcher_done true
+
+(* The watchdog: every 50 ms, look for in-flight jobs stuck more than
+   [grace] past their deadline and settle them as [timed_out] — the
+   client gets an answer and the queue slot is not leaked even if the
+   underlying solve never returns.  The racing real settle loses the
+   [settled] flag and is dropped (its cache store still counts). *)
+let watchdog state ~grace stop =
+  while not (Atomic.get stop) do
+    Thread.delay 0.05;
+    let overdue =
+      with_lock state (fun () ->
+          List.filter
+            (fun j ->
+              (not (Atomic.get j.settled))
+              && Durable.Deadline.remaining_s j.deadline < -.grace)
+            state.inflight)
+    in
+    List.iter
+      (fun job ->
+        if Atomic.compare_and_set job.settled false true then begin
+          with_lock state (fun () ->
+              state.inflight <- List.filter (fun j -> j != job) state.inflight);
+          bump state (fun s ->
+              { s with Protocol.timed_out = s.Protocol.timed_out + 1 });
+          let reason =
+            Printf.sprintf "watchdog: solve stuck %gs past its deadline" grace
+          in
+          write_reply job.job_conn (Protocol.Late { id = job.job_id; reason });
+          emit state
+            (Obs.Trace.Request_done
+               {
+                 op = "admit";
+                 id = job.job_id;
+                 status = "timed_out";
+                 queue_s = 0.0;
+                 total_s = Unix.gettimeofday () -. job.arrival;
+               });
+          log state "watchdog: reaped %s (%s)" job.job_id reason;
+          job_done state job.job_conn;
+          Atomic.incr state.settled_admits
+        end)
+      overdue
+  done
 
 (* ---- request handling (accept-loop thread) ----------------------- *)
 
 type control = Keep_going | Begin_drain
 
-let handle_admit state conn ~id ~config_text ~deadline_s ~fault ~arrival =
+let handle_admit state conn ~id ~config_text ~deadline_s ~fault ~retry ~arrival
+    =
   match
     let cfg =
       try Ok (Taskgraph.Parse.config_of_string config_text)
@@ -497,8 +651,10 @@ let handle_admit state conn ~id ~config_text ~deadline_s ~fault ~arrival =
         key = Cache.canonical_key cfg;
         deadline;
         fault;
+        job_retry = retry;
         job_conn = conn;
         arrival;
+        settled = Atomic.make false;
       }
     in
     Mutex.lock conn.lock;
@@ -507,14 +663,14 @@ let handle_admit state conn ~id ~config_text ~deadline_s ~fault ~arrival =
     match Bounded.try_push state.queue job with
     | `Ok -> "queued"
     | `Full ->
-      job_done conn;
+      job_done state conn;
       emit state (Obs.Trace.Shed { queue = Bounded.length state.queue });
       bump state (fun s -> { s with shed = s.shed + 1 });
       write_reply conn
         (Protocol.Overloaded { id; retry_after_s = retry_hint state });
       "overloaded"
     | `Closed ->
-      job_done conn;
+      job_done state conn;
       bump state (fun s -> { s with refused = s.refused + 1 });
       write_reply conn (Protocol.Refused { reason = "server is draining" });
       "error")
@@ -544,15 +700,30 @@ let handle_line state conn line =
       match request with
       | Protocol.Admit { id; _ } -> ("admit", id)
       | Protocol.Release { id } -> ("release", id)
+      | Protocol.Ping -> ("ping", "")
       | Protocol.Stats -> ("stats", "")
       | Protocol.Shutdown -> ("shutdown", "")
     in
     emit state (Obs.Trace.Request_start { op; id });
+    (* The chaos decision for this request, drawn before dispatch so
+       every kind can hit every op.  [Drop_conn] marks the connection
+       dead {e before} processing: the request still takes effect, its
+       reply is lost — exactly the lost-reply window idempotent
+       retries must cover. *)
+    (match Chaos.on_request state.scfg.chaos with
+    | Chaos.Pass -> ()
+    | Chaos.Torn_reply ->
+      Mutex.lock conn.lock;
+      conn.torn <- true;
+      Mutex.unlock conn.lock
+    | Chaos.Stall_handler -> Thread.delay 0.02
+    | Chaos.Drop_conn -> conn_gone state conn
+    | Chaos.Raise_exn -> failwith "chaos: injected handler failure");
     match request with
-    | Protocol.Admit { id; config; deadline_s; fault } ->
+    | Protocol.Admit { id; config; deadline_s; fault; retry } ->
       let status =
         handle_admit state conn ~id ~config_text:config ~deadline_s ~fault
-          ~arrival
+          ~retry ~arrival
       in
       finish ~op ~id status;
       Keep_going
@@ -560,6 +731,11 @@ let handle_line state conn line =
       let found = release state id in
       write_reply conn (Protocol.Released { id; found });
       finish ~op ~id "released";
+      Keep_going
+    | Protocol.Ping ->
+      bump state (fun s -> { s with pings = s.pings + 1 });
+      write_reply conn (Protocol.Ready { state = Atomic.get state.ready });
+      finish ~op ~id "ready";
       Keep_going
     | Protocol.Stats ->
       write_reply conn (Protocol.Stats_reply (snapshot state));
@@ -570,29 +746,38 @@ let handle_line state conn line =
       finish ~op ~id "shutting_down";
       Begin_drain)
 
-(* Drain [conn.rbuf] of complete lines.  Returns [Begin_drain] as soon
-   as a shutdown request is seen (remaining pipelined input is
-   ignored: the client asked us to stop). *)
+(* Drain the connection's framer of complete lines.  Returns
+   [Begin_drain] as soon as a shutdown request is seen (remaining
+   pipelined input is ignored: the client asked us to stop).
+
+   Handler isolation: an exception out of [handle_line] — a poisoned
+   request, an injected chaos failure, an unexpected bug — costs that
+   request a [failed] reply and nothing else.  The acceptor loop and
+   every other connection keep going. *)
 let process_buffer state conn =
   let rec go () =
-    let data = Buffer.contents conn.rbuf in
-    match String.index_opt data '\n' with
+    match Wire.Framer.next conn.frames with
     | None -> Keep_going
-    | Some i -> (
-      let line = String.sub data 0 i in
-      Buffer.clear conn.rbuf;
-      Buffer.add_substring conn.rbuf data (i + 1)
-        (String.length data - i - 1);
-      let line =
-        if String.length line > 0 && line.[String.length line - 1] = '\r' then
-          String.sub line 0 (String.length line - 1)
-        else line
-      in
-      if line = "" then go ()
-      else
-        match handle_line state conn line with
-        | Keep_going -> go ()
-        | Begin_drain -> Begin_drain)
+    | Some "" -> go ()
+    | Some line -> (
+      match handle_line state conn line with
+      | Keep_going -> go ()
+      | Begin_drain -> Begin_drain
+      | exception exn ->
+        let reason = "handler: " ^ Printexc.to_string exn in
+        bump state (fun s -> { s with failed = s.failed + 1 });
+        write_reply conn (Protocol.Failed { id = ""; reason });
+        emit state
+          (Obs.Trace.Request_done
+             {
+               op = "admit";
+               id = "";
+               status = "failed";
+               queue_s = 0.0;
+               total_s = 0.0;
+             });
+        log state "isolated a poisoned request: %s" (Printexc.to_string exn);
+        go ())
   in
   go ()
 
@@ -638,7 +823,10 @@ let run scfg =
       match scfg.cache_path with
       | None -> Ok None
       | Some path -> (
-        match Cache.open_ ~path with
+        match
+          Cache.open_ ?max_entries:scfg.cache_max_entries
+            ?chaos:(Chaos.journal_hook scfg.chaos) path
+        with
         | Ok c -> Ok (Some c)
         | Error msg -> Error msg)
     with
@@ -664,6 +852,9 @@ let run scfg =
             lock = Mutex.create ();
             stats = Protocol.zero_stats;
             live = Hashtbl.create 16;
+            inflight = [];
+            ready = Atomic.make Protocol.Starting;
+            dispatcher_done = Atomic.make false;
             ewma_solve_s = Atomic.make 0.0;
             settled_admits = Atomic.make 0;
           }
@@ -673,29 +864,118 @@ let run scfg =
         in
         let saved_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
         let dispatcher_t = Thread.create dispatcher state in
+        let watchdog_stop = Atomic.make false in
+        let watchdog_t =
+          Option.map
+            (fun grace ->
+              Thread.create (fun () -> watchdog state ~grace watchdog_stop) ())
+            scfg.watchdog_grace_s
+        in
         (match cache with
         | Some c -> log state "cache: %d instances from %s" (Cache.size c)
                       (match scfg.cache_path with Some p -> p | None -> "")
         | None -> ());
         log state "listening on %s" scfg.socket_path;
+        Atomic.set state.ready Protocol.Serving;
         let conns = ref [] in
+        let next_cid = ref 0 in
         let halted job =
           (* Crash simulation: the job never gets a reply.  Balance the
              refcount so the fd bookkeeping stays sane. *)
-          job_done job.job_conn
+          job_done state job.job_conn
+        in
+        (* One select-and-service round over the open connections (and
+           the listening socket while we still accept).  Shared by the
+           serving loop and the graceful drain, which keeps answering
+           control traffic — ping says "draining", stats and release
+           still work — until the dispatcher has settled every queued
+           job. *)
+        let pump ~listen =
+          let fds =
+            (match listen with Some fd -> [ fd ] | None -> [])
+            @ List.filter_map
+                (fun c -> if c.closed || c.eof then None else Some c.fd)
+                !conns
+          in
+          match Unix.select fds [] [] 0.05 with
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) ->
+            false
+          | readable, _, _ ->
+            let drain = ref false in
+            (match listen with
+            | Some lfd when List.mem lfd readable -> begin
+              match Unix.accept lfd with
+              | fd, _ ->
+                Unix.set_close_on_exec fd;
+                let cid = !next_cid in
+                incr next_cid;
+                conns :=
+                  {
+                    cid;
+                    fd;
+                    frames = Wire.Framer.create ();
+                    lock = Mutex.create ();
+                    pending = 0;
+                    eof = false;
+                    closed = false;
+                    torn = false;
+                  }
+                  :: !conns
+              | exception Unix.Unix_error _ -> ()
+            end
+            | _ -> ());
+            let scratch = Bytes.create 4096 in
+            List.iter
+              (fun c ->
+                if (not (c.closed || c.eof)) && List.mem c.fd readable
+                then begin
+                  match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+                  | 0 | (exception Unix.Unix_error _) -> conn_gone state c
+                  | n ->
+                    Wire.Framer.feed c.frames (Bytes.sub_string scratch 0 n);
+                    (match process_buffer state c with
+                    | Keep_going -> ()
+                    | Begin_drain -> drain := true)
+                end)
+              !conns;
+            conns := List.filter (fun c -> not c.closed) !conns;
+            !drain
         in
         let finish ~graceful reason =
+          Atomic.set state.ready Protocol.Draining;
           (try Unix.close listen_fd with Unix.Unix_error _ -> ());
           (try Unix.unlink scfg.socket_path with Unix.Unix_error _ -> ());
-          if graceful then Bounded.close state.queue
+          if graceful then begin
+            Bounded.close state.queue;
+            (* Keep servicing control traffic on the open connections
+               until the dispatcher has drained the queue. *)
+            while not (Atomic.get state.dispatcher_done) do
+              ignore (pump ~listen:None)
+            done
+          end
           else List.iter halted (Bounded.halt state.queue);
           Thread.join dispatcher_t;
+          Atomic.set watchdog_stop true;
+          Option.iter Thread.join watchdog_t;
           List.iter
             (fun (c : conn) ->
               Mutex.lock c.lock;
               close_conn_locked c;
               Mutex.unlock c.lock)
             !conns;
+          (match cache with
+          | Some c ->
+            let cs = Cache.stats c in
+            if
+              cs.Cache.compactions > 0 || cs.Cache.quarantined > 0
+              || cs.Cache.io_errors > 0
+            then
+              log state
+                "cache: %d entries, %d journal lines (%d ever), %d \
+                 compactions, %d quarantined, %d io errors"
+                cs.Cache.entries cs.Cache.journal_lines cs.Cache.total_lines
+                cs.Cache.compactions cs.Cache.quarantined cs.Cache.io_errors
+          | None -> ());
           Option.iter Cache.close cache;
           Parallel.Pool.fini pool;
           if scfg.signals then restore_signals saved_signals;
@@ -716,59 +996,13 @@ let run scfg =
             | Some n -> Atomic.get state.settled_admits >= n
             | None -> false
           then finish ~graceful:false Halted
-          else begin
+          else if
             (* Half-closed connections stay in [conns] until their last
                in-flight job drops the refcount, but the dispatcher may
                close their fd at any moment — never select on them. *)
-            let fds =
-              listen_fd
-              :: List.filter_map
-                   (fun c -> if c.closed || c.eof then None else Some c.fd)
-                   !conns
-            in
-            match Unix.select fds [] [] 0.05 with
-            | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) ->
-              loop ()
-            | readable, _, _ ->
-              let drain = ref false in
-              if List.mem listen_fd readable then begin
-                match Unix.accept listen_fd with
-                | fd, _ ->
-                  Unix.set_close_on_exec fd;
-                  conns :=
-                    {
-                      fd;
-                      rbuf = Buffer.create 256;
-                      lock = Mutex.create ();
-                      pending = 0;
-                      eof = false;
-                      closed = false;
-                    }
-                    :: !conns
-                | exception Unix.Unix_error _ -> ()
-              end;
-              let scratch = Bytes.create 4096 in
-              List.iter
-                (fun c ->
-                  if (not (c.closed || c.eof)) && List.mem c.fd readable
-                  then begin
-                    match Unix.read c.fd scratch 0 (Bytes.length scratch) with
-                    | 0 | (exception Unix.Unix_error _) ->
-                      Mutex.lock c.lock;
-                      c.eof <- true;
-                      if c.pending = 0 then close_conn_locked c;
-                      Mutex.unlock c.lock
-                    | n ->
-                      Buffer.add_subbytes c.rbuf scratch 0 n;
-                      (match process_buffer state c with
-                      | Keep_going -> ()
-                      | Begin_drain -> drain := true)
-                  end)
-                !conns;
-              conns := List.filter (fun c -> not c.closed) !conns;
-              if !drain then finish ~graceful:true Shutdown_request
-              else loop ()
-          end
+            pump ~listen:(Some listen_fd)
+          then finish ~graceful:true Shutdown_request
+          else loop ()
         in
         loop ())
   end

@@ -25,8 +25,15 @@
 
     Threading: the calling thread runs the accept/read/control loop; a
     single dispatcher systhread drains the queue in batches onto the
-    domain pool.  Replies may be written from either thread, serialised
-    per connection. *)
+    domain pool; an optional watchdog systhread reaps solves stuck past
+    their deadline.  Replies may be written from any of them,
+    serialised per connection.
+
+    Self-healing (docs/robustness.md): request handlers are isolated —
+    one raising costs its request a [failed] reply, never the server; a
+    job settles exactly once even when the watchdog and the real solve
+    race; and with [reconcile] on, a connection that dies releases the
+    admissions it owned. *)
 
 type config = {
   socket_path : string;  (** Unix-domain socket path (created, unlinked on exit) *)
@@ -36,6 +43,9 @@ type config = {
   default_deadline_s : float option;
       (** deadline for admits that do not carry one; [None] = unlimited *)
   cache_path : string option;  (** memo-cache journal; [None] disables caching *)
+  cache_max_entries : int option;
+      (** bound the memo cache (FIFO eviction) and arm size-triggered
+          journal compaction; [None] = unbounded, never compacts *)
   kkt : [ `Auto | `Dense | `Sparse ];
       (** KKT backend for the solves; [`Auto] picks per instance via
           {!Budgetbuf.Mapping.kkt_auto} *)
@@ -48,12 +58,24 @@ type config = {
           replies, stop {e abruptly} — no drain, queued work dropped
           without reply, no clean shutdown line.  The cache journal
           survives by construction. *)
+  chaos : Chaos.t option;
+      (** fault injector; fires on requests (torn replies, resets,
+          stalls, handler exceptions) and journal records *)
+  reconcile : bool;
+      (** release the admissions of a connection that closes — a
+          crashed client cannot leak capacity.  Off by default: the
+          original contract lets admissions outlive their connection. *)
+  watchdog_grace_s : float option;
+      (** reap solves stuck this long {e past} their deadline: the
+          client gets [timed_out] and the slot is reclaimed even if the
+          solve never returns.  [None] disables the watchdog. *)
   log : (string -> unit) option;  (** lifecycle lines ("listening on …") *)
 }
 
 (** [default_config ~socket_path] is a serving-ready configuration:
-    queue 16, batch = domains = 1, no default deadline, no cache, KKT
-    [`Auto], no signals. *)
+    queue 16, batch = domains = 1, no default deadline, no cache
+    (unbounded when enabled), KKT [`Auto], no signals, no chaos, no
+    reconcile, watchdog grace 1 s. *)
 val default_config : socket_path:string -> config
 
 type stop_reason =

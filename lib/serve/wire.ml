@@ -185,3 +185,35 @@ let int obj k =
 
 let bool obj k =
   match List.assoc_opt k obj with Some (Bool v) -> Some v | _ -> None
+
+(* ---- framing ----------------------------------------------------- *)
+
+(* Reassembles '\n'-terminated frames from an arbitrarily chunked byte
+   stream.  Both the server's per-connection reader and the client's
+   reply reader run their bytes through one of these, so the frame
+   sequence they observe depends only on the byte sequence — never on
+   how the kernel happened to split the reads.  An unterminated tail
+   is never surfaced as a frame: a peer that dies mid-line leaves
+   residue, not a mangled frame. *)
+module Framer = struct
+  type t = { mutable pending : string }
+
+  let create () = { pending = "" }
+  let feed t chunk = if chunk <> "" then t.pending <- t.pending ^ chunk
+
+  let next t =
+    match String.index_opt t.pending '\n' with
+    | None -> None
+    | Some nl ->
+      let line = String.sub t.pending 0 nl in
+      t.pending <-
+        String.sub t.pending (nl + 1) (String.length t.pending - nl - 1);
+      let line =
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Some line
+
+  let residue t = t.pending
+end

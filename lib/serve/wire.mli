@@ -32,3 +32,29 @@ val str : obj -> string -> string option
 val number : obj -> string -> float option
 val int : obj -> string -> int option
 val bool : obj -> string -> bool option
+
+(** Frame reassembly for arbitrarily chunked byte streams.
+
+    Both ends of the protocol read through a framer, which makes frame
+    boundaries a pure function of the byte sequence: however the
+    kernel splits the reads — byte at a time, mid-escape, mid-frame —
+    the frames delivered are identical.  A trailing chunk without its
+    ['\n'] is {e residue}, never a frame: a peer dying mid-line can
+    truncate the conversation but cannot mangle a frame. *)
+module Framer : sig
+  type t
+
+  val create : unit -> t
+
+  (** [feed t chunk] appends raw bytes from the stream. *)
+  val feed : t -> string -> unit
+
+  (** [next t] pops the earliest complete frame — the bytes up to the
+      next ['\n'], exclusive, with one trailing ['\r'] stripped — or
+      [None] when no complete frame is buffered. *)
+  val next : t -> string option
+
+  (** [residue t] is the buffered unterminated tail (empty when the
+      stream ended cleanly on a frame boundary). *)
+  val residue : t -> string
+end

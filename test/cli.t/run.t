@@ -506,7 +506,15 @@ and a client-requested shutdown:
   $ ../../bin/budgetbuf_cli.exe request release --socket s.sock --id j1
   released j1
   $ ../../bin/budgetbuf_cli.exe request stats --socket s.sock
-  stats: admitted=2 rejected=1 infeasible=0 timed_out=0 failed=0 shed=0 refused=0 released=1 cache_hits=2 cache_misses=1 live=1 queue=0
+  stats: admitted=2 rejected=1 infeasible=0 timed_out=0 failed=0 shed=0 refused=0 released=1 cache_hits=2 cache_misses=1 pings=0 live=1 queue=0
+
+A ping answers the server's readiness (exit 0 only when serving) and
+counts in the stats:
+
+  $ ../../bin/budgetbuf_cli.exe request --ping --socket s.sock
+  ready: serving
+  $ ../../bin/budgetbuf_cli.exe request stats --socket s.sock
+  stats: admitted=2 rejected=1 infeasible=0 timed_out=0 failed=0 shed=0 refused=0 released=1 cache_hits=2 cache_misses=1 pings=1 live=1 queue=0
   $ ../../bin/budgetbuf_cli.exe request shutdown --socket s.sock
   server shutting down
   $ wait $SERVER
@@ -591,7 +599,7 @@ cache — byte-identically, without re-solving:
   $ RSERVER=$!
   $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket r.sock --id k1 > first.reply
   $ kill -KILL $RSERVER
-  $ wait $RSERVER
+  $ wait $RSERVER 2> /dev/null
   [137]
   $ ../../bin/budgetbuf_cli.exe serve --socket r.sock --cache memo2.journal > r2.out 2>&1 &
   $ RSERVER=$!
@@ -606,6 +614,55 @@ cache — byte-identically, without re-solving:
   $ wait $RSERVER
   $ head -1 r2.out
   cache: 1 instances from memo2.journal
+
+A corrupted journal entry is quarantined, not fatal, and costs only
+the verdicts it touched: serve two instances to a fresh journal, flip
+a byte inside the first entry, restart — the damaged line lands in
+the .quarantine sidecar, the second entry still answers from cache
+byte-identically, and the journal is compacted to a clean copy:
+
+  $ ../../bin/budgetbuf_cli.exe serve --socket c.sock --cache memo3.journal > c1.out 2>&1 &
+  $ CSERVER=$!
+  $ ../../bin/budgetbuf_cli.exe request admit mem.cfg --socket c.sock --id c1 > /dev/null
+  $ ../../bin/budgetbuf_cli.exe request release --socket c.sock --id c1 > /dev/null
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket c.sock --id c2 > c2.first
+  $ ../../bin/budgetbuf_cli.exe request shutdown --socket c.sock > /dev/null
+  $ wait $CSERVER
+  $ wc -l < memo3.journal
+  3
+  $ sed -i '2s/ done / dxne /' memo3.journal
+  $ ../../bin/budgetbuf_cli.exe serve --socket c.sock --cache memo3.journal > c2.out 2>&1 &
+  $ CSERVER=$!
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket c.sock --id c3 > c2.second
+  $ head -1 c2.second
+  admitted c3 (cache hit)
+  $ tail -n +2 c2.first > c2.first.body
+  $ tail -n +2 c2.second > c2.second.body
+  $ diff c2.first.body c2.second.body && echo identical
+  identical
+  $ ../../bin/budgetbuf_cli.exe request shutdown --socket c.sock > /dev/null
+  $ wait $CSERVER
+  $ head -1 c2.out
+  cache: 1 instances from memo3.journal
+  $ wc -l < memo3.journal.quarantine
+  1
+  $ wc -l < memo3.journal
+  2
+
+Deterministic chaos injection (docs/robustness.md): under
+--chaos fsync every journal write fails with EIO — the verdict is
+still served and still admits, only its durability is lost, and the
+shutdown line reports the damage:
+
+  $ ../../bin/budgetbuf_cli.exe serve --socket x.sock --cache memo4.journal --chaos fsync,n=1,seed=7 > x.out 2>&1 &
+  $ XSERVER=$!
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket x.sock --id x1 > /dev/null
+  $ ../../bin/budgetbuf_cli.exe request shutdown --socket x.sock > /dev/null
+  $ wait $XSERVER
+  $ grep 'io errors' x.out
+  cache: 1 entries, 0 journal lines (0 ever), 0 compactions, 0 quarantined, 1 io errors
+  $ wc -l < memo4.journal
+  1
 
 SIGTERM interrupts a durable sweep the same way SIGINT does: the sweep
 stops between candidates, reports how far it got, and exits 128+15

@@ -16,6 +16,7 @@ module Bounded = Serve.Bounded
 module Cache = Serve.Cache
 module Server = Serve.Server
 module Client = Serve.Client
+module Chaos = Serve.Chaos
 module Config = Taskgraph.Config
 module Parse = Taskgraph.Parse
 
@@ -76,6 +77,87 @@ let test_wire_rejects () =
   | Error e -> Alcotest.failf "parse failed: %s" e
 
 (* ------------------------------------------------------------------ *)
+(* Framer: frames are a pure function of the byte sequence            *)
+(* ------------------------------------------------------------------ *)
+
+(* Unit cases: CRLF stripping, residue across feeds, and every 2-way
+   split of a real rendered request line delivering the identical
+   frame. *)
+let test_framer_units () =
+  let fr = Wire.Framer.create () in
+  Wire.Framer.feed fr "ab\r\ncd";
+  check_bool "crlf frame" true (Wire.Framer.next fr = Some "ab");
+  check_bool "tail is not a frame" true (Wire.Framer.next fr = None);
+  check_string "residue" "cd" (Wire.Framer.residue fr);
+  Wire.Framer.feed fr "\n";
+  check_bool "residue completes" true (Wire.Framer.next fr = Some "cd");
+  let line =
+    Protocol.request_to_line
+      (Protocol.Admit
+         {
+           id = "j\"1";
+           config = "granularity 1\n";
+           deadline_s = Some 0.5;
+           fault = None;
+           retry = true;
+         })
+  in
+  let wire = line ^ "\n" in
+  for i = 0 to String.length wire do
+    let fr = Wire.Framer.create () in
+    Wire.Framer.feed fr (String.sub wire 0 i);
+    Wire.Framer.feed fr (String.sub wire i (String.length wire - i));
+    (match Wire.Framer.next fr with
+    | Some got when got = line -> ()
+    | Some got -> Alcotest.failf "split %d mangled: %S" i got
+    | None -> Alcotest.failf "split %d lost the frame" i);
+    check_string "no leftover" "" (Wire.Framer.residue fr)
+  done
+
+(* Adversarial chunking: any split of the byte stream — one byte at a
+   time, mid-frame, anywhere — delivers exactly the original frames in
+   order, and an unterminated tail is residue, never a frame. *)
+let prop_framer_chunking seed =
+  let rng = Workloads.Rng.create (Int64.of_int (seed + 7919)) in
+  let alphabet = [| 'a'; 'z'; '{'; '}'; '"'; '\\'; ' '; ':'; ','; '0' |] in
+  let piece () =
+    String.init
+      (Workloads.Rng.int rng ~bound:12)
+      (fun _ -> alphabet.(Workloads.Rng.int rng ~bound:(Array.length alphabet)))
+  in
+  let frames = List.init (Workloads.Rng.int rng ~bound:7) (fun _ -> piece ()) in
+  let tail = piece () in
+  let stream =
+    String.concat "" (List.map (fun f -> f ^ "\n") frames) ^ tail
+  in
+  let fr = Wire.Framer.create () in
+  let got = ref [] in
+  let rec drain () =
+    match Wire.Framer.next fr with
+    | Some f ->
+      got := f :: !got;
+      drain ()
+    | None -> ()
+  in
+  let n = String.length stream in
+  let pos = ref 0 in
+  while !pos < n do
+    let k = 1 + Workloads.Rng.int rng ~bound:(min 5 (n - !pos)) in
+    Wire.Framer.feed fr (String.sub stream !pos k);
+    pos := !pos + k;
+    (* Interleave draining with feeding: frame boundaries must not
+       depend on when the reader drains. *)
+    if Workloads.Rng.int rng ~bound:2 = 0 then drain ()
+  done;
+  drain ();
+  List.rev !got = frames && Wire.Framer.residue fr = tail
+
+let qcheck_framer_chunking =
+  QCheck.Test.make ~count:500
+    ~name:"framer invariant under adversarial chunking" QCheck.small_nat
+    prop_framer_chunking
+
+(* ------------------------------------------------------------------ *)
 (* Protocol round trips                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -98,10 +180,13 @@ let test_protocol_roundtrip () =
           config = "granularity 1\ntaskgraph t period 10\n";
           deadline_s = Some 0.25;
           fault = Some "stall,iter=3";
+          retry = false;
         };
       Protocol.Admit
-        { id = "j2"; config = "x"; deadline_s = None; fault = None };
+        { id = "j2"; config = "x"; deadline_s = None; fault = None;
+          retry = true };
       Protocol.Release { id = "j1" };
+      Protocol.Ping;
       Protocol.Stats;
       Protocol.Shutdown;
     ];
@@ -124,6 +209,8 @@ let test_protocol_roundtrip () =
       Protocol.Overloaded { id = "j"; retry_after_s = 0.75 };
       Protocol.Released { id = "j"; found = true };
       Protocol.Released { id = "j"; found = false };
+      Protocol.Ready { state = Protocol.Serving };
+      Protocol.Ready { state = Protocol.Draining };
       Protocol.Stats_reply
         {
           Protocol.zero_stats with
@@ -207,6 +294,107 @@ let test_bounded_blocking_pop () =
   Bounded.close q;
   Thread.join th;
   check_bool "received" true (!got = [ 7 ])
+
+(* Multi-domain stress: parallel producer domains race a draining
+   consumer thread through a 4-slot queue.  Every item is accounted
+   for exactly once, the bound is never exceeded, and each producer's
+   items come out in its push order. *)
+let bounded_stress ~halt_midway =
+  let capacity = 4 and producers = 4 and per = 200 in
+  let q = Bounded.create ~capacity in
+  let popped = ref [] and over = ref false in
+  let consumer =
+    Thread.create
+      (fun () ->
+        let rec go () =
+          match Bounded.pop q with
+          | Some x ->
+            if Bounded.length q > capacity then over := true;
+            popped := x :: !popped;
+            go ()
+          | None -> ()
+        in
+        go ())
+      ()
+  in
+  let doms =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            let pushed = ref 0 in
+            (try
+               for i = 0 to per - 1 do
+                 let rec push () =
+                   match Bounded.try_push q (p, i) with
+                   | `Ok -> incr pushed
+                   | `Full ->
+                     Domain.cpu_relax ();
+                     push ()
+                   | `Closed -> raise Exit
+                 in
+                 push ()
+               done
+             with Exit -> ());
+            !pushed))
+  in
+  let dropped =
+    if halt_midway then begin
+      Thread.delay 0.02;
+      Bounded.halt q
+    end
+    else []
+  in
+  let pushed = List.map Domain.join doms in
+  if not halt_midway then Bounded.close q;
+  Thread.join consumer;
+  let seen = List.rev !popped @ dropped in
+  check_bool "bound respected" false !over;
+  check_int "no item lost or duplicated"
+    (List.fold_left ( + ) 0 pushed)
+    (List.length seen);
+  (* Per-producer FIFO: pops and then drops preserve queue order, which
+     preserves each producer's push order. *)
+  List.iteri
+    (fun p pushed_p ->
+      let mine = List.filter_map
+          (fun (p', i) -> if p' = p then Some i else None)
+          seen
+      in
+      check_bool
+        (Printf.sprintf "producer %d fifo" p)
+        true
+        (mine = List.init pushed_p (fun i -> i)))
+    pushed
+
+let test_bounded_domains_drain () = bounded_stress ~halt_midway:false
+let test_bounded_domains_halt () = bounded_stress ~halt_midway:true
+
+(* ------------------------------------------------------------------ *)
+(* Client backoff schedule                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_schedule () =
+  let b = Client.default_backoff in
+  for i = 0 to 9 do
+    let d = Client.backoff_delay b i in
+    check_bool "reproducible" true (d = Client.backoff_delay b i);
+    let raw =
+      Float.min b.Client.cap_s
+        (b.Client.base_s *. (b.Client.multiplier ** float_of_int i))
+    in
+    check_bool "within jitter band" true
+      (d >= 0.75 *. raw && d < 1.25 *. raw)
+  done;
+  (* The cap bounds every delay, so a long outage cannot produce
+     minute-long sleeps. *)
+  check_bool "capped" true
+    (Client.backoff_delay b 40 <= 1.25 *. b.Client.cap_s);
+  (* Different seeds desynchronise: some attempt draws a different
+     jitter. *)
+  let b2 = { b with Client.seed = 1 } in
+  check_bool "seeds differ" true
+    (List.exists
+       (fun i -> Client.backoff_delay b i <> Client.backoff_delay b2 i)
+       [ 0; 1; 2; 3; 4; 5; 6; 7 ])
 
 (* ------------------------------------------------------------------ *)
 (* Canonical keys: invariance and sensitivity                          *)
@@ -356,7 +544,7 @@ let unsat = Cache.Unsat { reason = "no assignment satisfies the throughput" }
 let test_cache_store_reopen () =
   let path = tmp_path "cache" in
   rm path;
-  (match Cache.open_ ~path with
+  (match Cache.open_ path with
   | Error e -> Alcotest.failf "open: %s" e
   | Ok t ->
     check_int "fresh cache empty" 0 (Cache.size t);
@@ -368,7 +556,7 @@ let test_cache_store_reopen () =
     check_bool "find hit" true (Cache.find t ~key:"k1" = Some solved);
     check_bool "find miss" true (Cache.find t ~key:"k3" = None);
     Cache.close t);
-  (match Cache.open_ ~path with
+  (match Cache.open_ path with
   | Error e -> Alcotest.failf "reopen: %s" e
   | Ok t ->
     check_int "replayed" 2 (Cache.size t);
@@ -383,12 +571,144 @@ let test_cache_foreign_file () =
   let oc = open_out path in
   output_string oc "not a journal\n";
   close_out oc;
-  (match Cache.open_ ~path with
+  (match Cache.open_ path with
   | Error _ -> ()
   | Ok t ->
     Cache.close t;
     Alcotest.fail "foreign file must be refused");
   rm path
+
+let open_exn ?max_entries ?chaos path =
+  match Cache.open_ ?max_entries ?chaos path with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "open %s: %s" path e
+
+let count_lines path =
+  In_channel.with_open_text path (fun ic ->
+      let n = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr n
+         done
+       with End_of_file -> ());
+      !n)
+
+(* FIFO eviction bounds the table; once at least half the journal is
+   dead lines, compaction rewrites it to exactly the live entries, so
+   the on-disk size tracks the bound, not the history. *)
+let test_cache_bounded_compaction () =
+  let path = tmp_path "bounded" in
+  rm path;
+  let t = open_exn ~max_entries:2 path in
+  List.iter
+    (fun k -> Cache.store t ~key:k solved)
+    [ "k1"; "k2"; "k3"; "k4"; "k5"; "k6" ];
+  check_int "bounded to 2" 2 (Cache.size t);
+  check_bool "oldest evicted" true (Cache.find t ~key:"k1" = None);
+  check_bool "newest live" true (Cache.find t ~key:"k6" = Some solved);
+  let s = Cache.stats t in
+  check_int "every store journaled" 6 s.Cache.total_lines;
+  check_bool "compacted at least once" true (s.Cache.compactions >= 1);
+  check_int "journal holds only the live entries" 2 s.Cache.journal_lines;
+  Cache.close t;
+  (* Header plus one line per live entry — the file really is small. *)
+  check_int "on-disk lines bounded" 3 (count_lines path);
+  let t = open_exn ~max_entries:2 path in
+  check_int "replays the bound" 2 (Cache.size t);
+  check_bool "k5 survives" true (Cache.find t ~key:"k5" = Some solved);
+  check_bool "k6 survives" true (Cache.find t ~key:"k6" = Some solved);
+  Cache.close t;
+  rm path
+
+(* A corrupted interior line costs exactly the verdicts it touched:
+   the damaged bytes land in the .quarantine sidecar, entries beyond
+   the damage survive, and the journal is rewritten clean.  A stale
+   compaction temporary left by a crash is swept on open. *)
+let test_cache_quarantine_and_stale_tmp () =
+  let path = tmp_path "quarantine" in
+  rm path;
+  rm (path ^ ".quarantine");
+  let t = open_exn path in
+  Cache.store t ~key:"k1" solved;
+  Cache.store t ~key:"k2" solved;
+  Cache.store t ~key:"k3" unsat;
+  Cache.close t;
+  (* A crash mid-compaction leaves a temporary behind. *)
+  Out_channel.with_open_text (path ^ ".tmp") (fun oc ->
+      Out_channel.output_string oc "half-written garbage");
+  (* Flip a byte inside the middle entry (file is header, k1, k2, k3). *)
+  let lines =
+    In_channel.with_open_text path (fun ic ->
+        let rec go acc =
+          match input_line ic with
+          | l -> go (l :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  let corrupted =
+    List.mapi
+      (fun i l ->
+        if i = 2 then (
+          let b = Bytes.of_string l in
+          Bytes.set b (Bytes.length b - 3) '#';
+          Bytes.to_string b)
+        else l)
+      lines
+  in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) corrupted);
+  let t = open_exn path in
+  check_bool "stale tmp swept" false (Sys.file_exists (path ^ ".tmp"));
+  check_int "two entries survive" 2 (Cache.size t);
+  check_bool "entry before the damage" true
+    (Cache.find t ~key:"k1" = Some solved);
+  check_bool "entry after the damage survives" true
+    (Cache.find t ~key:"k3" = Some unsat);
+  check_bool "damaged entry gone" true (Cache.find t ~key:"k2" = None);
+  check_int "one line quarantined" 1 (Cache.stats t).Cache.quarantined;
+  Cache.close t;
+  check_int "sidecar holds the damaged line" 1
+    (count_lines (path ^ ".quarantine"));
+  (* The journal was rewritten clean: a re-open quarantines nothing. *)
+  let t = open_exn path in
+  check_int "clean replay" 2 (Cache.size t);
+  check_int "nothing further quarantined" 0 (Cache.stats t).Cache.quarantined;
+  Cache.close t;
+  rm path;
+  rm (path ^ ".quarantine")
+
+(* The chaos I/O hooks: a failed journal write degrades durability but
+   never service; a corrupted write is quarantined at the next open. *)
+let test_cache_chaos_hooks () =
+  let path = tmp_path "chaosio" in
+  rm path;
+  let t = open_exn ~chaos:(fun () -> `Fail) path in
+  Cache.store t ~key:"k1" solved;
+  check_bool "verdict still served" true (Cache.find t ~key:"k1" = Some solved);
+  let s = Cache.stats t in
+  check_int "write failure counted" 1 s.Cache.io_errors;
+  check_int "nothing on disk" 0 s.Cache.journal_lines;
+  Cache.close t;
+  let t = open_exn path in
+  check_int "not durable" 0 (Cache.size t);
+  Cache.close t;
+  rm path;
+  let path = tmp_path "chaosio2" in
+  rm path;
+  rm (path ^ ".quarantine");
+  let t = open_exn ~chaos:(fun () -> `Corrupt) path in
+  Cache.store t ~key:"k1" solved;
+  Cache.store t ~key:"k2" unsat;
+  check_int "corrupt writes still serve" 2 (Cache.size t);
+  Cache.close t;
+  let t = open_exn path in
+  check_int "both lines quarantined" 2 (Cache.stats t).Cache.quarantined;
+  check_int "nothing replayed" 0 (Cache.size t);
+  Cache.close t;
+  rm path;
+  rm (path ^ ".quarantine")
 
 (* ------------------------------------------------------------------ *)
 (* Server, in process                                                  *)
@@ -421,7 +741,8 @@ let start_server cfg =
 
 let admit c ~id ?deadline_s ?fault config =
   match
-    Client.roundtrip c (Protocol.Admit { id; config; deadline_s; fault })
+    Client.roundtrip c
+      (Protocol.Admit { id; config; deadline_s; fault; retry = false })
   with
   | Ok r -> r
   | Error e -> Alcotest.failf "admit %s: %s" id e
@@ -653,7 +974,7 @@ let test_server_refuses_malformed () =
             Client.roundtrip c
               (Protocol.Admit
                  { id = "x"; config = "not a config"; deadline_s = None;
-                   fault = None })
+                   fault = None; retry = false })
           with
          | Ok (Protocol.Refused _) -> ()
          | Ok r ->
@@ -675,6 +996,217 @@ let test_server_refuses_malformed () =
   | Ok (r, _) -> Alcotest.failf "stop reason: %s" (Server.describe r)
   | Error e -> Alcotest.failf "server: %s" e
 
+(* Ping is the load balancer's probe: answered instantly with the
+   lifecycle state, counted, and never queued behind solves. *)
+let test_server_ping_readiness () =
+  let sock = tmp_path "ping.sock" in
+  let th, res = start_server (Server.default_config ~socket_path:sock) in
+  (match
+     Client.with_connection sock (fun c ->
+         (match Client.roundtrip c Protocol.Ping with
+         | Ok (Protocol.Ready { state = Protocol.Serving }) -> ()
+         | Ok r ->
+           Alcotest.failf "expected serving: %s" (Protocol.status_of_response r)
+         | Error e -> Alcotest.failf "ping: %s" e);
+         (match Client.roundtrip c Protocol.Stats with
+         | Ok (Protocol.Stats_reply s) -> check_int "pings counted" 1 s.pings
+         | _ -> Alcotest.fail "stats after ping");
+         shutdown c;
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "client: %s" e);
+  Thread.join th;
+  match !res with
+  | Ok (Server.Shutdown_request, s) -> check_int "final pings" 1 s.pings
+  | Ok (r, _) -> Alcotest.failf "stop reason: %s" (Server.describe r)
+  | Error e -> Alcotest.failf "server: %s" e
+
+(* The watchdog reaps a solve stuck past its deadline: the client gets
+   timed_out promptly (with the watchdog named in the reason), and the
+   server keeps answering — the slot is reclaimed, not leaked. *)
+let test_server_watchdog_reaps () =
+  let sock = tmp_path "wd.sock" in
+  let th, res =
+    start_server
+      {
+        (Server.default_config ~socket_path:sock) with
+        Server.watchdog_grace_s = Some 0.05;
+      }
+  in
+  (match
+     Client.with_connection sock (fun c ->
+         (match
+            admit c ~id:"stuck" ~deadline_s:0.15 ~fault:"slow"
+              (t1_with_cap 11)
+          with
+         | Protocol.Late { reason; _ } ->
+           check_bool "watchdog named" true
+             (replace ~sub:"watchdog" ~by:"" reason <> reason)
+         | r ->
+           Alcotest.failf "expected timed_out: %s"
+             (Protocol.status_of_response r));
+         (* The pool slot comes back: a plain solve still answers. *)
+         ignore (expect_admitted (admit c ~id:"after" (t1_text ())));
+         shutdown c;
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "client: %s" e);
+  Thread.join th;
+  match !res with
+  | Ok (Server.Shutdown_request, s) ->
+    check_int "one timeout" 1 s.Protocol.timed_out;
+    check_int "one admit after" 1 s.Protocol.admitted
+  | Ok (r, _) -> Alcotest.failf "stop reason: %s" (Server.describe r)
+  | Error e -> Alcotest.failf "server: %s" e
+
+(* With reconcile on, a connection that dies releases the admissions
+   it owns: the id and its capacity come back without an explicit
+   release, so a crashed client cannot leak the server full. *)
+let test_server_reconcile_releases () =
+  let sock = tmp_path "rec.sock" in
+  let th, res =
+    start_server
+      {
+        (Server.default_config ~socket_path:sock) with
+        Server.reconcile = true;
+      }
+  in
+  (match Client.connect sock with
+  | Error e -> Alcotest.failf "connect: %s" e
+  | Ok c ->
+    ignore (expect_admitted (admit c ~id:"r1" (t1_text ())));
+    (* Die without releasing. *)
+    Client.close c);
+  (* The reap runs when the server notices the EOF; poll briefly. *)
+  let reaped = ref false in
+  let polls = ref 0 in
+  while (not !reaped) && !polls < 100 do
+    incr polls;
+    (match
+       Client.with_connection sock (fun c -> Client.roundtrip c Protocol.Stats)
+     with
+    | Ok (Protocol.Stats_reply s) when s.Protocol.live = 0 ->
+      check_int "released by reconcile" 1 s.Protocol.released;
+      reaped := true
+    | Ok _ -> Thread.delay 0.02
+    | Error e -> Alcotest.failf "stats poll: %s" e);
+  done;
+  check_bool "crashed client reaped" true !reaped;
+  (match
+     Client.with_connection sock (fun c ->
+         (* The id is free again. *)
+         ignore (expect_admitted (admit c ~id:"r1" (t1_text ())));
+         shutdown c;
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "client 2: %s" e);
+  Thread.join th;
+  match !res with
+  | Ok (Server.Shutdown_request, s) -> check_int "re-admitted" 2 s.admitted
+  | Ok (r, _) -> Alcotest.failf "stop reason: %s" (Server.describe r)
+  | Error e -> Alcotest.failf "server: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Chaos campaign                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a chaos-armed server through three rounds of admits with the
+   resilient client: every request must reach a genuine, certified
+   verdict through torn replies, dropped connections, handler
+   exceptions and journal faults.  Returns the injection log and the
+   final counters so the caller can assert determinism. *)
+let run_chaos_campaign spec =
+  let sock = tmp_path "chaos.sock" and cache = tmp_path "chaos.cachej" in
+  rm cache;
+  let chaos = Chaos.create spec in
+  let th, res =
+    start_server
+      {
+        (Server.default_config ~socket_path:sock) with
+        Server.cache_path = Some cache;
+        cache_max_entries = Some 4;
+        reconcile = true;
+        chaos = Some chaos;
+      }
+  in
+  let texts = List.map t1_with_cap [ 10; 11; 12; 13 ] in
+  let retry = { Client.default_retry with attempts = 8 } in
+  let attempted = ref 0 and answered = ref 0 in
+  for round = 0 to 2 do
+    List.iteri
+      (fun i text ->
+        let id = Printf.sprintf "c%d-%d" round i in
+        incr attempted;
+        (match
+           Client.submit ~retry ~socket:sock
+             (Protocol.Admit
+                {
+                  id;
+                  config = text;
+                  deadline_s = None;
+                  fault = None;
+                  retry = false;
+                })
+         with
+        | Ok (Protocol.Admitted { certificate; _ }) ->
+          incr answered;
+          check_bool "certified under chaos" true
+            (String.length certificate > 1)
+        | Ok r ->
+          Alcotest.failf "campaign %s: %s" id (Protocol.status_of_response r)
+        | Error e -> Alcotest.failf "campaign %s: %s" id e);
+        match Client.submit ~retry ~socket:sock (Protocol.Release { id }) with
+        | Ok (Protocol.Released _) -> ()
+        | Ok r ->
+          Alcotest.failf "release %s: %s" id (Protocol.status_of_response r)
+        | Error e -> Alcotest.failf "release %s: %s" id e)
+      texts
+  done;
+  (* Shut down through the chaos: an injected failure can eat the Bye,
+     in which case the listener goes away — treat that as success. *)
+  let rec shut tries =
+    if tries = 0 then Alcotest.fail "chaos server never shut down"
+    else
+      match
+        Client.with_connection
+          ~backoff:{ Client.default_backoff with retries = 2 }
+          sock
+          (fun c -> Client.roundtrip c Protocol.Shutdown)
+      with
+      | Ok Protocol.Bye -> ()
+      | Ok _ -> shut (tries - 1)
+      | Error _ -> ()
+  in
+  shut 5;
+  Thread.join th;
+  let stats =
+    match !res with
+    | Ok (Server.Shutdown_request, s) -> s
+    | Ok (r, _) -> Alcotest.failf "stop reason: %s" (Server.describe r)
+    | Error e -> Alcotest.failf "chaos server: %s" e
+  in
+  check_int "every request answered" !attempted !answered;
+  check_int "no leaked admissions" 0 stats.Protocol.live;
+  rm cache;
+  Chaos.log chaos
+
+let test_server_chaos_campaign () =
+  (* @runtest-chaos points BUDGETBUF_CHAOS at a different schedule; the
+     default exercises every kind at one-in-3. *)
+  let spec =
+    match Chaos.of_env () with
+    | Some s -> s
+    | None -> { Chaos.skind = Chaos.Mix; every = 3; seed = 42 }
+  in
+  let log1 = run_chaos_campaign spec in
+  let log2 = run_chaos_campaign spec in
+  check_bool "chaos fired" true (log1 <> []);
+  check_bool "same seed, byte-identical injections" true
+    (List.equal String.equal log1 log2)
+
 (* ------------------------------------------------------------------ *)
 
 (* Client-side writes can race a halting server that has restored the
@@ -689,6 +1221,8 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_wire_roundtrip;
           Alcotest.test_case "rejects" `Quick test_wire_rejects;
+          Alcotest.test_case "framer units" `Quick test_framer_units;
+          QCheck_alcotest.to_alcotest qcheck_framer_chunking;
         ] );
       ( "protocol",
         [
@@ -701,7 +1235,14 @@ let () =
           Alcotest.test_case "close drains" `Quick test_bounded_close_drains;
           Alcotest.test_case "halt discards" `Quick test_bounded_halt_discards;
           Alcotest.test_case "blocking pop" `Quick test_bounded_blocking_pop;
+          Alcotest.test_case "multi-domain drain" `Quick
+            test_bounded_domains_drain;
+          Alcotest.test_case "multi-domain halt" `Quick
+            test_bounded_domains_halt;
         ] );
+      ( "client",
+        [ Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule ]
+      );
       ( "canonical key",
         [
           Alcotest.test_case "respelling unit" `Quick test_key_respelling_unit;
@@ -714,6 +1255,11 @@ let () =
             test_cache_store_reopen;
           Alcotest.test_case "foreign file refused" `Quick
             test_cache_foreign_file;
+          Alcotest.test_case "bounded, compacted" `Quick
+            test_cache_bounded_compaction;
+          Alcotest.test_case "quarantine and stale tmp" `Quick
+            test_cache_quarantine_and_stale_tmp;
+          Alcotest.test_case "chaos I/O hooks" `Quick test_cache_chaos_hooks;
         ] );
       ( "server",
         [
@@ -727,5 +1273,15 @@ let () =
             test_server_restart_recovery;
           Alcotest.test_case "malformed refused" `Quick
             test_server_refuses_malformed;
+          Alcotest.test_case "ping readiness" `Quick test_server_ping_readiness;
+          Alcotest.test_case "watchdog reaps stuck solve" `Quick
+            test_server_watchdog_reaps;
+          Alcotest.test_case "reconcile releases crashed client" `Quick
+            test_server_reconcile_releases;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "campaign, twice, deterministically" `Quick
+            test_server_chaos_campaign;
         ] );
     ]

@@ -1148,6 +1148,262 @@ let chaos_report ppf =
   close_out oc;
   Format.fprintf ppf "  written: BENCH_chaos.json@."
 
+(* --- The crash-storm campaign: process isolation under fire --------
+
+   Drives a server whose solves run in isolated [budgetbuf worker]
+   subprocesses through a deterministic storm of good, crashing,
+   hanging and OOM-ing requests (fault kinds picked by
+   [Robust.Fault.det_int], executed inside the worker's rlimit box).
+   Deliverables: 100% of requests answered with a structured verdict
+   while workers die around them, zero leaked admissions, a same-seed
+   determinism check (two campaigns, byte-identical injection logs),
+   and the kill -9 drill — SIGKILL a real [budgetbuf serve] process,
+   restart it on the same journals, and prove the memo cache answers
+   byte-identically and the poison verdict holds without sacrificing
+   another worker.  Also written to BENCH_crash.json. *)
+let crash_report ppf =
+  Format.fprintf ppf
+    "@.=== Crash storm (process-isolated workers under fire) ===@.@.";
+  Format.fprintf ppf
+    "  (workers pass stderr through: any 'Out of memory' lines below are \
+     OOM-faulted workers dying inside their rlimit box, as intended)@.";
+  let saved_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigpipe saved_pipe)
+  @@ fun () ->
+  let tmp name =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bb-bench-%d-%s" (Unix.getpid ()) name)
+  in
+  let rm path = try Sys.remove path with Sys_error _ -> () in
+  (* The worker binary sits next to the bench in the build tree. *)
+  let cli_exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      "../bin/budgetbuf_cli.exe"
+  in
+  let t1_cap cap =
+    let cfg = Workloads.Gen.paper_t1 () in
+    Taskgraph.Config.set_max_capacity cfg
+      (Taskgraph.Config.find_buffer cfg "bab")
+      (Some cap);
+    Format.asprintf "%a" Taskgraph.Config.pp cfg
+  in
+  let start cfg =
+    let result = ref (Error "server never ran") in
+    let th = Thread.create (fun () -> result := Serve.Server.run cfg) () in
+    (th, result)
+  in
+  let errors = ref 0 in
+  let requests = 24 and seed = 2026 in
+  (* One storm: [requests] admits, every third one carrying a process
+     fault whose kind det_int picks — crash (SIGKILL mid-solve), hang
+     (reaped past deadline + grace) or oom (dies against the rlimit
+     box).  Spacing the faults keeps the storm inside the circuit
+     breaker's threshold, so it measures containment, not lockout. *)
+  let run_storm tag =
+    let sock = tmp (Printf.sprintf "crash-%s.sock" tag) in
+    let quarantine = tmp (Printf.sprintf "crash-%s.quarj" tag) in
+    rm quarantine;
+    let th, res =
+      start
+        {
+          (Serve.Server.default_config ~socket_path:sock) with
+          Serve.Server.isolate = Some 2;
+          worker_exe = Some cli_exe;
+          rlimit_mem_mb = Some 512;
+          quarantine_path = Some quarantine;
+        }
+    in
+    let answered = ref 0 and log = ref [] in
+    (match
+       Serve.Client.with_connection sock (fun c ->
+           for i = 0 to requests - 1 do
+             let kind =
+               if i mod 3 <> 2 then "good"
+               else
+                 match
+                   Robust.Fault.det_int ~seed ~salt:"bench-crash-kind"
+                     ~bound:3 i
+                 with
+                 | 0 -> "crash"
+                 | 1 -> "hang"
+                 | _ -> "oom"
+             in
+             let fault = if kind = "good" then None else Some kind in
+             let deadline_s = if kind = "hang" then Some 0.6 else Some 30.0 in
+             let id = Printf.sprintf "%s%02d" tag i in
+             (match
+                Serve.Client.roundtrip c
+                  (Serve.Protocol.Admit
+                     {
+                       id;
+                       config = t1_cap (10 + i);
+                       deadline_s;
+                       fault;
+                       retry = false;
+                     })
+              with
+             | Ok reply ->
+               incr answered;
+               log :=
+                 Printf.sprintf "%02d:%s:%s" i kind
+                   (Serve.Protocol.status_of_response reply)
+                 :: !log;
+               (match reply with
+               | Serve.Protocol.Admitted _ -> begin
+                 match
+                   Serve.Client.roundtrip c (Serve.Protocol.Release { id })
+                 with
+                 | Ok (Serve.Protocol.Released _) -> ()
+                 | Ok _ | Error _ -> incr errors
+               end
+               | _ -> ())
+             | Error _ -> incr errors)
+           done;
+           Serve.Client.roundtrip c Serve.Protocol.Shutdown)
+     with
+    | Ok Serve.Protocol.Bye -> ()
+    | Ok _ | Error _ -> incr errors);
+    Thread.join th;
+    let stats =
+      match !res with
+      | Ok (_, s) -> Some s
+      | Error _ ->
+        incr errors;
+        None
+    in
+    rm quarantine;
+    (!answered, List.rev !log, stats)
+  in
+  let answered, log1, stats = run_storm "a" in
+  let _, log2, _ = run_storm "b" in
+  let logs_match = List.equal String.equal log1 log2 && log1 <> [] in
+  let faults = List.length (List.filter (fun i -> i mod 3 = 2)
+                              (List.init requests Fun.id)) in
+  let crashes, reaped_timeouts, leaked =
+    match stats with
+    | Some s ->
+      (s.Serve.Protocol.worker_crashes, s.Serve.Protocol.timed_out,
+       s.Serve.Protocol.live)
+    | None -> (-1, -1, -1)
+  in
+  let answered_pct =
+    100.0 *. float_of_int answered /. float_of_int requests
+  in
+  Format.fprintf ppf
+    "  storm: %d/%d answered (%.1f%%, target 100%%), %d faults injected, %d \
+     worker crashes contained, %d hangs reaped@."
+    answered requests answered_pct faults crashes reaped_timeouts;
+  Format.fprintf ppf "  leaked admissions after the dust settles: %d@." leaked;
+  Format.fprintf ppf "  determinism: same seed, %s injection logs@."
+    (if logs_match then "byte-identical" else "DIVERGENT");
+  (* The kill -9 drill, against a real serve process. *)
+  let sock = tmp "crash-k9.sock" in
+  let cache = tmp "crash-k9.cachej" in
+  let quarantine = tmp "crash-k9.quarj" in
+  rm cache;
+  rm quarantine;
+  let serve_args =
+    [
+      "serve"; "--socket"; sock; "--cache"; cache; "--isolate"; "1";
+      "--quarantine"; quarantine;
+    ]
+  in
+  let spawn () =
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+    (* The drill measures crash recovery, not chaos: don't let an
+       inherited BUDGETBUF_CHAOS schedule leak into the server. *)
+    let env =
+      Array.of_list
+        (List.filter
+           (fun kv -> not (String.starts_with ~prefix:"BUDGETBUF_CHAOS=" kv))
+           (Array.to_list (Unix.environment ())))
+    in
+    let pid =
+      Unix.create_process_env cli_exe
+        (Array.of_list (cli_exe :: serve_args))
+        env devnull devnull devnull
+    in
+    Unix.close devnull;
+    pid
+  in
+  let backoff = { Serve.Client.default_backoff with retries = 40 } in
+  let good = t1_cap 40 and poison = t1_cap 41 in
+  let admit c id ?fault config =
+    Serve.Client.roundtrip c
+      (Serve.Protocol.Admit
+         { id; config; deadline_s = Some 30.0; fault; retry = false })
+  in
+  let pid1 = spawn () in
+  let first_mapping = ref "" in
+  (match
+     Serve.Client.with_connection ~backoff sock (fun c ->
+         (match admit c "good" good with
+         | Ok (Serve.Protocol.Admitted { mapping; _ }) ->
+           first_mapping := mapping
+         | Ok _ | Error _ -> incr errors);
+         (match admit c "p1" ~fault:"crash" poison with
+         | Ok (Serve.Protocol.Failed _) -> ()
+         | Ok _ | Error _ -> incr errors);
+         (match admit c "p2" ~fault:"crash" poison with
+         | Ok (Serve.Protocol.Failed _) -> ()
+         | Ok _ | Error _ -> incr errors);
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error _ -> incr errors);
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  let pid2 = spawn () in
+  let cache_hit = ref false
+  and mapping_identical = ref false
+  and poison_survives = ref false
+  and new_crashes = ref (-1) in
+  (match
+     Serve.Client.with_connection ~backoff sock (fun c ->
+         (match admit c "good2" good with
+         | Ok (Serve.Protocol.Admitted { cache = hit; mapping; _ }) ->
+           cache_hit := hit = `Hit;
+           mapping_identical := mapping = !first_mapping
+         | Ok _ | Error _ -> incr errors);
+         (match admit c "p3" poison with
+         | Ok (Serve.Protocol.Poisoned _) -> poison_survives := true
+         | Ok _ | Error _ -> incr errors);
+         (match Serve.Client.roundtrip c Serve.Protocol.Stats with
+         | Ok (Serve.Protocol.Stats_reply s) ->
+           new_crashes := s.Serve.Protocol.worker_crashes
+         | Ok _ | Error _ -> incr errors);
+         Serve.Client.roundtrip c Serve.Protocol.Shutdown)
+   with
+  | Ok Serve.Protocol.Bye -> ()
+  | Ok _ | Error _ -> incr errors);
+  ignore (Unix.waitpid [] pid2);
+  rm cache;
+  rm quarantine;
+  Format.fprintf ppf
+    "  kill -9: cache %s after restart (mapping %s), poison verdict %s, %d \
+     new worker crashes@."
+    (if !cache_hit then "hit" else "MISSED")
+    (if !mapping_identical then "byte-identical" else "DIVERGENT")
+    (if !poison_survives then "held from the journal" else "LOST")
+    !new_crashes;
+  Format.fprintf ppf "  transport errors: %d@." !errors;
+  let oc = open_out "BENCH_crash.json" in
+  Printf.fprintf oc
+    "{ \"storm\": { \"requests\": %d, \"answered\": %d, \"answered_pct\": \
+     %.1f, \"faults_injected\": %d, \"worker_crashes\": %d, \"reaped\": %d, \
+     \"leaked_admissions\": %d },\n\
+    \  \"determinism\": { \"runs\": 2, \"logs_match\": %b },\n\
+    \  \"kill9\": { \"cache_hit_after_restart\": %b, \"mapping_identical\": \
+     %b, \"poison_survives\": %b, \"new_crashes_after_restart\": %d },\n\
+    \  \"errors\": %d }\n"
+    requests answered answered_pct faults crashes reaped_timeouts leaked
+    logs_match !cache_hit !mapping_identical !poison_survives !new_crashes
+    !errors;
+  close_out oc;
+  Format.fprintf ppf "  written: BENCH_crash.json@."
+
 let () =
   let ppf = Format.std_formatter in
   let jobs =
@@ -1191,6 +1447,7 @@ let () =
     sparse_report ppf;
     serve_report ~jobs:!jobs ppf;
     chaos_report ppf;
+    crash_report ppf;
     bechamel_suite ()
   | [ "tables" ] -> with_pool (fun pool -> Experiments.all ?pool ppf)
   | [ "bench" ] ->
@@ -1203,6 +1460,7 @@ let () =
   | [ "sparse" ] -> sparse_report ppf
   | [ "serve" ] -> serve_report ~jobs:!jobs ppf
   | [ "chaos" ] -> chaos_report ppf
+  | [ "crash" ] -> crash_report ppf
   | [ name ] -> begin
     match Experiments.by_name name with
     | Some _ ->
@@ -1213,7 +1471,7 @@ let () =
     | None ->
       Format.eprintf
         "unknown experiment %S (expected: %s, tables, bench, par, durable, \
-         certify, obs, sparse, serve, chaos)@."
+         certify, obs, sparse, serve, chaos, crash)@."
         name
         (String.concat ", " Experiments.names);
       exit 2
@@ -1221,5 +1479,6 @@ let () =
   | _ ->
     Format.eprintf
       "usage: main.exe \
-       [EXPERIMENT|tables|bench|par|durable|certify|obs|sparse|serve] [--jobs N]@.";
+       [EXPERIMENT|tables|bench|par|durable|certify|obs|sparse|serve|chaos|crash] \
+       [--jobs N]@.";
     exit 2

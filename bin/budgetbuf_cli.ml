@@ -1488,8 +1488,59 @@ let serve_watchdog_arg =
            client gets $(b,timed_out) and the slot is reclaimed even if \
            the solve never returns.  Negative disables the watchdog.")
 
+let serve_isolate_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "isolate" ] ~docv:"N"
+        ~doc:
+          "Run solves in $(docv) supervised worker $(i,processes) instead \
+           of in-process: a solve that crashes, hangs or exhausts memory \
+           kills a disposable worker — never the server — and the client \
+           still gets a structured reply.  A request that keeps killing \
+           workers is quarantined and answered $(b,poisoned).")
+
+let serve_rlimit_mem_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "rlimit-mem" ] ~docv:"MB"
+        ~doc:
+          "Cap each worker's address space at $(docv) MiB (needs \
+           $(b,--isolate)); a solve that exceeds it dies inside its own \
+           process.")
+
+let serve_rlimit_cpu_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "rlimit-cpu" ] ~docv:"SECS"
+        ~doc:
+          "Cap each worker's CPU time at $(docv) seconds (needs \
+           $(b,--isolate)).")
+
+let serve_poison_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "poison-threshold" ] ~docv:"K"
+        ~doc:
+          "Quarantine a canonical instance after it crashes $(docv) \
+           workers: further identical requests answer $(b,poisoned) \
+           without sacrificing another worker (needs $(b,--isolate)).")
+
+let serve_quarantine_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "quarantine" ] ~docv:"JOURNAL"
+        ~doc:
+          "Persist the poison-request quarantine to $(docv) (same \
+           crash-safe journal discipline as $(b,--cache)); crash counts \
+           survive server restarts.  Needs $(b,--isolate).")
+
 let do_serve () socket cache cache_max queue batch jobs deadline kkt chaos
-    reconcile watchdog trace metrics =
+    reconcile watchdog isolate rlimit_mem rlimit_cpu poison quarantine trace
+    metrics =
   match
     match jobs with
     | Some n when n < 1 -> Error "--jobs must be >= 1"
@@ -1498,6 +1549,12 @@ let do_serve () socket cache cache_max queue batch jobs deadline kkt chaos
       try Ok (Parallel.Pool.default_domains ())
       with Invalid_argument msg -> Error msg)
   with
+  | Ok _ when isolate = None && rlimit_mem <> None ->
+    Format.eprintf "error: --rlimit-mem needs --isolate@.";
+    1
+  | Ok _ when isolate = None && rlimit_cpu <> None ->
+    Format.eprintf "error: --rlimit-cpu needs --isolate@.";
+    1
   | Error msg ->
     Format.eprintf "error: %s@." msg;
     1
@@ -1529,6 +1586,12 @@ let do_serve () socket cache cache_max queue batch jobs deadline kkt chaos
         reconcile;
         watchdog_grace_s =
           (match watchdog with Some g when g >= 0.0 -> Some g | _ -> None);
+        isolate;
+        rlimit_mem_mb = rlimit_mem;
+        rlimit_cpu_s = rlimit_cpu;
+        poison_threshold = poison;
+        quarantine_path = quarantine;
+        worker_exe = None;
         log =
           Some
             (fun line ->
@@ -1543,14 +1606,15 @@ let do_serve () socket cache cache_max queue batch jobs deadline kkt chaos
     | Ok (reason, s) ->
       Format.printf
         "serve: %s; admitted=%d rejected=%d infeasible=%d timed_out=%d \
-         failed=%d shed=%d refused=%d released=%d cache_hits=%d \
-         cache_misses=%d@."
+         failed=%d poisoned=%d shed=%d refused=%d released=%d cache_hits=%d \
+         cache_misses=%d worker_crashes=%d@."
         (Serve.Server.describe reason)
         s.Serve.Protocol.admitted s.Serve.Protocol.rejected
         s.Serve.Protocol.infeasible s.Serve.Protocol.timed_out
-        s.Serve.Protocol.failed s.Serve.Protocol.shed s.Serve.Protocol.refused
-        s.Serve.Protocol.released s.Serve.Protocol.cache_hits
-        s.Serve.Protocol.cache_misses;
+        s.Serve.Protocol.failed s.Serve.Protocol.poisoned s.Serve.Protocol.shed
+        s.Serve.Protocol.refused s.Serve.Protocol.released
+        s.Serve.Protocol.cache_hits s.Serve.Protocol.cache_misses
+        s.Serve.Protocol.worker_crashes;
       (match reason with
       | Serve.Server.Shutdown_request | Serve.Server.Halted -> 0
       | Serve.Server.Signalled n -> 128 + n))
@@ -1567,7 +1631,9 @@ let serve_cmd =
       const do_serve $ logs_term $ socket_arg $ serve_cache_arg
       $ serve_cache_max_arg $ serve_queue_arg $ serve_batch_arg $ jobs_arg
       $ serve_deadline_arg $ kkt_arg $ serve_chaos_arg $ serve_reconcile_arg
-      $ serve_watchdog_arg $ obs_trace_arg $ metrics_arg)
+      $ serve_watchdog_arg $ serve_isolate_arg $ serve_rlimit_mem_arg
+      $ serve_rlimit_cpu_arg $ serve_poison_arg $ serve_quarantine_arg
+      $ obs_trace_arg $ metrics_arg)
 
 let request_op_arg =
   Arg.(
@@ -1703,6 +1769,9 @@ let do_request () socket op ping file id deadline fault retry =
       | Serve.Protocol.Failed { id; reason } ->
         Format.printf "failed %s: %s@." id reason;
         2
+      | Serve.Protocol.Poisoned { id; reason } ->
+        Format.printf "poisoned %s: %s@." id reason;
+        5
       | Serve.Protocol.Overloaded { id; _ } ->
         (* The retry hint is load-dependent (and so nondeterministic);
            scripts read it from the wire, humans just retry. *)
@@ -1715,14 +1784,17 @@ let do_request () socket op ping file id deadline fault retry =
       | Serve.Protocol.Stats_reply s ->
         Format.printf
           "stats: admitted=%d rejected=%d infeasible=%d timed_out=%d \
-           failed=%d shed=%d refused=%d released=%d cache_hits=%d \
-           cache_misses=%d pings=%d live=%d queue=%d@."
+           failed=%d poisoned=%d shed=%d refused=%d released=%d \
+           cache_hits=%d cache_misses=%d pings=%d live=%d queue=%d \
+           worker_crashes=%d@."
           s.Serve.Protocol.admitted s.Serve.Protocol.rejected
           s.Serve.Protocol.infeasible s.Serve.Protocol.timed_out
-          s.Serve.Protocol.failed s.Serve.Protocol.shed
-          s.Serve.Protocol.refused s.Serve.Protocol.released
-          s.Serve.Protocol.cache_hits s.Serve.Protocol.cache_misses
-          s.Serve.Protocol.pings s.Serve.Protocol.live s.Serve.Protocol.queue;
+          s.Serve.Protocol.failed s.Serve.Protocol.poisoned
+          s.Serve.Protocol.shed s.Serve.Protocol.refused
+          s.Serve.Protocol.released s.Serve.Protocol.cache_hits
+          s.Serve.Protocol.cache_misses s.Serve.Protocol.pings
+          s.Serve.Protocol.live s.Serve.Protocol.queue
+          s.Serve.Protocol.worker_crashes;
         0
       | Serve.Protocol.Ready { state } ->
         Format.printf "ready: %s@." (Serve.Protocol.readiness_name state);
@@ -1738,7 +1810,7 @@ let request_cmd =
   let doc =
     "send one request to a running $(b,budgetbuf serve) instance and \
      print its reply (exit 0 admitted/ok, 1 infeasible/rejected, 2 \
-     error, 3 overloaded, 4 timed out)"
+     error, 3 overloaded, 4 timed out, 5 poisoned)"
   in
   Cmd.v
     (Cmd.info "request" ~doc)
@@ -1768,6 +1840,12 @@ let main_cmd =
    deep inside the libraries.  Turn these into a one-line diagnostic and
    a non-zero exit instead of an OCaml backtrace. *)
 let () =
+  (* The hidden worker mode: [budgetbuf worker] is exec'd by the serve
+     supervisor, speaks the pipe protocol on stdin/stdout, and is of no
+     use interactively — dispatch it before cmdliner so it stays out of
+     --help. *)
+  if Array.length Sys.argv >= 2 && Sys.argv.(1) = "worker" then
+    exit (Serve.Worker.main (Array.to_list Sys.argv));
   match Cmd.eval' ~catch:false main_cmd with
   | code -> exit code
   | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->

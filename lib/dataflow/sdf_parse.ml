@@ -66,6 +66,19 @@ let of_string text =
     (String.split_on_char '\n' text);
   (t, fun name -> Hashtbl.find actors name)
 
+(* The total entry point: arbitrary bytes — a truncated download, a
+   bit-flipped file, fuzz input — come back as [Error (line, msg)],
+   never as an escaping exception.  [Parse_error] is the designed
+   failure; anything else out of the parser ([Invalid_argument] from a
+   malformed UTF-8 float, [Failure] from a library call) is a parser
+   bug from the caller's point of view, so it is reported on line 0
+   rather than allowed to escape. *)
+let of_string_result text =
+  match of_string text with
+  | v -> Ok v
+  | exception Parse_error (line, msg) -> Error (line, msg)
+  | exception (Invalid_argument msg | Failure msg) -> Error (0, msg)
+
 let of_file path =
   let ic = open_in path in
   let len = in_channel_length ic in

@@ -22,6 +22,13 @@ val of_string : string -> Csdf.t * (string -> Csdf.actor)
 (** Returns the graph and a name-based actor lookup.
     @raise Not_found from the lookup for unknown names. *)
 
+(** [of_string_result text] is the total form of {!of_string}:
+    arbitrary bytes parse to [Ok] or to [Error (line, message)] — no
+    exception escapes, whatever the input.  Line 0 marks a failure
+    outside the designed [Parse_error] channel. *)
+val of_string_result :
+  string -> (Csdf.t * (string -> Csdf.actor), int * string) Stdlib.result
+
 (** [of_file path] reads and parses a file.
     @raise Sys_error when unreadable.
     @raise Parse_error on malformed input. *)

@@ -28,6 +28,7 @@ type t = {
   candidates : (string, int ref) Hashtbl.t;
   faults : (string, int ref) Hashtbl.t;
   requests : (string, int ref) Hashtbl.t;
+  workers : (string, int ref) Hashtbl.t;
   phases : (string, float ref) Hashtbl.t;
 }
 
@@ -51,6 +52,7 @@ let make ?(sink = Sink.null) () =
     candidates = Hashtbl.create 8;
     faults = Hashtbl.create 4;
     requests = Hashtbl.create 8;
+    workers = Hashtbl.create 4;
     phases = Hashtbl.create 8;
   }
 
@@ -89,6 +91,10 @@ let emit t event =
   | Trace.Cache_miss _ -> Metrics.Counter.incr t.cache_misses
   | Trace.Shed _ -> Metrics.Counter.incr t.sheds
   | Trace.Chaos_injected { kind; _ } -> bump_keyed t t.faults ("chaos:" ^ kind)
+  | Trace.Worker_spawn _ -> bump_keyed t t.workers "spawned"
+  | Trace.Worker_exit _ -> bump_keyed t t.workers "exited"
+  | Trace.Worker_reaped _ -> bump_keyed t t.workers "reaped"
+  | Trace.Quarantined _ -> bump_keyed t t.workers "quarantined"
   | Trace.Span_close { name; elapsed_s } -> add_phase t name elapsed_s
   | Trace.Solve_start _ | Trace.Socp_iter _ | Trace.Presolve _
   | Trace.Rung_exit _ | Trace.Span_open _ | Trace.Kkt_factor _
@@ -144,6 +150,7 @@ let report t =
   let cand_line = keyed_line t.candidates "candidates" in
   let fault_line = keyed_line t.faults "faults" in
   let request_line = keyed_line t.requests "requests" in
+  let worker_line = keyed_line t.workers "workers" in
   Mutex.unlock t.keyed_mutex;
   let solves = Metrics.Counter.value t.solves in
   let lines = ref [] in
@@ -156,6 +163,7 @@ let report t =
   (match cert_line with Some l -> add l | None -> ());
   (match cand_line with Some l -> add l | None -> ());
   (match request_line with Some l -> add l | None -> ());
+  (match worker_line with Some l -> add l | None -> ());
   let hits = Metrics.Counter.value t.restore_hits
   and misses = Metrics.Counter.value t.restore_misses in
   if hits + misses > 0 then

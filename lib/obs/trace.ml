@@ -49,6 +49,10 @@ type event =
   | Cache_miss of { key : string }
   | Shed of { queue : int }
   | Chaos_injected of { kind : string; site : string; ordinal : int }
+  | Worker_spawn of { pid : int; slot : int }
+  | Worker_exit of { pid : int; reason : string; solves : int }
+  | Worker_reaped of { pid : int; after_s : float }
+  | Quarantined of { key : string; crashes : int }
   | Span_open of { name : string }
   | Span_close of { name : string; elapsed_s : float }
 
@@ -75,6 +79,10 @@ let event_name = function
   | Cache_miss _ -> "cache_miss"
   | Shed _ -> "shed"
   | Chaos_injected _ -> "chaos_injected"
+  | Worker_spawn _ -> "worker_spawn"
+  | Worker_exit _ -> "worker_exit"
+  | Worker_reaped _ -> "worker_reaped"
+  | Quarantined _ -> "quarantined"
   | Span_open _ -> "span_open"
   | Span_close _ -> "span_close"
 
@@ -149,6 +157,13 @@ let fields_of_event = function
   | Shed { queue } -> [ ("queue", I queue) ]
   | Chaos_injected { kind; site; ordinal } ->
     [ ("kind", S kind); ("site", S site); ("ordinal", I ordinal) ]
+  | Worker_spawn { pid; slot } -> [ ("pid", I pid); ("slot", I slot) ]
+  | Worker_exit { pid; reason; solves } ->
+    [ ("pid", I pid); ("reason", S reason); ("solves", I solves) ]
+  | Worker_reaped { pid; after_s } ->
+    [ ("pid", I pid); ("after_s", N after_s) ]
+  | Quarantined { key; crashes } ->
+    [ ("key", S key); ("crashes", I crashes) ]
   | Span_open { name } -> [ ("name", S name) ]
   | Span_close { name; elapsed_s } ->
     [ ("name", S name); ("elapsed_s", N elapsed_s) ]
@@ -402,6 +417,14 @@ let of_json_line line =
       | "chaos_injected" ->
         Chaos_injected
           { kind = str "kind"; site = str "site"; ordinal = int "ordinal" }
+      | "worker_spawn" -> Worker_spawn { pid = int "pid"; slot = int "slot" }
+      | "worker_exit" ->
+        Worker_exit
+          { pid = int "pid"; reason = str "reason"; solves = int "solves" }
+      | "worker_reaped" ->
+        Worker_reaped { pid = int "pid"; after_s = num "after_s" }
+      | "quarantined" ->
+        Quarantined { key = str "key"; crashes = int "crashes" }
       | "span_open" -> Span_open { name = str "name" }
       | "span_close" ->
         Span_close { name = str "name"; elapsed_s = num "elapsed_s" }

@@ -79,6 +79,17 @@ type event =
   | Chaos_injected of { kind : string; site : string; ordinal : int }
       (** the chaos injector fired fault [kind] at decision [ordinal]
           of injection [site] (e.g. ["request"], ["journal"]) *)
+  | Worker_spawn of { pid : int; slot : int }
+      (** the supervisor started an isolated solve worker in [slot] *)
+  | Worker_exit of { pid : int; reason : string; solves : int }
+      (** a worker left the pool after [solves] completed solves;
+          [reason] is ["eof"], ["exit N"] or ["signal N"] *)
+  | Worker_reaped of { pid : int; after_s : float }
+      (** the supervisor SIGKILLed a worker stuck [after_s] seconds
+          past its request deadline plus grace *)
+  | Quarantined of { key : string; crashes : int }
+      (** an instance's canonical-key digest crossed the poison
+          threshold after [crashes] worker crashes *)
   | Span_open of { name : string }  (** a timed phase begins *)
   | Span_close of { name : string; elapsed_s : float }
       (** the phase ends, with its duration on the trace clock *)

@@ -1,6 +1,8 @@
 module Socp = Conic.Socp
 
-type kind = Solver of Socp.fault | Bad_round
+type process = Crash | Hang | Oom
+
+type kind = Solver of Socp.fault | Bad_round | Process of process
 
 type plan = {
   kind : kind;
@@ -24,11 +26,14 @@ let of_string spec =
       | "slow" -> Ok (Solver Socp.Slow)
       | "dense_kkt" -> Ok (Solver Socp.Dense_kkt)
       | "bad_round" -> Ok Bad_round
+      | "crash" -> Ok (Process Crash)
+      | "hang" -> Ok (Process Hang)
+      | "oom" -> Ok (Process Oom)
       | k ->
         Error
           (Printf.sprintf
-             "unknown fault kind %S (expected stall, nan, slow, dense_kkt or \
-              bad_round)" k))
+             "unknown fault kind %S (expected stall, nan, slow, dense_kkt, \
+              bad_round, crash, hang or oom)" k))
     with
     | Error _ as e -> e
     | Ok kind ->
@@ -78,6 +83,9 @@ let kind_name = function
   | Solver Socp.Slow -> "slow"
   | Solver Socp.Dense_kkt -> "dense_kkt"
   | Bad_round -> "bad_round"
+  | Process Crash -> "crash"
+  | Process Hang -> "hang"
+  | Process Oom -> "oom"
 
 let to_string plan =
   let kind = kind_name plan.kind in
@@ -114,8 +122,12 @@ let for_candidate plan ~index =
 
 let covers plan ~attempt =
   match plan with
-  | None | Some { kind = Bad_round; _ } -> false
+  | None | Some { kind = Bad_round | Process _; _ } -> false
   | Some p -> attempt <= p.attempts
+
+let process_kind = function
+  | Some { kind = Process p; _ } -> Some p
+  | Some _ | None -> None
 
 let inject plan ~attempt =
   match plan with

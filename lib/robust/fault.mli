@@ -7,7 +7,8 @@
 
     {v KIND[,iter=N][,attempts=N|all][,only=I] v}
 
-    where [KIND] is [stall], [nan], [slow] or [bad_round], [iter] is
+    where [KIND] is [stall], [nan], [slow], [dense_kkt], [bad_round],
+    [crash], [hang] or [oom], [iter] is
     the interior-point iteration at which the fault fires (default 0),
     [attempts] is how many leading ladder attempts are faulted
     (default 1; [all] faults every attempt {e including} the simplex
@@ -22,9 +23,17 @@
     The CLI accepts a spec through [--fault]; the test suites through
     the [BUDGETBUF_FAULT] environment variable. *)
 
+(** Process-level faults, executed by the isolated solve worker rather
+    than the in-process solver: [Crash] SIGKILLs the worker mid-solve,
+    [Hang] livelocks it until the supervisor reaps it past the deadline
+    grace, [Oom] allocates until the rlimit (or the 1 GiB safety cap)
+    kills it.  In-process solves treat these as no-ops. *)
+type process = Crash | Hang | Oom
+
 type kind =
   | Solver of Conic.Socp.fault  (** injected into the IPM iteration *)
   | Bad_round  (** corrupts the rounded solution, not the solver *)
+  | Process of process  (** executed by the isolated solve worker *)
 
 type plan = {
   kind : kind;
@@ -40,7 +49,8 @@ type plan = {
 val stall_first : plan
 
 (** [kind_name kind] is the spec keyword of [kind] (["stall"], ["nan"],
-    ["slow"], ["bad_round"]) — also the label trace events carry. *)
+    ["slow"], ["bad_round"], ["crash"], ["hang"], ["oom"]) — also the
+    label trace events carry. *)
 val kind_name : kind -> string
 
 (** [of_string spec] parses the spec grammar above. *)
@@ -60,9 +70,14 @@ val of_env : unit -> plan option
 val for_candidate : plan option -> index:int -> plan option
 
 (** [covers plan ~attempt] is true when the 1-based ladder [attempt] is
-    faulted under [plan].  Always false for [Bad_round] plans, which do
-    not touch the solver. *)
+    faulted under [plan].  Always false for [Bad_round] and [Process]
+    plans, which do not touch the solver. *)
 val covers : plan option -> attempt:int -> bool
+
+(** [process_kind plan] is the process-level fault requested by [plan],
+    if any.  Only the isolated solve worker acts on these; everywhere
+    else a [Process] plan is inert. *)
+val process_kind : plan option -> process option
 
 (** [corrupts_rounding plan] is true when [plan] asks for the rounded
     solution to be corrupted ([Bad_round]). *)

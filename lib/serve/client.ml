@@ -57,7 +57,11 @@ let read_line t =
   let scratch = Bytes.create 4096 in
   let rec go () =
     match Wire.Framer.next t.frames with
-    | Some line -> Ok line
+    | Some (Wire.Framer.Frame line) -> Ok line
+    | Some Wire.Framer.Oversized ->
+      (* A reply bigger than the frame bound is not a reply we can
+         trust; treat it as a transport failure. *)
+      Error "oversized reply from server"
     | None -> (
       match Unix.read t.fd scratch 0 (Bytes.length scratch) with
       | 0 -> Error "connection closed by server"
@@ -114,7 +118,9 @@ let default_retry =
    capped), and handler-isolation failures (reason tagged
    ["handler:"], the server-side residue of an injected exception).
    Genuine verdicts — admitted, rejected, infeasible, timed out,
-   solver failure — return immediately. *)
+   poisoned, solver failure — return immediately: in particular a
+   [poisoned] reply is the server telling us this exact instance
+   keeps killing its workers, so re-asking is pointless. *)
 let submit ?(retry = default_retry) ~socket request =
   let reissue = function
     | Protocol.Admit a -> Protocol.Admit { a with retry = true }

@@ -3,6 +3,14 @@
    turns that into a [Refused] reply instead of dropping the
    connection. *)
 
+(* Bumped whenever the wire grammar changes incompatibly.  The ping
+   request and the ready reply both carry it, so a mismatched
+   client/server pair fails the health exchange with one clean line
+   instead of a cascade of framing errors.  Version 2 added
+   process-isolated workers (the [poisoned] status and the worker
+   counters in stats). *)
+let version = 2
+
 type request =
   | Admit of {
       id : string;
@@ -39,6 +47,7 @@ type stats = {
   infeasible : int;
   timed_out : int;
   failed : int;
+  poisoned : int;
   shed : int;
   refused : int;
   cache_hits : int;
@@ -47,6 +56,7 @@ type stats = {
   pings : int;
   live : int;
   queue : int;
+  worker_crashes : int;
 }
 
 let zero_stats =
@@ -56,6 +66,7 @@ let zero_stats =
     infeasible = 0;
     timed_out = 0;
     failed = 0;
+    poisoned = 0;
     shed = 0;
     refused = 0;
     cache_hits = 0;
@@ -64,6 +75,7 @@ let zero_stats =
     pings = 0;
     live = 0;
     queue = 0;
+    worker_crashes = 0;
   }
 
 type response =
@@ -80,6 +92,7 @@ type response =
   | Unsat of { id : string; reason : string }
   | Late of { id : string; reason : string }
   | Failed of { id : string; reason : string }
+  | Poisoned of { id : string; reason : string }
   | Overloaded of { id : string; retry_after_s : float }
   | Released of { id : string; found : bool }
   | Ready of { state : readiness }
@@ -93,6 +106,7 @@ let status_of_response = function
   | Unsat _ -> "infeasible"
   | Late _ -> "timed_out"
   | Failed _ -> "failed"
+  | Poisoned _ -> "poisoned"
   | Overloaded _ -> "overloaded"
   | Released _ -> "released"
   | Ready _ -> "ready"
@@ -116,7 +130,9 @@ let request_to_line = function
       @ [ ("config", Wire.String config) ])
   | Release { id } ->
     Wire.render [ ("op", Wire.String "release"); ("id", Wire.String id) ]
-  | Ping -> Wire.render [ ("op", Wire.String "ping") ]
+  | Ping ->
+    Wire.render
+      [ ("op", Wire.String "ping"); ("v", Wire.Number (float_of_int version)) ]
   | Stats -> Wire.render [ ("op", Wire.String "stats") ]
   | Shutdown -> Wire.render [ ("op", Wire.String "shutdown") ]
 
@@ -171,7 +187,23 @@ let request_of_line line =
       match required "id" with
       | Ok id -> Ok (Release { id })
       | Error _ as e -> e)
-    | Some "ping" -> Ok Ping
+    | Some "ping" -> (
+      (* The version handshake rides on ping: a peer that announces a
+         different protocol version gets one clean mismatch line back
+         instead of per-field decode failures on its next request.  A
+         ping without the field is accepted as a bare liveness probe. *)
+      match List.assoc_opt "v" obj with
+      | None -> Ok Ping
+      | Some v -> (
+        match (match v with Wire.Number _ -> Wire.int obj "v" | _ -> None)
+        with
+        | Some v when v = version -> Ok Ping
+        | Some v ->
+          Error
+            (Printf.sprintf
+               "protocol version mismatch: peer speaks v%d, this build speaks \
+                v%d" v version)
+        | None -> Error "ill-typed field \"v\""))
     | Some "stats" -> Ok Stats
     | Some "shutdown" -> Ok Shutdown
     | Some op -> Error (Printf.sprintf "unknown op %S" op))
@@ -185,6 +217,7 @@ let stats_fields s =
     ("infeasible", Wire.Number (float_of_int s.infeasible));
     ("timed_out", Wire.Number (float_of_int s.timed_out));
     ("failed", Wire.Number (float_of_int s.failed));
+    ("poisoned", Wire.Number (float_of_int s.poisoned));
     ("shed", Wire.Number (float_of_int s.shed));
     ("refused", Wire.Number (float_of_int s.refused));
     ("cache_hits", Wire.Number (float_of_int s.cache_hits));
@@ -193,6 +226,7 @@ let stats_fields s =
     ("pings", Wire.Number (float_of_int s.pings));
     ("live", Wire.Number (float_of_int s.live));
     ("queue", Wire.Number (float_of_int s.queue));
+    ("worker_crashes", Wire.Number (float_of_int s.worker_crashes));
   ]
 
 let response_to_line r =
@@ -212,7 +246,7 @@ let response_to_line r =
         ("attempts", Wire.Number (float_of_int attempts));
       ]
   | Rejected { id; reason } | Unsat { id; reason } | Late { id; reason }
-  | Failed { id; reason } ->
+  | Failed { id; reason } | Poisoned { id; reason } ->
     Wire.render
       [ status; ("id", Wire.String id); ("reason", Wire.String reason) ]
   | Overloaded { id; retry_after_s } ->
@@ -225,7 +259,12 @@ let response_to_line r =
   | Released { id; found } ->
     Wire.render [ status; ("id", Wire.String id); ("found", Wire.Bool found) ]
   | Ready { state } ->
-    Wire.render [ status; ("state", Wire.String (readiness_name state)) ]
+    Wire.render
+      [
+        status;
+        ("state", Wire.String (readiness_name state));
+        ("v", Wire.Number (float_of_int version));
+      ]
   | Stats_reply s -> Wire.render (status :: stats_fields s)
   | Refused { reason } -> Wire.render [ status; ("reason", Wire.String reason) ]
   | Bye -> Wire.render [ status ]
@@ -291,6 +330,8 @@ let response_of_line line =
     | Some "infeasible" -> with_id_reason (fun id reason -> Unsat { id; reason })
     | Some "timed_out" -> with_id_reason (fun id reason -> Late { id; reason })
     | Some "failed" -> with_id_reason (fun id reason -> Failed { id; reason })
+    | Some "poisoned" ->
+      with_id_reason (fun id reason -> Poisoned { id; reason })
     | Some "overloaded" -> (
       match (required "id", Wire.number obj "retry_after_s") with
       | Ok id, Some retry_after_s -> Ok (Overloaded { id; retry_after_s })
@@ -305,7 +346,19 @@ let response_of_line line =
       match required "state" with
       | Ok s -> (
         match readiness_of_name s with
-        | Some state -> Ok (Ready { state })
+        | Some state -> (
+          match List.assoc_opt "v" obj with
+          | None -> Ok (Ready { state })
+          | Some v -> (
+            match (match v with Wire.Number _ -> Wire.int obj "v" | _ -> None)
+            with
+            | Some v when v = version -> Ok (Ready { state })
+            | Some v ->
+              Error
+                (Printf.sprintf
+                   "protocol version mismatch: server speaks v%d, this build \
+                    speaks v%d" v version)
+            | None -> Error "ill-typed field \"v\""))
         | None -> Error (Printf.sprintf "unknown readiness state %S" s))
       | Error _ as e -> e)
     | Some "stats" ->
@@ -321,6 +374,7 @@ let response_of_line line =
       let* infeasible = count "infeasible" in
       let* timed_out = count "timed_out" in
       let* failed = count "failed" in
+      let* poisoned = count "poisoned" in
       let* shed = count "shed" in
       let* refused = count "refused" in
       let* cache_hits = count "cache_hits" in
@@ -329,6 +383,7 @@ let response_of_line line =
       let* pings = count "pings" in
       let* live = count "live" in
       let* queue = count "queue" in
+      let* worker_crashes = count "worker_crashes" in
       Ok
         (Stats_reply
            {
@@ -337,6 +392,7 @@ let response_of_line line =
              infeasible;
              timed_out;
              failed;
+             poisoned;
              shed;
              refused;
              cache_hits;
@@ -345,6 +401,7 @@ let response_of_line line =
              pings;
              live;
              queue;
+             worker_crashes;
            })
     | Some "error" -> (
       match required "reason" with

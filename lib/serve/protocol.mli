@@ -7,18 +7,26 @@
 
     {v {"op":"admit","id":J,"config":TEXT[,"deadline_s":S][,"fault":SPEC][,"retry":true]}
        {"op":"release","id":J}
-       {"op":"ping"}
+       {"op":"ping","v":2}
        {"op":"stats"}
        {"op":"shutdown"} v}
 
     Every reply carries a ["status"] field naming its constructor
     (["admitted"], ["rejected"], ["infeasible"], ["timed_out"],
-    ["overloaded"], ["released"], ["ready"], ["stats"], ["error"],
-    ["shutting_down"]).  Replies never carry wall-clock fields — timing
+    ["failed"], ["poisoned"], ["overloaded"], ["released"], ["ready"],
+    ["stats"], ["error"], ["shutting_down"]).  Replies never carry wall-clock fields — timing
     lives in the trace stream — so a scripted exchange is byte-stable
     (the cram suite relies on this; the one exception,
     [Overloaded.retry_after_s], is load-dependent by design and is the
     reason the CLI renders it without the number). *)
+
+(** The protocol version this build speaks.  [Ping] requests and
+    [Ready] replies both carry it (field ["v"]); the decoders turn a
+    differing announced version into one clean
+    ["protocol version mismatch"] error instead of letting the peer
+    fail field by field.  A ping {e without} the field is accepted as a
+    bare liveness probe. *)
+val version : int
 
 type request =
   | Admit of {
@@ -60,6 +68,7 @@ type stats = {
   infeasible : int;
   timed_out : int;
   failed : int;  (** solver failures — every recovery rung exhausted *)
+  poisoned : int;  (** quarantined instances answered without a solve *)
   shed : int;  (** overloaded replies *)
   refused : int;  (** malformed requests *)
   cache_hits : int;
@@ -68,6 +77,7 @@ type stats = {
   pings : int;  (** readiness probes answered *)
   live : int;  (** jobs currently admitted *)
   queue : int;  (** admission queue length *)
+  worker_crashes : int;  (** isolated solve workers lost mid-solve *)
 }
 
 val zero_stats : stats
@@ -94,6 +104,11 @@ type response =
           timed out *)
   | Failed of { id : string; reason : string }
       (** solver failure after the whole recovery ladder *)
+  | Poisoned of { id : string; reason : string }
+      (** the instance's canonical key is quarantined: it crashed
+          isolated workers past the poison threshold, so the server
+          answers from the quarantine instead of risking another
+          worker *)
   | Overloaded of {
       id : string;
       retry_after_s : float;

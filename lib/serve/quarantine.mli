@@ -1,0 +1,61 @@
+(** Poison-request quarantine for the process-isolated solve path.
+
+    Each worker crash is attributed to the offending request's
+    canonical instance key ({!Cache.canonical_key}) and appended to a
+    {!Durable.Journal}; a key that accumulates [threshold] crashes is
+    {e poisoned}, and the server answers further identical instances
+    with a clean [poisoned] reply instead of sacrificing another
+    worker.  Because attribution is by canonical key, semantically
+    identical request texts share one quarantine entry.
+
+    The journal grammar is documented in docs/formats.md:
+
+    {v <crc> done <index> crash <key> <reason> v}
+
+    Restarting the server replays the journal, so crash counts — and
+    poisoned verdicts — survive even a SIGKILL of the supervisor
+    itself.  Damaged interior lines are salvaged to a
+    [<path>.quarantine] sidecar without truncating the entries behind
+    them, exactly like the memo cache. *)
+
+type t
+
+(** Aggregate counters for the stats/summary lines. *)
+type stats = {
+  keys : int;  (** distinct keys with at least one recorded crash *)
+  poisoned : int;  (** keys at or past the threshold *)
+  crashes : int;  (** total recorded crashes *)
+  salvaged : int;  (** damaged journal lines moved to the sidecar *)
+  io_errors : int;  (** journal appends that failed (counting kept) *)
+}
+
+(** [create ?path ?chaos ~threshold ()] opens (or creates) the
+    quarantine.  Without [path] the table is memory-only: quarantine
+    still works within one server lifetime but does not survive a
+    restart.  [chaos] is the journal fault hook, as for {!Cache}.
+    [Error] on an unreadable or foreign journal.
+    @raise Invalid_argument when [threshold < 1]. *)
+val create :
+  ?path:string ->
+  ?chaos:(unit -> [ `Pass | `Fail | `Corrupt ]) ->
+  threshold:int ->
+  unit ->
+  (t, string) Stdlib.result
+
+val threshold : t -> int
+
+(** [note_crash t ~key ~reason] records one worker crash against [key]
+    (journal append first, then the in-memory count) and returns the
+    new count for [key]. *)
+val note_crash : t -> key:string -> reason:string -> int
+
+(** [crashes t ~key] is the recorded crash count for [key]. *)
+val crashes : t -> key:string -> int
+
+(** [poisoned t ~key] is [Some count] when [key] has reached the
+    poison threshold — the caller should answer [poisoned] without
+    solving — and [None] while the key is still below it. *)
+val poisoned : t -> key:string -> int option
+
+val stats : t -> stats
+val close : t -> unit

@@ -37,6 +37,12 @@ type config = {
   chaos : Chaos.t option;
   reconcile : bool;
   watchdog_grace_s : float option;
+  isolate : int option;  (* solve in N supervised worker processes *)
+  rlimit_mem_mb : int option;
+  rlimit_cpu_s : int option;
+  poison_threshold : int;
+  quarantine_path : string option;
+  worker_exe : string option;  (* None: Sys.executable_name *)
   log : (string -> unit) option;
 }
 
@@ -56,6 +62,12 @@ let default_config ~socket_path =
     chaos = None;
     reconcile = false;
     watchdog_grace_s = Some 1.0;
+    isolate = None;
+    rlimit_mem_mb = None;
+    rlimit_cpu_s = None;
+    poison_threshold = 2;
+    quarantine_path = None;
+    worker_exe = None;
     log = None;
   }
 
@@ -114,9 +126,11 @@ let write_reply c response =
 type job = {
   job_id : string;
   job_cfg : Config.t;
+  job_text : string;  (* raw configuration text, forwarded to workers *)
   key : string;
   deadline : Durable.Deadline.t;
   fault : Robust.Fault.plan option;
+  job_fault_spec : string option;  (* the unparsed spec, for workers *)
   job_retry : bool;
   job_conn : conn;
   arrival : float;
@@ -141,6 +155,8 @@ type state = {
   scfg : config;
   queue : job Bounded.t;
   cache : Cache.t option;
+  supervisor : Supervisor.t option;  (* Some iff [isolate] is on *)
+  quarantine : Quarantine.t option;  (* Some iff [isolate] is on *)
   pool : Parallel.Pool.t;
   lock : Mutex.t;  (* guards [stats], [live] and [inflight] *)
   mutable stats : Protocol.stats;
@@ -349,8 +365,64 @@ type solve_outcome =
   | S_unsat of string
   | S_late of string
   | S_failed of string
+  | S_poisoned of string  (* quarantined instance, not solved *)
 
-let solve_job state job =
+(* Attribute a worker death to the offending instance.  Crossing the
+   poison threshold emits the [quarantined] trace event exactly once
+   per key. *)
+let note_worker_crash state job ~reason =
+  bump state (fun s ->
+      { s with Protocol.worker_crashes = s.Protocol.worker_crashes + 1 });
+  match state.quarantine with
+  | None -> ()
+  | Some q ->
+    let crashes = Quarantine.note_crash q ~key:job.key ~reason in
+    if crashes = Quarantine.threshold q then begin
+      emit state
+        (Obs.Trace.Quarantined { key = Cache.digest job.key; crashes });
+      log state "quarantined %s after %d worker crashes (%s)"
+        (Cache.digest job.key) crashes reason
+    end
+
+(* One solve on a supervised worker process.  Whatever the worker does
+   — answer, crash, hang, trip an rlimit — the server answers the
+   client with a structured verdict; a crash or reap is additionally
+   charged to the instance's quarantine record. *)
+let solve_isolated state sup job =
+  let task =
+    {
+      Worker.task_id = job.job_id;
+      task_config = job.job_text;
+      task_fault = job.job_fault_spec;
+      task_deadline_s =
+        (let r = Durable.Deadline.remaining_s job.deadline in
+         if Float.is_finite r then Some (Float.max r 0.0) else None);
+    }
+  in
+  match Supervisor.solve sup task with
+  | Supervisor.Done (Worker.R_solved r) ->
+    S_solved
+      ( Cache.Solved
+          {
+            mapping = r.mapping;
+            certificate = r.certificate;
+            objective = r.objective;
+            rounded_objective = r.rounded_objective;
+          },
+        r.attempts,
+        r.solve_s )
+  | Supervisor.Done (Worker.R_unsat reason) -> S_unsat reason
+  | Supervisor.Done (Worker.R_late reason) -> S_late reason
+  | Supervisor.Done (Worker.R_failed reason) -> S_failed reason
+  | Supervisor.Crashed reason ->
+    note_worker_crash state job ~reason;
+    S_failed (Printf.sprintf "worker crashed (%s)" reason)
+  | Supervisor.Reaped ->
+    note_worker_crash state job ~reason:"reaped";
+    S_late "solve worker stuck past its deadline and was reaped"
+  | Supervisor.Unavailable reason -> S_failed reason
+
+let solve_in_process state job =
   let params =
     Durability.params_with_deadline
       (base_params state.scfg job.job_cfg)
@@ -377,6 +449,11 @@ let solve_job state job =
   | Error (Mapping.Timed_out msg) -> S_late msg
   | Error (Mapping.Solver_failure msg) -> S_failed msg
   | exception exn -> S_failed (Printexc.to_string exn)
+
+let solve_job state job =
+  match state.supervisor with
+  | Some sup -> solve_isolated state sup job
+  | None -> solve_in_process state job
 
 (* Settle a job whose verdict is in hand: admission check, reply,
    counters, trace.  Exactly-once: whoever wins the [settled] flag —
@@ -429,6 +506,7 @@ let settle state job ~cache_tag ~dequeued outcome =
         Protocol.Unsat { id = job.job_id; reason }
       | S_late reason -> Protocol.Late { id = job.job_id; reason }
       | S_failed reason -> Protocol.Failed { id = job.job_id; reason }
+      | S_poisoned reason -> Protocol.Poisoned { id = job.job_id; reason }
     in
     bump state (fun s ->
         match response with
@@ -436,6 +514,7 @@ let settle state job ~cache_tag ~dequeued outcome =
         | Protocol.Rejected _ -> { s with rejected = s.rejected + 1 }
         | Protocol.Unsat _ -> { s with infeasible = s.infeasible + 1 }
         | Protocol.Late _ -> { s with timed_out = s.timed_out + 1 }
+        | Protocol.Poisoned _ -> { s with poisoned = s.poisoned + 1 }
         | _ -> { s with failed = s.failed + 1 });
     write_reply job.job_conn response;
     let now = Unix.gettimeofday () in
@@ -480,10 +559,23 @@ let dispatch_batch state first =
       | None -> List.rev acc
   in
   let batch = gather [ first ] 1 in
+  let quarantined job =
+    match state.quarantine with
+    | None -> None
+    | Some q -> Quarantine.poisoned q ~key:job.key
+  in
   let classify job =
     if Durable.Deadline.expired job.deadline then
       `Settled (job, S_late "deadline expired while queued")
     else
+      match quarantined job with
+      | Some crashes ->
+        `Settled
+          ( job,
+            S_poisoned
+              (Printf.sprintf "instance quarantined after %d worker crashes"
+                 crashes) )
+      | None -> (
       match state.cache with
       | None -> `Solve job
       | Some cache -> (
@@ -495,7 +587,7 @@ let dispatch_batch state first =
         | None ->
           emit state (Obs.Trace.Cache_miss { key = Cache.digest job.key });
           bump state (fun s -> { s with cache_misses = s.cache_misses + 1 });
-          `Solve job)
+          `Solve job))
   in
   let classified = List.map classify batch in
   let to_solve =
@@ -535,7 +627,8 @@ let dispatch_batch state first =
             Option.iter
               (fun c -> Cache.store c ~key:job.key (Cache.Unsat { reason }))
               state.cache
-          | S_solved (Cache.Unsat _, _, _) | S_late _ | S_failed _ -> ());
+          | S_solved (Cache.Unsat _, _, _) | S_late _ | S_failed _
+          | S_poisoned _ -> ());
           let outcome =
             match outcome with
             | S_unsat reason -> S_solved (Cache.Unsat { reason }, 1, 0.0)
@@ -618,7 +711,7 @@ let handle_admit state conn ~id ~config_text ~deadline_s ~fault ~retry ~arrival
       with Taskgraph.Parse.Parse_error (line, msg) ->
         Error (Printf.sprintf "config line %d: %s" line msg)
     in
-    let fault =
+    let plan =
       match fault with
       | None -> Ok None
       | Some spec -> (
@@ -626,15 +719,15 @@ let handle_admit state conn ~id ~config_text ~deadline_s ~fault ~retry ~arrival
         | Ok plan -> Ok (Some plan)
         | Error msg -> Error (Printf.sprintf "fault spec: %s" msg))
     in
-    match (cfg, fault) with
-    | Ok cfg, Ok fault -> Ok (cfg, fault)
+    match (cfg, plan) with
+    | Ok cfg, Ok plan -> Ok (cfg, plan)
     | Error e, _ | _, Error e -> Error e
   with
   | Error reason ->
     bump state (fun s -> { s with refused = s.refused + 1 });
     write_reply conn (Protocol.Refused { reason });
     "error"
-  | Ok (cfg, fault) -> (
+  | Ok (cfg, plan) -> (
     let deadline =
       match
         match deadline_s with
@@ -648,9 +741,11 @@ let handle_admit state conn ~id ~config_text ~deadline_s ~fault ~retry ~arrival
       {
         job_id = id;
         job_cfg = cfg;
+        job_text = config_text;
         key = Cache.canonical_key cfg;
         deadline;
-        fault;
+        fault = plan;
+        job_fault_spec = fault;
         job_retry = retry;
         job_conn = conn;
         arrival;
@@ -758,8 +853,20 @@ let process_buffer state conn =
   let rec go () =
     match Wire.Framer.next conn.frames with
     | None -> Keep_going
-    | Some "" -> go ()
-    | Some line -> (
+    | Some (Wire.Framer.Frame "") -> go ()
+    | Some Wire.Framer.Oversized ->
+      (* The framer already dropped the payload; answer with a bounded
+         reply and keep the connection — the next frame is intact. *)
+      bump state (fun s -> { s with refused = s.refused + 1 });
+      write_reply conn
+        (Protocol.Refused
+           {
+             reason =
+               Printf.sprintf "too_large: frame exceeds %d bytes"
+                 (Wire.Framer.max_frame conn.frames);
+           });
+      go ()
+    | Some (Wire.Framer.Frame line) -> (
       match handle_line state conn line with
       | Keep_going -> go ()
       | Begin_drain -> Begin_drain
@@ -818,6 +925,12 @@ let run scfg =
   if scfg.queue_capacity < 1 then Error "queue capacity must be at least 1"
   else if scfg.batch < 1 then Error "batch must be at least 1"
   else if scfg.domains < 1 then Error "jobs must be at least 1"
+  else if (match scfg.isolate with Some n -> n < 1 | None -> false) then
+    Error "isolate must be at least 1"
+  else if scfg.poison_threshold < 1 then
+    Error "poison threshold must be at least 1"
+  else if scfg.isolate = None && scfg.quarantine_path <> None then
+    Error "a quarantine journal needs --isolate"
   else begin
     match
       match scfg.cache_path with
@@ -832,22 +945,70 @@ let run scfg =
     with
     | Error msg -> Error msg
     | Ok cache -> (
+      match
+        match scfg.isolate with
+        | None -> Ok None
+        | Some _ -> (
+          match
+            Quarantine.create ?path:scfg.quarantine_path
+              ?chaos:(Chaos.journal_hook scfg.chaos)
+              ~threshold:scfg.poison_threshold ()
+          with
+          | Ok q -> Ok (Some q)
+          | Error msg -> Error msg)
+      with
+      | Error msg ->
+        Option.iter Cache.close cache;
+        Error msg
+      | Ok quarantine -> (
       match bind_socket scfg.socket_path with
       | exception Failure msg ->
         Option.iter Cache.close cache;
+        Option.iter Quarantine.close quarantine;
         Error msg
       | exception Unix.Unix_error (e, _, _) ->
         Option.iter Cache.close cache;
+        Option.iter Quarantine.close quarantine;
         Error
           (Printf.sprintf "cannot bind %s: %s" scfg.socket_path
              (Unix.error_message e))
       | listen_fd ->
         let pool = Parallel.Pool.create ~domains:scfg.domains in
+        let supervisor =
+          Option.map
+            (fun slots ->
+              let exe =
+                match scfg.worker_exe with
+                | Some e -> e
+                | None -> Sys.executable_name
+              in
+              let base = Supervisor.default_config ~exe in
+              Supervisor.create
+                {
+                  base with
+                  Supervisor.slots;
+                  worker_args =
+                    [
+                      "--kkt";
+                      (match scfg.kkt with
+                      | `Auto -> "auto"
+                      | `Dense -> "dense"
+                      | `Sparse -> "sparse");
+                    ];
+                  rlimit_mem_mb = scfg.rlimit_mem_mb;
+                  rlimit_cpu_s = scfg.rlimit_cpu_s;
+                  obs = scfg.obs;
+                  log = scfg.log;
+                })
+            scfg.isolate
+        in
         let state =
           {
             scfg;
             queue = Bounded.create ~capacity:scfg.queue_capacity;
             cache;
+            supervisor;
+            quarantine;
             pool;
             lock = Mutex.create ();
             stats = Protocol.zero_stats;
@@ -957,6 +1118,7 @@ let run scfg =
           Thread.join dispatcher_t;
           Atomic.set watchdog_stop true;
           Option.iter Thread.join watchdog_t;
+          Option.iter Supervisor.shutdown supervisor;
           List.iter
             (fun (c : conn) ->
               Mutex.lock c.lock;
@@ -977,6 +1139,18 @@ let run scfg =
                 cs.Cache.compactions cs.Cache.quarantined cs.Cache.io_errors
           | None -> ());
           Option.iter Cache.close cache;
+          (match quarantine with
+          | Some q ->
+            let qs = Quarantine.stats q in
+            if qs.Quarantine.crashes > 0 || qs.Quarantine.salvaged > 0 then
+              log state
+                "quarantine: %d keys (%d poisoned), %d crashes, %d salvaged, \
+                 %d io errors"
+                qs.Quarantine.keys qs.Quarantine.poisoned
+                qs.Quarantine.crashes qs.Quarantine.salvaged
+                qs.Quarantine.io_errors
+          | None -> ());
+          Option.iter Quarantine.close quarantine;
           Parallel.Pool.fini pool;
           if scfg.signals then restore_signals saved_signals;
           Sys.set_signal Sys.sigpipe saved_pipe;
@@ -1004,5 +1178,5 @@ let run scfg =
           then finish ~graceful:true Shutdown_request
           else loop ()
         in
-        loop ())
+        loop ()))
   end

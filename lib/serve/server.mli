@@ -69,13 +69,33 @@ type config = {
       (** reap solves stuck this long {e past} their deadline: the
           client gets [timed_out] and the slot is reclaimed even if the
           solve never returns.  [None] disables the watchdog. *)
+  isolate : int option;
+      (** run solves in this many supervised worker {e processes}
+          ({!Supervisor}): a crashing, hanging or OOMing solve kills a
+          disposable worker, never the server.  [None] solves
+          in-process (the original behaviour). *)
+  rlimit_mem_mb : int option;
+      (** address-space cap per worker (requires [isolate]) *)
+  rlimit_cpu_s : int option;
+      (** CPU-time cap per worker (requires [isolate]) *)
+  poison_threshold : int;
+      (** worker crashes attributed to one canonical instance before it
+          is quarantined and answered [poisoned] without solving *)
+  quarantine_path : string option;
+      (** quarantine journal ({!Quarantine}); crash counts survive
+          server restarts.  Requires [isolate]. *)
+  worker_exe : string option;
+      (** binary to exec in worker mode; [None] uses
+          [Sys.executable_name] (right for the CLI; in-process tests
+          must point at the budgetbuf binary explicitly) *)
   log : (string -> unit) option;  (** lifecycle lines ("listening on …") *)
 }
 
 (** [default_config ~socket_path] is a serving-ready configuration:
     queue 16, batch = domains = 1, no default deadline, no cache
     (unbounded when enabled), KKT [`Auto], no signals, no chaos, no
-    reconcile, watchdog grace 1 s. *)
+    reconcile, watchdog grace 1 s, no isolation (poison threshold 2
+    once isolation is switched on). *)
 val default_config : socket_path:string -> config
 
 type stop_reason =

@@ -1,0 +1,314 @@
+(* The isolated solve worker: one disposable process per supervisor
+   slot, speaking Wire frames on stdin/stdout.
+
+   Both directions of the pipe protocol are defined here so the
+   supervisor and the worker cannot drift apart: the hello the worker
+   sends on startup (carrying [Protocol.version] so a stale binary is
+   caught at spawn, not mid-solve), the task lines the supervisor
+   writes, and the reply lines the worker answers with.
+
+   The worker is deliberately dumb: read one task, solve it (or
+   execute its process fault), write one reply, repeat until EOF, exit
+   0.  Everything stateful — the cache, the admission registry, the
+   quarantine — lives in the supervisor's process; a worker that dies
+   takes nothing with it but its own in-flight solve.  Process faults
+   ([crash], [hang], [oom]) are executed here, which is what makes
+   them safe to request: the blast radius is this process, under the
+   rlimits the supervisor armed. *)
+
+module Mapping = Budgetbuf.Mapping
+module Durability = Budgetbuf.Durability
+
+(* ---- pipe protocol ----------------------------------------------- *)
+
+let hello_line () =
+  Wire.render
+    [
+      ("ev", Wire.String "hello");
+      ("v", Wire.Number (float_of_int Protocol.version));
+      ("pid", Wire.Number (float_of_int (Unix.getpid ())));
+    ]
+
+let parse_hello line =
+  match Wire.parse line with
+  | Error msg -> Error (Printf.sprintf "malformed worker hello: %s" msg)
+  | Ok obj -> (
+    match (Wire.str obj "ev", Wire.int obj "v", Wire.int obj "pid") with
+    | Some "hello", Some v, Some pid ->
+      if v = Protocol.version then Ok pid
+      else
+        Error
+          (Printf.sprintf
+             "protocol version mismatch: worker speaks v%d, supervisor speaks \
+              v%d" v Protocol.version)
+    | _ -> Error "malformed worker hello")
+
+type task = {
+  task_id : string;
+  task_config : string;
+  task_fault : string option;
+  task_deadline_s : float option;
+}
+
+let task_line t =
+  Wire.render
+    ([ ("id", Wire.String t.task_id) ]
+    @ (match t.task_fault with
+      | Some f -> [ ("fault", Wire.String f) ]
+      | None -> [])
+    @ (match t.task_deadline_s with
+      | Some s -> [ ("deadline_s", Wire.Number s) ]
+      | None -> [])
+    @ [ ("config", Wire.String t.task_config) ])
+
+let parse_task line =
+  match Wire.parse line with
+  | Error msg -> Error (Printf.sprintf "malformed task: %s" msg)
+  | Ok obj -> (
+    match (Wire.str obj "id", Wire.str obj "config") with
+    | Some task_id, Some task_config ->
+      Ok
+        {
+          task_id;
+          task_config;
+          task_fault = Wire.str obj "fault";
+          task_deadline_s = Wire.number obj "deadline_s";
+        }
+    | _ -> Error "malformed task: missing id or config")
+
+type reply =
+  | R_solved of {
+      mapping : string;
+      certificate : string;
+      objective : float;
+      rounded_objective : float;
+      attempts : int;
+      solve_s : float;
+    }
+  | R_unsat of string
+  | R_late of string
+  | R_failed of string
+
+let reply_line ~id reply =
+  let id = ("id", Wire.String id) in
+  match reply with
+  | R_solved { mapping; certificate; objective; rounded_objective; attempts;
+               solve_s } ->
+    Wire.render
+      [
+        ("status", Wire.String "solved");
+        id;
+        ("mapping", Wire.String mapping);
+        ("certificate", Wire.String certificate);
+        ("objective", Wire.Number objective);
+        ("rounded_objective", Wire.Number rounded_objective);
+        ("attempts", Wire.Number (float_of_int attempts));
+        ("solve_s", Wire.Number solve_s);
+      ]
+  | R_unsat reason ->
+    Wire.render
+      [ ("status", Wire.String "unsat"); id; ("reason", Wire.String reason) ]
+  | R_late reason ->
+    Wire.render
+      [ ("status", Wire.String "late"); id; ("reason", Wire.String reason) ]
+  | R_failed reason ->
+    Wire.render
+      [ ("status", Wire.String "failed"); id; ("reason", Wire.String reason) ]
+
+let parse_reply line =
+  match Wire.parse line with
+  | Error msg -> Error (Printf.sprintf "malformed worker reply: %s" msg)
+  | Ok obj -> (
+    let reason () =
+      match Wire.str obj "reason" with Some r -> r | None -> "missing reason"
+    in
+    match Wire.str obj "status" with
+    | Some "solved" -> (
+      match
+        ( Wire.str obj "mapping",
+          Wire.str obj "certificate",
+          Wire.number obj "objective",
+          Wire.number obj "rounded_objective",
+          Wire.int obj "attempts",
+          Wire.number obj "solve_s" )
+      with
+      | ( Some mapping,
+          Some certificate,
+          Some objective,
+          Some rounded_objective,
+          Some attempts,
+          Some solve_s ) ->
+        Ok
+          (R_solved
+             {
+               mapping;
+               certificate;
+               objective;
+               rounded_objective;
+               attempts;
+               solve_s;
+             })
+      | _ -> Error "malformed worker reply: incomplete solved fields")
+    | Some "unsat" -> Ok (R_unsat (reason ()))
+    | Some "late" -> Ok (R_late (reason ()))
+    | Some "failed" -> Ok (R_failed (reason ()))
+    | Some s -> Error (Printf.sprintf "malformed worker reply: status %S" s)
+    | None -> Error "malformed worker reply: missing status")
+
+(* ---- worker-side execution --------------------------------------- *)
+
+let write_line fd line =
+  let line = line ^ "\n" in
+  let len = String.length line in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring fd line !pos (len - !pos)
+  done
+
+(* The OOM fault: allocate (and touch) memory until either the rlimit
+   kills the process or [Out_of_memory] escapes.  A 1 GiB safety cap
+   bounds the damage when no rlimit is armed — reaching it without
+   dying means the fault could not be expressed, so exit nonzero
+   anyway: the supervisor must see a crash either way. *)
+let oom () =
+  let chunk = 8 * 1024 * 1024 in
+  let hold = ref [] in
+  for _ = 1 to 128 do
+    hold := Bytes.make chunk 'x' :: !hold
+  done;
+  ignore (List.length !hold);
+  exit 2
+
+let base_params ~kkt cfg =
+  let sparse =
+    Some { Conic.Socp.default_params with Conic.Socp.kkt = `Sparse }
+  in
+  match kkt with
+  | `Dense -> None
+  | `Sparse -> sparse
+  | `Auto -> (
+    match Mapping.kkt_auto cfg with `Dense -> None | `Sparse -> sparse)
+
+let solve_task ~kkt task =
+  match
+    let cfg =
+      try Ok (Taskgraph.Parse.config_of_string task.task_config)
+      with Taskgraph.Parse.Parse_error (line, msg) ->
+        Error (Printf.sprintf "config line %d: %s" line msg)
+    in
+    let fault =
+      match task.task_fault with
+      | None -> Ok None
+      | Some spec -> (
+        match Robust.Fault.of_string spec with
+        | Ok plan -> Ok (Some plan)
+        | Error msg -> Error (Printf.sprintf "fault spec: %s" msg))
+    in
+    match (cfg, fault) with
+    | Ok cfg, Ok fault -> Ok (cfg, fault)
+    | Error e, _ | _, Error e -> Error e
+  with
+  | Error reason -> R_failed reason
+  | Ok (cfg, fault) -> (
+    (* Process faults fire before the solve: they model native crashes
+       and livelocks, which do not wait for the solver to finish. *)
+    (match Robust.Fault.process_kind fault with
+    | Some Robust.Fault.Crash -> Unix.kill (Unix.getpid ()) Sys.sigkill
+    | Some Robust.Fault.Hang ->
+      while true do
+        Unix.sleepf 3600.0
+      done
+    | Some Robust.Fault.Oom -> oom ()
+    | None -> ());
+    let deadline =
+      match task.task_deadline_s with
+      | Some s -> Durable.Deadline.after s
+      | None -> Durable.Deadline.none
+    in
+    let params =
+      Durability.params_with_deadline (base_params ~kkt cfg) ~deadline
+        ~candidate_deadline:None
+    in
+    let policy =
+      let base = Robust.Recovery.default_policy () in
+      match fault with
+      | Some plan -> { base with Robust.Recovery.fault = Some plan }
+      | None -> base
+    in
+    match Mapping.solve ?params ~policy cfg with
+    | Ok r ->
+      R_solved
+        {
+          mapping =
+            Format.asprintf "%a" (Taskgraph.Mapped_io.print cfg) r.mapped;
+          certificate = Budgetbuf.Certify.summary r.certificate;
+          objective = r.objective;
+          rounded_objective = r.rounded_objective;
+          attempts = r.stats.attempts;
+          solve_s = r.stats.solve_time_s;
+        }
+    | Error (Mapping.Infeasible msg) -> R_unsat msg
+    | Error (Mapping.Timed_out msg) -> R_late msg
+    | Error (Mapping.Solver_failure msg) -> R_failed msg
+    | exception exn -> R_failed (Printexc.to_string exn))
+
+(* The hidden [budgetbuf worker] entry point.  argv is the full
+   [Sys.argv] list; everything after "worker" is worker flags (only
+   [--kkt auto|dense|sparse] today).  Exit 0 on EOF — the supervisor
+   closed our stdin — and 2 on a usage error. *)
+let main argv =
+  let kkt = ref `Auto in
+  let rec parse_args = function
+    | [] -> Ok ()
+    | "--kkt" :: v :: rest -> (
+      match v with
+      | "auto" ->
+        kkt := `Auto;
+        parse_args rest
+      | "dense" ->
+        kkt := `Dense;
+        parse_args rest
+      | "sparse" ->
+        kkt := `Sparse;
+        parse_args rest
+      | v -> Error (Printf.sprintf "worker: bad --kkt %S" v))
+    | arg :: _ -> Error (Printf.sprintf "worker: unknown argument %S" arg)
+  in
+  let args =
+    match argv with
+    | _exe :: "worker" :: rest -> rest
+    | _ -> []
+  in
+  match parse_args args with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok () -> (
+    ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+    write_line Unix.stdout (hello_line ());
+    let frames = Wire.Framer.create () in
+    let scratch = Bytes.create 4096 in
+    let rec serve () =
+      match Wire.Framer.next frames with
+      | Some (Wire.Framer.Frame line) ->
+        let id, reply =
+          match parse_task line with
+          | Error reason -> ("", R_failed reason)
+          | Ok task -> (task.task_id, solve_task ~kkt:!kkt task)
+        in
+        write_line Unix.stdout (reply_line ~id reply);
+        serve ()
+      | Some Wire.Framer.Oversized ->
+        write_line Unix.stdout (reply_line ~id:"" (R_failed "oversized task"));
+        serve ()
+      | None -> (
+        match Unix.read Unix.stdin scratch 0 (Bytes.length scratch) with
+        | 0 -> 0
+        | n ->
+          Wire.Framer.feed frames (Bytes.sub_string scratch 0 n);
+          serve ()
+        | exception Unix.Unix_error _ -> 0)
+    in
+    match serve () with
+    | code -> code
+    | exception Unix.Unix_error (Unix.EPIPE, _, _) -> 0)

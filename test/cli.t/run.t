@@ -506,7 +506,7 @@ and a client-requested shutdown:
   $ ../../bin/budgetbuf_cli.exe request release --socket s.sock --id j1
   released j1
   $ ../../bin/budgetbuf_cli.exe request stats --socket s.sock
-  stats: admitted=2 rejected=1 infeasible=0 timed_out=0 failed=0 shed=0 refused=0 released=1 cache_hits=2 cache_misses=1 pings=0 live=1 queue=0
+  stats: admitted=2 rejected=1 infeasible=0 timed_out=0 failed=0 poisoned=0 shed=0 refused=0 released=1 cache_hits=2 cache_misses=1 pings=0 live=1 queue=0 worker_crashes=0
 
 A ping answers the server's readiness (exit 0 only when serving) and
 counts in the stats:
@@ -514,7 +514,7 @@ counts in the stats:
   $ ../../bin/budgetbuf_cli.exe request --ping --socket s.sock
   ready: serving
   $ ../../bin/budgetbuf_cli.exe request stats --socket s.sock
-  stats: admitted=2 rejected=1 infeasible=0 timed_out=0 failed=0 shed=0 refused=0 released=1 cache_hits=2 cache_misses=1 pings=1 live=1 queue=0
+  stats: admitted=2 rejected=1 infeasible=0 timed_out=0 failed=0 poisoned=0 shed=0 refused=0 released=1 cache_hits=2 cache_misses=1 pings=1 live=1 queue=0 worker_crashes=0
   $ ../../bin/budgetbuf_cli.exe request shutdown --socket s.sock
   server shutting down
   $ wait $SERVER
@@ -522,7 +522,7 @@ counts in the stats:
   cache: 0 instances from memo.journal
   listening on s.sock
   stopping: shutdown
-  serve: shutdown; admitted=2 rejected=1 infeasible=0 timed_out=0 failed=0 shed=0 refused=0 released=1 cache_hits=2 cache_misses=1
+  serve: shutdown; admitted=2 rejected=1 infeasible=0 timed_out=0 failed=0 poisoned=0 shed=0 refused=0 released=1 cache_hits=2 cache_misses=1 worker_crashes=0
 
 Admission control shares resource capacities across live jobs: with the
 memory tightened to 15 units, a second copy of the instance (10 units
@@ -589,7 +589,7 @@ unlinked, and the exit status is 128+15:
   listening on q.sock
   draining on signal 15
   stopping: interrupted (signal 15)
-  serve: interrupted (signal 15); admitted=3 rejected=0 infeasible=0 timed_out=1 failed=0 shed=1 refused=0 released=0 cache_hits=0 cache_misses=0
+  serve: interrupted (signal 15); admitted=3 rejected=0 infeasible=0 timed_out=1 failed=0 poisoned=0 shed=1 refused=0 released=0 cache_hits=0 cache_misses=0 worker_crashes=0
 
 Crash-safe memoisation: kill -9 a server that has settled one admit,
 restart it on the same journal, and the instance is answered from
@@ -677,3 +677,64 @@ presence is pinned):
   [143]
   $ grep -c "^interrupted: stopped after" sweep-term.out
   1
+
+Process isolation (docs/serving.md): --isolate runs solves in
+supervised worker processes.  The isolation flags validate before the
+server starts:
+
+  $ ../../bin/budgetbuf_cli.exe serve --socket i.sock --rlimit-mem 256
+  error: --rlimit-mem needs --isolate
+  [1]
+  $ ../../bin/budgetbuf_cli.exe serve --socket i.sock --rlimit-cpu 5
+  error: --rlimit-cpu needs --isolate
+  [1]
+  $ ../../bin/budgetbuf_cli.exe serve --socket i.sock --quarantine iq.journal
+  error: a quarantine journal needs --isolate
+  [1]
+  $ ../../bin/budgetbuf_cli.exe serve --socket i.sock --isolate 0
+  error: isolate must be at least 1
+  [1]
+  $ ../../bin/budgetbuf_cli.exe serve --socket i.sock --isolate 1 --poison-threshold 0
+  error: poison threshold must be at least 1
+  [1]
+
+A crash fault inside an isolated worker kills the worker, never the
+server: the client gets a structured failed reply both times, and the
+second crash of the same canonical instance quarantines it — the
+third request (even without the fault) answers poisoned, exit 5,
+without sacrificing another worker:
+
+  $ ../../bin/budgetbuf_cli.exe serve --socket i.sock --isolate 1 --quarantine iq.journal > iso.out 2>&1 &
+  $ ISERVER=$!
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket i.sock --id w1 --fault crash
+  failed w1: worker crashed (signal 9)
+  [2]
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket i.sock --id w2 --fault crash
+  failed w2: worker crashed (signal 9)
+  [2]
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket i.sock --id w3
+  poisoned w3: instance quarantined after 2 worker crashes
+  [5]
+  $ ../../bin/budgetbuf_cli.exe request stats --socket i.sock
+  stats: admitted=0 rejected=0 infeasible=0 timed_out=0 failed=2 poisoned=1 shed=0 refused=0 released=0 cache_hits=0 cache_misses=0 pings=0 live=0 queue=0 worker_crashes=2
+  $ ../../bin/budgetbuf_cli.exe request shutdown --socket i.sock > /dev/null
+  $ wait $ISERVER
+  $ grep -E 'quarantine|serve:' iso.out
+  quarantined 70e30c82 after 2 worker crashes (signal 9)
+  quarantine: 1 keys (1 poisoned), 2 crashes, 0 salvaged, 0 io errors
+  serve: shutdown; admitted=0 rejected=0 infeasible=0 timed_out=0 failed=2 poisoned=1 shed=0 refused=0 released=0 cache_hits=0 cache_misses=0 worker_crashes=2
+
+The quarantine journal survives a restart — the poisoned verdict
+holds without any new crash, and a healthy instance still solves in a
+fresh worker:
+
+  $ ../../bin/budgetbuf_cli.exe serve --socket i.sock --isolate 1 --quarantine iq.journal > iso2.out 2>&1 &
+  $ ISERVER=$!
+  $ ../../bin/budgetbuf_cli.exe request admit t1.cfg --socket i.sock --id w4
+  poisoned w4: instance quarantined after 2 worker crashes
+  [5]
+  $ sed 's/period 10/period 14/' t1.cfg > fresh.cfg
+  $ ../../bin/budgetbuf_cli.exe request admit fresh.cfg --socket i.sock --id w5 | head -1
+  admitted w5 (cache miss)
+  $ ../../bin/budgetbuf_cli.exe request shutdown --socket i.sock > /dev/null
+  $ wait $ISERVER

@@ -892,7 +892,29 @@ let prop_sdf_parse_total_mutated =
       | _ -> true
       | exception Sdf_parse.Parse_error (line, _) -> line >= 1)
 
-
+let prop_sdf_parse_result_byte_mutations =
+  (* The total entry point under byte mutation: flip up to 8 bytes of a
+     valid description to arbitrary values — every outcome is Ok or a
+     structured Error, and no exception of any kind escapes.  (This is
+     stronger than the properties above, which only promise that the
+     escaping exception is Parse_error.) *)
+  QCheck2.Test.make ~name:"Sdf_parse.of_string_result total under byte flips"
+    ~count:500
+    QCheck2.Gen.(list_size (int_bound 8) (pair nat (int_bound 255)))
+    (fun flips ->
+      let base =
+        "actor a durations 2\nactor b durations 1,3\n\
+         channel a 2 -> b 1,1 initial 1\n"
+      in
+      let bytes = Bytes.of_string base in
+      List.iter
+        (fun (pos, byte) ->
+          Bytes.set bytes (pos mod Bytes.length bytes) (Char.chr byte))
+        flips;
+      match Sdf_parse.of_string_result (Bytes.to_string bytes) with
+      | Ok _ -> true
+      | Error (line, msg) -> line >= 0 && String.length msg > 0
+      | exception _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Critical cycles                                                     *)
@@ -1062,6 +1084,7 @@ let () =
           Alcotest.test_case "lookup" `Quick test_sdf_parse_lookup;
           QCheck_alcotest.to_alcotest prop_sdf_parse_total;
           QCheck_alcotest.to_alcotest prop_sdf_parse_total_mutated;
+          QCheck_alcotest.to_alcotest prop_sdf_parse_result_byte_mutations;
         ] );
       ( "critical-cycle",
         [

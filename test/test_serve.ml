@@ -86,11 +86,13 @@ let test_wire_rejects () =
 let test_framer_units () =
   let fr = Wire.Framer.create () in
   Wire.Framer.feed fr "ab\r\ncd";
-  check_bool "crlf frame" true (Wire.Framer.next fr = Some "ab");
+  check_bool "crlf frame" true
+    (Wire.Framer.next fr = Some (Wire.Framer.Frame "ab"));
   check_bool "tail is not a frame" true (Wire.Framer.next fr = None);
   check_string "residue" "cd" (Wire.Framer.residue fr);
   Wire.Framer.feed fr "\n";
-  check_bool "residue completes" true (Wire.Framer.next fr = Some "cd");
+  check_bool "residue completes" true
+    (Wire.Framer.next fr = Some (Wire.Framer.Frame "cd"));
   let line =
     Protocol.request_to_line
       (Protocol.Admit
@@ -108,8 +110,9 @@ let test_framer_units () =
     Wire.Framer.feed fr (String.sub wire 0 i);
     Wire.Framer.feed fr (String.sub wire i (String.length wire - i));
     (match Wire.Framer.next fr with
-    | Some got when got = line -> ()
-    | Some got -> Alcotest.failf "split %d mangled: %S" i got
+    | Some (Wire.Framer.Frame got) when got = line -> ()
+    | Some (Wire.Framer.Frame got) -> Alcotest.failf "split %d mangled: %S" i got
+    | Some Wire.Framer.Oversized -> Alcotest.failf "split %d oversized" i
     | None -> Alcotest.failf "split %d lost the frame" i);
     check_string "no leftover" "" (Wire.Framer.residue fr)
   done
@@ -134,9 +137,10 @@ let prop_framer_chunking seed =
   let got = ref [] in
   let rec drain () =
     match Wire.Framer.next fr with
-    | Some f ->
+    | Some (Wire.Framer.Frame f) ->
       got := f :: !got;
       drain ()
+    | Some Wire.Framer.Oversized -> drain ()
     | None -> ()
   in
   let n = String.length stream in
@@ -156,6 +160,83 @@ let qcheck_framer_chunking =
   QCheck.Test.make ~count:500
     ~name:"framer invariant under adversarial chunking" QCheck.small_nat
     prop_framer_chunking
+
+(* Max-frame bound: an oversized frame yields exactly one [Oversized]
+   item, buffers at most max_frame + one chunk, and the next frame is
+   delivered intact. *)
+let test_framer_max_frame () =
+  let fr = Wire.Framer.create ~max_frame:8 () in
+  Wire.Framer.feed fr "0123456789\nab\n";
+  check_bool "oversized" true (Wire.Framer.next fr = Some Wire.Framer.Oversized);
+  check_bool "next frame intact" true
+    (Wire.Framer.next fr = Some (Wire.Framer.Frame "ab"));
+  (* Exactly max_frame bytes is still a frame. *)
+  let fr = Wire.Framer.create ~max_frame:8 () in
+  Wire.Framer.feed fr "01234567\n";
+  check_bool "at the bound" true
+    (Wire.Framer.next fr = Some (Wire.Framer.Frame "01234567"));
+  (* One over the bound is not. *)
+  let fr = Wire.Framer.create ~max_frame:8 () in
+  Wire.Framer.feed fr "012345678\n";
+  check_bool "over the bound" true
+    (Wire.Framer.next fr = Some Wire.Framer.Oversized);
+  (* Dropping spans feeds: the payload arrives in many chunks, is
+     never buffered, and still costs exactly one Oversized. *)
+  let fr = Wire.Framer.create ~max_frame:4 () in
+  Wire.Framer.feed fr "aaaaaa";
+  check_bool "dropping starts" true
+    (Wire.Framer.next fr = Some Wire.Framer.Oversized);
+  check_string "no residue while dropping" "" (Wire.Framer.residue fr);
+  Wire.Framer.feed fr "bbbb";
+  check_bool "still dropping, no second item" true (Wire.Framer.next fr = None);
+  Wire.Framer.feed fr "\nok\n";
+  check_bool "frame after the drop" true
+    (Wire.Framer.next fr = Some (Wire.Framer.Frame "ok"));
+  check_bool "bad bound" true
+    (match Wire.Framer.create ~max_frame:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* The item sequence (frames and oversized markers alike) is invariant
+   under chunking, also around the max-frame boundary.  The reference
+   sequence is computed from a single whole-stream feed. *)
+let prop_framer_oversized_chunking seed =
+  let rng = Workloads.Rng.create (Int64.of_int (seed + 104729)) in
+  let max_frame = 4 + Workloads.Rng.int rng ~bound:6 in
+  let piece () =
+    String.make (Workloads.Rng.int rng ~bound:(2 * max_frame)) 'x'
+  in
+  let frames = List.init (Workloads.Rng.int rng ~bound:6) (fun _ -> piece ()) in
+  let stream = String.concat "" (List.map (fun f -> f ^ "\n") frames) in
+  let drain_all fr =
+    let rec go acc =
+      match Wire.Framer.next fr with
+      | Some item -> go (item :: acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  let reference =
+    let fr = Wire.Framer.create ~max_frame () in
+    Wire.Framer.feed fr stream;
+    drain_all fr
+  in
+  let fr = Wire.Framer.create ~max_frame () in
+  let got = ref [] in
+  let n = String.length stream in
+  let pos = ref 0 in
+  while !pos < n do
+    let k = 1 + Workloads.Rng.int rng ~bound:(min 5 (n - !pos)) in
+    Wire.Framer.feed fr (String.sub stream !pos k);
+    pos := !pos + k;
+    got := !got @ drain_all fr
+  done;
+  !got = reference
+
+let qcheck_framer_oversized_chunking =
+  QCheck.Test.make ~count:500
+    ~name:"oversized items invariant under chunking" QCheck.small_nat
+    prop_framer_oversized_chunking
 
 (* ------------------------------------------------------------------ *)
 (* Protocol round trips                                                *)
@@ -206,6 +287,8 @@ let test_protocol_roundtrip () =
       Protocol.Unsat { id = "j"; reason = "no assignment" };
       Protocol.Late { id = "j"; reason = "deadline expired" };
       Protocol.Failed { id = "j"; reason = "rungs exhausted" };
+      Protocol.Poisoned
+        { id = "j"; reason = "instance quarantined after 2 worker crashes" };
       Protocol.Overloaded { id = "j"; retry_after_s = 0.75 };
       Protocol.Released { id = "j"; found = true };
       Protocol.Released { id = "j"; found = false };
@@ -234,6 +317,56 @@ let test_protocol_rejects () =
   bad "{\"id\":\"j\"}";
   (* missing op *)
   bad "{\"op\":\"admit\",\"id\":\"j\",\"config\":\"x\",\"deadline_s\":\"soon\"}"
+
+(* Protocol versioning: ping and ready carry [Protocol.version]; a
+   mismatched peer fails with one clean line, while a bare probe
+   without the field still passes (it predates versioning). *)
+let test_protocol_version () =
+  let ping = Protocol.request_to_line Protocol.Ping in
+  check_bool "ping carries v" true
+    (match Wire.parse ping with
+    | Ok obj -> Wire.int obj "v" = Some Protocol.version
+    | Error _ -> false);
+  (match Protocol.request_of_line "{\"op\":\"ping\"}" with
+  | Ok Protocol.Ping -> ()
+  | _ -> Alcotest.fail "bare ping probe must parse");
+  (match Protocol.request_of_line "{\"op\":\"ping\",\"v\":99}" with
+  | Error msg ->
+    check_bool "mismatch names both versions" true
+      (String.length msg > 0
+      && msg
+         = Printf.sprintf
+             "protocol version mismatch: peer speaks v99, this build speaks \
+              v%d" Protocol.version)
+  | Ok _ -> Alcotest.fail "mismatched ping version must be refused");
+  let ready = Protocol.response_to_line (Protocol.Ready { state = Protocol.Serving }) in
+  check_bool "ready carries v" true
+    (match Wire.parse ready with
+    | Ok obj -> Wire.int obj "v" = Some Protocol.version
+    | Error _ -> false);
+  (match
+     Protocol.response_of_line
+       "{\"status\":\"ready\",\"state\":\"serving\",\"v\":99}"
+   with
+  | Error msg ->
+    check_bool "server mismatch is clean" true
+      (msg
+      = Printf.sprintf
+          "protocol version mismatch: server speaks v99, this build speaks v%d"
+          Protocol.version)
+  | Ok _ -> Alcotest.fail "mismatched ready version must be refused");
+  (* Worker hello: same discipline on the pipe protocol. *)
+  (match Serve.Worker.parse_hello "{\"ev\":\"hello\",\"v\":1,\"pid\":42}" with
+  | Error msg ->
+    check_bool "hello mismatch" true
+      (msg
+      = Printf.sprintf
+          "protocol version mismatch: worker speaks v1, supervisor speaks v%d"
+          Protocol.version)
+  | Ok _ -> Alcotest.fail "stale worker hello must be refused");
+  match Serve.Worker.parse_hello (Serve.Worker.hello_line ()) with
+  | Ok pid -> check_int "hello pid" (Unix.getpid ()) pid
+  | Error e -> Alcotest.failf "own hello refused: %s" e
 
 (* ------------------------------------------------------------------ *)
 (* Bounded queue                                                       *)
@@ -1208,6 +1341,338 @@ let test_server_chaos_campaign () =
     (List.equal String.equal log1 log2)
 
 (* ------------------------------------------------------------------ *)
+(* Process isolation: quarantine, supervisor, kill -9 recovery         *)
+(* ------------------------------------------------------------------ *)
+
+module Quarantine = Serve.Quarantine
+module Supervisor = Serve.Supervisor
+module Worker = Serve.Worker
+
+(* The suite runs from _build/default/test/; the CLI binary — which
+   doubles as the worker via the hidden [worker] mode — sits one
+   directory over and is declared as a dune dependency. *)
+let cli_exe = "../bin/budgetbuf_cli.exe"
+
+let contains ~sub s = sub = "" || replace ~sub ~by:"" s <> s
+
+let describe_outcome = function
+  | Supervisor.Done r ->
+    "done: "
+    ^ (match r with
+      | Worker.R_solved _ -> "solved"
+      | Worker.R_unsat m -> "unsat " ^ m
+      | Worker.R_late m -> "late " ^ m
+      | Worker.R_failed m -> "failed " ^ m)
+  | Supervisor.Crashed reason -> "crashed: " ^ reason
+  | Supervisor.Reaped -> "reaped"
+  | Supervisor.Unavailable reason -> "unavailable: " ^ reason
+
+let test_quarantine_counts_reopen () =
+  let path = tmp_path "quar.j" in
+  rm path;
+  rm (path ^ ".quarantine");
+  (match Quarantine.create ~path ~threshold:2 () with
+  | Error e -> Alcotest.failf "open: %s" e
+  | Ok q ->
+    check_int "threshold echoed" 2 (Quarantine.threshold q);
+    check_bool "clean key below threshold" true
+      (Quarantine.poisoned q ~key:"qa" = None);
+    check_int "first crash" 1 (Quarantine.note_crash q ~key:"qa" ~reason:"signal 9");
+    check_bool "still below threshold" true
+      (Quarantine.poisoned q ~key:"qa" = None);
+    check_int "second crash" 2 (Quarantine.note_crash q ~key:"qa" ~reason:"signal 9");
+    check_bool "poisoned at threshold" true
+      (Quarantine.poisoned q ~key:"qa" = Some 2);
+    check_int "other key independent" 1
+      (Quarantine.note_crash q ~key:"qb" ~reason:"exit 2");
+    let s = Quarantine.stats q in
+    check_int "keys" 2 s.Quarantine.keys;
+    check_int "poisoned keys" 1 s.Quarantine.poisoned;
+    check_int "crashes" 3 s.Quarantine.crashes;
+    Quarantine.close q);
+  (* The journal replays: poison verdicts survive a restart. *)
+  (match Quarantine.create ~path ~threshold:2 () with
+  | Error e -> Alcotest.failf "reopen: %s" e
+  | Ok q ->
+    check_bool "poison survives reopen" true
+      (Quarantine.poisoned q ~key:"qa" = Some 2);
+    check_int "sub-threshold count survives" 1 (Quarantine.crashes q ~key:"qb");
+    check_bool "qb still clean" true (Quarantine.poisoned q ~key:"qb" = None);
+    Quarantine.close q);
+  check_bool "threshold validated" true
+    (match Quarantine.create ~threshold:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  rm path
+
+let test_quarantine_salvage () =
+  let path = tmp_path "quar2.j" in
+  rm path;
+  rm (path ^ ".quarantine");
+  (match Quarantine.create ~path ~threshold:2 () with
+  | Error e -> Alcotest.failf "open: %s" e
+  | Ok q ->
+    ignore (Quarantine.note_crash q ~key:"qa" ~reason:"signal 9");
+    ignore (Quarantine.note_crash q ~key:"qb" ~reason:"signal 9");
+    ignore (Quarantine.note_crash q ~key:"qb" ~reason:"signal 9");
+    Quarantine.close q);
+  (* Damage the first record's payload: its CRC no longer matches, so
+     the reopen must salvage that one line to the sidecar and keep the
+     two records behind it. *)
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let mangled = replace ~sub:{|crash "qa"|} ~by:{|crXsh "qa"|} text in
+  check_bool "fixture line found" true (mangled <> text);
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc mangled);
+  (match Quarantine.create ~path ~threshold:2 () with
+  | Error e -> Alcotest.failf "reopen damaged: %s" e
+  | Ok q ->
+    let s = Quarantine.stats q in
+    check_int "one line salvaged" 1 s.Quarantine.salvaged;
+    check_int "entries behind damage kept" 2 s.Quarantine.crashes;
+    check_bool "qb still poisoned" true (Quarantine.poisoned q ~key:"qb" = Some 2);
+    check_bool "qa count lost with its line" true
+      (Quarantine.crashes q ~key:"qa" = 0);
+    Quarantine.close q);
+  check_bool "sidecar holds the damaged line" true
+    (Sys.file_exists (path ^ ".quarantine"));
+  rm path;
+  rm (path ^ ".quarantine")
+
+let supervisor_config () =
+  { (Supervisor.default_config ~exe:cli_exe) with Supervisor.seed = 7 }
+
+let good_task id =
+  {
+    Worker.task_id = id;
+    task_config = t1_text ();
+    task_fault = None;
+    task_deadline_s = None;
+  }
+
+let test_supervisor_solve_crash_respawn () =
+  let sup = Supervisor.create (supervisor_config ()) in
+  (match Supervisor.solve sup (good_task "g1") with
+  | Supervisor.Done (Worker.R_solved r) ->
+    check_bool "worker returns a mapping" true (String.length r.mapping > 0);
+    check_bool "worker returns a certificate" true
+      (String.length r.certificate > 0)
+  | o -> Alcotest.failf "good solve: %s" (describe_outcome o));
+  (* A crash fault kills the worker mid-solve; the supervisor survives
+     and reports the signal. *)
+  (match
+     Supervisor.solve sup
+       { (good_task "c1") with Worker.task_fault = Some "crash" }
+   with
+  | Supervisor.Crashed reason -> check_string "crash reason" "signal 9" reason
+  | o -> Alcotest.failf "crash solve: %s" (describe_outcome o));
+  (* The pool respawns: the next solve gets a fresh worker. *)
+  (match Supervisor.solve sup (good_task "g2") with
+  | Supervisor.Done (Worker.R_solved _) -> ()
+  | o -> Alcotest.failf "solve after crash: %s" (describe_outcome o));
+  let c = Supervisor.counters sup in
+  check_int "two workers spawned" 2 c.Supervisor.spawned;
+  check_int "one worker crashed" 1 c.Supervisor.crashed;
+  check_int "none reaped" 0 c.Supervisor.reaped;
+  Supervisor.shutdown sup
+
+let test_supervisor_reaps_hang () =
+  let sup = Supervisor.create (supervisor_config ()) in
+  (match
+     Supervisor.solve sup
+       {
+         (good_task "h1") with
+        Worker.task_fault = Some "hang";
+        task_deadline_s = Some 0.2;
+      }
+   with
+  | Supervisor.Reaped -> ()
+  | o -> Alcotest.failf "hung solve: %s" (describe_outcome o));
+  (* The reaped slot respawns like any crash. *)
+  (match Supervisor.solve sup (good_task "h2") with
+  | Supervisor.Done (Worker.R_solved _) -> ()
+  | o -> Alcotest.failf "solve after reap: %s" (describe_outcome o));
+  let c = Supervisor.counters sup in
+  check_int "one reap" 1 c.Supervisor.reaped;
+  check_int "reap counts as a crash" 1 c.Supervisor.crashed;
+  Supervisor.shutdown sup
+
+let test_supervisor_breaker () =
+  let cfg =
+    {
+      (supervisor_config ()) with
+      Supervisor.breaker_threshold = 2;
+      breaker_cooldown_s = 60.0;
+      backoff_base_s = 0.0;
+      backoff_cap_s = 0.0;
+    }
+  in
+  let sup = Supervisor.create cfg in
+  let crash id =
+    match
+      Supervisor.solve sup
+        { (good_task id) with Worker.task_fault = Some "crash" }
+    with
+    | Supervisor.Crashed _ -> ()
+    | o -> Alcotest.failf "%s: %s" id (describe_outcome o)
+  in
+  crash "b1";
+  crash "b2";
+  (* Two consecutive crashes trip the breaker; the next solve is
+     answered without burning another process. *)
+  (match Supervisor.solve sup (good_task "b3") with
+  | Supervisor.Unavailable msg ->
+    check_bool "breaker named" true (contains ~sub:"circuit breaker" msg)
+  | o -> Alcotest.failf "breaker solve: %s" (describe_outcome o));
+  let c = Supervisor.counters sup in
+  check_int "breaker tripped once" 1 c.Supervisor.breaker_trips;
+  Supervisor.shutdown sup;
+  check_bool "slots validated" true
+    (match Supervisor.create { cfg with Supervisor.slots = 0 } with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* End to end through the server: two worker crashes on one instance
+   quarantine its canonical key; the third identical request answers
+   [poisoned] without sacrificing a worker, and healthy instances keep
+   solving throughout. *)
+let test_server_isolated_crash_poison () =
+  let sock = tmp_path "iso.sock" in
+  let crash_text = t1_with_cap 17 in
+  let th, res =
+    start_server
+      {
+        (Server.default_config ~socket_path:sock) with
+        Server.isolate = Some 1;
+        worker_exe = Some cli_exe;
+      }
+  in
+  (match
+     Client.with_connection sock (fun c ->
+         (match admit c ~id:"p1" ~fault:"crash" crash_text with
+         | Protocol.Failed { reason; _ } ->
+           check_bool "crash contained, reported" true
+             (contains ~sub:"worker crashed" reason)
+         | r -> Alcotest.failf "p1: %s" (Protocol.status_of_response r));
+         (match admit c ~id:"p2" ~fault:"crash" crash_text with
+         | Protocol.Failed _ -> ()
+         | r -> Alcotest.failf "p2: %s" (Protocol.status_of_response r));
+         (* Third time: same instance, no fault requested — the
+            quarantine answers before any worker sees it. *)
+         (match admit c ~id:"p3" crash_text with
+         | Protocol.Poisoned { reason; _ } ->
+           check_string "poison verdict"
+             "instance quarantined after 2 worker crashes" reason
+         | r -> Alcotest.failf "p3: %s" (Protocol.status_of_response r));
+         (* The pool recovered: a healthy instance still solves. *)
+         ignore (expect_admitted (admit c ~id:"ok" (t1_text ())));
+         (match Client.roundtrip c (Protocol.Release { id = "ok" }) with
+         | Ok (Protocol.Released { found = true; _ }) -> ()
+         | _ -> Alcotest.fail "release ok");
+         shutdown c;
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "client: %s" e);
+  Thread.join th;
+  match !res with
+  | Ok (Server.Shutdown_request, s) ->
+    check_int "two worker crashes" 2 s.Protocol.worker_crashes;
+    check_int "one poisoned answer" 1 s.Protocol.poisoned;
+    check_int "two failed answers" 2 s.Protocol.failed;
+    check_int "no leaked admissions" 0 s.Protocol.live
+  | Ok (r, _) -> Alcotest.failf "stop reason: %s" (Server.describe r)
+  | Error e -> Alcotest.failf "server: %s" e
+
+let spawn_serve args =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  (* The drill measures crash recovery, not chaos: don't let a
+     @runtest-chaos schedule leak into the spawned server. *)
+  let env =
+    Array.of_list
+      (List.filter
+         (fun kv -> not (String.starts_with ~prefix:"BUDGETBUF_CHAOS=" kv))
+         (Array.to_list (Unix.environment ())))
+  in
+  let pid =
+    Unix.create_process_env cli_exe
+      (Array.of_list (cli_exe :: args))
+      env devnull devnull devnull
+  in
+  Unix.close devnull;
+  pid
+
+(* The real kill -9 drill, against a real [budgetbuf serve] process:
+   warm the memo cache, poison an instance, SIGKILL the supervisor
+   mid-flight, restart on the same journals.  The cached instance must
+   hit byte-identically and the poisoned verdict must hold without a
+   single new worker crash. *)
+let test_server_isolated_kill9_recovery () =
+  let sock = tmp_path "k9.sock"
+  and cache = tmp_path "k9.cachej"
+  and quarantine = tmp_path "k9.quarj" in
+  rm cache;
+  rm quarantine;
+  rm (cache ^ ".quarantine");
+  rm (quarantine ^ ".quarantine");
+  let serve_args =
+    [
+      "serve"; "--socket"; sock; "--cache"; cache; "--isolate"; "1";
+      "--quarantine"; quarantine;
+    ]
+  in
+  let backoff = { Client.default_backoff with Client.retries = 40 } in
+  let crash_text = t1_with_cap 18 in
+  let pid1 = spawn_serve serve_args in
+  let first =
+    match
+      Client.with_connection ~backoff sock (fun c ->
+          let a = expect_admitted (admit c ~id:"good" (t1_text ())) in
+          check_bool "run 1 misses" true (a.cache = `Miss);
+          (match admit c ~id:"p1" ~fault:"crash" crash_text with
+          | Protocol.Failed { reason; _ } ->
+            check_bool "run 1 crash reported" true
+              (contains ~sub:"worker crashed" reason)
+          | r -> Alcotest.failf "p1: %s" (Protocol.status_of_response r));
+          (match admit c ~id:"p2" ~fault:"crash" crash_text with
+          | Protocol.Failed _ -> ()
+          | r -> Alcotest.failf "p2: %s" (Protocol.status_of_response r));
+          Ok a)
+    with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "run 1: %s" e
+  in
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  (* Same journals, fresh process. *)
+  let pid2 = spawn_serve serve_args in
+  (match
+     Client.with_connection ~backoff sock (fun c ->
+         let a = expect_admitted (admit c ~id:"good2" (t1_text ())) in
+         check_bool "run 2 hits the recovered cache" true (a.cache = `Hit);
+         check_string "mapping survives kill -9" first.mapping a.mapping;
+         check_string "certificate survives kill -9" first.certificate
+           a.certificate;
+         (match admit c ~id:"p3" crash_text with
+         | Protocol.Poisoned { reason; _ } ->
+           check_bool "poison survives kill -9" true
+             (contains ~sub:"quarantined" reason)
+         | r -> Alcotest.failf "p3: %s" (Protocol.status_of_response r));
+         (match Client.roundtrip c Protocol.Stats with
+         | Ok (Protocol.Stats_reply s) ->
+           check_int "no new crashes after restart" 0 s.Protocol.worker_crashes;
+           check_int "poisoned answered from the journal" 1 s.Protocol.poisoned
+         | _ -> Alcotest.fail "stats");
+         shutdown c;
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "run 2: %s" e);
+  ignore (Unix.waitpid [] pid2);
+  rm cache;
+  rm quarantine
+
+(* ------------------------------------------------------------------ *)
 
 (* Client-side writes can race a halting server that has restored the
    default SIGPIPE disposition; the suite wants EPIPE errors, not
@@ -1222,12 +1687,15 @@ let () =
           Alcotest.test_case "round trip" `Quick test_wire_roundtrip;
           Alcotest.test_case "rejects" `Quick test_wire_rejects;
           Alcotest.test_case "framer units" `Quick test_framer_units;
+          Alcotest.test_case "framer max frame" `Quick test_framer_max_frame;
           QCheck_alcotest.to_alcotest qcheck_framer_chunking;
+          QCheck_alcotest.to_alcotest qcheck_framer_oversized_chunking;
         ] );
       ( "protocol",
         [
           Alcotest.test_case "round trips" `Quick test_protocol_roundtrip;
           Alcotest.test_case "rejects" `Quick test_protocol_rejects;
+          Alcotest.test_case "version handshake" `Quick test_protocol_version;
         ] );
       ( "bounded",
         [
@@ -1283,5 +1751,21 @@ let () =
         [
           Alcotest.test_case "campaign, twice, deterministically" `Quick
             test_server_chaos_campaign;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "quarantine counts, reopen" `Quick
+            test_quarantine_counts_reopen;
+          Alcotest.test_case "quarantine salvage" `Quick
+            test_quarantine_salvage;
+          Alcotest.test_case "supervisor solve, crash, respawn" `Quick
+            test_supervisor_solve_crash_respawn;
+          Alcotest.test_case "supervisor reaps a hang" `Quick
+            test_supervisor_reaps_hang;
+          Alcotest.test_case "circuit breaker" `Quick test_supervisor_breaker;
+          Alcotest.test_case "isolated crash quarantines, poisons" `Quick
+            test_server_isolated_crash_poison;
+          Alcotest.test_case "kill -9 recovery of cache and quarantine" `Quick
+            test_server_isolated_kill9_recovery;
         ] );
     ]

@@ -14,6 +14,7 @@
      dune exec bench/main.exe -- certify  # certification overhead only
      dune exec bench/main.exe -- obs      # observability overhead only
      dune exec bench/main.exe -- sparse   # sparse KKT scaling report only
+     dune exec bench/main.exe -- tighten  # analytic vs simulated buffers
 
    [--jobs N] selects the domain-pool width for the experiment tables
    and the parallel speedup report (default: BUDGETBUF_JOBS, else the
@@ -1404,6 +1405,98 @@ let crash_report ppf =
   close_out oc;
   Format.fprintf ppf "  written: BENCH_crash.json@."
 
+(* ------------------------------------------------------------------ *)
+(* Tightening: analytic vs simulated buffer totals                     *)
+(* ------------------------------------------------------------------ *)
+
+(* How much of the analytic (conservative) buffer allocation the
+   simulator-in-the-loop dichotomy gives back (docs/tightening.md):
+   per workload, the container totals before and after, the probes the
+   searches spent, and the wall time of the whole tighten run.  Also
+   written to BENCH_tighten.json. *)
+let tighten_report ppf =
+  Format.fprintf ppf "@.=== Simulator-in-the-loop tightening ===@.@.";
+  let named =
+    [
+      ("t1", Workloads.Gen.paper_t1 ());
+      ("t2", Workloads.Gen.paper_t2 ());
+      ("chain8", Workloads.Gen.chain ~n:8 ());
+      ("split4", Workloads.Gen.split_join ~branches:4 ());
+      ("ring4", Workloads.Gen.ring ~n:4 ~initial:2 ());
+    ]
+  in
+  let random =
+    List.init 15 (fun i ->
+        let seed = i + 1 in
+        let rng = Workloads.Rng.create (Int64.of_int seed) in
+        ( Printf.sprintf "rand%02d" seed,
+          Workloads.Gen.random_chain rng ~n:(2 + (i mod 5)) () ))
+  in
+  let rows =
+    List.filter_map
+      (fun (name, cfg) ->
+        match Mapping.solve cfg with
+        | Error _ -> None
+        | Ok r -> begin
+          let t0 = Unix.gettimeofday () in
+          match Tighten.run cfg r.Mapping.mapped with
+          | Error _ -> None
+          | Ok t -> Some (name, t, Unix.gettimeofday () -. t0)
+        end)
+      (named @ random)
+  in
+  Format.fprintf ppf "  %-8s %9s %9s %7s %7s %9s@." "workload" "analytic"
+    "simulated" "saved" "probes" "wall";
+  List.iter
+    (fun (name, (t : Tighten.t), wall) ->
+      let a = t.Tighten.analytic_containers
+      and m = t.Tighten.tightened_containers in
+      let saved = if a = 0 then 0.0 else 100.0 *. float_of_int (a - m) /. float_of_int a in
+      Format.fprintf ppf "  %-8s %9d %9d %6.1f%% %7d %7.1f ms%s@." name a m
+        saved t.Tighten.probes (1000.0 *. wall)
+        (if t.Tighten.repaired then "  (repaired)" else ""))
+    rows;
+  let improved =
+    List.length
+      (List.filter
+         (fun (_, (t : Tighten.t), _) ->
+           t.Tighten.tightened_containers < t.Tighten.analytic_containers)
+         rows)
+  in
+  let total_a =
+    List.fold_left
+      (fun acc (_, (t : Tighten.t), _) -> acc + t.Tighten.analytic_containers)
+      0 rows
+  and total_m =
+    List.fold_left
+      (fun acc (_, (t : Tighten.t), _) -> acc + t.Tighten.tightened_containers)
+      0 rows
+  in
+  Format.fprintf ppf "@.  improved:  %d/%d workloads@." improved
+    (List.length rows);
+  Format.fprintf ppf "  total:     %d containers analytic, %d simulated \
+                      (-%.1f%%)@."
+    total_a total_m
+    (if total_a = 0 then 0.0
+     else 100.0 *. float_of_int (total_a - total_m) /. float_of_int total_a);
+  let oc = open_out "BENCH_tighten.json" in
+  Printf.fprintf oc "{ \"workloads\": [";
+  List.iteri
+    (fun i (name, (t : Tighten.t), wall) ->
+      Printf.fprintf oc
+        "%s\n  { \"name\": %S, \"analytic\": %d, \"simulated\": %d, \
+         \"probes\": %d, \"repaired\": %b, \"wall_s\": %.6f }"
+        (if i = 0 then "" else ",")
+        name t.Tighten.analytic_containers t.Tighten.tightened_containers
+        t.Tighten.probes t.Tighten.repaired wall)
+    rows;
+  Printf.fprintf oc
+    " ],\n  \"improved\": %d, \"total_analytic\": %d, \"total_simulated\": \
+     %d }\n"
+    improved total_a total_m;
+  close_out oc;
+  Format.fprintf ppf "  written: BENCH_tighten.json@."
+
 let () =
   let ppf = Format.std_formatter in
   let jobs =
@@ -1448,6 +1541,7 @@ let () =
     serve_report ~jobs:!jobs ppf;
     chaos_report ppf;
     crash_report ppf;
+    tighten_report ppf;
     bechamel_suite ()
   | [ "tables" ] -> with_pool (fun pool -> Experiments.all ?pool ppf)
   | [ "bench" ] ->
@@ -1461,6 +1555,7 @@ let () =
   | [ "serve" ] -> serve_report ~jobs:!jobs ppf
   | [ "chaos" ] -> chaos_report ppf
   | [ "crash" ] -> crash_report ppf
+  | [ "tighten" ] -> tighten_report ppf
   | [ name ] -> begin
     match Experiments.by_name name with
     | Some _ ->
@@ -1471,7 +1566,7 @@ let () =
     | None ->
       Format.eprintf
         "unknown experiment %S (expected: %s, tables, bench, par, durable, \
-         certify, obs, sparse, serve, chaos, crash)@."
+         certify, obs, sparse, serve, chaos, crash, tighten)@."
         name
         (String.concat ", " Experiments.names);
       exit 2
@@ -1479,6 +1574,6 @@ let () =
   | _ ->
     Format.eprintf
       "usage: main.exe \
-       [EXPERIMENT|tables|bench|par|durable|certify|obs|sparse|serve|chaos|crash] \
+       [EXPERIMENT|tables|bench|par|durable|certify|obs|sparse|serve|chaos|crash|tighten] \
        [--jobs N]@.";
     exit 2

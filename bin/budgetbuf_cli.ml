@@ -905,6 +905,210 @@ let simulate_cmd =
       $ trace_arg $ vcd_arg)
 
 (* ------------------------------------------------------------------ *)
+(* tighten: simulator-in-the-loop buffer tightening                    *)
+(* ------------------------------------------------------------------ *)
+
+let banks_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "banks" ] ~docv:"GRANULE"
+        ~doc:
+          "Banked-memory cost granule: capacities are allocated in banks \
+           of $(docv) containers, so the search only probes capacities at \
+           bank boundaries (clamped to the analytic capacity).  The \
+           default granule of 1 searches every container count.")
+
+let sim_iterations_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "iterations" ] ~docv:"N"
+        ~doc:
+          "Executions per task for every simulation probe (at least 4; \
+           longer runs measure the steady-state period more precisely \
+           and cost proportionally more per probe).")
+
+let do_tighten () path banks iterations jobs output resume deadline
+    candidate_deadline trace metrics =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg ->
+    if banks < 1 then begin
+      Format.eprintf "error: --banks must be >= 1@.";
+      2
+    end
+    else if iterations < 4 then begin
+      Format.eprintf "error: --iterations must be >= 4@.";
+      2
+    end
+    else begin
+      with_jobs jobs @@ fun pool ->
+      let fingerprint =
+        sweep_fingerprint ~command:"tighten" ~cfg
+          ~grid:(Printf.sprintf "bank=%d iterations=%d" banks iterations)
+          ~fault:None
+      in
+      with_obs ~trace ~metrics @@ fun obs ->
+      with_durability ~fingerprint ~resume ~deadline ~candidate_deadline
+      @@ fun ~journal ~deadline ~candidate_deadline ~cancel ~on_progress ->
+      match Mapping.solve ?obs cfg with
+      | Error e ->
+        Format.eprintf "error: %a@." Mapping.pp_error e;
+        1
+      | Ok r -> begin
+        (* The analytic mapping and its exact certificate stay with the
+           result: the tightened capacities are simulation-backed, the
+           analytic ones machine-checked (docs/tightening.md). *)
+        Format.printf "certificate: %s@."
+          (Budgetbuf.Certify.summary r.Mapping.certificate);
+        match
+          Tighten.run ?pool ?journal ?deadline ?candidate_deadline ~cancel
+            ?obs ~on_progress ~iterations ~bank:banks cfg r.Mapping.mapped
+        with
+        | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          1
+        | Ok t ->
+          List.iter
+            (fun (o : Tighten.outcome) ->
+              let b =
+                List.find
+                  (fun b -> Config.buffer_id b = o.Tighten.buffer_id)
+                  (Config.all_buffers cfg)
+              in
+              match o.Tighten.skipped with
+              | Some reason ->
+                Format.printf "buffer %-8s analytic %d, kept (%s)@."
+                  (Config.buffer_name cfg b)
+                  o.Tighten.analytic reason
+              | None ->
+                Format.printf
+                  "buffer %-8s analytic %d, simulated %d (floor %d, %d \
+                   probes)@."
+                  (Config.buffer_name cfg b)
+                  o.Tighten.analytic o.Tighten.tightened o.Tighten.floor
+                  o.Tighten.probes)
+            t.Tighten.outcomes;
+          let a = t.Tighten.analytic_containers in
+          let m = t.Tighten.tightened_containers in
+          let saved_pct =
+            if a <= 0 then 0.0 else 100.0 *. float_of_int (a - m) /. float_of_int a
+          in
+          Format.printf
+            "analytic: %d containers, simulated: %d containers (-%.0f%%)@." a
+            m saved_pct;
+          Format.printf "probes: %d simulations@." t.Tighten.probes;
+          if t.Tighten.repaired then
+            Format.printf
+              "repaired: per-buffer minima missed the joint target; \
+               sequential repair pass applied@.";
+          (match output with
+          | None -> ()
+          | Some file ->
+            let oc = open_out file in
+            let ppf = Format.formatter_of_out_channel oc in
+            Format.fprintf ppf "%a@."
+              (Taskgraph.Mapped_io.print cfg)
+              t.Tighten.mapped;
+            close_out oc;
+            Format.printf "mapping written to %s@." file);
+          0
+      end
+    end
+
+let tighten_cmd =
+  let doc =
+    "tighten certified buffer capacities with the discrete-event simulator \
+     (per-buffer dichotomy between the exact SRDF lower bound and the \
+     analytic capacity)"
+  in
+  Cmd.v (Cmd.info "tighten" ~doc)
+    Term.(
+      const do_tighten $ logs_term $ file_arg $ banks_arg
+      $ sim_iterations_arg $ jobs_arg $ output_arg $ resume_arg
+      $ deadline_arg $ candidate_deadline_arg $ obs_trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* export: MPS / CPLEX-LP text for external solvers                    *)
+(* ------------------------------------------------------------------ *)
+
+let export_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("mps", `Mps); ("lp", `Lp) ]) `Mps
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Exchange format: $(b,mps) (free-format MPS with QCMATRIX \
+           quadratic sections) or $(b,lp) (CPLEX-LP text); see \
+           docs/formats.md for the exact dialect.")
+
+let export_check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Parse the exported text back with the bundled total parser and \
+           verify that re-exporting it is byte-identical (the \
+           differential-testing seam's self-test).")
+
+let do_export () path format output check =
+  match load_config path with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok cfg ->
+    let b = Socp_builder.build cfg in
+    let name = Filename.remove_extension (Filename.basename path) in
+    let ir = Conic.Lpfile.of_model ~name b.Socp_builder.model in
+    let render ir =
+      match format with
+      | `Mps -> Conic.Lpfile.to_mps ir
+      | `Lp -> Conic.Lpfile.to_lp ir
+    in
+    let text = render ir in
+    let check_ok =
+      (not check)
+      ||
+      match Conic.Lpfile.of_string_result text with
+      | Error msg ->
+        Format.eprintf "error: exported text does not parse back: %s@." msg;
+        false
+      | Ok ir' ->
+        if String.equal text (render ir') then begin
+          Format.eprintf "check: parse round trip byte-identical@.";
+          true
+        end
+        else begin
+          Format.eprintf "error: export/parse round trip is not \
+                          byte-identical@.";
+          false
+        end
+    in
+    if not check_ok then 1
+    else begin
+      (match output with
+      | None -> print_string text
+      | Some file ->
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Format.printf "model written to %s (%d variables, %d rows)@." file
+          (Array.length ir.Conic.Lpfile.vars)
+          (List.length ir.Conic.Lpfile.rows));
+      0
+    end
+
+let export_cmd =
+  let doc =
+    "export the cone program as MPS or CPLEX-LP text for an external solver"
+  in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(
+      const do_export $ logs_term $ file_arg $ export_format_arg $ output_arg
+      $ export_check_arg)
+
+(* ------------------------------------------------------------------ *)
 (* pareto                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1831,7 +2035,7 @@ let main_cmd =
     [
       solve_cmd; validate_cmd; tradeoff_cmd; experiment_cmd; generate_cmd;
       pareto_cmd; dse_cmd; bind_cmd; latency_cmd; check_cmd; certify_cmd;
-      simulate_cmd; dot_cmd;
+      simulate_cmd; tighten_cmd; export_cmd; dot_cmd;
       sdf_cmd; analyze_cmd; report_cmd; trace_cmd; serve_cmd; request_cmd;
     ]
 

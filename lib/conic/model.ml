@@ -69,6 +69,38 @@ let num_rows m =
       acc + match b with Row_nonneg _ -> 1 | Row_soc es -> List.length es)
     0 m.blocks
 
+type snapshot = {
+  snap_vars : string array;
+  snap_fixed : (int * float) list;
+  snap_rows :
+    [ `Nonneg of (float * int) list * float
+    | `Soc of ((float * int) list * float) list ]
+    list;
+  snap_objective : (float * int) list * float;
+}
+
+(* Read-only structural view for the LP/MPS exporter: declaration-order
+   variable names, pinned values, the row blocks in insertion order and
+   the objective.  Terms are reported exactly as recorded — duplicate
+   variables are not merged here; serialisers canonicalise. *)
+let snapshot m =
+  let expr_view (e : expr) = (e.terms, e.const) in
+  {
+    snap_vars = Array.of_list (List.rev m.names);
+    snap_fixed =
+      Hashtbl.fold (fun v x acc -> (v, x) :: acc) m.fixed []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    snap_rows =
+      List.rev_map
+        (function
+          | Row_nonneg e ->
+            let terms, const = expr_view e in
+            `Nonneg (terms, const)
+          | Row_soc es -> `Soc (List.map expr_view es))
+        m.blocks;
+    snap_objective = expr_view m.objective;
+  }
+
 type result = {
   status : Socp.status;
   objective : float;

@@ -78,6 +78,24 @@ val num_variables : model -> int
 
 val num_rows : model -> int
 
+(** Read-only structural view of a model, for serialisation (see
+    {!Lpfile}).  Variables are identified by their declaration index
+    into [snap_vars]; terms appear exactly as recorded (duplicates are
+    not merged — serialisers canonicalise). *)
+type snapshot = {
+  snap_vars : string array;  (** names in declaration order *)
+  snap_fixed : (int * float) list;  (** {!fix}ed variables, index-sorted *)
+  snap_rows :
+    [ `Nonneg of (float * int) list * float
+      (** the affine expression (terms, const) constrained ≥ 0 *)
+    | `Soc of ((float * int) list * float) list
+      (** head :: tail expressions with [‖tail‖₂ ≤ head] *) ]
+    list;  (** constraint blocks in insertion order *)
+  snap_objective : (float * int) list * float;  (** minimised expression *)
+}
+
+val snapshot : model -> snapshot
+
 type result = {
   status : Socp.status;
   objective : float;  (** primal objective including constant terms *)

@@ -26,6 +26,7 @@ type t = {
   rungs : (string, int ref) Hashtbl.t;
   certificates : (string, int ref) Hashtbl.t;
   candidates : (string, int ref) Hashtbl.t;
+  tighten : (string, int ref) Hashtbl.t;
   faults : (string, int ref) Hashtbl.t;
   requests : (string, int ref) Hashtbl.t;
   workers : (string, int ref) Hashtbl.t;
@@ -50,6 +51,7 @@ let make ?(sink = Sink.null) () =
     rungs = Hashtbl.create 8;
     certificates = Hashtbl.create 4;
     candidates = Hashtbl.create 8;
+    tighten = Hashtbl.create 4;
     faults = Hashtbl.create 4;
     requests = Hashtbl.create 8;
     workers = Hashtbl.create 4;
@@ -82,6 +84,9 @@ let emit t event =
   | Trace.Fault_injected { kind; _ } -> bump_keyed t t.faults kind
   | Trace.Certificate { verdict } -> bump_keyed t t.certificates verdict
   | Trace.Candidate { verdict; _ } -> bump_keyed t t.candidates verdict
+  | Trace.Tighten_probe _ -> bump_keyed t t.tighten "probe"
+  | Trace.Tighten_accept _ -> bump_keyed t t.tighten "accept"
+  | Trace.Tighten_reject _ -> bump_keyed t t.tighten "reject"
   | Trace.Restore { hit; _ } ->
     Metrics.Counter.incr (if hit then t.restore_hits else t.restore_misses)
   | Trace.Task_dispatch _ -> Metrics.Counter.incr t.dispatched
@@ -148,6 +153,7 @@ let report t =
   let rung_line = keyed_line t.rungs "rungs" in
   let cert_line = keyed_line t.certificates "certificates" in
   let cand_line = keyed_line t.candidates "candidates" in
+  let tighten_line = keyed_line t.tighten "tighten" in
   let fault_line = keyed_line t.faults "faults" in
   let request_line = keyed_line t.requests "requests" in
   let worker_line = keyed_line t.workers "workers" in
@@ -162,6 +168,7 @@ let report t =
   (match fault_line with Some l -> add l | None -> ());
   (match cert_line with Some l -> add l | None -> ());
   (match cand_line with Some l -> add l | None -> ());
+  (match tighten_line with Some l -> add l | None -> ());
   (match request_line with Some l -> add l | None -> ());
   (match worker_line with Some l -> add l | None -> ());
   let hits = Metrics.Counter.value t.restore_hits

@@ -53,6 +53,9 @@ type event =
   | Worker_exit of { pid : int; reason : string; solves : int }
   | Worker_reaped of { pid : int; after_s : float }
   | Quarantined of { key : string; crashes : int }
+  | Tighten_probe of { buffer : string; capacity : int; feasible : bool }
+  | Tighten_accept of { buffer : string; capacity : int; saved : int }
+  | Tighten_reject of { buffer : string; capacity : int }
   | Span_open of { name : string }
   | Span_close of { name : string; elapsed_s : float }
 
@@ -83,6 +86,9 @@ let event_name = function
   | Worker_exit _ -> "worker_exit"
   | Worker_reaped _ -> "worker_reaped"
   | Quarantined _ -> "quarantined"
+  | Tighten_probe _ -> "tighten_probe"
+  | Tighten_accept _ -> "tighten_accept"
+  | Tighten_reject _ -> "tighten_reject"
   | Span_open _ -> "span_open"
   | Span_close _ -> "span_close"
 
@@ -164,6 +170,12 @@ let fields_of_event = function
     [ ("pid", I pid); ("after_s", N after_s) ]
   | Quarantined { key; crashes } ->
     [ ("key", S key); ("crashes", I crashes) ]
+  | Tighten_probe { buffer; capacity; feasible } ->
+    [ ("buffer", S buffer); ("capacity", I capacity); ("feasible", B feasible) ]
+  | Tighten_accept { buffer; capacity; saved } ->
+    [ ("buffer", S buffer); ("capacity", I capacity); ("saved", I saved) ]
+  | Tighten_reject { buffer; capacity } ->
+    [ ("buffer", S buffer); ("capacity", I capacity) ]
   | Span_open { name } -> [ ("name", S name) ]
   | Span_close { name; elapsed_s } ->
     [ ("name", S name); ("elapsed_s", N elapsed_s) ]
@@ -425,6 +437,18 @@ let of_json_line line =
         Worker_reaped { pid = int "pid"; after_s = num "after_s" }
       | "quarantined" ->
         Quarantined { key = str "key"; crashes = int "crashes" }
+      | "tighten_probe" ->
+        Tighten_probe
+          {
+            buffer = str "buffer";
+            capacity = int "capacity";
+            feasible = boolean "feasible";
+          }
+      | "tighten_accept" ->
+        Tighten_accept
+          { buffer = str "buffer"; capacity = int "capacity"; saved = int "saved" }
+      | "tighten_reject" ->
+        Tighten_reject { buffer = str "buffer"; capacity = int "capacity" }
       | "span_open" -> Span_open { name = str "name" }
       | "span_close" ->
         Span_close { name = str "name"; elapsed_s = num "elapsed_s" }

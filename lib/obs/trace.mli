@@ -90,6 +90,17 @@ type event =
   | Quarantined of { key : string; crashes : int }
       (** an instance's canonical-key digest crossed the poison
           threshold after [crashes] worker crashes *)
+  | Tighten_probe of { buffer : string; capacity : int; feasible : bool }
+      (** the tightening dichotomy ran the simulator once with
+          [buffer] at [capacity] (all other buffers analytic);
+          [feasible] means the run completed with every graph's
+          steady-state period ≤ µ *)
+  | Tighten_accept of { buffer : string; capacity : int; saved : int }
+      (** the dichotomy settled on [capacity] for [buffer], [saved]
+          containers below the analytic bound *)
+  | Tighten_reject of { buffer : string; capacity : int }
+      (** the dichotomy could not improve on the analytic [capacity]
+          (the dataflow bound was already tight for this buffer) *)
   | Span_open of { name : string }  (** a timed phase begins *)
   | Span_close of { name : string; elapsed_s : float }
       (** the phase ends, with its duration on the trace clock *)

@@ -6,6 +6,7 @@ type report = {
   task_completions : Config.task -> float array;
   task_executions : Config.task -> (float * float) array;
   buffer_high_water : Config.buffer -> int;
+  buffer_high_water_steady : Config.buffer -> int;
   makespan : float;
 }
 
@@ -40,6 +41,9 @@ type buffer_state = {
   mutable empty : int;   (** containers available to a producer *)
   capacity : int;
   mutable high_water : int;  (** max of capacity − empty seen so far *)
+  initial_occ : int;  (** occupancy at time 0: the initial tokens *)
+  mutable occ_log : (float * int) list;
+      (** reversed (instant, occupancy) at every occupancy change *)
 }
 
 type task_state = {
@@ -94,6 +98,8 @@ let run cfg (mapped : Config.mapped) ~iterations ?execution_time () =
             empty = cap - iota;
             capacity = cap;
             high_water = iota;
+            initial_occ = iota;
+            occ_log = [];
           } ))
       buffers
   in
@@ -167,7 +173,8 @@ let run cfg (mapped : Config.mapped) ~iterations ?execution_time () =
               let bs = bstate b in
               bs.empty <- bs.empty - 1;
               if bs.capacity - bs.empty > bs.high_water then
-                bs.high_water <- bs.capacity - bs.empty)
+                bs.high_water <- bs.capacity - bs.empty;
+              bs.occ_log <- (now, bs.capacity - bs.empty) :: bs.occ_log)
             st.outputs;
           st.busy <- true;
           st.claim_times <- now :: st.claim_times;
@@ -207,7 +214,9 @@ let run cfg (mapped : Config.mapped) ~iterations ?execution_time () =
           st.outputs;
         List.iter
           (fun b ->
-            (bstate b).empty <- (bstate b).empty + 1;
+            let bs = bstate b in
+            bs.empty <- bs.empty + 1;
+            bs.occ_log <- (now, bs.capacity - bs.empty) :: bs.occ_log;
             try_start now (Hashtbl.find producers b))
           st.inputs;
         try_start now id;
@@ -257,6 +266,24 @@ let run cfg (mapped : Config.mapped) ~iterations ?execution_time () =
             (fun w -> List.assoc (Config.task_id w) execution_arrays);
           buffer_high_water =
             (fun b -> (bstate (Config.buffer_id b)).high_water);
+          buffer_high_water_steady =
+            (fun b ->
+              (* Max occupancy over the second half of the run.  The
+                 occupancy carried into the window counts: [current]
+                 is folded into the max both at the first in-window
+                 change and at the end of the log (a buffer whose
+                 occupancy never changes after the midpoint still
+                 holds [current] containers throughout). *)
+              let bs = bstate (Config.buffer_id b) in
+              let half = !makespan /. 2.0 in
+              let rec go current best = function
+                | [] -> Int.max best current
+                | (t, occ) :: rest ->
+                  if t >= half then
+                    go occ (Int.max (Int.max best current) occ) rest
+                  else go occ best rest
+              in
+              go bs.initial_occ min_int (List.rev bs.occ_log));
           makespan = !makespan;
         }
     end

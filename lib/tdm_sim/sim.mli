@@ -33,6 +33,12 @@ type report = {
           to the producer (filled or claimed); never exceeds the
           mapped capacity, and equals it when the buffer ever ran
           full *)
+  buffer_high_water_steady : Taskgraph.Config.buffer -> int;
+      (** same measure restricted to the second half of the run
+          (instants ≥ makespan/2, including the occupancy carried into
+          that window) — the steady-state high water, immune to
+          startup transients such as draining a pile of initial
+          tokens; always ≤ [buffer_high_water] *)
   makespan : float;  (** time of the last simulated completion *)
 }
 

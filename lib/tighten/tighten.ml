@@ -1,0 +1,388 @@
+module Config = Taskgraph.Config
+module Sim = Tdm_sim.Sim
+module Durability = Budgetbuf.Durability
+
+(* Simulator-in-the-loop buffer tightening (docs/tightening.md).
+
+   The dataflow model is conservative: a mapping admitting a PAS with
+   period µ simulates at a steady-state period ≤ µ, so the analytic
+   capacities usually overshoot what the platform needs.  Per buffer we
+   run a dichotomy between the exact lower bound max(1, ι) and the
+   analytic capacity, with [Sim.run] + steady-state detection as the
+   feasibility oracle.  Feasibility is monotone in capacity (budget
+   schedulers are temporally monotone: more empty space can only let
+   the producer start earlier), so binary search is sound.
+
+   Determinism contract: each buffer's search probes candidate
+   configurations built from the *analytic* capacities plus one
+   overridden buffer, so per-buffer results are independent of search
+   order — bit-identical across [--jobs 1] / [--jobs 4] and across
+   kill + resume.  The combined minimum is then re-simulated once; if
+   the combination misses the target (per-buffer minima need not
+   compose), a sequential repair pass re-tightens each buffer against
+   the already-accepted prefix, which maintains joint feasibility by
+   construction and is equally deterministic. *)
+
+type outcome = {
+  buffer_id : int;
+  analytic : int;  (** capacity in the certified analytic mapping *)
+  floor : int;  (** exact SRDF lower bound max(1, ι) *)
+  tightened : int;  (** accepted capacity, [floor ≤ tightened ≤ analytic] *)
+  probes : int;  (** simulator runs this buffer's search spent *)
+  skipped : string option;
+      (** [Some reason] when the search did not finish (per-candidate
+          deadline, global deadline, cancellation, crash) and the
+          buffer fell back to its analytic capacity *)
+}
+
+type t = {
+  mapped : Config.mapped;
+  outcomes : outcome list;  (** dense buffer-id order *)
+  analytic_containers : int;
+  tightened_containers : int;
+  probes : int;  (** total simulator runs, joint checks included *)
+  repaired : bool;
+      (** the independent minima missed the target jointly and the
+          sequential repair pass produced the final capacities *)
+  progress : Durable.Sweep.progress;
+}
+
+(* The oracle threshold.  The measured mean period carries an O(1/n)
+   startup bias (the completion curve approaches its steady slope from
+   below), so even a certified mapping measures a few percent above µ
+   at short horizons.  Comparing a candidate against µ alone would
+   therefore reject sound capacities; the differential threshold is
+   max(µ, the analytic baseline's own measured period) — same
+   simulator, same horizon, same bias — with a relative guard for
+   float noise.  A candidate passes iff it is no slower than whichever
+   of the target and the analytic mapping is the weaker bar. *)
+let threshold mu = (mu *. (1.0 +. 1e-9)) +. 1e-12
+
+(* The repo-wide hard margin (see [Mapping.sim_hard_failure]): a
+   baseline this far past µ is broken, not transient. *)
+let hard_margin = 1.5
+
+let thresholds cfg (baseline : Sim.report) =
+  List.map
+    (fun g ->
+      ( g,
+        threshold
+          (Float.max (Config.period cfg g) (baseline.Sim.graph_period g)) ))
+    (Config.graphs cfg)
+
+(* Graph handles are dense ids, valid across [Config.copy] clones, so
+   thresholds computed on the original config apply to any probe's
+   report. *)
+let feasible thrs (report : Sim.report) =
+  List.for_all (fun (g, thr) -> report.Sim.graph_period g <= thr) thrs
+
+(* ---- journal codec (docs/formats.md) ----------------------------- *)
+
+let encode_outcome o =
+  match o.skipped with
+  | Some _ -> None (* not a final verdict: a resume retries the buffer *)
+  | None ->
+    Some
+      (Printf.sprintf "ok %d %d %d %d" o.analytic o.floor o.tightened o.probes)
+
+let decode_outcome ~buffer_id ~analytic ~floor payload =
+  match
+    let ib = Scanf.Scanning.from_string payload in
+    if Durability.scan_token ib <> "ok" then None
+    else begin
+      let a = Durability.scan_int ib in
+      let f = Durability.scan_int ib in
+      let t = Durability.scan_int ib in
+      let p = Durability.scan_int ib in
+      (* A record for different bounds (changed config, bank granule
+         fingerprint collision) is discarded and the buffer re-solved. *)
+      if a <> analytic || f <> floor || t < floor || t > analytic || p < 0 then
+        None
+      else
+        Some
+          {
+            buffer_id;
+            analytic;
+            floor;
+            tightened = t;
+            probes = p;
+            skipped = None;
+          }
+    end
+  with
+  | v -> v
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file | Not_found) ->
+    None
+
+(* ---- the engine -------------------------------------------------- *)
+
+let run ?pool ?journal ?deadline ?candidate_deadline ?cancel ?obs ?on_progress
+    ?(iterations = 64) ?(bank = 1) cfg (mapped : Config.mapped) =
+  if bank < 1 then invalid_arg "Tighten.run: bank granule must be >= 1";
+  if iterations < 4 then invalid_arg "Tighten.run: iterations must be >= 4";
+  let deadline = Option.value deadline ~default:Durable.Deadline.none in
+  let buffers = Config.all_buffers cfg in
+  let n = List.length buffers in
+  let analytic_caps = Array.make (Int.max n 1) 1 in
+  List.iter
+    (fun b -> analytic_caps.(Config.buffer_id b) <- mapped.Config.capacity b)
+    buffers;
+  let mapped_with caps =
+    {
+      Config.budget = mapped.Config.budget;
+      capacity = (fun b -> caps.(Config.buffer_id b));
+    }
+  in
+  let simulate local_cfg caps = Sim.run local_cfg (mapped_with caps) ~iterations () in
+  (* Baseline: the analytic mapping itself, which also yields the
+     per-buffer high waters seeding each search. *)
+  match simulate cfg analytic_caps with
+  | Error e -> Error (Printf.sprintf "analytic mapping does not simulate: %s" e)
+  | Ok baseline ->
+    if
+      List.exists
+        (fun g ->
+          baseline.Sim.graph_period g
+          > hard_margin *. Config.period cfg g)
+        (Config.graphs cfg)
+    then
+      Error
+        "analytic mapping misses its throughput target in simulation; \
+         nothing to tighten against"
+    else begin
+      let thrs = thresholds cfg baseline in
+      let probes_extra = ref 1 (* the baseline run *) in
+      let floor_of b = Int.max 1 (Config.initial_tokens cfg b) in
+      (* Search one buffer: dichotomy over bank levels k with candidate
+         capacity min(hi, k·bank), where hi = min(analytic, full-run
+         high water) — capacity hi replays the baseline trace verbatim
+         (the cap never bound), so it is feasible without a probe.  The
+         steady-state high water is probed first: it is where the
+         search usually lands, and a hit halves the interval to
+         [floor, steady] immediately. *)
+      let search_buffer ~probe ~deadline ~on_probe buffer_id =
+        let b = Config.buffer_of_id cfg buffer_id in
+        let analytic = analytic_caps.(buffer_id) in
+        let floor = floor_of b in
+        let hi = Int.min analytic (Int.max floor (Sim.(baseline.buffer_high_water) b)) in
+        let level c = (c + bank - 1) / bank in
+        let cap_of k = Int.min hi (k * bank) in
+        let probes = ref 0 in
+        let skipped = ref None in
+        let try_cap cap =
+          if Durable.Deadline.expired deadline then begin
+            skipped := Some "timed out";
+            false
+          end
+          else begin
+            incr probes;
+            let ok = probe b cap in
+            on_probe b cap ok;
+            ok
+          end
+        in
+        let lo_k = ref (level floor) and hi_k = ref (level hi) in
+        (* seed with the steady-state high water *)
+        let steady =
+          Int.min hi (Int.max floor (Sim.(baseline.buffer_high_water_steady) b))
+        in
+        if level steady < !hi_k && !skipped = None then begin
+          if try_cap (cap_of (level steady)) then hi_k := level steady
+          else lo_k := level steady + 1
+        end;
+        while !lo_k < !hi_k && !skipped = None do
+          let mid = (!lo_k + !hi_k) / 2 in
+          if try_cap (cap_of mid) then hi_k := mid else lo_k := mid + 1
+        done;
+        match !skipped with
+        | Some reason ->
+          {
+            buffer_id;
+            analytic;
+            floor;
+            tightened = analytic;
+            probes = !probes;
+            skipped = Some reason;
+          }
+        | None ->
+          {
+            buffer_id;
+            analytic;
+            floor;
+            tightened = cap_of !hi_k;
+            probes = !probes;
+            skipped = None;
+          }
+      in
+      let emit_probe b cap ok =
+        match obs with
+        | None -> ()
+        | Some o ->
+          Obs.Ctx.emit o
+            (Obs.Trace.Tighten_probe
+               { buffer = Config.buffer_name cfg b; capacity = cap; feasible = ok })
+      in
+      let emit_verdict o_ =
+        match obs with
+        | None -> ()
+        | Some o -> (
+          Obs.Ctx.emit o
+            (Obs.Trace.Candidate
+               {
+                 index = o_.buffer_id;
+                 verdict =
+                   (match o_.skipped with None -> "ok" | Some r -> r);
+               });
+          match o_.skipped with
+          | Some _ -> ()
+          | None ->
+            let b = Config.buffer_of_id cfg o_.buffer_id in
+            if o_.tightened < o_.analytic then
+              Obs.Ctx.emit o
+                (Obs.Trace.Tighten_accept
+                   {
+                     buffer = Config.buffer_name cfg b;
+                     capacity = o_.tightened;
+                     saved = o_.analytic - o_.tightened;
+                   })
+            else
+              Obs.Ctx.emit o
+                (Obs.Trace.Tighten_reject
+                   { buffer = Config.buffer_name cfg b; capacity = o_.analytic }))
+      in
+      (* Phase 1: independent per-buffer searches, fanned out on the
+         pool, journaled per buffer.  Probes clone the config so
+         concurrent searches never share mutable state. *)
+      let solve_buffer index =
+        match
+          let local = Config.copy cfg in
+          let per_candidate =
+            match candidate_deadline with
+            | None -> deadline
+            | Some s ->
+              Durable.Deadline.combine deadline (Durable.Deadline.after s)
+          in
+          let probe b cap =
+            let caps = Array.copy analytic_caps in
+            caps.(Config.buffer_id b) <- cap;
+            match simulate local caps with
+            | Error _ -> false
+            | Ok report -> feasible thrs report
+          in
+          search_buffer ~probe ~deadline:per_candidate ~on_probe:emit_probe
+            index
+        with
+        | o ->
+          emit_verdict o;
+          o
+        | exception e ->
+          let b = Config.buffer_of_id cfg index in
+          let o =
+            {
+              buffer_id = index;
+              analytic = analytic_caps.(index);
+              floor = floor_of b;
+              tightened = analytic_caps.(index);
+              probes = 0;
+              skipped = Some ("error: " ^ Printexc.to_string e);
+            }
+          in
+          emit_verdict o;
+          o
+      in
+      let results, progress =
+        Durable.Sweep.run ?pool ?journal ?obs ~deadline ?cancel
+          ~encode:encode_outcome
+          ~decode:(fun i payload ->
+            decode_outcome ~buffer_id:i ~analytic:analytic_caps.(i)
+              ~floor:(floor_of (Config.buffer_of_id cfg i))
+              payload)
+          ~n solve_buffer
+      in
+      (match on_progress with None -> () | Some f -> f progress);
+      let outcomes =
+        Array.to_list
+          (Array.mapi
+             (fun i slot ->
+               match slot with
+               | Some o -> o
+               | None ->
+                 (* abandoned to the global deadline or cancellation *)
+                 {
+                   buffer_id = i;
+                   analytic = analytic_caps.(i);
+                   floor = floor_of (Config.buffer_of_id cfg i);
+                   tightened = analytic_caps.(i);
+                   probes = 0;
+                   skipped = Some "not run";
+                 })
+             results)
+      in
+      (* Phase 2: per-buffer minima need not compose — verify the
+         combination once, and on a miss fall back to a sequential
+         pass that re-tightens each buffer against the accepted prefix
+         (every probe then tests the true joint configuration, so the
+         invariant "current capacities are feasible" holds throughout). *)
+      let proposed = Array.copy analytic_caps in
+      List.iter (fun o -> proposed.(o.buffer_id) <- o.tightened) outcomes;
+      let changed = proposed <> analytic_caps in
+      let joint_ok =
+        (not changed)
+        ||
+        begin
+          incr probes_extra;
+          match simulate cfg proposed with
+          | Error _ -> false
+          | Ok report -> feasible thrs report
+        end
+      in
+      let final_caps, outcomes, repaired =
+        if joint_ok then (proposed, outcomes, false)
+        else begin
+          let current = Array.copy analytic_caps in
+          let outcomes =
+            List.map
+              (fun o ->
+                if o.skipped <> None then o
+                else begin
+                  let probe b cap =
+                    let caps = Array.copy current in
+                    caps.(Config.buffer_id b) <- cap;
+                    incr probes_extra;
+                    match simulate cfg caps with
+                    | Error _ -> false
+                    | Ok report -> feasible thrs report
+                  in
+                  let o' =
+                    search_buffer
+                      ~probe
+                      ~deadline
+                      ~on_probe:emit_probe o.buffer_id
+                  in
+                  (* count repair probes globally, not per buffer *)
+                  let o' = { o' with probes = o.probes } in
+                  current.(o.buffer_id) <- o'.tightened;
+                  o'
+                end)
+              outcomes
+          in
+          (current, outcomes, true)
+        end
+      in
+      let total caps =
+        List.fold_left (fun acc b -> acc + caps.(Config.buffer_id b)) 0 buffers
+      in
+      Ok
+        {
+          mapped = mapped_with final_caps;
+          outcomes;
+          analytic_containers = total analytic_caps;
+          tightened_containers = total final_caps;
+          probes =
+            List.fold_left
+              (fun acc (o : outcome) -> acc + o.probes)
+              !probes_extra outcomes;
+          repaired;
+          progress;
+        }
+    end

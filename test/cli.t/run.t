@@ -378,6 +378,85 @@ tradeoff and pareto journal the same way:
   2      31.2788      31.2788     
   3      26.5090      26.5090     
 
+Simulator-in-the-loop tightening (docs/tightening.md): the certified
+analytic capacities are dichotomy-searched down to what the
+discrete-event simulator still accepts; the exact certificate stays
+with the analytic mapping:
+
+  $ ../../bin/budgetbuf_cli.exe tighten t1.cfg
+  certificate: ok (exact, 4 start times)
+  buffer bab      analytic 10, simulated 2 (floor 1, 1 probes)
+  analytic: 10 containers, simulated: 2 containers (-80%)
+  probes: 3 simulations
+
+A banked-memory granule restricts the search to bank boundaries
+(clamped to the known-feasible bound — here the baseline's own high
+water, which needs no probe at all); non-positive granules are
+rejected up front with exit 2:
+
+  $ ../../bin/budgetbuf_cli.exe tighten t1.cfg --banks 4
+  certificate: ok (exact, 4 start times)
+  buffer bab      analytic 10, simulated 2 (floor 1, 0 probes)
+  analytic: 10 containers, simulated: 2 containers (-80%)
+  probes: 2 simulations
+
+  $ ../../bin/budgetbuf_cli.exe tighten t1.cfg --banks 0
+  error: --banks must be >= 1
+  [2]
+
+  $ ../../bin/budgetbuf_cli.exe tighten t1.cfg --iterations 3
+  error: --iterations must be >= 4
+  [2]
+
+Tightening is bit-identical across pool sizes:
+
+  $ ../../bin/budgetbuf_cli.exe tighten t1.cfg --jobs 1 > tseq.out
+  $ ../../bin/budgetbuf_cli.exe tighten t1.cfg --jobs 4 > tpar.out
+  $ diff tseq.out tpar.out && echo identical
+  identical
+
+And resumable: a run killed after its first buffer (simulated here by
+truncating the journal to its first record) restores that buffer on
+the next run and finishes the rest, with byte-identical results:
+
+  $ ../../bin/budgetbuf_cli.exe generate chain -n 3 > c3.cfg
+  $ ../../bin/budgetbuf_cli.exe tighten c3.cfg --resume tight.journal > tfull.out
+  $ head -2 tight.journal > tcut.journal && mv tcut.journal tight.journal
+  $ ../../bin/budgetbuf_cli.exe tighten c3.cfg --resume tight.journal
+  certificate: ok (exact, 6 start times)
+  resumed: 1/2 from journal
+  buffer b0       analytic 10, simulated 2 (floor 1, 1 probes)
+  buffer b1       analytic 10, simulated 2 (floor 1, 1 probes)
+  analytic: 20 containers, simulated: 4 containers (-80%)
+  probes: 4 simulations
+  $ tail -n +2 tfull.out > tfull.body
+  $ ../../bin/budgetbuf_cli.exe tighten c3.cfg --resume tight.journal | tail -n +3 > tres.body
+  $ diff tfull.body tres.body && echo identical
+  identical
+
+The cone program exports as MPS or CPLEX-LP text for an external
+solver (docs/formats.md); --check parses the text back with the
+bundled total parser and verifies the round trip is byte-identical:
+
+  $ ../../bin/budgetbuf_cli.exe export t1.cfg | head -6
+  NAME t1
+  ROWS
+   N obj
+   G c0
+   G c1
+   G c2
+
+  $ ../../bin/budgetbuf_cli.exe export t1.cfg --format lp --check -o t1.lp
+  check: parse round trip byte-identical
+  model written to t1.lp (9 variables, 18 rows)
+  $ head -3 t1.lp
+  \Problem name: t1
+  Minimize
+   obj: 1 beta_.wa + 1 beta_.wb + 0.001 delta_.bab
+
+  $ ../../bin/budgetbuf_cli.exe export t1.cfg --check > t1.mps
+  check: parse round trip byte-identical
+
 Deadline flags are validated up front, with the usual one-line-error,
 non-zero-exit convention:
 

@@ -376,6 +376,81 @@ let test_high_water_hits_capacity_when_tight () =
     let b = Config.find_buffer cfg "bab" in
     Alcotest.(check int) "ran full" 2 (report.Sim.buffer_high_water b)
 
+(* Steady-state (second-half) high water: the warm-up transient —
+   initial-token carry-in plus the producer's startup claims — is
+   excluded, so a buffer sized for the periodic regime shows a lower
+   steady mark than the full-run one. *)
+let transient_cfg_text =
+  "granularity 1\n\
+   processor p1 replenishment 40 overhead 0\n\
+   processor p2 replenishment 40 overhead 0\n\
+   memory m0 capacity 1000\n\
+   taskgraph g period 40\n\
+  \  task wa proc p1 wcet 1 weight 1\n\
+  \  task wb proc p2 wcet 1 weight 1\n\
+  \  buffer bab from wa to wb memory m0 container 1 initial 3 weight 1\n"
+
+let test_steady_high_water_discounts_transient () =
+  (* ι = 3 carry-in plus startup claims fill the capacity-5 buffer
+     once; the steady regime only ever holds 3. *)
+  let cfg = Taskgraph.Parse.config_of_string transient_cfg_text in
+  let mapped =
+    {
+      Config.budget =
+        (fun w -> if Config.task_name cfg w = "wa" then 4.0 else 20.0);
+      Config.capacity = (fun _ -> 5);
+    }
+  in
+  match Sim.run cfg mapped ~iterations:200 () with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+    let b = Config.find_buffer cfg "bab" in
+    Alcotest.(check int) "full-run high water" 5
+      (report.Sim.buffer_high_water b);
+    Alcotest.(check int) "steady high water" 3
+      (report.Sim.buffer_high_water_steady b)
+
+let test_steady_high_water_tight () =
+  (* When the capacity itself is the bottleneck the buffer runs full in
+     the steady regime too: both marks pin to the capacity. *)
+  let cfg = Workloads.Gen.paper_t1 () in
+  let mapped =
+    {
+      Config.budget =
+        (fun w -> if Config.task_name cfg w = "wa" then 20.0 else 4.0);
+      Config.capacity = (fun _ -> 2);
+    }
+  in
+  match Sim.run cfg mapped ~iterations:100 () with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+    let b = Config.find_buffer cfg "bab" in
+    Alcotest.(check int) "full-run high water" 2
+      (report.Sim.buffer_high_water b);
+    Alcotest.(check int) "steady high water" 2
+      (report.Sim.buffer_high_water_steady b)
+
+let prop_steady_never_above_full =
+  QCheck2.Test.make
+    ~name:"steady high water never exceeds the full-run high water"
+    ~count:15
+    QCheck2.Gen.(pair (int_range 2 5) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Workloads.Rng.create (Int64.of_int seed) in
+      let cfg = Workloads.Gen.random_chain rng ~n () in
+      match Mapping.solve cfg with
+      | Error _ -> false
+      | Ok r -> begin
+        match Sim.run cfg r.Mapping.mapped ~iterations:300 () with
+        | Error _ -> false
+        | Ok report ->
+          List.for_all
+            (fun b ->
+              let steady = report.Sim.buffer_high_water_steady b in
+              steady >= 0 && steady <= report.Sim.buffer_high_water b)
+            (Config.all_buffers cfg)
+      end)
+
 let prop_solver_capacities_are_used =
   (* For tight solver mappings, most buffers reach a high-water mark of
      at least their initial tokens + 1 (the capacity is not gratuitous);
@@ -707,8 +782,13 @@ let () =
           test_high_water_bounded_by_capacity
         :: Alcotest.test_case "hits capacity when tight" `Quick
              test_high_water_hits_capacity_when_tight
+        :: Alcotest.test_case "steady discounts transient" `Quick
+             test_steady_high_water_discounts_transient
+        :: Alcotest.test_case "steady tight" `Quick
+             test_steady_high_water_tight
         :: List.map QCheck_alcotest.to_alcotest
-             [ prop_solver_capacities_are_used ] );
+             [ prop_solver_capacities_are_used; prop_steady_never_above_full ]
+      );
       ( "vcd",
         [
           Alcotest.test_case "structure" `Quick test_vcd_structure;

@@ -132,7 +132,18 @@ let to_mps t0 =
       if r.quad <> [] then begin
         pr "QCMATRIX %s\n" r.row_name;
         List.iter
-          (fun (k, i, j) -> pr " %s %s %s\n" t.vars.(i) t.vars.(j) (fstr k))
+          (fun (k, i, j) ->
+            if i = j then pr " %s %s %s\n" t.vars.(i) t.vars.(j) (fstr k)
+            else begin
+              (* CPLEX reads QCMATRIX as x'Qx with Q symmetric, so the
+                 cross term k·xᵢ·xⱼ is Qᵢⱼ = Qⱼᵢ = k/2, both written.
+                 Splitting as (k − k/2, k/2) keeps the sum bit-exact
+                 even when k/2 rounds (subnormal k); the parser's merge
+                 folds the halves back into a single canonical term. *)
+              let half = k /. 2.0 in
+              pr " %s %s %s\n" t.vars.(i) t.vars.(j) (fstr (k -. half));
+              pr " %s %s %s\n" t.vars.(j) t.vars.(i) (fstr half)
+            end)
           r.quad
       end)
     t.rows;
@@ -311,8 +322,16 @@ let of_mps_result text =
         else begin
           let toks = split_tokens trimmed in
           match toks with
-          | "NAME" :: rest ->
-            name := (match rest with [] -> "model" | _ -> String.concat " " rest)
+          | "NAME" :: _ ->
+            (* keep the raw remainder: interior whitespace is part of
+               the model name, and tokenise-rejoin would break the
+               byte-identical re-export of names the writer itself
+               produced *)
+            let rest =
+              String.trim
+                (String.sub trimmed 4 (String.length trimmed - 4))
+            in
+            name := (if rest = "" then "model" else rest)
           | [ "ROWS" ] -> section := M_rows
           | [ "COLUMNS" ] -> section := M_columns
           | [ "RHS" ] -> section := M_rhs

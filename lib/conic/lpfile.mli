@@ -18,8 +18,13 @@
       the dialect: variables are free reals unless fixed, matching the
       model layer.
     - quadratic constraint terms use [QCMATRIX] (MPS) or a [[ ... ]]
-      group (LP); an entry [(i, j, k)] with [i ≤ j] contributes
-      [k·xᵢ·xⱼ] exactly once (no implicit halving or mirroring).
+      group (LP).  An LP group lists each canonical term [(i, j, k)]
+      ([i ≤ j]) once with its full coefficient — CPLEX-LP reads
+      constraint quadratics literally.  [QCMATRIX] is the symmetric
+      matrix of [x'Qx]: diagonal terms appear once ([Qᵢᵢ = k]),
+      off-diagonal terms as both halves ([Qᵢⱼ = Qⱼᵢ = k/2]), matching
+      what external CPLEX/Gurobi readers expect; the parser merges
+      same-pair entries, folding the halves back into one term.
     - floats render with ["%.17g"], which round-trips binary64
       bit-exactly.
     - rows without any term are not representable and are dropped.

@@ -21,7 +21,13 @@ module Durability = Budgetbuf.Durability
    the combination misses the target (per-buffer minima need not
    compose), a sequential repair pass re-tightens each buffer against
    the already-accepted prefix, which maintains joint feasibility by
-   construction and is equally deterministic. *)
+   construction and is equally deterministic.  The repair pass may
+   only trust the *analytic* capacity as its unprobed upper bound (the
+   baseline high waters were measured against the unmodified analytic
+   configuration, which no longer exists once earlier buffers have
+   been tightened), and the final repaired configuration is
+   re-simulated once, falling back to the certified analytic
+   capacities on any disagreement. *)
 
 type outcome = {
   buffer_id : int;
@@ -153,18 +159,25 @@ let run ?pool ?journal ?deadline ?candidate_deadline ?cancel ?obs ?on_progress
       let thrs = thresholds cfg baseline in
       let probes_extra = ref 1 (* the baseline run *) in
       let floor_of b = Int.max 1 (Config.initial_tokens cfg b) in
+      let per_candidate () =
+        match candidate_deadline with
+        | None -> deadline
+        | Some s -> Durable.Deadline.combine deadline (Durable.Deadline.after s)
+      in
       (* Search one buffer: dichotomy over bank levels k with candidate
-         capacity min(hi, k·bank), where hi = min(analytic, full-run
-         high water) — capacity hi replays the baseline trace verbatim
-         (the cap never bound), so it is feasible without a probe.  The
-         steady-state high water is probed first: it is where the
-         search usually lands, and a hit halves the interval to
-         [floor, steady] immediately. *)
-      let search_buffer ~probe ~deadline ~on_probe buffer_id =
+         capacity min(hi, k·bank).  [hi] is accepted without a probe,
+         so the caller must pass a bound that is feasible against
+         whatever configuration [probe] tests: phase 1 passes
+         min(analytic, full-run high water) — capping a buffer at a
+         level the baseline trace never exceeded replays that trace
+         verbatim — while the repair pass passes the analytic capacity
+         itself, feasible by the joint invariant.  [seeds] are probed
+         before bisecting, in order: a hit halves the interval
+         immediately. *)
+      let search_buffer ~probe ~deadline ~on_probe ~hi ~seeds buffer_id =
         let b = Config.buffer_of_id cfg buffer_id in
         let analytic = analytic_caps.(buffer_id) in
         let floor = floor_of b in
-        let hi = Int.min analytic (Int.max floor (Sim.(baseline.buffer_high_water) b)) in
         let level c = (c + bank - 1) / bank in
         let cap_of k = Int.min hi (k * bank) in
         let probes = ref 0 in
@@ -182,14 +195,14 @@ let run ?pool ?journal ?deadline ?candidate_deadline ?cancel ?obs ?on_progress
           end
         in
         let lo_k = ref (level floor) and hi_k = ref (level hi) in
-        (* seed with the steady-state high water *)
-        let steady =
-          Int.min hi (Int.max floor (Sim.(baseline.buffer_high_water_steady) b))
-        in
-        if level steady < !hi_k && !skipped = None then begin
-          if try_cap (cap_of (level steady)) then hi_k := level steady
-          else lo_k := level steady + 1
-        end;
+        List.iter
+          (fun s ->
+            let s = Int.min hi (Int.max floor s) in
+            if level s < !hi_k && !skipped = None then begin
+              if try_cap (cap_of (level s)) then hi_k := level s
+              else lo_k := Int.max !lo_k (level s + 1)
+            end)
+          seeds;
         while !lo_k < !hi_k && !skipped = None do
           let mid = (!lo_k + !hi_k) / 2 in
           if try_cap (cap_of mid) then hi_k := mid else lo_k := mid + 1
@@ -256,12 +269,6 @@ let run ?pool ?journal ?deadline ?candidate_deadline ?cancel ?obs ?on_progress
       let solve_buffer index =
         match
           let local = Config.copy cfg in
-          let per_candidate =
-            match candidate_deadline with
-            | None -> deadline
-            | Some s ->
-              Durable.Deadline.combine deadline (Durable.Deadline.after s)
-          in
           let probe b cap =
             let caps = Array.copy analytic_caps in
             caps.(Config.buffer_id b) <- cap;
@@ -269,7 +276,14 @@ let run ?pool ?journal ?deadline ?candidate_deadline ?cancel ?obs ?on_progress
             | Error _ -> false
             | Ok report -> feasible thrs report
           in
-          search_buffer ~probe ~deadline:per_candidate ~on_probe:emit_probe
+          let b = Config.buffer_of_id cfg index in
+          let hw =
+            Int.min analytic_caps.(index)
+              (Int.max (floor_of b) (Sim.(baseline.buffer_high_water) b))
+          in
+          search_buffer ~probe ~deadline:(per_candidate ())
+            ~on_probe:emit_probe ~hi:hw
+            ~seeds:[ Sim.(baseline.buffer_high_water_steady) b ]
             index
         with
         | o ->
@@ -353,11 +367,23 @@ let run ?pool ?journal ?deadline ?candidate_deadline ?cancel ?obs ?on_progress
                     | Error _ -> false
                     | Ok report -> feasible thrs report
                   in
+                  (* The unprobed upper bound here must be the analytic
+                     capacity: the invariant "[current] is feasible"
+                     covers this buffer at its analytic value, whereas
+                     the baseline high water was measured against the
+                     unmodified analytic configuration and need not be
+                     feasible jointly with the tightened prefix.  Both
+                     high waters are still probed as seeds. *)
+                  let b = Config.buffer_of_id cfg o.buffer_id in
                   let o' =
-                    search_buffer
-                      ~probe
-                      ~deadline
-                      ~on_probe:emit_probe o.buffer_id
+                    search_buffer ~probe ~deadline:(per_candidate ())
+                      ~on_probe:emit_probe ~hi:o.analytic
+                      ~seeds:
+                        [
+                          Sim.(baseline.buffer_high_water_steady) b;
+                          Sim.(baseline.buffer_high_water) b;
+                        ]
+                      o.buffer_id
                   in
                   (* count repair probes globally, not per buffer *)
                   let o' = { o' with probes = o.probes } in
@@ -366,7 +392,32 @@ let run ?pool ?journal ?deadline ?candidate_deadline ?cancel ?obs ?on_progress
                 end)
               outcomes
           in
-          (current, outcomes, true)
+          (* Belt and braces: every accepted capacity above was either
+             probed against the true joint configuration or kept at its
+             analytic value, so [current] is feasible by construction —
+             but the output is announced as simulation-backed, so
+             verify the joint configuration once more and fall back to
+             the certified analytic capacities if the check disagrees. *)
+          incr probes_extra;
+          let repaired_ok =
+            match simulate cfg current with
+            | Error _ -> false
+            | Ok report -> feasible thrs report
+          in
+          if repaired_ok then (current, outcomes, true)
+          else
+            ( Array.copy analytic_caps,
+              List.map
+                (fun o ->
+                  if o.skipped <> None then o
+                  else
+                    {
+                      o with
+                      tightened = o.analytic;
+                      skipped = Some "joint repair failed";
+                    })
+                outcomes,
+              true )
         end
       in
       let total caps =

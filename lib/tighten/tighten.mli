@@ -63,7 +63,13 @@ type t = {
     kill+resume: every phase-1 probe overrides exactly one buffer of
     the {e analytic} capacities, so no search depends on another's
     outcome; the joint verification and (rare) sequential repair pass
-    depend only on phase-1 results.
+    depend only on phase-1 results.  The repair pass honours the same
+    per-buffer [candidate_deadline] as phase 1, probes every accepted
+    capacity against the true joint configuration (only the analytic
+    capacity, feasible by invariant, is trusted unprobed), and its
+    result is re-simulated once — on any disagreement the repaired
+    buffers fall back to their analytic capacities
+    ([skipped = Some "joint repair failed"]).
 
     @return [Error _] when the analytic mapping itself fails to
     simulate at its target — there is nothing sound to tighten

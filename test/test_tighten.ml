@@ -222,6 +222,40 @@ let test_bank_granule () =
         (Config.all_buffers cfg))
     [ 2; 3; 4; 8 ]
 
+let test_repair_path () =
+  (* A workload whose independent per-buffer minima miss the joint
+     target (bench's rand03) exercises the sequential repair pass.
+     The repaired mapping must satisfy the differential oracle — the
+     repair search may only trust the analytic capacity unprobed, not
+     the baseline high water, which need not survive the tightened
+     prefix — and the by-construction joint feasibility means the
+     final safety re-simulation never has to fall back. *)
+  let rng = Workloads.Rng.create 3L in
+  let cfg = Workloads.Gen.random_chain rng ~n:4 () in
+  let r = solve_exn cfg in
+  let analytic = r.Mapping.mapped in
+  let t = run_exn cfg analytic in
+  Alcotest.(check bool) "repair pass exercised" true t.Tighten.repaired;
+  List.iter
+    (fun (o : Tighten.outcome) ->
+      match o.Tighten.skipped with
+      | Some "joint repair failed" ->
+        Alcotest.failf "buffer %d hit the repair fallback" o.Tighten.buffer_id
+      | _ -> ())
+    t.Tighten.outcomes;
+  let baseline = sim_exn cfg analytic in
+  let tightened = sim_exn cfg t.Tighten.mapped in
+  List.iter
+    (fun g ->
+      let mu = Config.period cfg g in
+      let base_p = baseline.Sim.graph_period g in
+      let p = tightened.Sim.graph_period g in
+      if p > threshold (Float.max mu base_p) then
+        Alcotest.failf "repaired mapping simulates at %.6f > max(%.6f, %.6f) \
+                        on %s"
+          p mu base_p (Config.graph_name cfg g))
+    (Config.graphs cfg)
+
 let test_obs_events () =
   let cfg, r = t1_solved () in
   let obs = Obs.Ctx.make ~sink:Obs.Sink.null () in
@@ -325,6 +359,74 @@ let test_model_roundtrip () =
       Workloads.Gen.chain ~n:4 ();
     ]
 
+(* QCMATRIX is the symmetric matrix of x'Qx: a cross term 3·x·y is
+   written as both halves (x,y,1.5) and (y,x,1.5) — the convention an
+   external CPLEX/Gurobi expects — while a diagonal term appears once;
+   the parser folds the halves back into one canonical term. *)
+let test_qcmatrix_symmetric () =
+  let ir =
+    {
+      Lpfile.name = "q";
+      vars = [| "x"; "y" |];
+      bounds = [| Lpfile.Free; Lpfile.Free |];
+      objective = [ (1.0, 0) ];
+      obj_const = 0.0;
+      rows =
+        [
+          {
+            Lpfile.row_name = "c0";
+            linear = [];
+            quad = [ (3.0, 0, 1); (2.0, 1, 1) ];
+            rel = Lpfile.Ge;
+            rhs = 0.0;
+          };
+        ];
+    }
+  in
+  let text = Lpfile.to_mps ir in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true (go 0)
+  in
+  contains " x y 1.5\n";
+  contains " y x 1.5\n";
+  contains " y y 2\n";
+  match Lpfile.of_mps_result text with
+  | Error msg -> Alcotest.failf "no parse: %s" msg
+  | Ok ir' ->
+    Alcotest.(check bool) "halves fold back" true (Lpfile.equal ir ir');
+    Alcotest.(check string) "byte-identical" text (Lpfile.to_mps ir')
+
+(* A model name with interior runs of spaces survives parse→re-export
+   byte-identically in both formats (the NAME line is kept raw, not
+   tokenised and rejoined). *)
+let test_name_whitespace_roundtrip () =
+  let ir =
+    {
+      Lpfile.name = "two  spaces   three";
+      vars = [| "x" |];
+      bounds = [| Lpfile.Free |];
+      objective = [ (1.0, 0) ];
+      obj_const = 0.0;
+      rows = [];
+    }
+  in
+  List.iter
+    (fun (label, render, parse) ->
+      let text = render ir in
+      match parse text with
+      | Error msg -> Alcotest.failf "%s: no parse: %s" label msg
+      | Ok ir' ->
+        Alcotest.(check string)
+          (label ^ ": name preserved")
+          ir.Lpfile.name ir'.Lpfile.name;
+        Alcotest.(check string) (label ^ ": byte-identical") text (render ir'))
+    [
+      ("mps", Lpfile.to_mps, Lpfile.of_mps_result);
+      ("lp", Lpfile.to_lp, Lpfile.of_lp_result);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Codec: totality under mutation                                      *)
 (* ------------------------------------------------------------------ *)
@@ -395,10 +497,15 @@ let () =
           Alcotest.test_case "infeasible baseline" `Quick
             test_infeasible_baseline_rejected;
           Alcotest.test_case "bank granule" `Quick test_bank_granule;
+          Alcotest.test_case "repair path" `Quick test_repair_path;
           Alcotest.test_case "obs events" `Quick test_obs_events;
         ] );
       ( "codec",
         Alcotest.test_case "real models round trip" `Quick test_model_roundtrip
+        :: Alcotest.test_case "QCMATRIX symmetric halves" `Quick
+             test_qcmatrix_symmetric
+        :: Alcotest.test_case "name whitespace round trip" `Quick
+             test_name_whitespace_roundtrip
         :: Alcotest.test_case "malformed rejected" `Quick
              test_malformed_rejected
         :: List.map QCheck_alcotest.to_alcotest
